@@ -1,0 +1,58 @@
+// Ablation: intermediate-data compression (mapred.compress.map.output).
+//
+// Extends the paper's data-type observation ("reducing the sheer number of
+// bytes taken up by the intermediate data can provide a substantial
+// performance gain", Sect. 3): DEFLATE on Text map output trades CPU for
+// bytes. The crossover is network-dependent — on 1 GigE the byte savings
+// dominate; on IPoIB QDR the wire is cheap and the codec CPU is exposed.
+// BytesWritable (pseudo-random payload) is incompressible: compression only
+// costs CPU there, on any network.
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace mrmb;
+  std::printf("=== Ablation: map-output compression (16GB, Cluster A) ===\n");
+
+  SweepTable table("Compression on/off by network and data type", "Config");
+  for (DataType type : {DataType::kText, DataType::kBytesWritable}) {
+    for (const NetworkProfile& network : {OneGigE(), IpoibQdr()}) {
+      for (bool compress : {false, true}) {
+        BenchmarkOptions options;
+        options.pattern = DistributionPattern::kRandom;
+        options.data_type = type;
+        options.network = network;
+        options.compress_map_output = compress;
+        options.shuffle_bytes = 16 * kGB;
+        options.num_maps = 16;
+        options.num_reduces = 8;
+        options.num_slaves = 4;
+        const std::string config =
+            std::string(DataTypeName(type)) + "/" +
+            (compress ? "deflate" : "plain");
+        const double seconds =
+            bench::Measure(options, network.name, config);
+        table.Add(network.name, config, seconds);
+      }
+    }
+  }
+  table.Print(&std::cout);
+
+  std::printf("\n--- compression benefit (positive = helps) ---\n");
+  for (DataType type : {DataType::kText, DataType::kBytesWritable}) {
+    for (const NetworkProfile& network : {OneGigE(), IpoibQdr()}) {
+      const std::string base =
+          std::string(DataTypeName(type)) + "/plain";
+      const std::string comp =
+          std::string(DataTypeName(type)) + "/deflate";
+      const double plain = table.Get(network.name, base);
+      const double deflate = table.Get(network.name, comp);
+      if (plain > 0 && deflate > 0) {
+        std::printf("  %-14s over %-20s %+6.1f%%\n", DataTypeName(type),
+                    network.name.c_str(),
+                    (plain - deflate) / plain * 100.0);
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Ablation: how much of the RDMA engine's win comes from fetch/merge
+// overlap (the MRoIB/HOMR pipelining) versus raw kernel-bypass bandwidth?
+//
+// Sweeps rdma_overlap_fraction from 0 (no pipelining: RDMA is only a fast
+// NIC) to 0.9 (the calibrated default) on the Fig. 8 configuration.
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace mrmb;
+  std::printf("=== Ablation: RDMA shuffle/merge overlap fraction ===\n");
+
+  BenchmarkOptions base;
+  base.cluster = ClusterKind::kClusterB;
+  base.num_maps = 32;
+  base.num_reduces = 16;
+  base.num_slaves = 8;
+  base.shuffle_bytes = 32 * kGB;
+  base.key_size = 512;
+  base.value_size = 512;
+
+  base.network = IpoibFdr();
+  const double t_ipoib = bench::Measure(base, "IPoIB-FDR(baseline)", "32GB");
+
+  SweepTable table("RDMA win vs overlap fraction (32GB, Cluster B)",
+                   "Overlap");
+  for (double overlap : {0.0, 0.25, 0.5, 0.75, 0.9}) {
+    BenchmarkOptions options = base;
+    options.network = RdmaFdr();
+    options.cost.rdma_overlap_fraction = overlap;
+    const std::string label = std::to_string(overlap);
+    const double seconds = bench::Measure(options, "RDMA-FDR", label);
+    table.Add("RDMA-FDR", label, seconds);
+    std::printf("    -> improvement over IPoIB: %.1f%%\n",
+                (t_ipoib - seconds) / t_ipoib * 100.0);
+  }
+  table.Print(&std::cout);
+  return 0;
+}

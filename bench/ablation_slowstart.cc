@@ -1,0 +1,44 @@
+// Ablation: reduce slow-start (mapreduce.job.reduce.slowstart.completedmaps).
+//
+// With slowstart=1.0 the shuffle cannot overlap the map phase at all; with
+// 0.05 (Hadoop's default) reducers launch after the first map and fetch
+// as outputs appear. The benefit is larger on slower networks (there is
+// more shuffle time to hide).
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace mrmb;
+  std::printf("=== Ablation: reduce slow-start fraction ===\n");
+
+  SweepTable table("Job time vs slowstart (MR-AVG 16GB, Cluster A)",
+                   "Slowstart");
+  for (const NetworkProfile& network : {OneGigE(), IpoibQdr()}) {
+    for (double slowstart : {0.05, 0.25, 0.5, 0.75, 1.0}) {
+      BenchmarkOptions options;
+      options.network = network;
+      options.shuffle_bytes = 16 * kGB;
+      options.num_maps = 16;
+      options.num_reduces = 8;
+      options.num_slaves = 4;
+      options.key_size = 512;
+      options.value_size = 512;
+      JobConf conf = options.ToJobConf();
+      conf.slowstart = slowstart;
+      SimCluster cluster(options.ToClusterSpec());
+      SimJobRunner runner(&cluster, conf, options.cost);
+      auto result = runner.Run();
+      if (!result.ok()) {
+        std::fprintf(stderr, "FATAL: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      const std::string label = std::to_string(slowstart);
+      std::printf("  %-22s %-6s %10.3f s\n", network.name.c_str(),
+                  label.c_str(), result->job_seconds);
+      table.Add(network.name, label, result->job_seconds);
+    }
+  }
+  table.Print(&std::cout);
+  return 0;
+}

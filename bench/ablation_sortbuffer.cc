@@ -1,0 +1,42 @@
+// Ablation: map-side sort buffer size (io.sort.mb).
+//
+// Small buffers force many spills plus a merge pass (extra disk traffic and
+// CPU); once the buffer holds a map task's whole output, the merge pass
+// disappears. This is one of the "internal parameters" the paper's suite is
+// designed to let users tune.
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace mrmb;
+  std::printf("=== Ablation: io.sort.mb sweep (MR-AVG 16GB, IPoIB QDR) ===\n");
+
+  SweepTable table("Job time vs io.sort.mb", "SortBufferMB");
+  for (int64_t sort_mb : {32, 64, 100, 256, 512, 1024}) {
+    BenchmarkOptions options;
+    options.network = IpoibQdr();
+    options.shuffle_bytes = 16 * kGB;
+    options.num_maps = 16;
+    options.num_reduces = 8;
+    options.num_slaves = 4;
+    options.key_size = 512;
+    options.value_size = 512;
+    JobConf conf = options.ToJobConf();
+    conf.io_sort_bytes = sort_mb * kMB;
+    SimCluster cluster(options.ToClusterSpec());
+    SimJobRunner runner(&cluster, conf, options.cost);
+    auto result = runner.Run();
+    if (!result.ok()) {
+      std::fprintf(stderr, "FATAL: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    const std::string label = std::to_string(sort_mb);
+    std::printf("  io.sort.mb=%-6lld %10.3f s   (%lld spills, %s disk)\n",
+                static_cast<long long>(sort_mb), result->job_seconds,
+                static_cast<long long>(result->map_side_spills),
+                FormatBytes(static_cast<int64_t>(result->disk_bytes)).c_str());
+    table.Add("IPoIB-QDR", label, result->job_seconds);
+  }
+  table.Print(&std::cout);
+  return 0;
+}

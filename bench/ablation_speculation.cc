@@ -1,0 +1,79 @@
+// Ablation: straggler injection and speculative execution.
+//
+// The paper motivates MR-SKEW with "alternative techniques that can
+// mitigate load imbalances" (Sect. 4.2). Speculative execution is Hadoop's
+// built-in mitigation for *executor*-side imbalance (slow nodes rather
+// than slow partitions). This bench injects stragglers at increasing
+// probability and shows how much of the lost time map-task speculation
+// recovers — and that it cannot help MR-SKEW, whose imbalance lives in the
+// data, not the executor.
+
+#include "bench/bench_util.h"
+
+namespace {
+
+double RunJob(const mrmb::BenchmarkOptions& options, double straggler_prob,
+              bool speculative, double* map_phase, int* attempts) {
+  using namespace mrmb;
+  JobConf conf = options.ToJobConf();
+  conf.straggler_prob = straggler_prob;
+  conf.straggler_slowdown = 5.0;
+  conf.speculative_execution = speculative;
+  SimCluster cluster(options.ToClusterSpec());
+  SimJobRunner runner(&cluster, conf, options.cost);
+  auto result = runner.Run();
+  if (!result.ok()) {
+    std::fprintf(stderr, "FATAL: %s\n", result.status().ToString().c_str());
+    std::exit(1);
+  }
+  *map_phase = result->map_phase_seconds;
+  *attempts = result->total_task_attempts;
+  return result->job_seconds;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mrmb;
+  std::printf("=== Ablation: stragglers vs speculative execution "
+              "(MR-AVG 16GB, IPoIB QDR) ===\n");
+
+  BenchmarkOptions options;
+  options.network = IpoibQdr();
+  options.shuffle_bytes = 16 * kGB;
+  options.num_maps = 32;
+  options.num_reduces = 8;
+  options.num_slaves = 4;
+
+  std::printf("%12s %14s %14s %14s %14s %10s\n", "straggler_p",
+              "job plain(s)", "job spec(s)", "map plain(s)", "map spec(s)",
+              "backups");
+  for (double prob : {0.0, 0.05, 0.1, 0.2, 0.3}) {
+    double map_plain = 0;
+    double map_spec = 0;
+    int attempts_plain = 0;
+    int attempts_spec = 0;
+    const double job_plain =
+        RunJob(options, prob, false, &map_plain, &attempts_plain);
+    const double job_spec =
+        RunJob(options, prob, true, &map_spec, &attempts_spec);
+    std::printf("%12.2f %14.2f %14.2f %14.2f %14.2f %10d\n", prob, job_plain,
+                job_spec, map_plain, map_spec,
+                attempts_spec - attempts_plain);
+  }
+
+  std::printf("\n--- speculation vs data skew (it cannot help MR-SKEW) ---\n");
+  for (DistributionPattern pattern :
+       {DistributionPattern::kAverage, DistributionPattern::kSkewed}) {
+    BenchmarkOptions o = options;
+    o.pattern = pattern;
+    double map_phase = 0;
+    int attempts = 0;
+    const double plain = RunJob(o, 0.0, false, &map_phase, &attempts);
+    const double spec = RunJob(o, 0.0, true, &map_phase, &attempts);
+    std::printf("  %-8s plain %8.2f s   speculative %8.2f s   (%+.1f%%)\n",
+                DistributionPatternName(pattern), plain, spec,
+                (plain - spec) / plain * 100.0);
+  }
+  return 0;
+}

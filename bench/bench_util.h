@@ -1,0 +1,45 @@
+// Shared helpers for the figure-reproduction bench binaries.
+
+#ifndef MRMB_BENCH_BENCH_UTIL_H_
+#define MRMB_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "mrmb/benchmark.h"
+#include "mrmb/report.h"
+
+namespace mrmb::bench {
+
+// Runs one configuration and returns the job execution time in seconds;
+// prints a one-line trace so long sweeps show progress.
+inline double Measure(const BenchmarkOptions& options,
+                      const std::string& series, const std::string& x) {
+  auto result = RunMicroBenchmark(options);
+  if (!result.ok()) {
+    std::cerr << "FATAL: " << series << " @ " << x << ": "
+              << result.status().ToString() << "\n";
+    std::exit(1);
+  }
+  std::printf("  %-22s %-10s %10.3f s\n", series.c_str(), x.c_str(),
+              result->job.job_seconds);
+  std::fflush(stdout);
+  return result->job.job_seconds;
+}
+
+// The shuffle sizes the Cluster A figures sweep.
+inline std::vector<int64_t> ClusterASizes() {
+  return {8 * kGB, 16 * kGB, 24 * kGB, 32 * kGB};
+}
+
+inline std::string GbLabel(int64_t bytes) {
+  return std::to_string(bytes / kGB) + "GB";
+}
+
+}  // namespace mrmb::bench
+
+#endif  // MRMB_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,68 @@
+// Reproduces Fig. 2: job execution time for the three intermediate data
+// distribution patterns (MR-AVG, MR-RAND, MR-SKEW) over 1 GigE, 10 GigE and
+// IPoIB QDR (32 Gbps) on Cluster A with MRv1.
+//
+// Paper setup (Sect. 5.2): BytesWritable, 1 KB key/value pair, 16 map /
+// 8 reduce tasks on 4 slave nodes, shuffle sizes swept by varying the
+// number of generated pairs.
+//
+// Expected shapes: 10 GigE ~17% and IPoIB up to ~24% faster than 1 GigE for
+// MR-AVG/MR-RAND; ~11-12% gains for MR-SKEW; skew roughly doubles job time.
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace mrmb;
+  std::printf("=== Fig. 2: distribution patterns on Cluster A (MRv1) ===\n");
+
+  const std::vector<NetworkProfile> networks = {OneGigE(), TenGigE(),
+                                                IpoibQdr()};
+  const std::vector<DistributionPattern> patterns = {
+      DistributionPattern::kAverage, DistributionPattern::kRandom,
+      DistributionPattern::kSkewed};
+
+  for (DistributionPattern pattern : patterns) {
+    SweepTable table(std::string("Fig. 2 ") +
+                         DistributionPatternName(pattern) +
+                         " — Cluster A, 16M/8R, 4 slaves, 1KB k/v",
+                     "ShuffleSize");
+    for (const NetworkProfile& network : networks) {
+      for (int64_t size : bench::ClusterASizes()) {
+        BenchmarkOptions options;
+        options.pattern = pattern;
+        options.network = network;
+        options.shuffle_bytes = size;
+        options.num_maps = 16;
+        options.num_reduces = 8;
+        options.num_slaves = 4;
+        options.key_size = 512;
+        options.value_size = 512;
+        const double seconds =
+            bench::Measure(options, network.name, bench::GbLabel(size));
+        table.Add(network.name, bench::GbLabel(size), seconds);
+      }
+    }
+    table.PrintWithImprovement(OneGigE().name, &std::cout);
+  }
+
+  // Skew-vs-average ratio, the paper's "seems to double the job execution
+  // time" observation.
+  std::printf("\n--- MR-SKEW / MR-AVG job-time ratio ---\n");
+  for (const NetworkProfile& network : networks) {
+    BenchmarkOptions options;
+    options.network = network;
+    options.shuffle_bytes = 16 * kGB;
+    options.num_maps = 16;
+    options.num_reduces = 8;
+    options.num_slaves = 4;
+    options.pattern = DistributionPattern::kAverage;
+    auto avg = RunMicroBenchmark(options);
+    options.pattern = DistributionPattern::kSkewed;
+    auto skew = RunMicroBenchmark(options);
+    if (avg.ok() && skew.ok()) {
+      std::printf("  %-22s %.2fx\n", network.name.c_str(),
+                  skew->job.job_seconds / avg->job.job_seconds);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Reproduces Fig. 3: the three distribution patterns under the Hadoop
+// NextGen (YARN) architecture.
+//
+// Paper setup (Sect. 5.2): 1 KB key/value pairs, 32 map / 16 reduce tasks
+// on 8 slave nodes of Cluster A, shuffle sizes swept by pair count.
+//
+// Expected shapes: ~10-11% gain for 10 GigE, ~17-18% for IPoIB QDR; the
+// skewed distribution now costs >3x the average one (16 reducers make the
+// even share smaller while the skewed reducer still holds ~50%).
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace mrmb;
+  std::printf("=== Fig. 3: distribution patterns under YARN (Cluster A) ===\n");
+
+  const std::vector<NetworkProfile> networks = {OneGigE(), TenGigE(),
+                                                IpoibQdr()};
+  const std::vector<DistributionPattern> patterns = {
+      DistributionPattern::kAverage, DistributionPattern::kRandom,
+      DistributionPattern::kSkewed};
+
+  for (DistributionPattern pattern : patterns) {
+    SweepTable table(std::string("Fig. 3 ") +
+                         DistributionPatternName(pattern) +
+                         " — YARN, 32M/16R, 8 slaves, 1KB k/v",
+                     "ShuffleSize");
+    for (const NetworkProfile& network : networks) {
+      for (int64_t size : bench::ClusterASizes()) {
+        BenchmarkOptions options;
+        options.pattern = pattern;
+        options.network = network;
+        options.scheduler = SchedulerKind::kYarn;
+        options.shuffle_bytes = size;
+        options.num_maps = 32;
+        options.num_reduces = 16;
+        options.num_slaves = 8;
+        options.key_size = 512;
+        options.value_size = 512;
+        const double seconds =
+            bench::Measure(options, network.name, bench::GbLabel(size));
+        table.Add(network.name, bench::GbLabel(size), seconds);
+      }
+    }
+    table.PrintWithImprovement(OneGigE().name, &std::cout);
+  }
+
+  std::printf("\n--- MR-SKEW / MR-AVG ratio under YARN (paper: >3x) ---\n");
+  for (const NetworkProfile& network : networks) {
+    BenchmarkOptions options;
+    options.network = network;
+    options.scheduler = SchedulerKind::kYarn;
+    options.shuffle_bytes = 16 * kGB;
+    options.num_maps = 32;
+    options.num_reduces = 16;
+    options.num_slaves = 8;
+    options.pattern = DistributionPattern::kAverage;
+    auto avg = RunMicroBenchmark(options);
+    options.pattern = DistributionPattern::kSkewed;
+    auto skew = RunMicroBenchmark(options);
+    if (avg.ok() && skew.ok()) {
+      std::printf("  %-22s %.2fx\n", network.name.c_str(),
+                  skew->job.job_seconds / avg->job.job_seconds);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Reproduces Fig. 4: impact of the key/value pair size on MR-AVG.
+//
+// Paper setup (Sect. 5.2): Cluster A, 16 map / 8 reduce on 4 slaves,
+// BytesWritable; pair sizes 100 B, 1 KB and 10 KB (the LNCS text loses
+// trailing zeros in OCR; Sect. 5.2 cites a 16 GB job dropping from ~128(0)
+// to ~17(0) s as the pair size grows, fixing the decade).
+//
+// Expected shapes: smaller pairs mean many more records and far higher job
+// times at equal shuffle bytes; network gains (~18-22%) appear at every
+// pair size.
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace mrmb;
+  std::printf("=== Fig. 4: key/value pair size sweep (MR-AVG, Cluster A) ===\n");
+
+  struct PairSize {
+    const char* label;
+    int64_t key;
+    int64_t value;
+  };
+  const std::vector<PairSize> pair_sizes = {
+      {"100B", 50, 50}, {"1KB", 512, 512}, {"10KB", 5 * 1024, 5 * 1024}};
+  const std::vector<NetworkProfile> networks = {OneGigE(), TenGigE(),
+                                                IpoibQdr()};
+
+  for (const PairSize& pair : pair_sizes) {
+    SweepTable table(std::string("Fig. 4 MR-AVG with k/v pair size ") +
+                         pair.label,
+                     "ShuffleSize");
+    for (const NetworkProfile& network : networks) {
+      for (int64_t size : {4 * kGB, 8 * kGB, 16 * kGB}) {
+        BenchmarkOptions options;
+        options.network = network;
+        options.shuffle_bytes = size;
+        options.num_maps = 16;
+        options.num_reduces = 8;
+        options.num_slaves = 4;
+        options.key_size = pair.key;
+        options.value_size = pair.value;
+        const double seconds = bench::Measure(
+            options, network.name,
+            std::string(pair.label) + "/" + bench::GbLabel(size));
+        table.Add(network.name, bench::GbLabel(size), seconds);
+      }
+    }
+    table.PrintWithImprovement(OneGigE().name, &std::cout);
+  }
+
+  std::printf(
+      "\n--- 16 GB job time vs pair size on IPoIB QDR "
+      "(paper: ~7.5x drop from 100B to 10KB) ---\n");
+  double first = 0;
+  for (const PairSize& pair : pair_sizes) {
+    BenchmarkOptions options;
+    options.network = IpoibQdr();
+    options.shuffle_bytes = 16 * kGB;
+    options.num_maps = 16;
+    options.num_reduces = 8;
+    options.num_slaves = 4;
+    options.key_size = pair.key;
+    options.value_size = pair.value;
+    auto result = RunMicroBenchmark(options);
+    if (result.ok()) {
+      if (first == 0) first = result->job.job_seconds;
+      std::printf("  %-6s %10.3f s   (%.1fx vs 100B)\n", pair.label,
+                  result->job.job_seconds,
+                  first / result->job.job_seconds);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Reproduces Fig. 5: impact of the number of map and reduce tasks.
+//
+// Paper setup (Sect. 5.2): MR-AVG, Cluster A (4 slaves), 1 KB k/v; compares
+// 4 maps / 2 reduces against 8 maps / 4 reduces over 10 GigE and IPoIB QDR,
+// shuffle sizes up to 32 GB.
+//
+// Expected shapes: IPoIB QDR outperforms 10 GigE by ~13% in both
+// configurations; doubling the task counts helps both networks, and IPoIB
+// benefits more from the added concurrency (paper: ~32% vs ~24% at 32 GB).
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace mrmb;
+  std::printf("=== Fig. 5: map/reduce task count sweep (MR-AVG) ===\n");
+
+  struct TaskConfig {
+    const char* label;
+    int maps;
+    int reduces;
+  };
+  const std::vector<TaskConfig> configs = {{"4M-2R", 4, 2}, {"8M-4R", 8, 4}};
+  const std::vector<NetworkProfile> networks = {TenGigE(), IpoibQdr()};
+
+  SweepTable table("Fig. 5 — varying maps/reduces, Cluster A, 4 slaves",
+                   "ShuffleSize");
+  for (const NetworkProfile& network : networks) {
+    for (const TaskConfig& config : configs) {
+      const std::string series = network.name + "-" + config.label;
+      for (int64_t size : bench::ClusterASizes()) {
+        BenchmarkOptions options;
+        options.network = network;
+        options.shuffle_bytes = size;
+        options.num_maps = config.maps;
+        options.num_reduces = config.reduces;
+        options.num_slaves = 4;
+        options.key_size = 512;
+        options.value_size = 512;
+        const double seconds =
+            bench::Measure(options, series, bench::GbLabel(size));
+        table.Add(series, bench::GbLabel(size), seconds);
+      }
+    }
+  }
+  table.Print(&std::cout);
+
+  std::printf(
+      "\n--- improvement from doubling tasks (4M-2R -> 8M-4R) at 32GB ---\n");
+  for (const NetworkProfile& network : networks) {
+    const double t4 = table.Get(network.name + "-4M-2R", "32GB");
+    const double t8 = table.Get(network.name + "-8M-4R", "32GB");
+    if (t4 > 0 && t8 > 0) {
+      std::printf("  %-22s %.1f%%\n", network.name.c_str(),
+                  (t4 - t8) / t4 * 100.0);
+    }
+  }
+  std::printf("\n--- IPoIB QDR vs 10GigE at 32GB ---\n");
+  for (const TaskConfig& config : configs) {
+    const double t10 = table.Get(TenGigE().name + "-" + config.label, "32GB");
+    const double tib =
+        table.Get(IpoibQdr().name + "-" + config.label, "32GB");
+    if (t10 > 0 && tib > 0) {
+      std::printf("  %-6s %.1f%%\n", config.label,
+                  (t10 - tib) / t10 * 100.0);
+    }
+  }
+  return 0;
+}

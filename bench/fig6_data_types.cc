@@ -1,0 +1,45 @@
+// Reproduces Fig. 6: impact of the intermediate data type (BytesWritable vs
+// Text) on MR-RAND.
+//
+// Paper setup (Sect. 5.2): Cluster A, 16 map / 8 reduce on 4 slaves, 1 KB
+// k/v pairs, shuffle sizes scaled up to 64 GB.
+//
+// Expected shapes: job time decreases ~20-28% moving from 1 GigE to IPoIB
+// QDR; both data types benefit similarly ("high-speed interconnects provide
+// similar improvement potential to both data types"); Text is somewhat
+// slower overall (charset handling CPU).
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace mrmb;
+  std::printf("=== Fig. 6: data types (MR-RAND, Cluster A) ===\n");
+
+  const std::vector<NetworkProfile> networks = {OneGigE(), TenGigE(),
+                                                IpoibQdr()};
+  const std::vector<int64_t> sizes = {16 * kGB, 32 * kGB, 48 * kGB, 64 * kGB};
+
+  for (DataType type : {DataType::kBytesWritable, DataType::kText}) {
+    SweepTable table(std::string("Fig. 6 MR-RAND with ") + DataTypeName(type),
+                     "ShuffleSize");
+    for (const NetworkProfile& network : networks) {
+      for (int64_t size : sizes) {
+        BenchmarkOptions options;
+        options.pattern = DistributionPattern::kRandom;
+        options.data_type = type;
+        options.network = network;
+        options.shuffle_bytes = size;
+        options.num_maps = 16;
+        options.num_reduces = 8;
+        options.num_slaves = 4;
+        options.key_size = 512;
+        options.value_size = 512;
+        const double seconds =
+            bench::Measure(options, network.name, bench::GbLabel(size));
+        table.Add(network.name, bench::GbLabel(size), seconds);
+      }
+    }
+    table.PrintWithImprovement(OneGigE().name, &std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Reproduces Fig. 7: CPU utilization and network throughput of one slave
+// node during an MR-AVG run.
+//
+// Paper setup (Sect. 5.2): Cluster A, MR-AVG, 16 GB shuffle, 1 KB k/v,
+// BytesWritable, 16 map / 8 reduce on 4 slaves; per-second sampling of one
+// slave node (dstat-style).
+//
+// Expected shapes: CPU utilization traces look similar across networks
+// (Fig. 7a); network receive peaks differ sharply — ~110 MB/s (1 GigE),
+// ~520 MB/s (10 GigE), ~950 MB/s (IPoIB QDR) (Fig. 7b).
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace mrmb;
+  std::printf("=== Fig. 7: resource utilization on one slave (MR-AVG, 16GB) "
+              "===\n");
+
+  for (const NetworkProfile& network : {OneGigE(), TenGigE(), IpoibQdr()}) {
+    BenchmarkOptions options;
+    options.network = network;
+    options.shuffle_bytes = 16 * kGB;
+    options.num_maps = 16;
+    options.num_reduces = 8;
+    options.num_slaves = 4;
+    options.key_size = 512;
+    options.value_size = 512;
+    options.collect_resource_stats = true;
+    options.monitor_interval = kSecond;
+    auto result = RunMicroBenchmark(options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "FATAL: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("\n--- %s: slave 0 time series (1 s sampling) ---\n",
+                network.name.c_str());
+    std::printf("%8s %10s %12s %12s %12s\n", "t(s)", "CPU(%)", "RX(MB/s)",
+                "TX(MB/s)", "disk(MB/s)");
+    const auto& samples = result->node0_samples;
+    // Print at most ~40 rows: stride the series.
+    const size_t stride = samples.size() > 40 ? samples.size() / 40 : 1;
+    for (size_t i = 0; i < samples.size(); i += stride) {
+      const ResourceSample& s = samples[i];
+      std::printf("%8.0f %10.1f %12.1f %12.1f %12.1f\n", ToSeconds(s.time),
+                  s.cpu_utilization_pct, s.rx_MBps, s.tx_MBps, s.disk_MBps);
+    }
+    std::printf("  summary: mean CPU %.1f%%, peak RX %.1f MB/s "
+                "(paper peak: %s)\n",
+                result->mean_cpu_pct, result->peak_rx_MBps,
+                network.name == OneGigE().name      ? "~110 MB/s"
+                : network.name == TenGigE().name    ? "~520 MB/s"
+                                                    : "~950 MB/s");
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Reproduces Fig. 8: the RDMA-enhanced MapReduce (MRoIB) case study.
+//
+// Paper setup (Sect. 6): Cluster B (TACC Stampede, FDR InfiniBand),
+// MR-AVG, BytesWritable, 1 KB k/v, 32 map / 16 reduce tasks; IPoIB
+// (56 Gbps) vs RDMA (56 Gbps) with 8 slaves (Fig. 8a) and 16 slaves
+// (Fig. 8b), shuffle sizes swept by pair count.
+//
+// Expected shapes: the RDMA engine (kernel bypass + pipelined shuffle/merge
+// overlap) improves job time by ~28-30% on 8 slaves and ~20%+ on 16 slaves.
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace mrmb;
+  std::printf("=== Fig. 8: IPoIB FDR vs RDMA FDR on Cluster B (MR-AVG) ===\n");
+
+  for (int slaves : {8, 16}) {
+    SweepTable table("Fig. 8 — " + std::to_string(slaves) +
+                         " slaves, 32M/16R, 1KB k/v",
+                     "ShuffleSize");
+    const std::vector<int64_t> sizes =
+        slaves == 8 ? std::vector<int64_t>{16 * kGB, 32 * kGB, 48 * kGB,
+                                           64 * kGB}
+                    : std::vector<int64_t>{32 * kGB, 64 * kGB, 96 * kGB,
+                                           128 * kGB};
+    for (const NetworkProfile& network : {IpoibFdr(), RdmaFdr()}) {
+      for (int64_t size : sizes) {
+        BenchmarkOptions options;
+        options.cluster = ClusterKind::kClusterB;
+        options.network = network;
+        options.shuffle_bytes = size;
+        options.num_maps = 32;
+        options.num_reduces = 16;
+        options.num_slaves = slaves;
+        options.key_size = 512;
+        options.value_size = 512;
+        const double seconds =
+            bench::Measure(options, network.name, bench::GbLabel(size));
+        table.Add(network.name, bench::GbLabel(size), seconds);
+      }
+    }
+    table.PrintWithImprovement(IpoibFdr().name, &std::cout);
+  }
+  return 0;
+}

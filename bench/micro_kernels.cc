@@ -1,0 +1,239 @@
+// google-benchmark micro-kernels for the engine's hot code paths:
+// serialization, raw comparison, sort-buffer collect+sort, k-way merge,
+// partitioners, and the max-min fair-share solver. These are the kernels
+// whose costs the CostModel abstracts; run with --benchmark_filter=... to
+// focus.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "io/byte_buffer.h"
+#include "io/kv_buffer.h"
+#include "io/merge.h"
+#include "io/record_gen.h"
+#include "mapred/partitioner.h"
+#include "sim/fairshare.h"
+
+namespace mrmb {
+namespace {
+
+void BM_SerializeBytesWritable(benchmark::State& state) {
+  const auto payload_size = static_cast<size_t>(state.range(0));
+  const std::string payload(payload_size, 'x');
+  BytesWritable value(payload);
+  std::string out;
+  for (auto _ : state) {
+    out.clear();
+    BufferWriter writer(&out);
+    value.Serialize(&writer);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(payload_size));
+}
+BENCHMARK(BM_SerializeBytesWritable)->Arg(100)->Arg(1024)->Arg(10240);
+
+void BM_DeserializeText(benchmark::State& state) {
+  const std::string payload(static_cast<size_t>(state.range(0)), 'y');
+  std::string wire;
+  BufferWriter writer(&wire);
+  Text(payload).Serialize(&writer);
+  for (auto _ : state) {
+    BufferReader reader(wire);
+    Text out;
+    benchmark::DoNotOptimize(out.Deserialize(&reader).ok());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_DeserializeText)->Arg(100)->Arg(1024)->Arg(10240);
+
+void BM_VarintEncodeDecode(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<int64_t> values(1024);
+  for (auto& v : values) v = static_cast<int64_t>(rng.Next64() >> 16);
+  std::string wire;
+  for (auto _ : state) {
+    wire.clear();
+    BufferWriter writer(&wire);
+    for (int64_t v : values) writer.AppendVarint64(v);
+    BufferReader reader(wire);
+    int64_t out = 0;
+    for (size_t i = 0; i < values.size(); ++i) {
+      benchmark::DoNotOptimize(reader.ReadVarint64(&out).ok());
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_VarintEncodeDecode);
+
+void BM_RawCompareBytes(benchmark::State& state) {
+  const auto key_size = static_cast<size_t>(state.range(0));
+  Rng rng(2);
+  std::vector<std::string> wires;
+  for (int i = 0; i < 64; ++i) {
+    std::string payload(key_size, '\0');
+    rng.Fill(payload.data(), payload.size());
+    BufferWriter writer;
+    BytesWritable(payload).Serialize(&writer);
+    wires.push_back(writer.data());
+  }
+  const RawComparator* cmp = ComparatorFor(DataType::kBytesWritable);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& a = wires[i % wires.size()];
+    const auto& b = wires[(i + 1) % wires.size()];
+    benchmark::DoNotOptimize(cmp->Compare(a, b));
+    ++i;
+  }
+}
+BENCHMARK(BM_RawCompareBytes)->Arg(16)->Arg(512)->Arg(5120);
+
+void BM_KvBufferCollectAndSort(benchmark::State& state) {
+  const auto records = static_cast<int64_t>(state.range(0));
+  RecordGenerator::Options gen_options;
+  gen_options.key_size = 64;
+  gen_options.value_size = 128;
+  gen_options.num_unique_keys = 8;
+  RecordGenerator generator(gen_options);
+  std::vector<std::string> keys;
+  std::string value;
+  generator.SerializedValue(0, &value);
+  for (int64_t id = 0; id < 8; ++id) {
+    std::string key;
+    generator.SerializedKey(id, &key);
+    keys.push_back(std::move(key));
+  }
+  for (auto _ : state) {
+    KvBuffer buffer(DataType::kBytesWritable, 8,
+                    static_cast<size_t>(records + 1) * 256);
+    for (int64_t i = 0; i < records; ++i) {
+      buffer.Append(static_cast<int>(i % 8),
+                    keys[static_cast<size_t>(i % 8)], value);
+    }
+    buffer.Sort();
+    benchmark::DoNotOptimize(buffer.records());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * records);
+}
+BENCHMARK(BM_KvBufferCollectAndSort)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_KwayMerge(benchmark::State& state) {
+  const int num_segments = static_cast<int>(state.range(0));
+  constexpr int kRecordsPerSegment = 2000;
+  RecordGenerator::Options gen_options;
+  gen_options.key_size = 32;
+  gen_options.value_size = 64;
+  gen_options.num_unique_keys = 1000;
+  RecordGenerator generator(gen_options);
+
+  std::vector<std::string> segments;
+  for (int s = 0; s < num_segments; ++s) {
+    KvBuffer buffer(DataType::kBytesWritable, 1, 64u << 20);
+    std::string key;
+    std::string value;
+    for (int i = 0; i < kRecordsPerSegment; ++i) {
+      generator.SerializedKey(generator.KeyIdFor(i * (s + 3)), &key);
+      generator.SerializedValue(i, &value);
+      buffer.Append(0, key, value);
+    }
+    buffer.Sort();
+    segments.push_back(buffer.ToSpill().data);
+  }
+  for (auto _ : state) {
+    std::vector<std::unique_ptr<RecordStream>> inputs;
+    for (const std::string& segment : segments) {
+      inputs.push_back(std::make_unique<SegmentReader>(segment));
+    }
+    MergeIterator merged(std::move(inputs),
+                         ComparatorFor(DataType::kBytesWritable));
+    int64_t count = 0;
+    while (merged.Valid()) {
+      ++count;
+      merged.Next();
+    }
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          num_segments * kRecordsPerSegment);
+}
+BENCHMARK(BM_KwayMerge)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_Partitioner(benchmark::State& state) {
+  const auto pattern = static_cast<DistributionPattern>(state.range(0));
+  constexpr int64_t kRecords = 100000;
+  for (auto _ : state) {
+    auto partitioner = MakePartitioner(pattern, 7, kRecords);
+    int64_t acc = 0;
+    for (int64_t i = 0; i < kRecords; ++i) {
+      acc += partitioner->Partition("key", i, 16);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          kRecords);
+}
+BENCHMARK(BM_Partitioner)
+    ->Arg(static_cast<int>(DistributionPattern::kAverage))
+    ->Arg(static_cast<int>(DistributionPattern::kRandom))
+    ->Arg(static_cast<int>(DistributionPattern::kSkewed));
+
+void BM_PlanPartitionCounts(benchmark::State& state) {
+  const auto records = static_cast<int64_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PlanPartitionCounts(
+        DistributionPattern::kRandom, 11, records, 16));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          records);
+}
+BENCHMARK(BM_PlanPartitionCounts)->Arg(100000)->Arg(1000000);
+
+void BM_MaxMinFairSolver(benchmark::State& state) {
+  // Shuffle-shaped problem: n nodes, all-to-all flows.
+  const int nodes = static_cast<int>(state.range(0));
+  MaxMinProblem problem;
+  problem.link_capacity.assign(static_cast<size_t>(2 * nodes), 1e9);
+  for (int s = 0; s < nodes; ++s) {
+    for (int d = 0; d < nodes; ++d) {
+      if (s == d) continue;
+      problem.flow_links.push_back(
+          {s, static_cast<int32_t>(nodes + d)});
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveMaxMinFair(problem));
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(problem.flow_links.size()));
+}
+BENCHMARK(BM_MaxMinFairSolver)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_RecordGeneration(benchmark::State& state) {
+  RecordGenerator::Options options;
+  options.key_size = static_cast<size_t>(state.range(0));
+  options.value_size = static_cast<size_t>(state.range(0));
+  options.num_unique_keys = 8;
+  RecordGenerator generator(options);
+  std::string key;
+  std::string value;
+  int64_t i = 0;
+  for (auto _ : state) {
+    generator.SerializedKey(generator.KeyIdFor(i), &key);
+    generator.SerializedValue(i, &value);
+    benchmark::DoNotOptimize(key.data());
+    benchmark::DoNotOptimize(value.data());
+    ++i;
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 2 *
+                          state.range(0));
+}
+BENCHMARK(BM_RecordGeneration)->Arg(64)->Arg(512)->Arg(4096);
+
+}  // namespace
+}  // namespace mrmb
+
+BENCHMARK_MAIN();

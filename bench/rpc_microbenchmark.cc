@@ -1,0 +1,60 @@
+// Companion micro-benchmark: Hadoop RPC over high-performance networks.
+//
+// Reproduces the shape of the group's sibling suite (paper ref [16],
+// "A Micro-benchmark Suite for Evaluating Hadoop RPC on High-Performance
+// Networks"): RPC round-trip latency vs payload size, and aggregate
+// throughput vs concurrent clients, over every interconnect. RPC sits
+// under all of MapReduce's control traffic, so these numbers bound how
+// fast heartbeats, task assignment and job submission can go.
+
+#include "bench/bench_util.h"
+#include "rpc/rpc.h"
+
+int main() {
+  using namespace mrmb;
+  std::printf("=== Hadoop RPC micro-benchmarks (companion suite) ===\n");
+
+  std::printf("\n--- round-trip latency (us) vs payload size ---\n");
+  std::printf("%-12s", "Payload");
+  for (const NetworkProfile& network : AllNetworkProfiles()) {
+    std::printf(" %20s", network.name.c_str());
+  }
+  std::printf("\n");
+  for (int64_t payload : {64, 1024, 16 * 1024, 256 * 1024, 1024 * 1024}) {
+    std::printf("%-12s", FormatBytes(payload).c_str());
+    for (const NetworkProfile& network : AllNetworkProfiles()) {
+      const auto result =
+          RpcLatencyBenchmark(ClusterA(network, 4), payload, 100);
+      std::printf(" %20.1f", result.mean_rtt_us);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n--- throughput (calls/s, 1 KB payload) vs clients ---\n");
+  std::printf("%-12s", "Clients");
+  for (const NetworkProfile& network : AllNetworkProfiles()) {
+    std::printf(" %20s", network.name.c_str());
+  }
+  std::printf("\n");
+  for (int clients : {1, 4, 16, 64}) {
+    std::printf("%-12d", clients);
+    for (const NetworkProfile& network : AllNetworkProfiles()) {
+      const auto result =
+          RpcThroughputBenchmark(ClusterA(network, 8), clients, 200, 1024);
+      std::printf(" %20.0f", result.calls_per_second);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n--- handler pool sweep (64 clients, 1 KB) ---\n");
+  for (int handlers : {1, 4, 10, 32}) {
+    RpcConfig config;
+    config.handler_threads = handlers;
+    const auto result = RpcThroughputBenchmark(ClusterA(IpoibQdr(), 8), 64,
+                                               200, 1024, config);
+    std::printf("  handlers=%-3d %10.0f calls/s   (max queue %lld)\n",
+                handlers, result.calls_per_second,
+                static_cast<long long>(result.max_queue_depth));
+  }
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Quickstart: run one stand-alone MapReduce micro-benchmark and print the
+// paper-style report.
+//
+//   ./quickstart [--pattern=avg|rand|skew] [--network=1gige|10gige|ipoib-qdr|
+//                 ipoib-fdr|rdma-fdr] [--shuffle=8GB] [--maps=16]
+//                 [--reduces=8] [--slaves=4] [--kv=1KB] [--type=bytes|text]
+//                 [--scheduler=mrv1|yarn] [--monitor]
+
+#include <cstdio>
+#include <iostream>
+
+#include "mrmb/benchmark.h"
+#include "mrmb/flags.h"
+#include "mrmb/report.h"
+
+namespace {
+
+constexpr char kUsage[] = R"(quickstart: run one mrmb micro-benchmark.
+
+  --pattern=avg|rand|skew   intermediate data distribution (default avg)
+  --network=NAME            1gige, 10gige, ipoib-qdr, ipoib-fdr, rdma-fdr
+  --shuffle=SIZE            target shuffle data size (default 8GB)
+  --maps=N --reduces=N      task counts (default 16 / 8)
+  --slaves=N                worker nodes (default 4)
+  --kv=SIZE                 key/value pair size; split evenly (default 1KB)
+  --type=bytes|text         intermediate data type (default bytes)
+  --scheduler=mrv1|yarn     framework generation (default mrv1)
+  --cluster=a|b             testbed shape (default a)
+  --monitor                 collect CPU / network utilization samples
+  --compress                DEFLATE the intermediate data
+  --zipf-exp=S              skew exponent for --pattern=zipf (default 1.0)
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags_or = mrmb::Flags::Parse(argc, argv);
+  if (!flags_or.ok()) {
+    std::cerr << flags_or.status().ToString() << "\n" << kUsage;
+    return 2;
+  }
+  const mrmb::Flags& flags = *flags_or;
+  if (flags.help_requested()) {
+    std::cout << kUsage;
+    return 0;
+  }
+
+  mrmb::BenchmarkOptions options;
+  auto fail = [](const mrmb::Status& status) {
+    std::cerr << status.ToString() << "\n" << kUsage;
+    return 2;
+  };
+
+  {
+    auto v = flags.GetString("pattern", "avg");
+    if (!v.ok()) return fail(v.status());
+    auto pattern = mrmb::DistributionPatternByName(*v);
+    if (!pattern.ok()) return fail(pattern.status());
+    options.pattern = *pattern;
+  }
+  {
+    auto v = flags.GetString("network", "ipoib-qdr");
+    if (!v.ok()) return fail(v.status());
+    auto network = mrmb::NetworkProfileByName(*v);
+    if (!network.ok()) return fail(network.status());
+    options.network = *network;
+  }
+  {
+    auto v = flags.GetString("type", "bytes");
+    if (!v.ok()) return fail(v.status());
+    auto type = mrmb::DataTypeByName(*v);
+    if (!type.ok()) return fail(type.status());
+    options.data_type = *type;
+  }
+  {
+    auto v = flags.GetString("cluster", "a");
+    if (!v.ok()) return fail(v.status());
+    auto cluster = mrmb::ClusterKindByName(*v);
+    if (!cluster.ok()) return fail(cluster.status());
+    options.cluster = *cluster;
+  }
+  {
+    auto v = flags.GetString("scheduler", "mrv1");
+    if (!v.ok()) return fail(v.status());
+    options.scheduler = (*v == "yarn") ? mrmb::SchedulerKind::kYarn
+                                       : mrmb::SchedulerKind::kMrv1;
+  }
+  auto shuffle = flags.GetBytes("shuffle", 8 * mrmb::kGB);
+  if (!shuffle.ok()) return fail(shuffle.status());
+  options.shuffle_bytes = *shuffle;
+  auto kv = flags.GetBytes("kv", 1 * mrmb::kKB);
+  if (!kv.ok()) return fail(kv.status());
+  options.key_size = *kv / 2;
+  options.value_size = *kv - options.key_size;
+  auto maps = flags.GetInt("maps", 16);
+  if (!maps.ok()) return fail(maps.status());
+  options.num_maps = static_cast<int>(*maps);
+  auto reduces = flags.GetInt("reduces", 8);
+  if (!reduces.ok()) return fail(reduces.status());
+  options.num_reduces = static_cast<int>(*reduces);
+  auto slaves = flags.GetInt("slaves", 4);
+  if (!slaves.ok()) return fail(slaves.status());
+  options.num_slaves = static_cast<int>(*slaves);
+  auto monitor = flags.GetBool("monitor", false);
+  if (!monitor.ok()) return fail(monitor.status());
+  options.collect_resource_stats = *monitor;
+  auto compress = flags.GetBool("compress", false);
+  if (!compress.ok()) return fail(compress.status());
+  options.compress_map_output = *compress;
+  auto zipf = flags.GetDouble("zipf-exp", 1.0);
+  if (!zipf.ok()) return fail(zipf.status());
+  options.zipf_exponent = *zipf;
+
+  auto result = mrmb::RunMicroBenchmark(options);
+  if (!result.ok()) {
+    std::cerr << "benchmark failed: " << result.status().ToString() << "\n";
+    return 1;
+  }
+  mrmb::PrintBenchmarkReport(*result, &std::cout);
+  return 0;
+}

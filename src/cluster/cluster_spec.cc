@@ -1,0 +1,34 @@
+#include "cluster/cluster_spec.h"
+
+namespace mrmb {
+
+ClusterSpec ClusterA(const NetworkProfile& network, int num_slaves) {
+  ClusterSpec spec;
+  spec.name = "ClusterA(Westmere)";
+  spec.num_slaves = num_slaves;
+  spec.node.cores = 8;  // Dual quad-core Xeon @ 2.67 GHz.
+  spec.node.core_speed = 1.0;
+  // Two 1 TB HDDs; ~90 MB/s of effective sequential bandwidth each under
+  // mixed spill/merge traffic.
+  spec.node.disk_bandwidth_Bps = 180.0 * 1024 * 1024;
+  spec.node.disk_seek = 4 * kMillisecond;
+  spec.node.memory_bytes = 24LL * 1024 * 1024 * 1024;
+  spec.network = network;
+  return spec;
+}
+
+ClusterSpec ClusterB(const NetworkProfile& network, int num_slaves) {
+  ClusterSpec spec;
+  spec.name = "ClusterB(Stampede)";
+  spec.num_slaves = num_slaves;
+  spec.node.cores = 16;  // Dual octa-core Sandy Bridge @ 2.7 GHz.
+  spec.node.core_speed = 1.15;
+  // Single 80 GB HDD.
+  spec.node.disk_bandwidth_Bps = 90.0 * 1024 * 1024;
+  spec.node.disk_seek = 4 * kMillisecond;
+  spec.node.memory_bytes = 32LL * 1024 * 1024 * 1024;
+  spec.network = network;
+  return spec;
+}
+
+}  // namespace mrmb

@@ -1,0 +1,53 @@
+// Cluster hardware descriptions.
+//
+// The paper evaluates on two testbeds (Sect. 5.1):
+//   Cluster A — 9-node Intel Westmere: 2x quad-core Xeon 2.67 GHz, 24 GB,
+//               2x 1TB HDD, 1 GigE + 10 GigE + Mellanox QDR IB.
+//   Cluster B — TACC Stampede: 2x octa-core Sandy Bridge 2.7 GHz, 32 GB,
+//               1x 80 GB HDD, Mellanox FDR IB.
+// ClusterA()/ClusterB() reproduce those node shapes; the interconnect is
+// chosen per experiment via NetworkProfile.
+
+#ifndef MRMB_CLUSTER_CLUSTER_SPEC_H_
+#define MRMB_CLUSTER_CLUSTER_SPEC_H_
+
+#include <string>
+
+#include "net/network_profile.h"
+
+namespace mrmb {
+
+struct NodeSpec {
+  // Physical cores available to tasks.
+  int cores = 8;
+  // Relative per-core speed; 1.0 is the cost model's reference core
+  // (Cluster A's 2.67 GHz Westmere).
+  double core_speed = 1.0;
+  // Aggregate local-disk bandwidth in bytes/second (all spindles).
+  double disk_bandwidth_Bps = 120.0 * 1024 * 1024;
+  // Fixed per-I/O positioning cost.
+  SimTime disk_seek = 4 * kMillisecond;
+  // Node memory; bounds map-side sort buffers in the cost model.
+  int64_t memory_bytes = 24LL * 1024 * 1024 * 1024;
+};
+
+struct ClusterSpec {
+  std::string name;
+  // Worker ("slave") nodes that run map/reduce tasks. The master is modeled
+  // implicitly (scheduling heartbeats only).
+  int num_slaves = 4;
+  NodeSpec node;
+  NetworkProfile network;
+  // Switch backplane scaling; 1.0 = non-blocking.
+  double oversubscription = 1.0;
+};
+
+// The paper's Intel Westmere cluster with the given interconnect.
+ClusterSpec ClusterA(const NetworkProfile& network, int num_slaves = 4);
+
+// TACC Stampede (Sandy Bridge) with the given interconnect.
+ClusterSpec ClusterB(const NetworkProfile& network, int num_slaves = 8);
+
+}  // namespace mrmb
+
+#endif  // MRMB_CLUSTER_CLUSTER_SPEC_H_

@@ -1,0 +1,94 @@
+#include "cluster/resource_monitor.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace mrmb {
+
+ResourceMonitor::ResourceMonitor(SimCluster* cluster, SimTime interval)
+    : cluster_(cluster), interval_(interval) {
+  MRMB_CHECK(cluster_ != nullptr);
+  MRMB_CHECK_GT(interval_, 0);
+  const size_t n = static_cast<size_t>(cluster_->num_nodes());
+  samples_.resize(n);
+  prev_cpu_.assign(n, 0);
+  prev_rx_.assign(n, 0);
+  prev_tx_.assign(n, 0);
+  prev_disk_.assign(n, 0);
+}
+
+ResourceMonitor::~ResourceMonitor() { Stop(); }
+
+void ResourceMonitor::Start() {
+  if (running_) return;
+  running_ = true;
+  for (int node = 0; node < cluster_->num_nodes(); ++node) {
+    const auto i = static_cast<size_t>(node);
+    prev_cpu_[i] = cluster_->CpuBusySeconds(node);
+    prev_rx_[i] = cluster_->RxBytes(node);
+    prev_tx_[i] = cluster_->TxBytes(node);
+    prev_disk_[i] = cluster_->DiskBytes(node);
+  }
+  pending_ = cluster_->sim()->After(interval_, [this] { Tick(); });
+}
+
+void ResourceMonitor::Stop() {
+  if (!running_) return;
+  running_ = false;
+  if (pending_ != 0) {
+    cluster_->sim()->Cancel(pending_);
+    pending_ = 0;
+  }
+}
+
+void ResourceMonitor::Tick() {
+  const SimTime now = cluster_->sim()->Now();
+  const double dt = ToSeconds(interval_);
+  const double cores = cluster_->spec().node.cores;
+  constexpr double kMegabyte = 1024.0 * 1024.0;
+  for (int node = 0; node < cluster_->num_nodes(); ++node) {
+    const auto i = static_cast<size_t>(node);
+    const double cpu = cluster_->CpuBusySeconds(node);
+    const double rx = cluster_->RxBytes(node);
+    const double tx = cluster_->TxBytes(node);
+    const double disk = cluster_->DiskBytes(node);
+    ResourceSample sample;
+    sample.time = now;
+    sample.cpu_utilization_pct =
+        std::clamp((cpu - prev_cpu_[i]) / (dt * cores) * 100.0, 0.0, 100.0);
+    sample.rx_MBps = (rx - prev_rx_[i]) / dt / kMegabyte;
+    sample.tx_MBps = (tx - prev_tx_[i]) / dt / kMegabyte;
+    sample.disk_MBps = (disk - prev_disk_[i]) / dt / kMegabyte;
+    samples_[i].push_back(sample);
+    prev_cpu_[i] = cpu;
+    prev_rx_[i] = rx;
+    prev_tx_[i] = tx;
+    prev_disk_[i] = disk;
+  }
+  pending_ = cluster_->sim()->After(interval_, [this] { Tick(); });
+}
+
+const std::vector<ResourceSample>& ResourceMonitor::samples(int node) const {
+  MRMB_CHECK_GE(node, 0);
+  MRMB_CHECK_LT(node, cluster_->num_nodes());
+  return samples_[static_cast<size_t>(node)];
+}
+
+double ResourceMonitor::PeakRxMBps(int node) const {
+  double peak = 0;
+  for (const ResourceSample& s : samples(node)) {
+    peak = std::max(peak, s.rx_MBps);
+  }
+  return peak;
+}
+
+double ResourceMonitor::MeanCpuPct(int node) const {
+  const auto& series = samples(node);
+  if (series.empty()) return 0;
+  double sum = 0;
+  for (const ResourceSample& s : series) sum += s.cpu_utilization_pct;
+  return sum / static_cast<double>(series.size());
+}
+
+}  // namespace mrmb

@@ -1,0 +1,69 @@
+// ResourceMonitor: dstat-style sampling of simulated node resources.
+//
+// Reproduces the paper's Fig. 7 observables: per-node CPU utilization (%)
+// and network receive throughput (MB/s), sampled at a fixed simulated-time
+// cadence. Start() begins sampling; Stop() must be called (typically from
+// the job-completion callback) or the pending sampling event would keep the
+// simulation alive forever.
+
+#ifndef MRMB_CLUSTER_RESOURCE_MONITOR_H_
+#define MRMB_CLUSTER_RESOURCE_MONITOR_H_
+
+#include <vector>
+
+#include "cluster/sim_cluster.h"
+
+namespace mrmb {
+
+struct ResourceSample {
+  SimTime time = 0;
+  // Percent of the node's cores busy over the last interval, 0..100.
+  double cpu_utilization_pct = 0;
+  // Network receive / transmit throughput over the last interval, MB/s.
+  double rx_MBps = 0;
+  double tx_MBps = 0;
+  // Disk throughput over the last interval, MB/s.
+  double disk_MBps = 0;
+};
+
+class ResourceMonitor {
+ public:
+  ResourceMonitor(SimCluster* cluster, SimTime interval);
+  ~ResourceMonitor();
+
+  ResourceMonitor(const ResourceMonitor&) = delete;
+  ResourceMonitor& operator=(const ResourceMonitor&) = delete;
+
+  // Begins sampling at `interval` cadence from the current sim time.
+  void Start();
+  // Stops sampling and cancels the pending event. Idempotent.
+  void Stop();
+
+  // Samples for one node, in time order.
+  const std::vector<ResourceSample>& samples(int node) const;
+
+  // Peak receive throughput seen on `node`, MB/s.
+  double PeakRxMBps(int node) const;
+  // Mean CPU utilization over all samples of `node`.
+  double MeanCpuPct(int node) const;
+
+  SimTime interval() const { return interval_; }
+
+ private:
+  void Tick();
+
+  SimCluster* cluster_;
+  SimTime interval_;
+  EventId pending_ = 0;
+  bool running_ = false;
+  std::vector<std::vector<ResourceSample>> samples_;
+  // Previous cumulative counters, per node.
+  std::vector<double> prev_cpu_;
+  std::vector<double> prev_rx_;
+  std::vector<double> prev_tx_;
+  std::vector<double> prev_disk_;
+};
+
+}  // namespace mrmb
+
+#endif  // MRMB_CLUSTER_RESOURCE_MONITOR_H_

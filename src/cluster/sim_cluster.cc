@@ -1,0 +1,81 @@
+#include "cluster/sim_cluster.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "sim/fairshare.h"
+
+namespace mrmb {
+
+SimCluster::SimCluster(ClusterSpec spec) : spec_(std::move(spec)) {
+  MRMB_CHECK_GT(spec_.num_slaves, 0);
+  MRMB_CHECK_GT(spec_.node.cores, 0);
+  MRMB_CHECK_GT(spec_.node.core_speed, 0.0);
+  MRMB_CHECK_GT(spec_.node.disk_bandwidth_Bps, 0.0);
+  fabric_ = std::make_unique<Fabric>(&sim_, spec_.num_slaves, spec_.network,
+                                     spec_.oversubscription);
+  cpu_pool_ = std::make_unique<FluidPool>(
+      &sim_, [this](std::vector<FluidFlow*>* flows) { SolveCpu(flows); });
+  disk_pool_ = std::make_unique<FluidPool>(
+      &sim_, [this](std::vector<FluidFlow*>* flows) { SolveDisk(flows); });
+}
+
+void SimCluster::RunCpu(int node, double cpu_seconds, DoneFn done) {
+  MRMB_CHECK_GE(node, 0);
+  MRMB_CHECK_LT(node, spec_.num_slaves);
+  MRMB_CHECK(done != nullptr);
+  cpu_pool_->Start(cpu_seconds, node, node, std::move(done));
+}
+
+void SimCluster::DiskIo(int node, int64_t bytes, DoneFn done) {
+  MRMB_CHECK_GE(node, 0);
+  MRMB_CHECK_LT(node, spec_.num_slaves);
+  MRMB_CHECK(done != nullptr);
+  const SimTime seek = spec_.node.disk_seek;
+  // Seek first, then stream through the shared-bandwidth pool.
+  sim_.After(seek, [this, node, bytes, done = std::move(done)]() mutable {
+    disk_pool_->Start(static_cast<double>(bytes), node, node,
+                      std::move(done));
+  });
+}
+
+double SimCluster::CpuBusySeconds(int node) {
+  // Work units are reference-core seconds; busy wall-clock core time is
+  // work / core_speed.
+  return cpu_pool_->DeliveredTo(node) / spec_.node.core_speed;
+}
+
+double SimCluster::DiskBytes(int node) {
+  return disk_pool_->DeliveredTo(node);
+}
+
+void SimCluster::SolveCpu(std::vector<FluidFlow*>* flows) {
+  // One link per node with capacity = cores * core_speed (in reference-core
+  // units per second); each work item is capped at one core.
+  MaxMinProblem problem;
+  problem.link_capacity.assign(
+      static_cast<size_t>(spec_.num_slaves),
+      static_cast<double>(spec_.node.cores) * spec_.node.core_speed);
+  problem.flow_links.reserve(flows->size());
+  problem.rate_limit.reserve(flows->size());
+  for (FluidFlow* flow : *flows) {
+    problem.flow_links.push_back({static_cast<int32_t>(flow->tag_src)});
+    problem.rate_limit.push_back(spec_.node.core_speed);
+  }
+  const std::vector<double> rates = SolveMaxMinFair(problem);
+  for (size_t i = 0; i < flows->size(); ++i) (*flows)[i]->rate = rates[i];
+}
+
+void SimCluster::SolveDisk(std::vector<FluidFlow*>* flows) {
+  MaxMinProblem problem;
+  problem.link_capacity.assign(static_cast<size_t>(spec_.num_slaves),
+                               spec_.node.disk_bandwidth_Bps);
+  problem.flow_links.reserve(flows->size());
+  for (FluidFlow* flow : *flows) {
+    problem.flow_links.push_back({static_cast<int32_t>(flow->tag_src)});
+  }
+  const std::vector<double> rates = SolveMaxMinFair(problem);
+  for (size_t i = 0; i < flows->size(); ++i) (*flows)[i]->rate = rates[i];
+}
+
+}  // namespace mrmb

@@ -1,0 +1,54 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mrmb {
+
+namespace {
+LogSeverity g_threshold = LogSeverity::kWarning;
+
+const char* SeverityTag(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kDebug:
+      return "D";
+    case LogSeverity::kInfo:
+      return "I";
+    case LogSeverity::kWarning:
+      return "W";
+    case LogSeverity::kError:
+      return "E";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogThreshold(LogSeverity severity) { g_threshold = severity; }
+LogSeverity GetLogThreshold() { return g_threshold; }
+
+namespace internal {
+
+LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
+    : severity_(severity) {
+  stream_ << "[" << SeverityTag(severity) << " " << file << ":" << line
+          << "] ";
+}
+
+LogMessage::~LogMessage() {
+  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  (void)severity_;
+}
+
+LogMessageFatal::LogMessageFatal(const char* file, int line,
+                                 const char* condition) {
+  stream_ << "[FATAL " << file << ":" << line << "] Check failed: "
+          << condition << " ";
+}
+
+LogMessageFatal::~LogMessageFatal() {
+  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace mrmb

@@ -1,0 +1,103 @@
+// Minimal logging and checked-invariant macros.
+//
+// MRMB_LOG(INFO) << "..." streams to stderr with a severity prefix. The
+// global threshold defaults to WARNING so that library users are not spammed;
+// benches and examples raise it when useful.
+//
+// MRMB_CHECK(cond) aborts with a message when `cond` is false. Use it for
+// programmer errors / broken invariants, never for input validation (return
+// a Status for that).
+
+#ifndef MRMB_COMMON_LOGGING_H_
+#define MRMB_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace mrmb {
+
+enum class LogSeverity { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Process-wide minimum severity that is actually emitted.
+void SetLogThreshold(LogSeverity severity);
+LogSeverity GetLogThreshold();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+class LogMessageFatal {
+ public:
+  LogMessageFatal(const char* file, int line, const char* condition);
+  [[noreturn]] ~LogMessageFatal();
+
+  LogMessageFatal(const LogMessageFatal&) = delete;
+  LogMessageFatal& operator=(const LogMessageFatal&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Swallows a stream expression when a log statement is disabled.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+#define MRMB_LOG(severity)                                            \
+  (::mrmb::LogSeverity::k##severity < ::mrmb::GetLogThreshold())      \
+      ? (void)0                                                       \
+      : ::mrmb::internal::LogVoidify() &                              \
+            ::mrmb::internal::LogMessage(::mrmb::LogSeverity::k##severity, \
+                                         __FILE__, __LINE__)          \
+                .stream()
+
+namespace internal {
+// Lets MRMB_LOG appear in expression position with a ternary.
+struct LogVoidify {
+  void operator&(std::ostream&) {}
+};
+}  // namespace internal
+
+#define MRMB_CHECK(condition)                                       \
+  (condition) ? (void)0                                             \
+              : ::mrmb::internal::LogVoidify() &                    \
+                    ::mrmb::internal::LogMessageFatal(              \
+                        __FILE__, __LINE__, #condition)             \
+                        .stream()
+
+#define MRMB_CHECK_OK(expr)                                             \
+  do {                                                                  \
+    const ::mrmb::Status _mrmb_check_status = (expr);                   \
+    MRMB_CHECK(_mrmb_check_status.ok()) << _mrmb_check_status.ToString(); \
+  } while (false)
+
+#define MRMB_CHECK_EQ(a, b) MRMB_CHECK((a) == (b)) << " (" #a " vs " #b ") "
+#define MRMB_CHECK_NE(a, b) MRMB_CHECK((a) != (b)) << " (" #a " vs " #b ") "
+#define MRMB_CHECK_LE(a, b) MRMB_CHECK((a) <= (b)) << " (" #a " vs " #b ") "
+#define MRMB_CHECK_LT(a, b) MRMB_CHECK((a) < (b)) << " (" #a " vs " #b ") "
+#define MRMB_CHECK_GE(a, b) MRMB_CHECK((a) >= (b)) << " (" #a " vs " #b ") "
+#define MRMB_CHECK_GT(a, b) MRMB_CHECK((a) > (b)) << " (" #a " vs " #b ") "
+
+}  // namespace mrmb
+
+#endif  // MRMB_COMMON_LOGGING_H_

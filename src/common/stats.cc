@@ -1,0 +1,19 @@
+#include "common/stats.h"
+
+namespace mrmb {
+
+double LoadImbalance(const std::vector<int64_t>& loads) {
+  if (loads.empty()) return 1.0;
+  int64_t max = 0;
+  int64_t sum = 0;
+  for (int64_t v : loads) {
+    max = std::max(max, v);
+    sum += v;
+  }
+  if (sum == 0) return 1.0;
+  const double mean =
+      static_cast<double>(sum) / static_cast<double>(loads.size());
+  return static_cast<double>(max) / mean;
+}
+
+}  // namespace mrmb

@@ -1,0 +1,102 @@
+// Small online-statistics helpers used by the benchmark reporters.
+
+#ifndef MRMB_COMMON_STATS_H_
+#define MRMB_COMMON_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace mrmb {
+
+// Running mean / min / max / stddev without storing samples (Welford).
+class RunningStats {
+ public:
+  void Add(double x) {
+    ++count_;
+    if (count_ == 1) {
+      min_ = max_ = x;
+      mean_ = x;
+      m2_ = 0;
+      return;
+    }
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+  }
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0; }
+  double min() const { return count_ ? min_ : 0; }
+  double max() const { return count_ ? max_ : 0; }
+  double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  int64_t count_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+};
+
+// Stores samples; answers percentile queries. Meant for modest sample
+// counts (resource-monitor traces, per-task timings).
+class SampleSet {
+ public:
+  void Add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+    stats_.Add(x);
+  }
+
+  // p in [0, 100]. Linear interpolation between closest ranks.
+  double Percentile(double p) {
+    MRMB_CHECK(!samples_.empty());
+    MRMB_CHECK_GE(p, 0.0);
+    MRMB_CHECK_LE(p, 100.0);
+    EnsureSorted();
+    if (samples_.size() == 1) return samples_[0];
+    const double rank =
+        p / 100.0 * static_cast<double>(samples_.size() - 1);
+    const auto lo = static_cast<size_t>(rank);
+    const size_t hi = std::min(lo + 1, samples_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+  }
+
+  double Median() { return Percentile(50); }
+
+  const RunningStats& stats() const { return stats_; }
+  size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void EnsureSorted() {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+
+  std::vector<double> samples_;
+  RunningStats stats_;
+  bool sorted_ = false;
+};
+
+// Coefficient-of-variation style imbalance metric for per-reducer loads:
+// max/mean. 1.0 means perfectly balanced.
+double LoadImbalance(const std::vector<int64_t>& loads);
+
+}  // namespace mrmb
+
+#endif  // MRMB_COMMON_STATS_H_

@@ -1,0 +1,164 @@
+// Status and Result<T>: exception-free error handling for the mrmb library.
+//
+// Conventions follow the RocksDB/Arrow idiom: functions that can fail return
+// a Status (or a Result<T> when they also produce a value). Callers must
+// check ok() before using the value. Fatal invariant violations use
+// MRMB_CHECK from common/logging.h instead.
+
+#ifndef MRMB_COMMON_STATUS_H_
+#define MRMB_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace mrmb {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kInternal,
+  kUnimplemented,
+  kIOError,
+};
+
+// Returns a stable, human-readable name such as "InvalidArgument".
+const char* StatusCodeName(StatusCode code);
+
+// A lightweight success/error value. Copyable and movable; the OK status
+// carries no allocation.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Result<T> holds either a T or an error Status. Accessing the value of an
+// error Result is a checked fatal error.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work
+  // in functions returning Result<T>.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status)                          // NOLINT(runtime/explicit)
+      : value_(std::move(status)) {
+    // An OK status carries no value; normalize to an error so callers can't
+    // observe a valueless "ok" Result.
+    if (std::get<Status>(value_).ok()) {
+      value_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(value_);
+  }
+
+  const T& value() const& {
+    AbortIfError();
+    return std::get<T>(value_);
+  }
+  T& value() & {
+    AbortIfError();
+    return std::get<T>(value_);
+  }
+  T&& value() && {
+    AbortIfError();
+    return std::get<T>(std::move(value_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void AbortIfError() const;
+
+  std::variant<T, Status> value_;
+};
+
+namespace internal {
+// Defined in status.cc; aborts the process with the status message.
+[[noreturn]] void DieOnBadResultAccess(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::AbortIfError() const {
+  if (!ok()) internal::DieOnBadResultAccess(std::get<Status>(value_));
+}
+
+// Propagates errors to the caller; usable in functions returning Status.
+#define MRMB_RETURN_IF_ERROR(expr)                   \
+  do {                                               \
+    ::mrmb::Status _mrmb_status = (expr);            \
+    if (!_mrmb_status.ok()) return _mrmb_status;     \
+  } while (false)
+
+// Evaluates a Result<T> expression; on error returns its Status, otherwise
+// moves the value into `lhs`.
+#define MRMB_ASSIGN_OR_RETURN(lhs, expr)                          \
+  MRMB_ASSIGN_OR_RETURN_IMPL_(                                    \
+      MRMB_STATUS_CONCAT_(_mrmb_result, __LINE__), lhs, expr)
+#define MRMB_ASSIGN_OR_RETURN_IMPL_(result, lhs, expr) \
+  auto result = (expr);                                \
+  if (!result.ok()) return result.status();            \
+  lhs = std::move(result).value()
+#define MRMB_STATUS_CONCAT_(a, b) MRMB_STATUS_CONCAT_IMPL_(a, b)
+#define MRMB_STATUS_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace mrmb
+
+#endif  // MRMB_COMMON_STATUS_H_

@@ -1,0 +1,30 @@
+// String helpers shared by command-line parsing and reporters.
+
+#ifndef MRMB_COMMON_STRINGS_H_
+#define MRMB_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mrmb {
+
+// Splits on `sep`, keeping empty fields.
+std::vector<std::string> SplitString(std::string_view text, char sep);
+
+// Strips leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+// ASCII lowercase copy.
+std::string ToLower(std::string_view text);
+
+// True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+// printf-style formatting into a std::string.
+std::string StringPrintf(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace mrmb
+
+#endif  // MRMB_COMMON_STRINGS_H_

@@ -1,0 +1,152 @@
+#include "common/units.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace mrmb {
+
+namespace {
+
+// Splits "<number><suffix>" with optional whitespace between. Returns false
+// on malformed numbers.
+bool SplitNumberSuffix(std::string_view text, double* number,
+                       std::string* suffix) {
+  size_t i = 0;
+  while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) {
+    ++i;
+  }
+  const size_t start = i;
+  bool seen_digit = false;
+  bool seen_dot = false;
+  if (i < text.size() && (text[i] == '+' || text[i] == '-')) ++i;
+  while (i < text.size()) {
+    const char c = text[i];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      seen_digit = true;
+      ++i;
+    } else if (c == '.' && !seen_dot) {
+      seen_dot = true;
+      ++i;
+    } else {
+      break;
+    }
+  }
+  if (!seen_digit) return false;
+  *number = std::strtod(std::string(text.substr(start, i - start)).c_str(),
+                        nullptr);
+  while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) {
+    ++i;
+  }
+  suffix->clear();
+  while (i < text.size() &&
+         !std::isspace(static_cast<unsigned char>(text[i]))) {
+    suffix->push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(text[i]))));
+    ++i;
+  }
+  while (i < text.size()) {
+    if (!std::isspace(static_cast<unsigned char>(text[i]))) return false;
+    ++i;
+  }
+  return true;
+}
+
+}  // namespace
+
+SimTime FromSeconds(double seconds) {
+  return static_cast<SimTime>(
+      std::llround(seconds * static_cast<double>(kSecond)));
+}
+
+std::string FormatBytes(int64_t bytes) {
+  char buf[64];
+  const double b = static_cast<double>(bytes);
+  if (bytes >= kGB || bytes <= -kGB) {
+    std::snprintf(buf, sizeof(buf), "%.2f GB", b / static_cast<double>(kGB));
+  } else if (bytes >= kMB || bytes <= -kMB) {
+    std::snprintf(buf, sizeof(buf), "%.2f MB", b / static_cast<double>(kMB));
+  } else if (bytes >= kKB || bytes <= -kKB) {
+    std::snprintf(buf, sizeof(buf), "%.2f KB", b / static_cast<double>(kKB));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld B", static_cast<long long>(bytes));
+  }
+  return buf;
+}
+
+std::string FormatDuration(SimTime t) {
+  char buf[64];
+  const double ns = static_cast<double>(t);
+  if (t >= kSecond || t <= -kSecond) {
+    std::snprintf(buf, sizeof(buf), "%.3f s", ns / kSecond);
+  } else if (t >= kMillisecond || t <= -kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", ns / kMillisecond);
+  } else if (t >= kMicrosecond || t <= -kMicrosecond) {
+    std::snprintf(buf, sizeof(buf), "%.3f us", ns / kMicrosecond);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld ns", static_cast<long long>(t));
+  }
+  return buf;
+}
+
+Result<int64_t> ParseBytes(std::string_view text) {
+  double number = 0;
+  std::string suffix;
+  if (!SplitNumberSuffix(text, &number, &suffix)) {
+    return Status::InvalidArgument("cannot parse byte size: '" +
+                                   std::string(text) + "'");
+  }
+  double multiplier = 1;
+  if (suffix.empty() || suffix == "b") {
+    multiplier = 1;
+  } else if (suffix == "k" || suffix == "kb" || suffix == "kib") {
+    multiplier = static_cast<double>(kKB);
+  } else if (suffix == "m" || suffix == "mb" || suffix == "mib") {
+    multiplier = static_cast<double>(kMB);
+  } else if (suffix == "g" || suffix == "gb" || suffix == "gib") {
+    multiplier = static_cast<double>(kGB);
+  } else if (suffix == "t" || suffix == "tb" || suffix == "tib") {
+    multiplier = static_cast<double>(kGB) * 1024.0;
+  } else {
+    return Status::InvalidArgument("unknown byte-size suffix: '" + suffix +
+                                   "'");
+  }
+  const double value = number * multiplier;
+  if (value < 0 || value > 9.0e18) {
+    return Status::OutOfRange("byte size out of range: '" + std::string(text) +
+                              "'");
+  }
+  return static_cast<int64_t>(std::llround(value));
+}
+
+Result<SimTime> ParseDuration(std::string_view text) {
+  double number = 0;
+  std::string suffix;
+  if (!SplitNumberSuffix(text, &number, &suffix)) {
+    return Status::InvalidArgument("cannot parse duration: '" +
+                                   std::string(text) + "'");
+  }
+  double scale = 0;
+  if (suffix.empty() || suffix == "s" || suffix == "sec") {
+    scale = static_cast<double>(kSecond);
+  } else if (suffix == "ms") {
+    scale = static_cast<double>(kMillisecond);
+  } else if (suffix == "us") {
+    scale = static_cast<double>(kMicrosecond);
+  } else if (suffix == "ns") {
+    scale = 1;
+  } else if (suffix == "min") {
+    scale = 60.0 * static_cast<double>(kSecond);
+  } else {
+    return Status::InvalidArgument("unknown duration suffix: '" + suffix +
+                                   "'");
+  }
+  const double value = number * scale;
+  if (value < 0 || value > 9.0e18) {
+    return Status::OutOfRange("duration out of range: '" + std::string(text) +
+                              "'");
+  }
+  return static_cast<SimTime>(std::llround(value));
+}
+
+}  // namespace mrmb

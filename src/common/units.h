@@ -1,0 +1,53 @@
+// Byte-size and duration helpers used throughout the suite.
+//
+// Sim time is an integer count of nanoseconds (SimTime). Data sizes are
+// int64 byte counts. Parsing accepts the spellings users type on benchmark
+// command lines ("8GB", "1KB", "512", "100us", "2.5s").
+
+#ifndef MRMB_COMMON_UNITS_H_
+#define MRMB_COMMON_UNITS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace mrmb {
+
+// Simulated time in nanoseconds since simulation start.
+using SimTime = int64_t;
+
+inline constexpr SimTime kNanosecond = 1;
+inline constexpr SimTime kMicrosecond = 1000 * kNanosecond;
+inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+
+inline constexpr int64_t kKB = 1024;
+inline constexpr int64_t kMB = 1024 * kKB;
+inline constexpr int64_t kGB = 1024 * kMB;
+
+// Converts a SimTime to fractional seconds.
+inline double ToSeconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+// Converts fractional seconds to SimTime, rounding to nearest nanosecond.
+SimTime FromSeconds(double seconds);
+
+// "1.50 GB", "512 B", "16.0 MB" — two decimals above bytes.
+std::string FormatBytes(int64_t bytes);
+
+// "123.456 ms", "1.2 s" — picks a readable unit.
+std::string FormatDuration(SimTime t);
+
+// Parses "512", "4KB", "16MB", "8GB" (case-insensitive, optional 'iB'
+// suffix, optional fraction). Returns InvalidArgument on junk.
+Result<int64_t> ParseBytes(std::string_view text);
+
+// Parses "250ns", "100us", "5ms", "2.5s". Bare numbers are seconds.
+Result<SimTime> ParseDuration(std::string_view text);
+
+}  // namespace mrmb
+
+#endif  // MRMB_COMMON_UNITS_H_

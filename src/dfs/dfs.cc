@@ -1,0 +1,228 @@
+#include "dfs/dfs.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace mrmb {
+
+DfsNamespace::DfsNamespace(int num_nodes, int64_t block_bytes,
+                           int replication, uint64_t seed)
+    : num_nodes_(num_nodes),
+      block_bytes_(block_bytes),
+      replication_(std::min(replication, num_nodes)),
+      rng_(seed) {
+  MRMB_CHECK_GT(num_nodes_, 0);
+  MRMB_CHECK_GT(block_bytes_, 0);
+  MRMB_CHECK_GT(replication_, 0);
+}
+
+std::vector<int> DfsNamespace::PlaceReplicas(int writer_node) {
+  std::vector<int> replicas;
+  replicas.reserve(static_cast<size_t>(replication_));
+  // First replica on the writer (HDFS default), else anywhere.
+  const int first =
+      writer_node >= 0 ? writer_node
+                       : static_cast<int>(rng_.Uniform(
+                             static_cast<uint64_t>(num_nodes_)));
+  replicas.push_back(first);
+  while (static_cast<int>(replicas.size()) < replication_) {
+    const int candidate = static_cast<int>(
+        rng_.Uniform(static_cast<uint64_t>(num_nodes_)));
+    if (std::find(replicas.begin(), replicas.end(), candidate) ==
+        replicas.end()) {
+      replicas.push_back(candidate);
+    }
+  }
+  return replicas;
+}
+
+Result<DfsFileInfo> DfsNamespace::CreateFile(const std::string& name,
+                                             int64_t bytes,
+                                             int writer_node) {
+  if (bytes < 0) return Status::InvalidArgument("negative file size");
+  if (writer_node >= num_nodes_) {
+    return Status::InvalidArgument("writer node out of range");
+  }
+  if (files_.count(name) != 0) {
+    return Status::AlreadyExists("file exists: " + name);
+  }
+  DfsFileInfo info;
+  info.name = name;
+  info.bytes = bytes;
+  int64_t remaining = bytes;
+  while (remaining > 0) {
+    DfsBlock block;
+    block.block_id = next_block_id_++;
+    block.bytes = std::min(remaining, block_bytes_);
+    block.replicas = PlaceReplicas(writer_node);
+    remaining -= block.bytes;
+    info.blocks.push_back(std::move(block));
+  }
+  files_.emplace(name, info);
+  return info;
+}
+
+Result<DfsFileInfo> DfsNamespace::GetFile(const std::string& name) const {
+  auto it = files_.find(name);
+  if (it == files_.end()) return Status::NotFound("no such file: " + name);
+  return it->second;
+}
+
+Status DfsNamespace::DeleteFile(const std::string& name) {
+  if (files_.erase(name) == 0) {
+    return Status::NotFound("no such file: " + name);
+  }
+  return Status::OK();
+}
+
+bool DfsNamespace::Exists(const std::string& name) const {
+  return files_.count(name) != 0;
+}
+
+bool DfsNamespace::HasReplica(const DfsBlock& block, int node) {
+  return std::find(block.replicas.begin(), block.replicas.end(), node) !=
+         block.replicas.end();
+}
+
+int DfsNamespace::PickReplica(const DfsBlock& block, int reader_node) {
+  MRMB_CHECK(!block.replicas.empty());
+  if (HasReplica(block, reader_node)) return reader_node;
+  return block.replicas[rng_.Uniform(block.replicas.size())];
+}
+
+int64_t DfsNamespace::BytesOnNode(int node) const {
+  int64_t total = 0;
+  for (const auto& [name, info] : files_) {
+    for (const DfsBlock& block : info.blocks) {
+      if (HasReplica(block, node)) total += block.bytes;
+    }
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------
+
+SimDfs::SimDfs(SimCluster* cluster, int64_t block_bytes, int replication,
+               uint64_t seed)
+    : cluster_(cluster),
+      names_(cluster->num_nodes(), block_bytes, replication, seed) {}
+
+void SimDfs::WriteFile(const std::string& name, int64_t bytes,
+                       int writer_node, DoneFn done) {
+  auto info = names_.CreateFile(name, bytes, writer_node);
+  MRMB_CHECK(info.ok()) << info.status().ToString();
+  if (info->blocks.empty()) {
+    cluster_->sim()->After(0, [done = std::move(done),
+                               sim = cluster_->sim()] { done(sim->Now()); });
+    return;
+  }
+  WriteBlocksFrom(*info, 0, writer_node, std::move(done));
+}
+
+void SimDfs::WriteBlocksFrom(const DfsFileInfo& info, size_t block_index,
+                             int writer_node, DoneFn done) {
+  if (block_index >= info.blocks.size()) {
+    done(cluster_->sim()->Now());
+    return;
+  }
+  const DfsBlock& block = info.blocks[block_index];
+  PipelineHop(block, 0, writer_node,
+              [this, info, block_index, writer_node,
+               done = std::move(done)](SimTime) mutable {
+                WriteBlocksFrom(info, block_index + 1, writer_node,
+                                std::move(done));
+              });
+}
+
+void SimDfs::PipelineHop(const DfsBlock& block, size_t replica_index,
+                         int upstream_node, DoneFn done) {
+  if (replica_index >= block.replicas.size()) {
+    done(cluster_->sim()->Now());
+    return;
+  }
+  const int target = block.replicas[replica_index];
+  const int64_t bytes = block.bytes;
+  disk_bytes_ += bytes;
+  auto write_and_continue = [this, block, replica_index, target,
+                             done = std::move(done)](SimTime) mutable {
+    cluster_->DiskIo(
+        target, block.bytes,
+        [this, block, replica_index, target,
+         done = std::move(done)](SimTime) mutable {
+          PipelineHop(block, replica_index + 1, target, std::move(done));
+        });
+  };
+  if (upstream_node == target) {
+    write_and_continue(cluster_->sim()->Now());
+  } else {
+    network_bytes_ += bytes;
+    cluster_->Transfer(upstream_node, target, bytes,
+                       std::move(write_and_continue));
+  }
+}
+
+void SimDfs::ReadRange(const std::string& name, int64_t offset,
+                       int64_t bytes, int reader_node, DoneFn done) {
+  auto info = names_.GetFile(name);
+  MRMB_CHECK(info.ok()) << info.status().ToString();
+  MRMB_CHECK_GE(offset, 0);
+  MRMB_CHECK_LE(offset + bytes, info->bytes) << "read past end of " << name;
+
+  // Collect the per-block byte spans the range touches.
+  struct Span {
+    int holder;
+    int64_t bytes;
+    bool local;
+  };
+  std::vector<Span> spans;
+  int64_t block_start = 0;
+  for (const DfsBlock& block : info->blocks) {
+    const int64_t block_end = block_start + block.bytes;
+    const int64_t lo = std::max(offset, block_start);
+    const int64_t hi = std::min(offset + bytes, block_end);
+    if (lo < hi) {
+      const int holder = names_.PickReplica(block, reader_node);
+      spans.push_back(Span{holder, hi - lo, holder == reader_node});
+    }
+    block_start = block_end;
+    if (block_start >= offset + bytes) break;
+  }
+  if (spans.empty()) {
+    cluster_->sim()->After(0, [done = std::move(done),
+                               sim = cluster_->sim()] { done(sim->Now()); });
+    return;
+  }
+
+  // Stream spans sequentially, like one DFS input stream.
+  auto read_span = std::make_shared<std::function<void(size_t)>>();
+  auto spans_ptr = std::make_shared<std::vector<Span>>(std::move(spans));
+  auto done_ptr = std::make_shared<DoneFn>(std::move(done));
+  *read_span = [this, spans_ptr, done_ptr, reader_node,
+                read_span](size_t index) {
+    if (index >= spans_ptr->size()) {
+      (*done_ptr)(cluster_->sim()->Now());
+      return;
+    }
+    const Span& span = (*spans_ptr)[index];
+    disk_bytes_ += span.bytes;
+    cluster_->DiskIo(
+        span.holder, span.bytes,
+        [this, spans_ptr, done_ptr, reader_node, read_span, index,
+         span](SimTime) {
+          if (span.local) {
+            (*read_span)(index + 1);
+          } else {
+            network_bytes_ += span.bytes;
+            cluster_->Transfer(span.holder, reader_node, span.bytes,
+                               [read_span, index](SimTime) {
+                                 (*read_span)(index + 1);
+                               });
+          }
+        });
+  };
+  (*read_span)(0);
+}
+
+}  // namespace mrmb

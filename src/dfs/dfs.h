@@ -1,0 +1,136 @@
+// HDFS-lite: a distributed-filesystem model for the cluster simulation.
+//
+// The paper's whole motivation is that "commonly used benchmarks in Hadoop,
+// such as Sort and TeraSort, usually require the involvement of HDFS [whose]
+// performance ... has significant impact on the overall performance of the
+// MapReduce job, and this interferes in the evaluation" (Sect. 1). To make
+// that interference measurable, this module models the HDFS behaviours that
+// matter to a MapReduce job:
+//
+//   * a NameNode holding file -> block -> replica-location metadata,
+//   * block placement (first replica on the writer's node, the rest on
+//     distinct random nodes — the default HDFS policy without racks),
+//   * the write pipeline (client -> DN1 -> DN2 -> DN3 chained transfers,
+//     each replica hitting its local disk),
+//   * replica-aware reads (local disk when a replica is present, else a
+//     transfer from a randomly chosen holder).
+//
+// SimDfs executes those data paths on a SimCluster, so DFS traffic contends
+// with the job's shuffle for the same NICs and disks. The metadata layer
+// (DfsNamespace) is deterministic and independently testable.
+
+#ifndef MRMB_DFS_DFS_H_
+#define MRMB_DFS_DFS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/sim_cluster.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace mrmb {
+
+struct DfsBlock {
+  int64_t block_id = 0;
+  int64_t bytes = 0;
+  // Nodes holding a replica; replicas[0] is the primary (writer-local when
+  // possible).
+  std::vector<int> replicas;
+};
+
+struct DfsFileInfo {
+  std::string name;
+  int64_t bytes = 0;
+  std::vector<DfsBlock> blocks;
+};
+
+// NameNode metadata: deterministic block placement and replica lookup.
+class DfsNamespace {
+ public:
+  // `num_nodes` DataNodes; `seed` drives replica placement.
+  DfsNamespace(int num_nodes, int64_t block_bytes, int replication,
+               uint64_t seed);
+
+  // Creates a file of `bytes`, placing blocks as if written from
+  // `writer_node` (-1 = external client: all replicas random). Fails if the
+  // file exists.
+  Result<DfsFileInfo> CreateFile(const std::string& name, int64_t bytes,
+                                 int writer_node);
+
+  Result<DfsFileInfo> GetFile(const std::string& name) const;
+  Status DeleteFile(const std::string& name);
+  bool Exists(const std::string& name) const;
+
+  // True if `node` holds a replica of `block`.
+  static bool HasReplica(const DfsBlock& block, int node);
+  // A replica holder for `block`, preferring `reader_node` (data-local),
+  // else deterministic-random among holders.
+  int PickReplica(const DfsBlock& block, int reader_node);
+
+  // Bytes of block data stored on `node` across all files.
+  int64_t BytesOnNode(int node) const;
+
+  int num_nodes() const { return num_nodes_; }
+  int64_t block_bytes() const { return block_bytes_; }
+  int replication() const { return replication_; }
+
+ private:
+  std::vector<int> PlaceReplicas(int writer_node);
+
+  int num_nodes_;
+  int64_t block_bytes_;
+  int replication_;
+  Rng rng_;
+  int64_t next_block_id_ = 1;
+  std::map<std::string, DfsFileInfo> files_;
+};
+
+// Executes DFS data paths on a simulated cluster.
+class SimDfs {
+ public:
+  using DoneFn = std::function<void(SimTime)>;
+
+  // `cluster` must outlive the SimDfs.
+  SimDfs(SimCluster* cluster, int64_t block_bytes, int replication,
+         uint64_t seed);
+
+  // Writes `bytes` from `writer_node` as `name`, running every block
+  // through the replication pipeline (chained transfers + a disk write per
+  // replica). `done` fires when the last block is fully replicated.
+  // Blocks are written sequentially (one pipeline in flight per file),
+  // like a single HDFS output stream.
+  void WriteFile(const std::string& name, int64_t bytes, int writer_node,
+                 DoneFn done);
+
+  // Reads byte range [offset, offset+bytes) of `name` from `reader_node`:
+  // local replicas stream from the local disk; remote blocks add a network
+  // transfer from a replica holder (which still pays its local disk read).
+  // Fails the process on unknown files (programming error in the caller).
+  void ReadRange(const std::string& name, int64_t offset, int64_t bytes,
+                 int reader_node, DoneFn done);
+
+  DfsNamespace* names() { return &names_; }
+
+  // Total bytes moved over the network on behalf of DFS (reads + pipeline).
+  int64_t network_bytes() const { return network_bytes_; }
+  int64_t disk_bytes() const { return disk_bytes_; }
+
+ private:
+  void WriteBlocksFrom(const DfsFileInfo& info, size_t block_index,
+                       int writer_node, DoneFn done);
+  void PipelineHop(const DfsBlock& block, size_t replica_index,
+                   int upstream_node, DoneFn done);
+
+  SimCluster* cluster_;
+  DfsNamespace names_;
+  int64_t network_bytes_ = 0;
+  int64_t disk_bytes_ = 0;
+};
+
+}  // namespace mrmb
+
+#endif  // MRMB_DFS_DFS_H_

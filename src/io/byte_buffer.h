@@ -1,0 +1,79 @@
+// Byte-oriented serialization primitives.
+//
+// BufferWriter appends big-endian fixed-width integers, Hadoop-style
+// variable-length integers (WritableUtils.writeVInt encoding) and raw bytes
+// to a growable buffer. BufferReader is the matching cursor-based decoder;
+// all reads are bounds-checked and return Status instead of throwing.
+
+#ifndef MRMB_IO_BYTE_BUFFER_H_
+#define MRMB_IO_BYTE_BUFFER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace mrmb {
+
+class BufferWriter {
+ public:
+  BufferWriter() = default;
+  explicit BufferWriter(std::string* out) : external_(out) {}
+
+  // Big-endian fixed-width writes (Hadoop DataOutput convention).
+  void AppendFixed32(uint32_t value);
+  void AppendFixed64(uint64_t value);
+  void AppendByte(uint8_t value) { buffer().push_back(static_cast<char>(value)); }
+  void AppendRaw(const void* data, size_t len) {
+    buffer().append(static_cast<const char*>(data), len);
+  }
+  void AppendRaw(std::string_view data) { buffer().append(data); }
+
+  // Hadoop WritableUtils vint: single byte for [-112, 127]; otherwise a
+  // length/sign marker byte followed by 1..8 magnitude bytes.
+  void AppendVarint64(int64_t value);
+
+  const std::string& data() const { return external_ ? *external_ : owned_; }
+  std::string& buffer() { return external_ ? *external_ : owned_; }
+  size_t size() const { return data().size(); }
+  void Clear() { buffer().clear(); }
+
+ private:
+  std::string owned_;
+  std::string* external_ = nullptr;
+};
+
+class BufferReader {
+ public:
+  explicit BufferReader(std::string_view data) : data_(data) {}
+
+  Status ReadFixed32(uint32_t* value);
+  Status ReadFixed64(uint64_t* value);
+  Status ReadByte(uint8_t* value);
+  Status ReadVarint64(int64_t* value);
+  // Returns a view into the underlying data (no copy); valid while the
+  // source buffer lives.
+  Status ReadRaw(size_t len, std::string_view* out);
+
+  size_t remaining() const { return data_.size() - pos_; }
+  size_t position() const { return pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+// Decodes a Hadoop vint directly from `data`; on success stores the value
+// and the encoded length. Used by raw comparators to skip length prefixes
+// without a full reader.
+Status DecodeVarint64(std::string_view data, int64_t* value, size_t* length);
+
+// Returns the encoded size of a Hadoop vint for `value`.
+size_t VarintLength(int64_t value);
+
+}  // namespace mrmb
+
+#endif  // MRMB_IO_BYTE_BUFFER_H_

@@ -1,0 +1,62 @@
+#include "io/codec.h"
+
+#include <zlib.h>
+
+#include "common/logging.h"
+
+namespace mrmb {
+
+Status DeflateCompress(std::string_view input, std::string* out) {
+  out->clear();
+  const uLong bound = compressBound(static_cast<uLong>(input.size()));
+  out->resize(bound);
+  uLongf out_len = bound;
+  const int rc = compress2(
+      reinterpret_cast<Bytef*>(out->data()), &out_len,
+      reinterpret_cast<const Bytef*>(input.data()),
+      static_cast<uLong>(input.size()), /*level=*/1);
+  if (rc != Z_OK) {
+    out->clear();
+    return Status::Internal("deflate failed: zlib rc " + std::to_string(rc));
+  }
+  out->resize(out_len);
+  return Status::OK();
+}
+
+Status DeflateDecompress(std::string_view input, std::string* out) {
+  out->clear();
+  // Grow the output buffer geometrically until inflate fits.
+  size_t capacity = std::max<size_t>(64, input.size() * 4);
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    out->resize(capacity);
+    uLongf out_len = static_cast<uLongf>(capacity);
+    const int rc = uncompress(
+        reinterpret_cast<Bytef*>(out->data()), &out_len,
+        reinterpret_cast<const Bytef*>(input.data()),
+        static_cast<uLong>(input.size()));
+    if (rc == Z_OK) {
+      out->resize(out_len);
+      return Status::OK();
+    }
+    if (rc == Z_BUF_ERROR) {
+      capacity *= 4;
+      continue;
+    }
+    out->clear();
+    return Status::InvalidArgument("inflate failed: zlib rc " +
+                                   std::to_string(rc));
+  }
+  out->clear();
+  return Status::ResourceExhausted("inflate output too large");
+}
+
+double MeasureCompressionRatio(std::string_view sample) {
+  if (sample.empty()) return 1.0;
+  std::string compressed;
+  const Status status = DeflateCompress(sample, &compressed);
+  MRMB_CHECK_OK(status);
+  return static_cast<double>(compressed.size()) /
+         static_cast<double>(sample.size());
+}
+
+}  // namespace mrmb

@@ -1,0 +1,33 @@
+// Intermediate-data compression codec (mapred.compress.map.output).
+//
+// Hadoop can compress map output before it hits disk and the wire, trading
+// CPU for bytes — the same trade the paper's data-type discussion makes
+// ("reducing the sheer number of bytes taken up by the intermediate data
+// can provide a substantial performance gain", Sect. 3). This is a real
+// DEFLATE codec (zlib, level 1 like Hadoop's speed-oriented defaults); the
+// cluster simulation measures the actual compression ratio of a sample of
+// the generated records and models the byte/CPU trade from it.
+
+#ifndef MRMB_IO_CODEC_H_
+#define MRMB_IO_CODEC_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace mrmb {
+
+// Compresses `input` with DEFLATE level 1 into *out (overwritten).
+Status DeflateCompress(std::string_view input, std::string* out);
+
+// Inflates `input` into *out (overwritten). Fails on corrupt data.
+Status DeflateDecompress(std::string_view input, std::string* out);
+
+// Compressed-size / raw-size ratio of `sample` (1.0 for empty input).
+// Values near (or above) 1.0 mean incompressible data.
+double MeasureCompressionRatio(std::string_view sample);
+
+}  // namespace mrmb
+
+#endif  // MRMB_IO_CODEC_H_

@@ -1,0 +1,32 @@
+// Raw comparators: order serialized records without deserializing.
+//
+// The map-side sort and the reduce-side merge compare keys in their wire
+// form, exactly like Hadoop's WritableComparator.compareBytes path. Each
+// comparator's order is consistent with comparing the deserialized values
+// (a property the tests verify exhaustively).
+
+#ifndef MRMB_IO_COMPARATOR_H_
+#define MRMB_IO_COMPARATOR_H_
+
+#include <string_view>
+
+#include "io/writable.h"
+
+namespace mrmb {
+
+class RawComparator {
+ public:
+  virtual ~RawComparator() = default;
+
+  // Compares two serialized values of this comparator's type. Each view
+  // must hold exactly one serialized value. Returns <0, 0, >0.
+  virtual int Compare(std::string_view a, std::string_view b) const = 0;
+  virtual DataType type() const = 0;
+};
+
+// Returns the process-lifetime comparator for `type`. Never null.
+const RawComparator* ComparatorFor(DataType type);
+
+}  // namespace mrmb
+
+#endif  // MRMB_IO_COMPARATOR_H_

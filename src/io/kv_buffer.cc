@@ -1,0 +1,117 @@
+#include "io/kv_buffer.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "io/byte_buffer.h"
+
+namespace mrmb {
+
+std::string_view SpillSegment::PartitionData(int partition) const {
+  MRMB_CHECK_GE(partition, 0);
+  MRMB_CHECK_LT(static_cast<size_t>(partition), partitions.size());
+  const PartitionRange& range = partitions[static_cast<size_t>(partition)];
+  return std::string_view(data).substr(static_cast<size_t>(range.offset),
+                                       static_cast<size_t>(range.length));
+}
+
+KvBuffer::KvBuffer(DataType key_type, int num_partitions,
+                   size_t capacity_bytes)
+    : key_type_(key_type),
+      comparator_(ComparatorFor(key_type)),
+      num_partitions_(num_partitions),
+      capacity_(capacity_bytes) {
+  MRMB_CHECK_GT(num_partitions_, 0);
+  MRMB_CHECK_GT(capacity_, 0u);
+  arena_.reserve(std::min<size_t>(capacity_, 16u << 20));
+}
+
+bool KvBuffer::Append(int partition, std::string_view key,
+                      std::string_view value) {
+  MRMB_CHECK_GE(partition, 0);
+  MRMB_CHECK_LT(partition, num_partitions_);
+  const size_t frame = VarintLength(static_cast<int64_t>(key.size())) +
+                       VarintLength(static_cast<int64_t>(value.size())) +
+                       key.size() + value.size();
+  MRMB_CHECK_LE(frame, capacity_)
+      << "single record larger than the sort buffer";
+  if (arena_.size() + frame > capacity_) return false;
+
+  RecordRef ref;
+  ref.partition = partition;
+  ref.frame_offset = static_cast<uint32_t>(arena_.size());
+  BufferWriter writer(&arena_);
+  writer.AppendVarint64(static_cast<int64_t>(key.size()));
+  writer.AppendVarint64(static_cast<int64_t>(value.size()));
+  ref.key_offset = static_cast<uint32_t>(arena_.size());
+  ref.key_len = static_cast<uint32_t>(key.size());
+  ref.value_len = static_cast<uint32_t>(value.size());
+  writer.AppendRaw(key);
+  writer.AppendRaw(value);
+  index_.push_back(ref);
+  sorted_ = false;
+  return true;
+}
+
+void KvBuffer::Sort() {
+  std::stable_sort(index_.begin(), index_.end(),
+                   [this](const RecordRef& a, const RecordRef& b) {
+                     if (a.partition != b.partition) {
+                       return a.partition < b.partition;
+                     }
+                     const std::string_view ka =
+                         std::string_view(arena_).substr(a.key_offset,
+                                                         a.key_len);
+                     const std::string_view kb =
+                         std::string_view(arena_).substr(b.key_offset,
+                                                         b.key_len);
+                     return comparator_->Compare(ka, kb) < 0;
+                   });
+  sorted_ = true;
+}
+
+SpillSegment KvBuffer::ToSpill() const {
+  MRMB_CHECK(sorted_) << "ToSpill requires Sort()";
+  SpillSegment spill;
+  spill.data.reserve(arena_.size());
+  spill.partitions.resize(static_cast<size_t>(num_partitions_));
+  int current = -1;
+  for (const RecordRef& ref : index_) {
+    if (ref.partition != current) {
+      current = ref.partition;
+      spill.partitions[static_cast<size_t>(current)].offset =
+          static_cast<int64_t>(spill.data.size());
+    }
+    const size_t frame_len = (ref.key_offset - ref.frame_offset) +
+                             ref.key_len + ref.value_len;
+    spill.data.append(arena_, ref.frame_offset, frame_len);
+    SpillSegment::PartitionRange& range =
+        spill.partitions[static_cast<size_t>(current)];
+    range.length += static_cast<int64_t>(frame_len);
+    range.records += 1;
+  }
+  return spill;
+}
+
+void KvBuffer::Clear() {
+  arena_.clear();
+  index_.clear();
+  sorted_ = false;
+}
+
+std::string_view KvBuffer::KeyAt(int64_t i) const {
+  const RecordRef& ref = index_[static_cast<size_t>(i)];
+  return std::string_view(arena_).substr(ref.key_offset, ref.key_len);
+}
+
+std::string_view KvBuffer::ValueAt(int64_t i) const {
+  const RecordRef& ref = index_[static_cast<size_t>(i)];
+  return std::string_view(arena_).substr(ref.key_offset + ref.key_len,
+                                         ref.value_len);
+}
+
+int KvBuffer::PartitionAt(int64_t i) const {
+  return index_[static_cast<size_t>(i)].partition;
+}
+
+}  // namespace mrmb

@@ -1,0 +1,102 @@
+// Map-side collect buffer and spill segments.
+//
+// KvBuffer plays the role of Hadoop's MapOutputBuffer (io.sort.mb): map
+// output records are appended in IFile framing (vint key length, vint value
+// length, key bytes, value bytes) into an arena, with a side index of
+// (partition, offsets). Sort() orders the index by (partition, raw key);
+// ToSpill() emits a SpillSegment whose per-partition byte ranges are what
+// the shuffle serves to reducers.
+
+#ifndef MRMB_IO_KV_BUFFER_H_
+#define MRMB_IO_KV_BUFFER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "io/comparator.h"
+#include "io/writable.h"
+
+namespace mrmb {
+
+// An immutable sorted run of framed records with a per-partition index.
+struct SpillSegment {
+  struct PartitionRange {
+    int64_t offset = 0;   // byte offset into `data`
+    int64_t length = 0;   // bytes
+    int64_t records = 0;  // record count
+  };
+
+  std::string data;
+  std::vector<PartitionRange> partitions;
+
+  int64_t total_bytes() const { return static_cast<int64_t>(data.size()); }
+  int64_t total_records() const {
+    int64_t n = 0;
+    for (const PartitionRange& p : partitions) n += p.records;
+    return n;
+  }
+  // The framed bytes destined for one partition.
+  std::string_view PartitionData(int partition) const;
+};
+
+class KvBuffer {
+ public:
+  // `capacity_bytes` bounds the arena like io.sort.mb; Append returns false
+  // once a record would overflow it (caller then spills and Clear()s).
+  KvBuffer(DataType key_type, int num_partitions, size_t capacity_bytes);
+
+  KvBuffer(const KvBuffer&) = delete;
+  KvBuffer& operator=(const KvBuffer&) = delete;
+
+  // Appends one record with already-serialized key and value bytes.
+  // Returns false (without appending) if the framed record would exceed
+  // capacity; a single record larger than the whole capacity is a fatal
+  // configuration error.
+  bool Append(int partition, std::string_view key, std::string_view value);
+
+  // Sorts the record index by (partition, raw key order). Stable, so equal
+  // keys keep arrival order (like Hadoop's stable IndexedSorter contract
+  // for equal keys within a partition is not guaranteed there, but
+  // determinism helps our tests).
+  void Sort();
+
+  // Emits the sorted records as a spill segment. Requires Sort() first.
+  SpillSegment ToSpill() const;
+
+  void Clear();
+
+  size_t bytes_used() const { return arena_.size(); }
+  size_t capacity() const { return capacity_; }
+  int64_t records() const { return static_cast<int64_t>(index_.size()); }
+  int num_partitions() const { return num_partitions_; }
+  bool sorted() const { return sorted_; }
+
+  // Read access to record `i` in current (possibly unsorted) index order.
+  std::string_view KeyAt(int64_t i) const;
+  std::string_view ValueAt(int64_t i) const;
+  int PartitionAt(int64_t i) const;
+
+ private:
+  struct RecordRef {
+    int32_t partition;
+    uint32_t frame_offset;  // start of framing header in arena
+    uint32_t key_offset;    // start of key bytes
+    uint32_t key_len;
+    uint32_t value_len;
+  };
+
+  DataType key_type_;
+  const RawComparator* comparator_;
+  int num_partitions_;
+  size_t capacity_;
+  std::string arena_;
+  std::vector<RecordRef> index_;
+  bool sorted_ = false;
+};
+
+}  // namespace mrmb
+
+#endif  // MRMB_IO_KV_BUFFER_H_

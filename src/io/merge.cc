@@ -1,0 +1,150 @@
+#include "io/merge.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "io/byte_buffer.h"
+
+namespace mrmb {
+
+SegmentReader::SegmentReader(std::string_view data) : data_(data) {
+  Decode();
+}
+
+void SegmentReader::Next() {
+  MRMB_CHECK(valid_);
+  Decode();
+}
+
+void SegmentReader::Decode() {
+  if (pos_ >= data_.size()) {
+    valid_ = false;
+    key_ = {};
+    value_ = {};
+    return;
+  }
+  int64_t key_len = 0, value_len = 0;
+  size_t hdr = 0;
+  MRMB_CHECK_OK(DecodeVarint64(data_.substr(pos_), &key_len, &hdr));
+  pos_ += hdr;
+  MRMB_CHECK_OK(DecodeVarint64(data_.substr(pos_), &value_len, &hdr));
+  pos_ += hdr;
+  MRMB_CHECK_GE(key_len, 0);
+  MRMB_CHECK_GE(value_len, 0);
+  MRMB_CHECK_LE(pos_ + static_cast<size_t>(key_len + value_len), data_.size())
+      << "truncated record frame";
+  key_ = data_.substr(pos_, static_cast<size_t>(key_len));
+  pos_ += static_cast<size_t>(key_len);
+  value_ = data_.substr(pos_, static_cast<size_t>(value_len));
+  pos_ += static_cast<size_t>(value_len);
+  valid_ = true;
+}
+
+MergeIterator::MergeIterator(
+    std::vector<std::unique_ptr<RecordStream>> inputs,
+    const RawComparator* comparator)
+    : inputs_(std::move(inputs)), comparator_(comparator) {
+  MRMB_CHECK(comparator_ != nullptr);
+  heap_.reserve(inputs_.size());
+  for (size_t i = 0; i < inputs_.size(); ++i) {
+    PushIfValid(inputs_[i].get(), i);
+  }
+}
+
+std::string_view MergeIterator::key() const {
+  MRMB_CHECK(Valid());
+  return heap_.front().stream->key();
+}
+
+std::string_view MergeIterator::value() const {
+  MRMB_CHECK(Valid());
+  return heap_.front().stream->value();
+}
+
+void MergeIterator::Next() {
+  MRMB_CHECK(Valid());
+  RecordStream* top = heap_.front().stream;
+  top->Next();
+  if (!top->Valid()) {
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (heap_.empty()) return;
+  }
+  SiftDown(0);
+}
+
+bool MergeIterator::Less(const HeapEntry& a, const HeapEntry& b) const {
+  const int cmp = comparator_->Compare(a.stream->key(), b.stream->key());
+  if (cmp != 0) return cmp < 0;
+  return a.input_index < b.input_index;
+}
+
+void MergeIterator::SiftDown(size_t i) {
+  const size_t n = heap_.size();
+  while (true) {
+    const size_t left = 2 * i + 1;
+    const size_t right = 2 * i + 2;
+    size_t smallest = i;
+    if (left < n && Less(heap_[left], heap_[smallest])) smallest = left;
+    if (right < n && Less(heap_[right], heap_[smallest])) smallest = right;
+    if (smallest == i) return;
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
+}
+
+void MergeIterator::SiftUp(size_t i) {
+  while (i > 0) {
+    const size_t parent = (i - 1) / 2;
+    if (!Less(heap_[i], heap_[parent])) return;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void MergeIterator::PushIfValid(RecordStream* stream, size_t input_index) {
+  if (!stream->Valid()) return;
+  heap_.push_back(HeapEntry{stream, input_index});
+  SiftUp(heap_.size() - 1);
+}
+
+GroupedIterator::GroupedIterator(RecordStream* stream,
+                                 const RawComparator* comparator)
+    : stream_(stream), comparator_(comparator) {
+  MRMB_CHECK(stream_ != nullptr);
+  MRMB_CHECK(comparator_ != nullptr);
+}
+
+bool GroupedIterator::NextGroup() {
+  if (in_group_) {
+    // Caller abandoned the group mid-way: skip its remaining values.
+    while (stream_->Valid() &&
+           comparator_->Compare(stream_->key(), group_key_) == 0) {
+      stream_->Next();
+    }
+    in_group_ = false;
+  }
+  if (!stream_->Valid()) return false;
+  group_key_.assign(stream_->key());
+  in_group_ = true;
+  first_value_pending_ = true;
+  return true;
+}
+
+bool GroupedIterator::NextValue() {
+  if (!in_group_) return false;
+  if (first_value_pending_) {
+    first_value_pending_ = false;
+    return true;
+  }
+  stream_->Next();
+  if (stream_->Valid() &&
+      comparator_->Compare(stream_->key(), group_key_) == 0) {
+    return true;
+  }
+  // Stream now rests on the next group's first record (or at end).
+  in_group_ = false;
+  return false;
+}
+
+}  // namespace mrmb

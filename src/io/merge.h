@@ -1,0 +1,113 @@
+// Record streams and the reduce-side k-way merge.
+//
+// SegmentReader walks IFile-framed records (vint key length, vint value
+// length, key, value) in a byte slice — the format KvBuffer spills and the
+// shuffle moves. MergeIterator merges any number of individually-sorted
+// streams into one sorted stream with a binary heap, exactly like Hadoop's
+// Merger. GroupedIterator layers reduce-style grouping (one (key, values[])
+// group per distinct key) on top of a sorted stream.
+
+#ifndef MRMB_IO_MERGE_H_
+#define MRMB_IO_MERGE_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "io/comparator.h"
+
+namespace mrmb {
+
+// Forward-only stream of (key, value) records in serialized form.
+class RecordStream {
+ public:
+  virtual ~RecordStream() = default;
+
+  // True while positioned on a record.
+  virtual bool Valid() const = 0;
+  // Current record; views are valid until Next().
+  virtual std::string_view key() const = 0;
+  virtual std::string_view value() const = 0;
+  // Advances to the next record.
+  virtual void Next() = 0;
+};
+
+// Streams framed records out of a byte slice. The slice must outlive the
+// reader. Malformed framing is a fatal error (the suite only ever reads
+// buffers it produced).
+class SegmentReader final : public RecordStream {
+ public:
+  explicit SegmentReader(std::string_view data);
+
+  bool Valid() const override { return valid_; }
+  std::string_view key() const override { return key_; }
+  std::string_view value() const override { return value_; }
+  void Next() override;
+
+ private:
+  void Decode();
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool valid_ = false;
+  std::string_view key_;
+  std::string_view value_;
+};
+
+// Merges sorted input streams into one sorted stream.
+class MergeIterator final : public RecordStream {
+ public:
+  MergeIterator(std::vector<std::unique_ptr<RecordStream>> inputs,
+                const RawComparator* comparator);
+
+  bool Valid() const override { return !heap_.empty(); }
+  std::string_view key() const override;
+  std::string_view value() const override;
+  void Next() override;
+
+ private:
+  struct HeapEntry {
+    RecordStream* stream;
+    size_t input_index;  // tie-break for determinism
+  };
+  bool Less(const HeapEntry& a, const HeapEntry& b) const;
+  void SiftDown(size_t i);
+  void SiftUp(size_t i);
+  void PushIfValid(RecordStream* stream, size_t input_index);
+
+  std::vector<std::unique_ptr<RecordStream>> inputs_;
+  const RawComparator* comparator_;
+  std::vector<HeapEntry> heap_;
+};
+
+// Iterates groups of equal keys over a sorted stream. Usage:
+//   GroupedIterator groups(&stream, comparator);
+//   while (groups.NextGroup()) {
+//     use groups.group_key();
+//     while (groups.NextValue()) use groups.value();
+//   }
+class GroupedIterator {
+ public:
+  GroupedIterator(RecordStream* stream, const RawComparator* comparator);
+
+  // Advances to the next distinct key. Returns false when exhausted. Any
+  // unconsumed values of the previous group are skipped.
+  bool NextGroup();
+  // The current group's key (serialized form).
+  std::string_view group_key() const { return group_key_; }
+  // Advances to the next value within the group; false at group end.
+  bool NextValue();
+  std::string_view value() const { return stream_->value(); }
+
+ private:
+  RecordStream* stream_;
+  const RawComparator* comparator_;
+  std::string group_key_;  // owned copy: stream views die on Next()
+  bool in_group_ = false;
+  bool first_value_pending_ = false;
+};
+
+}  // namespace mrmb
+
+#endif  // MRMB_IO_MERGE_H_

@@ -1,0 +1,115 @@
+#include "io/record_gen.h"
+
+#include "common/logging.h"
+#include "io/byte_buffer.h"
+
+namespace mrmb {
+
+RecordGenerator::RecordGenerator(Options options)
+    : options_(options) {
+  MRMB_CHECK_GT(options_.num_unique_keys, 0);
+  MRMB_CHECK(options_.type == DataType::kBytesWritable ||
+             options_.type == DataType::kText ||
+             options_.type == DataType::kIntWritable ||
+             options_.type == DataType::kLongWritable)
+      << "record generation supports BytesWritable, Text, IntWritable and "
+         "LongWritable";
+  if (options_.type == DataType::kBytesWritable ||
+      options_.type == DataType::kText) {
+    MRMB_CHECK_GE(options_.key_size, sizeof(uint64_t))
+        << "key payload must fit the 8-byte key id";
+  }
+  serialized_key_size_ = SerializedSizeFor(options_.type, options_.key_size);
+  serialized_value_size_ =
+      SerializedSizeFor(options_.type, options_.value_size);
+}
+
+void RecordGenerator::FillPayload(uint64_t stream_seed, size_t len,
+                                  std::string* out) const {
+  const size_t start = out->size();
+  out->resize(start + len);
+  Rng rng(stream_seed);
+  rng.Fill(out->data() + start, len);
+  if (options_.type == DataType::kText) {
+    // Text payloads must be valid UTF-8; map every byte to 'a'..'z'.
+    for (size_t i = start; i < out->size(); ++i) {
+      (*out)[i] = static_cast<char>(
+          'a' + (static_cast<unsigned char>((*out)[i]) % 26));
+    }
+  }
+}
+
+void RecordGenerator::SerializedKey(int64_t key_id, std::string* out) const {
+  out->clear();
+  if (options_.type == DataType::kIntWritable) {
+    BufferWriter writer(out);
+    IntWritable(static_cast<int32_t>(key_id)).Serialize(&writer);
+    return;
+  }
+  if (options_.type == DataType::kLongWritable) {
+    BufferWriter writer(out);
+    LongWritable(key_id).Serialize(&writer);
+    return;
+  }
+  std::string payload;
+  payload.reserve(options_.key_size);
+  // Big-endian key id first: distinct ids sort and compare distinctly, and
+  // identical ids yield identical bytes.
+  for (int i = 0; i < 8; ++i) {
+    payload.push_back(static_cast<char>(
+        static_cast<uint64_t>(key_id) >> (56 - 8 * i)));
+  }
+  if (options_.type == DataType::kText) {
+    for (char& c : payload) {
+      c = static_cast<char>('a' + (static_cast<unsigned char>(c) % 26));
+    }
+  }
+  FillPayload(options_.seed ^ (0x517cc1b727220a95ULL +
+                               static_cast<uint64_t>(key_id)),
+              options_.key_size - payload.size(), &payload);
+
+  BufferWriter writer(out);
+  if (options_.type == DataType::kBytesWritable) {
+    BytesWritable(std::move(payload)).Serialize(&writer);
+  } else {
+    Text(std::move(payload)).Serialize(&writer);
+  }
+}
+
+void RecordGenerator::SerializedValue(int64_t index, std::string* out) const {
+  out->clear();
+  if (options_.type == DataType::kIntWritable) {
+    BufferWriter writer(out);
+    IntWritable(static_cast<int32_t>(index & 0x7fffffff)).Serialize(&writer);
+    return;
+  }
+  if (options_.type == DataType::kLongWritable) {
+    BufferWriter writer(out);
+    LongWritable(index).Serialize(&writer);
+    return;
+  }
+  std::string payload;
+  payload.reserve(options_.value_size);
+  FillPayload(options_.seed ^ (0x2545f4914f6cdd1dULL +
+                               static_cast<uint64_t>(index)),
+              options_.value_size, &payload);
+  BufferWriter writer(out);
+  if (options_.type == DataType::kBytesWritable) {
+    BytesWritable(std::move(payload)).Serialize(&writer);
+  } else {
+    Text(std::move(payload)).Serialize(&writer);
+  }
+}
+
+size_t RecordGenerator::framed_record_size() const {
+  return VarintLength(static_cast<int64_t>(serialized_key_size_)) +
+         VarintLength(static_cast<int64_t>(serialized_value_size_)) +
+         serialized_key_size_ + serialized_value_size_;
+}
+
+int64_t RecordGenerator::RecordsForShuffleBytes(int64_t target_bytes) const {
+  const auto frame = static_cast<int64_t>(framed_record_size());
+  return (target_bytes + frame - 1) / frame;
+}
+
+}  // namespace mrmb

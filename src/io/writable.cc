@@ -1,0 +1,104 @@
+#include "io/writable.h"
+
+#include "common/strings.h"
+
+namespace mrmb {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kBytesWritable:
+      return "BytesWritable";
+    case DataType::kText:
+      return "Text";
+    case DataType::kIntWritable:
+      return "IntWritable";
+    case DataType::kLongWritable:
+      return "LongWritable";
+    case DataType::kNullWritable:
+      return "NullWritable";
+  }
+  return "Unknown";
+}
+
+Result<DataType> DataTypeByName(const std::string& name) {
+  const std::string key = ToLower(name);
+  if (key == "byteswritable" || key == "bytes") return DataType::kBytesWritable;
+  if (key == "text") return DataType::kText;
+  if (key == "intwritable" || key == "int") return DataType::kIntWritable;
+  if (key == "longwritable" || key == "long") return DataType::kLongWritable;
+  if (key == "nullwritable" || key == "null") return DataType::kNullWritable;
+  return Status::InvalidArgument("unknown data type: '" + name + "'");
+}
+
+void BytesWritable::Serialize(BufferWriter* writer) const {
+  writer->AppendFixed32(static_cast<uint32_t>(bytes_.size()));
+  writer->AppendRaw(bytes_);
+}
+
+Status BytesWritable::Deserialize(BufferReader* reader) {
+  uint32_t len = 0;
+  MRMB_RETURN_IF_ERROR(reader->ReadFixed32(&len));
+  std::string_view raw;
+  MRMB_RETURN_IF_ERROR(reader->ReadRaw(len, &raw));
+  bytes_.assign(raw);
+  return Status::OK();
+}
+
+void Text::Serialize(BufferWriter* writer) const {
+  writer->AppendVarint64(static_cast<int64_t>(value_.size()));
+  writer->AppendRaw(value_);
+}
+
+Status Text::Deserialize(BufferReader* reader) {
+  int64_t len = 0;
+  MRMB_RETURN_IF_ERROR(reader->ReadVarint64(&len));
+  if (len < 0) return Status::InvalidArgument("negative Text length");
+  std::string_view raw;
+  MRMB_RETURN_IF_ERROR(reader->ReadRaw(static_cast<size_t>(len), &raw));
+  value_.assign(raw);
+  return Status::OK();
+}
+
+void IntWritable::Serialize(BufferWriter* writer) const {
+  writer->AppendFixed32(static_cast<uint32_t>(value_));
+}
+
+Status IntWritable::Deserialize(BufferReader* reader) {
+  uint32_t raw = 0;
+  MRMB_RETURN_IF_ERROR(reader->ReadFixed32(&raw));
+  value_ = static_cast<int32_t>(raw);
+  return Status::OK();
+}
+
+void LongWritable::Serialize(BufferWriter* writer) const {
+  writer->AppendFixed64(static_cast<uint64_t>(value_));
+}
+
+Status LongWritable::Deserialize(BufferReader* reader) {
+  uint64_t raw = 0;
+  MRMB_RETURN_IF_ERROR(reader->ReadFixed64(&raw));
+  value_ = static_cast<int64_t>(raw);
+  return Status::OK();
+}
+
+void NullWritable::Serialize(BufferWriter*) const {}
+
+Status NullWritable::Deserialize(BufferReader*) { return Status::OK(); }
+
+size_t SerializedSizeFor(DataType type, size_t payload_len) {
+  switch (type) {
+    case DataType::kBytesWritable:
+      return BytesWritable::SerializedSize(payload_len);
+    case DataType::kText:
+      return Text::SerializedSize(payload_len);
+    case DataType::kIntWritable:
+      return 4;
+    case DataType::kLongWritable:
+      return 8;
+    case DataType::kNullWritable:
+      return 0;
+  }
+  return 0;
+}
+
+}  // namespace mrmb

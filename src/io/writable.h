@@ -1,0 +1,166 @@
+// Hadoop-compatible Writable value types.
+//
+// The suite supports the data types the paper exercises (BytesWritable,
+// Text) plus the common numeric Writables, with wire formats matching
+// Hadoop's:
+//   BytesWritable : 4-byte big-endian length + raw bytes
+//   Text          : Hadoop vint byte length + UTF-8 bytes
+//   IntWritable   : 4-byte big-endian two's complement
+//   LongWritable  : 8-byte big-endian two's complement
+//   NullWritable  : zero bytes
+//
+// Raw comparators (comparator.h) order the *serialized* forms consistently
+// with comparing deserialized values, which the map-side sort relies on.
+
+#ifndef MRMB_IO_WRITABLE_H_
+#define MRMB_IO_WRITABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "io/byte_buffer.h"
+
+namespace mrmb {
+
+// Identifies the wire format of keys/values flowing through a job.
+enum class DataType {
+  kBytesWritable,
+  kText,
+  kIntWritable,
+  kLongWritable,
+  kNullWritable,
+};
+
+const char* DataTypeName(DataType type);
+Result<DataType> DataTypeByName(const std::string& name);
+
+// Abstract serializable value (mirrors org.apache.hadoop.io.Writable).
+class Writable {
+ public:
+  virtual ~Writable() = default;
+
+  // Appends this value's wire form to `writer`.
+  virtual void Serialize(BufferWriter* writer) const = 0;
+  // Replaces this value by decoding from `reader`.
+  virtual Status Deserialize(BufferReader* reader) = 0;
+  virtual DataType type() const = 0;
+};
+
+// Raw byte payload, like org.apache.hadoop.io.BytesWritable.
+class BytesWritable final : public Writable {
+ public:
+  BytesWritable() = default;
+  explicit BytesWritable(std::string bytes) : bytes_(std::move(bytes)) {}
+
+  void Serialize(BufferWriter* writer) const override;
+  Status Deserialize(BufferReader* reader) override;
+  DataType type() const override { return DataType::kBytesWritable; }
+
+  const std::string& bytes() const { return bytes_; }
+  void set_bytes(std::string bytes) { bytes_ = std::move(bytes); }
+
+  // Serialized size of a payload of `payload_len` bytes.
+  static size_t SerializedSize(size_t payload_len) { return payload_len + 4; }
+
+  bool operator==(const BytesWritable& other) const {
+    return bytes_ == other.bytes_;
+  }
+  bool operator<(const BytesWritable& other) const {
+    return bytes_ < other.bytes_;
+  }
+
+ private:
+  std::string bytes_;
+};
+
+// UTF-8 text, like org.apache.hadoop.io.Text.
+class Text final : public Writable {
+ public:
+  Text() = default;
+  explicit Text(std::string value) : value_(std::move(value)) {}
+
+  void Serialize(BufferWriter* writer) const override;
+  Status Deserialize(BufferReader* reader) override;
+  DataType type() const override { return DataType::kText; }
+
+  const std::string& value() const { return value_; }
+  void set_value(std::string value) { value_ = std::move(value); }
+
+  static size_t SerializedSize(size_t payload_len) {
+    return payload_len + VarintLength(static_cast<int64_t>(payload_len));
+  }
+
+  bool operator==(const Text& other) const { return value_ == other.value_; }
+  bool operator<(const Text& other) const { return value_ < other.value_; }
+
+ private:
+  std::string value_;
+};
+
+class IntWritable final : public Writable {
+ public:
+  IntWritable() = default;
+  explicit IntWritable(int32_t value) : value_(value) {}
+
+  void Serialize(BufferWriter* writer) const override;
+  Status Deserialize(BufferReader* reader) override;
+  DataType type() const override { return DataType::kIntWritable; }
+
+  int32_t value() const { return value_; }
+  void set_value(int32_t value) { value_ = value; }
+
+  bool operator==(const IntWritable& other) const {
+    return value_ == other.value_;
+  }
+  bool operator<(const IntWritable& other) const {
+    return value_ < other.value_;
+  }
+
+ private:
+  int32_t value_ = 0;
+};
+
+class LongWritable final : public Writable {
+ public:
+  LongWritable() = default;
+  explicit LongWritable(int64_t value) : value_(value) {}
+
+  void Serialize(BufferWriter* writer) const override;
+  Status Deserialize(BufferReader* reader) override;
+  DataType type() const override { return DataType::kLongWritable; }
+
+  int64_t value() const { return value_; }
+  void set_value(int64_t value) { value_ = value; }
+
+  bool operator==(const LongWritable& other) const {
+    return value_ == other.value_;
+  }
+  bool operator<(const LongWritable& other) const {
+    return value_ < other.value_;
+  }
+
+ private:
+  int64_t value_ = 0;
+};
+
+// Zero-byte placeholder, like org.apache.hadoop.io.NullWritable.
+class NullWritable final : public Writable {
+ public:
+  void Serialize(BufferWriter* writer) const override;
+  Status Deserialize(BufferReader* reader) override;
+  DataType type() const override { return DataType::kNullWritable; }
+
+  bool operator==(const NullWritable&) const { return true; }
+  bool operator<(const NullWritable&) const { return false; }
+};
+
+// Serialized size of one record payload of `payload_len` bytes under
+// `type`'s framing (kNullWritable ignores payload_len and is 0;
+// fixed-width numeric types ignore it too).
+size_t SerializedSizeFor(DataType type, size_t payload_len);
+
+}  // namespace mrmb
+
+#endif  // MRMB_IO_WRITABLE_H_

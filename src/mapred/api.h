@@ -1,0 +1,117 @@
+// User-facing MapReduce programming interfaces (the Hadoop-shaped API).
+//
+// Keys and values cross these interfaces in *serialized* form
+// (std::string_view of the Writable wire bytes); user code deserializes with
+// the io/ types when it needs logical values. This mirrors how Hadoop's
+// framework moves raw bytes and lets the stand-alone benchmarks skip
+// deserialization entirely, exactly like the paper's generated-in-memory
+// pairs.
+
+#ifndef MRMB_MAPRED_API_H_
+#define MRMB_MAPRED_API_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "mapred/job_conf.h"
+
+namespace mrmb {
+
+// A chunk of input assigned to one map task. NullInputFormat's splits are
+// dummies (no real data); file-backed formats would extend via `payload`.
+struct InputSplit {
+  int32_t split_id = 0;
+  // Records the split's reader will yield.
+  int64_t num_records = 0;
+};
+
+// Iterates a split's records.
+class RecordReader {
+ public:
+  virtual ~RecordReader() = default;
+  // Fetches the next record into `key`/`value` (serialized forms). Returns
+  // false at end of split.
+  virtual bool Next(std::string* key, std::string* value) = 0;
+};
+
+class InputFormat {
+ public:
+  virtual ~InputFormat() = default;
+  virtual std::vector<InputSplit> GetSplits(const JobConf& conf,
+                                            int num_splits) = 0;
+  virtual std::unique_ptr<RecordReader> CreateReader(
+      const JobConf& conf, const InputSplit& split) = 0;
+};
+
+// Map-side emit sink. Provided by the framework; Emit may spill.
+class MapContext {
+ public:
+  virtual ~MapContext() = default;
+  // Emits one intermediate record (serialized key and value).
+  virtual void Emit(std::string_view key, std::string_view value) = 0;
+  virtual const JobConf& conf() const = 0;
+  virtual int task_id() const = 0;
+};
+
+class Mapper {
+ public:
+  virtual ~Mapper() = default;
+  // Called once per input record.
+  virtual void Map(std::string_view key, std::string_view value,
+                   MapContext* context) = 0;
+};
+
+// Values of one reduce group, in merge order.
+class ValueIterator {
+ public:
+  virtual ~ValueIterator() = default;
+  // Advances to the next value; false when the group is exhausted.
+  virtual bool Next() = 0;
+  // Current value; valid until the next call to Next().
+  virtual std::string_view value() const = 0;
+};
+
+class ReduceContext {
+ public:
+  virtual ~ReduceContext() = default;
+  virtual void Emit(std::string_view key, std::string_view value) = 0;
+  virtual const JobConf& conf() const = 0;
+  virtual int task_id() const = 0;
+};
+
+class Reducer {
+ public:
+  virtual ~Reducer() = default;
+  // Called once per distinct key with all its values.
+  virtual void Reduce(std::string_view key, ValueIterator* values,
+                      ReduceContext* context) = 0;
+};
+
+// Receives reduce output records.
+class RecordWriter {
+ public:
+  virtual ~RecordWriter() = default;
+  virtual void Write(std::string_view key, std::string_view value) = 0;
+  virtual Status Close() = 0;
+};
+
+class OutputFormat {
+ public:
+  virtual ~OutputFormat() = default;
+  virtual std::unique_ptr<RecordWriter> CreateWriter(const JobConf& conf,
+                                                     int partition) = 0;
+};
+
+// Task-scoped factories: each task gets a fresh instance (Hadoop semantics,
+// where mappers/reducers are instantiated per task attempt).
+using MapperFactory = std::function<std::unique_ptr<Mapper>(int task_id)>;
+using ReducerFactory = std::function<std::unique_ptr<Reducer>(int task_id)>;
+
+}  // namespace mrmb
+
+#endif  // MRMB_MAPRED_API_H_

@@ -1,0 +1,122 @@
+#include "mapred/job_conf.h"
+
+#include "common/strings.h"
+
+namespace mrmb {
+
+const char* DistributionPatternName(DistributionPattern pattern) {
+  switch (pattern) {
+    case DistributionPattern::kAverage:
+      return "MR-AVG";
+    case DistributionPattern::kRandom:
+      return "MR-RAND";
+    case DistributionPattern::kSkewed:
+      return "MR-SKEW";
+    case DistributionPattern::kZipf:
+      return "MR-ZIPF";
+  }
+  return "Unknown";
+}
+
+Result<DistributionPattern> DistributionPatternByName(
+    const std::string& name) {
+  const std::string key = ToLower(name);
+  if (key == "mr-avg" || key == "avg" || key == "average") {
+    return DistributionPattern::kAverage;
+  }
+  if (key == "mr-rand" || key == "rand" || key == "random") {
+    return DistributionPattern::kRandom;
+  }
+  if (key == "mr-skew" || key == "skew" || key == "skewed") {
+    return DistributionPattern::kSkewed;
+  }
+  if (key == "mr-zipf" || key == "zipf") {
+    return DistributionPattern::kZipf;
+  }
+  return Status::InvalidArgument("unknown distribution pattern: '" + name +
+                                 "'");
+}
+
+const char* SchedulerKindName(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kMrv1:
+      return "MRv1";
+    case SchedulerKind::kYarn:
+      return "YARN";
+  }
+  return "Unknown";
+}
+
+Status JobConf::Validate() const {
+  if (num_maps <= 0) return Status::InvalidArgument("num_maps must be > 0");
+  if (num_reduces <= 0) {
+    return Status::InvalidArgument("num_reduces must be > 0");
+  }
+  if (records_per_map < 0) {
+    return Status::InvalidArgument("records_per_map must be >= 0");
+  }
+  if (record.key_size < 8) {
+    return Status::InvalidArgument("key payload must be >= 8 bytes");
+  }
+  if (map_slots_per_node <= 0 || reduce_slots_per_node <= 0) {
+    return Status::InvalidArgument("slot counts must be > 0");
+  }
+  if (io_sort_bytes <= 0) {
+    return Status::InvalidArgument("io_sort_bytes must be > 0");
+  }
+  if (spill_percent <= 0 || spill_percent > 1.0) {
+    return Status::InvalidArgument("spill_percent must be in (0, 1]");
+  }
+  if (parallel_copies <= 0) {
+    return Status::InvalidArgument("parallel_copies must be > 0");
+  }
+  if (slowstart < 0 || slowstart > 1.0) {
+    return Status::InvalidArgument("slowstart must be in [0, 1]");
+  }
+  if (shuffle_input_buffer_fraction <= 0 ||
+      shuffle_input_buffer_fraction > 1.0) {
+    return Status::InvalidArgument(
+        "shuffle_input_buffer_fraction must be in (0, 1]");
+  }
+  if (yarn_container_bytes <= 0) {
+    return Status::InvalidArgument("yarn_container_bytes must be > 0");
+  }
+  if (record.num_unique_keys <= 0) {
+    return Status::InvalidArgument("num_unique_keys must be > 0");
+  }
+  if (zipf_exponent < 0) {
+    return Status::InvalidArgument("zipf_exponent must be >= 0");
+  }
+  if (combiner_output_fraction <= 0 || combiner_output_fraction > 1.0) {
+    return Status::InvalidArgument(
+        "combiner_output_fraction must be in (0, 1]");
+  }
+  if (map_failure_prob < 0 || map_failure_prob >= 1.0 ||
+      reduce_failure_prob < 0 || reduce_failure_prob >= 1.0) {
+    return Status::InvalidArgument("failure probabilities must be in [0, 1)");
+  }
+  if (max_task_attempts <= 0) {
+    return Status::InvalidArgument("max_task_attempts must be > 0");
+  }
+  if (straggler_prob < 0 || straggler_prob >= 1.0) {
+    return Status::InvalidArgument("straggler_prob must be in [0, 1)");
+  }
+  if (straggler_slowdown < 1.0) {
+    return Status::InvalidArgument("straggler_slowdown must be >= 1");
+  }
+  if (speculative_threshold <= 1.0) {
+    return Status::InvalidArgument("speculative_threshold must be > 1");
+  }
+  if (dfs_block_bytes <= 0) {
+    return Status::InvalidArgument("dfs_block_bytes must be > 0");
+  }
+  if (dfs_replication <= 0) {
+    return Status::InvalidArgument("dfs_replication must be > 0");
+  }
+  if (output_to_input_ratio < 0) {
+    return Status::InvalidArgument("output_to_input_ratio must be >= 0");
+  }
+  return Status::OK();
+}
+
+}  // namespace mrmb

@@ -1,0 +1,220 @@
+#include "mapred/local_runner.h"
+
+#include <chrono>
+#include <memory>
+#include <utility>
+
+#include "common/logging.h"
+#include "io/merge.h"
+#include "mapred/map_output.h"
+#include "mapred/null_formats.h"
+#include "mapred/partitioner.h"
+
+namespace mrmb {
+
+namespace {
+
+// Map-side context: partitions each emitted record, collects into a bounded
+// KvBuffer, spills sorted runs when full.
+class LocalMapContext final : public MapContext {
+ public:
+  LocalMapContext(const JobConf& conf, int task_id,
+                  std::unique_ptr<Partitioner> partitioner,
+                  std::unique_ptr<Reducer> combiner)
+      : conf_(conf),
+        task_id_(task_id),
+        partitioner_(std::move(partitioner)),
+        combiner_(std::move(combiner)),
+        buffer_(conf.record.type, conf.num_reduces,
+                static_cast<size_t>(
+                    static_cast<double>(conf.io_sort_bytes) *
+                    conf.spill_percent)) {}
+
+  void Emit(std::string_view key, std::string_view value) override {
+    const int partition =
+        partitioner_->Partition(key, emitted_, conf_.num_reduces);
+    if (!buffer_.Append(partition, key, value)) {
+      SpillBuffer();
+      MRMB_CHECK(buffer_.Append(partition, key, value))
+          << "record does not fit an empty sort buffer";
+    }
+    ++emitted_;
+  }
+
+  const JobConf& conf() const override { return conf_; }
+  int task_id() const override { return task_id_; }
+
+  // Finishes the task: final spill + merge to a single output segment.
+  SpillSegment Finalize() {
+    if (buffer_.records() > 0 || spills_.empty()) SpillBuffer();
+    if (spills_.size() == 1) return std::move(spills_[0]);
+    std::vector<const SpillSegment*> views;
+    views.reserve(spills_.size());
+    for (const SpillSegment& spill : spills_) views.push_back(&spill);
+    return MergeSegments(views, ComparatorFor(conf_.record.type));
+  }
+
+  int64_t emitted() const { return emitted_; }
+  int64_t spill_count() const { return static_cast<int64_t>(spills_.size()); }
+  int64_t combine_removed() const { return combine_removed_; }
+
+ private:
+  void SpillBuffer() {
+    buffer_.Sort();
+    SpillSegment spill = buffer_.ToSpill();
+    if (combiner_ != nullptr) {
+      const int64_t before = spill.total_records();
+      spill = CombineSegment(spill, ComparatorFor(conf_.record.type),
+                             combiner_.get(), conf_, task_id_);
+      combine_removed_ += before - spill.total_records();
+    }
+    spills_.push_back(std::move(spill));
+    buffer_.Clear();
+  }
+
+  const JobConf& conf_;
+  int task_id_;
+  std::unique_ptr<Partitioner> partitioner_;
+  std::unique_ptr<Reducer> combiner_;
+  KvBuffer buffer_;
+  std::vector<SpillSegment> spills_;
+  int64_t emitted_ = 0;
+  int64_t combine_removed_ = 0;
+};
+
+class LocalReduceContext final : public ReduceContext {
+ public:
+  LocalReduceContext(const JobConf& conf, int task_id, RecordWriter* writer,
+                     LocalJobResult* result)
+      : conf_(conf), task_id_(task_id), writer_(writer), result_(result) {}
+
+  void Emit(std::string_view key, std::string_view value) override {
+    writer_->Write(key, value);
+    result_->output_records += 1;
+    result_->output_bytes += static_cast<int64_t>(key.size() + value.size());
+  }
+
+  const JobConf& conf() const override { return conf_; }
+  int task_id() const override { return task_id_; }
+
+ private:
+  const JobConf& conf_;
+  int task_id_;
+  RecordWriter* writer_;
+  LocalJobResult* result_;
+};
+
+class GroupValues final : public ValueIterator {
+ public:
+  explicit GroupValues(GroupedIterator* groups) : groups_(groups) {}
+  bool Next() override { return groups_->NextValue(); }
+  std::string_view value() const override { return groups_->value(); }
+
+ private:
+  GroupedIterator* groups_;
+};
+
+}  // namespace
+
+LocalJobRunner::LocalJobRunner(JobConf conf) : conf_(std::move(conf)) {}
+
+Result<LocalJobResult> LocalJobRunner::Run(
+    InputFormat* input_format, const MapperFactory& mapper_factory,
+    const ReducerFactory& reducer_factory, OutputFormat* output_format,
+    const PartitionerFactory& partitioner_factory,
+    const ReducerFactory& combiner_factory) {
+  MRMB_RETURN_IF_ERROR(conf_.Validate());
+  MRMB_CHECK(input_format != nullptr);
+  MRMB_CHECK(output_format != nullptr);
+  const auto start = std::chrono::steady_clock::now();
+
+  LocalJobResult result;
+  result.reducer_input_records.assign(
+      static_cast<size_t>(conf_.num_reduces), 0);
+  result.reducer_input_bytes.assign(static_cast<size_t>(conf_.num_reduces),
+                                    0);
+
+  // ---- Map phase -----------------------------------------------------
+  const std::vector<InputSplit> splits =
+      input_format->GetSplits(conf_, conf_.num_maps);
+  if (static_cast<int>(splits.size()) != conf_.num_maps) {
+    return Status::Internal("input format returned wrong split count");
+  }
+  std::vector<SpillSegment> map_outputs;
+  map_outputs.reserve(splits.size());
+  for (int m = 0; m < conf_.num_maps; ++m) {
+    std::unique_ptr<RecordReader> reader =
+        input_format->CreateReader(conf_, splits[static_cast<size_t>(m)]);
+    std::unique_ptr<Mapper> mapper = mapper_factory(m);
+    std::unique_ptr<Partitioner> partitioner =
+        partitioner_factory != nullptr
+            ? partitioner_factory(m)
+            : MakePartitioner(conf_.pattern,
+                              conf_.seed + static_cast<uint64_t>(m) * 7919,
+                              conf_.records_per_map, conf_.zipf_exponent);
+    LocalMapContext context(
+        conf_, m, std::move(partitioner),
+        combiner_factory != nullptr ? combiner_factory(m) : nullptr);
+    std::string key;
+    std::string value;
+    while (reader->Next(&key, &value)) {
+      result.map_input_records += 1;
+      mapper->Map(key, value, &context);
+    }
+    result.map_output_records += context.emitted();
+    map_outputs.push_back(context.Finalize());
+    result.spill_count += context.spill_count();
+    result.combine_removed_records += context.combine_removed();
+    result.map_output_bytes += map_outputs.back().total_bytes();
+  }
+
+  // ---- Shuffle + reduce phase -----------------------------------------
+  const RawComparator* comparator = ComparatorFor(conf_.record.type);
+  for (int r = 0; r < conf_.num_reduces; ++r) {
+    std::vector<std::unique_ptr<RecordStream>> inputs;
+    inputs.reserve(map_outputs.size());
+    for (const SpillSegment& segment : map_outputs) {
+      const SpillSegment::PartitionRange& range =
+          segment.partitions[static_cast<size_t>(r)];
+      result.reducer_input_records[static_cast<size_t>(r)] += range.records;
+      result.reducer_input_bytes[static_cast<size_t>(r)] += range.length;
+      inputs.push_back(
+          std::make_unique<SegmentReader>(segment.PartitionData(r)));
+    }
+    MergeIterator merged(std::move(inputs), comparator);
+    GroupedIterator groups(&merged, comparator);
+
+    std::unique_ptr<RecordWriter> writer =
+        output_format->CreateWriter(conf_, r);
+    std::unique_ptr<Reducer> reducer = reducer_factory(r);
+    LocalReduceContext context(conf_, r, writer.get(), &result);
+    while (groups.NextGroup()) {
+      ++result.reduce_groups;
+      GroupValues values(&groups);
+      reducer->Reduce(groups.group_key(), &values, &context);
+    }
+    MRMB_RETURN_IF_ERROR(writer->Close());
+  }
+  for (int64_t records : result.reducer_input_records) {
+    result.reduce_input_records += records;
+  }
+
+  const auto end = std::chrono::steady_clock::now();
+  result.wall_seconds =
+      std::chrono::duration<double>(end - start).count();
+  return result;
+}
+
+Result<LocalJobResult> LocalJobRunner::RunStandalone(const JobConf& conf) {
+  LocalJobRunner runner(conf);
+  NullInputFormat input;
+  NullOutputFormat output;
+  return runner.Run(
+      &input,
+      [&conf](int task_id) {
+        return std::make_unique<GeneratingMapper>(conf, task_id);
+      },
+      [](int) { return std::make_unique<DiscardingReducer>(); }, &output);
+}
+
+}  // namespace mrmb

@@ -1,0 +1,80 @@
+// LocalJobRunner — functional, in-process execution of a MapReduce job.
+//
+// Runs every phase for real on real bytes: mappers emit serialized records
+// into a bounded KvBuffer (spilling and merging like Hadoop's map side), the
+// "shuffle" hands each reducer its partition slices, and reducers consume a
+// k-way merged, grouped stream. Single-threaded and deterministic; the
+// correctness tests and the wordcount-style examples run on it. For paper-
+// scale performance experiments use SimJobRunner (sim_runner.h), which
+// models time instead of burning it.
+
+#ifndef MRMB_MAPRED_LOCAL_RUNNER_H_
+#define MRMB_MAPRED_LOCAL_RUNNER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "mapred/api.h"
+#include "mapred/partitioner.h"
+
+namespace mrmb {
+
+// Task-scoped partitioner factory; each map task gets a fresh instance.
+using PartitionerFactory =
+    std::function<std::unique_ptr<Partitioner>(int task_id)>;
+
+struct LocalJobResult {
+  int64_t map_input_records = 0;
+  int64_t map_output_records = 0;
+  // Records removed by per-spill combining (0 without a combiner).
+  int64_t combine_removed_records = 0;
+  // IFile-framed intermediate bytes (what the shuffle would move).
+  int64_t map_output_bytes = 0;
+  int64_t spill_count = 0;
+  // Per-reduce shuffle load.
+  std::vector<int64_t> reducer_input_records;
+  std::vector<int64_t> reducer_input_bytes;
+  int64_t reduce_groups = 0;
+  int64_t reduce_input_records = 0;
+  // Records/bytes handed to the OutputFormat.
+  int64_t output_records = 0;
+  int64_t output_bytes = 0;
+  // Real (host) execution time of Run().
+  double wall_seconds = 0;
+};
+
+class LocalJobRunner {
+ public:
+  explicit LocalJobRunner(JobConf conf);
+
+  // Executes the job. All pointers must outlive the call. Returns counters
+  // or the first validation/configuration error. `partitioner_factory`
+  // defaults (when null) to the benchmark partitioner selected by
+  // conf.pattern; ordinary jobs (e.g. word count) pass a HashPartitioner
+  // factory.
+  // `combiner_factory` (optional) installs a per-spill combine pass, run
+  // on every sorted spill before it is sealed — Hadoop's
+  // job.setCombinerClass semantics.
+  Result<LocalJobResult> Run(InputFormat* input_format,
+                             const MapperFactory& mapper_factory,
+                             const ReducerFactory& reducer_factory,
+                             OutputFormat* output_format,
+                             const PartitionerFactory& partitioner_factory =
+                                 nullptr,
+                             const ReducerFactory& combiner_factory =
+                                 nullptr);
+
+  // Convenience: runs the paper's stand-alone micro-benchmark job
+  // (NullInputFormat + GeneratingMapper + DiscardingReducer +
+  // NullOutputFormat) under `conf`.
+  static Result<LocalJobResult> RunStandalone(const JobConf& conf);
+
+  const JobConf& conf() const { return conf_; }
+
+ private:
+  JobConf conf_;
+};
+
+}  // namespace mrmb
+
+#endif  // MRMB_MAPRED_LOCAL_RUNNER_H_

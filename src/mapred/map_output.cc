@@ -1,0 +1,115 @@
+#include "mapred/map_output.h"
+
+#include <memory>
+
+#include "common/logging.h"
+#include "io/byte_buffer.h"
+#include "io/merge.h"
+
+namespace mrmb {
+
+SpillSegment MergeSegments(const std::vector<const SpillSegment*>& segments,
+                           const RawComparator* comparator) {
+  MRMB_CHECK(!segments.empty());
+  const size_t num_partitions = segments[0]->partitions.size();
+  int64_t total_bytes = 0;
+  for (const SpillSegment* segment : segments) {
+    MRMB_CHECK_EQ(segment->partitions.size(), num_partitions);
+    total_bytes += segment->total_bytes();
+  }
+
+  SpillSegment out;
+  out.data.reserve(static_cast<size_t>(total_bytes));
+  out.partitions.resize(num_partitions);
+  BufferWriter writer(&out.data);
+
+  for (size_t p = 0; p < num_partitions; ++p) {
+    SpillSegment::PartitionRange& range = out.partitions[p];
+    range.offset = static_cast<int64_t>(out.data.size());
+    std::vector<std::unique_ptr<RecordStream>> inputs;
+    inputs.reserve(segments.size());
+    for (const SpillSegment* segment : segments) {
+      inputs.push_back(std::make_unique<SegmentReader>(
+          segment->PartitionData(static_cast<int>(p))));
+    }
+    MergeIterator merged(std::move(inputs), comparator);
+    while (merged.Valid()) {
+      const std::string_view key = merged.key();
+      const std::string_view value = merged.value();
+      writer.AppendVarint64(static_cast<int64_t>(key.size()));
+      writer.AppendVarint64(static_cast<int64_t>(value.size()));
+      writer.AppendRaw(key);
+      writer.AppendRaw(value);
+      range.records += 1;
+      merged.Next();
+    }
+    range.length = static_cast<int64_t>(out.data.size()) - range.offset;
+  }
+  return out;
+}
+
+namespace {
+
+// ReduceContext that frames emitted records into a segment under
+// construction.
+class CombineContext final : public ReduceContext {
+ public:
+  CombineContext(const JobConf& conf, int task_id, BufferWriter* writer,
+                 SpillSegment::PartitionRange* range)
+      : conf_(conf), task_id_(task_id), writer_(writer), range_(range) {}
+
+  void Emit(std::string_view key, std::string_view value) override {
+    writer_->AppendVarint64(static_cast<int64_t>(key.size()));
+    writer_->AppendVarint64(static_cast<int64_t>(value.size()));
+    writer_->AppendRaw(key);
+    writer_->AppendRaw(value);
+    range_->records += 1;
+  }
+
+  const JobConf& conf() const override { return conf_; }
+  int task_id() const override { return task_id_; }
+
+ private:
+  const JobConf& conf_;
+  int task_id_;
+  BufferWriter* writer_;
+  SpillSegment::PartitionRange* range_;
+};
+
+// Adapts a GroupedIterator's values to the ValueIterator interface.
+class CombineValues final : public ValueIterator {
+ public:
+  explicit CombineValues(GroupedIterator* groups) : groups_(groups) {}
+  bool Next() override { return groups_->NextValue(); }
+  std::string_view value() const override { return groups_->value(); }
+
+ private:
+  GroupedIterator* groups_;
+};
+
+}  // namespace
+
+SpillSegment CombineSegment(const SpillSegment& segment,
+                            const RawComparator* comparator,
+                            Reducer* combiner, const JobConf& conf,
+                            int task_id) {
+  MRMB_CHECK(combiner != nullptr);
+  SpillSegment out;
+  out.partitions.resize(segment.partitions.size());
+  BufferWriter writer(&out.data);
+  for (size_t p = 0; p < segment.partitions.size(); ++p) {
+    SpillSegment::PartitionRange& range = out.partitions[p];
+    range.offset = static_cast<int64_t>(out.data.size());
+    SegmentReader reader(segment.PartitionData(static_cast<int>(p)));
+    GroupedIterator groups(&reader, comparator);
+    CombineContext context(conf, task_id, &writer, &range);
+    while (groups.NextGroup()) {
+      CombineValues values(&groups);
+      combiner->Reduce(groups.group_key(), &values, &context);
+    }
+    range.length = static_cast<int64_t>(out.data.size()) - range.offset;
+  }
+  return out;
+}
+
+}  // namespace mrmb

@@ -1,0 +1,35 @@
+// Merging spill segments into a task's final map output.
+//
+// When a map task spills more than once, Hadoop merges the sorted spills
+// into a single partition-indexed file that the shuffle then serves.
+// MergeSegments does the same in memory with a k-way merge per partition.
+
+#ifndef MRMB_MAPRED_MAP_OUTPUT_H_
+#define MRMB_MAPRED_MAP_OUTPUT_H_
+
+#include <vector>
+
+#include "io/comparator.h"
+#include "io/kv_buffer.h"
+#include "mapred/api.h"
+
+namespace mrmb {
+
+// Merges sorted spill segments (all with the same partition count) into one
+// sorted segment. Key order within each partition is decided by
+// `comparator`.
+SpillSegment MergeSegments(const std::vector<const SpillSegment*>& segments,
+                           const RawComparator* comparator);
+
+// Runs `combiner` over every key group of every partition of a sorted
+// segment (Hadoop's per-spill combine pass) and returns the combined,
+// still-sorted segment. The combiner must emit keys equal to the group key
+// (the usual sum/count combiners do), or the output order is unspecified.
+SpillSegment CombineSegment(const SpillSegment& segment,
+                            const RawComparator* comparator,
+                            Reducer* combiner, const JobConf& conf,
+                            int task_id);
+
+}  // namespace mrmb
+
+#endif  // MRMB_MAPRED_MAP_OUTPUT_H_

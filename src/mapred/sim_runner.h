@@ -1,0 +1,252 @@
+// SimJobRunner — event-driven execution of a stand-alone MapReduce job on a
+// simulated cluster.
+//
+// Replays the exact phase structure of the engine (and of Hadoop) through
+// the discrete-event simulator, charging CPU/disk/network per the CostModel:
+//
+//   job setup -> heartbeat-driven task assignment (MRv1 slots or YARN
+//   containers) -> map tasks {generate+sort spills, merge} -> all-to-all
+//   shuffle (parallel fetches, page-cache-aware serving, reduce-side spill)
+//   -> reduce merge -> reduce function -> NullOutputFormat (no output I/O).
+//
+// The per-reduce byte matrix comes from PlanPartitionCounts, i.e. from the
+// same partitioner semantics the functional engine executes — MR-AVG,
+// MR-RAND and MR-SKEW produce identical distributions in both runners.
+//
+// The runner is single-use: construct, Run(), read the result.
+
+#ifndef MRMB_MAPRED_SIM_RUNNER_H_
+#define MRMB_MAPRED_SIM_RUNNER_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/resource_monitor.h"
+#include "dfs/dfs.h"
+#include "cluster/sim_cluster.h"
+#include "common/status.h"
+#include "mapred/cost_model.h"
+#include "mapred/job_conf.h"
+
+namespace mrmb {
+
+struct SimJobResult {
+  // End-to-end job execution time (the paper's headline metric).
+  double job_seconds = 0;
+
+  // Phase boundaries (simulated time).
+  SimTime submit_time = 0;
+  SimTime first_map_start = 0;
+  SimTime last_map_finish = 0;
+  SimTime first_fetch_start = 0;
+  SimTime last_fetch_finish = 0;
+  SimTime finish_time = 0;
+
+  // Phase durations in seconds (phases overlap; these are spans).
+  double map_phase_seconds = 0;
+  double shuffle_phase_seconds = 0;
+  double reduce_phase_seconds = 0;
+
+  // Data volumes.
+  int64_t total_records = 0;
+  int64_t total_shuffle_bytes = 0;
+  std::vector<int64_t> reducer_bytes;  // per-reduce shuffle load
+  double load_imbalance = 1.0;         // max/mean of reducer_bytes
+  int64_t map_side_spills = 0;
+  int64_t reduce_side_spill_bytes = 0;
+
+  // Resource totals (all nodes).
+  double cpu_busy_seconds = 0;
+  double disk_bytes = 0;
+  double network_bytes = 0;
+
+  // DFS involvement (0 for stand-alone jobs).
+  int64_t dfs_network_bytes = 0;
+  int64_t dfs_disk_bytes = 0;
+  // Map tasks whose input split was replica-local to their node.
+  int data_local_maps = 0;
+
+  // Per-task timeline (final attempt), maps first then reduces.
+  struct TaskRecord {
+    int id = 0;
+    bool is_map = true;
+    int node = -1;
+    int attempts = 1;
+    SimTime start_time = 0;
+    SimTime finish_time = 0;
+  };
+  std::vector<TaskRecord> timeline;
+  int total_task_attempts = 0;
+};
+
+class SimJobRunner {
+ public:
+  // `cluster` must outlive the runner. `monitor` may be null; when given it
+  // is started at submit and stopped at job completion (so the event queue
+  // can drain).
+  SimJobRunner(SimCluster* cluster, JobConf conf,
+               CostModel cost = CostModel::Default(),
+               ResourceMonitor* monitor = nullptr);
+
+  SimJobRunner(const SimJobRunner&) = delete;
+  SimJobRunner& operator=(const SimJobRunner&) = delete;
+
+  // Executes the job to completion and returns its metrics.
+  Result<SimJobResult> Run();
+
+ private:
+  enum class TaskState { kPending, kAssigned, kRunning, kDone };
+
+  // One attempt of a map task. Speculative execution can run two attempts
+  // of the same task concurrently; the first finisher wins.
+  struct MapAttempt {
+    int serial = 0;
+    int node = -1;
+    bool killed = false;        // loser of a speculative race: unwind
+    int fail_at_spill = -1;     // injected failure point; -1 = healthy
+    double slow_factor = 1.0;   // straggler injection: CPU multiplier
+    SimTime start_time = 0;
+  };
+
+  struct MapTask {
+    int id = 0;
+    int node = -1;  // node of the winning attempt
+    TaskState state = TaskState::kPending;
+    int64_t records = 0;
+    int64_t output_bytes = 0;
+    std::vector<int64_t> bytes_for_reduce;
+    int num_spills = 0;
+    int attempts = 0;
+    bool backup_enqueued = false;  // at most one speculative backup
+    std::map<int, MapAttempt> active_attempts;
+    int next_serial = 0;
+    SimTime start_time = 0;
+    SimTime finish_time = 0;
+  };
+
+  struct Fetch {
+    int map = 0;
+    int64_t bytes = 0;
+  };
+
+  struct ReduceTask {
+    int id = 0;
+    int node = -1;
+    TaskState state = TaskState::kPending;
+    std::deque<Fetch> pending_fetches;
+    int active_fetches = 0;
+    int fetches_done = 0;
+    int64_t input_bytes = 0;
+    int64_t input_records = 0;
+    int64_t fetched_bytes = 0;
+    int64_t in_memory_bytes = 0;
+    int64_t spilled_bytes = 0;
+    int outstanding_spill_ios = 0;
+    bool merge_started = false;
+    int attempts = 0;
+    bool fail_on_start = false;  // injected container crash at launch
+    double slow_factor = 1.0;    // straggler injection: CPU multiplier
+    SimTime start_time = 0;
+    SimTime finish_time = 0;
+  };
+
+  struct NodeState {
+    int free_map_slots = 0;
+    int free_reduce_slots = 0;
+    int free_containers = 0;
+    int64_t map_output_bytes = 0;     // for the page-cache model
+    int64_t reduce_spill_bytes = 0;   // reduce-side segments on this node
+    int64_t reduce_dirty_bytes = 0;   // buffered reduce-side spill writes
+  };
+
+  // --- Scheduling -------------------------------------------------------
+  void ScheduleHeartbeat(int node, SimTime delay);
+  void OnHeartbeat(int node);
+  bool AssignOneMap(int node);
+  bool AssignOneReduce(int node);
+  bool ReduceLaunchAllowed() const;
+  int TotalFreeContainers() const;
+  SimTime TaskStartup() const;
+  SimTime HeartbeatInterval() const;
+
+  // --- Map execution ------------------------------------------------------
+  void StartMap(int map_id, int serial);
+  // True if any replica of `map_id`'s input split lives on `node`.
+  bool MapInputLocalTo(int map_id, int node) const;
+  void OnMapFailed(int map_id, int serial);
+  void RunMapSpill(int map_id, int serial, int spill_index);
+  void FinishMapMerge(int map_id, int serial);
+  void OnMapDone(int map_id, int serial);
+  // Returns the attempt if it should keep executing; otherwise releases its
+  // slot (task finished elsewhere or attempt killed) and returns null.
+  MapAttempt* LiveAttempt(int map_id, int serial);
+  void ReleaseMapAttempt(int map_id, int serial);
+  // Enqueues backup attempts for map tasks running well past the mean
+  // completed-map duration (Hadoop speculative execution).
+  void MaybeSpeculate();
+
+  // --- Shuffle + reduce ----------------------------------------------------
+  void StartReduce(int reduce_id);
+  void OnReduceFailed(int reduce_id);
+  void PumpFetches(int reduce_id);
+  void BeginFetch(int reduce_id, Fetch fetch);
+  void OnFetchDataArrived(int reduce_id, int map_id, int64_t bytes);
+  void OnFetchDone(int reduce_id, int64_t bytes);
+  void MaybeStartMerge(int reduce_id);
+  void StartReduceMerge(int reduce_id);
+  void RunReduceFunction(int reduce_id);
+  void OnReduceDone(int reduce_id);
+
+  // --- Helpers -------------------------------------------------------------
+  int NodeOf(int reduce_id) const;  // placement of running reduce
+  double MapSpillCpuSeconds(const MapTask& map, int64_t records) const;
+  double FrameBytes() const;
+  void FinishJobIfDone();
+  // Aborts the job (task exceeded max attempts); Run() returns an error.
+  void AbortJob(const std::string& reason);
+  // Bytes of a buffered write that block on disk bandwidth: below the
+  // node's dirty limit only buffered_write_fraction blocks; past it, all of
+  // it does. Advances `*dirty_pool` by `bytes`.
+  int64_t ChargeBufferedWrite(int64_t bytes, int64_t* dirty_pool) const;
+  // Fraction of reads over `working_set_bytes` of recently written data
+  // that miss the node's page cache.
+  double CacheMissFraction(double working_set_bytes) const;
+
+  SimCluster* cluster_;
+  JobConf conf_;
+  CostModel cost_;
+  ResourceMonitor* monitor_;
+  Simulator* sim_;
+
+  std::vector<MapTask> maps_;
+  std::vector<ReduceTask> reduces_;
+  std::vector<NodeState> nodes_;
+  std::deque<int> pending_maps_;
+  std::deque<int> pending_reduces_;
+  int completed_maps_ = 0;
+  int completed_reduces_ = 0;
+  int slowstart_threshold_ = 0;
+  bool started_ = false;
+  bool job_running_ = false;
+  int64_t framed_record_bytes_ = 0;
+  double type_factor_ = 1.0;
+  // Bytes-on-wire/disk per logical byte: the measured DEFLATE ratio when
+  // map-output compression is on, else 1.0.
+  double wire_factor_ = 1.0;
+  int64_t reduce_memory_limit_ = 0;
+  Rng rng_{0};
+  std::unique_ptr<SimDfs> dfs_;
+  std::vector<DfsBlock> map_input_block_;  // first block of each map's split
+  bool job_failed_ = false;
+  std::string failure_reason_;
+  double completed_map_duration_sum_ = 0;  // drives speculation threshold
+
+  SimJobResult result_;
+};
+
+}  // namespace mrmb
+
+#endif  // MRMB_MAPRED_SIM_RUNNER_H_

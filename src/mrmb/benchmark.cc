@@ -1,0 +1,112 @@
+#include "mrmb/benchmark.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace mrmb {
+
+const char* ClusterKindName(ClusterKind kind) {
+  switch (kind) {
+    case ClusterKind::kClusterA:
+      return "ClusterA";
+    case ClusterKind::kClusterB:
+      return "ClusterB";
+  }
+  return "Unknown";
+}
+
+Result<ClusterKind> ClusterKindByName(const std::string& name) {
+  const std::string key = ToLower(name);
+  if (key == "clustera" || key == "a" || key == "westmere") {
+    return ClusterKind::kClusterA;
+  }
+  if (key == "clusterb" || key == "b" || key == "stampede") {
+    return ClusterKind::kClusterB;
+  }
+  return Status::InvalidArgument("unknown cluster: '" + name + "'");
+}
+
+JobConf BenchmarkOptions::ToJobConf() const {
+  JobConf conf;
+  conf.job_name = std::string("mrmb-") + DistributionPatternName(pattern);
+  conf.num_maps = num_maps;
+  conf.num_reduces = num_reduces;
+  conf.pattern = pattern;
+  conf.zipf_exponent = zipf_exponent;
+  conf.compress_map_output = compress_map_output;
+  conf.seed = seed;
+  conf.scheduler = scheduler;
+
+  conf.record.type = data_type;
+  conf.record.key_size = static_cast<size_t>(key_size);
+  conf.record.value_size = static_cast<size_t>(value_size);
+  // The paper restricts unique keys to the reducer count (Sect. 4.2).
+  conf.record.num_unique_keys = num_reduces;
+  conf.record.seed = seed;
+
+  if (records_per_map > 0) {
+    conf.records_per_map = records_per_map;
+  } else {
+    RecordGenerator generator(conf.record);
+    const int64_t total = generator.RecordsForShuffleBytes(shuffle_bytes);
+    conf.records_per_map = (total + num_maps - 1) / num_maps;
+  }
+
+  // Auto slots: enough for a single wave of the requested tasks (the
+  // paper's configurations size task counts to the cluster).
+  conf.map_slots_per_node =
+      map_slots_per_node > 0
+          ? map_slots_per_node
+          : std::max(1, (num_maps + num_slaves - 1) / num_slaves);
+  conf.reduce_slots_per_node =
+      reduce_slots_per_node > 0
+          ? reduce_slots_per_node
+          : std::max(1, (num_reduces + num_slaves - 1) / num_slaves);
+  return conf;
+}
+
+ClusterSpec BenchmarkOptions::ToClusterSpec() const {
+  switch (cluster) {
+    case ClusterKind::kClusterA:
+      return ClusterA(network, num_slaves);
+    case ClusterKind::kClusterB:
+      return ClusterB(network, num_slaves);
+  }
+  MRMB_CHECK(false) << "unreachable";
+  return ClusterA(network, num_slaves);
+}
+
+Result<BenchmarkResult> RunMicroBenchmark(const BenchmarkOptions& options) {
+  if (options.num_slaves <= 0) {
+    return Status::InvalidArgument("num_slaves must be > 0");
+  }
+  BenchmarkResult result;
+  result.options = options;
+
+  SimCluster cluster(options.ToClusterSpec());
+  std::unique_ptr<ResourceMonitor> monitor;
+  if (options.collect_resource_stats) {
+    monitor = std::make_unique<ResourceMonitor>(&cluster,
+                                                options.monitor_interval);
+  }
+  SimJobRunner runner(&cluster, options.ToJobConf(), options.cost,
+                      monitor.get());
+  MRMB_ASSIGN_OR_RETURN(result.job, runner.Run());
+
+  if (monitor != nullptr) {
+    result.node0_samples = monitor->samples(0);
+    result.peak_rx_MBps = monitor->PeakRxMBps(0);
+    result.mean_cpu_pct = monitor->MeanCpuPct(0);
+  }
+  return result;
+}
+
+Result<LocalJobResult> RunMicroBenchmarkLocally(
+    const BenchmarkOptions& options) {
+  return LocalJobRunner::RunStandalone(options.ToJobConf());
+}
+
+}  // namespace mrmb

@@ -1,0 +1,107 @@
+// The micro-benchmark suite public API (the paper's contribution).
+//
+// A BenchmarkOptions names one measurement: a distribution pattern
+// (MR-AVG / MR-RAND / MR-SKEW), the intermediate data shape (key/value
+// sizes, count or target shuffle size, data type), the task counts, and the
+// platform (cluster, interconnect, scheduler generation). RunMicroBenchmark
+// assembles the simulated cluster, runs the stand-alone job (NullInputFormat
+// -> generated pairs -> custom partitioner -> shuffle -> discard), and
+// returns the job execution time, phase breakdown, per-reducer loads, and
+// optional dstat-style resource-utilization traces.
+//
+// Quickstart:
+//   BenchmarkOptions options;
+//   options.pattern = DistributionPattern::kAverage;
+//   options.shuffle_bytes = 8 * kGB;
+//   options.network = IpoibQdr();
+//   auto result = RunMicroBenchmark(options);
+//   std::cout << result->job.job_seconds << " s\n";
+
+#ifndef MRMB_MRMB_BENCHMARK_H_
+#define MRMB_MRMB_BENCHMARK_H_
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_spec.h"
+#include "cluster/resource_monitor.h"
+#include "common/status.h"
+#include "mapred/cost_model.h"
+#include "mapred/local_runner.h"
+#include "mapred/sim_runner.h"
+
+namespace mrmb {
+
+enum class ClusterKind {
+  kClusterA,  // 9-node Westmere (the paper's 1/10 GigE + QDR testbed)
+  kClusterB,  // TACC Stampede (FDR testbed)
+};
+
+const char* ClusterKindName(ClusterKind kind);
+Result<ClusterKind> ClusterKindByName(const std::string& name);
+
+struct BenchmarkOptions {
+  // ---- What to measure --------------------------------------------------
+  DistributionPattern pattern = DistributionPattern::kAverage;
+  // Skew strength when pattern == kZipf.
+  double zipf_exponent = 1.0;
+  DataType data_type = DataType::kBytesWritable;
+  // Compress map output (mapred.compress.map.output); the simulation
+  // measures the real DEFLATE ratio of the generated records.
+  bool compress_map_output = false;
+  int64_t key_size = 512;    // payload bytes per key
+  int64_t value_size = 512;  // payload bytes per value
+  // Target total intermediate (shuffle) data; the suite derives the number
+  // of generated key/value pairs from it. Ignored when `records_per_map`
+  // is set (> 0).
+  int64_t shuffle_bytes = 8LL * 1024 * 1024 * 1024;
+  int64_t records_per_map = 0;
+
+  // ---- Job shape ---------------------------------------------------------
+  int num_maps = 16;
+  int num_reduces = 8;
+  uint64_t seed = 42;
+
+  // ---- Platform -----------------------------------------------------------
+  ClusterKind cluster = ClusterKind::kClusterA;
+  int num_slaves = 4;
+  NetworkProfile network = OneGigE();
+  SchedulerKind scheduler = SchedulerKind::kMrv1;
+  // Slot counts; <= 0 means auto (enough for a single wave).
+  int map_slots_per_node = 0;
+  int reduce_slots_per_node = 0;
+
+  // ---- Instrumentation ------------------------------------------------
+  bool collect_resource_stats = false;
+  SimTime monitor_interval = kSecond;
+
+  CostModel cost = CostModel::Default();
+
+  // Materializes the JobConf this benchmark runs.
+  JobConf ToJobConf() const;
+  // The simulated cluster it runs on.
+  ClusterSpec ToClusterSpec() const;
+};
+
+struct BenchmarkResult {
+  BenchmarkOptions options;
+  SimJobResult job;
+  // Resource trace of slave node 0 (what the paper's Fig. 7 plots); empty
+  // unless collect_resource_stats was set.
+  std::vector<ResourceSample> node0_samples;
+  double peak_rx_MBps = 0;
+  double mean_cpu_pct = 0;
+};
+
+// Runs one micro-benchmark measurement on a fresh simulated cluster.
+Result<BenchmarkResult> RunMicroBenchmark(const BenchmarkOptions& options);
+
+// Runs the same benchmark definition through the functional in-process
+// engine (real bytes; small sizes only). Used by tests and examples to
+// validate distribution semantics against the simulation.
+Result<LocalJobResult> RunMicroBenchmarkLocally(
+    const BenchmarkOptions& options);
+
+}  // namespace mrmb
+
+#endif  // MRMB_MRMB_BENCHMARK_H_

@@ -1,0 +1,87 @@
+#include "mrmb/flags.h"
+
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace mrmb {
+
+Result<Flags> Flags::Parse(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      flags.help_ = true;
+      continue;
+    }
+    if (!StartsWith(arg, "--")) {
+      return Status::InvalidArgument("unexpected argument: '" + arg + "'");
+    }
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags.values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+      flags.values_[arg] = argv[++i];
+    } else {
+      flags.values_[arg] = "true";  // bare boolean flag
+    }
+  }
+  return flags;
+}
+
+bool Flags::Has(const std::string& name) const {
+  return values_.count(name) != 0;
+}
+
+Result<std::string> Flags::GetString(const std::string& name,
+                                     const std::string& default_value) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? default_value : it->second;
+}
+
+Result<int64_t> Flags::GetInt(const std::string& name,
+                              int64_t default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    return Status::InvalidArgument("--" + name + " expects an integer, got '" +
+                                   it->second + "'");
+  }
+  return static_cast<int64_t>(v);
+}
+
+Result<double> Flags::GetDouble(const std::string& name,
+                                double default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == nullptr || *end != '\0') {
+    return Status::InvalidArgument("--" + name + " expects a number, got '" +
+                                   it->second + "'");
+  }
+  return v;
+}
+
+Result<bool> Flags::GetBool(const std::string& name,
+                            bool default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  const std::string v = ToLower(it->second);
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  return Status::InvalidArgument("--" + name + " expects a boolean, got '" +
+                                 it->second + "'");
+}
+
+Result<int64_t> Flags::GetBytes(const std::string& name,
+                                int64_t default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  return ParseBytes(it->second);
+}
+
+}  // namespace mrmb

@@ -1,0 +1,45 @@
+// Minimal --flag=value command-line parsing for the bench and example
+// binaries. Not a general-purpose flags library: just enough to vary the
+// benchmark-level parameters the paper's suite exposes.
+
+#ifndef MRMB_MRMB_FLAGS_H_
+#define MRMB_MRMB_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "common/units.h"
+
+namespace mrmb {
+
+class Flags {
+ public:
+  // Parses "--name=value" and "--name value" arguments. Unrecognized
+  // positional arguments are an error; "--help" sets help_requested().
+  static Result<Flags> Parse(int argc, char** argv);
+
+  bool Has(const std::string& name) const;
+  bool help_requested() const { return help_; }
+
+  // Typed getters with defaults; flag-value parse errors are returned as
+  // Status so binaries can print usage.
+  Result<std::string> GetString(const std::string& name,
+                                const std::string& default_value) const;
+  Result<int64_t> GetInt(const std::string& name, int64_t default_value) const;
+  Result<double> GetDouble(const std::string& name,
+                           double default_value) const;
+  Result<bool> GetBool(const std::string& name, bool default_value) const;
+  // Accepts "8GB", "512KB", plain bytes.
+  Result<int64_t> GetBytes(const std::string& name,
+                           int64_t default_value) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  bool help_ = false;
+};
+
+}  // namespace mrmb
+
+#endif  // MRMB_MRMB_FLAGS_H_

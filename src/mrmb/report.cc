@@ -1,0 +1,145 @@
+#include "mrmb/report.h"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "common/strings.h"
+#include "common/units.h"
+
+namespace mrmb {
+
+void PrintBenchmarkReport(const BenchmarkResult& result, std::ostream* out) {
+  const BenchmarkOptions& options = result.options;
+  const SimJobResult& job = result.job;
+  std::ostream& os = *out;
+
+  os << "=== mrmb micro-benchmark "
+        "==============================================\n";
+  os << "Benchmark            : " << DistributionPatternName(options.pattern)
+     << "\n";
+  os << "Data type            : " << DataTypeName(options.data_type) << "\n";
+  os << "Key / value size     : " << FormatBytes(options.key_size) << " / "
+     << FormatBytes(options.value_size) << "\n";
+  os << "Shuffle data         : " << FormatBytes(job.total_shuffle_bytes)
+     << " (" << job.total_records << " records)\n";
+  os << "Maps / reduces       : " << options.num_maps << " / "
+     << options.num_reduces << "\n";
+  os << "Cluster              : " << ClusterKindName(options.cluster) << ", "
+     << options.num_slaves << " slaves\n";
+  os << "Network              : " << options.network.name << "\n";
+  os << "Scheduler            : " << SchedulerKindName(options.scheduler)
+     << "\n";
+  os << "---------------------------------------------------------------"
+        "----\n";
+  os << StringPrintf("Job execution time   : %.3f s\n", job.job_seconds);
+  os << StringPrintf(
+      "  map phase          : %.3f s\n  shuffle phase      : %.3f s\n"
+      "  reduce tail        : %.3f s\n",
+      job.map_phase_seconds, job.shuffle_phase_seconds,
+      job.reduce_phase_seconds);
+  os << StringPrintf("Reducer load imbalance (max/mean): %.2f\n",
+                     job.load_imbalance);
+  os << StringPrintf("Map-side spills      : %lld\n",
+                     static_cast<long long>(job.map_side_spills));
+  os << "Reduce-side spill    : "
+     << FormatBytes(job.reduce_side_spill_bytes) << "\n";
+  os << StringPrintf("CPU busy (all nodes) : %.1f core-seconds\n",
+                     job.cpu_busy_seconds);
+  os << "Disk traffic         : "
+     << FormatBytes(static_cast<int64_t>(job.disk_bytes)) << "\n";
+  os << "Network traffic      : "
+     << FormatBytes(static_cast<int64_t>(job.network_bytes)) << "\n";
+  if (!result.node0_samples.empty()) {
+    os << StringPrintf(
+        "Resource utilization (slave 0): mean CPU %.1f%%, peak RX %.1f "
+        "MB/s over %zu samples\n",
+        result.mean_cpu_pct, result.peak_rx_MBps,
+        result.node0_samples.size());
+  }
+  os << "================================================================="
+        "====\n";
+}
+
+SweepTable::SweepTable(std::string title, std::string x_label)
+    : title_(std::move(title)), x_label_(std::move(x_label)) {}
+
+void SweepTable::Add(const std::string& series, const std::string& x,
+                     double seconds) {
+  if (std::find(series_.begin(), series_.end(), series) == series_.end()) {
+    series_.push_back(series);
+  }
+  if (std::find(xs_.begin(), xs_.end(), x) == xs_.end()) {
+    xs_.push_back(x);
+  }
+  cells_[{series, x}] = seconds;
+}
+
+double SweepTable::Get(const std::string& series, const std::string& x) const {
+  auto it = cells_.find({series, x});
+  return it == cells_.end() ? -1.0 : it->second;
+}
+
+void SweepTable::Print(std::ostream* out) const {
+  std::ostream& os = *out;
+  os << "\n--- " << title_ << " (job execution time, seconds) ---\n";
+  const size_t x_width = std::max<size_t>(x_label_.size() + 2, 14);
+  os << std::left << std::setw(static_cast<int>(x_width)) << x_label_;
+  for (const std::string& series : series_) {
+    os << std::right << std::setw(static_cast<int>(
+        std::max<size_t>(series.size() + 2, 12))) << series;
+  }
+  os << "\n";
+  for (const std::string& x : xs_) {
+    os << std::left << std::setw(static_cast<int>(x_width)) << x;
+    for (const std::string& series : series_) {
+      const double v = Get(series, x);
+      const size_t width = std::max<size_t>(series.size() + 2, 12);
+      if (v < 0) {
+        os << std::right << std::setw(static_cast<int>(width)) << "-";
+      } else {
+        os << std::right << std::setw(static_cast<int>(width)) << std::fixed
+           << std::setprecision(1) << v;
+      }
+    }
+    os << "\n";
+  }
+}
+
+void SweepTable::PrintWithImprovement(const std::string& baseline_series,
+                                      std::ostream* out) const {
+  Print(out);
+  std::ostream& os = *out;
+  os << "--- improvement over " << baseline_series << " (%) ---\n";
+  const size_t x_width = std::max<size_t>(x_label_.size() + 2, 14);
+  for (const std::string& x : xs_) {
+    const double base = Get(baseline_series, x);
+    if (base <= 0) continue;
+    os << std::left << std::setw(static_cast<int>(x_width)) << x;
+    for (const std::string& series : series_) {
+      if (series == baseline_series) continue;
+      const double v = Get(series, x);
+      if (v < 0) continue;
+      os << "  " << series << ": " << std::fixed << std::setprecision(1)
+         << (base - v) / base * 100.0 << "%";
+    }
+    os << "\n";
+  }
+}
+
+void SweepTable::PrintCsv(std::ostream* out) const {
+  std::ostream& os = *out;
+  os << x_label_;
+  for (const std::string& series : series_) os << "," << series;
+  os << "\n";
+  for (const std::string& x : xs_) {
+    os << x;
+    for (const std::string& series : series_) {
+      const double v = Get(series, x);
+      os << ",";
+      if (v >= 0) os << std::fixed << std::setprecision(3) << v;
+    }
+    os << "\n";
+  }
+}
+
+}  // namespace mrmb

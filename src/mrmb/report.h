@@ -1,0 +1,62 @@
+// Benchmark output formatting.
+//
+// PrintBenchmarkReport emits the paper's per-test output: "the configuration
+// parameters and resource utilization statistics for each test, along with
+// the final job execution time" (Sect. 1). SweepTable collects a parameter
+// sweep (one series per configuration, one row per x value — e.g. shuffle
+// size) and prints the figure-shaped tables the bench binaries emit, plus
+// CSV for plotting.
+
+#ifndef MRMB_MRMB_REPORT_H_
+#define MRMB_MRMB_REPORT_H_
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "mrmb/benchmark.h"
+
+namespace mrmb {
+
+// Full single-run report (configuration + timings + resources).
+void PrintBenchmarkReport(const BenchmarkResult& result, std::ostream* out);
+
+// Collects series of (x, seconds) points and renders aligned tables.
+class SweepTable {
+ public:
+  // `title` heads the printed table; `x_label` names the first column.
+  SweepTable(std::string title, std::string x_label);
+
+  // Adds one measurement. Series appear as columns in insertion order; x
+  // values as rows in insertion order of first appearance.
+  void Add(const std::string& series, const std::string& x, double seconds);
+
+  // Renders an aligned ASCII table of job times.
+  void Print(std::ostream* out) const;
+
+  // Adds derived columns: percentage improvement of each series relative to
+  // `baseline_series` (positive = faster than baseline).
+  void PrintWithImprovement(const std::string& baseline_series,
+                            std::ostream* out) const;
+
+  // CSV: x,<series1>,<series2>,...
+  void PrintCsv(std::ostream* out) const;
+
+  // Lookup of a stored cell; returns -1 if missing.
+  double Get(const std::string& series, const std::string& x) const;
+
+  const std::vector<std::string>& series_names() const { return series_; }
+  const std::vector<std::string>& x_values() const { return xs_; }
+
+ private:
+  std::string title_;
+  std::string x_label_;
+  std::vector<std::string> series_;
+  std::vector<std::string> xs_;
+  std::map<std::pair<std::string, std::string>, double> cells_;
+};
+
+}  // namespace mrmb
+
+#endif  // MRMB_MRMB_REPORT_H_

@@ -1,0 +1,217 @@
+#include "mrmb/suite_spec.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "common/units.h"
+#include "mrmb/report.h"
+
+namespace mrmb {
+
+namespace {
+
+const char* const kKnownKeys[] = {
+    "pattern",   "network", "shuffle", "kv",       "type",
+    "maps",      "reduces", "slaves",  "cluster",  "scheduler",
+    "compress",  "zipf-exp", "seed",
+};
+
+bool IsKnownKey(const std::string& key) {
+  return std::find_if(std::begin(kKnownKeys), std::end(kKnownKeys),
+                      [&](const char* k) { return key == k; }) !=
+         std::end(kKnownKeys);
+}
+
+// Strips an inline "# comment" and whitespace.
+std::string CleanLine(std::string_view line) {
+  const size_t hash = line.find('#');
+  if (hash != std::string_view::npos) line = line.substr(0, hash);
+  return std::string(StripWhitespace(line));
+}
+
+}  // namespace
+
+Result<SuiteSpec> ParseSuiteSpec(const std::string& text) {
+  SuiteSpec spec;
+  SuiteSection* current = nullptr;
+  int line_number = 0;
+  for (const std::string& raw : SplitString(text, '\n')) {
+    ++line_number;
+    const std::string line = CleanLine(raw);
+    if (line.empty()) continue;
+    if (line.front() == '[') {
+      if (line.back() != ']' || line.size() < 3) {
+        return Status::InvalidArgument(
+            "line " + std::to_string(line_number) + ": malformed section");
+      }
+      const std::string name = line.substr(1, line.size() - 2);
+      for (const SuiteSection& section : spec.sections) {
+        if (section.name == name) {
+          return Status::InvalidArgument("duplicate section: " + name);
+        }
+      }
+      spec.sections.push_back(SuiteSection{name, {}});
+      current = &spec.sections.back();
+      continue;
+    }
+    const size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                     ": expected 'key = value'");
+    }
+    if (current == nullptr) {
+      return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                     ": entry outside a [section]");
+    }
+    const std::string key =
+        ToLower(std::string(StripWhitespace(line.substr(0, eq))));
+    if (!IsKnownKey(key)) {
+      return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                     ": unknown key '" + key + "'");
+    }
+    if (current->entries.count(key) != 0) {
+      return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                     ": duplicate key '" + key + "'");
+    }
+    std::vector<std::string> values;
+    for (const std::string& piece :
+         SplitString(line.substr(eq + 1), ',')) {
+      const std::string value = std::string(StripWhitespace(piece));
+      if (!value.empty()) values.push_back(value);
+    }
+    if (values.empty()) {
+      return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                     ": no values for '" + key + "'");
+    }
+    current->entries.emplace(key, std::move(values));
+  }
+  if (spec.sections.empty()) {
+    return Status::InvalidArgument("suite spec has no sections");
+  }
+  return spec;
+}
+
+namespace {
+
+Result<std::string> SingleValue(const SuiteSection& section,
+                                const std::string& key,
+                                const std::string& default_value) {
+  auto it = section.entries.find(key);
+  if (it == section.entries.end()) return default_value;
+  if (it->second.size() != 1) {
+    return Status::InvalidArgument("[" + section.name + "] key '" + key +
+                                   "' must have exactly one value");
+  }
+  return it->second[0];
+}
+
+}  // namespace
+
+Result<ResolvedSection> ResolveSection(const SuiteSection& section) {
+  ResolvedSection resolved;
+  resolved.name = section.name;
+
+  BenchmarkOptions base;
+  MRMB_ASSIGN_OR_RETURN(const std::string pattern,
+                        SingleValue(section, "pattern", "avg"));
+  MRMB_ASSIGN_OR_RETURN(base.pattern, DistributionPatternByName(pattern));
+  MRMB_ASSIGN_OR_RETURN(const std::string type,
+                        SingleValue(section, "type", "bytes"));
+  MRMB_ASSIGN_OR_RETURN(base.data_type, DataTypeByName(type));
+  MRMB_ASSIGN_OR_RETURN(const std::string cluster,
+                        SingleValue(section, "cluster", "a"));
+  MRMB_ASSIGN_OR_RETURN(base.cluster, ClusterKindByName(cluster));
+  MRMB_ASSIGN_OR_RETURN(const std::string scheduler,
+                        SingleValue(section, "scheduler", "mrv1"));
+  base.scheduler = ToLower(scheduler) == "yarn" ? SchedulerKind::kYarn
+                                                : SchedulerKind::kMrv1;
+
+  auto int_value = [&](const std::string& key, int default_value,
+                       int* out) -> Status {
+    MRMB_ASSIGN_OR_RETURN(
+        const std::string text,
+        SingleValue(section, key, std::to_string(default_value)));
+    char* end = nullptr;
+    const long v = std::strtol(text.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || v <= 0) {
+      return Status::InvalidArgument("[" + section.name + "] bad " + key +
+                                     ": '" + text + "'");
+    }
+    *out = static_cast<int>(v);
+    return Status::OK();
+  };
+  MRMB_RETURN_IF_ERROR(int_value("maps", 16, &base.num_maps));
+  MRMB_RETURN_IF_ERROR(int_value("reduces", 8, &base.num_reduces));
+  MRMB_RETURN_IF_ERROR(int_value("slaves", 4, &base.num_slaves));
+
+  MRMB_ASSIGN_OR_RETURN(const std::string kv,
+                        SingleValue(section, "kv", "1KB"));
+  MRMB_ASSIGN_OR_RETURN(const int64_t kv_bytes, ParseBytes(kv));
+  base.key_size = kv_bytes / 2;
+  base.value_size = kv_bytes - base.key_size;
+
+  MRMB_ASSIGN_OR_RETURN(const std::string compress,
+                        SingleValue(section, "compress", "false"));
+  base.compress_map_output =
+      ToLower(compress) == "true" || compress == "1" ||
+      ToLower(compress) == "yes";
+  MRMB_ASSIGN_OR_RETURN(const std::string zipf,
+                        SingleValue(section, "zipf-exp", "1.0"));
+  base.zipf_exponent = std::strtod(zipf.c_str(), nullptr);
+  MRMB_ASSIGN_OR_RETURN(const std::string seed,
+                        SingleValue(section, "seed", "42"));
+  base.seed = static_cast<uint64_t>(std::strtoull(seed.c_str(), nullptr, 10));
+
+  // Sweep axes.
+  std::vector<std::string> networks = {"ipoib-qdr"};
+  if (auto it = section.entries.find("network"); it != section.entries.end()) {
+    networks = it->second;
+  }
+  std::vector<std::string> shuffles = {"8GB"};
+  if (auto it = section.entries.find("shuffle"); it != section.entries.end()) {
+    shuffles = it->second;
+  }
+
+  for (const std::string& network_name : networks) {
+    MRMB_ASSIGN_OR_RETURN(const NetworkProfile network,
+                          NetworkProfileByName(network_name));
+    resolved.series_labels.push_back(network.name);
+    std::vector<BenchmarkOptions> row;
+    for (const std::string& shuffle_text : shuffles) {
+      MRMB_ASSIGN_OR_RETURN(const int64_t shuffle_bytes,
+                            ParseBytes(shuffle_text));
+      BenchmarkOptions options = base;
+      options.network = network;
+      options.shuffle_bytes = shuffle_bytes;
+      row.push_back(options);
+    }
+    resolved.options.push_back(std::move(row));
+  }
+  resolved.x_labels = shuffles;
+  return resolved;
+}
+
+Status RunSuite(const SuiteSpec& spec, bool csv, std::ostream* out) {
+  for (const SuiteSection& section : spec.sections) {
+    MRMB_ASSIGN_OR_RETURN(const ResolvedSection resolved,
+                          ResolveSection(section));
+    SweepTable table(resolved.name, "ShuffleSize");
+    for (size_t s = 0; s < resolved.options.size(); ++s) {
+      for (size_t x = 0; x < resolved.options[s].size(); ++x) {
+        MRMB_ASSIGN_OR_RETURN(const BenchmarkResult result,
+                              RunMicroBenchmark(resolved.options[s][x]));
+        table.Add(resolved.series_labels[s], resolved.x_labels[x],
+                  result.job.job_seconds);
+      }
+    }
+    if (resolved.series_labels.size() > 1) {
+      table.PrintWithImprovement(resolved.series_labels[0], out);
+    } else {
+      table.Print(out);
+    }
+    if (csv) table.PrintCsv(out);
+  }
+  return Status::OK();
+}
+
+}  // namespace mrmb

@@ -1,0 +1,66 @@
+// Suite specification files: declarative descriptions of benchmark sweeps.
+//
+// The paper proposes a *standardized* suite users can run against their own
+// clusters. A .suite file describes one or more sweeps in a simple INI-like
+// syntax; the suite runner executes every combination and prints the
+// figure-shaped tables:
+//
+//   # Fig. 2(a)-style sweep
+//   [mr-avg-networks]
+//   pattern = avg
+//   network = 1gige, 10gige, ipoib-qdr   # list -> one series per value
+//   shuffle = 8GB, 16GB, 32GB            # list -> one row per value
+//   maps = 16
+//   reduces = 8
+//   slaves = 4
+//
+// Recognized keys: pattern, network, shuffle, kv, type, maps, reduces,
+// slaves, cluster, scheduler, compress, zipf-exp, seed. `network` values
+// become table columns; `shuffle` values become rows; all other keys are
+// scalars.
+
+#ifndef MRMB_MRMB_SUITE_SPEC_H_
+#define MRMB_MRMB_SUITE_SPEC_H_
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "mrmb/benchmark.h"
+
+namespace mrmb {
+
+struct SuiteSection {
+  std::string name;
+  // Raw key -> values (singletons for scalar keys).
+  std::map<std::string, std::vector<std::string>> entries;
+};
+
+struct SuiteSpec {
+  std::vector<SuiteSection> sections;
+};
+
+// Parses the INI-like suite syntax. Unknown keys, duplicate sections and
+// entries outside a section are errors.
+Result<SuiteSpec> ParseSuiteSpec(const std::string& text);
+
+// Resolves one section into the benchmark sweep it describes: the returned
+// matrix is options[network_index][shuffle_index].
+struct ResolvedSection {
+  std::string name;
+  std::vector<std::string> series_labels;  // one per network
+  std::vector<std::string> x_labels;       // one per shuffle size
+  std::vector<std::vector<BenchmarkOptions>> options;
+};
+
+Result<ResolvedSection> ResolveSection(const SuiteSection& section);
+
+// Runs every section of the suite, printing paper-style tables to `out`
+// (and CSV if `csv` is set). Returns the first execution error.
+Status RunSuite(const SuiteSpec& spec, bool csv, std::ostream* out);
+
+}  // namespace mrmb
+
+#endif  // MRMB_MRMB_SUITE_SPEC_H_

@@ -1,0 +1,88 @@
+#include "net/fabric.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "sim/fairshare.h"
+
+namespace mrmb {
+
+namespace {
+// Rate used for node-local (loopback) "transfers": an in-memory copy.
+constexpr double kLoopbackBytesPerSec = 6.0e9;
+}  // namespace
+
+Fabric::Fabric(Simulator* sim, int num_nodes, NetworkProfile profile,
+               double oversubscription)
+    : sim_(sim), num_nodes_(num_nodes), profile_(std::move(profile)) {
+  MRMB_CHECK(sim_ != nullptr);
+  MRMB_CHECK_GT(num_nodes_, 0);
+  MRMB_CHECK_GT(profile_.raw_bandwidth_bps, 0.0);
+  MRMB_CHECK_GT(oversubscription, 0.0);
+  backplane_capacity_ = oversubscription >= 1.0
+                            ? -1.0
+                            : oversubscription * num_nodes_ *
+                                  profile_.app_bandwidth_Bps();
+  pool_ = std::make_unique<FluidPool>(
+      sim_, [this](std::vector<FluidFlow*>* flows) { Solve(flows); });
+}
+
+void Fabric::Transfer(int src, int dst, int64_t bytes,
+                      CompletionFn on_complete) {
+  MRMB_CHECK_GE(src, 0);
+  MRMB_CHECK_LT(src, num_nodes_);
+  MRMB_CHECK_GE(dst, 0);
+  MRMB_CHECK_LT(dst, num_nodes_);
+  MRMB_CHECK_GE(bytes, 0);
+  MRMB_CHECK(on_complete != nullptr);
+
+  if (src == dst) {
+    const SimTime copy_time = FromSeconds(
+        static_cast<double>(bytes) / kLoopbackBytesPerSec);
+    sim_->After(copy_time, [cb = std::move(on_complete), sim = sim_] {
+      cb(sim->Now());
+    });
+    return;
+  }
+
+  const SimTime latency = profile_.latency;
+  auto finish = [this, latency, cb = std::move(on_complete)](SimTime) {
+    sim_->After(latency, [cb, sim = sim_] { cb(sim->Now()); });
+  };
+  // Sender-side fixed software overhead delays the first byte.
+  sim_->After(profile_.per_message_overhead,
+              [this, src, dst, bytes, finish = std::move(finish)] {
+                pool_->Start(static_cast<double>(bytes), src, dst,
+                             std::move(finish));
+              });
+}
+
+double Fabric::RxBytes(int node) { return pool_->DeliveredTo(node); }
+double Fabric::TxBytes(int node) { return pool_->ServedFrom(node); }
+
+void Fabric::Solve(std::vector<FluidFlow*>* flows) {
+  // Link layout: [0, n) egress per node, [n, 2n) ingress per node,
+  // optionally 2n = switch backplane.
+  const double nic = profile_.app_bandwidth_Bps();
+  MaxMinProblem problem;
+  const bool has_backplane = backplane_capacity_ > 0;
+  problem.link_capacity.assign(
+      static_cast<size_t>(2 * num_nodes_) + (has_backplane ? 1 : 0), nic);
+  if (has_backplane) {
+    problem.link_capacity.back() = backplane_capacity_;
+  }
+  problem.flow_links.reserve(flows->size());
+  for (FluidFlow* flow : *flows) {
+    std::vector<int32_t> links = {
+        static_cast<int32_t>(flow->tag_src),
+        static_cast<int32_t>(num_nodes_ + flow->tag_dst)};
+    if (has_backplane) links.push_back(2 * num_nodes_);
+    problem.flow_links.push_back(std::move(links));
+  }
+  const std::vector<double> rates = SolveMaxMinFair(problem);
+  for (size_t i = 0; i < flows->size(); ++i) {
+    (*flows)[i]->rate = rates[i];
+  }
+}
+
+}  // namespace mrmb

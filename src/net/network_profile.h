@@ -1,0 +1,71 @@
+// Interconnect models.
+//
+// A NetworkProfile captures what distinguishes the interconnects the paper
+// evaluates (Sect. 5.1): raw signalling rate, application-visible protocol
+// efficiency, one-way latency, per-message software overhead, and the host
+// CPU cost per transferred byte (the TCP/IP stack cost that RDMA bypasses).
+//
+// Calibration targets come from the paper's Fig. 7 resource-utilization
+// traces: application-level single-NIC receive peaks of ~110 MB/s (1 GigE),
+// ~520 MB/s (10 GigE, workload-limited), and ~950 MB/s (IPoIB QDR), plus the
+// published character of IPoIB (high host CPU cost; far below raw IB rate)
+// and RDMA (kernel bypass: minimal CPU cost, near-raw bandwidth).
+
+#ifndef MRMB_NET_NETWORK_PROFILE_H_
+#define MRMB_NET_NETWORK_PROFILE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+
+namespace mrmb {
+
+struct NetworkProfile {
+  std::string name;
+  // Raw signalling rate in bits/second (e.g. 1e9 for 1 GigE).
+  double raw_bandwidth_bps = 0;
+  // Fraction of the raw rate achievable by application payload. IPoIB is
+  // notoriously inefficient (TCP/IP emulation over IB verbs); RDMA gets
+  // close to the wire rate.
+  double efficiency = 1.0;
+  // One-way propagation + stack latency per message.
+  SimTime latency = 0;
+  // Fixed sender-side software overhead per message (connection handling,
+  // syscalls, segmentation setup).
+  SimTime per_message_overhead = 0;
+  // Host CPU cost per payload byte, in core-seconds/byte, charged at the
+  // sender and at the receiver respectively. This is what makes IPoIB's job
+  // times only modestly better than 10 GigE despite 3.2x raw bandwidth, and
+  // what RDMA eliminates.
+  double sender_cpu_per_byte = 0;
+  double receiver_cpu_per_byte = 0;
+  // True for kernel-bypass transports; enables the RDMA shuffle engine's
+  // fetch/merge overlap in the MapReduce simulation.
+  bool rdma = false;
+
+  // Application-visible bandwidth in bytes/second.
+  double app_bandwidth_Bps() const {
+    return raw_bandwidth_bps * efficiency / 8.0;
+  }
+};
+
+// The five interconnects evaluated in the paper.
+NetworkProfile OneGigE();             // 1 GigE
+NetworkProfile TenGigE();             // 10 GigE
+NetworkProfile IpoibQdr();            // IPoIB over QDR InfiniBand (32 Gbps)
+NetworkProfile IpoibFdr();            // IPoIB over FDR InfiniBand (56 Gbps)
+NetworkProfile RdmaFdr();             // native-IB RDMA over FDR (56 Gbps)
+
+// Looks a profile up by the names used on benchmark command lines:
+// "1gige", "10gige", "ipoib-qdr", "ipoib-fdr", "rdma-fdr" (case-insensitive,
+// with a few aliases). Returns InvalidArgument for unknown names.
+Result<NetworkProfile> NetworkProfileByName(const std::string& name);
+
+// All built-in profiles, in ascending capability order.
+std::vector<NetworkProfile> AllNetworkProfiles();
+
+}  // namespace mrmb
+
+#endif  // MRMB_NET_NETWORK_PROFILE_H_

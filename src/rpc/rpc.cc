@@ -1,0 +1,154 @@
+#include "rpc/rpc.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace mrmb {
+
+SimRpcServer::SimRpcServer(SimCluster* cluster, int server_node,
+                           RpcConfig config)
+    : cluster_(cluster), server_node_(server_node), config_(config) {
+  MRMB_CHECK(cluster_ != nullptr);
+  MRMB_CHECK_GE(server_node_, 0);
+  MRMB_CHECK_LT(server_node_, cluster_->num_nodes());
+  MRMB_CHECK_GT(config_.handler_threads, 0);
+}
+
+void SimRpcServer::Call(int client_node, int64_t request_bytes,
+                        int64_t response_bytes, DoneFn done) {
+  MRMB_CHECK_GE(client_node, 0);
+  MRMB_CHECK_LT(client_node, cluster_->num_nodes());
+  MRMB_CHECK(done != nullptr);
+  PendingCall call{client_node, request_bytes, response_bytes,
+                   std::move(done)};
+  // Client-side serialization, then the request goes on the wire.
+  const double client_cpu =
+      config_.client_cpu_seconds +
+      static_cast<double>(request_bytes) * config_.cpu_per_byte;
+  cluster_->RunCpu(client_node, client_cpu,
+                   [this, call = std::move(call)](SimTime) mutable {
+                     const int from = call.client_node;
+                     const int64_t bytes = call.request_bytes;
+                     cluster_->Transfer(
+                         from, server_node_, bytes,
+                         [this, call = std::move(call)](SimTime) mutable {
+                           OnRequestArrived(std::move(call));
+                         });
+                   });
+}
+
+void SimRpcServer::OnRequestArrived(PendingCall call) {
+  if (active_handlers_ >= config_.handler_threads) {
+    queue_.push_back(std::move(call));
+    max_queue_depth_ =
+        std::max(max_queue_depth_, static_cast<int64_t>(queue_.size()));
+    return;
+  }
+  ++active_handlers_;
+  RunHandler(std::move(call));
+}
+
+void SimRpcServer::RunHandler(PendingCall call) {
+  const double handler_cpu =
+      config_.handler_cpu_seconds +
+      static_cast<double>(call.request_bytes + call.response_bytes) *
+          config_.cpu_per_byte;
+  cluster_->RunCpu(server_node_, handler_cpu,
+                   [this, call = std::move(call)](SimTime) mutable {
+                     FinishCall(std::move(call));
+                   });
+}
+
+void SimRpcServer::FinishCall(PendingCall call) {
+  const int client = call.client_node;
+  const int64_t bytes = call.response_bytes;
+  DoneFn done = std::move(call.done);
+  cluster_->Transfer(server_node_, client, bytes,
+                     [this, done = std::move(done)](SimTime t) {
+                       ++calls_completed_;
+                       done(t);
+                     });
+  --active_handlers_;
+  PumpQueue();
+}
+
+void SimRpcServer::PumpQueue() {
+  while (active_handlers_ < config_.handler_threads && !queue_.empty()) {
+    PendingCall next = std::move(queue_.front());
+    queue_.pop_front();
+    ++active_handlers_;
+    RunHandler(std::move(next));
+  }
+}
+
+RpcLatencyResult RpcLatencyBenchmark(const ClusterSpec& spec,
+                                     int64_t payload_bytes, int64_t calls,
+                                     const RpcConfig& config) {
+  MRMB_CHECK_GT(calls, 0);
+  // Server on node 0; client on the last node (remote unless 1 node).
+  SimCluster cluster(spec);
+  SimRpcServer server(&cluster, 0, config);
+  const int client = cluster.num_nodes() - 1;
+
+  int64_t remaining = calls;
+  SimTime finish = 0;
+  std::function<void()> next = [&] {
+    if (remaining-- == 0) return;
+    server.Call(client, payload_bytes, payload_bytes, [&](SimTime t) {
+      finish = t;
+      next();
+    });
+  };
+  next();
+  cluster.sim()->Run();
+
+  RpcLatencyResult result;
+  result.calls = calls;
+  result.mean_rtt_us =
+      ToSeconds(finish) / static_cast<double>(calls) * 1e6;
+  return result;
+}
+
+RpcThroughputResult RpcThroughputBenchmark(const ClusterSpec& spec,
+                                           int clients,
+                                           int64_t calls_per_client,
+                                           int64_t payload_bytes,
+                                           const RpcConfig& config) {
+  MRMB_CHECK_GT(clients, 0);
+  MRMB_CHECK_GT(calls_per_client, 0);
+  SimCluster cluster(spec);
+  SimRpcServer server(&cluster, 0, config);
+
+  SimTime finish = 0;
+  // Per-client sequential call loops, all started at t=0.
+  struct ClientState {
+    int node;
+    int64_t remaining;
+  };
+  std::vector<ClientState> states;
+  for (int c = 0; c < clients; ++c) {
+    states.push_back(ClientState{c % cluster.num_nodes(), calls_per_client});
+  }
+  std::function<void(int)> issue = [&](int c) {
+    ClientState& state = states[static_cast<size_t>(c)];
+    if (state.remaining-- == 0) return;
+    server.Call(state.node, payload_bytes, payload_bytes,
+                [&, c](SimTime t) {
+                  finish = std::max(finish, t);
+                  issue(c);
+                });
+  };
+  for (int c = 0; c < clients; ++c) issue(c);
+  cluster.sim()->Run();
+
+  RpcThroughputResult result;
+  result.calls = static_cast<int64_t>(clients) * calls_per_client;
+  result.calls_per_second =
+      static_cast<double>(result.calls) / ToSeconds(finish);
+  result.max_queue_depth = server.max_queue_depth();
+  return result;
+}
+
+}  // namespace mrmb

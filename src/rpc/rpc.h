@@ -1,0 +1,104 @@
+// Hadoop RPC model and micro-benchmarks.
+//
+// The paper's related work (ref [16]) is the same group's micro-benchmark
+// suite for Hadoop RPC — the request/response layer under every heartbeat,
+// job submission and NameNode operation. This module models that layer on
+// the simulated cluster: a client serializes a request (host CPU), ships it
+// over the fabric, the server runs it through a bounded handler pool
+// (ipc.server.handler.count), and the response travels back.
+//
+// Two measurements mirror the RPC suite's headline benchmarks:
+//   * RpcLatencyBenchmark  — mean round-trip time of sequential calls
+//     (their "lat" benchmark), swept over payload sizes and interconnects;
+//   * RpcThroughputBenchmark — aggregate calls/second with many concurrent
+//     clients (their "thr" benchmark), exposing the handler-pool ceiling.
+
+#ifndef MRMB_RPC_RPC_H_
+#define MRMB_RPC_RPC_H_
+
+#include <deque>
+#include <functional>
+
+#include "cluster/sim_cluster.h"
+#include "common/status.h"
+
+namespace mrmb {
+
+struct RpcConfig {
+  // Server-side handler threads (ipc.server.handler.count).
+  int handler_threads = 10;
+  // Fixed CPU per call on each side: protobuf/Writable encode + decode and
+  // connection bookkeeping.
+  double client_cpu_seconds = 1.5e-5;
+  double handler_cpu_seconds = 2.5e-5;
+  // Additional CPU per payload byte (serialization).
+  double cpu_per_byte = 1.0e-9;
+};
+
+// One RPC server pinned to a node of a simulated cluster.
+class SimRpcServer {
+ public:
+  using DoneFn = std::function<void(SimTime)>;
+
+  SimRpcServer(SimCluster* cluster, int server_node, RpcConfig config);
+
+  SimRpcServer(const SimRpcServer&) = delete;
+  SimRpcServer& operator=(const SimRpcServer&) = delete;
+
+  // Issues one call from `client_node`: request of `request_bytes` up,
+  // response of `response_bytes` back. `done` fires at the client when the
+  // response has arrived. Calls queue when all handlers are busy.
+  void Call(int client_node, int64_t request_bytes, int64_t response_bytes,
+            DoneFn done);
+
+  int64_t calls_completed() const { return calls_completed_; }
+  int64_t max_queue_depth() const { return max_queue_depth_; }
+
+ private:
+  struct PendingCall {
+    int client_node;
+    int64_t request_bytes;
+    int64_t response_bytes;
+    DoneFn done;
+  };
+
+  void OnRequestArrived(PendingCall call);
+  void RunHandler(PendingCall call);
+  void FinishCall(PendingCall call);
+  void PumpQueue();
+
+  SimCluster* cluster_;
+  int server_node_;
+  RpcConfig config_;
+  int active_handlers_ = 0;
+  std::deque<PendingCall> queue_;
+  int64_t calls_completed_ = 0;
+  int64_t max_queue_depth_ = 0;
+};
+
+struct RpcLatencyResult {
+  double mean_rtt_us = 0;
+  int64_t calls = 0;
+};
+
+// Sequential ping-pong from one client: mean round-trip in microseconds.
+RpcLatencyResult RpcLatencyBenchmark(const ClusterSpec& spec,
+                                     int64_t payload_bytes, int64_t calls,
+                                     const RpcConfig& config = RpcConfig());
+
+struct RpcThroughputResult {
+  double calls_per_second = 0;
+  int64_t calls = 0;
+  int64_t max_queue_depth = 0;
+};
+
+// `clients` concurrent callers (spread over the cluster's nodes) each issue
+// `calls_per_client` back-to-back calls; aggregate calls/second over the
+// makespan.
+RpcThroughputResult RpcThroughputBenchmark(
+    const ClusterSpec& spec, int clients, int64_t calls_per_client,
+    int64_t payload_bytes, const RpcConfig& config = RpcConfig());
+
+}  // namespace mrmb
+
+#endif  // MRMB_RPC_RPC_H_

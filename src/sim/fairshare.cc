@@ -1,0 +1,105 @@
+#include "sim/fairshare.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mrmb {
+
+namespace {
+constexpr double kEps = 1e-9;
+}  // namespace
+
+std::vector<double> SolveMaxMinFair(const MaxMinProblem& problem) {
+  const size_t num_flows = problem.flow_links.size();
+  const size_t num_links = problem.link_capacity.size();
+  MRMB_CHECK(problem.rate_limit.empty() ||
+             problem.rate_limit.size() == num_flows);
+
+  std::vector<double> rate(num_flows, 0.0);
+  if (num_flows == 0) return rate;
+
+  std::vector<double> residual = problem.link_capacity;
+  std::vector<int32_t> unfrozen_on_link(num_links, 0);
+  std::vector<bool> frozen(num_flows, false);
+
+  auto cap_of = [&](size_t f) {
+    return problem.rate_limit.empty() ? kUnlimitedRate : problem.rate_limit[f];
+  };
+
+  size_t unfrozen_count = num_flows;
+  // Flows with zero cap or crossing a zero-capacity link freeze at 0
+  // immediately.
+  for (size_t f = 0; f < num_flows; ++f) {
+    for (int32_t link : problem.flow_links[f]) {
+      MRMB_CHECK_GE(link, 0);
+      MRMB_CHECK_LT(static_cast<size_t>(link), num_links);
+    }
+    if (problem.flow_links[f].empty()) {
+      MRMB_CHECK(std::isfinite(cap_of(f)))
+          << "flow crossing no links must have a finite rate cap";
+    }
+    bool dead = cap_of(f) <= kEps;
+    for (int32_t link : problem.flow_links[f]) {
+      if (problem.link_capacity[link] <= kEps) dead = true;
+    }
+    if (dead) {
+      frozen[f] = true;
+      --unfrozen_count;
+    } else {
+      for (int32_t link : problem.flow_links[f]) ++unfrozen_on_link[link];
+    }
+  }
+
+  while (unfrozen_count > 0) {
+    // Largest equal increment all unfrozen flows can take.
+    double inc = kUnlimitedRate;
+    for (size_t l = 0; l < num_links; ++l) {
+      if (unfrozen_on_link[l] > 0) {
+        inc = std::min(inc, residual[l] / unfrozen_on_link[l]);
+      }
+    }
+    for (size_t f = 0; f < num_flows; ++f) {
+      if (!frozen[f]) inc = std::min(inc, cap_of(f) - rate[f]);
+    }
+    MRMB_CHECK(std::isfinite(inc))
+        << "unbounded allocation: some flow has no binding constraint";
+    inc = std::max(inc, 0.0);
+
+    for (size_t f = 0; f < num_flows; ++f) {
+      if (!frozen[f]) rate[f] += inc;
+    }
+    for (size_t l = 0; l < num_links; ++l) {
+      residual[l] -= inc * unfrozen_on_link[l];
+    }
+
+    // Freeze flows at saturated links or at their cap. At least one flow
+    // must freeze per iteration (inc was chosen as the binding minimum), so
+    // the loop terminates in <= num_flows iterations.
+    size_t frozen_this_round = 0;
+    for (size_t f = 0; f < num_flows; ++f) {
+      if (frozen[f]) continue;
+      bool freeze = rate[f] >= cap_of(f) - kEps;
+      if (!freeze) {
+        for (int32_t link : problem.flow_links[f]) {
+          if (residual[link] <= kEps * std::max(1.0,
+                                                problem.link_capacity[link])) {
+            freeze = true;
+            break;
+          }
+        }
+      }
+      if (freeze) {
+        frozen[f] = true;
+        --unfrozen_count;
+        ++frozen_this_round;
+        for (int32_t link : problem.flow_links[f]) --unfrozen_on_link[link];
+      }
+    }
+    MRMB_CHECK_GT(frozen_this_round, 0u) << "progressive filling stalled";
+  }
+  return rate;
+}
+
+}  // namespace mrmb

@@ -1,0 +1,46 @@
+// Max-min fair bandwidth allocation (progressive filling / water-filling).
+//
+// Given a set of flows, each crossing a set of capacity-limited links and
+// optionally capped at a per-flow rate limit, computes the max-min fair rate
+// vector: all flows' rates are raised together until a link saturates or a
+// flow hits its cap; those flows freeze and filling continues.
+//
+// This is the classic fluid model used to approximate TCP-fair sharing in
+// flow-level network simulators; it is also reused for processor sharing
+// (each runnable task is a "flow" capped at one core crossing the node's
+// core-capacity "link") and for shared-disk bandwidth.
+
+#ifndef MRMB_SIM_FAIRSHARE_H_
+#define MRMB_SIM_FAIRSHARE_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace mrmb {
+
+struct MaxMinProblem {
+  // Capacity of each link, in work units per second. Must be >= 0.
+  std::vector<double> link_capacity;
+  // For each flow, the indices of the links it crosses. A flow may cross no
+  // links, in which case it must have a finite rate limit.
+  std::vector<std::vector<int32_t>> flow_links;
+  // Per-flow rate cap; use kUnlimitedRate for "no cap". Sized like
+  // flow_links or empty (= all unlimited).
+  std::vector<double> rate_limit;
+};
+
+inline constexpr double kUnlimitedRate =
+    std::numeric_limits<double>::infinity();
+
+// Returns the max-min fair rate of each flow. Invariants guaranteed (and
+// asserted by tests):
+//   * sum of rates over each link <= its capacity (+ epsilon),
+//   * no flow exceeds its cap,
+//   * allocation is max-min: a flow's rate can only be below its cap if it
+//     crosses a saturated link on which every other flow has rate >= its own.
+std::vector<double> SolveMaxMinFair(const MaxMinProblem& problem);
+
+}  // namespace mrmb
+
+#endif  // MRMB_SIM_FAIRSHARE_H_

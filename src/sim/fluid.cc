@@ -1,0 +1,159 @@
+#include "sim/fluid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace mrmb {
+
+namespace {
+// A flow is complete when its remaining work is below this fraction of one
+// unit-of-work-plus-one; at event time the scheduled completion instant makes
+// the minimum flow's remainder collapse to ~0 up to rounding.
+constexpr double kCompleteEps = 1e-6;
+
+bool IsComplete(const FluidFlow& flow) {
+  return flow.remaining <= kCompleteEps;
+}
+}  // namespace
+
+FluidPool::FluidPool(Simulator* sim, RateSolver solver)
+    : sim_(sim), solver_(std::move(solver)) {
+  MRMB_CHECK(sim_ != nullptr);
+  MRMB_CHECK(solver_ != nullptr);
+  last_update_ = sim_->Now();
+}
+
+FluidPool::~FluidPool() {
+  if (pending_event_ != 0) sim_->Cancel(pending_event_);
+}
+
+FlowId FluidPool::Start(double work, int64_t tag_src, int64_t tag_dst,
+                        CompletionFn on_complete) {
+  MRMB_CHECK(on_complete != nullptr);
+  if (work <= 0) {
+    // Degenerate flow: completes "immediately" (still via the event loop so
+    // callers never observe re-entrant completion).
+    sim_->After(0, [cb = std::move(on_complete), sim = sim_] {
+      cb(sim->Now());
+    });
+    return 0;
+  }
+  AdvanceToNow();
+  const FlowId id = next_flow_id_++;
+  auto rec = std::make_unique<FlowRec>();
+  rec->flow.id = id;
+  rec->flow.remaining = work;
+  rec->flow.tag_src = tag_src;
+  rec->flow.tag_dst = tag_dst;
+  rec->on_complete = std::move(on_complete);
+  flows_.emplace(id, std::move(rec));
+  RecomputeAndSchedule();
+  return id;
+}
+
+bool FluidPool::Cancel(FlowId id) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return false;
+  AdvanceToNow();
+  flows_.erase(it);
+  RecomputeAndSchedule();
+  return true;
+}
+
+double FluidPool::Remaining(FlowId id) {
+  AdvanceToNow();
+  auto it = flows_.find(id);
+  return it == flows_.end() ? 0.0 : it->second->flow.remaining;
+}
+
+double FluidPool::DeliveredTo(int64_t tag) {
+  AdvanceToNow();
+  auto it = delivered_to_.find(tag);
+  return it == delivered_to_.end() ? 0.0 : it->second;
+}
+
+double FluidPool::ServedFrom(int64_t tag) {
+  AdvanceToNow();
+  auto it = served_from_.find(tag);
+  return it == served_from_.end() ? 0.0 : it->second;
+}
+
+double FluidPool::TotalDelivered() {
+  AdvanceToNow();
+  return total_delivered_;
+}
+
+void FluidPool::AdvanceToNow() {
+  const SimTime now = sim_->Now();
+  if (now == last_update_) return;
+  MRMB_CHECK_GT(now, last_update_);
+  const double dt = ToSeconds(now - last_update_);
+  for (auto& [id, rec] : flows_) {
+    FluidFlow& flow = rec->flow;
+    if (flow.rate <= 0) continue;
+    const double delta = std::min(flow.remaining, flow.rate * dt);
+    flow.remaining -= delta;
+    delivered_to_[flow.tag_dst] += delta;
+    served_from_[flow.tag_src] += delta;
+    total_delivered_ += delta;
+  }
+  last_update_ = now;
+}
+
+void FluidPool::RecomputeAndSchedule() {
+  if (pending_event_ != 0) {
+    sim_->Cancel(pending_event_);
+    pending_event_ = 0;
+  }
+  if (flows_.empty()) return;
+
+  std::vector<FluidFlow*> view;
+  view.reserve(flows_.size());
+  for (auto& [id, rec] : flows_) view.push_back(&rec->flow);
+  solver_(&view);
+
+  // Earliest completion among flows that are being served (or already done).
+  SimTime earliest = -1;
+  for (const FluidFlow* flow : view) {
+    MRMB_CHECK_GE(flow->rate, 0.0) << "solver produced negative rate";
+    SimTime finish;
+    if (IsComplete(*flow)) {
+      finish = 0;
+    } else if (flow->rate > 0) {
+      const double seconds = flow->remaining / flow->rate;
+      finish = std::max<SimTime>(
+          1, static_cast<SimTime>(
+                 std::ceil(seconds * static_cast<double>(kSecond))));
+    } else {
+      continue;  // Stalled; will be rescheduled on next membership change.
+    }
+    if (earliest < 0 || finish < earliest) earliest = finish;
+  }
+  if (earliest >= 0) {
+    pending_event_ = sim_->After(earliest, [this] { OnCompletionEvent(); });
+  }
+}
+
+void FluidPool::OnCompletionEvent() {
+  pending_event_ = 0;
+  AdvanceToNow();
+
+  // Collect every flow that drained (rounding can complete several at once).
+  std::vector<std::unique_ptr<FlowRec>> done;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (IsComplete(it->second->flow)) {
+      done.push_back(std::move(it->second));
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  RecomputeAndSchedule();
+  const SimTime now = sim_->Now();
+  for (auto& rec : done) {
+    rec->on_complete(now);
+  }
+}
+
+}  // namespace mrmb

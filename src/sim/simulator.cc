@@ -1,0 +1,79 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace mrmb {
+
+EventId Simulator::ScheduleAt(SimTime at, std::function<void()> fn) {
+  MRMB_CHECK_GE(at, now_) << "cannot schedule into the past";
+  MRMB_CHECK(fn != nullptr);
+  const EventId id = next_id_++;
+  queue_.push(Entry{at, id});
+  callbacks_.emplace(id, std::move(fn));
+  ++live_events_;
+  return id;
+}
+
+bool Simulator::Cancel(EventId id) {
+  auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  --live_events_;
+  return true;
+}
+
+bool Simulator::PopNext(Entry* out) {
+  while (!queue_.empty()) {
+    Entry top = queue_.top();
+    queue_.pop();
+    if (callbacks_.count(top.id) != 0) {
+      *out = top;
+      return true;
+    }
+    // Cancelled: skip the stale heap entry.
+  }
+  return false;
+}
+
+bool Simulator::Step() {
+  Entry entry;
+  if (!PopNext(&entry)) return false;
+  MRMB_CHECK_GE(entry.time, now_);
+  now_ = entry.time;
+  auto it = callbacks_.find(entry.id);
+  std::function<void()> fn = std::move(it->second);
+  callbacks_.erase(it);
+  --live_events_;
+  ++events_processed_;
+  fn();
+  return true;
+}
+
+void Simulator::Run() {
+  while (Step()) {
+  }
+}
+
+void Simulator::RunUntil(SimTime deadline) {
+  MRMB_CHECK_GE(deadline, now_);
+  Entry entry;
+  while (true) {
+    if (!PopNext(&entry)) break;
+    if (entry.time > deadline) {
+      // Not due yet: put it back and stop.
+      queue_.push(entry);
+      now_ = deadline;
+      return;
+    }
+    now_ = entry.time;
+    auto it = callbacks_.find(entry.id);
+    std::function<void()> fn = std::move(it->second);
+    callbacks_.erase(it);
+    --live_events_;
+    ++events_processed_;
+    fn();
+  }
+  now_ = std::max(now_, deadline);
+}
+
+}  // namespace mrmb

@@ -1,0 +1,190 @@
+#include "io/byte_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+namespace mrmb {
+namespace {
+
+TEST(BufferWriterTest, Fixed32IsBigEndian) {
+  BufferWriter writer;
+  writer.AppendFixed32(0x01020304);
+  ASSERT_EQ(writer.size(), 4u);
+  const std::string& data = writer.data();
+  EXPECT_EQ(static_cast<uint8_t>(data[0]), 0x01);
+  EXPECT_EQ(static_cast<uint8_t>(data[1]), 0x02);
+  EXPECT_EQ(static_cast<uint8_t>(data[2]), 0x03);
+  EXPECT_EQ(static_cast<uint8_t>(data[3]), 0x04);
+}
+
+TEST(BufferWriterTest, Fixed64IsBigEndian) {
+  BufferWriter writer;
+  writer.AppendFixed64(0x0102030405060708ULL);
+  ASSERT_EQ(writer.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(static_cast<uint8_t>(writer.data()[static_cast<size_t>(i)]),
+              i + 1);
+  }
+}
+
+TEST(BufferWriterTest, ExternalBufferIsUsed) {
+  std::string out = "prefix";
+  BufferWriter writer(&out);
+  writer.AppendByte(0x7f);
+  EXPECT_EQ(out, std::string("prefix\x7f"));
+}
+
+TEST(BufferRoundTripTest, Fixed32) {
+  BufferWriter writer;
+  const std::vector<uint32_t> values = {0, 1, 0x7f, 0x80, 0xffffffff,
+                                        0x12345678};
+  for (uint32_t v : values) writer.AppendFixed32(v);
+  BufferReader reader(writer.data());
+  for (uint32_t expected : values) {
+    uint32_t v = 0;
+    ASSERT_TRUE(reader.ReadFixed32(&v).ok());
+    EXPECT_EQ(v, expected);
+  }
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(BufferRoundTripTest, Fixed64) {
+  BufferWriter writer;
+  const std::vector<uint64_t> values = {0, 1, 0xffffffffffffffffULL,
+                                        0x123456789abcdef0ULL};
+  for (uint64_t v : values) writer.AppendFixed64(v);
+  BufferReader reader(writer.data());
+  for (uint64_t expected : values) {
+    uint64_t v = 0;
+    ASSERT_TRUE(reader.ReadFixed64(&v).ok());
+    EXPECT_EQ(v, expected);
+  }
+}
+
+class VarintRoundTripTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(VarintRoundTripTest, RoundTrips) {
+  const int64_t value = GetParam();
+  BufferWriter writer;
+  writer.AppendVarint64(value);
+  EXPECT_EQ(writer.size(), VarintLength(value));
+  BufferReader reader(writer.data());
+  int64_t decoded = 0;
+  ASSERT_TRUE(reader.ReadVarint64(&decoded).ok());
+  EXPECT_EQ(decoded, value);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, VarintRoundTripTest,
+    ::testing::Values(int64_t{0}, int64_t{1}, int64_t{-1}, int64_t{127},
+                      int64_t{128}, int64_t{-112}, int64_t{-113},
+                      int64_t{255}, int64_t{256}, int64_t{1024},
+                      int64_t{65535}, int64_t{65536}, int64_t{1} << 31,
+                      -(int64_t{1} << 31),
+                      std::numeric_limits<int64_t>::max(),
+                      std::numeric_limits<int64_t>::min()));
+
+TEST(VarintTest, HadoopEncodingVectors) {
+  // Known vectors of Hadoop's WritableUtils.writeVLong.
+  struct Vector {
+    int64_t value;
+    std::vector<uint8_t> bytes;
+  };
+  const Vector vectors[] = {
+      {0, {0x00}},
+      {1, {0x01}},
+      {127, {0x7f}},
+      {-112, {0x90}},          // single byte: -112
+      {128, {0x8f, 0x80}},     // len=-113: one magnitude byte
+      {255, {0x8f, 0xff}},
+      {256, {0x8e, 0x01, 0x00}},
+      {-113, {0x87, 0x70}},    // negative: ~(-113) = 112
+      {-256, {0x87, 0xff}},
+  };
+  for (const Vector& v : vectors) {
+    BufferWriter writer;
+    writer.AppendVarint64(v.value);
+    ASSERT_EQ(writer.size(), v.bytes.size()) << v.value;
+    for (size_t i = 0; i < v.bytes.size(); ++i) {
+      EXPECT_EQ(static_cast<uint8_t>(writer.data()[i]), v.bytes[i])
+          << "value " << v.value << " byte " << i;
+    }
+  }
+}
+
+TEST(VarintTest, SingleByteRangeIsOneByte) {
+  for (int64_t v = -112; v <= 127; ++v) {
+    EXPECT_EQ(VarintLength(v), 1u) << v;
+  }
+  EXPECT_EQ(VarintLength(128), 2u);
+  EXPECT_EQ(VarintLength(-113), 2u);
+}
+
+TEST(BufferReaderTest, UnderflowReturnsOutOfRange) {
+  BufferReader reader("ab");
+  uint32_t v32 = 0;
+  EXPECT_EQ(reader.ReadFixed32(&v32).code(), StatusCode::kOutOfRange);
+  uint64_t v64 = 0;
+  EXPECT_EQ(reader.ReadFixed64(&v64).code(), StatusCode::kOutOfRange);
+  std::string_view raw;
+  EXPECT_EQ(reader.ReadRaw(3, &raw).code(), StatusCode::kOutOfRange);
+  // Two good byte reads, then underflow.
+  uint8_t b = 0;
+  EXPECT_TRUE(reader.ReadByte(&b).ok());
+  EXPECT_TRUE(reader.ReadByte(&b).ok());
+  EXPECT_EQ(reader.ReadByte(&b).code(), StatusCode::kOutOfRange);
+}
+
+TEST(BufferReaderTest, TruncatedVarintFails) {
+  BufferWriter writer;
+  writer.AppendVarint64(100000);
+  const std::string truncated = writer.data().substr(0, 2);
+  BufferReader reader(truncated);
+  int64_t v = 0;
+  EXPECT_EQ(reader.ReadVarint64(&v).code(), StatusCode::kOutOfRange);
+}
+
+TEST(BufferReaderTest, EmptyVarintFails) {
+  BufferReader reader("");
+  int64_t v = 0;
+  EXPECT_FALSE(reader.ReadVarint64(&v).ok());
+}
+
+TEST(BufferReaderTest, ReadRawReturnsView) {
+  const std::string data = "hello world";
+  BufferReader reader(data);
+  std::string_view raw;
+  ASSERT_TRUE(reader.ReadRaw(5, &raw).ok());
+  EXPECT_EQ(raw, "hello");
+  EXPECT_EQ(reader.position(), 5u);
+  EXPECT_EQ(reader.remaining(), 6u);
+  // The view aliases the source buffer (zero copy).
+  EXPECT_EQ(raw.data(), data.data());
+}
+
+TEST(BufferReaderTest, MixedSequence) {
+  BufferWriter writer;
+  writer.AppendVarint64(3);
+  writer.AppendRaw("abc");
+  writer.AppendFixed32(7);
+  writer.AppendByte(0x2a);
+  BufferReader reader(writer.data());
+  int64_t len = 0;
+  ASSERT_TRUE(reader.ReadVarint64(&len).ok());
+  std::string_view raw;
+  ASSERT_TRUE(reader.ReadRaw(static_cast<size_t>(len), &raw).ok());
+  EXPECT_EQ(raw, "abc");
+  uint32_t v = 0;
+  ASSERT_TRUE(reader.ReadFixed32(&v).ok());
+  EXPECT_EQ(v, 7u);
+  uint8_t b = 0;
+  ASSERT_TRUE(reader.ReadByte(&b).ok());
+  EXPECT_EQ(b, 0x2a);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+}  // namespace
+}  // namespace mrmb

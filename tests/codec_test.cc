@@ -1,0 +1,91 @@
+#include "io/codec.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "io/record_gen.h"
+
+namespace mrmb {
+namespace {
+
+TEST(CodecTest, RoundTripText) {
+  const std::string input =
+      "the quick brown fox jumps over the lazy dog, repeatedly: "
+      "the quick brown fox jumps over the lazy dog";
+  std::string compressed;
+  ASSERT_TRUE(DeflateCompress(input, &compressed).ok());
+  EXPECT_LT(compressed.size(), input.size());
+  std::string restored;
+  ASSERT_TRUE(DeflateDecompress(compressed, &restored).ok());
+  EXPECT_EQ(restored, input);
+}
+
+TEST(CodecTest, RoundTripEmpty) {
+  std::string compressed;
+  ASSERT_TRUE(DeflateCompress("", &compressed).ok());
+  std::string restored;
+  ASSERT_TRUE(DeflateDecompress(compressed, &restored).ok());
+  EXPECT_TRUE(restored.empty());
+}
+
+TEST(CodecTest, RoundTripBinary) {
+  Rng rng(1);
+  std::string input(100000, '\0');
+  rng.Fill(input.data(), input.size());
+  std::string compressed;
+  ASSERT_TRUE(DeflateCompress(input, &compressed).ok());
+  std::string restored;
+  ASSERT_TRUE(DeflateDecompress(compressed, &restored).ok());
+  EXPECT_EQ(restored, input);
+}
+
+TEST(CodecTest, RoundTripHighlyCompressible) {
+  const std::string input(1 << 20, 'a');
+  std::string compressed;
+  ASSERT_TRUE(DeflateCompress(input, &compressed).ok());
+  EXPECT_LT(compressed.size(), input.size() / 100);
+  std::string restored;
+  ASSERT_TRUE(DeflateDecompress(compressed, &restored).ok());
+  EXPECT_EQ(restored, input);
+}
+
+TEST(CodecTest, DecompressRejectsGarbage) {
+  std::string out;
+  EXPECT_FALSE(DeflateDecompress("definitely not zlib data", &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(CodecTest, RatioRandomDataNearOne) {
+  Rng rng(7);
+  std::string input(65536, '\0');
+  rng.Fill(input.data(), input.size());
+  const double ratio = MeasureCompressionRatio(input);
+  EXPECT_GT(ratio, 0.95);  // random bytes are incompressible
+  EXPECT_LT(ratio, 1.10);
+}
+
+TEST(CodecTest, RatioTextWellBelowOne) {
+  // Lowercase-letter payloads (our Text generator's alphabet) compress.
+  RecordGenerator::Options options;
+  options.type = DataType::kText;
+  options.key_size = 64;
+  options.value_size = 512;
+  options.num_unique_keys = 8;
+  RecordGenerator generator(options);
+  std::string sample;
+  std::string buf;
+  for (int64_t i = 0; i < 100; ++i) {
+    generator.SerializedValue(i, &buf);
+    sample += buf;
+  }
+  const double ratio = MeasureCompressionRatio(sample);
+  EXPECT_LT(ratio, 0.85);
+  EXPECT_GT(ratio, 0.30);
+}
+
+TEST(CodecTest, RatioEmptyIsOne) {
+  EXPECT_DOUBLE_EQ(MeasureCompressionRatio(""), 1.0);
+}
+
+}  // namespace
+}  // namespace mrmb

@@ -1,0 +1,162 @@
+#include "io/comparator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "io/byte_buffer.h"
+
+namespace mrmb {
+namespace {
+
+int Sign(int x) { return x < 0 ? -1 : (x > 0 ? 1 : 0); }
+
+template <typename T>
+std::string Wire(const T& value) {
+  BufferWriter writer;
+  value.Serialize(&writer);
+  return writer.data();
+}
+
+TEST(ComparatorTest, BytesOrderMatchesPayloadOrder) {
+  const RawComparator* cmp = ComparatorFor(DataType::kBytesWritable);
+  const std::vector<std::string> payloads = {"",    "a",  "aa", "ab",
+                                             "b",   "ba", "z",  {"\x00", 1},
+                                             {"\xff", 1}};
+  for (const std::string& a : payloads) {
+    for (const std::string& b : payloads) {
+      const int raw = Sign(cmp->Compare(Wire(BytesWritable(a)),
+                                        Wire(BytesWritable(b))));
+      const int logical = a < b ? -1 : (a > b ? 1 : 0);
+      EXPECT_EQ(raw, logical) << "'" << a << "' vs '" << b << "'";
+    }
+  }
+}
+
+TEST(ComparatorTest, TextOrderMatchesPayloadOrder) {
+  const RawComparator* cmp = ComparatorFor(DataType::kText);
+  const std::vector<std::string> payloads = {"", "alpha", "alphabet", "beta",
+                                             std::string(200, 'm'),
+                                             std::string(200, 'n')};
+  for (const std::string& a : payloads) {
+    for (const std::string& b : payloads) {
+      const int raw = Sign(cmp->Compare(Wire(Text(a)), Wire(Text(b))));
+      const int logical = a < b ? -1 : (a > b ? 1 : 0);
+      EXPECT_EQ(raw, logical);
+    }
+  }
+}
+
+TEST(ComparatorTest, TextDifferentVintWidths) {
+  // One key short (1-byte vint), one long (multi-byte vint); payload order
+  // must still decide.
+  const RawComparator* cmp = ComparatorFor(DataType::kText);
+  const std::string small = "a";
+  const std::string large(300, 'a');  // prefix-equal, longer
+  EXPECT_LT(cmp->Compare(Wire(Text(small)), Wire(Text(large))), 0);
+  EXPECT_GT(cmp->Compare(Wire(Text(large)), Wire(Text(small))), 0);
+}
+
+TEST(ComparatorTest, IntOrderIncludingNegatives) {
+  const RawComparator* cmp = ComparatorFor(DataType::kIntWritable);
+  const std::vector<int32_t> values = {-2147483647 - 1, -100, -1, 0,
+                                       1,               100,  2147483647};
+  for (size_t i = 0; i < values.size(); ++i) {
+    for (size_t j = 0; j < values.size(); ++j) {
+      const int raw = Sign(cmp->Compare(Wire(IntWritable(values[i])),
+                                        Wire(IntWritable(values[j]))));
+      const int logical =
+          values[i] < values[j] ? -1 : (values[i] > values[j] ? 1 : 0);
+      EXPECT_EQ(raw, logical) << values[i] << " vs " << values[j];
+    }
+  }
+}
+
+TEST(ComparatorTest, LongOrderIncludingNegatives) {
+  const RawComparator* cmp = ComparatorFor(DataType::kLongWritable);
+  const std::vector<int64_t> values = {
+      std::numeric_limits<int64_t>::min(), -(int64_t{1} << 40), -1, 0, 1,
+      int64_t{1} << 40, std::numeric_limits<int64_t>::max()};
+  for (int64_t a : values) {
+    for (int64_t b : values) {
+      const int raw = Sign(
+          cmp->Compare(Wire(LongWritable(a)), Wire(LongWritable(b))));
+      EXPECT_EQ(raw, a < b ? -1 : (a > b ? 1 : 0)) << a << " vs " << b;
+    }
+  }
+}
+
+TEST(ComparatorTest, NullComparesEqual) {
+  const RawComparator* cmp = ComparatorFor(DataType::kNullWritable);
+  EXPECT_EQ(cmp->Compare("", ""), 0);
+}
+
+TEST(ComparatorTest, TypeTagsMatch) {
+  for (DataType type :
+       {DataType::kBytesWritable, DataType::kText, DataType::kIntWritable,
+        DataType::kLongWritable, DataType::kNullWritable}) {
+    EXPECT_EQ(ComparatorFor(type)->type(), type);
+  }
+}
+
+// Property: for random payloads, sorting wires with the raw comparator gives
+// the same order as sorting payloads logically.
+class ComparatorPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ComparatorPropertyTest, RawSortMatchesLogicalSortBytes) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  std::vector<std::string> payloads;
+  for (int i = 0; i < 100; ++i) {
+    std::string s(rng.Uniform(20), '\0');
+    rng.Fill(s.data(), s.size());
+    payloads.push_back(std::move(s));
+  }
+  std::vector<std::string> wires;
+  wires.reserve(payloads.size());
+  for (const std::string& p : payloads) wires.push_back(Wire(BytesWritable(p)));
+
+  const RawComparator* cmp = ComparatorFor(DataType::kBytesWritable);
+  std::sort(wires.begin(), wires.end(),
+            [&](const std::string& a, const std::string& b) {
+              return cmp->Compare(a, b) < 0;
+            });
+  std::sort(payloads.begin(), payloads.end());
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    BytesWritable decoded;
+    BufferReader reader(wires[i]);
+    ASSERT_TRUE(decoded.Deserialize(&reader).ok());
+    EXPECT_EQ(decoded.bytes(), payloads[i]) << "position " << i;
+  }
+}
+
+TEST_P(ComparatorPropertyTest, RawSortMatchesLogicalSortLongs) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 977);
+  std::vector<int64_t> values;
+  for (int i = 0; i < 200; ++i) {
+    values.push_back(static_cast<int64_t>(rng.Next64()));
+  }
+  std::vector<std::string> wires;
+  for (int64_t v : values) wires.push_back(Wire(LongWritable(v)));
+  const RawComparator* cmp = ComparatorFor(DataType::kLongWritable);
+  std::sort(wires.begin(), wires.end(),
+            [&](const std::string& a, const std::string& b) {
+              return cmp->Compare(a, b) < 0;
+            });
+  std::sort(values.begin(), values.end());
+  for (size_t i = 0; i < values.size(); ++i) {
+    LongWritable decoded;
+    BufferReader reader(wires[i]);
+    ASSERT_TRUE(decoded.Deserialize(&reader).ok());
+    EXPECT_EQ(decoded.value(), values[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ComparatorPropertyTest,
+                         ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace mrmb

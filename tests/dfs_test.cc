@@ -1,0 +1,235 @@
+#include "dfs/dfs.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/network_profile.h"
+
+namespace mrmb {
+namespace {
+
+constexpr int64_t kBlock = 64LL * 1024 * 1024;
+
+DfsNamespace MakeNames(int nodes = 4, int replication = 3) {
+  return DfsNamespace(nodes, kBlock, replication, 7);
+}
+
+TEST(DfsNamespaceTest, CreateSplitsIntoBlocks) {
+  DfsNamespace names = MakeNames();
+  auto info = names.CreateFile("/a", 3 * kBlock + 5, /*writer_node=*/1);
+  ASSERT_TRUE(info.ok());
+  ASSERT_EQ(info->blocks.size(), 4u);
+  EXPECT_EQ(info->blocks[0].bytes, kBlock);
+  EXPECT_EQ(info->blocks[3].bytes, 5);
+  int64_t total = 0;
+  for (const DfsBlock& block : info->blocks) total += block.bytes;
+  EXPECT_EQ(total, info->bytes);
+}
+
+TEST(DfsNamespaceTest, EmptyFileHasNoBlocks) {
+  DfsNamespace names = MakeNames();
+  auto info = names.CreateFile("/empty", 0, 0);
+  ASSERT_TRUE(info.ok());
+  EXPECT_TRUE(info->blocks.empty());
+}
+
+TEST(DfsNamespaceTest, FirstReplicaOnWriter) {
+  DfsNamespace names = MakeNames();
+  auto info = names.CreateFile("/b", 10 * kBlock, /*writer_node=*/2);
+  ASSERT_TRUE(info.ok());
+  for (const DfsBlock& block : info->blocks) {
+    EXPECT_EQ(block.replicas[0], 2);
+  }
+}
+
+TEST(DfsNamespaceTest, ReplicasAreDistinctAndInRange) {
+  DfsNamespace names = MakeNames(5, 3);
+  auto info = names.CreateFile("/c", 20 * kBlock, 0);
+  ASSERT_TRUE(info.ok());
+  for (const DfsBlock& block : info->blocks) {
+    ASSERT_EQ(block.replicas.size(), 3u);
+    std::set<int> distinct(block.replicas.begin(), block.replicas.end());
+    EXPECT_EQ(distinct.size(), 3u);
+    for (int node : block.replicas) {
+      EXPECT_GE(node, 0);
+      EXPECT_LT(node, 5);
+    }
+  }
+}
+
+TEST(DfsNamespaceTest, ReplicationCappedAtClusterSize) {
+  DfsNamespace names(2, kBlock, 3, 7);
+  EXPECT_EQ(names.replication(), 2);
+  auto info = names.CreateFile("/d", kBlock, 0);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->blocks[0].replicas.size(), 2u);
+}
+
+TEST(DfsNamespaceTest, ExternalWriterSpreadsPrimaries) {
+  DfsNamespace names = MakeNames(8, 3);
+  auto info = names.CreateFile("/e", 64 * kBlock, /*writer_node=*/-1);
+  ASSERT_TRUE(info.ok());
+  std::set<int> primaries;
+  for (const DfsBlock& block : info->blocks) {
+    primaries.insert(block.replicas[0]);
+  }
+  EXPECT_GT(primaries.size(), 3u);  // not all on one node
+}
+
+TEST(DfsNamespaceTest, DuplicateNameRejected) {
+  DfsNamespace names = MakeNames();
+  ASSERT_TRUE(names.CreateFile("/dup", kBlock, 0).ok());
+  auto again = names.CreateFile("/dup", kBlock, 0);
+  EXPECT_EQ(again.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(DfsNamespaceTest, LookupAndDelete) {
+  DfsNamespace names = MakeNames();
+  ASSERT_TRUE(names.CreateFile("/f", kBlock, 0).ok());
+  EXPECT_TRUE(names.Exists("/f"));
+  EXPECT_TRUE(names.GetFile("/f").ok());
+  EXPECT_TRUE(names.DeleteFile("/f").ok());
+  EXPECT_FALSE(names.Exists("/f"));
+  EXPECT_EQ(names.GetFile("/f").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(names.DeleteFile("/f").code(), StatusCode::kNotFound);
+}
+
+TEST(DfsNamespaceTest, PickReplicaPrefersLocal) {
+  DfsNamespace names = MakeNames();
+  auto info = names.CreateFile("/g", kBlock, 1);
+  ASSERT_TRUE(info.ok());
+  const DfsBlock& block = info->blocks[0];
+  EXPECT_EQ(names.PickReplica(block, 1), 1);
+  // Non-holders get some holder.
+  for (int i = 0; i < 10; ++i) {
+    int non_holder = -1;
+    for (int n = 0; n < 4; ++n) {
+      if (!DfsNamespace::HasReplica(block, n)) non_holder = n;
+    }
+    if (non_holder < 0) break;
+    EXPECT_TRUE(DfsNamespace::HasReplica(
+        block, names.PickReplica(block, non_holder)));
+  }
+}
+
+TEST(DfsNamespaceTest, BytesOnNodeAccounting) {
+  DfsNamespace names = MakeNames(4, 2);
+  ASSERT_TRUE(names.CreateFile("/h", 4 * kBlock, 0).ok());
+  int64_t total = 0;
+  for (int n = 0; n < 4; ++n) total += names.BytesOnNode(n);
+  EXPECT_EQ(total, 2 * 4 * kBlock);  // replication x data
+}
+
+TEST(DfsNamespaceTest, InvalidArgsRejected) {
+  DfsNamespace names = MakeNames();
+  EXPECT_FALSE(names.CreateFile("/neg", -1, 0).ok());
+  EXPECT_FALSE(names.CreateFile("/far", kBlock, 99).ok());
+}
+
+// ---- SimDfs data paths ---------------------------------------------------
+
+ClusterSpec FastNet(int slaves = 4) {
+  ClusterSpec spec = ClusterA(IpoibQdr(), slaves);
+  spec.node.disk_seek = 0;
+  return spec;
+}
+
+TEST(SimDfsTest, WriteRunsReplicationPipeline) {
+  SimCluster cluster(FastNet());
+  SimDfs dfs(&cluster, kBlock, 3, 7);
+  SimTime done = -1;
+  dfs.WriteFile("/w", 2 * kBlock, 0, [&](SimTime t) { done = t; });
+  cluster.sim()->Run();
+  EXPECT_GT(done, 0);
+  // 3 replicas of 2 blocks hit disk; 2 of each 3 cross the network.
+  EXPECT_EQ(dfs.disk_bytes(), 3 * 2 * kBlock);
+  EXPECT_EQ(dfs.network_bytes(), 2 * 2 * kBlock);
+  // Fabric saw exactly the pipeline traffic.
+  double rx = 0;
+  for (int n = 0; n < 4; ++n) rx += cluster.RxBytes(n);
+  EXPECT_NEAR(rx, static_cast<double>(dfs.network_bytes()), 1.0);
+}
+
+TEST(SimDfsTest, HigherReplicationCostsMore) {
+  SimCluster c1(FastNet());
+  SimDfs dfs1(&c1, kBlock, 1, 7);
+  SimTime t1 = -1;
+  dfs1.WriteFile("/w", 4 * kBlock, 0, [&](SimTime t) { t1 = t; });
+  c1.sim()->Run();
+
+  SimCluster c3(FastNet());
+  SimDfs dfs3(&c3, kBlock, 3, 7);
+  SimTime t3 = -1;
+  dfs3.WriteFile("/w", 4 * kBlock, 0, [&](SimTime t) { t3 = t; });
+  c3.sim()->Run();
+
+  EXPECT_GT(t3, t1);
+  EXPECT_EQ(dfs1.network_bytes(), 0);  // single local replica
+}
+
+TEST(SimDfsTest, LocalReadUsesNoNetwork) {
+  SimCluster cluster(FastNet());
+  SimDfs dfs(&cluster, kBlock, 3, 7);
+  bool written = false;
+  dfs.WriteFile("/r", kBlock, 2, [&](SimTime) { written = true; });
+  cluster.sim()->Run();
+  ASSERT_TRUE(written);
+  const int64_t net_before = dfs.network_bytes();
+  SimTime done = -1;
+  dfs.ReadRange("/r", 0, kBlock, /*reader_node=*/2,
+                [&](SimTime t) { done = t; });
+  cluster.sim()->Run();
+  EXPECT_GT(done, 0);
+  EXPECT_EQ(dfs.network_bytes(), net_before);  // replica-local read
+}
+
+TEST(SimDfsTest, RemoteReadMovesBytes) {
+  SimCluster cluster(FastNet());
+  SimDfs dfs(&cluster, kBlock, 1, 7);  // single replica on node 0
+  dfs.WriteFile("/r", kBlock, 0, [](SimTime) {});
+  cluster.sim()->Run();
+  const int64_t net_before = dfs.network_bytes();
+  SimTime done = -1;
+  dfs.ReadRange("/r", 0, kBlock, /*reader_node=*/3,
+                [&](SimTime t) { done = t; });
+  cluster.sim()->Run();
+  EXPECT_GT(done, 0);
+  EXPECT_EQ(dfs.network_bytes() - net_before, kBlock);
+  EXPECT_NEAR(cluster.RxBytes(3), static_cast<double>(kBlock), 1.0);
+}
+
+TEST(SimDfsTest, RangeReadTouchesOnlyCoveredBlocks) {
+  SimCluster cluster(FastNet());
+  SimDfs dfs(&cluster, kBlock, 1, 7);
+  dfs.WriteFile("/range", 4 * kBlock, 0, [](SimTime) {});
+  cluster.sim()->Run();
+  const int64_t disk_before = dfs.disk_bytes();
+  // Read half of block 1 and half of block 2.
+  dfs.ReadRange("/range", kBlock + kBlock / 2, kBlock, 0, [](SimTime) {});
+  cluster.sim()->Run();
+  EXPECT_EQ(dfs.disk_bytes() - disk_before, kBlock);
+}
+
+TEST(SimDfsTest, ZeroByteOpsComplete) {
+  SimCluster cluster(FastNet());
+  SimDfs dfs(&cluster, kBlock, 3, 7);
+  int completions = 0;
+  dfs.WriteFile("/z", 0, 0, [&](SimTime) { ++completions; });
+  cluster.sim()->Run();
+  dfs.ReadRange("/z", 0, 0, 1, [&](SimTime) { ++completions; });
+  cluster.sim()->Run();
+  EXPECT_EQ(completions, 2);
+}
+
+TEST(SimDfsTest, ReadPastEndDies) {
+  SimCluster cluster(FastNet());
+  SimDfs dfs(&cluster, kBlock, 1, 7);
+  dfs.WriteFile("/short", 100, 0, [](SimTime) {});
+  cluster.sim()->Run();
+  EXPECT_DEATH({ dfs.ReadRange("/short", 50, 100, 0, [](SimTime) {}); },
+               "past end");
+}
+
+}  // namespace
+}  // namespace mrmb

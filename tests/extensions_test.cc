@@ -1,0 +1,447 @@
+// Tests for the suite's extensions beyond the paper's evaluation: the
+// MR-ZIPF pattern, intermediate compression, the combiner (modeled and
+// real), fault injection with task re-execution, and per-task timelines.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "io/byte_buffer.h"
+#include "mapred/local_runner.h"
+#include "mapred/null_formats.h"
+#include "mapred/partitioner.h"
+#include "mapred/sim_runner.h"
+#include "net/network_profile.h"
+
+namespace mrmb {
+namespace {
+
+JobConf BaseJob(int64_t shuffle_mb = 256) {
+  JobConf conf;
+  conf.num_maps = 8;
+  conf.num_reduces = 4;
+  conf.record.key_size = 512;
+  conf.record.value_size = 512;
+  conf.record.num_unique_keys = 4;
+  conf.records_per_map = shuffle_mb * 1024 * 1024 / (1038 * conf.num_maps);
+  conf.map_slots_per_node = 4;
+  conf.reduce_slots_per_node = 2;
+  conf.seed = 42;
+  return conf;
+}
+
+Result<SimJobResult> RunSim(const JobConf& conf,
+                         const ClusterSpec& spec = ClusterA(OneGigE(), 2)) {
+  SimCluster cluster(spec);
+  SimJobRunner runner(&cluster, conf);
+  return runner.Run();
+}
+
+// ---- MR-ZIPF ---------------------------------------------------------
+
+TEST(ZipfPatternTest, PartitionerInRangeAndDeterministic) {
+  ZipfPartitioner a(9, 1.0);
+  ZipfPartitioner b(9, 1.0);
+  for (int64_t i = 0; i < 500; ++i) {
+    const int pa = a.Partition("", i, 8);
+    EXPECT_GE(pa, 0);
+    EXPECT_LT(pa, 8);
+    EXPECT_EQ(pa, b.Partition("", i, 8));
+  }
+}
+
+TEST(ZipfPatternTest, LoadsFollowZipfShape) {
+  const auto counts = PlanPartitionCounts(DistributionPattern::kZipf, 11,
+                                          100000, 8, 1.0);
+  // Monotone decreasing, first reducer ~1/H(8) = ~36.8% of records.
+  for (size_t r = 1; r < counts.size(); ++r) {
+    EXPECT_LE(counts[r], counts[r - 1]) << r;
+  }
+  EXPECT_NEAR(static_cast<double>(counts[0]), 36800, 1500);
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), int64_t{0}),
+            100000);
+}
+
+TEST(ZipfPatternTest, ZeroExponentIsUniform) {
+  const auto counts = PlanPartitionCounts(DistributionPattern::kZipf, 11,
+                                          80000, 8, 0.0);
+  for (int64_t count : counts) {
+    EXPECT_GT(count, 9500);
+    EXPECT_LT(count, 10500);
+  }
+}
+
+TEST(ZipfPatternTest, PlanMatchesPartitionerExactly) {
+  const auto planned = PlanPartitionCounts(DistributionPattern::kZipf, 13,
+                                           5000, 8, 1.2);
+  ZipfPartitioner partitioner(13, 1.2);
+  std::vector<int64_t> actual(8, 0);
+  for (int64_t i = 0; i < 5000; ++i) {
+    ++actual[static_cast<size_t>(partitioner.Partition("", i, 8))];
+  }
+  EXPECT_EQ(planned, actual);
+}
+
+TEST(ZipfPatternTest, HigherExponentMoreImbalance) {
+  JobConf mild = BaseJob();
+  mild.pattern = DistributionPattern::kZipf;
+  mild.zipf_exponent = 0.5;
+  JobConf harsh = BaseJob();
+  harsh.pattern = DistributionPattern::kZipf;
+  harsh.zipf_exponent = 1.5;
+  auto mild_result = RunSim(mild);
+  auto harsh_result = RunSim(harsh);
+  ASSERT_TRUE(mild_result.ok());
+  ASSERT_TRUE(harsh_result.ok());
+  EXPECT_GT(harsh_result->load_imbalance, mild_result->load_imbalance);
+  EXPECT_GT(harsh_result->job_seconds, mild_result->job_seconds);
+}
+
+TEST(ZipfPatternTest, LocalRunnerAgreesWithPlan) {
+  JobConf conf = BaseJob();
+  conf.pattern = DistributionPattern::kZipf;
+  conf.zipf_exponent = 1.0;
+  conf.records_per_map = 300;
+  conf.record.key_size = 16;
+  conf.record.value_size = 16;
+  auto sim = RunSim(conf);
+  auto local = LocalJobRunner::RunStandalone(conf);
+  ASSERT_TRUE(sim.ok());
+  ASSERT_TRUE(local.ok());
+  for (size_t r = 0; r < sim->reducer_bytes.size(); ++r) {
+    EXPECT_EQ(sim->reducer_bytes[r], local->reducer_input_bytes[r]);
+  }
+}
+
+// ---- Compression ----------------------------------------------------
+
+TEST(CompressionTest, TextShrinksWireBytes) {
+  JobConf plain = BaseJob();
+  plain.record.type = DataType::kText;
+  JobConf compressed = plain;
+  compressed.compress_map_output = true;
+  auto plain_result = RunSim(plain);
+  auto compressed_result = RunSim(compressed);
+  ASSERT_TRUE(plain_result.ok());
+  ASSERT_TRUE(compressed_result.ok());
+  // Text compresses: fewer bytes over the network and the disks.
+  EXPECT_LT(compressed_result->network_bytes,
+            plain_result->network_bytes * 0.9);
+  EXPECT_LT(compressed_result->disk_bytes, plain_result->disk_bytes);
+  // ...at more CPU.
+  EXPECT_GT(compressed_result->cpu_busy_seconds,
+            plain_result->cpu_busy_seconds);
+}
+
+TEST(CompressionTest, RandomValuesBarelyShrink) {
+  // BytesWritable *values* are pseudo-random and incompressible. Keys do
+  // repeat (the paper restricts unique keys to the reducer count), so keep
+  // them small to isolate the value payload.
+  JobConf plain = BaseJob();
+  plain.record.key_size = 16;
+  plain.record.value_size = 2048;
+  JobConf compressed = plain;
+  compressed.compress_map_output = true;
+  auto plain_result = RunSim(plain);
+  auto compressed_result = RunSim(compressed);
+  ASSERT_TRUE(plain_result.ok());
+  ASSERT_TRUE(compressed_result.ok());
+  EXPECT_GT(compressed_result->network_bytes,
+            plain_result->network_bytes * 0.90);
+}
+
+TEST(CompressionTest, RepeatedKeysDoCompress) {
+  // With 512-byte keys cycling over only 4 distinct values, DEFLATE finds
+  // the repeats — compression shrinks even "random" BytesWritable data.
+  JobConf plain = BaseJob();  // 512B keys, 4 unique
+  JobConf compressed = plain;
+  compressed.compress_map_output = true;
+  auto plain_result = RunSim(plain);
+  auto compressed_result = RunSim(compressed);
+  ASSERT_TRUE(plain_result.ok());
+  ASSERT_TRUE(compressed_result.ok());
+  EXPECT_LT(compressed_result->network_bytes,
+            plain_result->network_bytes * 0.8);
+}
+
+TEST(CompressionTest, HelpsTextOnSlowNetwork) {
+  JobConf plain = BaseJob(1024);  // 1 GB shuffle
+  plain.record.type = DataType::kText;
+  JobConf compressed = plain;
+  compressed.compress_map_output = true;
+  const ClusterSpec slow = ClusterA(OneGigE(), 2);
+  auto plain_result = RunSim(plain, slow);
+  auto compressed_result = RunSim(compressed, slow);
+  ASSERT_TRUE(plain_result.ok());
+  ASSERT_TRUE(compressed_result.ok());
+  EXPECT_LT(compressed_result->job_seconds, plain_result->job_seconds);
+}
+
+// ---- Combiner ----------------------------------------------------------
+
+TEST(CombinerModelTest, ShrinksShuffleInSim) {
+  JobConf plain = BaseJob();
+  JobConf combined = BaseJob();
+  combined.combiner_output_fraction = 0.25;
+  auto plain_result = RunSim(plain);
+  auto combined_result = RunSim(combined);
+  ASSERT_TRUE(plain_result.ok());
+  ASSERT_TRUE(combined_result.ok());
+  EXPECT_NEAR(static_cast<double>(combined_result->total_shuffle_bytes),
+              0.25 * static_cast<double>(plain_result->total_shuffle_bytes),
+              static_cast<double>(plain_result->total_shuffle_bytes) * 0.01);
+  EXPECT_LT(combined_result->job_seconds, plain_result->job_seconds);
+}
+
+TEST(CombinerModelTest, InvalidFractionRejected) {
+  JobConf conf = BaseJob();
+  conf.combiner_output_fraction = 0.0;
+  EXPECT_FALSE(conf.Validate().ok());
+  conf.combiner_output_fraction = 1.5;
+  EXPECT_FALSE(conf.Validate().ok());
+}
+
+// Real combiner through the functional engine: sums LongWritable values.
+class SummingCombiner final : public Reducer {
+ public:
+  void Reduce(std::string_view key, ValueIterator* values,
+              ReduceContext* context) override {
+    int64_t sum = 0;
+    while (values->Next()) {
+      LongWritable v;
+      BufferReader reader(values->value());
+      MRMB_CHECK_OK(v.Deserialize(&reader));
+      sum += v.value();
+    }
+    BufferWriter writer;
+    LongWritable(sum).Serialize(&writer);
+    context->Emit(key, writer.data());
+  }
+};
+
+TEST(CombinerLocalTest, CollapsesDuplicateKeysPerSpill) {
+  JobConf conf;
+  conf.num_maps = 2;
+  conf.num_reduces = 2;
+  conf.record.type = DataType::kLongWritable;  // key: id, value: index
+  conf.record.num_unique_keys = 2;
+  conf.records_per_map = 100;
+  conf.io_sort_bytes = 1LL << 20;  // one spill per map
+
+  NullInputFormat input;
+  NullOutputFormat output;
+  LocalJobRunner runner(conf);
+  auto result = runner.Run(
+      &input,
+      [&conf](int task_id) {
+        return std::make_unique<GeneratingMapper>(conf, task_id);
+      },
+      [](int) { return std::make_unique<DiscardingReducer>(); }, &output,
+      /*partitioner_factory=*/nullptr,
+      [](int) { return std::make_unique<SummingCombiner>(); });
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // 100 records with 2 unique keys per map collapse to 2 records/spill.
+  EXPECT_EQ(result->map_output_records, 200);
+  EXPECT_EQ(result->combine_removed_records, 200 - 2 * conf.num_maps);
+  EXPECT_EQ(result->reduce_input_records, 2 * conf.num_maps);
+}
+
+// ---- Fault injection ----------------------------------------------------
+
+TEST(FaultInjectionTest, JobSurvivesTaskFailures) {
+  JobConf conf = BaseJob();
+  conf.map_failure_prob = 0.3;
+  conf.reduce_failure_prob = 0.3;
+  conf.max_task_attempts = 20;  // effectively never abort
+  auto result = RunSim(conf);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Retries happened and were recorded.
+  EXPECT_GT(result->total_task_attempts,
+            conf.num_maps + conf.num_reduces);
+  // Every task eventually succeeded.
+  for (const auto& task : result->timeline) {
+    EXPECT_GE(task.node, 0);
+    EXPECT_GT(task.finish_time, task.start_time);
+  }
+}
+
+TEST(FaultInjectionTest, FailuresCostTime) {
+  JobConf healthy = BaseJob();
+  JobConf flaky = BaseJob();
+  flaky.map_failure_prob = 0.4;
+  flaky.max_task_attempts = 50;
+  auto healthy_result = RunSim(healthy);
+  auto flaky_result = RunSim(flaky);
+  ASSERT_TRUE(healthy_result.ok());
+  ASSERT_TRUE(flaky_result.ok());
+  EXPECT_GT(flaky_result->job_seconds, healthy_result->job_seconds);
+}
+
+TEST(FaultInjectionTest, ExhaustedAttemptsFailTheJob) {
+  JobConf conf = BaseJob();
+  conf.map_failure_prob = 0.95;
+  conf.max_task_attempts = 2;
+  auto result = RunSim(conf);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(result.status().message().find("failed"), std::string::npos);
+}
+
+TEST(FaultInjectionTest, DeterministicGivenSeed) {
+  JobConf conf = BaseJob();
+  conf.map_failure_prob = 0.3;
+  conf.max_task_attempts = 20;
+  auto a = RunSim(conf);
+  auto b = RunSim(conf);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->finish_time, b->finish_time);
+  EXPECT_EQ(a->total_task_attempts, b->total_task_attempts);
+}
+
+TEST(FaultInjectionTest, InvalidProbabilitiesRejected) {
+  JobConf conf = BaseJob();
+  conf.map_failure_prob = 1.0;
+  EXPECT_FALSE(conf.Validate().ok());
+  conf = BaseJob();
+  conf.reduce_failure_prob = -0.1;
+  EXPECT_FALSE(conf.Validate().ok());
+  conf = BaseJob();
+  conf.max_task_attempts = 0;
+  EXPECT_FALSE(conf.Validate().ok());
+}
+
+// ---- Stragglers & speculative execution --------------------------------
+
+TEST(StragglerTest, StragglersSlowTheJob) {
+  JobConf healthy = BaseJob();
+  JobConf straggly = BaseJob();
+  straggly.straggler_prob = 0.2;
+  straggly.straggler_slowdown = 4.0;
+  auto healthy_result = RunSim(healthy);
+  auto straggly_result = RunSim(straggly);
+  ASSERT_TRUE(healthy_result.ok());
+  ASSERT_TRUE(straggly_result.ok());
+  EXPECT_GT(straggly_result->job_seconds, healthy_result->job_seconds);
+}
+
+TEST(StragglerTest, InvalidKnobsRejected) {
+  JobConf conf = BaseJob();
+  conf.straggler_prob = 1.0;
+  EXPECT_FALSE(conf.Validate().ok());
+  conf = BaseJob();
+  conf.straggler_slowdown = 0.5;
+  EXPECT_FALSE(conf.Validate().ok());
+  conf = BaseJob();
+  conf.speculative_threshold = 1.0;
+  EXPECT_FALSE(conf.Validate().ok());
+}
+
+TEST(SpeculationTest, BackupAttemptsRescueStragglersOnAverage) {
+  // A backup attempt can itself land on a straggler (both runs are capped
+  // at two attempts, like Hadoop), so assert the aggregate effect over
+  // several seeds: speculation launches extra attempts and substantially
+  // shortens the mean *map phase* (only map tasks speculate — the common
+  // mapreduce.map.speculative configuration).
+  double plain_map_phase = 0;
+  double spec_map_phase = 0;
+  int plain_attempts = 0;
+  int spec_attempts = 0;
+  for (uint64_t seed = 50; seed < 58; ++seed) {
+    JobConf straggly = BaseJob(512);
+    straggly.num_maps = 16;
+    straggly.map_slots_per_node = 4;
+    straggly.seed = seed;
+    straggly.straggler_prob = 0.15;
+    straggly.straggler_slowdown = 6.0;
+    JobConf speculative = straggly;
+    speculative.speculative_execution = true;
+    auto plain_result = RunSim(straggly, ClusterA(IpoibQdr(), 4));
+    auto spec_result = RunSim(speculative, ClusterA(IpoibQdr(), 4));
+    ASSERT_TRUE(plain_result.ok());
+    ASSERT_TRUE(spec_result.ok());
+    plain_map_phase += plain_result->map_phase_seconds;
+    spec_map_phase += spec_result->map_phase_seconds;
+    plain_attempts += plain_result->total_task_attempts;
+    spec_attempts += spec_result->total_task_attempts;
+    // Never worse than a heartbeat of overhead on any single seed.
+    EXPECT_LE(spec_result->map_phase_seconds,
+              plain_result->map_phase_seconds + 0.5)
+        << "seed " << seed;
+  }
+  EXPECT_GT(spec_attempts, plain_attempts);
+  EXPECT_LT(spec_map_phase, plain_map_phase * 0.85);
+}
+
+TEST(SpeculationTest, NoBackupsWithoutStragglers) {
+  JobConf conf = BaseJob();
+  conf.speculative_execution = true;
+  auto result = RunSim(conf);
+  ASSERT_TRUE(result.ok());
+  // Homogeneous tasks finish together: nothing crosses the threshold.
+  EXPECT_EQ(result->total_task_attempts,
+            conf.num_maps + conf.num_reduces);
+}
+
+TEST(SpeculationTest, DeterministicGivenSeed) {
+  JobConf conf = BaseJob(512);
+  conf.straggler_prob = 0.25;
+  conf.straggler_slowdown = 5.0;
+  conf.speculative_execution = true;
+  auto a = RunSim(conf, ClusterA(IpoibQdr(), 4));
+  auto b = RunSim(conf, ClusterA(IpoibQdr(), 4));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->finish_time, b->finish_time);
+  EXPECT_EQ(a->total_task_attempts, b->total_task_attempts);
+}
+
+TEST(SpeculationTest, WorksTogetherWithFailures) {
+  JobConf conf = BaseJob();
+  conf.straggler_prob = 0.2;
+  conf.map_failure_prob = 0.15;
+  conf.speculative_execution = true;
+  conf.max_task_attempts = 30;
+  auto result = RunSim(conf, ClusterA(IpoibQdr(), 4));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->job_seconds, 0);
+}
+
+// ---- Timeline -----------------------------------------------------------
+
+TEST(TimelineTest, RecordsEveryTaskOnce) {
+  const JobConf conf = BaseJob();
+  auto result = RunSim(conf);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->timeline.size(),
+            static_cast<size_t>(conf.num_maps + conf.num_reduces));
+  int maps = 0;
+  for (const auto& task : result->timeline) {
+    if (task.is_map) ++maps;
+    EXPECT_EQ(task.attempts, 1);
+    EXPECT_GE(task.start_time, result->submit_time);
+    EXPECT_LE(task.finish_time, result->finish_time);
+    EXPECT_LT(task.start_time, task.finish_time);
+  }
+  EXPECT_EQ(maps, conf.num_maps);
+  EXPECT_EQ(result->total_task_attempts, conf.num_maps + conf.num_reduces);
+}
+
+TEST(TimelineTest, ReducesFinishAfterMaps) {
+  const JobConf conf = BaseJob();
+  auto result = RunSim(conf);
+  ASSERT_TRUE(result.ok());
+  SimTime last_map = 0;
+  SimTime last_reduce = 0;
+  for (const auto& task : result->timeline) {
+    if (task.is_map) {
+      last_map = std::max(last_map, task.finish_time);
+    } else {
+      last_reduce = std::max(last_reduce, task.finish_time);
+    }
+  }
+  EXPECT_GT(last_reduce, last_map);
+}
+
+}  // namespace
+}  // namespace mrmb

@@ -1,0 +1,165 @@
+#include "net/fabric.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace mrmb {
+namespace {
+
+// A deliberately simple profile for exact timing math: 8 Gbit/s => 1e9 B/s
+// at efficiency 1, zero latency and overhead.
+NetworkProfile TestProfile() {
+  NetworkProfile p;
+  p.name = "test";
+  p.raw_bandwidth_bps = 8e9;
+  p.efficiency = 1.0;
+  p.latency = 0;
+  p.per_message_overhead = 0;
+  return p;
+}
+
+TEST(FabricTest, SingleTransferAtLineRate) {
+  Simulator sim;
+  Fabric fabric(&sim, 2, TestProfile());
+  SimTime done = -1;
+  fabric.Transfer(0, 1, 1000000000, [&](SimTime t) { done = t; });
+  sim.Run();
+  EXPECT_NEAR(ToSeconds(done), 1.0, 1e-6);
+}
+
+TEST(FabricTest, LatencyAndOverheadAdd) {
+  NetworkProfile profile = TestProfile();
+  profile.latency = 30 * kMicrosecond;
+  profile.per_message_overhead = 20 * kMicrosecond;
+  Simulator sim;
+  Fabric fabric(&sim, 2, profile);
+  SimTime done = -1;
+  fabric.Transfer(0, 1, 1000000, [&](SimTime t) { done = t; });
+  sim.Run();
+  // 20us overhead + 1ms transfer + 30us latency.
+  EXPECT_NEAR(ToSeconds(done), 0.00105, 1e-7);
+}
+
+TEST(FabricTest, ZeroByteTransferCostsLatencyOnly) {
+  NetworkProfile profile = TestProfile();
+  profile.latency = 40 * kMicrosecond;
+  Simulator sim;
+  Fabric fabric(&sim, 2, profile);
+  SimTime done = -1;
+  fabric.Transfer(0, 1, 0, [&](SimTime t) { done = t; });
+  sim.Run();
+  EXPECT_NEAR(ToSeconds(done), 40e-6, 1e-9);
+}
+
+TEST(FabricTest, EgressContentionHalvesRate) {
+  Simulator sim;
+  Fabric fabric(&sim, 3, TestProfile());
+  SimTime done_a = -1;
+  SimTime done_b = -1;
+  // Both transfers leave node 0: they share its egress NIC.
+  fabric.Transfer(0, 1, 1000000000, [&](SimTime t) { done_a = t; });
+  fabric.Transfer(0, 2, 1000000000, [&](SimTime t) { done_b = t; });
+  sim.Run();
+  EXPECT_NEAR(ToSeconds(done_a), 2.0, 1e-6);
+  EXPECT_NEAR(ToSeconds(done_b), 2.0, 1e-6);
+}
+
+TEST(FabricTest, IngressContentionHalvesRate) {
+  Simulator sim;
+  Fabric fabric(&sim, 3, TestProfile());
+  SimTime done_a = -1;
+  SimTime done_b = -1;
+  fabric.Transfer(0, 2, 1000000000, [&](SimTime t) { done_a = t; });
+  fabric.Transfer(1, 2, 1000000000, [&](SimTime t) { done_b = t; });
+  sim.Run();
+  EXPECT_NEAR(ToSeconds(done_a), 2.0, 1e-6);
+  EXPECT_NEAR(ToSeconds(done_b), 2.0, 1e-6);
+}
+
+TEST(FabricTest, DisjointPairsDontContend) {
+  Simulator sim;
+  Fabric fabric(&sim, 4, TestProfile());
+  SimTime done_a = -1;
+  SimTime done_b = -1;
+  fabric.Transfer(0, 1, 1000000000, [&](SimTime t) { done_a = t; });
+  fabric.Transfer(2, 3, 1000000000, [&](SimTime t) { done_b = t; });
+  sim.Run();
+  EXPECT_NEAR(ToSeconds(done_a), 1.0, 1e-6);
+  EXPECT_NEAR(ToSeconds(done_b), 1.0, 1e-6);
+}
+
+TEST(FabricTest, FullDuplexIndependence) {
+  // A->B and B->A at the same time both run at line rate.
+  Simulator sim;
+  Fabric fabric(&sim, 2, TestProfile());
+  SimTime done_a = -1;
+  SimTime done_b = -1;
+  fabric.Transfer(0, 1, 1000000000, [&](SimTime t) { done_a = t; });
+  fabric.Transfer(1, 0, 1000000000, [&](SimTime t) { done_b = t; });
+  sim.Run();
+  EXPECT_NEAR(ToSeconds(done_a), 1.0, 1e-6);
+  EXPECT_NEAR(ToSeconds(done_b), 1.0, 1e-6);
+}
+
+TEST(FabricTest, LoopbackSkipsNic) {
+  Simulator sim;
+  Fabric fabric(&sim, 2, TestProfile());
+  SimTime done = -1;
+  fabric.Transfer(0, 0, 600000000, [&](SimTime t) { done = t; });
+  sim.Run();
+  // Loopback copies at 6 GB/s: 0.1 s, and doesn't count as NIC traffic.
+  EXPECT_NEAR(ToSeconds(done), 0.1, 1e-6);
+  EXPECT_NEAR(fabric.RxBytes(0), 0.0, 1e-6);
+}
+
+TEST(FabricTest, BackplaneOversubscriptionLimitsAggregate) {
+  Simulator sim;
+  // 4 nodes, oversubscription 0.5: backplane = 0.5 * 4 * 1e9 = 2e9 B/s.
+  Fabric fabric(&sim, 4, TestProfile(), 0.5);
+  int completed = 0;
+  SimTime last = 0;
+  // 4 disjoint transfers of 1 GB each would take 1 s non-blocking; the
+  // 2 GB/s backplane stretches them to 2 s.
+  fabric.Transfer(0, 1, 1000000000, [&](SimTime t) { ++completed; last = t; });
+  fabric.Transfer(1, 2, 1000000000, [&](SimTime t) { ++completed; last = t; });
+  fabric.Transfer(2, 3, 1000000000, [&](SimTime t) { ++completed; last = t; });
+  fabric.Transfer(3, 0, 1000000000, [&](SimTime t) { ++completed; last = t; });
+  sim.Run();
+  EXPECT_EQ(completed, 4);
+  EXPECT_NEAR(ToSeconds(last), 2.0, 1e-6);
+}
+
+TEST(FabricTest, RxTxAccounting) {
+  Simulator sim;
+  Fabric fabric(&sim, 3, TestProfile());
+  fabric.Transfer(0, 1, 1000, [](SimTime) {});
+  fabric.Transfer(0, 2, 2000, [](SimTime) {});
+  fabric.Transfer(2, 1, 500, [](SimTime) {});
+  sim.Run();
+  EXPECT_NEAR(fabric.TxBytes(0), 3000.0, 1e-6);
+  EXPECT_NEAR(fabric.RxBytes(1), 1500.0, 1e-6);
+  EXPECT_NEAR(fabric.RxBytes(2), 2000.0, 1e-6);
+  EXPECT_NEAR(fabric.TxBytes(2), 500.0, 1e-6);
+}
+
+TEST(FabricTest, ProfileBandwidthsAreOrdered) {
+  // The five built-in profiles must be strictly faster in app bandwidth in
+  // this order (the paper's premise).
+  const auto profiles = AllNetworkProfiles();
+  ASSERT_EQ(profiles.size(), 5u);
+  for (size_t i = 1; i < profiles.size(); ++i) {
+    EXPECT_GT(profiles[i].app_bandwidth_Bps(),
+              profiles[i - 1].app_bandwidth_Bps())
+        << profiles[i].name << " vs " << profiles[i - 1].name;
+  }
+}
+
+TEST(FabricTest, InvalidNodeDies) {
+  Simulator sim;
+  Fabric fabric(&sim, 2, TestProfile());
+  EXPECT_DEATH({ fabric.Transfer(0, 5, 10, [](SimTime) {}); }, "");
+}
+
+}  // namespace
+}  // namespace mrmb

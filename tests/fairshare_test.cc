@@ -1,0 +1,232 @@
+#include "sim/fairshare.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace mrmb {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+// Checks the three max-min invariants documented in fairshare.h.
+void CheckInvariants(const MaxMinProblem& problem,
+                     const std::vector<double>& rate) {
+  const size_t num_links = problem.link_capacity.size();
+  std::vector<double> link_load(num_links, 0.0);
+  for (size_t f = 0; f < problem.flow_links.size(); ++f) {
+    for (int32_t link : problem.flow_links[f]) {
+      link_load[static_cast<size_t>(link)] += rate[f];
+    }
+    if (!problem.rate_limit.empty()) {
+      EXPECT_LE(rate[f], problem.rate_limit[f] + kTol);
+    }
+    EXPECT_GE(rate[f], 0.0);
+  }
+  for (size_t l = 0; l < num_links; ++l) {
+    EXPECT_LE(link_load[l], problem.link_capacity[l] + kTol)
+        << "link " << l << " over capacity";
+  }
+  // Max-min: a flow below its cap must cross a saturated link on which it
+  // has one of the largest rates.
+  for (size_t f = 0; f < problem.flow_links.size(); ++f) {
+    const double cap = problem.rate_limit.empty() ? kUnlimitedRate
+                                                  : problem.rate_limit[f];
+    if (rate[f] >= cap - kTol) continue;
+    bool justified = false;
+    for (int32_t link : problem.flow_links[f]) {
+      const auto l = static_cast<size_t>(link);
+      if (link_load[l] >= problem.link_capacity[l] - kTol) {
+        // Saturated link: check no co-flow has a strictly smaller rate that
+        // could be raised (i.e., this flow's rate is maximal or tied).
+        bool is_max = true;
+        for (size_t other = 0; other < problem.flow_links.size(); ++other) {
+          if (other == f) continue;
+          for (int32_t other_link : problem.flow_links[other]) {
+            if (other_link == link && rate[other] > rate[f] + kTol) {
+              // Another flow got more through the same bottleneck — only
+              // legal if our flow is capped elsewhere, which we already
+              // know it is not. Not necessarily a violation of max-min if
+              // our flow is bottlenecked at a different saturated link,
+              // so just don't justify via this link.
+              is_max = false;
+            }
+          }
+          if (!is_max) break;
+        }
+        if (is_max) {
+          justified = true;
+          break;
+        }
+      }
+    }
+    EXPECT_TRUE(justified) << "flow " << f
+                           << " could be raised: not max-min fair";
+  }
+}
+
+TEST(FairshareTest, EmptyProblem) {
+  MaxMinProblem problem;
+  EXPECT_TRUE(SolveMaxMinFair(problem).empty());
+}
+
+TEST(FairshareTest, SingleFlowGetsFullLink) {
+  MaxMinProblem problem;
+  problem.link_capacity = {100.0};
+  problem.flow_links = {{0}};
+  const auto rate = SolveMaxMinFair(problem);
+  EXPECT_NEAR(rate[0], 100.0, kTol);
+}
+
+TEST(FairshareTest, TwoFlowsShareEqually) {
+  MaxMinProblem problem;
+  problem.link_capacity = {100.0};
+  problem.flow_links = {{0}, {0}};
+  const auto rate = SolveMaxMinFair(problem);
+  EXPECT_NEAR(rate[0], 50.0, kTol);
+  EXPECT_NEAR(rate[1], 50.0, kTol);
+}
+
+TEST(FairshareTest, CapLimitsFlowAndReleasesShare) {
+  MaxMinProblem problem;
+  problem.link_capacity = {100.0};
+  problem.flow_links = {{0}, {0}};
+  problem.rate_limit = {20.0, kUnlimitedRate};
+  const auto rate = SolveMaxMinFair(problem);
+  EXPECT_NEAR(rate[0], 20.0, kTol);
+  EXPECT_NEAR(rate[1], 80.0, kTol);  // the freed share goes to flow 1
+}
+
+TEST(FairshareTest, ClassicParkingLot) {
+  // Flow 0 crosses both links; flows 1 and 2 cross one each.
+  MaxMinProblem problem;
+  problem.link_capacity = {10.0, 10.0};
+  problem.flow_links = {{0, 1}, {0}, {1}};
+  const auto rate = SolveMaxMinFair(problem);
+  EXPECT_NEAR(rate[0], 5.0, kTol);
+  EXPECT_NEAR(rate[1], 5.0, kTol);
+  EXPECT_NEAR(rate[2], 5.0, kTol);
+  CheckInvariants(problem, rate);
+}
+
+TEST(FairshareTest, BottleneckDifferentiation) {
+  // Link 0 tight (6), link 1 loose (100). Flow 0 on link 0 only; flow 1 on
+  // both; flow 2 on link 1 only. Flows 0,1 split link 0 (3 each); flow 2
+  // takes the rest of link 1 (97).
+  MaxMinProblem problem;
+  problem.link_capacity = {6.0, 100.0};
+  problem.flow_links = {{0}, {0, 1}, {1}};
+  const auto rate = SolveMaxMinFair(problem);
+  EXPECT_NEAR(rate[0], 3.0, kTol);
+  EXPECT_NEAR(rate[1], 3.0, kTol);
+  EXPECT_NEAR(rate[2], 97.0, kTol);
+  CheckInvariants(problem, rate);
+}
+
+TEST(FairshareTest, ZeroCapacityLinkStallsItsFlows) {
+  MaxMinProblem problem;
+  problem.link_capacity = {0.0, 50.0};
+  problem.flow_links = {{0, 1}, {1}};
+  const auto rate = SolveMaxMinFair(problem);
+  EXPECT_NEAR(rate[0], 0.0, kTol);
+  EXPECT_NEAR(rate[1], 50.0, kTol);
+}
+
+TEST(FairshareTest, ZeroCapFlowStalls) {
+  MaxMinProblem problem;
+  problem.link_capacity = {50.0};
+  problem.flow_links = {{0}, {0}};
+  problem.rate_limit = {0.0, kUnlimitedRate};
+  const auto rate = SolveMaxMinFair(problem);
+  EXPECT_NEAR(rate[0], 0.0, kTol);
+  EXPECT_NEAR(rate[1], 50.0, kTol);
+}
+
+TEST(FairshareTest, FlowWithNoLinksUsesCap) {
+  MaxMinProblem problem;
+  problem.link_capacity = {10.0};
+  problem.flow_links = {{}, {0}};
+  problem.rate_limit = {7.0, kUnlimitedRate};
+  const auto rate = SolveMaxMinFair(problem);
+  EXPECT_NEAR(rate[0], 7.0, kTol);
+  EXPECT_NEAR(rate[1], 10.0, kTol);
+}
+
+TEST(FairshareTest, UncappedFlowWithNoLinksDies) {
+  MaxMinProblem problem;
+  problem.flow_links = {{}};
+  EXPECT_DEATH({ (void)SolveMaxMinFair(problem); }, "finite rate cap");
+}
+
+TEST(FairshareTest, ProcessorSharingShape) {
+  // 8-core node, 12 runnable tasks capped at 1 core each: each gets 8/12.
+  MaxMinProblem problem;
+  problem.link_capacity = {8.0};
+  problem.flow_links.assign(12, {0});
+  problem.rate_limit.assign(12, 1.0);
+  const auto rate = SolveMaxMinFair(problem);
+  for (double r : rate) EXPECT_NEAR(r, 8.0 / 12.0, kTol);
+}
+
+TEST(FairshareTest, ProcessorSharingUnderSubscribed) {
+  // 8 cores, 3 tasks: each runs at a full core.
+  MaxMinProblem problem;
+  problem.link_capacity = {8.0};
+  problem.flow_links.assign(3, {0});
+  problem.rate_limit.assign(3, 1.0);
+  for (double r : SolveMaxMinFair(problem)) EXPECT_NEAR(r, 1.0, kTol);
+}
+
+class FairshareRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FairshareRandomTest, InvariantsHoldOnRandomProblems) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  const int num_links = static_cast<int>(rng.UniformRange(1, 12));
+  const int num_flows = static_cast<int>(rng.UniformRange(1, 40));
+  MaxMinProblem problem;
+  for (int l = 0; l < num_links; ++l) {
+    problem.link_capacity.push_back(
+        static_cast<double>(rng.UniformRange(1, 1000)));
+  }
+  const bool use_caps = rng.Bernoulli(0.5);
+  for (int f = 0; f < num_flows; ++f) {
+    std::vector<int32_t> links;
+    const int crossings = static_cast<int>(rng.UniformRange(1, 3));
+    for (int c = 0; c < crossings; ++c) {
+      const auto link = static_cast<int32_t>(
+          rng.Uniform(static_cast<uint64_t>(num_links)));
+      if (std::find(links.begin(), links.end(), link) == links.end()) {
+        links.push_back(link);
+      }
+    }
+    problem.flow_links.push_back(std::move(links));
+    if (use_caps) {
+      problem.rate_limit.push_back(
+          static_cast<double>(rng.UniformRange(1, 200)));
+    }
+  }
+  const auto rate = SolveMaxMinFair(problem);
+  ASSERT_EQ(rate.size(), problem.flow_links.size());
+  CheckInvariants(problem, rate);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FairshareRandomTest,
+                         ::testing::Range(1, 41));
+
+TEST(FairshareTest, WorkConservation) {
+  // With one shared link and no caps, the link must be fully used.
+  for (int flows = 1; flows <= 16; ++flows) {
+    MaxMinProblem problem;
+    problem.link_capacity = {100.0};
+    problem.flow_links.assign(static_cast<size_t>(flows), {0});
+    const auto rate = SolveMaxMinFair(problem);
+    const double total = std::accumulate(rate.begin(), rate.end(), 0.0);
+    EXPECT_NEAR(total, 100.0, kTol) << flows << " flows";
+  }
+}
+
+}  // namespace
+}  // namespace mrmb

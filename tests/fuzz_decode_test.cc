@@ -1,0 +1,106 @@
+// Robustness: the wire-format decoders must never crash or read out of
+// bounds on arbitrary input — they return Status errors instead. (The
+// framed SegmentReader is exempt by contract: it only ever reads buffers
+// the engine itself produced and treats corruption as a fatal invariant
+// violation.)
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "io/byte_buffer.h"
+#include "io/codec.h"
+#include "io/writable.h"
+
+namespace mrmb {
+namespace {
+
+class FuzzDecodeTest : public ::testing::TestWithParam<int> {};
+
+std::string RandomBytes(Rng* rng, size_t max_len) {
+  std::string out(rng->Uniform(max_len + 1), '\0');
+  rng->Fill(out.data(), out.size());
+  return out;
+}
+
+TEST_P(FuzzDecodeTest, WritablesSurviveGarbage) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 0x1234567);
+  for (int i = 0; i < 200; ++i) {
+    const std::string garbage = RandomBytes(&rng, 64);
+    {
+      BufferReader reader(garbage);
+      BytesWritable value;
+      (void)value.Deserialize(&reader);  // must not crash
+    }
+    {
+      BufferReader reader(garbage);
+      Text value;
+      (void)value.Deserialize(&reader);
+    }
+    {
+      BufferReader reader(garbage);
+      IntWritable value;
+      (void)value.Deserialize(&reader);
+    }
+    {
+      BufferReader reader(garbage);
+      LongWritable value;
+      (void)value.Deserialize(&reader);
+    }
+  }
+}
+
+TEST_P(FuzzDecodeTest, VarintDecoderSurvivesGarbage) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 0x2468ace);
+  for (int i = 0; i < 500; ++i) {
+    const std::string garbage = RandomBytes(&rng, 12);
+    int64_t value = 0;
+    size_t length = 0;
+    const Status status = DecodeVarint64(garbage, &value, &length);
+    if (status.ok()) {
+      // A successful decode must report a length within the input, and the
+      // value must survive an encode/decode round trip (the Hadoop vint
+      // format is not canonical, so the *bytes* need not match).
+      ASSERT_LE(length, garbage.size());
+      BufferWriter writer;
+      writer.AppendVarint64(value);
+      int64_t again = 0;
+      size_t again_length = 0;
+      ASSERT_TRUE(DecodeVarint64(writer.data(), &again, &again_length).ok());
+      EXPECT_EQ(again, value);
+      EXPECT_EQ(again_length, writer.size());
+    }
+  }
+}
+
+TEST_P(FuzzDecodeTest, InflateSurvivesGarbage) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 0xbeef1);
+  for (int i = 0; i < 50; ++i) {
+    const std::string garbage = RandomBytes(&rng, 256);
+    std::string out;
+    (void)DeflateDecompress(garbage, &out);  // error or success, no crash
+  }
+}
+
+TEST_P(FuzzDecodeTest, TruncatedValidDataFailsCleanly) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 0x777);
+  // Serialize a real value, then decode every truncation of it.
+  const std::string payload = RandomBytes(&rng, 40);
+  BufferWriter writer;
+  BytesWritable(payload).Serialize(&writer);
+  const std::string wire = writer.data();
+  for (size_t len = 0; len < wire.size(); ++len) {
+    BufferReader reader(std::string_view(wire).substr(0, len));
+    BytesWritable value;
+    EXPECT_FALSE(value.Deserialize(&reader).ok()) << "len=" << len;
+  }
+  // The full wire decodes.
+  BufferReader reader(wire);
+  BytesWritable value;
+  EXPECT_TRUE(value.Deserialize(&reader).ok());
+  EXPECT_EQ(value.bytes(), payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDecodeTest, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace mrmb

@@ -1,0 +1,116 @@
+#include "mapred/job_conf.h"
+
+#include <gtest/gtest.h>
+
+namespace mrmb {
+namespace {
+
+JobConf ValidConf() {
+  JobConf conf;
+  conf.num_maps = 4;
+  conf.num_reduces = 2;
+  conf.records_per_map = 100;
+  conf.record.key_size = 64;
+  conf.record.value_size = 64;
+  conf.record.num_unique_keys = 2;
+  return conf;
+}
+
+TEST(JobConfTest, DefaultIsValid) {
+  EXPECT_TRUE(JobConf().Validate().ok());
+}
+
+TEST(JobConfTest, ValidConfPasses) {
+  EXPECT_TRUE(ValidConf().Validate().ok());
+}
+
+TEST(JobConfTest, TotalRecords) {
+  JobConf conf = ValidConf();
+  EXPECT_EQ(conf.total_records(), 400);
+}
+
+TEST(JobConfTest, RejectsBadTaskCounts) {
+  JobConf conf = ValidConf();
+  conf.num_maps = 0;
+  EXPECT_FALSE(conf.Validate().ok());
+  conf = ValidConf();
+  conf.num_reduces = -1;
+  EXPECT_FALSE(conf.Validate().ok());
+}
+
+TEST(JobConfTest, RejectsNegativeRecords) {
+  JobConf conf = ValidConf();
+  conf.records_per_map = -1;
+  EXPECT_FALSE(conf.Validate().ok());
+}
+
+TEST(JobConfTest, RejectsTinyKeys) {
+  JobConf conf = ValidConf();
+  conf.record.key_size = 4;
+  EXPECT_FALSE(conf.Validate().ok());
+}
+
+TEST(JobConfTest, RejectsBadSlots) {
+  JobConf conf = ValidConf();
+  conf.map_slots_per_node = 0;
+  EXPECT_FALSE(conf.Validate().ok());
+  conf = ValidConf();
+  conf.reduce_slots_per_node = -2;
+  EXPECT_FALSE(conf.Validate().ok());
+}
+
+TEST(JobConfTest, RejectsBadSortBuffer) {
+  JobConf conf = ValidConf();
+  conf.io_sort_bytes = 0;
+  EXPECT_FALSE(conf.Validate().ok());
+  conf = ValidConf();
+  conf.spill_percent = 0.0;
+  EXPECT_FALSE(conf.Validate().ok());
+  conf = ValidConf();
+  conf.spill_percent = 1.5;
+  EXPECT_FALSE(conf.Validate().ok());
+}
+
+TEST(JobConfTest, RejectsBadShuffleParams) {
+  JobConf conf = ValidConf();
+  conf.parallel_copies = 0;
+  EXPECT_FALSE(conf.Validate().ok());
+  conf = ValidConf();
+  conf.slowstart = -0.1;
+  EXPECT_FALSE(conf.Validate().ok());
+  conf = ValidConf();
+  conf.slowstart = 1.1;
+  EXPECT_FALSE(conf.Validate().ok());
+  conf = ValidConf();
+  conf.shuffle_input_buffer_fraction = 0.0;
+  EXPECT_FALSE(conf.Validate().ok());
+}
+
+TEST(JobConfTest, RejectsBadContainersAndKeys) {
+  JobConf conf = ValidConf();
+  conf.yarn_container_bytes = 0;
+  EXPECT_FALSE(conf.Validate().ok());
+  conf = ValidConf();
+  conf.record.num_unique_keys = 0;
+  EXPECT_FALSE(conf.Validate().ok());
+}
+
+TEST(JobConfTest, BoundaryValuesAccepted) {
+  JobConf conf = ValidConf();
+  conf.slowstart = 0.0;
+  EXPECT_TRUE(conf.Validate().ok());
+  conf.slowstart = 1.0;
+  EXPECT_TRUE(conf.Validate().ok());
+  conf.spill_percent = 1.0;
+  EXPECT_TRUE(conf.Validate().ok());
+  conf.records_per_map = 0;
+  EXPECT_TRUE(conf.Validate().ok());
+}
+
+TEST(SchedulerKindTest, Names) {
+  EXPECT_STREQ(SchedulerKindName(SchedulerKind::kMrv1), "MRv1");
+  EXPECT_STREQ(SchedulerKindName(SchedulerKind::kYarn), "YARN");
+}
+
+}  // namespace
+}  // namespace mrmb

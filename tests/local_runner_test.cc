@@ -1,0 +1,301 @@
+#include "mapred/local_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+
+#include "io/byte_buffer.h"
+#include "mapred/null_formats.h"
+#include "mapred/partitioner.h"
+
+namespace mrmb {
+namespace {
+
+JobConf SmallConf(DistributionPattern pattern = DistributionPattern::kAverage,
+                  int maps = 4, int reduces = 4, int64_t records = 100) {
+  JobConf conf;
+  conf.num_maps = maps;
+  conf.num_reduces = reduces;
+  conf.records_per_map = records;
+  conf.pattern = pattern;
+  conf.record.key_size = 16;
+  conf.record.value_size = 32;
+  conf.record.num_unique_keys = reduces;
+  conf.seed = 42;
+  return conf;
+}
+
+TEST(LocalRunnerTest, StandaloneJobCounts) {
+  const JobConf conf = SmallConf();
+  auto result = LocalJobRunner::RunStandalone(conf);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->map_input_records, 4);  // one dummy record per split
+  EXPECT_EQ(result->map_output_records, 400);
+  EXPECT_EQ(result->reduce_input_records, 400);
+  EXPECT_GT(result->map_output_bytes, 400 * (16 + 32));
+  // DiscardingReducer emits nothing.
+  EXPECT_EQ(result->output_records, 0);
+}
+
+TEST(LocalRunnerTest, AverageDistributionIsExactlyEven) {
+  const JobConf conf = SmallConf(DistributionPattern::kAverage, 4, 4, 100);
+  auto result = LocalJobRunner::RunStandalone(conf);
+  ASSERT_TRUE(result.ok());
+  for (int64_t records : result->reducer_input_records) {
+    EXPECT_EQ(records, 100);  // 400 records round-robin over 4 reducers
+  }
+}
+
+TEST(LocalRunnerTest, SkewDistributionShape) {
+  const JobConf conf = SmallConf(DistributionPattern::kSkewed, 2, 8, 1000);
+  auto result = LocalJobRunner::RunStandalone(conf);
+  ASSERT_TRUE(result.ok());
+  const auto& loads = result->reducer_input_records;
+  const int64_t total =
+      std::accumulate(loads.begin(), loads.end(), int64_t{0});
+  EXPECT_EQ(total, 2000);
+  // Reducer 0 holds at least its 50% quota.
+  EXPECT_GE(loads[0], 1000);
+  EXPECT_GE(loads[1], 500);
+  EXPECT_GE(loads[2], 250);
+  EXPECT_LT(loads[3], 200);
+}
+
+TEST(LocalRunnerTest, ReducerLoadsMatchPartitionPlan) {
+  // The functional engine must land exactly on PlanPartitionCounts.
+  for (DistributionPattern pattern :
+       {DistributionPattern::kAverage, DistributionPattern::kRandom,
+        DistributionPattern::kSkewed}) {
+    const JobConf conf = SmallConf(pattern, 3, 5, 200);
+    auto result = LocalJobRunner::RunStandalone(conf);
+    ASSERT_TRUE(result.ok());
+    std::vector<int64_t> expected(5, 0);
+    for (int m = 0; m < conf.num_maps; ++m) {
+      const auto counts = PlanPartitionCounts(
+          pattern, conf.seed + static_cast<uint64_t>(m) * 7919,
+          conf.records_per_map, conf.num_reduces);
+      for (size_t r = 0; r < expected.size(); ++r) expected[r] += counts[r];
+    }
+    EXPECT_EQ(result->reducer_input_records, expected)
+        << DistributionPatternName(pattern);
+  }
+}
+
+TEST(LocalRunnerTest, GroupingSeesUniqueKeysPerReducer) {
+  // With round-robin over R reducers and keys cycling over R unique ids,
+  // record index i (key id i%R) goes to reducer i%R: each reducer sees
+  // exactly one distinct key.
+  const JobConf conf = SmallConf(DistributionPattern::kAverage, 2, 4, 100);
+  auto result = LocalJobRunner::RunStandalone(conf);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->reduce_groups, 4);
+}
+
+TEST(LocalRunnerTest, SpillsWhenBufferSmall) {
+  JobConf conf = SmallConf();
+  conf.io_sort_bytes = 4096;  // forces many spills for 100 records/map
+  auto result = LocalJobRunner::RunStandalone(conf);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->spill_count, conf.num_maps);
+  // Spilling must not change any count.
+  EXPECT_EQ(result->map_output_records, 400);
+  EXPECT_EQ(result->reduce_input_records, 400);
+}
+
+TEST(LocalRunnerTest, SpillCountMatchesBufferMath) {
+  JobConf conf = SmallConf(DistributionPattern::kAverage, 1, 1, 10);
+  conf.record.key_size = 16;
+  conf.record.value_size = 32;
+  // Framed record: (16+4) + (32+4) + 2 vints = 58 bytes. Buffer of
+  // 3 records: ceil(10/3) = 4 spills.
+  conf.io_sort_bytes = 58 * 3;
+  conf.spill_percent = 1.0;
+  auto result = LocalJobRunner::RunStandalone(conf);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->spill_count, 4);
+}
+
+TEST(LocalRunnerTest, DeterministicAcrossRuns) {
+  const JobConf conf = SmallConf(DistributionPattern::kRandom, 3, 4, 200);
+  auto a = LocalJobRunner::RunStandalone(conf);
+  auto b = LocalJobRunner::RunStandalone(conf);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->reducer_input_records, b->reducer_input_records);
+  EXPECT_EQ(a->reducer_input_bytes, b->reducer_input_bytes);
+  EXPECT_EQ(a->map_output_bytes, b->map_output_bytes);
+}
+
+TEST(LocalRunnerTest, TextTypeRuns) {
+  JobConf conf = SmallConf();
+  conf.record.type = DataType::kText;
+  auto result = LocalJobRunner::RunStandalone(conf);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->map_output_records, 400);
+  EXPECT_EQ(result->reduce_input_records, 400);
+}
+
+TEST(LocalRunnerTest, InvalidConfRejected) {
+  JobConf conf = SmallConf();
+  conf.num_reduces = 0;
+  auto result = LocalJobRunner::RunStandalone(conf);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---- A real user-defined job: word count --------------------------------
+
+// Emits (word, 1) for each word in the value text.
+class WordCountMapper : public Mapper {
+ public:
+  void Map(std::string_view /*key*/, std::string_view value,
+           MapContext* context) override {
+    // `value` is a serialized Text.
+    Text text;
+    BufferReader reader(value);
+    MRMB_CHECK_OK(text.Deserialize(&reader));
+    size_t start = 0;
+    const std::string& s = text.value();
+    for (size_t i = 0; i <= s.size(); ++i) {
+      if (i == s.size() || s[i] == ' ') {
+        if (i > start) {
+          BufferWriter key_writer;
+          Text(s.substr(start, i - start)).Serialize(&key_writer);
+          BufferWriter value_writer;
+          LongWritable(1).Serialize(&value_writer);
+          context->Emit(key_writer.data(), value_writer.data());
+        }
+        start = i + 1;
+      }
+    }
+  }
+};
+
+class SumReducer : public Reducer {
+ public:
+  void Reduce(std::string_view key, ValueIterator* values,
+              ReduceContext* context) override {
+    int64_t sum = 0;
+    while (values->Next()) {
+      LongWritable one;
+      BufferReader reader(values->value());
+      MRMB_CHECK_OK(one.Deserialize(&reader));
+      sum += one.value();
+    }
+    BufferWriter writer;
+    LongWritable(sum).Serialize(&writer);
+    context->Emit(key, writer.data());
+  }
+};
+
+// Input format yielding one line of text per record.
+class LinesInputFormat : public InputFormat {
+ public:
+  explicit LinesInputFormat(std::vector<std::string> lines)
+      : lines_(std::move(lines)) {}
+
+  std::vector<InputSplit> GetSplits(const JobConf&, int num_splits) override {
+    std::vector<InputSplit> splits;
+    for (int i = 0; i < num_splits; ++i) {
+      InputSplit split;
+      split.split_id = i;
+      splits.push_back(split);
+    }
+    return splits;
+  }
+
+  std::unique_ptr<RecordReader> CreateReader(
+      const JobConf& conf, const InputSplit& split) override {
+    // Round-robin lines over splits.
+    std::vector<std::string> mine;
+    for (size_t i = static_cast<size_t>(split.split_id); i < lines_.size();
+         i += static_cast<size_t>(conf.num_maps)) {
+      mine.push_back(lines_[i]);
+    }
+    class Reader : public RecordReader {
+     public:
+      explicit Reader(std::vector<std::string> lines)
+          : lines_(std::move(lines)) {}
+      bool Next(std::string* key, std::string* value) override {
+        if (index_ >= lines_.size()) return false;
+        key->clear();
+        BufferWriter writer(value);
+        value->clear();
+        Text(lines_[index_++]).Serialize(&writer);
+        return true;
+      }
+
+     private:
+      std::vector<std::string> lines_;
+      size_t index_ = 0;
+    };
+    return std::make_unique<Reader>(std::move(mine));
+  }
+
+ private:
+  std::vector<std::string> lines_;
+};
+
+// Collects reduce output into a map for assertions.
+class CollectingOutputFormat : public OutputFormat {
+ public:
+  std::unique_ptr<RecordWriter> CreateWriter(const JobConf&,
+                                             int /*partition*/) override {
+    class Writer : public RecordWriter {
+     public:
+      explicit Writer(std::map<std::string, int64_t>* out) : out_(out) {}
+      void Write(std::string_view key, std::string_view value) override {
+        Text word;
+        BufferReader key_reader(key);
+        MRMB_CHECK_OK(word.Deserialize(&key_reader));
+        LongWritable count;
+        BufferReader value_reader(value);
+        MRMB_CHECK_OK(count.Deserialize(&value_reader));
+        (*out_)[word.value()] += count.value();
+      }
+      Status Close() override { return Status::OK(); }
+
+     private:
+      std::map<std::string, int64_t>* out_;
+    };
+    return std::make_unique<Writer>(&counts_);
+  }
+
+  const std::map<std::string, int64_t>& counts() const { return counts_; }
+
+ private:
+  std::map<std::string, int64_t> counts_;
+};
+
+TEST(LocalRunnerTest, WordCountEndToEnd) {
+  JobConf conf;
+  conf.num_maps = 2;
+  conf.num_reduces = 2;
+  conf.record.type = DataType::kText;  // key type drives sort/merge
+  conf.pattern = DistributionPattern::kAverage;  // ignored: custom job
+  LinesInputFormat input({"the quick brown fox", "the lazy dog",
+                          "the quick dog"});
+  CollectingOutputFormat output;
+
+  // Word count partitions by key hash so equal words meet at one reducer.
+  LocalJobRunner runner(conf);
+  auto result = runner.Run(
+      &input, [](int) { return std::make_unique<WordCountMapper>(); },
+      [](int) { return std::make_unique<SumReducer>(); }, &output,
+      [](int) { return std::make_unique<HashPartitioner>(); });
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  const auto& counts = output.counts();
+  EXPECT_EQ(counts.at("the"), 3);
+  EXPECT_EQ(counts.at("quick"), 2);
+  EXPECT_EQ(counts.at("dog"), 2);
+  EXPECT_EQ(counts.at("brown"), 1);
+  EXPECT_EQ(counts.at("fox"), 1);
+  EXPECT_EQ(counts.at("lazy"), 1);
+  EXPECT_EQ(result->reduce_groups, 6);
+  EXPECT_EQ(result->output_records, 6);
+}
+
+}  // namespace
+}  // namespace mrmb

@@ -1,0 +1,270 @@
+#include "io/merge.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/rng.h"
+#include "io/byte_buffer.h"
+#include "io/kv_buffer.h"
+
+namespace mrmb {
+namespace {
+
+std::string WireBytes(const std::string& payload) {
+  BufferWriter writer;
+  BytesWritable(payload).Serialize(&writer);
+  return writer.data();
+}
+
+// Builds a framed single-partition segment from (key, value) pairs,
+// sorting them first.
+std::string FramedSegment(std::vector<std::pair<std::string, std::string>>
+                              pairs,
+                          bool sort = true) {
+  if (sort) std::sort(pairs.begin(), pairs.end());
+  std::string data;
+  BufferWriter writer(&data);
+  for (const auto& [key, value] : pairs) {
+    const std::string k = WireBytes(key);
+    const std::string v = WireBytes(value);
+    writer.AppendVarint64(static_cast<int64_t>(k.size()));
+    writer.AppendVarint64(static_cast<int64_t>(v.size()));
+    writer.AppendRaw(k);
+    writer.AppendRaw(v);
+  }
+  return data;
+}
+
+TEST(SegmentReaderTest, EmptySegmentIsInvalid) {
+  SegmentReader reader("");
+  EXPECT_FALSE(reader.Valid());
+}
+
+TEST(SegmentReaderTest, WalksRecords) {
+  const std::string data =
+      FramedSegment({{"a", "1"}, {"b", "2"}, {"c", "3"}});
+  SegmentReader reader(data);
+  std::vector<std::string> keys;
+  while (reader.Valid()) {
+    BytesWritable key;
+    BufferReader key_reader(reader.key());
+    ASSERT_TRUE(key.Deserialize(&key_reader).ok());
+    keys.push_back(key.bytes());
+    reader.Next();
+  }
+  EXPECT_EQ(keys, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SegmentReaderTest, NextPastEndDies) {
+  SegmentReader reader(FramedSegment({{"a", "1"}}));
+  reader.Next();
+  EXPECT_FALSE(reader.Valid());
+  EXPECT_DEATH({ reader.Next(); }, "");
+}
+
+TEST(SegmentReaderTest, TruncatedFrameDies) {
+  std::string data = FramedSegment({{"abc", "def"}});
+  data.resize(data.size() - 2);
+  EXPECT_DEATH({ SegmentReader reader(data); }, "truncated");
+}
+
+TEST(MergeIteratorTest, EmptyInputs) {
+  std::vector<std::unique_ptr<RecordStream>> inputs;
+  MergeIterator merged(std::move(inputs),
+                       ComparatorFor(DataType::kBytesWritable));
+  EXPECT_FALSE(merged.Valid());
+}
+
+TEST(MergeIteratorTest, SingleStreamPassesThrough) {
+  const std::string data = FramedSegment({{"a", "1"}, {"b", "2"}});
+  std::vector<std::unique_ptr<RecordStream>> inputs;
+  inputs.push_back(std::make_unique<SegmentReader>(data));
+  MergeIterator merged(std::move(inputs),
+                       ComparatorFor(DataType::kBytesWritable));
+  int count = 0;
+  while (merged.Valid()) {
+    ++count;
+    merged.Next();
+  }
+  EXPECT_EQ(count, 2);
+}
+
+TEST(MergeIteratorTest, MergesSortedStreams) {
+  const std::string seg1 = FramedSegment({{"a", "1"}, {"d", "4"}});
+  const std::string seg2 = FramedSegment({{"b", "2"}, {"e", "5"}});
+  const std::string seg3 = FramedSegment({{"c", "3"}, {"f", "6"}});
+  std::vector<std::unique_ptr<RecordStream>> inputs;
+  inputs.push_back(std::make_unique<SegmentReader>(seg1));
+  inputs.push_back(std::make_unique<SegmentReader>(seg2));
+  inputs.push_back(std::make_unique<SegmentReader>(seg3));
+  MergeIterator merged(std::move(inputs),
+                       ComparatorFor(DataType::kBytesWritable));
+  std::string order;
+  while (merged.Valid()) {
+    BytesWritable key;
+    BufferReader key_reader(merged.key());
+    ASSERT_TRUE(key.Deserialize(&key_reader).ok());
+    order += key.bytes();
+    merged.Next();
+  }
+  EXPECT_EQ(order, "abcdef");
+}
+
+TEST(MergeIteratorTest, SkipsEmptyStreams) {
+  std::vector<std::unique_ptr<RecordStream>> inputs;
+  inputs.push_back(std::make_unique<SegmentReader>(""));
+  inputs.push_back(
+      std::make_unique<SegmentReader>(FramedSegment({{"x", "1"}})));
+  inputs.push_back(std::make_unique<SegmentReader>(""));
+  MergeIterator merged(std::move(inputs),
+                       ComparatorFor(DataType::kBytesWritable));
+  ASSERT_TRUE(merged.Valid());
+  merged.Next();
+  EXPECT_FALSE(merged.Valid());
+}
+
+TEST(MergeIteratorTest, EqualKeysBreakTiesByInputIndex) {
+  // Both streams hold key "k"; stream 0's record must come first.
+  std::vector<std::unique_ptr<RecordStream>> inputs;
+  const std::string seg0 = FramedSegment({{"k", "from0"}});
+  const std::string seg1 = FramedSegment({{"k", "from1"}});
+  inputs.push_back(std::make_unique<SegmentReader>(seg0));
+  inputs.push_back(std::make_unique<SegmentReader>(seg1));
+  MergeIterator merged(std::move(inputs),
+                       ComparatorFor(DataType::kBytesWritable));
+  ASSERT_TRUE(merged.Valid());
+  EXPECT_EQ(merged.value(), WireBytes("from0"));
+  merged.Next();
+  ASSERT_TRUE(merged.Valid());
+  EXPECT_EQ(merged.value(), WireBytes("from1"));
+}
+
+class MergePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MergePropertyTest, MergeEqualsGlobalSort) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 13);
+  const int num_streams = static_cast<int>(rng.UniformRange(1, 8));
+  std::vector<std::string> all_keys;
+  std::vector<std::string> segments;
+  for (int s = 0; s < num_streams; ++s) {
+    std::vector<std::pair<std::string, std::string>> pairs;
+    const int records = static_cast<int>(rng.UniformRange(0, 50));
+    for (int r = 0; r < records; ++r) {
+      std::string key(rng.UniformRange(1, 10), '\0');
+      for (char& c : key) {
+        c = static_cast<char>('a' + rng.Uniform(26));
+      }
+      all_keys.push_back(key);
+      pairs.emplace_back(std::move(key), "v");
+    }
+    segments.push_back(FramedSegment(std::move(pairs)));
+  }
+  std::vector<std::unique_ptr<RecordStream>> inputs;
+  for (const std::string& segment : segments) {
+    inputs.push_back(std::make_unique<SegmentReader>(segment));
+  }
+  MergeIterator merged(std::move(inputs),
+                       ComparatorFor(DataType::kBytesWritable));
+  std::sort(all_keys.begin(), all_keys.end());
+  size_t i = 0;
+  while (merged.Valid()) {
+    ASSERT_LT(i, all_keys.size());
+    EXPECT_EQ(merged.key(), WireBytes(all_keys[i]));
+    merged.Next();
+    ++i;
+  }
+  EXPECT_EQ(i, all_keys.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MergePropertyTest, ::testing::Range(1, 21));
+
+TEST(GroupedIteratorTest, GroupsEqualKeys) {
+  const std::string data = FramedSegment(
+      {{"a", "1"}, {"a", "2"}, {"b", "3"}, {"c", "4"}, {"c", "5"},
+       {"c", "6"}});
+  SegmentReader reader(data);
+  GroupedIterator groups(&reader, ComparatorFor(DataType::kBytesWritable));
+  std::map<std::string, int> value_counts;
+  while (groups.NextGroup()) {
+    BytesWritable key;
+    BufferReader key_reader(groups.group_key());
+    ASSERT_TRUE(key.Deserialize(&key_reader).ok());
+    int count = 0;
+    while (groups.NextValue()) ++count;
+    value_counts[key.bytes()] = count;
+  }
+  EXPECT_EQ(value_counts.size(), 3u);
+  EXPECT_EQ(value_counts["a"], 2);
+  EXPECT_EQ(value_counts["b"], 1);
+  EXPECT_EQ(value_counts["c"], 3);
+}
+
+TEST(GroupedIteratorTest, AbandoningGroupSkipsItsValues) {
+  const std::string data =
+      FramedSegment({{"a", "1"}, {"a", "2"}, {"a", "3"}, {"b", "4"}});
+  SegmentReader reader(data);
+  GroupedIterator groups(&reader, ComparatorFor(DataType::kBytesWritable));
+  ASSERT_TRUE(groups.NextGroup());  // group "a", values untouched
+  ASSERT_TRUE(groups.NextGroup());  // must land on "b"
+  EXPECT_EQ(groups.group_key(), WireBytes("b"));
+  ASSERT_TRUE(groups.NextValue());
+  EXPECT_EQ(groups.value(), WireBytes("4"));
+  EXPECT_FALSE(groups.NextValue());
+  EXPECT_FALSE(groups.NextGroup());
+}
+
+TEST(GroupedIteratorTest, PartiallyConsumedGroup) {
+  const std::string data =
+      FramedSegment({{"a", "1"}, {"a", "2"}, {"a", "3"}, {"b", "4"}});
+  SegmentReader reader(data);
+  GroupedIterator groups(&reader, ComparatorFor(DataType::kBytesWritable));
+  ASSERT_TRUE(groups.NextGroup());
+  ASSERT_TRUE(groups.NextValue());  // consume just one of three
+  ASSERT_TRUE(groups.NextGroup());
+  EXPECT_EQ(groups.group_key(), WireBytes("b"));
+}
+
+TEST(GroupedIteratorTest, EmptyStream) {
+  SegmentReader reader("");
+  GroupedIterator groups(&reader, ComparatorFor(DataType::kBytesWritable));
+  EXPECT_FALSE(groups.NextGroup());
+  EXPECT_FALSE(groups.NextValue());
+}
+
+TEST(GroupedIteratorTest, SingleGroupSingleValue) {
+  const std::string data = FramedSegment({{"only", "v"}});
+  SegmentReader reader(data);
+  GroupedIterator groups(&reader, ComparatorFor(DataType::kBytesWritable));
+  ASSERT_TRUE(groups.NextGroup());
+  ASSERT_TRUE(groups.NextValue());
+  EXPECT_FALSE(groups.NextValue());
+  EXPECT_FALSE(groups.NextGroup());
+}
+
+TEST(GroupedIteratorTest, WorksOverMergeIterator) {
+  // Equal keys across streams group together.
+  const std::string seg1 = FramedSegment({{"k1", "a"}, {"k2", "b"}});
+  const std::string seg2 = FramedSegment({{"k1", "c"}, {"k3", "d"}});
+  std::vector<std::unique_ptr<RecordStream>> inputs;
+  inputs.push_back(std::make_unique<SegmentReader>(seg1));
+  inputs.push_back(std::make_unique<SegmentReader>(seg2));
+  MergeIterator merged(std::move(inputs),
+                       ComparatorFor(DataType::kBytesWritable));
+  GroupedIterator groups(&merged, ComparatorFor(DataType::kBytesWritable));
+  int group_count = 0;
+  int k1_values = 0;
+  while (groups.NextGroup()) {
+    ++group_count;
+    const bool is_k1 = groups.group_key() == WireBytes("k1");
+    while (groups.NextValue()) {
+      if (is_k1) ++k1_values;
+    }
+  }
+  EXPECT_EQ(group_count, 3);
+  EXPECT_EQ(k1_values, 2);
+}
+
+}  // namespace
+}  // namespace mrmb

@@ -1,0 +1,80 @@
+#include "net/network_profile.h"
+
+#include <gtest/gtest.h>
+
+namespace mrmb {
+namespace {
+
+TEST(NetworkProfileTest, AppBandwidthMath) {
+  NetworkProfile p;
+  p.raw_bandwidth_bps = 8e9;
+  p.efficiency = 0.5;
+  EXPECT_DOUBLE_EQ(p.app_bandwidth_Bps(), 5e8);
+}
+
+TEST(NetworkProfileTest, OneGigEMatchesFig7Peak) {
+  // Fig. 7(b): 1 GigE receive peak ~110 MB/s.
+  const double mbps = OneGigE().app_bandwidth_Bps() / (1024.0 * 1024.0);
+  EXPECT_GT(mbps, 100.0);
+  EXPECT_LT(mbps, 125.0);
+}
+
+TEST(NetworkProfileTest, IpoibQdrNearGigabytePerSecond) {
+  // Fig. 7(b): IPoIB QDR receive peak ~950 MB/s.
+  const double mbps = IpoibQdr().app_bandwidth_Bps() / (1024.0 * 1024.0);
+  EXPECT_GT(mbps, 850.0);
+  EXPECT_LT(mbps, 1200.0);
+}
+
+TEST(NetworkProfileTest, RdmaIsKernelBypass) {
+  const NetworkProfile rdma = RdmaFdr();
+  EXPECT_TRUE(rdma.rdma);
+  EXPECT_FALSE(IpoibFdr().rdma);
+  // Per-byte host cost at least 3x below IPoIB's.
+  EXPECT_LT(rdma.receiver_cpu_per_byte,
+            IpoibFdr().receiver_cpu_per_byte / 3);
+  EXPECT_LT(rdma.latency, IpoibFdr().latency);
+}
+
+TEST(NetworkProfileTest, LatencyOrdering) {
+  // Faster interconnects have lower latency.
+  EXPECT_GT(OneGigE().latency, TenGigE().latency);
+  EXPECT_GT(TenGigE().latency, IpoibQdr().latency);
+  EXPECT_GT(IpoibQdr().latency, RdmaFdr().latency);
+}
+
+TEST(NetworkProfileTest, IpoibCheaperPerByteThanEthernet) {
+  // 64 KB connected-mode MTU: far fewer per-packet crossings.
+  EXPECT_LT(IpoibQdr().receiver_cpu_per_byte,
+            TenGigE().receiver_cpu_per_byte);
+}
+
+TEST(NetworkProfileByNameTest, CanonicalNames) {
+  EXPECT_EQ(NetworkProfileByName("1gige")->name, OneGigE().name);
+  EXPECT_EQ(NetworkProfileByName("10GigE")->name, TenGigE().name);
+  EXPECT_EQ(NetworkProfileByName("ipoib-qdr")->name, IpoibQdr().name);
+  EXPECT_EQ(NetworkProfileByName("ipoib-fdr")->name, IpoibFdr().name);
+  EXPECT_EQ(NetworkProfileByName("rdma-fdr")->name, RdmaFdr().name);
+}
+
+TEST(NetworkProfileByNameTest, Aliases) {
+  EXPECT_EQ(NetworkProfileByName("1g")->name, OneGigE().name);
+  EXPECT_EQ(NetworkProfileByName("qdr")->name, IpoibQdr().name);
+  EXPECT_EQ(NetworkProfileByName("RDMA")->name, RdmaFdr().name);
+}
+
+TEST(NetworkProfileByNameTest, UnknownRejected) {
+  auto result = NetworkProfileByName("myrinet");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(NetworkProfileTest, AllProfilesListsFive) {
+  const auto all = AllNetworkProfiles();
+  ASSERT_EQ(all.size(), 5u);
+  EXPECT_EQ(all[0].name, OneGigE().name);
+  EXPECT_EQ(all[4].name, RdmaFdr().name);
+}
+
+}  // namespace
+}  // namespace mrmb

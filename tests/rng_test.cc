@@ -1,0 +1,150 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace mrmb {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next64(), b.Next64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next64() == b.Next64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, ReseedRestartsStream) {
+  Rng rng(7);
+  const uint64_t first = rng.Next64();
+  rng.Next64();
+  rng.Reseed(7);
+  EXPECT_EQ(rng.Next64(), first);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(99);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.Uniform(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, UniformBoundOneAlwaysZero) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.Uniform(1), 0u);
+}
+
+TEST(RngTest, UniformCoversAllResidues) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.Uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, UniformIsRoughlyBalanced) {
+  Rng rng(17);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.Uniform(kBuckets)];
+  // Each bucket expects 10000; allow +-5% (far beyond 6-sigma).
+  for (int count : counts) {
+    EXPECT_GT(count, 9500);
+    EXPECT_LT(count, 10500);
+  }
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(23);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(31);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(37);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(41);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(RngTest, FillIsDeterministicAndCoversLengths) {
+  for (size_t len : {0u, 1u, 7u, 8u, 9u, 64u, 100u}) {
+    Rng a(55);
+    Rng b(55);
+    std::string x(len, '\0');
+    std::string y(len, '\0');
+    a.Fill(x.data(), len);
+    b.Fill(y.data(), len);
+    EXPECT_EQ(x, y) << "len=" << len;
+  }
+}
+
+TEST(RngTest, FillProducesVariedBytes) {
+  Rng rng(61);
+  std::string buf(4096, '\0');
+  rng.Fill(buf.data(), buf.size());
+  std::set<char> distinct(buf.begin(), buf.end());
+  EXPECT_GT(distinct.size(), 200u);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(71);
+  Rng child = parent.Fork();
+  // Child stream differs from parent's continued stream.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.Next64() == child.Next64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformZeroBoundDies) {
+  Rng rng(1);
+  EXPECT_DEATH({ (void)rng.Uniform(0); }, "bound");
+}
+
+}  // namespace
+}  // namespace mrmb

@@ -1,0 +1,110 @@
+#include "rpc/rpc.h"
+
+#include <gtest/gtest.h>
+
+#include "net/network_profile.h"
+
+namespace mrmb {
+namespace {
+
+ClusterSpec Spec(const NetworkProfile& network = IpoibQdr(),
+                 int slaves = 4) {
+  ClusterSpec spec = ClusterA(network, slaves);
+  spec.node.disk_seek = 0;
+  return spec;
+}
+
+TEST(SimRpcServerTest, SingleCallCompletes) {
+  SimCluster cluster(Spec());
+  SimRpcServer server(&cluster, 0, RpcConfig());
+  SimTime done = -1;
+  server.Call(3, 1024, 1024, [&](SimTime t) { done = t; });
+  cluster.sim()->Run();
+  EXPECT_GT(done, 0);
+  EXPECT_EQ(server.calls_completed(), 1);
+}
+
+TEST(SimRpcServerTest, RoundTripIncludesBothDirections) {
+  // RTT must cover two network latencies plus CPU; on IPoIB QDR with 16us
+  // one-way latency, a small call lands in the tens of microseconds.
+  SimCluster cluster(Spec());
+  SimRpcServer server(&cluster, 0, RpcConfig());
+  SimTime done = -1;
+  server.Call(3, 100, 100, [&](SimTime t) { done = t; });
+  cluster.sim()->Run();
+  EXPECT_GT(done, 2 * IpoibQdr().latency);
+  EXPECT_LT(done, 2 * kMillisecond);
+}
+
+TEST(SimRpcServerTest, HandlerPoolBoundsConcurrencyViaQueue) {
+  SimCluster cluster(Spec());
+  RpcConfig config;
+  config.handler_threads = 2;
+  config.handler_cpu_seconds = 1e-3;  // slow handlers force queueing
+  SimRpcServer server(&cluster, 0, config);
+  int completed = 0;
+  for (int i = 0; i < 20; ++i) {
+    server.Call(1, 128, 128, [&](SimTime) { ++completed; });
+  }
+  cluster.sim()->Run();
+  EXPECT_EQ(completed, 20);
+  EXPECT_GT(server.max_queue_depth(), 0);
+}
+
+TEST(SimRpcServerTest, MoreHandlersLessQueueing) {
+  auto depth_with = [](int handlers) {
+    SimCluster cluster(Spec());
+    RpcConfig config;
+    config.handler_threads = handlers;
+    config.handler_cpu_seconds = 1e-3;
+    SimRpcServer server(&cluster, 0, config);
+    for (int i = 0; i < 30; ++i) {
+      server.Call(1, 128, 128, [](SimTime) {});
+    }
+    cluster.sim()->Run();
+    return server.max_queue_depth();
+  };
+  EXPECT_GT(depth_with(1), depth_with(16));
+}
+
+TEST(RpcLatencyBenchmarkTest, FasterNetworksLowerLatency) {
+  const auto lat_1g = RpcLatencyBenchmark(Spec(OneGigE()), 1024, 50);
+  const auto lat_ib = RpcLatencyBenchmark(Spec(IpoibQdr()), 1024, 50);
+  const auto lat_rdma = RpcLatencyBenchmark(Spec(RdmaFdr()), 1024, 50);
+  EXPECT_EQ(lat_1g.calls, 50);
+  EXPECT_GT(lat_1g.mean_rtt_us, lat_ib.mean_rtt_us);
+  EXPECT_GT(lat_ib.mean_rtt_us, lat_rdma.mean_rtt_us);
+}
+
+TEST(RpcLatencyBenchmarkTest, PayloadSizeRaisesLatency) {
+  const auto small = RpcLatencyBenchmark(Spec(OneGigE()), 128, 30);
+  const auto large = RpcLatencyBenchmark(Spec(OneGigE()), 1 << 20, 30);
+  EXPECT_GT(large.mean_rtt_us, small.mean_rtt_us * 2);
+}
+
+TEST(RpcThroughputBenchmarkTest, MoreClientsMoreThroughputUntilSaturation) {
+  const auto one = RpcThroughputBenchmark(Spec(), 1, 200, 1024);
+  const auto eight = RpcThroughputBenchmark(Spec(), 8, 200, 1024);
+  EXPECT_GT(eight.calls_per_second, one.calls_per_second * 2);
+  EXPECT_EQ(eight.calls, 1600);
+}
+
+TEST(RpcThroughputBenchmarkTest, HandlerCountCapsThroughput) {
+  RpcConfig narrow;
+  narrow.handler_threads = 1;
+  narrow.handler_cpu_seconds = 2e-4;
+  RpcConfig wide = narrow;
+  wide.handler_threads = 8;
+  const auto capped = RpcThroughputBenchmark(Spec(), 16, 100, 256, narrow);
+  const auto open = RpcThroughputBenchmark(Spec(), 16, 100, 256, wide);
+  EXPECT_GT(open.calls_per_second, capped.calls_per_second * 1.5);
+}
+
+TEST(RpcThroughputBenchmarkTest, Deterministic) {
+  const auto a = RpcThroughputBenchmark(Spec(), 4, 100, 512);
+  const auto b = RpcThroughputBenchmark(Spec(), 4, 100, 512);
+  EXPECT_DOUBLE_EQ(a.calls_per_second, b.calls_per_second);
+}
+
+}  // namespace
+}  // namespace mrmb

@@ -1,0 +1,234 @@
+// Paper-shape regression tests: assert the qualitative results of
+// Shankar et al. (BPOE 2014) hold in the simulation at reduced scale.
+// These pin the calibration so refactoring can't silently break the
+// reproduced figures (see EXPERIMENTS.md for the full-scale numbers).
+
+#include <gtest/gtest.h>
+
+#include "mrmb/benchmark.h"
+
+namespace mrmb {
+namespace {
+
+double JobSeconds(BenchmarkOptions options) {
+  auto result = RunMicroBenchmark(options);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result->job.job_seconds;
+}
+
+BenchmarkOptions PaperClusterA() {
+  BenchmarkOptions options;
+  options.cluster = ClusterKind::kClusterA;
+  options.num_slaves = 4;
+  options.num_maps = 16;
+  options.num_reduces = 8;
+  options.key_size = 512;
+  options.value_size = 512;
+  options.shuffle_bytes = 8LL * 1024 * 1024 * 1024;
+  return options;
+}
+
+double Improvement(double base, double other) {
+  return (base - other) / base * 100.0;
+}
+
+TEST(PaperShapeTest, Fig2NetworkOrderingAndMagnitude) {
+  // Fig. 2(a): 10 GigE ~17% and IPoIB QDR up to ~24% over 1 GigE.
+  BenchmarkOptions options = PaperClusterA();
+  options.network = OneGigE();
+  const double t_1g = JobSeconds(options);
+  options.network = TenGigE();
+  const double t_10g = JobSeconds(options);
+  options.network = IpoibQdr();
+  const double t_ib = JobSeconds(options);
+
+  const double improvement_10g = Improvement(t_1g, t_10g);
+  const double improvement_ib = Improvement(t_1g, t_ib);
+  EXPECT_GT(improvement_10g, 10.0);
+  EXPECT_LT(improvement_10g, 30.0);
+  EXPECT_GT(improvement_ib, 15.0);
+  EXPECT_LT(improvement_ib, 35.0);
+  EXPECT_GT(improvement_ib, improvement_10g);
+}
+
+TEST(PaperShapeTest, Fig2SkewDoublesJobTime) {
+  // "the skewed data distribution seems to double the job execution time
+  //  ... irrespective of the underlying network interconnect."
+  for (const NetworkProfile& network : {OneGigE(), IpoibQdr()}) {
+    BenchmarkOptions options = PaperClusterA();
+    options.network = network;
+    options.pattern = DistributionPattern::kAverage;
+    const double t_avg = JobSeconds(options);
+    options.pattern = DistributionPattern::kSkewed;
+    const double t_skew = JobSeconds(options);
+    const double ratio = t_skew / t_avg;
+    EXPECT_GT(ratio, 1.6) << network.name;
+    EXPECT_LT(ratio, 2.6) << network.name;
+  }
+}
+
+TEST(PaperShapeTest, Fig2RandCloseToAvg) {
+  // MR-RAND "is relatively close to an even distribution".
+  BenchmarkOptions options = PaperClusterA();
+  options.network = TenGigE();
+  options.pattern = DistributionPattern::kAverage;
+  const double t_avg = JobSeconds(options);
+  options.pattern = DistributionPattern::kRandom;
+  const double t_rand = JobSeconds(options);
+  EXPECT_NEAR(t_rand / t_avg, 1.0, 0.1);
+}
+
+TEST(PaperShapeTest, Fig3YarnSkewPenaltyGrowsWithReducers) {
+  // Fig. 3: with 32 maps / 16 reduces the skew penalty exceeds the
+  // 16M/8R case (">3X" vs "2X" in the paper).
+  BenchmarkOptions small = PaperClusterA();
+  small.network = IpoibQdr();
+  small.scheduler = SchedulerKind::kYarn;
+  BenchmarkOptions large = small;
+  large.num_slaves = 8;
+  large.num_maps = 32;
+  large.num_reduces = 16;
+
+  auto ratio_of = [&](BenchmarkOptions options) {
+    options.pattern = DistributionPattern::kAverage;
+    const double t_avg = JobSeconds(options);
+    options.pattern = DistributionPattern::kSkewed;
+    return JobSeconds(options) / t_avg;
+  };
+  const double small_ratio = ratio_of(small);
+  const double large_ratio = ratio_of(large);
+  EXPECT_GT(large_ratio, small_ratio);
+  EXPECT_GT(large_ratio, 2.0);
+}
+
+TEST(PaperShapeTest, Fig4SmallerPairsSlower) {
+  // Fig. 4: for a fixed shuffle size, smaller key/value pairs mean many
+  // more records and much higher job time.
+  BenchmarkOptions options = PaperClusterA();
+  options.network = IpoibQdr();
+  options.shuffle_bytes = 4LL * 1024 * 1024 * 1024;
+  options.key_size = 50;
+  options.value_size = 50;
+  const double t_100b = JobSeconds(options);
+  options.key_size = 512;
+  options.value_size = 512;
+  const double t_1kb = JobSeconds(options);
+  options.key_size = 5 * 1024;
+  options.value_size = 5 * 1024;
+  const double t_10kb = JobSeconds(options);
+  EXPECT_GT(t_100b, 1.5 * t_1kb);
+  EXPECT_GT(t_1kb, t_10kb);
+  // Paper: 16 GB drops ~7.5x from 100 B to 10 KB pairs; at our reduced
+  // size expect at least 2x.
+  EXPECT_GT(t_100b / t_10kb, 2.0);
+}
+
+TEST(PaperShapeTest, Fig5MoreTasksFasterOnFastNetworks) {
+  // Fig. 5: 8M-4R beats 4M-2R, and IPoIB gains more from the added
+  // concurrency than 10 GigE.
+  BenchmarkOptions options = PaperClusterA();
+  options.shuffle_bytes = 8LL * 1024 * 1024 * 1024;
+
+  auto time_with = [&](const NetworkProfile& network, int maps,
+                       int reduces) {
+    BenchmarkOptions o = options;
+    o.network = network;
+    o.num_maps = maps;
+    o.num_reduces = reduces;
+    return JobSeconds(o);
+  };
+  const double ten_4m = time_with(TenGigE(), 4, 2);
+  const double ten_8m = time_with(TenGigE(), 8, 4);
+  const double ib_4m = time_with(IpoibQdr(), 4, 2);
+  const double ib_8m = time_with(IpoibQdr(), 8, 4);
+  EXPECT_LT(ten_8m, ten_4m);
+  EXPECT_LT(ib_8m, ib_4m);
+  EXPECT_GT(Improvement(ib_4m, ib_8m) + 1.0,
+            Improvement(ten_4m, ten_8m));
+  // IPoIB outperforms 10 GigE in both configurations.
+  EXPECT_LT(ib_4m, ten_4m);
+  EXPECT_LT(ib_8m, ten_8m);
+}
+
+TEST(PaperShapeTest, Fig6DataTypesBenefitSimilarly) {
+  // Fig. 6: high-speed interconnects give similar improvement for
+  // BytesWritable and Text.
+  BenchmarkOptions options = PaperClusterA();
+  auto improvement_for = [&](DataType type) {
+    BenchmarkOptions o = options;
+    o.data_type = type;
+    o.pattern = DistributionPattern::kRandom;
+    o.network = OneGigE();
+    const double t_1g = JobSeconds(o);
+    o.network = IpoibQdr();
+    return Improvement(t_1g, JobSeconds(o));
+  };
+  const double bytes_improvement = improvement_for(DataType::kBytesWritable);
+  const double text_improvement = improvement_for(DataType::kText);
+  EXPECT_GT(bytes_improvement, 10.0);
+  EXPECT_GT(text_improvement, 10.0);
+  EXPECT_NEAR(bytes_improvement, text_improvement, 8.0);
+}
+
+TEST(PaperShapeTest, Fig7ResourcePeaksOrdered) {
+  // Fig. 7(b): RX peaks ~110 / ~520 / ~950 MB/s for 1 GigE / 10 GigE /
+  // IPoIB QDR. Assert ordering and coarse magnitude.
+  auto peak_for = [&](const NetworkProfile& network) {
+    BenchmarkOptions options = PaperClusterA();
+    options.network = network;
+    options.collect_resource_stats = true;
+    auto result = RunMicroBenchmark(options);
+    EXPECT_TRUE(result.ok());
+    return result->peak_rx_MBps;
+  };
+  const double peak_1g = peak_for(OneGigE());
+  const double peak_10g = peak_for(TenGigE());
+  const double peak_ib = peak_for(IpoibQdr());
+  EXPECT_GT(peak_1g, 80.0);
+  EXPECT_LT(peak_1g, 130.0);
+  EXPECT_GT(peak_10g, 250.0);
+  EXPECT_LT(peak_10g, 600.0);
+  EXPECT_GT(peak_ib, 800.0);
+  EXPECT_LT(peak_ib, 1300.0);
+}
+
+TEST(PaperShapeTest, Fig8RdmaBeatsIpoibFdr) {
+  // Fig. 8: MRoIB improves 28-30% over IPoIB (56 Gbps) on 8 slaves, and
+  // ~20%+ on 16 slaves. Accept >= 12% at reduced scale.
+  for (int slaves : {8, 16}) {
+    BenchmarkOptions options;
+    options.cluster = ClusterKind::kClusterB;
+    options.num_slaves = slaves;
+    options.num_maps = 32;
+    options.num_reduces = 16;
+    options.shuffle_bytes = 16LL * 1024 * 1024 * 1024;
+    options.network = IpoibFdr();
+    const double t_ipoib = JobSeconds(options);
+    options.network = RdmaFdr();
+    const double t_rdma = JobSeconds(options);
+    const double improvement = Improvement(t_ipoib, t_rdma);
+    EXPECT_GT(improvement, 12.0) << slaves << " slaves";
+    EXPECT_LT(improvement, 45.0) << slaves << " slaves";
+  }
+}
+
+TEST(PaperShapeTest, ImprovementGrowsOrHoldsWithShuffleSize) {
+  // "IPoIB (32 Gbps) provides better improvement with increased shuffle
+  // data sizes" — assert it does not collapse.
+  BenchmarkOptions options = PaperClusterA();
+  auto improvement_at = [&](int64_t bytes) {
+    BenchmarkOptions o = options;
+    o.shuffle_bytes = bytes;
+    o.network = OneGigE();
+    const double t_1g = JobSeconds(o);
+    o.network = IpoibQdr();
+    return Improvement(t_1g, JobSeconds(o));
+  };
+  const double at_4gb = improvement_at(4LL << 30);
+  const double at_16gb = improvement_at(16LL << 30);
+  EXPECT_GT(at_16gb, at_4gb - 8.0);
+  EXPECT_GT(at_16gb, 15.0);
+}
+
+}  // namespace
+}  // namespace mrmb

@@ -1,0 +1,141 @@
+// Property tests: invariants that must hold for *any* job configuration.
+// Each parameterized case draws a random but valid configuration and checks
+// conservation, accounting and ordering invariants of the simulation.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.h"
+#include "mapred/sim_runner.h"
+#include "net/network_profile.h"
+
+namespace mrmb {
+namespace {
+
+struct RandomConfig {
+  JobConf conf;
+  ClusterSpec spec;
+};
+
+RandomConfig DrawConfig(uint64_t seed) {
+  Rng rng(seed);
+  RandomConfig out{JobConf{}, ClusterA(OneGigE(), 2)};
+  JobConf& conf = out.conf;
+  conf.num_maps = static_cast<int>(rng.UniformRange(1, 24));
+  conf.num_reduces = static_cast<int>(rng.UniformRange(1, 12));
+  conf.records_per_map = rng.UniformRange(0, 20000);
+  conf.record.key_size = static_cast<size_t>(rng.UniformRange(8, 600));
+  conf.record.value_size = static_cast<size_t>(rng.UniformRange(0, 1200));
+  conf.record.num_unique_keys = conf.num_reduces;
+  conf.pattern = static_cast<DistributionPattern>(rng.Uniform(4));
+  conf.zipf_exponent = rng.NextDouble() * 1.5;
+  conf.record.type =
+      rng.Bernoulli(0.5) ? DataType::kBytesWritable : DataType::kText;
+  conf.scheduler =
+      rng.Bernoulli(0.3) ? SchedulerKind::kYarn : SchedulerKind::kMrv1;
+  conf.map_slots_per_node = static_cast<int>(rng.UniformRange(1, 6));
+  conf.reduce_slots_per_node = static_cast<int>(rng.UniformRange(1, 4));
+  conf.io_sort_bytes = rng.UniformRange(1, 64) * 1024 * 1024;
+  conf.parallel_copies = static_cast<int>(rng.UniformRange(1, 10));
+  conf.slowstart = rng.NextDouble();
+  conf.compress_map_output = rng.Bernoulli(0.3);
+  conf.combiner_output_fraction = rng.Bernoulli(0.3)
+                                      ? 0.1 + 0.9 * rng.NextDouble()
+                                      : 1.0;
+  conf.seed = rng.Next64();
+
+  const std::vector<NetworkProfile> networks = AllNetworkProfiles();
+  ClusterSpec spec = ClusterA(networks[rng.Uniform(networks.size())],
+                              static_cast<int>(rng.UniformRange(1, 8)));
+  out.spec = spec;
+  return out;
+}
+
+class SimRunnerPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimRunnerPropertyTest, InvariantsHold) {
+  const RandomConfig config =
+      DrawConfig(static_cast<uint64_t>(GetParam()) * 0x9e37);
+  SimCluster cluster(config.spec);
+  SimJobRunner runner(&cluster, config.conf);
+  auto result = runner.Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // Time ordering.
+  EXPECT_GE(result->finish_time, result->submit_time);
+  EXPECT_GE(result->last_map_finish, result->first_map_start);
+  EXPECT_GE(result->finish_time, result->last_map_finish);
+  EXPECT_GT(result->job_seconds, 0);
+
+  // Byte conservation: per-reduce loads sum to the shuffle total, and the
+  // wire never carries more than the (possibly compressed) shuffle.
+  const int64_t per_reduce_total =
+      std::accumulate(result->reducer_bytes.begin(),
+                      result->reducer_bytes.end(), int64_t{0});
+  EXPECT_EQ(per_reduce_total, result->total_shuffle_bytes);
+  EXPECT_LE(result->network_bytes,
+            static_cast<double>(result->total_shuffle_bytes) + 1.0);
+
+  // Task accounting: one record per task, all placed and finished.
+  ASSERT_EQ(result->timeline.size(),
+            static_cast<size_t>(config.conf.num_maps +
+                                config.conf.num_reduces));
+  for (const auto& task : result->timeline) {
+    EXPECT_GE(task.node, 0);
+    EXPECT_LT(task.node, config.spec.num_slaves);
+    EXPECT_GE(task.finish_time, task.start_time);
+    EXPECT_EQ(task.attempts, 1);  // no failures injected here
+  }
+  EXPECT_EQ(result->total_task_attempts,
+            config.conf.num_maps + config.conf.num_reduces);
+
+  // Load imbalance is max/mean >= 1 by construction.
+  EXPECT_GE(result->load_imbalance, 1.0 - 1e-9);
+
+  // Resource totals are non-negative and CPU was actually used.
+  EXPECT_GE(result->disk_bytes, 0.0);
+  if (config.conf.records_per_map > 0) {
+    EXPECT_GT(result->cpu_busy_seconds, 0.0);
+  }
+}
+
+TEST_P(SimRunnerPropertyTest, DeterministicAcrossRuns) {
+  const RandomConfig config =
+      DrawConfig(static_cast<uint64_t>(GetParam()) * 0x51ed);
+  SimCluster cluster_a(config.spec);
+  SimJobRunner runner_a(&cluster_a, config.conf);
+  auto a = runner_a.Run();
+  SimCluster cluster_b(config.spec);
+  SimJobRunner runner_b(&cluster_b, config.conf);
+  auto b = runner_b.Run();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->finish_time, b->finish_time);
+  EXPECT_EQ(a->reducer_bytes, b->reducer_bytes);
+  EXPECT_EQ(a->network_bytes, b->network_bytes);
+}
+
+TEST_P(SimRunnerPropertyTest, FasterNetworkNeverSlower) {
+  RandomConfig config = DrawConfig(static_cast<uint64_t>(GetParam()) * 977);
+  config.conf.records_per_map = std::max<int64_t>(
+      config.conf.records_per_map, 5000);  // enough data to move
+  auto time_on = [&](const NetworkProfile& network) {
+    ClusterSpec spec = config.spec;
+    spec.network = network;
+    SimCluster cluster(spec);
+    SimJobRunner runner(&cluster, config.conf);
+    auto result = runner.Run();
+    EXPECT_TRUE(result.ok());
+    return result->job_seconds;
+  };
+  const double slow = time_on(OneGigE());
+  const double fast = time_on(RdmaFdr());
+  EXPECT_GE(slow, fast - 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomConfigs, SimRunnerPropertyTest,
+                         ::testing::Range(1, 26));
+
+}  // namespace
+}  // namespace mrmb

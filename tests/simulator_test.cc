@@ -1,0 +1,169 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mrmb {
+namespace {
+
+TEST(SimulatorTest, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.Now(), 0);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(30, [&] { order.push_back(3); });
+  sim.ScheduleAt(10, [&] { order.push_back(1); });
+  sim.ScheduleAt(20, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 30);
+  EXPECT_EQ(sim.events_processed(), 3u);
+}
+
+TEST(SimulatorTest, TiesFireInSchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAt(5, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  ASSERT_EQ(order.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(SimulatorTest, AfterIsRelative) {
+  Simulator sim;
+  SimTime seen = -1;
+  sim.ScheduleAt(100, [&] {
+    sim.After(50, [&] { seen = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(seen, 150);
+}
+
+TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) sim.After(1, recurse);
+  };
+  sim.After(0, recurse);
+  sim.Run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.Now(), 99);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.ScheduleAt(10, [&] { fired = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  sim.Run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.events_processed(), 0u);
+}
+
+TEST(SimulatorTest, CancelTwiceIsNoop) {
+  Simulator sim;
+  const EventId id = sim.ScheduleAt(10, [] {});
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(id));
+}
+
+TEST(SimulatorTest, CancelAfterFireReturnsFalse) {
+  Simulator sim;
+  const EventId id = sim.ScheduleAt(10, [] {});
+  sim.Run();
+  EXPECT_FALSE(sim.Cancel(id));
+}
+
+TEST(SimulatorTest, CancelFromWithinEvent) {
+  Simulator sim;
+  bool fired = false;
+  const EventId victim = sim.ScheduleAt(20, [&] { fired = true; });
+  sim.ScheduleAt(10, [&] { sim.Cancel(victim); });
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, StepRunsOneEvent) {
+  Simulator sim;
+  int count = 0;
+  sim.ScheduleAt(1, [&] { ++count; });
+  sim.ScheduleAt(2, [&] { ++count; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  std::vector<SimTime> fired;
+  for (SimTime t : {10, 20, 30, 40}) {
+    sim.ScheduleAt(t, [&fired, &sim] { fired.push_back(sim.Now()); });
+  }
+  sim.RunUntil(25);
+  EXPECT_EQ(fired, (std::vector<SimTime>{10, 20}));
+  EXPECT_EQ(sim.Now(), 25);
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.Run();
+  EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(SimulatorTest, RunUntilIncludesDeadlineEvents) {
+  Simulator sim;
+  bool fired = false;
+  sim.ScheduleAt(25, [&] { fired = true; });
+  sim.RunUntil(25);
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesTimeOnEmptyQueue) {
+  Simulator sim;
+  sim.RunUntil(1000);
+  EXPECT_EQ(sim.Now(), 1000);
+}
+
+TEST(SimulatorTest, PendingCountsLiveEvents) {
+  Simulator sim;
+  const EventId a = sim.ScheduleAt(1, [] {});
+  sim.ScheduleAt(2, [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.Cancel(a);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.Run();
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(SimulatorTest, SchedulingIntoThePastDies) {
+  Simulator sim;
+  sim.ScheduleAt(100, [] {});
+  sim.Run();
+  EXPECT_DEATH({ sim.ScheduleAt(50, [] {}); }, "past");
+}
+
+TEST(SimulatorTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    Simulator sim;
+    std::vector<uint64_t> trace;
+    for (int i = 0; i < 50; ++i) {
+      sim.ScheduleAt(i % 7, [&trace, &sim, i] {
+        trace.push_back(static_cast<uint64_t>(sim.Now()) * 1000 +
+                        static_cast<uint64_t>(i));
+      });
+    }
+    sim.Run();
+    return trace;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace mrmb

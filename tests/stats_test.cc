@@ -1,0 +1,97 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace mrmb {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0);
+  EXPECT_EQ(stats.mean(), 0);
+  EXPECT_EQ(stats.min(), 0);
+  EXPECT_EQ(stats.max(), 0);
+  EXPECT_EQ(stats.variance(), 0);
+}
+
+TEST(RunningStatsTest, SingleSample) {
+  RunningStats stats;
+  stats.Add(5.0);
+  EXPECT_EQ(stats.count(), 1);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.stddev(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownSeries) {
+  RunningStats stats;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.Add(v);
+  EXPECT_EQ(stats.count(), 8);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  // Sample variance of the classic series: 32/7.
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, NegativeValues) {
+  RunningStats stats;
+  stats.Add(-10.0);
+  stats.Add(10.0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), -10.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 10.0);
+}
+
+TEST(SampleSetTest, PercentilesOnKnownData) {
+  SampleSet samples;
+  for (int i = 1; i <= 100; ++i) samples.Add(i);
+  EXPECT_DOUBLE_EQ(samples.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(samples.Percentile(100), 100.0);
+  EXPECT_NEAR(samples.Median(), 50.5, 1e-9);
+  EXPECT_NEAR(samples.Percentile(90), 90.1, 1e-9);
+}
+
+TEST(SampleSetTest, SingleSamplePercentiles) {
+  SampleSet samples;
+  samples.Add(42.0);
+  EXPECT_DOUBLE_EQ(samples.Percentile(0), 42.0);
+  EXPECT_DOUBLE_EQ(samples.Percentile(50), 42.0);
+  EXPECT_DOUBLE_EQ(samples.Percentile(100), 42.0);
+}
+
+TEST(SampleSetTest, InterleavedAddAndQuery) {
+  SampleSet samples;
+  samples.Add(3);
+  samples.Add(1);
+  EXPECT_DOUBLE_EQ(samples.Percentile(0), 1.0);
+  samples.Add(2);
+  EXPECT_DOUBLE_EQ(samples.Median(), 2.0);
+  EXPECT_EQ(samples.size(), 3u);
+  EXPECT_DOUBLE_EQ(samples.stats().mean(), 2.0);
+}
+
+TEST(SampleSetTest, EmptyPercentileDies) {
+  SampleSet samples;
+  EXPECT_DEATH({ (void)samples.Percentile(50); }, "");
+}
+
+TEST(LoadImbalanceTest, BalancedIsOne) {
+  EXPECT_DOUBLE_EQ(LoadImbalance({100, 100, 100, 100}), 1.0);
+}
+
+TEST(LoadImbalanceTest, SkewedMatchesMaxOverMean) {
+  // Mean = 25, max = 70.
+  EXPECT_DOUBLE_EQ(LoadImbalance({70, 10, 10, 10}), 70.0 / 25.0);
+}
+
+TEST(LoadImbalanceTest, EdgeCases) {
+  EXPECT_DOUBLE_EQ(LoadImbalance({}), 1.0);
+  EXPECT_DOUBLE_EQ(LoadImbalance({0, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(LoadImbalance({5}), 1.0);
+}
+
+}  // namespace
+}  // namespace mrmb

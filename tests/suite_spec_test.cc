@@ -1,0 +1,118 @@
+#include "mrmb/suite_spec.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mrmb {
+namespace {
+
+TEST(SuiteSpecParseTest, ParsesSectionsAndLists) {
+  auto spec = ParseSuiteSpec(R"(
+# a comment
+[first]
+pattern = avg
+network = 1gige, ipoib-qdr   # inline comment
+shuffle = 4GB, 8GB
+
+[second]
+pattern = skew
+maps = 32
+)");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  ASSERT_EQ(spec->sections.size(), 2u);
+  EXPECT_EQ(spec->sections[0].name, "first");
+  EXPECT_EQ(spec->sections[0].entries.at("network").size(), 2u);
+  EXPECT_EQ(spec->sections[0].entries.at("network")[1], "ipoib-qdr");
+  EXPECT_EQ(spec->sections[1].entries.at("maps")[0], "32");
+}
+
+TEST(SuiteSpecParseTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseSuiteSpec("").ok());
+  EXPECT_FALSE(ParseSuiteSpec("pattern = avg\n").ok());  // outside section
+  EXPECT_FALSE(ParseSuiteSpec("[a]\npattern avg\n").ok());  // no '='
+  EXPECT_FALSE(ParseSuiteSpec("[a\npattern = avg\n").ok());  // bad header
+  EXPECT_FALSE(ParseSuiteSpec("[a]\nbogus_key = 1\n").ok());
+  EXPECT_FALSE(ParseSuiteSpec("[a]\npattern = avg\npattern = rand\n").ok());
+  EXPECT_FALSE(ParseSuiteSpec("[a]\n[a]\n").ok());  // duplicate section
+  EXPECT_FALSE(ParseSuiteSpec("[a]\nshuffle = ,\n").ok());  // empty values
+}
+
+TEST(SuiteSpecResolveTest, BuildsSweepMatrix) {
+  auto spec = ParseSuiteSpec(R"(
+[sweep]
+pattern = rand
+network = 1gige, 10gige
+shuffle = 1GB, 2GB, 4GB
+maps = 8
+reduces = 4
+slaves = 2
+kv = 2KB
+type = text
+compress = true
+seed = 7
+)");
+  ASSERT_TRUE(spec.ok());
+  auto resolved = ResolveSection(spec->sections[0]);
+  ASSERT_TRUE(resolved.ok()) << resolved.status().ToString();
+  ASSERT_EQ(resolved->options.size(), 2u);      // networks
+  ASSERT_EQ(resolved->options[0].size(), 3u);   // shuffle sizes
+  const BenchmarkOptions& options = resolved->options[1][2];
+  EXPECT_EQ(options.pattern, DistributionPattern::kRandom);
+  EXPECT_EQ(options.network.name, TenGigE().name);
+  EXPECT_EQ(options.shuffle_bytes, 4LL << 30);
+  EXPECT_EQ(options.num_maps, 8);
+  EXPECT_EQ(options.num_reduces, 4);
+  EXPECT_EQ(options.num_slaves, 2);
+  EXPECT_EQ(options.key_size, 1024);
+  EXPECT_EQ(options.value_size, 1024);
+  EXPECT_EQ(options.data_type, DataType::kText);
+  EXPECT_TRUE(options.compress_map_output);
+  EXPECT_EQ(options.seed, 7u);
+}
+
+TEST(SuiteSpecResolveTest, DefaultsApply) {
+  auto spec = ParseSuiteSpec("[defaults]\npattern = avg\n");
+  ASSERT_TRUE(spec.ok());
+  auto resolved = ResolveSection(spec->sections[0]);
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(resolved->options.size(), 1u);
+  EXPECT_EQ(resolved->options[0][0].num_maps, 16);
+  EXPECT_EQ(resolved->options[0][0].network.name, IpoibQdr().name);
+}
+
+TEST(SuiteSpecResolveTest, RejectsBadValues) {
+  for (const char* bad :
+       {"[x]\npattern = pareto\n", "[x]\nnetwork = myrinet\n",
+        "[x]\nmaps = -4\n", "[x]\nmaps = eight\n",
+        "[x]\nshuffle = muchdata\n", "[x]\ncluster = c\n",
+        "[x]\nmaps = 4, 8\n"}) {
+    auto spec = ParseSuiteSpec(bad);
+    ASSERT_TRUE(spec.ok()) << bad;
+    EXPECT_FALSE(ResolveSection(spec->sections[0]).ok()) << bad;
+  }
+}
+
+TEST(SuiteSpecRunTest, RunsTinySuiteEndToEnd) {
+  auto spec = ParseSuiteSpec(R"(
+[tiny]
+pattern = avg
+network = 1gige, ipoib-qdr
+shuffle = 256MB
+maps = 8
+reduces = 4
+slaves = 2
+)");
+  ASSERT_TRUE(spec.ok());
+  std::ostringstream out;
+  const Status status = RunSuite(*spec, /*csv=*/true, &out);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  const std::string text = out.str();
+  EXPECT_NE(text.find("tiny"), std::string::npos);
+  EXPECT_NE(text.find("256MB"), std::string::npos);
+  EXPECT_NE(text.find("improvement over 1GigE"), std::string::npos);
+  EXPECT_NE(text.find("ShuffleSize,1GigE"), std::string::npos);  // CSV
+}
+
+}  // namespace
+}  // namespace mrmb

@@ -1,0 +1,150 @@
+#include "io/writable.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mrmb {
+namespace {
+
+template <typename T>
+std::string SerializeToString(const T& value) {
+  BufferWriter writer;
+  value.Serialize(&writer);
+  return writer.data();
+}
+
+template <typename T>
+T RoundTrip(const T& value) {
+  const std::string wire = SerializeToString(value);
+  BufferReader reader(wire);
+  T out;
+  EXPECT_TRUE(out.Deserialize(&reader).ok());
+  EXPECT_TRUE(reader.AtEnd());
+  return out;
+}
+
+TEST(BytesWritableTest, RoundTrip) {
+  const std::vector<std::string> payloads = {
+      std::string(), std::string("abc"), std::string(1000, 'x'),
+      std::string("\x00\xff\x7f", 3)};
+  for (const std::string& payload : payloads) {
+    EXPECT_EQ(RoundTrip(BytesWritable(payload)).bytes(), payload);
+  }
+}
+
+TEST(BytesWritableTest, WireFormatIsLengthPrefixed) {
+  const std::string wire = SerializeToString(BytesWritable("hi"));
+  ASSERT_EQ(wire.size(), 6u);
+  EXPECT_EQ(static_cast<uint8_t>(wire[3]), 2);  // BE length 2
+  EXPECT_EQ(wire.substr(4), "hi");
+  EXPECT_EQ(BytesWritable::SerializedSize(2), 6u);
+}
+
+TEST(BytesWritableTest, Comparisons) {
+  EXPECT_TRUE(BytesWritable("a") < BytesWritable("b"));
+  EXPECT_TRUE(BytesWritable("a") < BytesWritable("ab"));
+  EXPECT_TRUE(BytesWritable("x") == BytesWritable("x"));
+}
+
+TEST(TextTest, RoundTrip) {
+  const std::vector<std::string> payloads = {
+      std::string(), std::string("hello"), std::string(300, 'q')};
+  for (const std::string& payload : payloads) {
+    EXPECT_EQ(RoundTrip(Text(payload)).value(), payload);
+  }
+}
+
+TEST(TextTest, WireFormatUsesVarint) {
+  // 5-char text: 1-byte vint + 5 bytes.
+  EXPECT_EQ(SerializeToString(Text("hello")).size(), 6u);
+  EXPECT_EQ(Text::SerializedSize(5), 6u);
+  // 300-char text: 3-byte vint (300 needs 2 magnitude bytes) + payload.
+  EXPECT_EQ(Text::SerializedSize(300), 303u);
+}
+
+TEST(IntWritableTest, RoundTrip) {
+  for (int32_t v : {0, 1, -1, 42, -100000, 2147483647, -2147483647 - 1}) {
+    EXPECT_EQ(RoundTrip(IntWritable(v)).value(), v);
+  }
+}
+
+TEST(IntWritableTest, WireIsFourBigEndianBytes) {
+  const std::string wire = SerializeToString(IntWritable(0x01020304));
+  ASSERT_EQ(wire.size(), 4u);
+  EXPECT_EQ(static_cast<uint8_t>(wire[0]), 0x01);
+  EXPECT_EQ(static_cast<uint8_t>(wire[3]), 0x04);
+}
+
+TEST(LongWritableTest, RoundTrip) {
+  for (int64_t v : {int64_t{0}, int64_t{-1}, int64_t{1} << 40,
+                    -(int64_t{1} << 40), int64_t{9223372036854775807}}) {
+    EXPECT_EQ(RoundTrip(LongWritable(v)).value(), v);
+  }
+}
+
+TEST(NullWritableTest, SerializesToNothing) {
+  EXPECT_TRUE(SerializeToString(NullWritable()).empty());
+  BufferReader reader("");
+  NullWritable null;
+  EXPECT_TRUE(null.Deserialize(&reader).ok());
+}
+
+TEST(WritableTest, TypeTags) {
+  EXPECT_EQ(BytesWritable().type(), DataType::kBytesWritable);
+  EXPECT_EQ(Text().type(), DataType::kText);
+  EXPECT_EQ(IntWritable().type(), DataType::kIntWritable);
+  EXPECT_EQ(LongWritable().type(), DataType::kLongWritable);
+  EXPECT_EQ(NullWritable().type(), DataType::kNullWritable);
+}
+
+TEST(WritableTest, DeserializeTruncatedFails) {
+  BytesWritable bytes;
+  {
+    const std::string wire{'\x00', '\x00', '\x00', '\x05', 'a', 'b'};
+    BufferReader reader(wire);  // claims 5, has 2
+    EXPECT_FALSE(bytes.Deserialize(&reader).ok());
+  }
+  Text text;
+  {
+    const std::string wire{'\x05', 'a', 'b'};
+    BufferReader reader(wire);
+    EXPECT_FALSE(text.Deserialize(&reader).ok());
+  }
+  IntWritable number;
+  {
+    BufferReader reader("\x01");
+    EXPECT_FALSE(number.Deserialize(&reader).ok());
+  }
+}
+
+TEST(DataTypeTest, Names) {
+  EXPECT_STREQ(DataTypeName(DataType::kBytesWritable), "BytesWritable");
+  EXPECT_STREQ(DataTypeName(DataType::kText), "Text");
+  EXPECT_STREQ(DataTypeName(DataType::kIntWritable), "IntWritable");
+  EXPECT_STREQ(DataTypeName(DataType::kLongWritable), "LongWritable");
+  EXPECT_STREQ(DataTypeName(DataType::kNullWritable), "NullWritable");
+}
+
+TEST(DataTypeTest, LookupByName) {
+  EXPECT_EQ(*DataTypeByName("BytesWritable"), DataType::kBytesWritable);
+  EXPECT_EQ(*DataTypeByName("bytes"), DataType::kBytesWritable);
+  EXPECT_EQ(*DataTypeByName("Text"), DataType::kText);
+  EXPECT_EQ(*DataTypeByName("int"), DataType::kIntWritable);
+  EXPECT_EQ(*DataTypeByName("LONG"), DataType::kLongWritable);
+  EXPECT_EQ(*DataTypeByName("null"), DataType::kNullWritable);
+  EXPECT_FALSE(DataTypeByName("doublewritable").ok());
+}
+
+TEST(SerializedSizeForTest, MatchesTypes) {
+  EXPECT_EQ(SerializedSizeFor(DataType::kBytesWritable, 100), 104u);
+  EXPECT_EQ(SerializedSizeFor(DataType::kText, 100), 101u);
+  EXPECT_EQ(SerializedSizeFor(DataType::kText, 200), 202u);
+  EXPECT_EQ(SerializedSizeFor(DataType::kText, 300), 303u);
+  EXPECT_EQ(SerializedSizeFor(DataType::kIntWritable, 999), 4u);
+  EXPECT_EQ(SerializedSizeFor(DataType::kLongWritable, 999), 8u);
+  EXPECT_EQ(SerializedSizeFor(DataType::kNullWritable, 999), 0u);
+}
+
+}  // namespace
+}  // namespace mrmb

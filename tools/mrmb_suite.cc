@@ -1,0 +1,81 @@
+// mrmb_suite: the standardized suite runner.
+//
+// Executes a declarative .suite file (see src/mrmb/suite_spec.h for the
+// syntax) and prints paper-style sweep tables. With no --spec argument it
+// runs a built-in specification covering the paper's Fig. 2 setup at
+// reduced sizes.
+//
+//   ./mrmb_suite [--spec=path/to/file.suite] [--csv]
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "mrmb/flags.h"
+#include "mrmb/suite_spec.h"
+
+namespace {
+
+constexpr char kDefaultSpec[] = R"(# Built-in demo suite: the paper's Fig. 2
+# configuration at reduced sizes. Provide --spec=FILE for your own sweeps.
+
+[fig2-mr-avg]
+pattern = avg
+network = 1gige, 10gige, ipoib-qdr
+shuffle = 4GB, 8GB
+maps = 16
+reduces = 8
+slaves = 4
+
+[fig2-mr-skew]
+pattern = skew
+network = 1gige, ipoib-qdr
+shuffle = 4GB, 8GB
+maps = 16
+reduces = 8
+slaves = 4
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mrmb;
+  auto flags_or = Flags::Parse(argc, argv);
+  if (!flags_or.ok()) {
+    std::cerr << flags_or.status().ToString() << "\n";
+    return 2;
+  }
+  if (flags_or->help_requested()) {
+    std::cout << "usage: mrmb_suite [--spec=FILE] [--csv]\n\n"
+                 "Runs every sweep described in the .suite file. Syntax:\n"
+              << kDefaultSpec;
+    return 0;
+  }
+  auto spec_path = flags_or->GetString("spec", "");
+  auto csv = flags_or->GetBool("csv", false);
+  if (!spec_path.ok() || !csv.ok()) return 2;
+
+  std::string text = kDefaultSpec;
+  if (!spec_path->empty()) {
+    std::ifstream file(*spec_path);
+    if (!file) {
+      std::cerr << "cannot open suite spec: " << *spec_path << "\n";
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    text = buffer.str();
+  }
+
+  auto spec = ParseSuiteSpec(text);
+  if (!spec.ok()) {
+    std::cerr << "bad suite spec: " << spec.status().ToString() << "\n";
+    return 2;
+  }
+  const Status status = RunSuite(*spec, *csv, &std::cout);
+  if (!status.ok()) {
+    std::cerr << "suite failed: " << status.ToString() << "\n";
+    return 1;
+  }
+  return 0;
+}
