@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_slowstart.dir/ablation_slowstart.cc.o"
+  "CMakeFiles/ablation_slowstart.dir/ablation_slowstart.cc.o.d"
+  "ablation_slowstart"
+  "ablation_slowstart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_slowstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sortbuffer.dir/ablation_sortbuffer.cc.o"
+  "CMakeFiles/ablation_sortbuffer.dir/ablation_sortbuffer.cc.o.d"
+  "ablation_sortbuffer"
+  "ablation_sortbuffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sortbuffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

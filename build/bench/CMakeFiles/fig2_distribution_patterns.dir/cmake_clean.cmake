@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_distribution_patterns.dir/fig2_distribution_patterns.cc.o"
+  "CMakeFiles/fig2_distribution_patterns.dir/fig2_distribution_patterns.cc.o.d"
+  "fig2_distribution_patterns"
+  "fig2_distribution_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_distribution_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_task_counts.dir/fig5_task_counts.cc.o"
+  "CMakeFiles/fig5_task_counts.dir/fig5_task_counts.cc.o.d"
+  "fig5_task_counts"
+  "fig5_task_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_task_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

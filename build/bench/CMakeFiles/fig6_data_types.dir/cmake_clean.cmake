@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_data_types.dir/fig6_data_types.cc.o"
+  "CMakeFiles/fig6_data_types.dir/fig6_data_types.cc.o.d"
+  "fig6_data_types"
+  "fig6_data_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_data_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_resource_utilization.dir/fig7_resource_utilization.cc.o"
+  "CMakeFiles/fig7_resource_utilization.dir/fig7_resource_utilization.cc.o.d"
+  "fig7_resource_utilization"
+  "fig7_resource_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_resource_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

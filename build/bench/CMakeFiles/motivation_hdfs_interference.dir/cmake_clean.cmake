@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motivation_hdfs_interference.dir/motivation_hdfs_interference.cc.o"
+  "CMakeFiles/motivation_hdfs_interference.dir/motivation_hdfs_interference.cc.o.d"
+  "motivation_hdfs_interference"
+  "motivation_hdfs_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motivation_hdfs_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpc_microbenchmark.dir/rpc_microbenchmark.cc.o"
+  "CMakeFiles/rpc_microbenchmark.dir/rpc_microbenchmark.cc.o.d"
+  "rpc_microbenchmark"
+  "rpc_microbenchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpc_microbenchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skew_analysis.dir/skew_analysis.cc.o"
+  "CMakeFiles/skew_analysis.dir/skew_analysis.cc.o.d"
+  "skew_analysis"
+  "skew_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skew_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

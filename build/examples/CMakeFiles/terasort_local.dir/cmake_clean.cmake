@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/terasort_local.dir/terasort_local.cc.o"
+  "CMakeFiles/terasort_local.dir/terasort_local.cc.o.d"
+  "terasort_local"
+  "terasort_local.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/terasort_local.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

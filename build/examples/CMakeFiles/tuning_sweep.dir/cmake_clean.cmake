@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuning_sweep.dir/tuning_sweep.cc.o"
+  "CMakeFiles/tuning_sweep.dir/tuning_sweep.cc.o.d"
+  "tuning_sweep"
+  "tuning_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuning_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

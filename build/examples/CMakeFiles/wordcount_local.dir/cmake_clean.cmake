@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wordcount_local.dir/wordcount_local.cc.o"
+  "CMakeFiles/wordcount_local.dir/wordcount_local.cc.o.d"
+  "wordcount_local"
+  "wordcount_local.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wordcount_local.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster_spec.cc" "src/cluster/CMakeFiles/mrmb_cluster.dir/cluster_spec.cc.o" "gcc" "src/cluster/CMakeFiles/mrmb_cluster.dir/cluster_spec.cc.o.d"
+  "/root/repo/src/cluster/resource_monitor.cc" "src/cluster/CMakeFiles/mrmb_cluster.dir/resource_monitor.cc.o" "gcc" "src/cluster/CMakeFiles/mrmb_cluster.dir/resource_monitor.cc.o.d"
+  "/root/repo/src/cluster/sim_cluster.cc" "src/cluster/CMakeFiles/mrmb_cluster.dir/sim_cluster.cc.o" "gcc" "src/cluster/CMakeFiles/mrmb_cluster.dir/sim_cluster.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/mrmb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mrmb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mrmb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

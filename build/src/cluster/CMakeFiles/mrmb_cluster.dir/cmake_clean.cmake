@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrmb_cluster.dir/cluster_spec.cc.o"
+  "CMakeFiles/mrmb_cluster.dir/cluster_spec.cc.o.d"
+  "CMakeFiles/mrmb_cluster.dir/resource_monitor.cc.o"
+  "CMakeFiles/mrmb_cluster.dir/resource_monitor.cc.o.d"
+  "CMakeFiles/mrmb_cluster.dir/sim_cluster.cc.o"
+  "CMakeFiles/mrmb_cluster.dir/sim_cluster.cc.o.d"
+  "libmrmb_cluster.a"
+  "libmrmb_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrmb_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

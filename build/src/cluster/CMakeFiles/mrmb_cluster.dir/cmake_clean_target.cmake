@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmrmb_cluster.a"
+)

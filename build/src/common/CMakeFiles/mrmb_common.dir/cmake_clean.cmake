@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrmb_common.dir/logging.cc.o"
+  "CMakeFiles/mrmb_common.dir/logging.cc.o.d"
+  "CMakeFiles/mrmb_common.dir/stats.cc.o"
+  "CMakeFiles/mrmb_common.dir/stats.cc.o.d"
+  "CMakeFiles/mrmb_common.dir/status.cc.o"
+  "CMakeFiles/mrmb_common.dir/status.cc.o.d"
+  "CMakeFiles/mrmb_common.dir/strings.cc.o"
+  "CMakeFiles/mrmb_common.dir/strings.cc.o.d"
+  "CMakeFiles/mrmb_common.dir/units.cc.o"
+  "CMakeFiles/mrmb_common.dir/units.cc.o.d"
+  "libmrmb_common.a"
+  "libmrmb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrmb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrmb_dfs.dir/dfs.cc.o"
+  "CMakeFiles/mrmb_dfs.dir/dfs.cc.o.d"
+  "libmrmb_dfs.a"
+  "libmrmb_dfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrmb_dfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

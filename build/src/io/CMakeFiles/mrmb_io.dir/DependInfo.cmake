@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/byte_buffer.cc" "src/io/CMakeFiles/mrmb_io.dir/byte_buffer.cc.o" "gcc" "src/io/CMakeFiles/mrmb_io.dir/byte_buffer.cc.o.d"
+  "/root/repo/src/io/codec.cc" "src/io/CMakeFiles/mrmb_io.dir/codec.cc.o" "gcc" "src/io/CMakeFiles/mrmb_io.dir/codec.cc.o.d"
+  "/root/repo/src/io/comparator.cc" "src/io/CMakeFiles/mrmb_io.dir/comparator.cc.o" "gcc" "src/io/CMakeFiles/mrmb_io.dir/comparator.cc.o.d"
+  "/root/repo/src/io/kv_buffer.cc" "src/io/CMakeFiles/mrmb_io.dir/kv_buffer.cc.o" "gcc" "src/io/CMakeFiles/mrmb_io.dir/kv_buffer.cc.o.d"
+  "/root/repo/src/io/merge.cc" "src/io/CMakeFiles/mrmb_io.dir/merge.cc.o" "gcc" "src/io/CMakeFiles/mrmb_io.dir/merge.cc.o.d"
+  "/root/repo/src/io/record_gen.cc" "src/io/CMakeFiles/mrmb_io.dir/record_gen.cc.o" "gcc" "src/io/CMakeFiles/mrmb_io.dir/record_gen.cc.o.d"
+  "/root/repo/src/io/writable.cc" "src/io/CMakeFiles/mrmb_io.dir/writable.cc.o" "gcc" "src/io/CMakeFiles/mrmb_io.dir/writable.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mrmb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrmb_io.dir/byte_buffer.cc.o"
+  "CMakeFiles/mrmb_io.dir/byte_buffer.cc.o.d"
+  "CMakeFiles/mrmb_io.dir/codec.cc.o"
+  "CMakeFiles/mrmb_io.dir/codec.cc.o.d"
+  "CMakeFiles/mrmb_io.dir/comparator.cc.o"
+  "CMakeFiles/mrmb_io.dir/comparator.cc.o.d"
+  "CMakeFiles/mrmb_io.dir/kv_buffer.cc.o"
+  "CMakeFiles/mrmb_io.dir/kv_buffer.cc.o.d"
+  "CMakeFiles/mrmb_io.dir/merge.cc.o"
+  "CMakeFiles/mrmb_io.dir/merge.cc.o.d"
+  "CMakeFiles/mrmb_io.dir/record_gen.cc.o"
+  "CMakeFiles/mrmb_io.dir/record_gen.cc.o.d"
+  "CMakeFiles/mrmb_io.dir/writable.cc.o"
+  "CMakeFiles/mrmb_io.dir/writable.cc.o.d"
+  "libmrmb_io.a"
+  "libmrmb_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrmb_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

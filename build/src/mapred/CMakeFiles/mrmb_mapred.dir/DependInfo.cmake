@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapred/job_conf.cc" "src/mapred/CMakeFiles/mrmb_mapred.dir/job_conf.cc.o" "gcc" "src/mapred/CMakeFiles/mrmb_mapred.dir/job_conf.cc.o.d"
+  "/root/repo/src/mapred/local_runner.cc" "src/mapred/CMakeFiles/mrmb_mapred.dir/local_runner.cc.o" "gcc" "src/mapred/CMakeFiles/mrmb_mapred.dir/local_runner.cc.o.d"
+  "/root/repo/src/mapred/map_output.cc" "src/mapred/CMakeFiles/mrmb_mapred.dir/map_output.cc.o" "gcc" "src/mapred/CMakeFiles/mrmb_mapred.dir/map_output.cc.o.d"
+  "/root/repo/src/mapred/null_formats.cc" "src/mapred/CMakeFiles/mrmb_mapred.dir/null_formats.cc.o" "gcc" "src/mapred/CMakeFiles/mrmb_mapred.dir/null_formats.cc.o.d"
+  "/root/repo/src/mapred/partitioner.cc" "src/mapred/CMakeFiles/mrmb_mapred.dir/partitioner.cc.o" "gcc" "src/mapred/CMakeFiles/mrmb_mapred.dir/partitioner.cc.o.d"
+  "/root/repo/src/mapred/sim_runner.cc" "src/mapred/CMakeFiles/mrmb_mapred.dir/sim_runner.cc.o" "gcc" "src/mapred/CMakeFiles/mrmb_mapred.dir/sim_runner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dfs/CMakeFiles/mrmb_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mrmb_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/mrmb_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mrmb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mrmb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mrmb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrmb_mapred.dir/job_conf.cc.o"
+  "CMakeFiles/mrmb_mapred.dir/job_conf.cc.o.d"
+  "CMakeFiles/mrmb_mapred.dir/local_runner.cc.o"
+  "CMakeFiles/mrmb_mapred.dir/local_runner.cc.o.d"
+  "CMakeFiles/mrmb_mapred.dir/map_output.cc.o"
+  "CMakeFiles/mrmb_mapred.dir/map_output.cc.o.d"
+  "CMakeFiles/mrmb_mapred.dir/null_formats.cc.o"
+  "CMakeFiles/mrmb_mapred.dir/null_formats.cc.o.d"
+  "CMakeFiles/mrmb_mapred.dir/partitioner.cc.o"
+  "CMakeFiles/mrmb_mapred.dir/partitioner.cc.o.d"
+  "CMakeFiles/mrmb_mapred.dir/sim_runner.cc.o"
+  "CMakeFiles/mrmb_mapred.dir/sim_runner.cc.o.d"
+  "libmrmb_mapred.a"
+  "libmrmb_mapred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrmb_mapred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mrmb/benchmark.cc" "src/mrmb/CMakeFiles/mrmb_core.dir/benchmark.cc.o" "gcc" "src/mrmb/CMakeFiles/mrmb_core.dir/benchmark.cc.o.d"
+  "/root/repo/src/mrmb/flags.cc" "src/mrmb/CMakeFiles/mrmb_core.dir/flags.cc.o" "gcc" "src/mrmb/CMakeFiles/mrmb_core.dir/flags.cc.o.d"
+  "/root/repo/src/mrmb/report.cc" "src/mrmb/CMakeFiles/mrmb_core.dir/report.cc.o" "gcc" "src/mrmb/CMakeFiles/mrmb_core.dir/report.cc.o.d"
+  "/root/repo/src/mrmb/suite_spec.cc" "src/mrmb/CMakeFiles/mrmb_core.dir/suite_spec.cc.o" "gcc" "src/mrmb/CMakeFiles/mrmb_core.dir/suite_spec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mapred/CMakeFiles/mrmb_mapred.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/mrmb_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/mrmb_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mrmb_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/mrmb_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mrmb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mrmb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mrmb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

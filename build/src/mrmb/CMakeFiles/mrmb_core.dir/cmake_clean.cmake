@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrmb_core.dir/benchmark.cc.o"
+  "CMakeFiles/mrmb_core.dir/benchmark.cc.o.d"
+  "CMakeFiles/mrmb_core.dir/flags.cc.o"
+  "CMakeFiles/mrmb_core.dir/flags.cc.o.d"
+  "CMakeFiles/mrmb_core.dir/report.cc.o"
+  "CMakeFiles/mrmb_core.dir/report.cc.o.d"
+  "CMakeFiles/mrmb_core.dir/suite_spec.cc.o"
+  "CMakeFiles/mrmb_core.dir/suite_spec.cc.o.d"
+  "libmrmb_core.a"
+  "libmrmb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrmb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrmb_net.dir/fabric.cc.o"
+  "CMakeFiles/mrmb_net.dir/fabric.cc.o.d"
+  "CMakeFiles/mrmb_net.dir/network_profile.cc.o"
+  "CMakeFiles/mrmb_net.dir/network_profile.cc.o.d"
+  "libmrmb_net.a"
+  "libmrmb_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrmb_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

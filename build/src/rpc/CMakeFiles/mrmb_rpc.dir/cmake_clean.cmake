@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrmb_rpc.dir/rpc.cc.o"
+  "CMakeFiles/mrmb_rpc.dir/rpc.cc.o.d"
+  "libmrmb_rpc.a"
+  "libmrmb_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrmb_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

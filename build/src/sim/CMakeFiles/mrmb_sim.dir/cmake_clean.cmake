@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrmb_sim.dir/fairshare.cc.o"
+  "CMakeFiles/mrmb_sim.dir/fairshare.cc.o.d"
+  "CMakeFiles/mrmb_sim.dir/fluid.cc.o"
+  "CMakeFiles/mrmb_sim.dir/fluid.cc.o.d"
+  "CMakeFiles/mrmb_sim.dir/simulator.cc.o"
+  "CMakeFiles/mrmb_sim.dir/simulator.cc.o.d"
+  "libmrmb_sim.a"
+  "libmrmb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrmb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

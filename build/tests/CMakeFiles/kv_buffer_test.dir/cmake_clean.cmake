@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_buffer_test.dir/kv_buffer_test.cc.o"
+  "CMakeFiles/kv_buffer_test.dir/kv_buffer_test.cc.o.d"
+  "kv_buffer_test"
+  "kv_buffer_test.pdb"
+  "kv_buffer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_runner_test.dir/local_runner_test.cc.o"
+  "CMakeFiles/local_runner_test.dir/local_runner_test.cc.o.d"
+  "local_runner_test"
+  "local_runner_test.pdb"
+  "local_runner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_runner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suite_spec_test.dir/suite_spec_test.cc.o"
+  "CMakeFiles/suite_spec_test.dir/suite_spec_test.cc.o.d"
+  "suite_spec_test"
+  "suite_spec_test.pdb"
+  "suite_spec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suite_spec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/writable_test.dir/writable_test.cc.o"
+  "CMakeFiles/writable_test.dir/writable_test.cc.o.d"
+  "writable_test"
+  "writable_test.pdb"
+  "writable_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/writable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrmb_suite.dir/mrmb_suite.cc.o"
+  "CMakeFiles/mrmb_suite.dir/mrmb_suite.cc.o.d"
+  "mrmb_suite"
+  "mrmb_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrmb_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
