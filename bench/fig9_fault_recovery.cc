@@ -1,0 +1,113 @@
+// Fig. 9 (extension): fault recovery cost across interconnects.
+//
+// The paper measures failure-free execution; production Hadoop spends a
+// visible share of its life re-executing work after node loss. This bench
+// kills one node at three points in the job's life — mid-map, right after
+// the map phase (output complete but not yet shuffled), and mid-shuffle —
+// and compares the recovery overhead across the five interconnect
+// profiles. A faster network re-shuffles the re-executed maps' output
+// sooner, so the absolute recovery penalty shrinks with the interconnect,
+// but the *relative* overhead can grow: the healthy job is faster too.
+//
+// The kill times are derived per network from a fault-free baseline run
+// (phase boundaries differ by an order of magnitude between 1GigE and
+// FDR), so every profile is hit at the same phase-relative instant.
+
+#include "bench/bench_util.h"
+
+#include "sim/fault_plan.h"
+
+namespace {
+
+struct FaultOutcome {
+  double job_seconds = 0;
+  int reexecuted_maps = 0;
+  double wasted_seconds = 0;
+};
+
+mrmb::SimJobResult MustRun(const mrmb::BenchmarkOptions& options,
+                           const mrmb::FaultPlan& plan) {
+  using namespace mrmb;
+  JobConf conf = options.ToJobConf();
+  conf.fault_plan = plan;
+  SimCluster cluster(options.ToClusterSpec());
+  SimJobRunner runner(&cluster, conf, options.cost);
+  auto result = runner.Run();
+  if (!result.ok()) {
+    std::fprintf(stderr, "FATAL: %s\n", result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return *result;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mrmb;
+  std::printf("=== Fig. 9 (extension): node-failure recovery cost "
+              "(MR-AVG 8GB, 16 maps / 8 reduces, 4 slaves) ===\n");
+
+  BenchmarkOptions options;
+  options.shuffle_bytes = 8 * kGB;
+  options.num_maps = 16;
+  options.num_reduces = 8;
+  options.num_slaves = 4;
+
+  std::printf("%12s %12s %12s %12s %12s %8s %10s\n", "network",
+              "healthy(s)", "mid-map(s)", "post-map(s)", "mid-shuf(s)",
+              "re-maps", "wasted(s)");
+
+  struct Row {
+    std::string name;
+    double healthy;
+    double scenarios[3];
+  };
+  std::vector<Row> rows;
+
+  for (const NetworkProfile& network : AllNetworkProfiles()) {
+    BenchmarkOptions o = options;
+    o.network = network;
+    const SimJobResult baseline = MustRun(o, FaultPlan{});
+
+    // Phase-relative kill times from the fault-free timeline: halfway
+    // through the map phase, just after the last map finishes (output
+    // complete, shuffle still running), and halfway through the shuffle
+    // tail that follows the map phase.
+    const double map_end = ToSeconds(baseline.last_map_finish);
+    const double shuffle_end = ToSeconds(baseline.last_fetch_finish);
+    const double kill_times[3] = {
+        0.5 * map_end,
+        map_end + 0.02 * (shuffle_end - map_end),
+        map_end + 0.5 * (shuffle_end - map_end),
+    };
+
+    Row row{network.name, baseline.job_seconds, {0, 0, 0}};
+    int reexec_total = 0;
+    double wasted_total = 0;
+    for (int s = 0; s < 3; ++s) {
+      FaultPlan plan;
+      plan.events.push_back(FaultEvent{FaultEventKind::kKillNode,
+                                       /*node=*/1, kill_times[s], 1.0});
+      const SimJobResult faulted = MustRun(o, plan);
+      row.scenarios[s] = faulted.job_seconds;
+      reexec_total += faulted.reexecuted_maps;
+      wasted_total += faulted.wasted_attempt_seconds;
+    }
+    rows.push_back(row);
+    std::printf("%12s %12.2f %12.2f %12.2f %12.2f %8d %10.2f\n",
+                network.name.c_str(), row.healthy, row.scenarios[0],
+                row.scenarios[1], row.scenarios[2], reexec_total,
+                wasted_total);
+  }
+
+  std::printf("\n--- recovery overhead ratio (faulted / healthy) ---\n");
+  std::printf("%12s %12s %12s %12s\n", "network", "mid-map", "post-map",
+              "mid-shuf");
+  for (const Row& row : rows) {
+    std::printf("%12s %12.2f %12.2f %12.2f\n", row.name.c_str(),
+                row.scenarios[0] / row.healthy,
+                row.scenarios[1] / row.healthy,
+                row.scenarios[2] / row.healthy);
+  }
+  return 0;
+}

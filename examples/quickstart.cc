@@ -29,6 +29,15 @@ constexpr char kUsage[] = R"(quickstart: run one mrmb micro-benchmark.
   --monitor                 collect CPU / network utilization samples
   --compress                DEFLATE the intermediate data
   --zipf-exp=S              skew exponent for --pattern=zipf (default 1.0)
+
+Fault injection (all default off):
+  --fault-plan=SPEC         ';'-separated scheduled faults, e.g.
+                            "kill_node:1@t=40s;recover_node:1@t=90s;
+                             degrade_link:2@t=10s,x0.25"
+  --crash-prob=P --fetch-fail-prob=P     probabilistic hazards
+  --map-fail-prob=P --reduce-fail-prob=P task-attempt failures
+  --straggler-prob=P --straggler-slowdown=X --speculative
+  --max-attempts=N --max-fetch-failures=N --blacklist-threshold=N
 )";
 
 }  // namespace
@@ -110,6 +119,11 @@ int main(int argc, char** argv) {
   auto zipf = flags.GetDouble("zipf-exp", 1.0);
   if (!zipf.ok()) return fail(zipf.status());
   options.zipf_exponent = *zipf;
+  {
+    const mrmb::Status status =
+        mrmb::ApplyFaultToleranceFlags(flags, &options);
+    if (!status.ok()) return fail(status);
+  }
 
   auto result = mrmb::RunMicroBenchmark(options);
   if (!result.ok()) {

@@ -55,6 +55,13 @@ class SimCluster {
     fabric_->Transfer(src, dst, bytes, std::move(done));
   }
 
+  // Scales `node`'s NIC capacity from now on (fault injection: degraded or
+  // repaired links). Forwards to the Fabric; in-flight transfers re-pace.
+  void SetLinkFactor(int node, double factor) {
+    fabric_->SetLinkFactor(node, factor);
+  }
+  double LinkFactor(int node) const { return fabric_->LinkFactor(node); }
+
   // --- Accounting for resource monitors -------------------------------
 
   // Cumulative core-seconds of CPU consumed on `node` (reference-core

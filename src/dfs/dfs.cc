@@ -195,12 +195,18 @@ void SimDfs::ReadRange(const std::string& name, int64_t offset,
     return;
   }
 
-  // Stream spans sequentially, like one DFS input stream.
+  // Stream spans sequentially, like one DFS input stream. The stored
+  // function captures only a weak self-reference; the pending disk and
+  // network callbacks hold the strong ones, so the chain frees itself
+  // once the last span completes instead of leaking a shared_ptr cycle.
   auto read_span = std::make_shared<std::function<void(size_t)>>();
   auto spans_ptr = std::make_shared<std::vector<Span>>(std::move(spans));
   auto done_ptr = std::make_shared<DoneFn>(std::move(done));
   *read_span = [this, spans_ptr, done_ptr, reader_node,
-                read_span](size_t index) {
+                weak_self = std::weak_ptr<std::function<void(size_t)>>(
+                    read_span)](size_t index) {
+    auto self = weak_self.lock();
+    MRMB_CHECK(self != nullptr);
     if (index >= spans_ptr->size()) {
       (*done_ptr)(cluster_->sim()->Now());
       return;
@@ -209,15 +215,14 @@ void SimDfs::ReadRange(const std::string& name, int64_t offset,
     disk_bytes_ += span.bytes;
     cluster_->DiskIo(
         span.holder, span.bytes,
-        [this, spans_ptr, done_ptr, reader_node, read_span, index,
-         span](SimTime) {
+        [this, reader_node, self, index, span](SimTime) {
           if (span.local) {
-            (*read_span)(index + 1);
+            (*self)(index + 1);
           } else {
             network_bytes_ += span.bytes;
             cluster_->Transfer(span.holder, reader_node, span.bytes,
-                               [read_span, index](SimTime) {
-                                 (*read_span)(index + 1);
+                               [self, index](SimTime) {
+                                 (*self)(index + 1);
                                });
           }
         });

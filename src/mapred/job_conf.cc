@@ -98,6 +98,21 @@ Status JobConf::Validate() const {
   if (max_task_attempts <= 0) {
     return Status::InvalidArgument("max_task_attempts must be > 0");
   }
+  MRMB_RETURN_IF_ERROR(fault_plan.Validate());
+  if (fetch_timeout < 0) {
+    return Status::InvalidArgument("fetch_timeout must be >= 0");
+  }
+  if (fetch_retry_backoff <= 0 || fetch_retry_backoff_max <= 0 ||
+      fetch_retry_backoff_max < fetch_retry_backoff) {
+    return Status::InvalidArgument(
+        "fetch retry backoffs must satisfy 0 < initial <= max");
+  }
+  if (max_fetch_failures <= 0) {
+    return Status::InvalidArgument("max_fetch_failures must be > 0");
+  }
+  if (node_blacklist_threshold < 0) {
+    return Status::InvalidArgument("node_blacklist_threshold must be >= 0");
+  }
   if (straggler_prob < 0 || straggler_prob >= 1.0) {
     return Status::InvalidArgument("straggler_prob must be in [0, 1)");
   }

@@ -7,6 +7,7 @@
 
 #include "common/logging.h"
 #include "common/stats.h"
+#include "common/strings.h"
 #include "dfs/dfs.h"
 #include "io/byte_buffer.h"
 #include "io/codec.h"
@@ -44,13 +45,36 @@ double SimJobRunner::FrameBytes() const {
   return static_cast<double>(framed_record_bytes_);
 }
 
+void SimJobRunner::InitNodeCapacity(int node) {
+  const NodeSpec& node_spec = cluster_->spec().node;
+  NodeState& state = nodes_[static_cast<size_t>(node)];
+  state.free_map_slots = conf_.map_slots_per_node;
+  state.free_reduce_slots = conf_.reduce_slots_per_node;
+  const int by_memory = static_cast<int>(
+      static_cast<double>(node_spec.memory_bytes) * 0.8 /
+      static_cast<double>(conf_.yarn_container_bytes));
+  state.free_containers = std::max(1, std::min(node_spec.cores, by_memory));
+  if (conf_.scheduler == SchedulerKind::kYarn && node == 0) {
+    // The ApplicationMaster occupies one container on the first node.
+    state.free_containers = std::max(0, state.free_containers - 1);
+  }
+}
+
 Result<SimJobResult> SimJobRunner::Run() {
   MRMB_RETURN_IF_ERROR(conf_.Validate());
   MRMB_CHECK(!started_) << "SimJobRunner is single-use";
   started_ = true;
 
   const int num_nodes = cluster_->num_nodes();
-  const NodeSpec& node_spec = cluster_->spec().node;
+
+  for (const FaultEvent& event : conf_.fault_plan.events) {
+    if (event.node >= num_nodes) {
+      return Status::InvalidArgument(
+          StringPrintf("fault plan targets node %d but the cluster has only "
+                       "%d nodes",
+                       event.node, num_nodes));
+    }
+  }
 
   RecordGenerator generator(conf_.record);
   framed_record_bytes_ = static_cast<int64_t>(generator.framed_record_size());
@@ -88,6 +112,7 @@ Result<SimJobResult> SimJobRunner::Run() {
   reduces_.assign(static_cast<size_t>(conf_.num_reduces), ReduceTask{});
   result_.reducer_bytes.assign(static_cast<size_t>(conf_.num_reduces), 0);
   rng_.Reseed(conf_.seed ^ 0xfa17c0de);
+  fault_rng_.Reseed(conf_.seed ^ 0xdeadfa11);
   // Combiner model: only this fraction of records survives per-spill
   // combining; shuffle volumes shrink accordingly.
   const double combine = conf_.combiner_output_fraction;
@@ -123,26 +148,18 @@ Result<SimJobResult> SimJobRunner::Run() {
     pending_maps_.push_back(m);
   }
   for (int r = 0; r < conf_.num_reduces; ++r) {
-    reduces_[static_cast<size_t>(r)].id = r;
+    ReduceTask& reduce = reduces_[static_cast<size_t>(r)];
+    reduce.id = r;
+    reduce.fetch_state.assign(static_cast<size_t>(conf_.num_maps),
+                              FetchState::kNone);
+    reduce.fetch_fail_count.assign(static_cast<size_t>(conf_.num_maps), 0);
     pending_reduces_.push_back(r);
   }
   result_.load_imbalance = LoadImbalance(result_.reducer_bytes);
 
   // ---- Node slots/containers -----------------------------------------
   nodes_.assign(static_cast<size_t>(num_nodes), NodeState{});
-  for (int n = 0; n < num_nodes; ++n) {
-    NodeState& node = nodes_[static_cast<size_t>(n)];
-    node.free_map_slots = conf_.map_slots_per_node;
-    node.free_reduce_slots = conf_.reduce_slots_per_node;
-    const int by_memory = static_cast<int>(
-        static_cast<double>(node_spec.memory_bytes) * 0.8 /
-        static_cast<double>(conf_.yarn_container_bytes));
-    node.free_containers = std::max(1, std::min(node_spec.cores, by_memory));
-  }
-  if (conf_.scheduler == SchedulerKind::kYarn) {
-    // The ApplicationMaster occupies one container on the first node.
-    nodes_[0].free_containers = std::max(0, nodes_[0].free_containers - 1);
-  }
+  for (int n = 0; n < num_nodes; ++n) InitNodeCapacity(n);
 
   slowstart_threshold_ =
       conf_.slowstart <= 0.0
@@ -177,6 +194,13 @@ Result<SimJobResult> SimJobRunner::Run() {
             input->blocks[std::min(index, input->blocks.size() - 1)];
       }
     }
+  }
+
+  // ---- Fault plan -------------------------------------------------------
+  for (const FaultEvent& event : conf_.fault_plan.events) {
+    if (event.kind == FaultEventKind::kRecoverNode) ++scheduled_recoveries_;
+    sim_->After(FromSeconds(event.at_seconds),
+                [this, event] { ApplyFaultEvent(event); });
   }
 
   // ---- Go ---------------------------------------------------------------
@@ -250,17 +274,29 @@ void SimJobRunner::ScheduleHeartbeat(int node, SimTime delay) {
 
 void SimJobRunner::OnHeartbeat(int node) {
   if (!job_running_) return;
+  NodeState& state = nodes_[static_cast<size_t>(node)];
+  // A dead node stops heartbeating; RecoverNode restarts the loop.
+  if (!state.alive) return;
+  if (conf_.fault_plan.node_crash_prob > 0 &&
+      fault_rng_.Bernoulli(conf_.fault_plan.node_crash_prob)) {
+    CrashNode(node);
+    return;
+  }
   // Classic JobTracker behaviour: at most one new map and one new reduce
   // per tracker heartbeat — this produces the real ramp-up lag.
   MaybeSpeculate();
-  AssignOneMap(node);
-  AssignOneReduce(node);
+  if (!state.blacklisted) {
+    AssignOneMap(node);
+    AssignOneReduce(node);
+  }
   ScheduleHeartbeat(node, HeartbeatInterval());
 }
 
 int SimJobRunner::TotalFreeContainers() const {
   int total = 0;
-  for (const NodeState& node : nodes_) total += node.free_containers;
+  for (const NodeState& node : nodes_) {
+    if (node.alive && !node.blacklisted) total += node.free_containers;
+  }
   return total;
 }
 
@@ -310,6 +346,7 @@ bool SimJobRunner::AssignOneMap(int node) {
   MapAttempt attempt;
   attempt.serial = map.next_serial++;
   attempt.node = node;
+  attempt.assign_time = sim_->Now();
   attempt.fail_at_spill =
       rng_.Bernoulli(conf_.map_failure_prob)
           ? static_cast<int>(rng_.Uniform(
@@ -347,11 +384,200 @@ bool SimJobRunner::AssignOneReduce(int node) {
   reduce.state = TaskState::kAssigned;
   reduce.attempts += 1;
   result_.total_task_attempts += 1;
+  reduce.assign_time = sim_->Now();
   reduce.fail_on_start = rng_.Bernoulli(conf_.reduce_failure_prob);
   reduce.slow_factor =
       rng_.Bernoulli(conf_.straggler_prob) ? conf_.straggler_slowdown : 1.0;
-  sim_->After(TaskStartup(), [this, reduce_id] { StartReduce(reduce_id); });
+  const int serial = reduce.serial;
+  sim_->After(TaskStartup(),
+              [this, reduce_id, serial] { StartReduce(reduce_id, serial); });
   return true;
+}
+
+// ---------------------------------------------------------------------
+// Fault domain
+// ---------------------------------------------------------------------
+
+void SimJobRunner::ApplyFaultEvent(const FaultEvent& event) {
+  switch (event.kind) {
+    case FaultEventKind::kKillNode:
+      if (job_running_) CrashNode(event.node);
+      break;
+    case FaultEventKind::kRecoverNode:
+      --scheduled_recoveries_;
+      if (job_running_) {
+        RecoverNode(event.node);
+      }
+      break;
+    case FaultEventKind::kDegradeLink:
+      // Link changes apply even between jobs: the fabric outlives the run.
+      cluster_->SetLinkFactor(event.node, event.factor);
+      break;
+  }
+}
+
+void SimJobRunner::CrashNode(int node) {
+  NodeState& state = nodes_[static_cast<size_t>(node)];
+  if (!state.alive || !job_running_) return;
+  MRMB_LOG(Info) << "node " << node << " crashed at t="
+                 << ToSeconds(sim_->Now());
+  state.alive = false;
+  ++result_.node_crashes;
+  // Withdraw all capacity; nothing new lands here until recovery.
+  state.free_map_slots = 0;
+  state.free_reduce_slots = 0;
+  state.free_containers = 0;
+
+  const SimTime now = sim_->Now();
+
+  // Running/assigned map attempts on this node die (KILLED, not FAILED:
+  // node loss does not count against max_task_attempts — Hadoop semantics).
+  for (MapTask& map : maps_) {
+    std::vector<int> dead_serials;
+    for (auto& [serial, attempt] : map.active_attempts) {
+      if (attempt.node == node) dead_serials.push_back(serial);
+    }
+    for (int serial : dead_serials) {
+      auto it = map.active_attempts.find(serial);
+      // The slot was occupied (startup included) from assignment; all of
+      // that is lost work now.
+      result_.wasted_attempt_seconds +=
+          ToSeconds(now - it->second.assign_time);
+      map.active_attempts.erase(it);
+    }
+    if (!dead_serials.empty() && map.state != TaskState::kDone &&
+        map.active_attempts.empty()) {
+      map.state = TaskState::kPending;
+      map.backup_enqueued = false;
+      pending_maps_.push_back(map.id);
+    }
+  }
+
+  // Reduce attempts on this node die the same way and re-queue.
+  for (ReduceTask& reduce : reduces_) {
+    if (reduce.node == node && (reduce.state == TaskState::kAssigned ||
+                                reduce.state == TaskState::kRunning)) {
+      FailReduceAttempt(reduce.id, /*node_loss=*/true);
+    }
+  }
+
+  // The crux of node-level failure domains: completed map output stored on
+  // this node is gone. Any such map still needed by an unfinished reducer
+  // must re-execute. (Checked after the reduce unwind above, whose
+  // fetch-state resets make previously fetched outputs needed again.)
+  for (MapTask& map : maps_) {
+    if (map.state == TaskState::kDone && map.node == node &&
+        MapOutputStillNeeded(map)) {
+      InvalidateMapOutput(map.id, "node crash");
+    }
+  }
+
+  // Local storage state dies with the node.
+  state.map_output_bytes = 0;
+  state.reduce_spill_bytes = 0;
+  state.reduce_dirty_bytes = 0;
+
+  CheckSchedulableOrAbort();
+}
+
+void SimJobRunner::RecoverNode(int node) {
+  NodeState& state = nodes_[static_cast<size_t>(node)];
+  if (state.alive || !job_running_) return;
+  MRMB_LOG(Info) << "node " << node << " recovered at t="
+                 << ToSeconds(sim_->Now());
+  state.alive = true;
+  ++result_.node_recoveries;
+  // Fresh daemon, empty local dirs; the blacklist decision outlives the
+  // crash (the JobTracker remembers the tracker name).
+  InitNodeCapacity(node);
+  ScheduleHeartbeat(node, HeartbeatInterval());
+}
+
+bool SimJobRunner::MapOutputStillNeeded(const MapTask& map) const {
+  for (const ReduceTask& reduce : reduces_) {
+    if (reduce.state == TaskState::kDone) continue;
+    if (reduce.fetch_state[static_cast<size_t>(map.id)] !=
+        FetchState::kFetched) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void SimJobRunner::InvalidateMapOutput(int map_id, const char* why) {
+  MapTask& map = maps_[static_cast<size_t>(map_id)];
+  if (map.state != TaskState::kDone) return;
+  MRMB_LOG(Info) << "map " << map_id << " output lost (" << why
+                 << "); re-executing, t=" << ToSeconds(sim_->Now());
+  // Retire the old output generation: queued or in-flight fetches against
+  // it unwind when they observe the generation mismatch.
+  ++map.generation;
+  map.fetch_failures = 0;
+  map.state = TaskState::kPending;
+  map.backup_enqueued = false;
+  --completed_maps_;
+  completed_map_duration_sum_ -= map.last_run_seconds;
+  ++result_.reexecuted_maps;
+  // The whole winning attempt is wasted work now.
+  result_.wasted_attempt_seconds += map.last_run_seconds;
+  if (map.node >= 0) {
+    NodeState& host = nodes_[static_cast<size_t>(map.node)];
+    host.map_output_bytes = std::max<int64_t>(
+        0, host.map_output_bytes -
+               static_cast<int64_t>(wire_factor_ *
+                                    static_cast<double>(map.output_bytes)));
+  }
+  map.node = -1;
+  // Reducers that had fetched this output keep their bytes (Hadoop loses
+  // only unfetched segments); everyone else goes back to "not requested"
+  // and is re-fed when the new attempt completes.
+  for (ReduceTask& reduce : reduces_) {
+    if (reduce.state == TaskState::kDone) continue;
+    FetchState& fs = reduce.fetch_state[static_cast<size_t>(map_id)];
+    if (fs != FetchState::kFetched) fs = FetchState::kNone;
+    reduce.fetch_fail_count[static_cast<size_t>(map_id)] = 0;
+  }
+  if (job_running_) pending_maps_.push_back(map_id);
+  CheckSchedulableOrAbort();
+}
+
+void SimJobRunner::RecordTaskFailure(int node) {
+  if (node < 0) return;
+  NodeState& state = nodes_[static_cast<size_t>(node)];
+  ++state.task_failures;
+  if (conf_.node_blacklist_threshold > 0 && !state.blacklisted &&
+      state.task_failures >= conf_.node_blacklist_threshold) {
+    // Hadoop caps blacklisting at 50% of the live cluster so a job-wide
+    // bug cannot starve itself of trackers.
+    int alive = 0;
+    int blacklisted = 0;
+    for (const NodeState& n : nodes_) {
+      if (!n.alive) continue;
+      ++alive;
+      if (n.blacklisted) ++blacklisted;
+    }
+    if (2 * (blacklisted + 1) > alive) return;
+    // Hadoop blacklisting: the tracker gets no new tasks, but running
+    // attempts finish and served map output stays fetchable.
+    state.blacklisted = true;
+    ++result_.blacklisted_nodes;
+    MRMB_LOG(Info) << "node " << node << " blacklisted after "
+                   << state.task_failures << " task failures";
+    CheckSchedulableOrAbort();
+  }
+}
+
+void SimJobRunner::CheckSchedulableOrAbort() {
+  if (!job_running_) return;
+  if (pending_maps_.empty() && pending_reduces_.empty()) return;
+  // A scheduled recovery can still bring capacity back; wait for it.
+  if (scheduled_recoveries_ > 0) return;
+  for (const NodeState& node : nodes_) {
+    if (node.alive && !node.blacklisted) return;
+  }
+  AbortJob("no schedulable nodes remain (all crashed or blacklisted) with " +
+           std::to_string(pending_maps_.size()) + " maps and " +
+           std::to_string(pending_reduces_.size()) + " reduces pending");
 }
 
 // ---------------------------------------------------------------------
@@ -373,9 +599,9 @@ SimJobRunner::MapAttempt* SimJobRunner::LiveAttempt(int map_id, int serial) {
   MapTask& map = maps_[static_cast<size_t>(map_id)];
   auto it = map.active_attempts.find(serial);
   if (it == map.active_attempts.end()) return nullptr;
-  if (map.state == TaskState::kDone || it->second.killed) {
-    // The task finished through another attempt (or this one was killed):
-    // unwind at this step boundary and free the slot.
+  if (map.state == TaskState::kDone || it->second.killed || !job_running_) {
+    // The task finished through another attempt (or this one was killed, or
+    // the job aborted): unwind at this step boundary and free the slot.
     ReleaseMapAttempt(map_id, serial);
     return nullptr;
   }
@@ -389,6 +615,8 @@ void SimJobRunner::ReleaseMapAttempt(int map_id, int serial) {
   const int node_id = it->second.node;
   map.active_attempts.erase(it);
   NodeState& node = nodes_[static_cast<size_t>(node_id)];
+  // A dead node's slots were withdrawn when it crashed; nothing to return.
+  if (!node.alive) return;
   if (conf_.scheduler == SchedulerKind::kMrv1) {
     ++node.free_map_slots;
   } else {
@@ -397,7 +625,7 @@ void SimJobRunner::ReleaseMapAttempt(int map_id, int serial) {
 }
 
 void SimJobRunner::MaybeSpeculate() {
-  if (!conf_.speculative_execution || completed_maps_ == 0) return;
+  if (!conf_.speculative_execution || completed_maps_ <= 0) return;
   const double mean_duration =
       completed_map_duration_sum_ / completed_maps_;
   const SimTime now = sim_->Now();
@@ -532,7 +760,15 @@ void SimJobRunner::OnMapFailed(int map_id, int serial) {
   MapTask& map = maps_[static_cast<size_t>(map_id)];
   MRMB_LOG(Info) << "map " << map_id << " attempt serial " << serial
                  << " failed";
+  int failed_node = -1;
+  auto it = map.active_attempts.find(serial);
+  if (it != map.active_attempts.end()) {
+    failed_node = it->second.node;
+    result_.wasted_attempt_seconds +=
+        ToSeconds(sim_->Now() - it->second.assign_time);
+  }
   ReleaseMapAttempt(map_id, serial);
+  RecordTaskFailure(failed_node);
   if (map.state == TaskState::kDone) return;
   if (!map.active_attempts.empty()) {
     // A speculative sibling is still running; let it finish the task.
@@ -545,7 +781,10 @@ void SimJobRunner::OnMapFailed(int map_id, int serial) {
              std::to_string(map.attempts) + " attempts");
     return;
   }
-  if (job_running_) pending_maps_.push_back(map_id);
+  if (job_running_) {
+    pending_maps_.push_back(map_id);
+    CheckSchedulableOrAbort();
+  }
 }
 
 void SimJobRunner::OnMapDone(int map_id, int serial) {
@@ -558,8 +797,9 @@ void SimJobRunner::OnMapDone(int map_id, int serial) {
   result_.last_map_finish =
       std::max(result_.last_map_finish, map.finish_time);
   ++completed_maps_;
-  completed_map_duration_sum_ +=
-      ToSeconds(map.finish_time - attempt->start_time);
+  map.last_run_seconds = ToSeconds(map.finish_time - attempt->start_time);
+  completed_map_duration_sum_ += map.last_run_seconds;
+  map.fetch_failures = 0;
   NodeState& node = nodes_[static_cast<size_t>(attempt->node)];
   node.map_output_bytes +=
       static_cast<int64_t>(wire_factor_ * static_cast<double>(map.output_bytes));
@@ -571,8 +811,7 @@ void SimJobRunner::OnMapDone(int map_id, int serial) {
   // Feed every reducer that is already shuffling.
   for (ReduceTask& reduce : reduces_) {
     if (reduce.state == TaskState::kRunning && !reduce.merge_started) {
-      reduce.pending_fetches.push_back(
-          Fetch{map_id, map.bytes_for_reduce[static_cast<size_t>(reduce.id)]});
+      QueueFetch(reduce.id, map_id);
       PumpFetches(reduce.id);
     }
   }
@@ -582,51 +821,105 @@ void SimJobRunner::OnMapDone(int map_id, int serial) {
 // Shuffle + reduce
 // ---------------------------------------------------------------------
 
-void SimJobRunner::StartReduce(int reduce_id) {
+SimJobRunner::ReduceTask* SimJobRunner::LiveReduce(int reduce_id,
+                                                   int serial) {
+  if (!job_running_) return nullptr;
   ReduceTask& reduce = reduces_[static_cast<size_t>(reduce_id)];
-  reduce.state = TaskState::kRunning;
-  reduce.start_time = sim_->Now();
-  if (reduce.fail_on_start) {
+  if (reduce.serial != serial) return nullptr;  // attempt died; unwind
+  return &reduce;
+}
+
+void SimJobRunner::StartReduce(int reduce_id, int serial) {
+  ReduceTask* reduce = LiveReduce(reduce_id, serial);
+  if (reduce == nullptr || reduce->state != TaskState::kAssigned) return;
+  reduce->state = TaskState::kRunning;
+  reduce->start_time = sim_->Now();
+  if (reduce->fail_on_start) {
     // Injected container crash before the shuffle begins.
-    OnReduceFailed(reduce_id);
+    FailReduceAttempt(reduce_id, /*node_loss=*/false);
     return;
   }
   for (const MapTask& map : maps_) {
-    if (map.state == TaskState::kDone) {
-      reduce.pending_fetches.push_back(Fetch{
-          map.id, map.bytes_for_reduce[static_cast<size_t>(reduce_id)]});
-    }
+    if (map.state == TaskState::kDone) QueueFetch(reduce_id, map.id);
   }
   PumpFetches(reduce_id);
 }
 
-void SimJobRunner::OnReduceFailed(int reduce_id) {
+void SimJobRunner::FailReduceAttempt(int reduce_id, bool node_loss) {
   ReduceTask& reduce = reduces_[static_cast<size_t>(reduce_id)];
   MRMB_LOG(Info) << "reduce " << reduce_id << " attempt " << reduce.attempts
-                 << " failed on node " << reduce.node;
-  NodeState& node = nodes_[static_cast<size_t>(reduce.node)];
-  if (conf_.scheduler == SchedulerKind::kMrv1) {
-    ++node.free_reduce_slots;
-  } else {
-    ++node.free_containers;
+                 << (node_loss ? " killed (node loss) on node "
+                               : " failed on node ")
+                 << reduce.node;
+  const int old_node = reduce.node;
+  result_.wasted_attempt_seconds +=
+      ToSeconds(sim_->Now() - reduce.assign_time);
+  NodeState& node = nodes_[static_cast<size_t>(old_node)];
+  if (node.alive) {
+    if (conf_.scheduler == SchedulerKind::kMrv1) {
+      ++node.free_reduce_slots;
+    } else {
+      ++node.free_containers;
+    }
   }
+  // Retire the attempt: in-flight fetch/spill/merge callbacks carry the old
+  // serial and unwind against LiveReduce.
+  ++reduce.serial;
   reduce.state = TaskState::kPending;
   reduce.node = -1;
   reduce.pending_fetches.clear();
-  if (reduce.attempts >= conf_.max_task_attempts) {
-    AbortJob("reduce task " + std::to_string(reduce_id) + " failed " +
-             std::to_string(reduce.attempts) + " attempts");
-    return;
+  reduce.fetch_state.assign(static_cast<size_t>(conf_.num_maps),
+                            FetchState::kNone);
+  reduce.fetch_fail_count.assign(static_cast<size_t>(conf_.num_maps), 0);
+  reduce.active_fetches = 0;
+  reduce.fetches_done = 0;
+  reduce.fetched_bytes = 0;
+  reduce.in_memory_bytes = 0;
+  reduce.spilled_bytes = 0;
+  reduce.outstanding_spill_ios = 0;
+  reduce.merge_started = false;
+  if (!node_loss) {
+    RecordTaskFailure(old_node);
+    if (reduce.attempts >= conf_.max_task_attempts) {
+      AbortJob("reduce task " + std::to_string(reduce_id) + " failed " +
+               std::to_string(reduce.attempts) + " attempts");
+      return;
+    }
   }
-  if (job_running_) pending_reduces_.push_back(reduce_id);
+  if (job_running_) {
+    pending_reduces_.push_back(reduce_id);
+    CheckSchedulableOrAbort();
+  }
+}
+
+void SimJobRunner::QueueFetch(int reduce_id, int map_id) {
+  ReduceTask& reduce = reduces_[static_cast<size_t>(reduce_id)];
+  FetchState& fs = reduce.fetch_state[static_cast<size_t>(map_id)];
+  if (fs != FetchState::kNone) return;
+  const MapTask& map = maps_[static_cast<size_t>(map_id)];
+  fs = FetchState::kQueued;
+  reduce.pending_fetches.push_back(
+      Fetch{map_id, map.bytes_for_reduce[static_cast<size_t>(reduce_id)],
+            map.generation});
 }
 
 void SimJobRunner::PumpFetches(int reduce_id) {
   ReduceTask& reduce = reduces_[static_cast<size_t>(reduce_id)];
+  if (reduce.state != TaskState::kRunning || reduce.merge_started) return;
   while (reduce.active_fetches < conf_.parallel_copies &&
          !reduce.pending_fetches.empty()) {
     Fetch fetch = reduce.pending_fetches.front();
     reduce.pending_fetches.pop_front();
+    const MapTask& map = maps_[static_cast<size_t>(fetch.map)];
+    FetchState& fs = reduce.fetch_state[static_cast<size_t>(fetch.map)];
+    // Drop fetches whose target output no longer exists (the map is
+    // re-executing) or is already at the reducer.
+    if (fetch.generation != map.generation ||
+        map.state != TaskState::kDone || fs == FetchState::kFetched) {
+      if (fs == FetchState::kQueued) fs = FetchState::kNone;
+      continue;
+    }
+    fs = FetchState::kInFlight;
     ++reduce.active_fetches;
     BeginFetch(reduce_id, fetch);
   }
@@ -637,10 +930,26 @@ void SimJobRunner::BeginFetch(int reduce_id, Fetch fetch) {
   const MapTask& map = maps_[static_cast<size_t>(fetch.map)];
   const int src = map.node;
   const int dst = reduce.node;
+  const int serial = reduce.serial;
   const int64_t bytes = fetch.bytes;
   const NetworkProfile& net = cluster_->spec().network;
 
   if (result_.first_fetch_start < 0) result_.first_fetch_start = sim_->Now();
+
+  // A copier talking to a dead server — or losing the probabilistic
+  // fetch-failure draw (flaky NIC, dropped connection) — burns the fetch
+  // timeout and reports the failure.
+  const bool server_dead = !nodes_[static_cast<size_t>(src)].alive;
+  if (server_dead || (conf_.fault_plan.fetch_failure_prob > 0 &&
+                      fault_rng_.Bernoulli(
+                          conf_.fault_plan.fetch_failure_prob))) {
+    sim_->After(FromSeconds(conf_.fetch_timeout),
+                [this, reduce_id, serial, map_id = fetch.map,
+                 generation = fetch.generation] {
+                  OnFetchFailed(reduce_id, serial, map_id, generation);
+                });
+    return;
+  }
 
   // Compressed map output moves fewer bytes over disk and wire.
   const auto wire_bytes =
@@ -662,11 +971,11 @@ void SimJobRunner::BeginFetch(int reduce_id, Fetch fetch) {
   // stack CPU — run pipelined; the fetch completes when all have finished.
   // The optional disk read happens before the wire leg (cache miss).
   auto join = std::make_shared<int>(3);
-  auto arm_done = [this, reduce_id, map_id = fetch.map, wire_bytes,
+  auto arm_done = [this, reduce_id, serial, map_id = fetch.map,
+                   generation = fetch.generation, wire_bytes,
                    join](SimTime) {
     if (--*join == 0) {
-      OnFetchDataArrived(reduce_id, map_id, wire_bytes);
-      OnFetchDone(reduce_id, wire_bytes);
+      OnFetchArrived(reduce_id, serial, map_id, generation, wire_bytes);
     }
   };
 
@@ -692,19 +1001,32 @@ void SimJobRunner::BeginFetch(int reduce_id, Fetch fetch) {
   }
 }
 
-void SimJobRunner::OnFetchDataArrived(int reduce_id, int map_id,
-                                      int64_t bytes) {
-  (void)map_id;
-  ReduceTask& reduce = reduces_[static_cast<size_t>(reduce_id)];
-  reduce.fetched_bytes += bytes;
-  reduce.in_memory_bytes += bytes;
-  if (reduce.in_memory_bytes > reduce_memory_limit_) {
+void SimJobRunner::OnFetchArrived(int reduce_id, int serial, int map_id,
+                                  int generation, int64_t bytes) {
+  ReduceTask* reduce = LiveReduce(reduce_id, serial);
+  if (reduce == nullptr) return;
+  --reduce->active_fetches;
+  FetchState& fs = reduce->fetch_state[static_cast<size_t>(map_id)];
+  const MapTask& map = maps_[static_cast<size_t>(map_id)];
+  if (generation != map.generation) {
+    // The source output was invalidated while the bytes were in flight;
+    // discard them and wait for the re-executed map to feed us again.
+    if (fs == FetchState::kInFlight) fs = FetchState::kNone;
+    PumpFetches(reduce_id);
+    return;
+  }
+  fs = FetchState::kFetched;
+  ++reduce->fetches_done;
+  reduce->fetch_fail_count[static_cast<size_t>(map_id)] = 0;
+  reduce->fetched_bytes += bytes;
+  reduce->in_memory_bytes += bytes;
+  if (reduce->in_memory_bytes > reduce_memory_limit_) {
     // In-memory merger: flush the whole buffer to a disk segment.
-    const int64_t spill = reduce.in_memory_bytes;
-    reduce.in_memory_bytes = 0;
-    reduce.spilled_bytes += spill;
+    const int64_t spill = reduce->in_memory_bytes;
+    reduce->in_memory_bytes = 0;
+    reduce->spilled_bytes += spill;
     result_.reduce_side_spill_bytes += spill;
-    NodeState& node = nodes_[static_cast<size_t>(reduce.node)];
+    NodeState& node = nodes_[static_cast<size_t>(reduce->node)];
     node.reduce_spill_bytes += spill;
     int64_t disk_bytes = ChargeBufferedWrite(spill, &node.reduce_dirty_bytes);
     // The RDMA engine's pipelined in-memory merge (MRoIB/HOMR) sends most
@@ -714,30 +1036,79 @@ void SimJobRunner::OnFetchDataArrived(int reduce_id, int map_id,
           static_cast<double>(disk_bytes) *
           (1.0 - cost_.rdma_overlap_fraction));
     }
-    ++reduce.outstanding_spill_ios;
-    cluster_->DiskIo(reduce.node, disk_bytes,
-                     [this, reduce_id](SimTime) {
-      ReduceTask& r = reduces_[static_cast<size_t>(reduce_id)];
-      --r.outstanding_spill_ios;
+    ++reduce->outstanding_spill_ios;
+    cluster_->DiskIo(reduce->node, disk_bytes,
+                     [this, reduce_id, serial](SimTime) {
+      ReduceTask* r = LiveReduce(reduce_id, serial);
+      if (r == nullptr) return;
+      --r->outstanding_spill_ios;
       MaybeStartMerge(reduce_id);
     });
   }
-}
-
-void SimJobRunner::OnFetchDone(int reduce_id, int64_t bytes) {
-  (void)bytes;
-  ReduceTask& reduce = reduces_[static_cast<size_t>(reduce_id)];
-  --reduce.active_fetches;
-  ++reduce.fetches_done;
   result_.last_fetch_finish =
       std::max(result_.last_fetch_finish, sim_->Now());
   PumpFetches(reduce_id);
   MaybeStartMerge(reduce_id);
 }
 
+void SimJobRunner::OnFetchFailed(int reduce_id, int serial, int map_id,
+                                 int generation) {
+  ReduceTask* reduce = LiveReduce(reduce_id, serial);
+  if (reduce == nullptr) return;
+  --reduce->active_fetches;
+  FetchState& fs = reduce->fetch_state[static_cast<size_t>(map_id)];
+  MapTask& map = maps_[static_cast<size_t>(map_id)];
+  if (generation != map.generation || map.state != TaskState::kDone) {
+    // The output is already being re-executed; nothing to retry against.
+    if (fs == FetchState::kInFlight) fs = FetchState::kNone;
+    PumpFetches(reduce_id);
+    return;
+  }
+  ++result_.fetch_retries;
+  const int consecutive =
+      ++reduce->fetch_fail_count[static_cast<size_t>(map_id)];
+  ++map.fetch_failures;
+  MRMB_LOG(Debug) << "fetch of map " << map_id << " by reduce " << reduce_id
+                  << " failed (" << map.fetch_failures
+                  << " reports); t=" << ToSeconds(sim_->Now());
+  if (map.fetch_failures >= conf_.max_fetch_failures) {
+    // Enough copiers reported this output unfetchable: the JobTracker
+    // declares it lost and re-runs the map. Waiting reducers are re-fed
+    // when the new attempt completes.
+    fs = FetchState::kNone;
+    InvalidateMapOutput(map_id, "fetch failures");
+    PumpFetches(reduce_id);
+    return;
+  }
+  // Exponential backoff before the retry, capped: 1x, 2x, 4x... of the
+  // base backoff.
+  const double backoff = std::min(
+      conf_.fetch_retry_backoff_max,
+      conf_.fetch_retry_backoff *
+          std::pow(2.0, static_cast<double>(consecutive - 1)));
+  fs = FetchState::kQueued;
+  sim_->After(FromSeconds(backoff), [this, reduce_id, serial, map_id,
+                                     generation] {
+    ReduceTask* r = LiveReduce(reduce_id, serial);
+    if (r == nullptr) return;
+    FetchState& state = r->fetch_state[static_cast<size_t>(map_id)];
+    const MapTask& m = maps_[static_cast<size_t>(map_id)];
+    if (state != FetchState::kQueued) return;
+    if (generation != m.generation || m.state != TaskState::kDone) {
+      state = FetchState::kNone;
+      return;
+    }
+    r->pending_fetches.push_back(
+        Fetch{map_id, m.bytes_for_reduce[static_cast<size_t>(reduce_id)],
+              generation});
+    PumpFetches(reduce_id);
+  });
+  PumpFetches(reduce_id);
+}
+
 void SimJobRunner::MaybeStartMerge(int reduce_id) {
   ReduceTask& reduce = reduces_[static_cast<size_t>(reduce_id)];
-  if (reduce.merge_started) return;
+  if (reduce.merge_started || reduce.state != TaskState::kRunning) return;
   if (reduce.fetches_done < conf_.num_maps) return;
   if (reduce.outstanding_spill_ios > 0) return;
   reduce.merge_started = true;
@@ -746,6 +1117,7 @@ void SimJobRunner::MaybeStartMerge(int reduce_id) {
 
 void SimJobRunner::StartReduceMerge(int reduce_id) {
   ReduceTask& reduce = reduces_[static_cast<size_t>(reduce_id)];
+  const int serial = reduce.serial;
   // The RDMA-enhanced engine (MRoIB) pipelines merge with the fetch phase,
   // hiding most of this work; IPoIB/Ethernet engines pay it after shuffle.
   const double visible = cluster_->spec().network.rdma
@@ -763,10 +1135,12 @@ void SimJobRunner::StartReduceMerge(int reduce_id) {
        static_cast<double>(reduce.input_records) *
            cost_.merge_cpu_per_record) *
       visible * reduce.slow_factor;
-  cluster_->DiskIo(reduce.node, read_back, [this, reduce_id,
+  cluster_->DiskIo(reduce.node, read_back, [this, reduce_id, serial,
                                             merge_cpu](SimTime) {
-    ReduceTask& r = reduces_[static_cast<size_t>(reduce_id)];
-    cluster_->RunCpu(r.node, merge_cpu, [this, reduce_id](SimTime) {
+    ReduceTask* r = LiveReduce(reduce_id, serial);
+    if (r == nullptr) return;
+    cluster_->RunCpu(r->node, merge_cpu, [this, reduce_id, serial](SimTime) {
+      if (LiveReduce(reduce_id, serial) == nullptr) return;
       RunReduceFunction(reduce_id);
     });
   });
@@ -774,22 +1148,27 @@ void SimJobRunner::StartReduceMerge(int reduce_id) {
 
 void SimJobRunner::RunReduceFunction(int reduce_id) {
   ReduceTask& reduce = reduces_[static_cast<size_t>(reduce_id)];
+  const int serial = reduce.serial;
   const double cpu =
       (static_cast<double>(reduce.input_records) *
            cost_.reduce_cpu_per_record +
        static_cast<double>(reduce.input_bytes) * cost_.reduce_cpu_per_byte *
            type_factor_) *
       reduce.slow_factor;
-  cluster_->RunCpu(reduce.node, cpu, [this, reduce_id](SimTime) {
-    ReduceTask& r = reduces_[static_cast<size_t>(reduce_id)];
+  cluster_->RunCpu(reduce.node, cpu, [this, reduce_id, serial](SimTime) {
+    ReduceTask* r = LiveReduce(reduce_id, serial);
+    if (r == nullptr) return;
     if (conf_.write_output_to_dfs) {
       const auto output_bytes = static_cast<int64_t>(
           conf_.output_to_input_ratio *
-          static_cast<double>(r.input_bytes));
+          static_cast<double>(r->input_bytes));
       dfs_->WriteFile("/" + conf_.job_name + "/part-r-" +
                           std::to_string(reduce_id),
-                      output_bytes, r.node,
-                      [this, reduce_id](SimTime) { OnReduceDone(reduce_id); });
+                      output_bytes, r->node,
+                      [this, reduce_id, serial](SimTime) {
+                        if (LiveReduce(reduce_id, serial) == nullptr) return;
+                        OnReduceDone(reduce_id);
+                      });
       return;
     }
     OnReduceDone(reduce_id);
@@ -802,10 +1181,12 @@ void SimJobRunner::OnReduceDone(int reduce_id) {
   reduce.finish_time = sim_->Now();
   ++completed_reduces_;
   NodeState& node = nodes_[static_cast<size_t>(reduce.node)];
-  if (conf_.scheduler == SchedulerKind::kMrv1) {
-    ++node.free_reduce_slots;
-  } else {
-    ++node.free_containers;
+  if (node.alive) {
+    if (conf_.scheduler == SchedulerKind::kMrv1) {
+      ++node.free_reduce_slots;
+    } else {
+      ++node.free_containers;
+    }
   }
   FinishJobIfDone();
 }
@@ -848,6 +1229,10 @@ void SimJobRunner::AbortJob(const std::string& reason) {
   job_failed_ = true;
   failure_reason_ = reason;
   job_running_ = false;
+  // Nothing will be scheduled again; in-flight continuations unwind
+  // against LiveAttempt/LiveReduce and the queue drains.
+  pending_maps_.clear();
+  pending_reduces_.clear();
   if (monitor_ != nullptr) monitor_->Stop();
 }
 

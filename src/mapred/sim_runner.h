@@ -13,6 +13,18 @@
 // same partitioner semantics the functional engine executes — MR-AVG,
 // MR-RAND and MR-SKEW produce identical distributions in both runners.
 //
+// Failure domains (JobConf::fault_plan): nodes can crash at scheduled times
+// or by per-heartbeat hazard. A crashed node stops heartbeating, loses its
+// running attempts (KILLED, re-queued without counting against the attempt
+// limit) and — crucially — its stored map output: completed maps still
+// needed by an unfinished reducer transition back to pending and re-execute.
+// Shuffle fetches from dead or flaky nodes fail, burn a timeout, and retry
+// with capped exponential backoff; `max_fetch_failures` reports against one
+// map output make the JobTracker re-schedule that map. Nodes accumulating
+// `node_blacklist_threshold` genuine task failures are blacklisted (no new
+// assignments). All failure decisions draw from the job seed, so a fixed
+// (conf, plan, seed) triple reproduces a bit-identical timeline.
+//
 // The runner is single-use: construct, Run(), read the result.
 
 #ifndef MRMB_MAPRED_SIM_RUNNER_H_
@@ -30,6 +42,7 @@
 #include "common/status.h"
 #include "mapred/cost_model.h"
 #include "mapred/job_conf.h"
+#include "sim/fault_plan.h"
 
 namespace mrmb {
 
@@ -69,6 +82,16 @@ struct SimJobResult {
   // Map tasks whose input split was replica-local to their node.
   int data_local_maps = 0;
 
+  // Failure & recovery accounting (all zero on a healthy run).
+  int node_crashes = 0;       // nodes lost (scheduled kill or hazard)
+  int node_recoveries = 0;    // nodes that rejoined after a crash
+  int reexecuted_maps = 0;    // completed maps whose output was lost
+  int fetch_retries = 0;      // failed shuffle fetches that were retried
+  int blacklisted_nodes = 0;  // nodes removed from scheduling
+  // Attempt-seconds of work discarded by failures: crash-killed running
+  // attempts, failed attempts, and the full duration of re-executed maps.
+  double wasted_attempt_seconds = 0;
+
   // Per-task timeline (final attempt), maps first then reduces.
   struct TaskRecord {
     int id = 0;
@@ -77,6 +100,8 @@ struct SimJobResult {
     int attempts = 1;
     SimTime start_time = 0;
     SimTime finish_time = 0;
+
+    bool operator==(const TaskRecord&) const = default;
   };
   std::vector<TaskRecord> timeline;
   int total_task_attempts = 0;
@@ -100,6 +125,14 @@ class SimJobRunner {
  private:
   enum class TaskState { kPending, kAssigned, kRunning, kDone };
 
+  // Per-reduce view of one map's output during the shuffle.
+  enum class FetchState : uint8_t {
+    kNone,      // not requested (or invalidated; re-fed when the map redoes)
+    kQueued,    // in the copier queue or scheduled for a backoff retry
+    kInFlight,  // a fetch is on the wire
+    kFetched,   // bytes are at the reducer
+  };
+
   // One attempt of a map task. Speculative execution can run two attempts
   // of the same task concurrently; the first finisher wins.
   struct MapAttempt {
@@ -108,6 +141,7 @@ class SimJobRunner {
     bool killed = false;        // loser of a speculative race: unwind
     int fail_at_spill = -1;     // injected failure point; -1 = healthy
     double slow_factor = 1.0;   // straggler injection: CPU multiplier
+    SimTime assign_time = 0;    // slot occupied from here; lost on failure
     SimTime start_time = 0;
   };
 
@@ -123,6 +157,11 @@ class SimJobRunner {
     bool backup_enqueued = false;  // at most one speculative backup
     std::map<int, MapAttempt> active_attempts;
     int next_serial = 0;
+    // Bumped when completed output is invalidated (source node died or too
+    // many fetch failures); stale queued/in-flight fetches are dropped.
+    int generation = 0;
+    int fetch_failures = 0;      // failure reports against current output
+    double last_run_seconds = 0; // duration of the winning attempt
     SimTime start_time = 0;
     SimTime finish_time = 0;
   };
@@ -130,15 +169,21 @@ class SimJobRunner {
   struct Fetch {
     int map = 0;
     int64_t bytes = 0;
+    int generation = 0;  // map output generation this fetch targets
   };
 
   struct ReduceTask {
     int id = 0;
     int node = -1;
     TaskState state = TaskState::kPending;
+    // Bumped on every (re)assignment; in-flight callbacks from a dead
+    // attempt carry the old serial and unwind.
+    int serial = 0;
     std::deque<Fetch> pending_fetches;
+    std::vector<FetchState> fetch_state;  // per map
+    std::vector<int> fetch_fail_count;    // per map, consecutive failures
     int active_fetches = 0;
-    int fetches_done = 0;
+    int fetches_done = 0;  // distinct maps fetched by this attempt
     int64_t input_bytes = 0;
     int64_t input_records = 0;
     int64_t fetched_bytes = 0;
@@ -149,11 +194,15 @@ class SimJobRunner {
     int attempts = 0;
     bool fail_on_start = false;  // injected container crash at launch
     double slow_factor = 1.0;    // straggler injection: CPU multiplier
+    SimTime assign_time = 0;     // slot occupied from here; lost on failure
     SimTime start_time = 0;
     SimTime finish_time = 0;
   };
 
   struct NodeState {
+    bool alive = true;
+    bool blacklisted = false;
+    int task_failures = 0;  // genuine failures (drives blacklisting)
     int free_map_slots = 0;
     int free_reduce_slots = 0;
     int free_containers = 0;
@@ -171,6 +220,26 @@ class SimJobRunner {
   int TotalFreeContainers() const;
   SimTime TaskStartup() const;
   SimTime HeartbeatInterval() const;
+  // Resets a node's slots/containers to their configured capacity (initial
+  // boot and post-crash recovery).
+  void InitNodeCapacity(int node);
+
+  // --- Fault domain -----------------------------------------------------
+  void ApplyFaultEvent(const FaultEvent& event);
+  // Node dies: running attempts are killed, stored map output of completed
+  // maps still needed by a reducer is invalidated, slots are withdrawn.
+  void CrashNode(int node);
+  // Node rejoins with fresh local state and resumes heartbeating.
+  void RecoverNode(int node);
+  // Completed map output lost: the map re-executes; reducers that had not
+  // fetched it are re-fed when the new attempt completes.
+  void InvalidateMapOutput(int map_id, const char* why);
+  bool MapOutputStillNeeded(const MapTask& map) const;
+  // Counts a genuine task failure against `node`, blacklisting it at the
+  // configured threshold.
+  void RecordTaskFailure(int node);
+  // Aborts if pending work exists but no schedulable node can ever take it.
+  void CheckSchedulableOrAbort();
 
   // --- Map execution ------------------------------------------------------
   void StartMap(int map_id, int serial);
@@ -189,12 +258,22 @@ class SimJobRunner {
   void MaybeSpeculate();
 
   // --- Shuffle + reduce ----------------------------------------------------
-  void StartReduce(int reduce_id);
-  void OnReduceFailed(int reduce_id);
+  void StartReduce(int reduce_id, int serial);
+  // Fails the current reduce attempt. `node_loss` marks attempts killed by
+  // a node crash: they re-queue without counting against the attempt limit
+  // or the node's blacklist score.
+  void FailReduceAttempt(int reduce_id, bool node_loss);
+  // Returns the reduce task if `serial` is still the live attempt and the
+  // job is running; null unwinds stale callbacks.
+  ReduceTask* LiveReduce(int reduce_id, int serial);
+  // Queues a fetch of `map`'s current output for `reduce_id` unless it is
+  // already queued, in flight, or fetched.
+  void QueueFetch(int reduce_id, int map_id);
   void PumpFetches(int reduce_id);
   void BeginFetch(int reduce_id, Fetch fetch);
-  void OnFetchDataArrived(int reduce_id, int map_id, int64_t bytes);
-  void OnFetchDone(int reduce_id, int64_t bytes);
+  void OnFetchArrived(int reduce_id, int serial, int map_id, int generation,
+                      int64_t bytes);
+  void OnFetchFailed(int reduce_id, int serial, int map_id, int generation);
   void MaybeStartMerge(int reduce_id);
   void StartReduceMerge(int reduce_id);
   void RunReduceFunction(int reduce_id);
@@ -205,7 +284,8 @@ class SimJobRunner {
   double MapSpillCpuSeconds(const MapTask& map, int64_t records) const;
   double FrameBytes() const;
   void FinishJobIfDone();
-  // Aborts the job (task exceeded max attempts); Run() returns an error.
+  // Aborts the job (task exceeded max attempts, or no nodes left); Run()
+  // returns an error.
   void AbortJob(const std::string& reason);
   // Bytes of a buffered write that block on disk bandwidth: below the
   // node's dirty limit only buffered_write_fraction blocks; past it, all of
@@ -238,6 +318,12 @@ class SimJobRunner {
   double wire_factor_ = 1.0;
   int64_t reduce_memory_limit_ = 0;
   Rng rng_{0};
+  // Separate stream for fault-plan hazards so enabling them does not
+  // perturb the straggler/failure draws of the base job.
+  Rng fault_rng_{0};
+  // Recoveries scheduled but not yet fired; while positive, a fully dead
+  // cluster waits instead of aborting.
+  int scheduled_recoveries_ = 0;
   std::unique_ptr<SimDfs> dfs_;
   std::vector<DfsBlock> map_input_block_;  // first block of each map's split
   bool job_failed_ = false;

@@ -40,6 +40,16 @@ JobConf BenchmarkOptions::ToJobConf() const {
   conf.seed = seed;
   conf.scheduler = scheduler;
 
+  conf.map_failure_prob = map_failure_prob;
+  conf.reduce_failure_prob = reduce_failure_prob;
+  conf.straggler_prob = straggler_prob;
+  conf.straggler_slowdown = straggler_slowdown;
+  conf.speculative_execution = speculative_execution;
+  conf.max_task_attempts = max_task_attempts;
+  conf.fault_plan = fault_plan;
+  conf.max_fetch_failures = max_fetch_failures;
+  conf.node_blacklist_threshold = node_blacklist_threshold;
+
   conf.record.type = data_type;
   conf.record.key_size = static_cast<size_t>(key_size);
   conf.record.value_size = static_cast<size_t>(value_size);

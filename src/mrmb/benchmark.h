@@ -71,6 +71,21 @@ struct BenchmarkOptions {
   int map_slots_per_node = 0;
   int reduce_slots_per_node = 0;
 
+  // ---- Fault tolerance ------------------------------------------------
+  // Per-attempt task failure/straggler injection (see JobConf).
+  double map_failure_prob = 0.0;
+  double reduce_failure_prob = 0.0;
+  double straggler_prob = 0.0;
+  double straggler_slowdown = 3.0;
+  bool speculative_execution = false;
+  int max_task_attempts = 4;
+  // Node-level failure domains: scheduled crashes/recoveries, link
+  // degradations and probabilistic hazards (see sim/fault_plan.h).
+  FaultPlan fault_plan;
+  int max_fetch_failures = 4;
+  // 0 disables blacklisting.
+  int node_blacklist_threshold = 0;
+
   // ---- Instrumentation ------------------------------------------------
   bool collect_resource_stats = false;
   SimTime monitor_interval = kSecond;

@@ -84,4 +84,68 @@ Result<int64_t> Flags::GetBytes(const std::string& name,
   return ParseBytes(it->second);
 }
 
+Status ApplyFaultToleranceFlags(const Flags& flags,
+                                BenchmarkOptions* options) {
+  MRMB_ASSIGN_OR_RETURN(
+      options->map_failure_prob,
+      flags.GetDouble("map-fail-prob", options->map_failure_prob));
+  MRMB_ASSIGN_OR_RETURN(
+      options->reduce_failure_prob,
+      flags.GetDouble("reduce-fail-prob", options->reduce_failure_prob));
+  MRMB_ASSIGN_OR_RETURN(
+      options->straggler_prob,
+      flags.GetDouble("straggler-prob", options->straggler_prob));
+  MRMB_ASSIGN_OR_RETURN(
+      options->straggler_slowdown,
+      flags.GetDouble("straggler-slowdown", options->straggler_slowdown));
+  MRMB_ASSIGN_OR_RETURN(
+      options->speculative_execution,
+      flags.GetBool("speculative", options->speculative_execution));
+  MRMB_ASSIGN_OR_RETURN(
+      const int64_t max_attempts,
+      flags.GetInt("max-attempts", options->max_task_attempts));
+  options->max_task_attempts = static_cast<int>(max_attempts);
+
+  MRMB_ASSIGN_OR_RETURN(const std::string plan_spec,
+                        flags.GetString("fault-plan", ""));
+  if (!plan_spec.empty()) {
+    MRMB_ASSIGN_OR_RETURN(options->fault_plan, FaultPlan::Parse(plan_spec));
+  }
+  // Individual hazard flags override what the plan string carries.
+  MRMB_ASSIGN_OR_RETURN(
+      options->fault_plan.node_crash_prob,
+      flags.GetDouble("crash-prob", options->fault_plan.node_crash_prob));
+  MRMB_ASSIGN_OR_RETURN(
+      options->fault_plan.fetch_failure_prob,
+      flags.GetDouble("fetch-fail-prob",
+                      options->fault_plan.fetch_failure_prob));
+  MRMB_ASSIGN_OR_RETURN(
+      const int64_t max_fetch_failures,
+      flags.GetInt("max-fetch-failures", options->max_fetch_failures));
+  options->max_fetch_failures = static_cast<int>(max_fetch_failures);
+  MRMB_ASSIGN_OR_RETURN(
+      const int64_t blacklist_threshold,
+      flags.GetInt("blacklist-threshold", options->node_blacklist_threshold));
+  options->node_blacklist_threshold = static_cast<int>(blacklist_threshold);
+  return options->fault_plan.Validate();
+}
+
+const char* FaultToleranceFlagsHelp() {
+  return
+      "  --map-fail-prob=P         per-attempt map failure probability\n"
+      "  --reduce-fail-prob=P      per-attempt reduce failure probability\n"
+      "  --straggler-prob=P        per-attempt straggler probability\n"
+      "  --straggler-slowdown=X    straggler CPU slowdown factor (>= 1)\n"
+      "  --speculative[=BOOL]      enable speculative map execution\n"
+      "  --max-attempts=N          attempts before a task fails the job\n"
+      "  --fault-plan=SPEC         ';'-separated fault events, e.g.\n"
+      "                            \"kill_node:3@t=40s;recover_node:3@t=90s;"
+      "degrade_link:2@t=10s,x0.25\"\n"
+      "  --crash-prob=P            per-heartbeat node crash hazard\n"
+      "  --fetch-fail-prob=P       per-fetch shuffle failure probability\n"
+      "  --max-fetch-failures=N    fetch failures before a map re-executes\n"
+      "  --blacklist-threshold=N   task failures before a node is "
+      "blacklisted (0 = off)\n";
+}
+
 }  // namespace mrmb

@@ -11,6 +11,7 @@
 
 #include "common/status.h"
 #include "common/units.h"
+#include "mrmb/benchmark.h"
 
 namespace mrmb {
 
@@ -39,6 +40,19 @@ class Flags {
   std::map<std::string, std::string> values_;
   bool help_ = false;
 };
+
+// Applies the shared fault-tolerance/fault-injection flags onto `options`:
+//   --map-fail-prob=P --reduce-fail-prob=P   per-attempt task failures
+//   --straggler-prob=P --straggler-slowdown=X
+//   --speculative[=BOOL] --max-attempts=N
+//   --fault-plan="kill_node:3@t=40s;degrade_link:2@t=10s,x0.25;..."
+//   --crash-prob=P --fetch-fail-prob=P       (override the plan's hazards)
+//   --max-fetch-failures=N --blacklist-threshold=N
+// Flags that are absent leave the corresponding option untouched.
+Status ApplyFaultToleranceFlags(const Flags& flags, BenchmarkOptions* options);
+
+// One usage paragraph describing the flags ApplyFaultToleranceFlags reads.
+const char* FaultToleranceFlagsHelp();
 
 }  // namespace mrmb
 

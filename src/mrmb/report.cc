@@ -56,6 +56,19 @@ void PrintBenchmarkReport(const BenchmarkResult& result, std::ostream* out) {
         result.mean_cpu_pct, result.peak_rx_MBps,
         result.node0_samples.size());
   }
+  if (job.node_crashes > 0 || job.node_recoveries > 0 ||
+      job.reexecuted_maps > 0 || job.fetch_retries > 0 ||
+      job.blacklisted_nodes > 0 || job.wasted_attempt_seconds > 0) {
+    os << "--- fault & recovery ------------------------------------------"
+          "----\n";
+    os << StringPrintf("Node crashes         : %d (%d recovered)\n",
+                       job.node_crashes, job.node_recoveries);
+    os << StringPrintf("Re-executed maps     : %d\n", job.reexecuted_maps);
+    os << StringPrintf("Shuffle fetch retries: %d\n", job.fetch_retries);
+    os << StringPrintf("Blacklisted nodes    : %d\n", job.blacklisted_nodes);
+    os << StringPrintf("Wasted attempt time  : %.3f s\n",
+                       job.wasted_attempt_seconds);
+  }
   os << "================================================================="
         "====\n";
 }

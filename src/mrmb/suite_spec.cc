@@ -14,6 +14,11 @@ const char* const kKnownKeys[] = {
     "pattern",   "network", "shuffle", "kv",       "type",
     "maps",      "reduces", "slaves",  "cluster",  "scheduler",
     "compress",  "zipf-exp", "seed",
+    // Fault tolerance / fault injection.
+    "map-fail-prob", "reduce-fail-prob", "straggler-prob",
+    "straggler-slowdown", "speculative", "max-attempts", "fault-plan",
+    "crash-prob", "fetch-fail-prob", "max-fetch-failures",
+    "blacklist-threshold",
 };
 
 bool IsKnownKey(const std::string& key) {
@@ -161,6 +166,75 @@ Result<ResolvedSection> ResolveSection(const SuiteSection& section) {
   MRMB_ASSIGN_OR_RETURN(const std::string seed,
                         SingleValue(section, "seed", "42"));
   base.seed = static_cast<uint64_t>(std::strtoull(seed.c_str(), nullptr, 10));
+
+  // Fault tolerance / fault injection.
+  auto double_value = [&](const std::string& key, double default_value,
+                          double* out) -> Status {
+    MRMB_ASSIGN_OR_RETURN(
+        const std::string text,
+        SingleValue(section, key, StringPrintf("%g", default_value)));
+    char* end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      return Status::InvalidArgument("[" + section.name + "] bad " + key +
+                                     ": '" + text + "'");
+    }
+    *out = v;
+    return Status::OK();
+  };
+  MRMB_RETURN_IF_ERROR(double_value("map-fail-prob", base.map_failure_prob,
+                                    &base.map_failure_prob));
+  MRMB_RETURN_IF_ERROR(double_value("reduce-fail-prob",
+                                    base.reduce_failure_prob,
+                                    &base.reduce_failure_prob));
+  MRMB_RETURN_IF_ERROR(double_value("straggler-prob", base.straggler_prob,
+                                    &base.straggler_prob));
+  MRMB_RETURN_IF_ERROR(double_value("straggler-slowdown",
+                                    base.straggler_slowdown,
+                                    &base.straggler_slowdown));
+  MRMB_ASSIGN_OR_RETURN(const std::string speculative,
+                        SingleValue(section, "speculative", "false"));
+  base.speculative_execution = ToLower(speculative) == "true" ||
+                               speculative == "1" ||
+                               ToLower(speculative) == "yes";
+  MRMB_RETURN_IF_ERROR(
+      int_value("max-attempts", base.max_task_attempts,
+                &base.max_task_attempts));
+  MRMB_RETURN_IF_ERROR(int_value("max-fetch-failures",
+                                 base.max_fetch_failures,
+                                 &base.max_fetch_failures));
+  {
+    MRMB_ASSIGN_OR_RETURN(
+        const std::string text,
+        SingleValue(section, "blacklist-threshold",
+                    std::to_string(base.node_blacklist_threshold)));
+    char* end = nullptr;
+    const long v = std::strtol(text.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || v < 0) {
+      return Status::InvalidArgument("[" + section.name +
+                                     "] bad blacklist-threshold: '" + text +
+                                     "'");
+    }
+    base.node_blacklist_threshold = static_cast<int>(v);
+  }
+  if (auto it = section.entries.find("fault-plan");
+      it != section.entries.end()) {
+    // The entry parser comma-splits values; a plan's degrade_link tokens
+    // carry ",xFACTOR", so stitch the pieces back together.
+    std::string plan_text;
+    for (size_t i = 0; i < it->second.size(); ++i) {
+      if (i > 0) plan_text += ",";
+      plan_text += it->second[i];
+    }
+    MRMB_ASSIGN_OR_RETURN(base.fault_plan, FaultPlan::Parse(plan_text));
+  }
+  MRMB_RETURN_IF_ERROR(double_value("crash-prob",
+                                    base.fault_plan.node_crash_prob,
+                                    &base.fault_plan.node_crash_prob));
+  MRMB_RETURN_IF_ERROR(double_value("fetch-fail-prob",
+                                    base.fault_plan.fetch_failure_prob,
+                                    &base.fault_plan.fetch_failure_prob));
+  MRMB_RETURN_IF_ERROR(base.fault_plan.Validate());
 
   // Sweep axes.
   std::vector<std::string> networks = {"ipoib-qdr"};

@@ -15,9 +15,13 @@
 //   slaves = 4
 //
 // Recognized keys: pattern, network, shuffle, kv, type, maps, reduces,
-// slaves, cluster, scheduler, compress, zipf-exp, seed. `network` values
-// become table columns; `shuffle` values become rows; all other keys are
-// scalars.
+// slaves, cluster, scheduler, compress, zipf-exp, seed, plus the fault
+// knobs map-fail-prob, reduce-fail-prob, straggler-prob,
+// straggler-slowdown, speculative, max-attempts, fault-plan, crash-prob,
+// fetch-fail-prob, max-fetch-failures, blacklist-threshold. `network`
+// values become table columns; `shuffle` values become rows; all other
+// keys are scalars (fault-plan, e.g.
+// "kill_node:1@t=40s;degrade_link:2@t=10s,x0.25", is taken verbatim).
 
 #ifndef MRMB_MRMB_SUITE_SPEC_H_
 #define MRMB_MRMB_SUITE_SPEC_H_

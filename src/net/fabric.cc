@@ -23,6 +23,7 @@ Fabric::Fabric(Simulator* sim, int num_nodes, NetworkProfile profile,
                             ? -1.0
                             : oversubscription * num_nodes_ *
                                   profile_.app_bandwidth_Bps();
+  link_factor_.assign(static_cast<size_t>(num_nodes_), 1.0);
   pool_ = std::make_unique<FluidPool>(
       sim_, [this](std::vector<FluidFlow*>* flows) { Solve(flows); });
 }
@@ -60,6 +61,14 @@ void Fabric::Transfer(int src, int dst, int64_t bytes,
 double Fabric::RxBytes(int node) { return pool_->DeliveredTo(node); }
 double Fabric::TxBytes(int node) { return pool_->ServedFrom(node); }
 
+void Fabric::SetLinkFactor(int node, double factor) {
+  MRMB_CHECK_GE(node, 0);
+  MRMB_CHECK_LT(node, num_nodes_);
+  MRMB_CHECK_GT(factor, 0.0);
+  link_factor_[static_cast<size_t>(node)] = factor;
+  pool_->Poke();
+}
+
 void Fabric::Solve(std::vector<FluidFlow*>* flows) {
   // Link layout: [0, n) egress per node, [n, 2n) ingress per node,
   // optionally 2n = switch backplane.
@@ -68,6 +77,11 @@ void Fabric::Solve(std::vector<FluidFlow*>* flows) {
   const bool has_backplane = backplane_capacity_ > 0;
   problem.link_capacity.assign(
       static_cast<size_t>(2 * num_nodes_) + (has_backplane ? 1 : 0), nic);
+  for (int n = 0; n < num_nodes_; ++n) {
+    const double capacity = nic * link_factor_[static_cast<size_t>(n)];
+    problem.link_capacity[static_cast<size_t>(n)] = capacity;
+    problem.link_capacity[static_cast<size_t>(num_nodes_ + n)] = capacity;
+  }
   if (has_backplane) {
     problem.link_capacity.back() = backplane_capacity_;
   }

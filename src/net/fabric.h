@@ -49,6 +49,14 @@ class Fabric {
   double RxBytes(int node);
   double TxBytes(int node);
 
+  // Scales `node`'s NIC capacity (both directions) by `factor` (> 0) from
+  // the current simulated time onward; in-flight transfers are re-paced
+  // immediately. Used by fault plans to model degraded or repaired links.
+  void SetLinkFactor(int node, double factor);
+  double LinkFactor(int node) const {
+    return link_factor_[static_cast<size_t>(node)];
+  }
+
   int num_nodes() const { return num_nodes_; }
   const NetworkProfile& profile() const { return profile_; }
   size_t active_transfers() const { return pool_->active_flows(); }
@@ -60,6 +68,7 @@ class Fabric {
   int num_nodes_;
   NetworkProfile profile_;
   double backplane_capacity_;  // bytes/sec; <= 0 disables the constraint.
+  std::vector<double> link_factor_;  // per-node NIC capacity multiplier
   std::unique_ptr<FluidPool> pool_;
 };
 

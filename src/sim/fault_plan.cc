@@ -1,0 +1,182 @@
+#include "sim/fault_plan.h"
+
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace mrmb {
+
+namespace {
+
+// Parses "40" or "40s" into seconds.
+Result<double> ParseSecondsToken(const std::string& text) {
+  std::string digits = text;
+  if (!digits.empty() && (digits.back() == 's' || digits.back() == 'S')) {
+    digits.pop_back();
+  }
+  char* end = nullptr;
+  const double v = std::strtod(digits.c_str(), &end);
+  if (digits.empty() || end == nullptr || *end != '\0') {
+    return Status::InvalidArgument("bad time '" + text + "' (want e.g. 40s)");
+  }
+  return v;
+}
+
+Result<double> ParseProbToken(const std::string& name,
+                              const std::string& text) {
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (text.empty() || end == nullptr || *end != '\0') {
+    return Status::InvalidArgument(name + " expects a probability, got '" +
+                                   text + "'");
+  }
+  return v;
+}
+
+// Parses "N@t=40s" into node + time; `extra` receives anything after a comma
+// (the degrade factor), empty when absent.
+Status ParseNodeAtTime(const std::string& token, const std::string& body,
+                       int* node, double* at_seconds, std::string* extra) {
+  const size_t at = body.find("@t=");
+  if (at == std::string::npos) {
+    return Status::InvalidArgument("'" + token + "': expected NODE@t=TIME");
+  }
+  char* end = nullptr;
+  const std::string node_text = body.substr(0, at);
+  const long n = std::strtol(node_text.c_str(), &end, 10);
+  if (node_text.empty() || end == nullptr || *end != '\0' || n < 0) {
+    return Status::InvalidArgument("'" + token + "': bad node '" + node_text +
+                                   "'");
+  }
+  *node = static_cast<int>(n);
+  std::string time_text = body.substr(at + 3);
+  const size_t comma = time_text.find(',');
+  if (comma != std::string::npos) {
+    *extra = std::string(StripWhitespace(time_text.substr(comma + 1)));
+    time_text = time_text.substr(0, comma);
+  } else {
+    extra->clear();
+  }
+  MRMB_ASSIGN_OR_RETURN(*at_seconds, ParseSecondsToken(time_text));
+  if (*at_seconds < 0) {
+    return Status::InvalidArgument("'" + token + "': time must be >= 0");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+const char* FaultEventKindName(FaultEventKind kind) {
+  switch (kind) {
+    case FaultEventKind::kKillNode:
+      return "kill_node";
+    case FaultEventKind::kRecoverNode:
+      return "recover_node";
+    case FaultEventKind::kDegradeLink:
+      return "degrade_link";
+  }
+  return "unknown";
+}
+
+Status FaultPlan::Validate() const {
+  for (const FaultEvent& event : events) {
+    if (event.node < 0) {
+      return Status::InvalidArgument("fault event node must be >= 0");
+    }
+    if (event.at_seconds < 0) {
+      return Status::InvalidArgument("fault event time must be >= 0");
+    }
+    if (event.kind == FaultEventKind::kDegradeLink && event.factor <= 0) {
+      return Status::InvalidArgument("degrade_link factor must be > 0");
+    }
+  }
+  if (node_crash_prob < 0 || node_crash_prob >= 1.0) {
+    return Status::InvalidArgument("node_crash_prob must be in [0, 1)");
+  }
+  if (fetch_failure_prob < 0 || fetch_failure_prob >= 1.0) {
+    return Status::InvalidArgument("fetch_failure_prob must be in [0, 1)");
+  }
+  return Status::OK();
+}
+
+std::string FaultPlan::ToString() const {
+  std::string out;
+  auto append = [&out](const std::string& piece) {
+    if (!out.empty()) out += ";";
+    out += piece;
+  };
+  for (const FaultEvent& event : events) {
+    std::string piece = StringPrintf("%s:%d@t=%gs",
+                                     FaultEventKindName(event.kind),
+                                     event.node, event.at_seconds);
+    if (event.kind == FaultEventKind::kDegradeLink) {
+      piece += StringPrintf(",x%g", event.factor);
+    }
+    append(piece);
+  }
+  if (node_crash_prob > 0) {
+    append(StringPrintf("crash_prob:%g", node_crash_prob));
+  }
+  if (fetch_failure_prob > 0) {
+    append(StringPrintf("fetch_fail_prob:%g", fetch_failure_prob));
+  }
+  return out;
+}
+
+Result<FaultPlan> FaultPlan::Parse(const std::string& spec) {
+  FaultPlan plan;
+  for (const std::string& raw : SplitString(spec, ';')) {
+    const std::string token = std::string(StripWhitespace(raw));
+    if (token.empty()) continue;
+    const size_t colon = token.find(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("fault token '" + token +
+                                     "' has no ':'");
+    }
+    const std::string kind = ToLower(token.substr(0, colon));
+    const std::string body = token.substr(colon + 1);
+    if (kind == "crash_prob") {
+      MRMB_ASSIGN_OR_RETURN(plan.node_crash_prob,
+                            ParseProbToken(kind, body));
+    } else if (kind == "fetch_fail_prob") {
+      MRMB_ASSIGN_OR_RETURN(plan.fetch_failure_prob,
+                            ParseProbToken(kind, body));
+    } else if (kind == "kill_node" || kind == "recover_node" ||
+               kind == "degrade_link") {
+      FaultEvent event;
+      std::string extra;
+      MRMB_RETURN_IF_ERROR(ParseNodeAtTime(token, body, &event.node,
+                                           &event.at_seconds, &extra));
+      if (kind == "kill_node") {
+        event.kind = FaultEventKind::kKillNode;
+      } else if (kind == "recover_node") {
+        event.kind = FaultEventKind::kRecoverNode;
+      } else {
+        event.kind = FaultEventKind::kDegradeLink;
+        if (extra.empty() || (extra[0] != 'x' && extra[0] != 'X')) {
+          return Status::InvalidArgument(
+              "'" + token + "': degrade_link needs a ,xFACTOR suffix");
+        }
+        char* end = nullptr;
+        const std::string factor_text = extra.substr(1);
+        event.factor = std::strtod(factor_text.c_str(), &end);
+        if (factor_text.empty() || end == nullptr || *end != '\0') {
+          return Status::InvalidArgument("'" + token + "': bad factor '" +
+                                         factor_text + "'");
+        }
+      }
+      if (!extra.empty() && event.kind != FaultEventKind::kDegradeLink) {
+        return Status::InvalidArgument("'" + token +
+                                       "': unexpected ',' suffix");
+      }
+      plan.events.push_back(event);
+    } else {
+      return Status::InvalidArgument("unknown fault token kind '" + kind +
+                                     "'");
+    }
+  }
+  MRMB_RETURN_IF_ERROR(plan.Validate());
+  return plan;
+}
+
+}  // namespace mrmb

@@ -1,0 +1,78 @@
+// Deterministic fault injection plans for the cluster simulation.
+//
+// A FaultPlan composes *scheduled* fault events (a node dies at a known
+// simulated time, a link degrades to a fraction of its bandwidth) with
+// *probabilistic* hazards (a per-heartbeat node crash probability, a
+// per-fetch shuffle failure probability). Plans are plain data: the
+// SimJobRunner interprets them, drawing every random decision from the job
+// seed, so a given (plan, seed) pair always reproduces the same timeline.
+//
+// Plans parse from a compact spec string usable from CLI flags and .suite
+// files. Events are separated by ';':
+//
+//   kill_node:3@t=40s                 node 3 crashes 40 s into the run
+//   recover_node:3@t=90s              node 3 rejoins with empty disks
+//   degrade_link:2@t=10s,x0.25        node 2's NIC drops to 25% bandwidth
+//   crash_prob:0.001                  per-heartbeat hazard for every node
+//   fetch_fail_prob:0.01              per-fetch shuffle flakiness
+//
+// e.g. "kill_node:3@t=40s;degrade_link:2@t=10s,x0.25;fetch_fail_prob:0.01".
+
+#ifndef MRMB_SIM_FAULT_PLAN_H_
+#define MRMB_SIM_FAULT_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mrmb {
+
+enum class FaultEventKind {
+  kKillNode,     // node crashes: tasks die, stored map output is lost
+  kRecoverNode,  // node rejoins with fresh (empty) local state
+  kDegradeLink,  // node's NIC capacity is scaled by `factor`
+};
+
+const char* FaultEventKindName(FaultEventKind kind);
+
+struct FaultEvent {
+  FaultEventKind kind = FaultEventKind::kKillNode;
+  int node = 0;
+  double at_seconds = 0;
+  // kDegradeLink only: multiplier on the node's NIC bandwidth. 1.0 restores
+  // the full link; values above 1.0 are allowed (e.g. modelling a repaired
+  // autoneg fault).
+  double factor = 1.0;
+
+  bool operator==(const FaultEvent&) const = default;
+};
+
+struct FaultPlan {
+  // Scheduled events, applied at their absolute simulated times.
+  std::vector<FaultEvent> events;
+  // Per-heartbeat probability that a live node crashes (hazard model).
+  double node_crash_prob = 0;
+  // Per-fetch probability that a shuffle fetch from a live node fails and
+  // must be retried (flaky links, dropped connections).
+  double fetch_failure_prob = 0;
+
+  bool empty() const {
+    return events.empty() && node_crash_prob == 0 && fetch_failure_prob == 0;
+  }
+
+  // Range-checks every field; node indices are checked against the actual
+  // cluster size by the runner (the plan does not know it).
+  Status Validate() const;
+
+  // Canonical spec string; Parse(ToString()) round-trips.
+  std::string ToString() const;
+
+  // Parses the ';'-separated spec syntax above. Whitespace around tokens is
+  // ignored; an empty spec yields an empty plan.
+  static Result<FaultPlan> Parse(const std::string& spec);
+};
+
+}  // namespace mrmb
+
+#endif  // MRMB_SIM_FAULT_PLAN_H_

@@ -67,6 +67,11 @@ double FluidPool::Remaining(FlowId id) {
   return it == flows_.end() ? 0.0 : it->second->flow.remaining;
 }
 
+void FluidPool::Poke() {
+  AdvanceToNow();
+  RecomputeAndSchedule();
+}
+
 double FluidPool::DeliveredTo(int64_t tag) {
   AdvanceToNow();
   auto it = delivered_to_.find(tag);

@@ -67,6 +67,12 @@ class FluidPool {
   // Remaining work of an active flow (advanced to Now()); 0 if unknown.
   double Remaining(FlowId id);
 
+  // Re-runs the rate solver immediately. Call after an external change to
+  // the capacities the solver consults (e.g. a degraded link) so in-flight
+  // flows are re-paced from Now() instead of from their next membership
+  // change.
+  void Poke();
+
   size_t active_flows() const { return flows_.size(); }
 
   // Cumulative units delivered to flows whose tag_dst == tag (since pool

@@ -1,0 +1,103 @@
+#include "sim/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+namespace mrmb {
+namespace {
+
+TEST(FaultPlanTest, EmptySpecYieldsEmptyPlan) {
+  auto plan = FaultPlan::Parse("");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_TRUE(plan->empty());
+  EXPECT_EQ(plan->ToString(), "");
+}
+
+TEST(FaultPlanTest, ParsesKillNode) {
+  auto plan = FaultPlan::Parse("kill_node:3@t=40s");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ(plan->events.size(), 1u);
+  EXPECT_EQ(plan->events[0].kind, FaultEventKind::kKillNode);
+  EXPECT_EQ(plan->events[0].node, 3);
+  EXPECT_DOUBLE_EQ(plan->events[0].at_seconds, 40.0);
+}
+
+TEST(FaultPlanTest, ParsesBareSecondsWithoutSuffix) {
+  auto plan = FaultPlan::Parse("kill_node:0@t=12.5");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_DOUBLE_EQ(plan->events[0].at_seconds, 12.5);
+}
+
+TEST(FaultPlanTest, ParsesFullComposition) {
+  auto plan = FaultPlan::Parse(
+      "kill_node:3@t=40s; recover_node:3@t=90s;"
+      "degrade_link:2@t=10s,x0.25; crash_prob:0.001; fetch_fail_prob:0.01");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ(plan->events.size(), 3u);
+  EXPECT_EQ(plan->events[1].kind, FaultEventKind::kRecoverNode);
+  EXPECT_EQ(plan->events[2].kind, FaultEventKind::kDegradeLink);
+  EXPECT_DOUBLE_EQ(plan->events[2].factor, 0.25);
+  EXPECT_DOUBLE_EQ(plan->node_crash_prob, 0.001);
+  EXPECT_DOUBLE_EQ(plan->fetch_failure_prob, 0.01);
+  EXPECT_FALSE(plan->empty());
+}
+
+TEST(FaultPlanTest, ToStringRoundTrips) {
+  const std::string spec =
+      "kill_node:3@t=40s;recover_node:3@t=90s;degrade_link:2@t=10s,x0.25;"
+      "crash_prob:0.001;fetch_fail_prob:0.01";
+  auto plan = FaultPlan::Parse(spec);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  const std::string canonical = plan->ToString();
+  auto reparsed = FaultPlan::Parse(canonical);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(plan->events, reparsed->events);
+  EXPECT_DOUBLE_EQ(plan->node_crash_prob, reparsed->node_crash_prob);
+  EXPECT_DOUBLE_EQ(plan->fetch_failure_prob, reparsed->fetch_failure_prob);
+  EXPECT_EQ(canonical, reparsed->ToString());
+}
+
+TEST(FaultPlanTest, RejectsUnknownKind) {
+  EXPECT_FALSE(FaultPlan::Parse("explode_node:1@t=5s").ok());
+}
+
+TEST(FaultPlanTest, RejectsMissingColon) {
+  EXPECT_FALSE(FaultPlan::Parse("kill_node").ok());
+}
+
+TEST(FaultPlanTest, RejectsMalformedTime) {
+  EXPECT_FALSE(FaultPlan::Parse("kill_node:1@t=abc").ok());
+  EXPECT_FALSE(FaultPlan::Parse("kill_node:1@40s").ok());
+}
+
+TEST(FaultPlanTest, RejectsBadNode) {
+  EXPECT_FALSE(FaultPlan::Parse("kill_node:x@t=40s").ok());
+  EXPECT_FALSE(FaultPlan::Parse("kill_node:-1@t=40s").ok());
+}
+
+TEST(FaultPlanTest, RejectsDegradeWithoutFactor) {
+  EXPECT_FALSE(FaultPlan::Parse("degrade_link:2@t=10s").ok());
+  EXPECT_FALSE(FaultPlan::Parse("degrade_link:2@t=10s,0.25").ok());
+}
+
+TEST(FaultPlanTest, RejectsSuffixOnKill) {
+  EXPECT_FALSE(FaultPlan::Parse("kill_node:2@t=10s,x0.25").ok());
+}
+
+TEST(FaultPlanTest, RejectsOutOfRangeProbabilities) {
+  EXPECT_FALSE(FaultPlan::Parse("crash_prob:1.5").ok());
+  EXPECT_FALSE(FaultPlan::Parse("crash_prob:-0.1").ok());
+  EXPECT_FALSE(FaultPlan::Parse("fetch_fail_prob:1.0").ok());
+}
+
+TEST(FaultPlanTest, ValidateCatchesBadEventFields) {
+  FaultPlan plan;
+  plan.events.push_back(
+      FaultEvent{FaultEventKind::kDegradeLink, 0, 1.0, 0.0});
+  EXPECT_FALSE(plan.Validate().ok());
+  plan.events.clear();
+  plan.events.push_back(FaultEvent{FaultEventKind::kKillNode, 0, -1.0, 1.0});
+  EXPECT_FALSE(plan.Validate().ok());
+}
+
+}  // namespace
+}  // namespace mrmb

@@ -1,0 +1,248 @@
+// Node-level failure domains: crash/recovery, map-output re-execution,
+// fetch retry with backoff, blacklisting, and FaultPlan determinism.
+
+#include <gtest/gtest.h>
+
+#include "mapred/sim_runner.h"
+#include "net/network_profile.h"
+#include "sim/fault_plan.h"
+
+namespace mrmb {
+namespace {
+
+JobConf SmallJob(int maps = 8, int reduces = 4) {
+  JobConf conf;
+  conf.num_maps = maps;
+  conf.num_reduces = reduces;
+  conf.record.key_size = 512;
+  conf.record.value_size = 512;
+  conf.record.num_unique_keys = reduces;
+  // ~256 MB of shuffle data.
+  conf.records_per_map = (256LL * 1024 * 1024) / (1038LL * maps);
+  conf.map_slots_per_node = 4;
+  conf.reduce_slots_per_node = 2;
+  conf.seed = 42;
+  return conf;
+}
+
+SimJobResult MustRun(const ClusterSpec& spec, const JobConf& conf) {
+  SimCluster cluster(spec);
+  SimJobRunner runner(&cluster, conf, CostModel::Default());
+  auto result = runner.Run();
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(cluster.sim()->pending(), 0u);
+  return *result;
+}
+
+TEST(FaultSimTest, HealthyRunReportsZeroFaultCounters) {
+  const SimJobResult result = MustRun(ClusterA(OneGigE(), 4), SmallJob());
+  EXPECT_EQ(result.node_crashes, 0);
+  EXPECT_EQ(result.node_recoveries, 0);
+  EXPECT_EQ(result.reexecuted_maps, 0);
+  EXPECT_EQ(result.fetch_retries, 0);
+  EXPECT_EQ(result.blacklisted_nodes, 0);
+  EXPECT_DOUBLE_EQ(result.wasted_attempt_seconds, 0.0);
+}
+
+// The acceptance scenario: kill a node after its maps completed but before
+// the shuffle finished. Its stored map output is lost, those maps
+// re-execute, and the job still succeeds — with the loss visible in the
+// recovery metrics.
+TEST(FaultSimTest, KillAfterMapsLosesOutputAndReexecutes) {
+  const JobConf healthy = SmallJob();
+  const SimJobResult baseline = MustRun(ClusterA(OneGigE(), 4), healthy);
+
+  // Mid-shuffle on this slow network: maps done, fetches still running.
+  const double map_end = ToSeconds(baseline.last_map_finish);
+  const double shuffle_end = ToSeconds(baseline.last_fetch_finish);
+  ASSERT_GT(shuffle_end, map_end);
+  const double kill_at = map_end + 0.25 * (shuffle_end - map_end);
+
+  JobConf conf = healthy;
+  conf.fault_plan.events.push_back(
+      FaultEvent{FaultEventKind::kKillNode, /*node=*/1, kill_at, 1.0});
+  const SimJobResult faulted = MustRun(ClusterA(OneGigE(), 4), conf);
+
+  EXPECT_EQ(faulted.node_crashes, 1);
+  EXPECT_GT(faulted.reexecuted_maps, 0);
+  EXPECT_GT(faulted.wasted_attempt_seconds, 0.0);
+  EXPECT_GT(faulted.job_seconds, baseline.job_seconds);
+  // Every map's final record lands on a surviving node.
+  for (const auto& record : faulted.timeline) {
+    EXPECT_NE(record.node, 1) << (record.is_map ? "map " : "reduce ")
+                              << record.id;
+  }
+}
+
+TEST(FaultSimTest, KillMidMapPhaseStillSucceeds) {
+  const JobConf healthy = SmallJob();
+  const SimJobResult baseline = MustRun(ClusterA(OneGigE(), 4), healthy);
+  const double kill_at = 0.5 * ToSeconds(baseline.last_map_finish);
+
+  JobConf conf = healthy;
+  // Crash-killed attempts must not count against the attempt limit: with
+  // max_task_attempts=1 the job survives only under KILLED semantics.
+  // Node 1 is guaranteed to hold running work mid-map (16 slots for 8
+  // maps leave the later nodes idle, but assignment fills node 1).
+  conf.max_task_attempts = 1;
+  conf.fault_plan.events.push_back(
+      FaultEvent{FaultEventKind::kKillNode, /*node=*/1, kill_at, 1.0});
+  const SimJobResult faulted = MustRun(ClusterA(OneGigE(), 4), conf);
+  EXPECT_EQ(faulted.node_crashes, 1);
+  EXPECT_GT(faulted.wasted_attempt_seconds, 0.0);
+}
+
+TEST(FaultSimTest, IdenticalSeedsReproduceIdenticalTimelines) {
+  JobConf conf = SmallJob();
+  conf.fault_plan.events.push_back(
+      FaultEvent{FaultEventKind::kKillNode, /*node=*/1, 20.0, 1.0});
+  conf.fault_plan.events.push_back(
+      FaultEvent{FaultEventKind::kRecoverNode, /*node=*/1, 60.0, 1.0});
+  conf.fault_plan.node_crash_prob = 0.0005;
+  conf.fault_plan.fetch_failure_prob = 0.02;
+  const SimJobResult a = MustRun(ClusterA(TenGigE(), 4), conf);
+  const SimJobResult b = MustRun(ClusterA(TenGigE(), 4), conf);
+  EXPECT_EQ(a.finish_time, b.finish_time);
+  EXPECT_EQ(a.timeline, b.timeline);
+  EXPECT_EQ(a.node_crashes, b.node_crashes);
+  EXPECT_EQ(a.reexecuted_maps, b.reexecuted_maps);
+  EXPECT_EQ(a.fetch_retries, b.fetch_retries);
+  EXPECT_DOUBLE_EQ(a.wasted_attempt_seconds, b.wasted_attempt_seconds);
+}
+
+TEST(FaultSimTest, FlakyFetchesRetryWithBackoffAndComplete) {
+  JobConf conf = SmallJob();
+  conf.fault_plan.fetch_failure_prob = 0.05;
+  conf.fetch_retry_backoff = 0.25;
+  const SimJobResult result = MustRun(ClusterA(TenGigE(), 4), conf);
+  EXPECT_GT(result.fetch_retries, 0);
+  EXPECT_EQ(result.node_crashes, 0);
+  // Retries burn timeout + backoff; the job cannot be faster than healthy.
+  const SimJobResult healthy = MustRun(ClusterA(TenGigE(), 4), SmallJob());
+  EXPECT_GE(result.job_seconds, healthy.job_seconds);
+}
+
+TEST(FaultSimTest, RepeatedFetchFailuresReexecuteTheMap) {
+  JobConf conf = SmallJob();
+  // Flaky enough that some map output accumulates max_fetch_failures
+  // reports and is declared lost.
+  conf.fault_plan.fetch_failure_prob = 0.30;
+  conf.max_fetch_failures = 2;
+  conf.fetch_retry_backoff = 0.1;
+  conf.fetch_timeout = 0.1;
+  const SimJobResult result = MustRun(ClusterA(TenGigE(), 4), conf);
+  EXPECT_GT(result.fetch_retries, 0);
+  EXPECT_GT(result.reexecuted_maps, 0);
+  EXPECT_GT(result.wasted_attempt_seconds, 0.0);
+}
+
+TEST(FaultSimTest, TaskFailuresBlacklistTheNode) {
+  JobConf conf = SmallJob(16, 4);
+  conf.map_failure_prob = 0.4;
+  conf.max_task_attempts = 16;
+  conf.node_blacklist_threshold = 2;
+  const SimJobResult result = MustRun(ClusterA(TenGigE(), 4), conf);
+  EXPECT_GE(result.blacklisted_nodes, 1);
+  // Blacklisted nodes may not run the final attempt of any task... but
+  // earlier non-final attempts may have run there. The job finished, so
+  // every task's final node must be a live one (blacklisting never kills
+  // running work, so any node id is legal here; the real invariant is
+  // completion with failures recorded).
+  EXPECT_GT(result.wasted_attempt_seconds, 0.0);
+}
+
+TEST(FaultSimTest, ExhaustedAttemptsAbortWithDrainedQueue) {
+  JobConf conf = SmallJob();
+  conf.map_failure_prob = 0.95;
+  conf.max_task_attempts = 2;
+  SimCluster cluster(ClusterA(OneGigE(), 2));
+  SimJobRunner runner(&cluster, conf, CostModel::Default());
+  auto result = runner.Run();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(result.status().message().find("attempts"), std::string::npos)
+      << result.status().ToString();
+  // The abort unwound every in-flight continuation: nothing left pending.
+  EXPECT_EQ(cluster.sim()->pending(), 0u);
+}
+
+TEST(FaultSimTest, AllNodesDeadAbortsInsteadOfHanging) {
+  JobConf conf = SmallJob();
+  conf.fault_plan.events.push_back(
+      FaultEvent{FaultEventKind::kKillNode, 0, 1.0, 1.0});
+  conf.fault_plan.events.push_back(
+      FaultEvent{FaultEventKind::kKillNode, 1, 1.0, 1.0});
+  SimCluster cluster(ClusterA(OneGigE(), 2));
+  SimJobRunner runner(&cluster, conf, CostModel::Default());
+  auto result = runner.Run();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(result.status().message().find("no schedulable nodes"),
+            std::string::npos)
+      << result.status().ToString();
+  EXPECT_EQ(cluster.sim()->pending(), 0u);
+}
+
+TEST(FaultSimTest, ScheduledRecoveryKeepsFullyDeadClusterWaiting) {
+  JobConf conf = SmallJob(4, 2);
+  conf.fault_plan.events.push_back(
+      FaultEvent{FaultEventKind::kKillNode, 0, 1.0, 1.0});
+  conf.fault_plan.events.push_back(
+      FaultEvent{FaultEventKind::kKillNode, 1, 1.0, 1.0});
+  conf.fault_plan.events.push_back(
+      FaultEvent{FaultEventKind::kRecoverNode, 0, 30.0, 1.0});
+  const SimJobResult result = MustRun(ClusterA(OneGigE(), 2), conf);
+  EXPECT_EQ(result.node_crashes, 2);
+  EXPECT_EQ(result.node_recoveries, 1);
+  // Everything ran on the one recovered node.
+  for (const auto& record : result.timeline) {
+    EXPECT_EQ(record.node, 0);
+  }
+}
+
+TEST(FaultSimTest, DegradedLinkSlowsTheJob) {
+  const JobConf conf = SmallJob();
+  const SimJobResult healthy = MustRun(ClusterA(TenGigE(), 4), conf);
+  JobConf degraded = conf;
+  for (int n = 0; n < 4; ++n) {
+    degraded.fault_plan.events.push_back(
+        FaultEvent{FaultEventKind::kDegradeLink, n, 0.0, 0.05});
+  }
+  const SimJobResult slow = MustRun(ClusterA(TenGigE(), 4), degraded);
+  EXPECT_GT(slow.job_seconds, healthy.job_seconds);
+  EXPECT_EQ(slow.node_crashes, 0);
+  EXPECT_EQ(slow.reexecuted_maps, 0);
+}
+
+TEST(FaultSimTest, CrashHazardRunsToCompletionOrCleanAbort) {
+  JobConf conf = SmallJob();
+  conf.fault_plan.node_crash_prob = 0.002;
+  SimCluster cluster(ClusterA(TenGigE(), 4));
+  SimJobRunner runner(&cluster, conf, CostModel::Default());
+  auto result = runner.Run();
+  // Either outcome is legal under the hazard; the invariants are a drained
+  // simulator and, on success, consistent recovery accounting.
+  EXPECT_EQ(cluster.sim()->pending(), 0u);
+  if (result.ok()) {
+    EXPECT_GE(result->node_crashes, 0);
+    if (result->reexecuted_maps > 0) {
+      EXPECT_GT(result->wasted_attempt_seconds, 0.0);
+    }
+  } else {
+    EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  }
+}
+
+TEST(FaultSimTest, FaultPlanTargetingMissingNodeIsRejected) {
+  JobConf conf = SmallJob();
+  conf.fault_plan.events.push_back(
+      FaultEvent{FaultEventKind::kKillNode, 17, 1.0, 1.0});
+  SimCluster cluster(ClusterA(OneGigE(), 2));
+  SimJobRunner runner(&cluster, conf, CostModel::Default());
+  auto result = runner.Run();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace mrmb

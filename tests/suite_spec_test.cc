@@ -93,6 +93,53 @@ TEST(SuiteSpecResolveTest, RejectsBadValues) {
   }
 }
 
+TEST(SuiteSpecResolveTest, FaultKeysResolve) {
+  auto spec = ParseSuiteSpec(R"(
+[faulty]
+pattern = avg
+map-fail-prob = 0.05
+reduce-fail-prob = 0.02
+straggler-prob = 0.1
+straggler-slowdown = 4.0
+speculative = true
+max-attempts = 6
+max-fetch-failures = 3
+blacklist-threshold = 2
+fault-plan = kill_node:1@t=40s;degrade_link:2@t=10s,x0.25
+crash-prob = 0.001
+fetch-fail-prob = 0.01
+)");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  auto resolved = ResolveSection(spec->sections[0]);
+  ASSERT_TRUE(resolved.ok()) << resolved.status().ToString();
+  const BenchmarkOptions& options = resolved->options[0][0];
+  EXPECT_DOUBLE_EQ(options.map_failure_prob, 0.05);
+  EXPECT_DOUBLE_EQ(options.reduce_failure_prob, 0.02);
+  EXPECT_DOUBLE_EQ(options.straggler_prob, 0.1);
+  EXPECT_DOUBLE_EQ(options.straggler_slowdown, 4.0);
+  EXPECT_TRUE(options.speculative_execution);
+  EXPECT_EQ(options.max_task_attempts, 6);
+  EXPECT_EQ(options.max_fetch_failures, 3);
+  EXPECT_EQ(options.node_blacklist_threshold, 2);
+  ASSERT_EQ(options.fault_plan.events.size(), 2u);
+  EXPECT_EQ(options.fault_plan.events[0].kind, FaultEventKind::kKillNode);
+  // The comma inside degrade_link survives the list-splitting parser.
+  EXPECT_EQ(options.fault_plan.events[1].kind, FaultEventKind::kDegradeLink);
+  EXPECT_DOUBLE_EQ(options.fault_plan.events[1].factor, 0.25);
+  EXPECT_DOUBLE_EQ(options.fault_plan.node_crash_prob, 0.001);
+  EXPECT_DOUBLE_EQ(options.fault_plan.fetch_failure_prob, 0.01);
+}
+
+TEST(SuiteSpecResolveTest, RejectsBadFaultValues) {
+  for (const char* bad :
+       {"[x]\nfault-plan = explode:1@t=2s\n", "[x]\ncrash-prob = maybe\n",
+        "[x]\nmax-attempts = 0\n", "[x]\nblacklist-threshold = -2\n"}) {
+    auto spec = ParseSuiteSpec(bad);
+    ASSERT_TRUE(spec.ok()) << bad;
+    EXPECT_FALSE(ResolveSection(spec->sections[0]).ok()) << bad;
+  }
+}
+
 TEST(SuiteSpecRunTest, RunsTinySuiteEndToEnd) {
   auto spec = ParseSuiteSpec(R"(
 [tiny]

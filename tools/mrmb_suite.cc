@@ -48,7 +48,14 @@ int main(int argc, char** argv) {
   if (flags_or->help_requested()) {
     std::cout << "usage: mrmb_suite [--spec=FILE] [--csv]\n\n"
                  "Runs every sweep described in the .suite file. Syntax:\n"
-              << kDefaultSpec;
+              << kDefaultSpec
+              << "\nFault-injection keys (per section, all optional):\n"
+                 "  map-fail-prob, reduce-fail-prob, straggler-prob,\n"
+                 "  straggler-slowdown, speculative, max-attempts,\n"
+                 "  crash-prob, fetch-fail-prob, max-fetch-failures,\n"
+                 "  blacklist-threshold, and\n"
+                 "  fault-plan = kill_node:1@t=40s;recover_node:1@t=90s;"
+                 "degrade_link:2@t=10s,x0.25\n";
     return 0;
   }
   auto spec_path = flags_or->GetString("spec", "");
