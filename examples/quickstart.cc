@@ -38,6 +38,15 @@ Fault injection (all default off):
   --map-fail-prob=P --reduce-fail-prob=P task-attempt failures
   --straggler-prob=P --straggler-slowdown=X --speculative
   --max-attempts=N --max-fetch-failures=N --blacklist-threshold=N
+
+Functional (in-process) mode — real bytes, small sizes:
+  --local                   run the job for real instead of simulating it
+  --local-threads=N         worker threads for task attempts (default 1)
+  --task-timeout-ms=MS      watchdog deadline per attempt (0 = off)
+  --checksum[=BOOL]         verify CRC32C map-output seals (default on)
+  --local-fault-plan=SPEC   deterministic attempt faults, e.g.
+                            "fail_map:3@a=0;corrupt_map:2@a=0,p=1;
+                             delay_map:0@a=0,ms=500"
 )";
 
 }  // namespace
@@ -123,6 +132,22 @@ int main(int argc, char** argv) {
     const mrmb::Status status =
         mrmb::ApplyFaultToleranceFlags(flags, &options);
     if (!status.ok()) return fail(status);
+  }
+
+  auto local = flags.GetBool("local", false);
+  if (!local.ok()) return fail(local.status());
+  if (*local) {
+    // Functional mode runs real bytes through the task-attempt engine;
+    // default to a shuffle size a workstation chews through quickly unless
+    // the user asked for something specific.
+    if (!flags.Has("shuffle")) options.shuffle_bytes = 8 * mrmb::kMB;
+    auto result = mrmb::RunMicroBenchmarkLocally(options);
+    if (!result.ok()) {
+      std::cerr << "local run failed: " << result.status().ToString() << "\n";
+      return 1;
+    }
+    mrmb::PrintLocalJobReport(options, *result, &std::cout);
+    return 0;
   }
 
   auto result = mrmb::RunMicroBenchmark(options);

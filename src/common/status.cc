@@ -27,6 +27,10 @@ const char* StatusCodeName(StatusCode code) {
       return "Unimplemented";
     case StatusCode::kIOError:
       return "IOError";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

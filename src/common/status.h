@@ -25,6 +25,12 @@ enum class StatusCode {
   kInternal,
   kUnimplemented,
   kIOError,
+  // Stored or in-flight bytes failed an integrity check (e.g. a CRC32C
+  // mismatch on a map-output partition). Recoverable by re-executing the
+  // producer, never by retrying the read.
+  kDataLoss,
+  // An attempt overran its watchdog deadline and was cancelled.
+  kDeadlineExceeded,
 };
 
 // Returns a stable, human-readable name such as "InvalidArgument".
@@ -65,6 +71,12 @@ class Status {
   }
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

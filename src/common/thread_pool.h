@@ -1,0 +1,95 @@
+// A bounded worker pool and a cooperative cancellation token.
+//
+// ThreadPool runs submitted closures on a fixed set of worker threads; the
+// local task-attempt engine uses it to execute map/reduce attempts in
+// parallel. Determinism is the caller's job: workers may run tasks in any
+// order, so callers must write results into per-task slots and aggregate
+// them in task order, never in completion order.
+//
+// CancelToken is the watchdog's lever: a watchdog thread flips the token of
+// an overdue attempt and the attempt observes it at its next cancellation
+// point (record boundaries, injected delays) and bails out with
+// DeadlineExceeded. There is no pre-emptive kill — code that never reaches
+// a cancellation point cannot be reclaimed, the same contract as Hadoop's
+// task-umbilical ping timeout needing a responsive task JVM.
+
+#ifndef MRMB_COMMON_THREAD_POOL_H_
+#define MRMB_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mrmb {
+
+class CancelToken {
+ public:
+  void Cancel() {
+    cancelled_.store(true, std::memory_order_release);
+    // Take the lock so a sleeper past the predicate check cannot miss the
+    // notify.
+    { std::lock_guard<std::mutex> lock(mutex_); }
+    cv_.notify_all();
+  }
+
+  // Lock-free; cheap enough to poll once per emitted record.
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  // Blocks for `ms` milliseconds or until cancelled, whichever comes first.
+  // Returns true if the full sleep elapsed, false if cancelled early. This
+  // is the cancellation point injected delays use, so a watchdog can cut a
+  // stalled attempt short instead of waiting out the stall.
+  bool SleepFor(int64_t ms) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    return !cv_.wait_for(lock, std::chrono::milliseconds(ms),
+                         [this] { return cancelled(); });
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::mutex mutex_;
+  std::condition_variable cv_;
+};
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+  // Joins all workers; pending tasks are still drained first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues one task. Never blocks (the queue is unbounded); the pool is
+  // "bounded" in workers, which is what limits concurrent attempts.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished running.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;   // workers wait for tasks
+  std::condition_variable idle_cv_;   // Wait() waits for drain
+  std::deque<std::function<void()>> queue_;
+  int64_t in_flight_ = 0;  // tasks queued or running
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mrmb
+
+#endif  // MRMB_COMMON_THREAD_POOL_H_

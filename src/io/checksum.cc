@@ -1,0 +1,76 @@
+#include "io/checksum.h"
+
+#include <array>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace mrmb {
+
+namespace {
+
+// CRC32C (Castagnoli, reflected polynomial 0x82f63b78) lookup table,
+// generated once at first use.
+const std::array<uint32_t, 256>& Crc32cTable() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? 0x82f63b78u : 0);
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32c(uint32_t crc, std::string_view data) {
+  const std::array<uint32_t, 256>& table = Crc32cTable();
+  crc = ~crc;
+  for (const char c : data) {
+    crc = table[(crc ^ static_cast<uint8_t>(c)) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+void SealSegment(SpillSegment* segment) {
+  MRMB_CHECK(segment != nullptr);
+  for (size_t p = 0; p < segment->partitions.size(); ++p) {
+    segment->partitions[p].crc =
+        Crc32c(segment->PartitionData(static_cast<int>(p)));
+  }
+  segment->sealed = true;
+}
+
+Status VerifySegmentPartition(const SpillSegment& segment, int partition) {
+  MRMB_CHECK_GE(partition, 0);
+  MRMB_CHECK_LT(static_cast<size_t>(partition), segment.partitions.size());
+  if (!segment.sealed) {
+    return Status::FailedPrecondition(
+        "segment was never sealed; cannot verify partition " +
+        std::to_string(partition));
+  }
+  const SpillSegment::PartitionRange& range =
+      segment.partitions[static_cast<size_t>(partition)];
+  const uint32_t actual = Crc32c(segment.PartitionData(partition));
+  if (actual != range.crc) {
+    return Status::DataLoss(StringPrintf(
+        "partition %d failed CRC32C verification (stored %08x, computed "
+        "%08x over %lld bytes)",
+        partition, range.crc, actual, static_cast<long long>(range.length)));
+  }
+  return Status::OK();
+}
+
+Status VerifySegment(const SpillSegment& segment) {
+  for (size_t p = 0; p < segment.partitions.size(); ++p) {
+    MRMB_RETURN_IF_ERROR(VerifySegmentPartition(segment, static_cast<int>(p)));
+  }
+  return Status::OK();
+}
+
+}  // namespace mrmb

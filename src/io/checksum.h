@@ -1,0 +1,48 @@
+// CRC32C (Castagnoli) checksums and spill-segment integrity sealing.
+//
+// Hadoop's shuffle is only trustworthy because every IFile segment carries a
+// checksum verified on the consumer side; a mismatch fails the fetch and
+// ultimately re-executes the producing map instead of silently feeding a
+// reducer corrupt bytes. This module gives the functional engine the same
+// property: every SpillSegment partition range is sealed with a CRC32C at
+// spill/merge time and verified at shuffle-read time. CRC32C is the
+// polynomial used by Hadoop's native checksumming (and iSCSI/ext4); this is
+// a portable slice-by-one table implementation — plenty for in-memory
+// segments.
+
+#ifndef MRMB_IO_CHECKSUM_H_
+#define MRMB_IO_CHECKSUM_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/status.h"
+#include "io/kv_buffer.h"
+
+namespace mrmb {
+
+// Extends a running CRC32C over `data`. Start from `kCrc32cInit` (i.e. 0);
+// the returned value is the finalized checksum of everything fed so far.
+inline constexpr uint32_t kCrc32cInit = 0;
+uint32_t Crc32c(uint32_t crc, std::string_view data);
+
+// One-shot convenience.
+inline uint32_t Crc32c(std::string_view data) {
+  return Crc32c(kCrc32cInit, data);
+}
+
+// Computes and stores the CRC32C of every partition range of `segment`
+// (SpillSegment::PartitionRange::crc) and marks the segment sealed.
+void SealSegment(SpillSegment* segment);
+
+// Verifies one partition range of a sealed segment against its stored
+// checksum. Returns DataLoss naming the partition on mismatch, and
+// FailedPrecondition if the segment was never sealed.
+Status VerifySegmentPartition(const SpillSegment& segment, int partition);
+
+// Verifies every partition range of a sealed segment.
+Status VerifySegment(const SpillSegment& segment);
+
+}  // namespace mrmb
+
+#endif  // MRMB_IO_CHECKSUM_H_

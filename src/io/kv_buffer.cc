@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "io/byte_buffer.h"
+#include "io/checksum.h"
 
 namespace mrmb {
 
@@ -14,6 +15,16 @@ std::string_view SpillSegment::PartitionData(int partition) const {
   return std::string_view(data).substr(static_cast<size_t>(range.offset),
                                        static_cast<size_t>(range.length));
 }
+
+namespace {
+
+size_t FramedLength(std::string_view key, std::string_view value) {
+  return VarintLength(static_cast<int64_t>(key.size())) +
+         VarintLength(static_cast<int64_t>(value.size())) + key.size() +
+         value.size();
+}
+
+}  // namespace
 
 KvBuffer::KvBuffer(DataType key_type, int num_partitions,
                    size_t capacity_bytes)
@@ -30,12 +41,8 @@ bool KvBuffer::Append(int partition, std::string_view key,
                       std::string_view value) {
   MRMB_CHECK_GE(partition, 0);
   MRMB_CHECK_LT(partition, num_partitions_);
-  const size_t frame = VarintLength(static_cast<int64_t>(key.size())) +
-                       VarintLength(static_cast<int64_t>(value.size())) +
-                       key.size() + value.size();
-  MRMB_CHECK_LE(frame, capacity_)
-      << "single record larger than the sort buffer";
-  if (arena_.size() + frame > capacity_) return false;
+  const size_t frame = FramedLength(key, value);
+  if (frame > capacity_ || arena_.size() + frame > capacity_) return false;
 
   RecordRef ref;
   ref.partition = partition;
@@ -51,6 +58,10 @@ bool KvBuffer::Append(int partition, std::string_view key,
   index_.push_back(ref);
   sorted_ = false;
   return true;
+}
+
+bool KvBuffer::Fits(std::string_view key, std::string_view value) const {
+  return FramedLength(key, value) <= capacity_;
 }
 
 void KvBuffer::Sort() {
@@ -90,6 +101,7 @@ SpillSegment KvBuffer::ToSpill() const {
     range.length += static_cast<int64_t>(frame_len);
     range.records += 1;
   }
+  SealSegment(&spill);
   return spill;
 }
 

@@ -27,10 +27,15 @@ struct SpillSegment {
     int64_t offset = 0;   // byte offset into `data`
     int64_t length = 0;   // bytes
     int64_t records = 0;  // record count
+    // CRC32C of the range's bytes, sealed at spill/merge time (Hadoop's
+    // IFile checksum) and verified at shuffle-read time.
+    uint32_t crc = 0;
   };
 
   std::string data;
   std::vector<PartitionRange> partitions;
+  // True once every partition crc has been computed (see io/checksum.h).
+  bool sealed = false;
 
   int64_t total_bytes() const { return static_cast<int64_t>(data.size()); }
   int64_t total_records() const {
@@ -52,10 +57,14 @@ class KvBuffer {
   KvBuffer& operator=(const KvBuffer&) = delete;
 
   // Appends one record with already-serialized key and value bytes.
-  // Returns false (without appending) if the framed record would exceed
-  // capacity; a single record larger than the whole capacity is a fatal
-  // configuration error.
+  // Returns false (without appending) if the framed record would exceed the
+  // remaining capacity — including a record larger than the whole buffer,
+  // which still fails on an empty buffer (callers detect that case with
+  // Fits() and surface ResourceExhausted instead of spilling forever).
   bool Append(int partition, std::string_view key, std::string_view value);
+
+  // True if a record with these payloads could ever fit an empty buffer.
+  bool Fits(std::string_view key, std::string_view value) const;
 
   // Sorts the record index by (partition, raw key order). Stable, so equal
   // keys keep arrival order (like Hadoop's stable IndexedSorter contract

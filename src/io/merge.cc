@@ -23,16 +23,29 @@ void SegmentReader::Decode() {
     value_ = {};
     return;
   }
+  const auto fail = [this](const char* what) {
+    valid_ = false;
+    key_ = {};
+    value_ = {};
+    status_ = Status::DataLoss(std::string(what) + " at segment offset " +
+                               std::to_string(pos_));
+  };
   int64_t key_len = 0, value_len = 0;
   size_t hdr = 0;
-  MRMB_CHECK_OK(DecodeVarint64(data_.substr(pos_), &key_len, &hdr));
+  if (!DecodeVarint64(data_.substr(pos_), &key_len, &hdr).ok()) {
+    return fail("malformed key-length varint");
+  }
   pos_ += hdr;
-  MRMB_CHECK_OK(DecodeVarint64(data_.substr(pos_), &value_len, &hdr));
+  if (!DecodeVarint64(data_.substr(pos_), &value_len, &hdr).ok()) {
+    return fail("malformed value-length varint");
+  }
   pos_ += hdr;
-  MRMB_CHECK_GE(key_len, 0);
-  MRMB_CHECK_GE(value_len, 0);
-  MRMB_CHECK_LE(pos_ + static_cast<size_t>(key_len + value_len), data_.size())
-      << "truncated record frame";
+  if (key_len < 0 || value_len < 0 ||
+      static_cast<size_t>(key_len) > data_.size() - pos_ ||
+      static_cast<size_t>(value_len) >
+          data_.size() - pos_ - static_cast<size_t>(key_len)) {
+    return fail("truncated record frame");
+  }
   key_ = data_.substr(pos_, static_cast<size_t>(key_len));
   pos_ += static_cast<size_t>(key_len);
   value_ = data_.substr(pos_, static_cast<size_t>(value_len));
@@ -71,6 +84,14 @@ void MergeIterator::Next() {
     if (heap_.empty()) return;
   }
   SiftDown(0);
+}
+
+Status MergeIterator::status() const {
+  for (const std::unique_ptr<RecordStream>& input : inputs_) {
+    Status status = input->status();
+    if (!status.ok()) return status;
+  }
+  return Status::OK();
 }
 
 bool MergeIterator::Less(const HeapEntry& a, const HeapEntry& b) const {

@@ -31,11 +31,17 @@ class RecordStream {
   virtual std::string_view value() const = 0;
   // Advances to the next record.
   virtual void Next() = 0;
+  // OK while the stream ended cleanly (or has not ended); a DataLoss-style
+  // error when it stopped because the underlying bytes were malformed.
+  // Callers that care about integrity must check this once Valid() turns
+  // false.
+  virtual Status status() const { return Status::OK(); }
 };
 
 // Streams framed records out of a byte slice. The slice must outlive the
-// reader. Malformed framing is a fatal error (the suite only ever reads
-// buffers it produced).
+// reader. Malformed framing does not abort: the reader becomes invalid and
+// status() carries a DataLoss error, so a corrupted shuffle segment is a
+// recoverable condition for the task-attempt engine, not a crash.
 class SegmentReader final : public RecordStream {
  public:
   explicit SegmentReader(std::string_view data);
@@ -44,6 +50,7 @@ class SegmentReader final : public RecordStream {
   std::string_view key() const override { return key_; }
   std::string_view value() const override { return value_; }
   void Next() override;
+  Status status() const override { return status_; }
 
  private:
   void Decode();
@@ -53,6 +60,7 @@ class SegmentReader final : public RecordStream {
   bool valid_ = false;
   std::string_view key_;
   std::string_view value_;
+  Status status_;
 };
 
 // Merges sorted input streams into one sorted stream.
@@ -65,6 +73,9 @@ class MergeIterator final : public RecordStream {
   std::string_view key() const override;
   std::string_view value() const override;
   void Next() override;
+  // First non-OK status of any input stream (an exhausted corrupt input
+  // drops out of the heap; this is how the corruption surfaces).
+  Status status() const override;
 
  private:
   struct HeapEntry {

@@ -1,0 +1,278 @@
+#include "mapred/fault_injector.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace mrmb {
+
+namespace {
+
+// RNG stream ids, one per hazard kind, so drawing from one never perturbs
+// another.
+constexpr uint64_t kMapFailStream = 1;
+constexpr uint64_t kReduceFailStream = 2;
+constexpr uint64_t kCorruptStream = 3;
+
+// Seed for the (stream, task, attempt) decision; Rng::Reseed splitmixes it,
+// so nearby inputs give unrelated streams.
+uint64_t StreamSeed(uint64_t seed, uint64_t stream, int task, int attempt) {
+  return seed ^ (stream * 0x9e3779b97f4a7c15ULL) ^
+         (static_cast<uint64_t>(task) * 0xbf58476d1ce4e5b9ULL) ^
+         (static_cast<uint64_t>(attempt) * 0x94d049bb133111ebULL);
+}
+
+Result<int64_t> ParseIntField(const std::string& token,
+                              const std::string& text, const char* what) {
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (text.empty() || end == nullptr || *end != '\0' || v < 0) {
+    return Status::InvalidArgument("'" + token + "': bad " +
+                                   std::string(what) + " '" + text + "'");
+  }
+  return static_cast<int64_t>(v);
+}
+
+// Parses "TASK@a=ATTEMPT[,extra]"; `extra` receives anything after the
+// comma, empty when absent.
+Status ParseTaskAttempt(const std::string& token, const std::string& body,
+                        int* task, int* attempt, std::string* extra) {
+  const size_t at = body.find("@a=");
+  if (at == std::string::npos) {
+    return Status::InvalidArgument("'" + token + "': expected TASK@a=ATTEMPT");
+  }
+  MRMB_ASSIGN_OR_RETURN(const int64_t task_v,
+                        ParseIntField(token, body.substr(0, at), "task"));
+  *task = static_cast<int>(task_v);
+  std::string attempt_text = body.substr(at + 3);
+  const size_t comma = attempt_text.find(',');
+  if (comma != std::string::npos) {
+    *extra = std::string(StripWhitespace(attempt_text.substr(comma + 1)));
+    attempt_text = attempt_text.substr(0, comma);
+  } else {
+    extra->clear();
+  }
+  MRMB_ASSIGN_OR_RETURN(const int64_t attempt_v,
+                        ParseIntField(token, attempt_text, "attempt"));
+  *attempt = static_cast<int>(attempt_v);
+  return Status::OK();
+}
+
+}  // namespace
+
+const char* LocalFaultKindName(LocalFaultKind kind) {
+  switch (kind) {
+    case LocalFaultKind::kFailMap:
+      return "fail_map";
+    case LocalFaultKind::kFailReduce:
+      return "fail_reduce";
+    case LocalFaultKind::kCorruptMap:
+      return "corrupt_map";
+    case LocalFaultKind::kDelayMap:
+      return "delay_map";
+    case LocalFaultKind::kDelayReduce:
+      return "delay_reduce";
+  }
+  return "unknown";
+}
+
+Status LocalFaultPlan::Validate() const {
+  for (const LocalFaultEvent& event : events) {
+    if (event.task < 0 || event.attempt < 0) {
+      return Status::InvalidArgument(
+          "local fault task/attempt must be >= 0");
+    }
+    if (event.kind == LocalFaultKind::kCorruptMap && event.partition < 0) {
+      return Status::InvalidArgument("corrupt_map partition must be >= 0");
+    }
+    if ((event.kind == LocalFaultKind::kDelayMap ||
+         event.kind == LocalFaultKind::kDelayReduce) &&
+        event.delay_ms <= 0) {
+      return Status::InvalidArgument("delay_ms must be > 0");
+    }
+  }
+  if (map_failure_prob < 0 || map_failure_prob >= 1.0 ||
+      reduce_failure_prob < 0 || reduce_failure_prob >= 1.0) {
+    return Status::InvalidArgument(
+        "local failure probabilities must be in [0, 1)");
+  }
+  return Status::OK();
+}
+
+std::string LocalFaultPlan::ToString() const {
+  std::string out;
+  auto append = [&out](const std::string& piece) {
+    if (!out.empty()) out += ";";
+    out += piece;
+  };
+  for (const LocalFaultEvent& event : events) {
+    std::string piece = StringPrintf("%s:%d@a=%d", LocalFaultKindName(event.kind),
+                                     event.task, event.attempt);
+    if (event.kind == LocalFaultKind::kCorruptMap) {
+      piece += StringPrintf(",p=%d", event.partition);
+    } else if (event.kind == LocalFaultKind::kDelayMap ||
+               event.kind == LocalFaultKind::kDelayReduce) {
+      piece += StringPrintf(",ms=%lld",
+                            static_cast<long long>(event.delay_ms));
+    }
+    append(piece);
+  }
+  if (map_failure_prob > 0) {
+    append(StringPrintf("map_fail_prob:%g", map_failure_prob));
+  }
+  if (reduce_failure_prob > 0) {
+    append(StringPrintf("reduce_fail_prob:%g", reduce_failure_prob));
+  }
+  return out;
+}
+
+Result<LocalFaultPlan> LocalFaultPlan::Parse(const std::string& spec) {
+  LocalFaultPlan plan;
+  for (const std::string& raw : SplitString(spec, ';')) {
+    const std::string token = std::string(StripWhitespace(raw));
+    if (token.empty()) continue;
+    const size_t colon = token.find(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("local fault token '" + token +
+                                     "' has no ':'");
+    }
+    const std::string kind = ToLower(token.substr(0, colon));
+    const std::string body = token.substr(colon + 1);
+    if (kind == "map_fail_prob" || kind == "reduce_fail_prob") {
+      char* end = nullptr;
+      const double v = std::strtod(body.c_str(), &end);
+      if (body.empty() || end == nullptr || *end != '\0') {
+        return Status::InvalidArgument(kind + " expects a probability, got '" +
+                                       body + "'");
+      }
+      (kind == "map_fail_prob" ? plan.map_failure_prob
+                               : plan.reduce_failure_prob) = v;
+      continue;
+    }
+    LocalFaultEvent event;
+    if (kind == "fail_map") {
+      event.kind = LocalFaultKind::kFailMap;
+    } else if (kind == "fail_reduce") {
+      event.kind = LocalFaultKind::kFailReduce;
+    } else if (kind == "corrupt_map") {
+      event.kind = LocalFaultKind::kCorruptMap;
+    } else if (kind == "delay_map") {
+      event.kind = LocalFaultKind::kDelayMap;
+    } else if (kind == "delay_reduce") {
+      event.kind = LocalFaultKind::kDelayReduce;
+    } else {
+      return Status::InvalidArgument("unknown local fault kind '" + kind +
+                                     "'");
+    }
+    std::string extra;
+    MRMB_RETURN_IF_ERROR(
+        ParseTaskAttempt(token, body, &event.task, &event.attempt, &extra));
+    if (event.kind == LocalFaultKind::kCorruptMap) {
+      if (extra.rfind("p=", 0) != 0) {
+        return Status::InvalidArgument("'" + token +
+                                       "': corrupt_map needs a ,p=PARTITION "
+                                       "suffix");
+      }
+      MRMB_ASSIGN_OR_RETURN(
+          const int64_t partition,
+          ParseIntField(token, extra.substr(2), "partition"));
+      event.partition = static_cast<int>(partition);
+    } else if (event.kind == LocalFaultKind::kDelayMap ||
+               event.kind == LocalFaultKind::kDelayReduce) {
+      if (extra.rfind("ms=", 0) != 0) {
+        return Status::InvalidArgument(
+            "'" + token + "': delay needs a ,ms=MILLIS suffix");
+      }
+      MRMB_ASSIGN_OR_RETURN(event.delay_ms,
+                            ParseIntField(token, extra.substr(3), "delay"));
+    } else if (!extra.empty()) {
+      return Status::InvalidArgument("'" + token + "': unexpected ',' suffix");
+    }
+    plan.events.push_back(event);
+  }
+  MRMB_RETURN_IF_ERROR(plan.Validate());
+  return plan;
+}
+
+LocalFaultInjector::LocalFaultInjector(LocalFaultPlan plan, uint64_t seed)
+    : plan_(std::move(plan)), seed_(seed) {}
+
+bool LocalFaultInjector::HazardFires(uint64_t stream, double prob, int task,
+                                     int attempt) const {
+  if (prob <= 0) return false;
+  Rng rng(StreamSeed(seed_, stream, task, attempt));
+  return rng.Bernoulli(prob);
+}
+
+bool LocalFaultInjector::ShouldFailMap(int task, int attempt) const {
+  for (const LocalFaultEvent& event : plan_.events) {
+    if (event.kind == LocalFaultKind::kFailMap && event.task == task &&
+        event.attempt == attempt) {
+      return true;
+    }
+  }
+  return HazardFires(kMapFailStream, plan_.map_failure_prob, task, attempt);
+}
+
+bool LocalFaultInjector::ShouldFailReduce(int task, int attempt) const {
+  for (const LocalFaultEvent& event : plan_.events) {
+    if (event.kind == LocalFaultKind::kFailReduce && event.task == task &&
+        event.attempt == attempt) {
+      return true;
+    }
+  }
+  return HazardFires(kReduceFailStream, plan_.reduce_failure_prob, task,
+                     attempt);
+}
+
+int64_t LocalFaultInjector::MapDelayMs(int task, int attempt) const {
+  int64_t total = 0;
+  for (const LocalFaultEvent& event : plan_.events) {
+    if (event.kind == LocalFaultKind::kDelayMap && event.task == task &&
+        event.attempt == attempt) {
+      total += event.delay_ms;
+    }
+  }
+  return total;
+}
+
+int64_t LocalFaultInjector::ReduceDelayMs(int task, int attempt) const {
+  int64_t total = 0;
+  for (const LocalFaultEvent& event : plan_.events) {
+    if (event.kind == LocalFaultKind::kDelayReduce && event.task == task &&
+        event.attempt == attempt) {
+      total += event.delay_ms;
+    }
+  }
+  return total;
+}
+
+bool LocalFaultInjector::MaybeCorruptMapOutput(int task, int attempt,
+                                               SpillSegment* segment) const {
+  MRMB_CHECK(segment != nullptr);
+  bool corrupted = false;
+  for (const LocalFaultEvent& event : plan_.events) {
+    if (event.kind != LocalFaultKind::kCorruptMap || event.task != task ||
+        event.attempt != attempt) {
+      continue;
+    }
+    if (static_cast<size_t>(event.partition) >= segment->partitions.size()) {
+      continue;
+    }
+    const SpillSegment::PartitionRange& range =
+        segment->partitions[static_cast<size_t>(event.partition)];
+    if (range.length <= 0) continue;  // nothing to flip
+    Rng rng(StreamSeed(seed_, kCorruptStream, task, attempt));
+    const int64_t offset =
+        range.offset + static_cast<int64_t>(
+                           rng.Uniform(static_cast<uint64_t>(range.length)));
+    const int bit = static_cast<int>(rng.Uniform(8));
+    segment->data[static_cast<size_t>(offset)] ^= static_cast<char>(1 << bit);
+    corrupted = true;
+  }
+  return corrupted;
+}
+
+}  // namespace mrmb

@@ -1,0 +1,107 @@
+// Deterministic fault injection for the functional (local) runner.
+//
+// The sim side has FaultPlan for node-level failure domains; this is its
+// functional-path sibling. A LocalFaultPlan composes *scheduled* attempt
+// faults (fail attempt N of map task M, flip a bit in a spill partition,
+// stall an attempt past its watchdog deadline) with *probabilistic* hazards
+// (per-attempt map/reduce failure probabilities). Every random decision is
+// drawn from an RNG stream keyed by (job seed, hazard kind, task, attempt),
+// so a given (plan, seed) pair reproduces the same faults regardless of
+// thread count or scheduling — retries are deterministic, and so is the
+// whole job.
+//
+// Spec syntax (';'-separated, CLI- and .suite-friendly):
+//
+//   fail_map:3@a=0            attempt 0 of map task 3 fails
+//   fail_reduce:1@a=2         attempt 2 of reduce task 1 fails
+//   corrupt_map:2@a=0,p=1     flip one bit in partition 1 of the output
+//                             produced by attempt 0 of map task 2
+//   delay_map:0@a=0,ms=500    stall attempt 0 of map task 0 for 500 ms
+//   delay_reduce:4@a=1,ms=50  likewise for a reduce attempt
+//   map_fail_prob:0.05        per-attempt map failure hazard
+//   reduce_fail_prob:0.05     per-attempt reduce failure hazard
+
+#ifndef MRMB_MAPRED_FAULT_INJECTOR_H_
+#define MRMB_MAPRED_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "io/kv_buffer.h"
+
+namespace mrmb {
+
+enum class LocalFaultKind {
+  kFailMap,      // attempt returns an injected Internal error
+  kFailReduce,
+  kCorruptMap,   // single-bit flip in one sealed output partition
+  kDelayMap,     // cooperative stall (a watchdog cancellation point)
+  kDelayReduce,
+};
+
+const char* LocalFaultKindName(LocalFaultKind kind);
+
+struct LocalFaultEvent {
+  LocalFaultKind kind = LocalFaultKind::kFailMap;
+  int task = 0;
+  int attempt = 0;
+  int partition = 0;    // kCorruptMap only
+  int64_t delay_ms = 0; // kDelayMap / kDelayReduce only
+
+  bool operator==(const LocalFaultEvent&) const = default;
+};
+
+struct LocalFaultPlan {
+  std::vector<LocalFaultEvent> events;
+  // Per-attempt hazards, drawn from dedicated per-attempt RNG streams.
+  double map_failure_prob = 0;
+  double reduce_failure_prob = 0;
+
+  bool empty() const {
+    return events.empty() && map_failure_prob == 0 &&
+           reduce_failure_prob == 0;
+  }
+
+  Status Validate() const;
+
+  // Canonical spec string; Parse(ToString()) round-trips.
+  std::string ToString() const;
+
+  // Parses the ';'-separated spec syntax above; an empty spec yields an
+  // empty plan.
+  static Result<LocalFaultPlan> Parse(const std::string& spec);
+};
+
+// Interprets a plan for one job run. Stateless after construction and safe
+// to call from concurrent task attempts.
+class LocalFaultInjector {
+ public:
+  LocalFaultInjector(LocalFaultPlan plan, uint64_t seed);
+
+  // Scheduled or hazard-drawn failure of this attempt.
+  bool ShouldFailMap(int task, int attempt) const;
+  bool ShouldFailReduce(int task, int attempt) const;
+
+  // Injected stall before the attempt does any work (0 = none).
+  int64_t MapDelayMs(int task, int attempt) const;
+  int64_t ReduceDelayMs(int task, int attempt) const;
+
+  // Applies any corrupt_map event matching (task, attempt): flips one
+  // deterministically-chosen bit inside the named partition range of the
+  // sealed `segment`. Returns true if a bit was flipped (an empty partition
+  // cannot be corrupted).
+  bool MaybeCorruptMapOutput(int task, int attempt,
+                             SpillSegment* segment) const;
+
+ private:
+  bool HazardFires(uint64_t stream, double prob, int task, int attempt) const;
+
+  LocalFaultPlan plan_;
+  uint64_t seed_;
+};
+
+}  // namespace mrmb
+
+#endif  // MRMB_MAPRED_FAULT_INJECTOR_H_

@@ -99,6 +99,13 @@ Status JobConf::Validate() const {
     return Status::InvalidArgument("max_task_attempts must be > 0");
   }
   MRMB_RETURN_IF_ERROR(fault_plan.Validate());
+  if (local_threads <= 0) {
+    return Status::InvalidArgument("local_threads must be > 0");
+  }
+  if (task_timeout_ms < 0) {
+    return Status::InvalidArgument("task_timeout_ms must be >= 0");
+  }
+  MRMB_RETURN_IF_ERROR(local_fault_plan.Validate());
   if (fetch_timeout < 0) {
     return Status::InvalidArgument("fetch_timeout must be >= 0");
   }

@@ -1,11 +1,21 @@
 #include "mapred/local_runner.h"
 
+#include <algorithm>
 #include <chrono>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
 #include <utility>
+#include <vector>
 
 #include "common/logging.h"
+#include "common/strings.h"
+#include "common/thread_pool.h"
+#include "io/checksum.h"
 #include "io/merge.h"
+#include "mapred/fault_injector.h"
 #include "mapred/map_output.h"
 #include "mapred/null_formats.h"
 #include "mapred/partitioner.h"
@@ -14,44 +24,154 @@ namespace mrmb {
 
 namespace {
 
+// Prepends attempt context to an error while keeping its code (so callers
+// can still dispatch on kDataLoss / kDeadlineExceeded).
+Status Annotate(const Status& status, const std::string& prefix) {
+  return Status(status.code(), prefix + ": " + status.message());
+}
+
+// Cancels overdue attempts. Each attempt arms a deadline when it actually
+// starts running (not when it is queued) and disarms it on completion; a
+// single timer thread fires the earliest pending deadline by flipping the
+// attempt's CancelToken. The attempt observes the token at its next
+// cancellation point and bails out with DeadlineExceeded.
+class Watchdog {
+ public:
+  // timeout_ms <= 0 disables the watchdog (Arm becomes a no-op).
+  explicit Watchdog(int64_t timeout_ms) : timeout_ms_(timeout_ms) {
+    if (timeout_ms_ > 0) thread_ = std::thread([this] { Loop(); });
+  }
+
+  ~Watchdog() {
+    if (thread_.joinable()) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+      }
+      cv_.notify_all();
+      thread_.join();
+    }
+  }
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  // Schedules `token` for cancellation timeout_ms from now. Returns a
+  // ticket for Disarm (0 when disabled). `token` must stay alive until
+  // Disarm returns.
+  int64_t Arm(CancelToken* token) {
+    if (timeout_ms_ <= 0) return 0;
+    std::lock_guard<std::mutex> lock(mutex_);
+    const int64_t ticket = ++last_ticket_;
+    entries_.push_back({ticket,
+                        std::chrono::steady_clock::now() +
+                            std::chrono::milliseconds(timeout_ms_),
+                        token});
+    cv_.notify_all();
+    return ticket;
+  }
+
+  void Disarm(int64_t ticket) {
+    if (ticket == 0) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::erase_if(entries_,
+                  [ticket](const Entry& e) { return e.ticket == ticket; });
+  }
+
+ private:
+  struct Entry {
+    int64_t ticket;
+    std::chrono::steady_clock::time_point deadline;
+    CancelToken* token;
+  };
+
+  void Loop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!shutdown_) {
+      const auto now = std::chrono::steady_clock::now();
+      for (const Entry& e : entries_) {
+        if (e.deadline <= now) e.token->Cancel();
+      }
+      std::erase_if(entries_,
+                    [now](const Entry& e) { return e.deadline <= now; });
+      if (entries_.empty()) {
+        cv_.wait(lock);
+        continue;
+      }
+      auto earliest = entries_.front().deadline;
+      for (const Entry& e : entries_) earliest = std::min(earliest, e.deadline);
+      cv_.wait_until(lock, earliest);
+    }
+  }
+
+  const int64_t timeout_ms_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<Entry> entries_;
+  int64_t last_ticket_ = 0;
+  bool shutdown_ = false;
+  std::thread thread_;
+};
+
 // Map-side context: partitions each emitted record, collects into a bounded
-// KvBuffer, spills sorted runs when full.
+// KvBuffer, spills sorted runs when full. Errors (oversized record,
+// watchdog cancellation) stick in status(); once set, further Emits are
+// no-ops and Finalize propagates the error.
 class LocalMapContext final : public MapContext {
  public:
   LocalMapContext(const JobConf& conf, int task_id,
                   std::unique_ptr<Partitioner> partitioner,
-                  std::unique_ptr<Reducer> combiner)
+                  std::unique_ptr<Reducer> combiner, CancelToken* cancel)
       : conf_(conf),
         task_id_(task_id),
         partitioner_(std::move(partitioner)),
         combiner_(std::move(combiner)),
+        cancel_(cancel),
         buffer_(conf.record.type, conf.num_reduces,
                 static_cast<size_t>(
                     static_cast<double>(conf.io_sort_bytes) *
                     conf.spill_percent)) {}
 
   void Emit(std::string_view key, std::string_view value) override {
+    if (!status_.ok()) return;
+    if (cancel_ != nullptr && cancel_->cancelled()) {
+      status_ = Status::DeadlineExceeded(
+          StringPrintf("map task %d cancelled by watchdog after %lld emits",
+                       task_id_, static_cast<long long>(emitted_)));
+      return;
+    }
     const int partition =
         partitioner_->Partition(key, emitted_, conf_.num_reduces);
     if (!buffer_.Append(partition, key, value)) {
+      if (!buffer_.Fits(key, value)) {
+        status_ = Status::ResourceExhausted(StringPrintf(
+            "map task %d: record (key %zu B, value %zu B) can never fit the "
+            "sort buffer (capacity %zu B = io_sort_bytes * spill_percent)",
+            task_id_, key.size(), value.size(), buffer_.capacity()));
+        return;
+      }
       SpillBuffer();
-      MRMB_CHECK(buffer_.Append(partition, key, value))
-          << "record does not fit an empty sort buffer";
+      MRMB_CHECK(buffer_.Append(partition, key, value));
     }
     ++emitted_;
   }
 
   const JobConf& conf() const override { return conf_; }
   int task_id() const override { return task_id_; }
+  const Status& status() const { return status_; }
 
-  // Finishes the task: final spill + merge to a single output segment.
-  SpillSegment Finalize() {
+  // Finishes the task: final spill + merge to a single sealed segment.
+  Result<SpillSegment> Finalize() {
+    MRMB_RETURN_IF_ERROR(status_);
     if (buffer_.records() > 0 || spills_.empty()) SpillBuffer();
     if (spills_.size() == 1) return std::move(spills_[0]);
     std::vector<const SpillSegment*> views;
     views.reserve(spills_.size());
     for (const SpillSegment& spill : spills_) views.push_back(&spill);
-    return MergeSegments(views, ComparatorFor(conf_.record.type));
+    // Own just-sealed spills; nothing can have corrupted them yet, so skip
+    // the read-side verification.
+    return MergeSegments(views, ComparatorFor(conf_.record.type),
+                         /*verify_checksums=*/false);
   }
 
   int64_t emitted() const { return emitted_; }
@@ -76,32 +196,48 @@ class LocalMapContext final : public MapContext {
   int task_id_;
   std::unique_ptr<Partitioner> partitioner_;
   std::unique_ptr<Reducer> combiner_;
+  CancelToken* cancel_;
   KvBuffer buffer_;
   std::vector<SpillSegment> spills_;
   int64_t emitted_ = 0;
   int64_t combine_removed_ = 0;
+  Status status_;
 };
 
-class LocalReduceContext final : public ReduceContext {
+// Reduce-side context that stages output in memory instead of writing it.
+// The coordinator commits staged records to the real OutputFormat in task
+// order once the attempt has fully succeeded, so failed attempts never leave
+// partial output behind and results are identical for any thread count.
+class StagedReduceContext final : public ReduceContext {
  public:
-  LocalReduceContext(const JobConf& conf, int task_id, RecordWriter* writer,
-                     LocalJobResult* result)
-      : conf_(conf), task_id_(task_id), writer_(writer), result_(result) {}
+  StagedReduceContext(const JobConf& conf, int task_id, CancelToken* cancel)
+      : conf_(conf), task_id_(task_id), cancel_(cancel) {}
 
   void Emit(std::string_view key, std::string_view value) override {
-    writer_->Write(key, value);
-    result_->output_records += 1;
-    result_->output_bytes += static_cast<int64_t>(key.size() + value.size());
+    if (!status_.ok()) return;
+    if (cancel_ != nullptr && cancel_->cancelled()) {
+      status_ = Status::DeadlineExceeded(StringPrintf(
+          "reduce task %d cancelled by watchdog after %zu emits", task_id_,
+          staged_.size()));
+      return;
+    }
+    staged_.emplace_back(std::string(key), std::string(value));
   }
 
   const JobConf& conf() const override { return conf_; }
   int task_id() const override { return task_id_; }
+  const Status& status() const { return status_; }
+
+  std::vector<std::pair<std::string, std::string>> TakeOutput() {
+    return std::move(staged_);
+  }
 
  private:
   const JobConf& conf_;
   int task_id_;
-  RecordWriter* writer_;
-  LocalJobResult* result_;
+  CancelToken* cancel_;
+  std::vector<std::pair<std::string, std::string>> staged_;
+  Status status_;
 };
 
 class GroupValues final : public ValueIterator {
@@ -113,6 +249,175 @@ class GroupValues final : public ValueIterator {
  private:
   GroupedIterator* groups_;
 };
+
+// Stats of one committed (successful) map attempt. Failed attempts may have
+// processed a timing-dependent prefix of their input, so their numbers are
+// discarded — only committed attempts feed LocalJobResult, which keeps the
+// counters deterministic.
+struct MapTaskStats {
+  int64_t input_records = 0;
+  int64_t output_records = 0;
+  int64_t spill_count = 0;
+  int64_t combine_removed = 0;
+  int64_t output_bytes = 0;
+};
+
+struct MapAttemptOutcome {
+  Status status;        // OK iff `output`/`stats` are valid
+  SpillSegment output;  // sealed (and possibly fault-corrupted) map output
+  MapTaskStats stats;
+};
+
+struct ReduceTaskOutcome {
+  std::vector<std::pair<std::string, std::string>> output;
+  int64_t groups = 0;
+};
+
+struct ReduceAttemptOutcome {
+  Status status;  // OK iff `committed` is valid
+  // Map tasks whose partition failed integrity verification; non-empty only
+  // with a kDataLoss status. The coordinator re-executes these maps and
+  // re-runs the reduce without charging its failure budget.
+  std::vector<int> corrupt_maps;
+  ReduceTaskOutcome committed;
+};
+
+MapAttemptOutcome RunMapAttempt(const JobConf& conf, int task, int attempt,
+                                InputFormat* input_format,
+                                const InputSplit& split,
+                                const MapperFactory& mapper_factory,
+                                const PartitionerFactory& partitioner_factory,
+                                const ReducerFactory& combiner_factory,
+                                const LocalFaultInjector& injector,
+                                CancelToken* cancel) {
+  MapAttemptOutcome outcome;
+  const int64_t delay = injector.MapDelayMs(task, attempt);
+  if (delay > 0 && !cancel->SleepFor(delay)) {
+    outcome.status = Status::DeadlineExceeded(StringPrintf(
+        "map task %d attempt %d cancelled during injected %lld ms stall",
+        task, attempt, static_cast<long long>(delay)));
+    return outcome;
+  }
+  if (injector.ShouldFailMap(task, attempt)) {
+    outcome.status = Status::Internal(StringPrintf(
+        "injected failure of map task %d attempt %d", task, attempt));
+    return outcome;
+  }
+
+  std::unique_ptr<RecordReader> reader = input_format->CreateReader(conf, split);
+  std::unique_ptr<Mapper> mapper = mapper_factory(task);
+  // The partitioner seed depends on the task only, never the attempt: a
+  // re-executed map must reproduce its output byte for byte, or recovery
+  // would change the answer.
+  std::unique_ptr<Partitioner> partitioner =
+      partitioner_factory != nullptr
+          ? partitioner_factory(task)
+          : MakePartitioner(conf.pattern,
+                            conf.seed + static_cast<uint64_t>(task) * 7919,
+                            conf.records_per_map, conf.zipf_exponent);
+  LocalMapContext context(
+      conf, task, std::move(partitioner),
+      combiner_factory != nullptr ? combiner_factory(task) : nullptr, cancel);
+  std::string key;
+  std::string value;
+  while (context.status().ok() && reader->Next(&key, &value)) {
+    ++outcome.stats.input_records;
+    mapper->Map(key, value, &context);
+  }
+  Result<SpillSegment> segment = context.Finalize();
+  if (!segment.ok()) {
+    outcome.status = segment.status();
+    return outcome;
+  }
+  outcome.output = std::move(segment).value();
+  // Inject any scheduled bit flips *after* sealing, so the stored CRCs
+  // describe the pristine bytes and the flip is detectable downstream.
+  injector.MaybeCorruptMapOutput(task, attempt, &outcome.output);
+  outcome.stats.output_records = context.emitted();
+  outcome.stats.spill_count = context.spill_count();
+  outcome.stats.combine_removed = context.combine_removed();
+  outcome.stats.output_bytes = outcome.output.total_bytes();
+  return outcome;
+}
+
+ReduceAttemptOutcome RunReduceAttempt(
+    const JobConf& conf, int task, int attempt,
+    const std::vector<SpillSegment>& map_outputs,
+    const ReducerFactory& reducer_factory, const LocalFaultInjector& injector,
+    CancelToken* cancel) {
+  ReduceAttemptOutcome outcome;
+  const int64_t delay = injector.ReduceDelayMs(task, attempt);
+  if (delay > 0 && !cancel->SleepFor(delay)) {
+    outcome.status = Status::DeadlineExceeded(StringPrintf(
+        "reduce task %d attempt %d cancelled during injected %lld ms stall",
+        task, attempt, static_cast<long long>(delay)));
+    return outcome;
+  }
+  if (injector.ShouldFailReduce(task, attempt)) {
+    outcome.status = Status::Internal(StringPrintf(
+        "injected failure of reduce task %d attempt %d", task, attempt));
+    return outcome;
+  }
+
+  // Shuffle-read integrity: verify every producer's sealed partition range
+  // before consuming a byte of it (Hadoop checks IFile checksums as the
+  // fetched segment streams in).
+  if (conf.checksum_map_output) {
+    for (size_t m = 0; m < map_outputs.size(); ++m) {
+      if (!VerifySegmentPartition(map_outputs[m], task).ok()) {
+        outcome.corrupt_maps.push_back(static_cast<int>(m));
+      }
+    }
+    if (!outcome.corrupt_maps.empty()) {
+      outcome.status = Status::DataLoss(StringPrintf(
+          "reduce task %d: %zu map output partition(s) failed CRC32C "
+          "verification",
+          task, outcome.corrupt_maps.size()));
+      return outcome;
+    }
+  }
+
+  std::vector<std::unique_ptr<RecordStream>> inputs;
+  std::vector<const RecordStream*> readers;  // aligned with map ids, for blame
+  inputs.reserve(map_outputs.size());
+  readers.reserve(map_outputs.size());
+  for (const SpillSegment& segment : map_outputs) {
+    auto reader = std::make_unique<SegmentReader>(segment.PartitionData(task));
+    readers.push_back(reader.get());
+    inputs.push_back(std::move(reader));
+  }
+  const RawComparator* comparator = ComparatorFor(conf.record.type);
+  MergeIterator merged(std::move(inputs), comparator);
+  GroupedIterator groups(&merged, comparator);
+  std::unique_ptr<Reducer> reducer = reducer_factory(task);
+  StagedReduceContext context(conf, task, cancel);
+  while (context.status().ok() && groups.NextGroup()) {
+    ++outcome.committed.groups;
+    GroupValues values(&groups);
+    reducer->Reduce(groups.group_key(), &values, &context);
+  }
+  if (!context.status().ok()) {
+    outcome.status = context.status();
+    return outcome;
+  }
+  // A malformed stream drops out of the merge heap instead of crashing; it
+  // surfaces here. This is the only detection path when checksum
+  // verification is disabled (and a second line of defence when it is not).
+  for (size_t m = 0; m < readers.size(); ++m) {
+    if (!readers[m]->status().ok()) {
+      outcome.corrupt_maps.push_back(static_cast<int>(m));
+    }
+  }
+  if (!outcome.corrupt_maps.empty()) {
+    outcome.status = Status::DataLoss(StringPrintf(
+        "reduce task %d: %zu map output partition(s) were malformed "
+        "mid-merge",
+        task, outcome.corrupt_maps.size()));
+    return outcome;
+  }
+  outcome.committed.output = context.TakeOutput();
+  return outcome;
+}
 
 }  // namespace
 
@@ -134,64 +439,198 @@ Result<LocalJobResult> LocalJobRunner::Run(
   result.reducer_input_bytes.assign(static_cast<size_t>(conf_.num_reduces),
                                     0);
 
-  // ---- Map phase -----------------------------------------------------
   const std::vector<InputSplit> splits =
       input_format->GetSplits(conf_, conf_.num_maps);
   if (static_cast<int>(splits.size()) != conf_.num_maps) {
     return Status::Internal("input format returned wrong split count");
   }
-  std::vector<SpillSegment> map_outputs;
-  map_outputs.reserve(splits.size());
-  for (int m = 0; m < conf_.num_maps; ++m) {
-    std::unique_ptr<RecordReader> reader =
-        input_format->CreateReader(conf_, splits[static_cast<size_t>(m)]);
-    std::unique_ptr<Mapper> mapper = mapper_factory(m);
-    std::unique_ptr<Partitioner> partitioner =
-        partitioner_factory != nullptr
-            ? partitioner_factory(m)
-            : MakePartitioner(conf_.pattern,
-                              conf_.seed + static_cast<uint64_t>(m) * 7919,
-                              conf_.records_per_map, conf_.zipf_exponent);
-    LocalMapContext context(
-        conf_, m, std::move(partitioner),
-        combiner_factory != nullptr ? combiner_factory(m) : nullptr);
-    std::string key;
-    std::string value;
-    while (reader->Next(&key, &value)) {
-      result.map_input_records += 1;
-      mapper->Map(key, value, &context);
+
+  const LocalFaultInjector injector(conf_.local_fault_plan, conf_.seed);
+  ThreadPool pool(conf_.local_threads);
+  Watchdog watchdog(conf_.task_timeout_ms);
+
+  const size_t num_maps = static_cast<size_t>(conf_.num_maps);
+  const size_t num_reduces = static_cast<size_t>(conf_.num_reduces);
+  std::vector<SpillSegment> map_outputs(num_maps);
+  std::vector<MapTaskStats> map_stats(num_maps);
+  // Attempts started per map, any cause — the monotonic attempt index the
+  // fault injector keys on, and the task's total attempt budget.
+  std::vector<int> map_attempts_started(num_maps, 0);
+
+  // Runs the given map tasks (ascending ids) to committed output, retrying
+  // failed attempts wave by wave. Outcomes are processed in task order, so
+  // scheduling never changes the result.
+  auto run_map_tasks = [&](std::vector<int> tasks) -> Status {
+    while (!tasks.empty()) {
+      const size_t wave = tasks.size();
+      std::vector<MapAttemptOutcome> outcomes(wave);
+      std::vector<std::unique_ptr<CancelToken>> tokens(wave);
+      std::vector<int> attempt_ids(wave);
+      for (size_t i = 0; i < wave; ++i) {
+        tokens[i] = std::make_unique<CancelToken>();
+        attempt_ids[i] = map_attempts_started[static_cast<size_t>(tasks[i])]++;
+      }
+      result.map_attempts += static_cast<int64_t>(wave);
+      for (size_t i = 0; i < wave; ++i) {
+        const int m = tasks[i];
+        const int attempt = attempt_ids[i];
+        CancelToken* token = tokens[i].get();
+        MapAttemptOutcome* slot = &outcomes[i];
+        pool.Submit([&, m, attempt, token, slot] {
+          // Arm inside the worker: the deadline covers execution, not time
+          // spent queued behind other attempts.
+          const int64_t ticket = watchdog.Arm(token);
+          *slot = RunMapAttempt(conf_, m, attempt, input_format,
+                                splits[static_cast<size_t>(m)],
+                                mapper_factory, partitioner_factory,
+                                combiner_factory, injector, token);
+          watchdog.Disarm(ticket);
+        });
+      }
+      pool.Wait();
+      std::vector<int> retry;
+      for (size_t i = 0; i < wave; ++i) {
+        const int m = tasks[i];
+        MapAttemptOutcome& outcome = outcomes[i];
+        if (outcome.status.ok()) {
+          map_outputs[static_cast<size_t>(m)] = std::move(outcome.output);
+          map_stats[static_cast<size_t>(m)] = outcome.stats;
+          continue;
+        }
+        if (outcome.status.code() == StatusCode::kDeadlineExceeded) {
+          ++result.watchdog_timeouts;
+        }
+        if (map_attempts_started[static_cast<size_t>(m)] >=
+            conf_.max_task_attempts) {
+          return Annotate(outcome.status,
+                          StringPrintf("map task %d failed after %d attempts",
+                                       m, conf_.max_task_attempts));
+        }
+        ++result.map_retries;
+        retry.push_back(m);
+      }
+      tasks = std::move(retry);
     }
-    result.map_output_records += context.emitted();
-    map_outputs.push_back(context.Finalize());
-    result.spill_count += context.spill_count();
-    result.combine_removed_records += context.combine_removed();
-    result.map_output_bytes += map_outputs.back().total_bytes();
+    return Status::OK();
+  };
+
+  // ---- Map phase -----------------------------------------------------
+  {
+    std::vector<int> all_maps(num_maps);
+    for (size_t m = 0; m < num_maps; ++m) all_maps[m] = static_cast<int>(m);
+    MRMB_RETURN_IF_ERROR(run_map_tasks(std::move(all_maps)));
   }
 
   // ---- Shuffle + reduce phase -----------------------------------------
-  const RawComparator* comparator = ComparatorFor(conf_.record.type);
-  for (int r = 0; r < conf_.num_reduces; ++r) {
-    std::vector<std::unique_ptr<RecordStream>> inputs;
-    inputs.reserve(map_outputs.size());
-    for (const SpillSegment& segment : map_outputs) {
-      const SpillSegment::PartitionRange& range =
-          segment.partitions[static_cast<size_t>(r)];
-      result.reducer_input_records[static_cast<size_t>(r)] += range.records;
-      result.reducer_input_bytes[static_cast<size_t>(r)] += range.length;
-      inputs.push_back(
-          std::make_unique<SegmentReader>(segment.PartitionData(r)));
+  // Reduce attempts also run in retry waves. A genuine failure charges the
+  // reduce's own budget; a corrupt-input DataLoss instead re-executes the
+  // producing maps (charging *their* budgets) and re-runs the reduce free
+  // of charge — losing your input is the producer's fault, Hadoop-style.
+  std::vector<ReduceTaskOutcome> reduce_committed(num_reduces);
+  std::vector<int> reduce_attempts_started(num_reduces, 0);
+  std::vector<int> reduce_failures(num_reduces, 0);
+  std::vector<int> pending(num_reduces);
+  for (size_t r = 0; r < num_reduces; ++r) pending[r] = static_cast<int>(r);
+  while (!pending.empty()) {
+    const size_t wave = pending.size();
+    std::vector<ReduceAttemptOutcome> outcomes(wave);
+    std::vector<std::unique_ptr<CancelToken>> tokens(wave);
+    std::vector<int> attempt_ids(wave);
+    for (size_t i = 0; i < wave; ++i) {
+      tokens[i] = std::make_unique<CancelToken>();
+      attempt_ids[i] =
+          reduce_attempts_started[static_cast<size_t>(pending[i])]++;
     }
-    MergeIterator merged(std::move(inputs), comparator);
-    GroupedIterator groups(&merged, comparator);
+    result.reduce_attempts += static_cast<int64_t>(wave);
+    for (size_t i = 0; i < wave; ++i) {
+      const int r = pending[i];
+      const int attempt = attempt_ids[i];
+      CancelToken* token = tokens[i].get();
+      ReduceAttemptOutcome* slot = &outcomes[i];
+      pool.Submit([&, r, attempt, token, slot] {
+        const int64_t ticket = watchdog.Arm(token);
+        *slot = RunReduceAttempt(conf_, r, attempt, map_outputs,
+                                 reducer_factory, injector, token);
+        watchdog.Disarm(ticket);
+      });
+    }
+    pool.Wait();
+    std::vector<int> retry;
+    std::vector<bool> remap_flag(num_maps, false);
+    for (size_t i = 0; i < wave; ++i) {
+      const int r = pending[i];
+      ReduceAttemptOutcome& outcome = outcomes[i];
+      if (outcome.status.ok()) {
+        reduce_committed[static_cast<size_t>(r)] =
+            std::move(outcome.committed);
+        continue;
+      }
+      if (!outcome.corrupt_maps.empty()) {
+        result.corruptions_detected +=
+            static_cast<int64_t>(outcome.corrupt_maps.size());
+        for (int m : outcome.corrupt_maps) {
+          remap_flag[static_cast<size_t>(m)] = true;
+        }
+        ++result.reduce_retries;
+        retry.push_back(r);
+        continue;
+      }
+      if (outcome.status.code() == StatusCode::kDeadlineExceeded) {
+        ++result.watchdog_timeouts;
+      }
+      ++reduce_failures[static_cast<size_t>(r)];
+      if (reduce_failures[static_cast<size_t>(r)] >= conf_.max_task_attempts) {
+        return Annotate(outcome.status,
+                        StringPrintf("reduce task %d failed after %d attempts",
+                                     r, conf_.max_task_attempts));
+      }
+      ++result.reduce_retries;
+      retry.push_back(r);
+    }
+    std::vector<int> remap;
+    for (size_t m = 0; m < num_maps; ++m) {
+      if (remap_flag[m]) remap.push_back(static_cast<int>(m));
+    }
+    if (!remap.empty()) {
+      for (int m : remap) {
+        if (map_attempts_started[static_cast<size_t>(m)] >=
+            conf_.max_task_attempts) {
+          return Status::DataLoss(StringPrintf(
+              "map task %d output still corrupt after %d attempts", m,
+              conf_.max_task_attempts));
+        }
+      }
+      // Re-executions are retries of committed maps (lost output), on top
+      // of the attempt accounting run_map_tasks does itself.
+      result.map_retries += static_cast<int64_t>(remap.size());
+      MRMB_RETURN_IF_ERROR(run_map_tasks(std::move(remap)));
+    }
+    pending = std::move(retry);
+  }
 
+  // ---- Commit: aggregate counters and write output in task order -------
+  for (size_t m = 0; m < num_maps; ++m) {
+    const MapTaskStats& stats = map_stats[m];
+    result.map_input_records += stats.input_records;
+    result.map_output_records += stats.output_records;
+    result.spill_count += stats.spill_count;
+    result.combine_removed_records += stats.combine_removed;
+    result.map_output_bytes += stats.output_bytes;
+  }
+  for (size_t r = 0; r < num_reduces; ++r) {
+    for (size_t m = 0; m < num_maps; ++m) {
+      const SpillSegment::PartitionRange& range =
+          map_outputs[m].partitions[r];
+      result.reducer_input_records[r] += range.records;
+      result.reducer_input_bytes[r] += range.length;
+    }
+    result.reduce_groups += reduce_committed[r].groups;
     std::unique_ptr<RecordWriter> writer =
-        output_format->CreateWriter(conf_, r);
-    std::unique_ptr<Reducer> reducer = reducer_factory(r);
-    LocalReduceContext context(conf_, r, writer.get(), &result);
-    while (groups.NextGroup()) {
-      ++result.reduce_groups;
-      GroupValues values(&groups);
-      reducer->Reduce(groups.group_key(), &values, &context);
+        output_format->CreateWriter(conf_, static_cast<int>(r));
+    for (const auto& [key, value] : reduce_committed[r].output) {
+      writer->Write(key, value);
+      result.output_records += 1;
+      result.output_bytes += static_cast<int64_t>(key.size() + value.size());
     }
     MRMB_RETURN_IF_ERROR(writer->Close());
   }

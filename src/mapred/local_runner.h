@@ -1,12 +1,31 @@
-// LocalJobRunner — functional, in-process execution of a MapReduce job.
+// LocalJobRunner — functional, in-process execution of a MapReduce job,
+// hardened as a task-attempt engine.
 //
 // Runs every phase for real on real bytes: mappers emit serialized records
 // into a bounded KvBuffer (spilling and merging like Hadoop's map side), the
-// "shuffle" hands each reducer its partition slices, and reducers consume a
-// k-way merged, grouped stream. Single-threaded and deterministic; the
-// correctness tests and the wordcount-style examples run on it. For paper-
-// scale performance experiments use SimJobRunner (sim_runner.h), which
-// models time instead of burning it.
+// "shuffle" hands each reducer its CRC-verified partition slices, and
+// reducers consume a k-way merged, grouped stream. Map and reduce tasks run
+// as *attempts* on a bounded worker pool (`JobConf::local_threads`):
+//
+//   - An attempt that fails (injected fault, oversized record, corrupt
+//     input) returns a Status instead of aborting the process, and is
+//     retried up to `max_task_attempts` times.
+//   - A watchdog cancels attempts that outlive `task_timeout_ms`
+//     (cooperatively, at record boundaries and injected delays) and
+//     reschedules them — Hadoop's task-timeout semantics.
+//   - Every map-output partition range is sealed with a CRC32C at
+//     spill/merge time and verified at shuffle-read time; a mismatch is
+//     DataLoss and re-executes the producing map, never feeds the reducer
+//     corrupt bytes (Hadoop's IFile checksum semantics).
+//   - `JobConf::local_fault_plan` injects deterministic faults so all three
+//     paths are testable end-to-end.
+//
+// Results are deterministic: attempt behaviour depends only on (task,
+// attempt), fault decisions come from per-attempt RNG streams, and all
+// aggregation/commit happens in task order — so any `local_threads` value
+// and any scheduling produce byte-identical LocalJobResult counters and
+// reduce output. For paper-scale performance experiments use SimJobRunner
+// (sim_runner.h), which models time instead of burning it.
 
 #ifndef MRMB_MAPRED_LOCAL_RUNNER_H_
 #define MRMB_MAPRED_LOCAL_RUNNER_H_
@@ -39,6 +58,20 @@ struct LocalJobResult {
   // Records/bytes handed to the OutputFormat.
   int64_t output_records = 0;
   int64_t output_bytes = 0;
+
+  // ---- Task-attempt / fault-tolerance counters -------------------------
+  // Attempts started (successful + failed + re-executed).
+  int64_t map_attempts = 0;
+  int64_t reduce_attempts = 0;
+  // Additional attempts scheduled after a failure or lost output.
+  int64_t map_retries = 0;
+  int64_t reduce_retries = 0;
+  // Shuffle-read CRC32C mismatches caught (one per corrupt (reduce, map)
+  // partition read observed).
+  int64_t corruptions_detected = 0;
+  // Attempts cancelled by the watchdog deadline.
+  int64_t watchdog_timeouts = 0;
+
   // Real (host) execution time of Run().
   double wall_seconds = 0;
 };
@@ -55,6 +88,14 @@ class LocalJobRunner {
   // `combiner_factory` (optional) installs a per-spill combine pass, run
   // on every sorted spill before it is sealed — Hadoop's
   // job.setCombinerClass semantics.
+  //
+  // Threading contract: with conf.local_threads > 1, InputFormat::
+  // CreateReader and the mapper/reducer/partitioner/combiner factories are
+  // called from concurrent task attempts and must be thread-safe (returning
+  // a fresh instance per call, as all the in-tree ones do). OutputFormat is
+  // only touched from the coordinating thread: reduce output is staged per
+  // attempt and committed in task order after the attempt succeeds, so
+  // failed attempts never produce partial output.
   Result<LocalJobResult> Run(InputFormat* input_format,
                              const MapperFactory& mapper_factory,
                              const ReducerFactory& reducer_factory,

@@ -4,12 +4,14 @@
 
 #include "common/logging.h"
 #include "io/byte_buffer.h"
+#include "io/checksum.h"
 #include "io/merge.h"
 
 namespace mrmb {
 
-SpillSegment MergeSegments(const std::vector<const SpillSegment*>& segments,
-                           const RawComparator* comparator) {
+Result<SpillSegment> MergeSegments(
+    const std::vector<const SpillSegment*>& segments,
+    const RawComparator* comparator, bool verify_checksums) {
   MRMB_CHECK(!segments.empty());
   const size_t num_partitions = segments[0]->partitions.size();
   int64_t total_bytes = 0;
@@ -29,6 +31,10 @@ SpillSegment MergeSegments(const std::vector<const SpillSegment*>& segments,
     std::vector<std::unique_ptr<RecordStream>> inputs;
     inputs.reserve(segments.size());
     for (const SpillSegment* segment : segments) {
+      if (verify_checksums) {
+        MRMB_RETURN_IF_ERROR(
+            VerifySegmentPartition(*segment, static_cast<int>(p)));
+      }
       inputs.push_back(std::make_unique<SegmentReader>(
           segment->PartitionData(static_cast<int>(p))));
     }
@@ -43,8 +49,10 @@ SpillSegment MergeSegments(const std::vector<const SpillSegment*>& segments,
       range.records += 1;
       merged.Next();
     }
+    MRMB_RETURN_IF_ERROR(merged.status());
     range.length = static_cast<int64_t>(out.data.size()) - range.offset;
   }
+  SealSegment(&out);
   return out;
 }
 
@@ -109,6 +117,7 @@ SpillSegment CombineSegment(const SpillSegment& segment,
     }
     range.length = static_cast<int64_t>(out.data.size()) - range.offset;
   }
+  SealSegment(&out);
   return out;
 }
 

@@ -16,15 +16,20 @@
 namespace mrmb {
 
 // Merges sorted spill segments (all with the same partition count) into one
-// sorted segment. Key order within each partition is decided by
-// `comparator`.
-SpillSegment MergeSegments(const std::vector<const SpillSegment*>& segments,
-                           const RawComparator* comparator);
+// sorted, sealed segment. Key order within each partition is decided by
+// `comparator`. When `verify_checksums` is set, every input partition range
+// is CRC-verified before it is read (shuffle-read semantics); a mismatch
+// returns DataLoss and no output is produced. A stream that turns out to be
+// malformed mid-merge also returns DataLoss.
+Result<SpillSegment> MergeSegments(
+    const std::vector<const SpillSegment*>& segments,
+    const RawComparator* comparator, bool verify_checksums = true);
 
 // Runs `combiner` over every key group of every partition of a sorted
 // segment (Hadoop's per-spill combine pass) and returns the combined,
-// still-sorted segment. The combiner must emit keys equal to the group key
-// (the usual sum/count combiners do), or the output order is unspecified.
+// still-sorted, sealed segment. The combiner must emit keys equal to the
+// group key (the usual sum/count combiners do), or the output order is
+// unspecified.
 SpillSegment CombineSegment(const SpillSegment& segment,
                             const RawComparator* comparator,
                             Reducer* combiner, const JobConf& conf,

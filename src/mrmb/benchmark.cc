@@ -50,6 +50,11 @@ JobConf BenchmarkOptions::ToJobConf() const {
   conf.max_fetch_failures = max_fetch_failures;
   conf.node_blacklist_threshold = node_blacklist_threshold;
 
+  conf.local_threads = local_threads;
+  conf.task_timeout_ms = task_timeout_ms;
+  conf.checksum_map_output = checksum_map_output;
+  conf.local_fault_plan = local_fault_plan;
+
   conf.record.type = data_type;
   conf.record.key_size = static_cast<size_t>(key_size);
   conf.record.value_size = static_cast<size_t>(value_size);

@@ -86,6 +86,14 @@ struct BenchmarkOptions {
   // 0 disables blacklisting.
   int node_blacklist_threshold = 0;
 
+  // ---- Functional (local) runner --------------------------------------
+  // Only read by RunMicroBenchmarkLocally / LocalJobRunner (see JobConf
+  // for semantics); the simulation ignores them.
+  int local_threads = 1;
+  int64_t task_timeout_ms = 0;
+  bool checksum_map_output = true;
+  LocalFaultPlan local_fault_plan;
+
   // ---- Instrumentation ------------------------------------------------
   bool collect_resource_stats = false;
   SimTime monitor_interval = kSecond;

@@ -127,6 +127,22 @@ Status ApplyFaultToleranceFlags(const Flags& flags,
       const int64_t blacklist_threshold,
       flags.GetInt("blacklist-threshold", options->node_blacklist_threshold));
   options->node_blacklist_threshold = static_cast<int>(blacklist_threshold);
+
+  // Functional (local) runner knobs.
+  MRMB_ASSIGN_OR_RETURN(const int64_t local_threads,
+                        flags.GetInt("local-threads", options->local_threads));
+  options->local_threads = static_cast<int>(local_threads);
+  MRMB_ASSIGN_OR_RETURN(
+      options->task_timeout_ms,
+      flags.GetInt("task-timeout-ms", options->task_timeout_ms));
+  MRMB_ASSIGN_OR_RETURN(options->checksum_map_output,
+                        flags.GetBool("checksum", options->checksum_map_output));
+  MRMB_ASSIGN_OR_RETURN(const std::string local_plan_spec,
+                        flags.GetString("local-fault-plan", ""));
+  if (!local_plan_spec.empty()) {
+    MRMB_ASSIGN_OR_RETURN(options->local_fault_plan,
+                          LocalFaultPlan::Parse(local_plan_spec));
+  }
   return options->fault_plan.Validate();
 }
 
@@ -145,7 +161,13 @@ const char* FaultToleranceFlagsHelp() {
       "  --fetch-fail-prob=P       per-fetch shuffle failure probability\n"
       "  --max-fetch-failures=N    fetch failures before a map re-executes\n"
       "  --blacklist-threshold=N   task failures before a node is "
-      "blacklisted (0 = off)\n";
+      "blacklisted (0 = off)\n"
+      "  --local-threads=N         worker threads of the local runner\n"
+      "  --task-timeout-ms=MS      local-runner watchdog deadline (0 = off)\n"
+      "  --checksum[=BOOL]         verify map-output CRC32C at shuffle read\n"
+      "  --local-fault-plan=SPEC   local-runner fault events, e.g.\n"
+      "                            \"fail_map:3@a=0;corrupt_map:2@a=0,p=1;"
+      "delay_map:0@a=0,ms=500\"\n";
 }
 
 }  // namespace mrmb

@@ -48,6 +48,8 @@ class Flags {
 //   --fault-plan="kill_node:3@t=40s;degrade_link:2@t=10s,x0.25;..."
 //   --crash-prob=P --fetch-fail-prob=P       (override the plan's hazards)
 //   --max-fetch-failures=N --blacklist-threshold=N
+//   --local-threads=N --task-timeout-ms=MS --checksum[=BOOL]
+//   --local-fault-plan="fail_map:3@a=0;corrupt_map:2@a=0,p=1;..."
 // Flags that are absent leave the corresponding option untouched.
 Status ApplyFaultToleranceFlags(const Flags& flags, BenchmarkOptions* options);
 

@@ -73,6 +73,66 @@ void PrintBenchmarkReport(const BenchmarkResult& result, std::ostream* out) {
         "====\n";
 }
 
+void PrintLocalJobReport(const BenchmarkOptions& options,
+                         const LocalJobResult& result, std::ostream* out) {
+  std::ostream& os = *out;
+  os << "=== mrmb micro-benchmark (functional run) "
+        "=============================\n";
+  os << "Benchmark            : " << DistributionPatternName(options.pattern)
+     << "\n";
+  os << "Data type            : " << DataTypeName(options.data_type) << "\n";
+  os << "Key / value size     : " << FormatBytes(options.key_size) << " / "
+     << FormatBytes(options.value_size) << "\n";
+  os << "Maps / reduces       : " << options.num_maps << " / "
+     << options.num_reduces << "\n";
+  os << "Worker threads       : " << options.local_threads << "\n";
+  if (options.task_timeout_ms > 0) {
+    os << StringPrintf("Watchdog deadline    : %lld ms\n",
+                       static_cast<long long>(options.task_timeout_ms));
+  }
+  os << "Map output checksums : "
+     << (options.checksum_map_output ? "on (CRC32C)" : "off") << "\n";
+  os << "---------------------------------------------------------------"
+        "----\n";
+  os << StringPrintf("Wall time            : %.3f s\n", result.wall_seconds);
+  os << StringPrintf("Map input records    : %lld\n",
+                     static_cast<long long>(result.map_input_records));
+  os << StringPrintf("Map output records   : %lld (",
+                     static_cast<long long>(result.map_output_records))
+     << FormatBytes(result.map_output_bytes) << " framed)\n";
+  os << StringPrintf("Map-side spills      : %lld\n",
+                     static_cast<long long>(result.spill_count));
+  if (result.combine_removed_records > 0) {
+    os << StringPrintf("Combine removed      : %lld records\n",
+                       static_cast<long long>(
+                           result.combine_removed_records));
+  }
+  os << StringPrintf("Reduce groups        : %lld (%lld input records)\n",
+                     static_cast<long long>(result.reduce_groups),
+                     static_cast<long long>(result.reduce_input_records));
+  os << StringPrintf("Output records       : %lld (",
+                     static_cast<long long>(result.output_records))
+     << FormatBytes(result.output_bytes) << ")\n";
+  if (result.map_retries > 0 || result.reduce_retries > 0 ||
+      result.corruptions_detected > 0 || result.watchdog_timeouts > 0 ||
+      !options.local_fault_plan.empty()) {
+    os << "--- task attempts & recovery ----------------------------------"
+          "----\n";
+    os << StringPrintf("Map attempts         : %lld (%lld retries)\n",
+                       static_cast<long long>(result.map_attempts),
+                       static_cast<long long>(result.map_retries));
+    os << StringPrintf("Reduce attempts      : %lld (%lld retries)\n",
+                       static_cast<long long>(result.reduce_attempts),
+                       static_cast<long long>(result.reduce_retries));
+    os << StringPrintf("Corruptions caught   : %lld\n",
+                       static_cast<long long>(result.corruptions_detected));
+    os << StringPrintf("Watchdog timeouts    : %lld\n",
+                       static_cast<long long>(result.watchdog_timeouts));
+  }
+  os << "================================================================="
+        "====\n";
+}
+
 SweepTable::SweepTable(std::string title, std::string x_label)
     : title_(std::move(title)), x_label_(std::move(x_label)) {}
 

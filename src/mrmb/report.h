@@ -22,6 +22,13 @@ namespace mrmb {
 // Full single-run report (configuration + timings + resources).
 void PrintBenchmarkReport(const BenchmarkResult& result, std::ostream* out);
 
+// Report for a functional (in-process) run: the real byte/record counters,
+// plus the task-attempt and fault-recovery counters (attempts, retries,
+// CRC corruptions caught, watchdog timeouts) when any fault machinery
+// engaged.
+void PrintLocalJobReport(const BenchmarkOptions& options,
+                         const LocalJobResult& result, std::ostream* out);
+
 // Collects series of (x, seconds) points and renders aligned tables.
 class SweepTable {
  public:

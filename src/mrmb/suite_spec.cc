@@ -19,6 +19,8 @@ const char* const kKnownKeys[] = {
     "straggler-slowdown", "speculative", "max-attempts", "fault-plan",
     "crash-prob", "fetch-fail-prob", "max-fetch-failures",
     "blacklist-threshold",
+    // Functional (local) runner.
+    "local-threads", "task-timeout-ms", "checksum", "local-fault-plan",
 };
 
 bool IsKnownKey(const std::string& key) {
@@ -235,6 +237,39 @@ Result<ResolvedSection> ResolveSection(const SuiteSection& section) {
                                     base.fault_plan.fetch_failure_prob,
                                     &base.fault_plan.fetch_failure_prob));
   MRMB_RETURN_IF_ERROR(base.fault_plan.Validate());
+
+  // Functional (local) runner.
+  MRMB_RETURN_IF_ERROR(
+      int_value("local-threads", base.local_threads, &base.local_threads));
+  {
+    MRMB_ASSIGN_OR_RETURN(
+        const std::string text,
+        SingleValue(section, "task-timeout-ms",
+                    std::to_string(base.task_timeout_ms)));
+    char* end = nullptr;
+    const long long v = std::strtoll(text.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || v < 0) {
+      return Status::InvalidArgument("[" + section.name +
+                                     "] bad task-timeout-ms: '" + text + "'");
+    }
+    base.task_timeout_ms = static_cast<int64_t>(v);
+  }
+  MRMB_ASSIGN_OR_RETURN(const std::string checksum,
+                        SingleValue(section, "checksum", "true"));
+  base.checksum_map_output = !(ToLower(checksum) == "false" ||
+                               checksum == "0" || ToLower(checksum) == "no");
+  if (auto it = section.entries.find("local-fault-plan");
+      it != section.entries.end()) {
+    // Comma-carrying tokens (corrupt_map's ",p=" / delay's ",ms=") were
+    // split by the entry parser; stitch them back, like fault-plan above.
+    std::string plan_text;
+    for (size_t i = 0; i < it->second.size(); ++i) {
+      if (i > 0) plan_text += ",";
+      plan_text += it->second[i];
+    }
+    MRMB_ASSIGN_OR_RETURN(base.local_fault_plan,
+                          LocalFaultPlan::Parse(plan_text));
+  }
 
   // Sweep axes.
   std::vector<std::string> networks = {"ipoib-qdr"};

@@ -1,0 +1,115 @@
+#include "io/checksum.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "io/byte_buffer.h"
+#include "io/kv_buffer.h"
+#include "io/writable.h"
+
+namespace mrmb {
+namespace {
+
+std::string WireBytes(const std::string& payload) {
+  BufferWriter writer;
+  BytesWritable(payload).Serialize(&writer);
+  return writer.data();
+}
+
+TEST(Crc32cTest, KnownVectors) {
+  // RFC 3720 (iSCSI) test vectors for CRC32C.
+  EXPECT_EQ(Crc32c(""), 0x00000000u);
+  EXPECT_EQ(Crc32c("123456789"), 0xe3069283u);
+  EXPECT_EQ(Crc32c(std::string(32, '\0')), 0x8a9136aau);
+  EXPECT_EQ(Crc32c(std::string(32, '\xff')), 0x62a8ab43u);
+}
+
+TEST(Crc32cTest, IncrementalMatchesOneShot) {
+  const std::string data = "hello, checksummed world";
+  uint32_t crc = kCrc32cInit;
+  for (char c : data) crc = Crc32c(crc, std::string_view(&c, 1));
+  EXPECT_EQ(crc, Crc32c(data));
+}
+
+TEST(Crc32cTest, DetectsSingleBitFlip) {
+  std::string data(1024, 'a');
+  const uint32_t clean = Crc32c(data);
+  for (size_t pos : {size_t{0}, size_t{511}, size_t{1023}}) {
+    for (int bit : {0, 3, 7}) {
+      std::string flipped = data;
+      flipped[pos] ^= static_cast<char>(1 << bit);
+      EXPECT_NE(Crc32c(flipped), clean)
+          << "undetected flip at byte " << pos << " bit " << bit;
+    }
+  }
+}
+
+SpillSegment MakeSegment() {
+  KvBuffer buffer(DataType::kBytesWritable, 2, 1 << 20);
+  EXPECT_TRUE(buffer.Append(0, WireBytes("alpha"), WireBytes("1")));
+  EXPECT_TRUE(buffer.Append(1, WireBytes("beta"), WireBytes("2")));
+  EXPECT_TRUE(buffer.Append(0, WireBytes("gamma"), WireBytes("3")));
+  buffer.Sort();
+  return buffer.ToSpill();
+}
+
+TEST(SealSegmentTest, ToSpillSealsAutomatically) {
+  const SpillSegment segment = MakeSegment();
+  EXPECT_TRUE(segment.sealed);
+  EXPECT_TRUE(VerifySegment(segment).ok());
+  for (int p = 0; p < 2; ++p) {
+    EXPECT_TRUE(VerifySegmentPartition(segment, p).ok());
+  }
+}
+
+TEST(SealSegmentTest, PartitionCrcMatchesRangeBytes) {
+  const SpillSegment segment = MakeSegment();
+  for (int p = 0; p < 2; ++p) {
+    EXPECT_EQ(segment.partitions[static_cast<size_t>(p)].crc,
+              Crc32c(segment.PartitionData(p)));
+  }
+}
+
+TEST(VerifySegmentTest, UnsealedSegmentIsFailedPrecondition) {
+  SpillSegment segment;
+  segment.partitions.resize(1);
+  EXPECT_EQ(VerifySegmentPartition(segment, 0).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(VerifySegmentTest, BitFlipIsDataLossInThatPartitionOnly) {
+  SpillSegment segment = MakeSegment();
+  // Flip one bit inside partition 1's range.
+  const auto& range = segment.partitions[1];
+  ASSERT_GT(range.length, 0);
+  segment.data[static_cast<size_t>(range.offset)] ^= 0x10;
+  EXPECT_TRUE(VerifySegmentPartition(segment, 0).ok());
+  const Status bad = VerifySegmentPartition(segment, 1);
+  EXPECT_EQ(bad.code(), StatusCode::kDataLoss);
+  EXPECT_NE(bad.message().find("partition 1"), std::string::npos);
+  EXPECT_EQ(VerifySegment(segment).code(), StatusCode::kDataLoss);
+}
+
+TEST(VerifySegmentTest, RoundTripAfterCorruptionRepair) {
+  SpillSegment segment = MakeSegment();
+  const auto& range = segment.partitions[0];
+  const size_t victim = static_cast<size_t>(range.offset);
+  segment.data[victim] ^= 0x01;
+  EXPECT_FALSE(VerifySegment(segment).ok());
+  segment.data[victim] ^= 0x01;  // repair
+  EXPECT_TRUE(VerifySegment(segment).ok());
+}
+
+TEST(VerifySegmentTest, EmptyPartitionVerifies) {
+  KvBuffer buffer(DataType::kBytesWritable, 3, 1 << 20);
+  EXPECT_TRUE(buffer.Append(0, WireBytes("k"), WireBytes("v")));
+  buffer.Sort();
+  const SpillSegment segment = buffer.ToSpill();
+  EXPECT_EQ(segment.partitions[1].records, 0);
+  EXPECT_TRUE(VerifySegmentPartition(segment, 1).ok());
+  EXPECT_TRUE(VerifySegmentPartition(segment, 2).ok());
+}
+
+}  // namespace
+}  // namespace mrmb

@@ -1,0 +1,171 @@
+#include "mapred/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include "io/byte_buffer.h"
+#include "io/checksum.h"
+#include "io/writable.h"
+
+namespace mrmb {
+namespace {
+
+std::string WireBytes(const std::string& payload) {
+  BufferWriter writer;
+  BytesWritable(payload).Serialize(&writer);
+  return writer.data();
+}
+
+TEST(LocalFaultPlanTest, EmptySpecYieldsEmptyPlan) {
+  auto plan = LocalFaultPlan::Parse("");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->empty());
+  EXPECT_EQ(plan->ToString(), "");
+}
+
+TEST(LocalFaultPlanTest, ParsesEveryKind) {
+  auto plan = LocalFaultPlan::Parse(
+      "fail_map:3@a=0; fail_reduce:1@a=2; corrupt_map:2@a=0,p=1; "
+      "delay_map:0@a=0,ms=500; delay_reduce:4@a=1,ms=50; "
+      "map_fail_prob:0.05; reduce_fail_prob:0.1");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ(plan->events.size(), 5u);
+  EXPECT_EQ(plan->events[0].kind, LocalFaultKind::kFailMap);
+  EXPECT_EQ(plan->events[0].task, 3);
+  EXPECT_EQ(plan->events[0].attempt, 0);
+  EXPECT_EQ(plan->events[1].kind, LocalFaultKind::kFailReduce);
+  EXPECT_EQ(plan->events[1].attempt, 2);
+  EXPECT_EQ(plan->events[2].kind, LocalFaultKind::kCorruptMap);
+  EXPECT_EQ(plan->events[2].partition, 1);
+  EXPECT_EQ(plan->events[3].kind, LocalFaultKind::kDelayMap);
+  EXPECT_EQ(plan->events[3].delay_ms, 500);
+  EXPECT_EQ(plan->events[4].kind, LocalFaultKind::kDelayReduce);
+  EXPECT_EQ(plan->events[4].delay_ms, 50);
+  EXPECT_DOUBLE_EQ(plan->map_failure_prob, 0.05);
+  EXPECT_DOUBLE_EQ(plan->reduce_failure_prob, 0.1);
+}
+
+TEST(LocalFaultPlanTest, ToStringParseRoundTrips) {
+  auto plan = LocalFaultPlan::Parse(
+      "fail_map:3@a=0;corrupt_map:2@a=0,p=1;delay_map:0@a=0,ms=500;"
+      "map_fail_prob:0.05");
+  ASSERT_TRUE(plan.ok());
+  auto reparsed = LocalFaultPlan::Parse(plan->ToString());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed->events, plan->events);
+  EXPECT_DOUBLE_EQ(reparsed->map_failure_prob, plan->map_failure_prob);
+  EXPECT_DOUBLE_EQ(reparsed->reduce_failure_prob, plan->reduce_failure_prob);
+}
+
+TEST(LocalFaultPlanTest, RejectsMalformedSpecs) {
+  EXPECT_FALSE(LocalFaultPlan::Parse("nonsense").ok());
+  EXPECT_FALSE(LocalFaultPlan::Parse("explode_map:1@a=0").ok());
+  EXPECT_FALSE(LocalFaultPlan::Parse("fail_map:1").ok());
+  EXPECT_FALSE(LocalFaultPlan::Parse("fail_map:x@a=0").ok());
+  EXPECT_FALSE(LocalFaultPlan::Parse("fail_map:1@a=0,p=2").ok());
+  EXPECT_FALSE(LocalFaultPlan::Parse("corrupt_map:1@a=0").ok());
+  EXPECT_FALSE(LocalFaultPlan::Parse("corrupt_map:1@a=0,ms=5").ok());
+  EXPECT_FALSE(LocalFaultPlan::Parse("delay_map:1@a=0").ok());
+  EXPECT_FALSE(LocalFaultPlan::Parse("delay_map:1@a=0,ms=0").ok());
+  EXPECT_FALSE(LocalFaultPlan::Parse("map_fail_prob:maybe").ok());
+  EXPECT_FALSE(LocalFaultPlan::Parse("map_fail_prob:1.5").ok());
+}
+
+TEST(LocalFaultInjectorTest, ScheduledFailuresHitExactAttempt) {
+  auto plan = LocalFaultPlan::Parse("fail_map:3@a=0;fail_reduce:1@a=2");
+  ASSERT_TRUE(plan.ok());
+  LocalFaultInjector injector(*plan, /*seed=*/7);
+  EXPECT_TRUE(injector.ShouldFailMap(3, 0));
+  EXPECT_FALSE(injector.ShouldFailMap(3, 1));
+  EXPECT_FALSE(injector.ShouldFailMap(2, 0));
+  EXPECT_TRUE(injector.ShouldFailReduce(1, 2));
+  EXPECT_FALSE(injector.ShouldFailReduce(1, 0));
+}
+
+TEST(LocalFaultInjectorTest, DelaysSumOverMatchingEvents) {
+  auto plan =
+      LocalFaultPlan::Parse("delay_map:0@a=0,ms=100;delay_map:0@a=0,ms=50");
+  ASSERT_TRUE(plan.ok());
+  LocalFaultInjector injector(*plan, 7);
+  EXPECT_EQ(injector.MapDelayMs(0, 0), 150);
+  EXPECT_EQ(injector.MapDelayMs(0, 1), 0);
+  EXPECT_EQ(injector.ReduceDelayMs(0, 0), 0);
+}
+
+TEST(LocalFaultInjectorTest, HazardIsDeterministicPerAttempt) {
+  LocalFaultPlan plan;
+  plan.map_failure_prob = 0.5;
+  LocalFaultInjector a(plan, 42);
+  LocalFaultInjector b(plan, 42);
+  int failures = 0;
+  for (int task = 0; task < 50; ++task) {
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      EXPECT_EQ(a.ShouldFailMap(task, attempt),
+                b.ShouldFailMap(task, attempt));
+      if (a.ShouldFailMap(task, attempt)) ++failures;
+    }
+  }
+  // Roughly half of 200 draws; loose bounds, exact value is pinned by seed.
+  EXPECT_GT(failures, 60);
+  EXPECT_LT(failures, 140);
+}
+
+SpillSegment TwoPartitionSegment() {
+  KvBuffer buffer(DataType::kBytesWritable, 2, 1 << 20);
+  EXPECT_TRUE(buffer.Append(0, WireBytes("key0"), WireBytes("value0")));
+  EXPECT_TRUE(buffer.Append(1, WireBytes("key1"), WireBytes("value1")));
+  buffer.Sort();
+  return buffer.ToSpill();
+}
+
+TEST(LocalFaultInjectorTest, CorruptsExactlyTheNamedPartition) {
+  auto plan = LocalFaultPlan::Parse("corrupt_map:2@a=0,p=1");
+  ASSERT_TRUE(plan.ok());
+  LocalFaultInjector injector(*plan, 42);
+
+  SpillSegment segment = TwoPartitionSegment();
+  ASSERT_TRUE(injector.MaybeCorruptMapOutput(2, 0, &segment));
+  // The seal predates the flip, so verification pinpoints partition 1.
+  EXPECT_TRUE(VerifySegmentPartition(segment, 0).ok());
+  EXPECT_EQ(VerifySegmentPartition(segment, 1).code(), StatusCode::kDataLoss);
+
+  // Wrong task or attempt: untouched.
+  SpillSegment other = TwoPartitionSegment();
+  EXPECT_FALSE(injector.MaybeCorruptMapOutput(2, 1, &other));
+  EXPECT_FALSE(injector.MaybeCorruptMapOutput(1, 0, &other));
+  EXPECT_TRUE(VerifySegment(other).ok());
+}
+
+TEST(LocalFaultInjectorTest, CorruptionIsDeterministic) {
+  auto plan = LocalFaultPlan::Parse("corrupt_map:0@a=0,p=0");
+  ASSERT_TRUE(plan.ok());
+  LocalFaultInjector injector(*plan, 99);
+  SpillSegment a = TwoPartitionSegment();
+  SpillSegment b = TwoPartitionSegment();
+  ASSERT_TRUE(injector.MaybeCorruptMapOutput(0, 0, &a));
+  ASSERT_TRUE(injector.MaybeCorruptMapOutput(0, 0, &b));
+  EXPECT_EQ(a.data, b.data);  // same bit flipped both times
+}
+
+TEST(LocalFaultInjectorTest, EmptyPartitionCannotBeCorrupted) {
+  auto plan = LocalFaultPlan::Parse("corrupt_map:0@a=0,p=1");
+  ASSERT_TRUE(plan.ok());
+  LocalFaultInjector injector(*plan, 1);
+  KvBuffer buffer(DataType::kBytesWritable, 2, 1 << 20);
+  EXPECT_TRUE(buffer.Append(0, WireBytes("k"), WireBytes("v")));
+  buffer.Sort();
+  SpillSegment segment = buffer.ToSpill();  // partition 1 is empty
+  EXPECT_FALSE(injector.MaybeCorruptMapOutput(0, 0, &segment));
+  EXPECT_TRUE(VerifySegment(segment).ok());
+}
+
+TEST(LocalFaultInjectorTest, OutOfRangePartitionIsIgnored) {
+  auto plan = LocalFaultPlan::Parse("corrupt_map:0@a=0,p=9");
+  ASSERT_TRUE(plan.ok());
+  LocalFaultInjector injector(*plan, 1);
+  SpillSegment segment = TwoPartitionSegment();
+  EXPECT_FALSE(injector.MaybeCorruptMapOutput(0, 0, &segment));
+  EXPECT_TRUE(VerifySegment(segment).ok());
+}
+
+}  // namespace
+}  // namespace mrmb

@@ -1,14 +1,15 @@
 // Robustness: the wire-format decoders must never crash or read out of
-// bounds on arbitrary input — they return Status errors instead. (The
-// framed SegmentReader is exempt by contract: it only ever reads buffers
-// the engine itself produced and treats corruption as a fatal invariant
-// violation.)
+// bounds on arbitrary input — they return Status errors instead. This
+// includes the framed SegmentReader: a corrupted shuffle segment must
+// surface as a DataLoss status() so the task-attempt engine can re-execute
+// the producing map, never as a crash.
 
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
 #include "io/byte_buffer.h"
 #include "io/codec.h"
+#include "io/merge.h"
 #include "io/writable.h"
 
 namespace mrmb {
@@ -78,6 +79,27 @@ TEST_P(FuzzDecodeTest, InflateSurvivesGarbage) {
     const std::string garbage = RandomBytes(&rng, 256);
     std::string out;
     (void)DeflateDecompress(garbage, &out);  // error or success, no crash
+  }
+}
+
+TEST_P(FuzzDecodeTest, SegmentReaderSurvivesGarbage) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 0x5ca1ab1e);
+  for (int i = 0; i < 200; ++i) {
+    const std::string garbage = RandomBytes(&rng, 128);
+    SegmentReader reader(garbage);
+    int records = 0;
+    while (reader.Valid() && records < 10000) {
+      (void)reader.key();
+      (void)reader.value();
+      reader.Next();
+      ++records;
+    }
+    // Whatever the bytes were, the reader either consumed well-formed
+    // frames or stopped with DataLoss — it must never crash or spin.
+    ASSERT_LT(records, 10000);
+    const Status status = reader.status();
+    EXPECT_TRUE(status.ok() || status.code() == StatusCode::kDataLoss)
+        << status.ToString();
   }
 }
 

@@ -38,11 +38,18 @@ TEST(KvBufferTest, CapacityBoundsAppends) {
   EXPECT_TRUE(buffer.Append(0, WireBytes("ee"), WireBytes("ff")));
 }
 
-TEST(KvBufferTest, OversizedRecordDies) {
+TEST(KvBufferTest, OversizedRecordIsRejectedNotFatal) {
+  // A record that can never fit even an empty buffer is rejected (the
+  // runner surfaces ResourceExhausted); Fits() distinguishes it from an
+  // ordinary buffer-full condition that a spill would cure.
   KvBuffer buffer(DataType::kBytesWritable, 1, 16);
-  EXPECT_DEATH(
-      { buffer.Append(0, WireBytes(std::string(100, 'x')), WireBytes("v")); },
-      "larger than the sort buffer");
+  const std::string huge = WireBytes(std::string(100, 'x'));
+  EXPECT_FALSE(buffer.Fits(huge, WireBytes("v")));
+  EXPECT_FALSE(buffer.Append(0, huge, WireBytes("v")));
+  EXPECT_EQ(buffer.records(), 0);
+  // The buffer stays usable for records that do fit.
+  EXPECT_TRUE(buffer.Fits(WireBytes("k"), WireBytes("v")));
+  EXPECT_TRUE(buffer.Append(0, WireBytes("k"), WireBytes("v")));
 }
 
 TEST(KvBufferTest, SortOrdersByPartitionThenKey) {

@@ -1,0 +1,269 @@
+// Task-attempt engine tests: retries, checksummed shuffle reads with map
+// re-execution, watchdog timeouts, fault injection, and determinism across
+// worker-thread counts.
+
+#include <gtest/gtest.h>
+
+#include "mapred/fault_injector.h"
+#include "mapred/local_runner.h"
+
+namespace mrmb {
+namespace {
+
+JobConf SmallConf(DistributionPattern pattern = DistributionPattern::kAverage,
+                  int maps = 4, int reduces = 4, int64_t records = 50) {
+  JobConf conf;
+  conf.num_maps = maps;
+  conf.num_reduces = reduces;
+  conf.records_per_map = records;
+  conf.pattern = pattern;
+  conf.record.key_size = 16;
+  conf.record.value_size = 32;
+  conf.record.num_unique_keys = reduces;
+  conf.seed = 42;
+  return conf;
+}
+
+JobConf WithPlan(JobConf conf, const std::string& spec) {
+  auto plan = LocalFaultPlan::Parse(spec);
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  conf.local_fault_plan = *plan;
+  return conf;
+}
+
+// Everything except wall_seconds (host time) must be byte-identical.
+void ExpectSameCounters(const LocalJobResult& a, const LocalJobResult& b) {
+  EXPECT_EQ(a.map_input_records, b.map_input_records);
+  EXPECT_EQ(a.map_output_records, b.map_output_records);
+  EXPECT_EQ(a.combine_removed_records, b.combine_removed_records);
+  EXPECT_EQ(a.map_output_bytes, b.map_output_bytes);
+  EXPECT_EQ(a.spill_count, b.spill_count);
+  EXPECT_EQ(a.reducer_input_records, b.reducer_input_records);
+  EXPECT_EQ(a.reducer_input_bytes, b.reducer_input_bytes);
+  EXPECT_EQ(a.reduce_groups, b.reduce_groups);
+  EXPECT_EQ(a.reduce_input_records, b.reduce_input_records);
+  EXPECT_EQ(a.output_records, b.output_records);
+  EXPECT_EQ(a.output_bytes, b.output_bytes);
+  EXPECT_EQ(a.map_attempts, b.map_attempts);
+  EXPECT_EQ(a.reduce_attempts, b.reduce_attempts);
+  EXPECT_EQ(a.map_retries, b.map_retries);
+  EXPECT_EQ(a.reduce_retries, b.reduce_retries);
+  EXPECT_EQ(a.corruptions_detected, b.corruptions_detected);
+  EXPECT_EQ(a.watchdog_timeouts, b.watchdog_timeouts);
+}
+
+TEST(LocalRunnerAttemptTest, CleanRunCountsOneAttemptPerTask) {
+  auto result = LocalJobRunner::RunStandalone(SmallConf());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->map_attempts, 4);
+  EXPECT_EQ(result->reduce_attempts, 4);
+  EXPECT_EQ(result->map_retries, 0);
+  EXPECT_EQ(result->reduce_retries, 0);
+  EXPECT_EQ(result->corruptions_detected, 0);
+  EXPECT_EQ(result->watchdog_timeouts, 0);
+}
+
+TEST(LocalRunnerAttemptTest, FailedMapAttemptIsRetried) {
+  const JobConf conf = WithPlan(SmallConf(), "fail_map:3@a=0");
+  auto result = LocalJobRunner::RunStandalone(conf);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->map_attempts, 5);
+  EXPECT_EQ(result->map_retries, 1);
+  // Recovery must not change the answer.
+  auto clean = LocalJobRunner::RunStandalone(SmallConf());
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(result->reducer_input_records, clean->reducer_input_records);
+  EXPECT_EQ(result->map_output_bytes, clean->map_output_bytes);
+}
+
+TEST(LocalRunnerAttemptTest, FailedReduceAttemptIsRetried) {
+  const JobConf conf = WithPlan(SmallConf(), "fail_reduce:1@a=0");
+  auto result = LocalJobRunner::RunStandalone(conf);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->reduce_attempts, 5);
+  EXPECT_EQ(result->reduce_retries, 1);
+}
+
+TEST(LocalRunnerAttemptTest, TaskExhaustingAttemptsFailsTheJob) {
+  JobConf conf = WithPlan(
+      SmallConf(),
+      "fail_map:0@a=0;fail_map:0@a=1;fail_map:0@a=2;fail_map:0@a=3");
+  conf.max_task_attempts = 4;
+  auto result = LocalJobRunner::RunStandalone(conf);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  EXPECT_NE(result.status().message().find("failed after 4 attempts"),
+            std::string::npos);
+}
+
+TEST(LocalRunnerAttemptTest, CorruptedPartitionIsDetectedAndRepaired) {
+  // Flip one bit in partition 1 of map 2's first-attempt output: reduce 1
+  // must catch the CRC mismatch, map 2 must re-execute, and the job must
+  // land on exactly the clean run's numbers.
+  const JobConf conf = WithPlan(SmallConf(), "corrupt_map:2@a=0,p=1");
+  auto result = LocalJobRunner::RunStandalone(conf);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->corruptions_detected, 1);
+  EXPECT_EQ(result->map_attempts, 5);   // 4 + re-execution of map 2
+  EXPECT_EQ(result->map_retries, 1);
+  EXPECT_EQ(result->reduce_attempts, 5);  // reduce 1 re-ran
+  EXPECT_EQ(result->reduce_retries, 1);
+
+  auto clean = LocalJobRunner::RunStandalone(SmallConf());
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(result->reducer_input_records, clean->reducer_input_records);
+  EXPECT_EQ(result->reducer_input_bytes, clean->reducer_input_bytes);
+  EXPECT_EQ(result->reduce_groups, clean->reduce_groups);
+  EXPECT_EQ(result->map_output_bytes, clean->map_output_bytes);
+}
+
+TEST(LocalRunnerAttemptTest, RepeatedCorruptionRetriesUntilCleanAttempt) {
+  const JobConf conf = WithPlan(
+      SmallConf(), "corrupt_map:0@a=0,p=0;corrupt_map:0@a=1,p=0");
+  auto result = LocalJobRunner::RunStandalone(conf);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->corruptions_detected, 2);
+  EXPECT_EQ(result->map_attempts, 6);  // attempts 0 and 1 corrupt, 2 clean
+  EXPECT_EQ(result->map_retries, 2);
+}
+
+TEST(LocalRunnerAttemptTest, PersistentCorruptionIsDataLoss) {
+  JobConf conf = WithPlan(SmallConf(),
+                          "corrupt_map:0@a=0,p=0;corrupt_map:0@a=1,p=0");
+  conf.max_task_attempts = 2;  // both allowed attempts produce corrupt bytes
+  auto result = LocalJobRunner::RunStandalone(conf);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(LocalRunnerAttemptTest, ChecksumOffMissesIntactFramingCorruption) {
+  // With verification disabled the job must still run clean inputs fine.
+  JobConf conf = SmallConf();
+  conf.checksum_map_output = false;
+  auto result = LocalJobRunner::RunStandalone(conf);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->corruptions_detected, 0);
+}
+
+TEST(LocalRunnerAttemptTest, WatchdogCancelsStalledMapperAndRetrySucceeds) {
+  JobConf conf = WithPlan(SmallConf(), "delay_map:0@a=0,ms=60000");
+  conf.task_timeout_ms = 300;  // fires long before the 60 s stall ends
+  auto result = LocalJobRunner::RunStandalone(conf);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->watchdog_timeouts, 1);
+  EXPECT_EQ(result->map_attempts, 5);
+  EXPECT_EQ(result->map_retries, 1);
+  // The stalled-then-cancelled attempt must not have cost 60 seconds.
+  EXPECT_LT(result->wall_seconds, 30.0);
+}
+
+TEST(LocalRunnerAttemptTest, WatchdogCancelsStalledReducer) {
+  JobConf conf = WithPlan(SmallConf(), "delay_reduce:2@a=0,ms=60000");
+  conf.task_timeout_ms = 300;
+  auto result = LocalJobRunner::RunStandalone(conf);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->watchdog_timeouts, 1);
+  EXPECT_EQ(result->reduce_attempts, 5);
+  EXPECT_EQ(result->reduce_retries, 1);
+  EXPECT_LT(result->wall_seconds, 30.0);
+}
+
+TEST(LocalRunnerAttemptTest, DelayWithoutWatchdogJustRuns) {
+  JobConf conf = WithPlan(SmallConf(), "delay_map:0@a=0,ms=50");
+  conf.task_timeout_ms = 0;  // watchdog off: the stall completes harmlessly
+  auto result = LocalJobRunner::RunStandalone(conf);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->watchdog_timeouts, 0);
+  EXPECT_EQ(result->map_retries, 0);
+}
+
+TEST(LocalRunnerAttemptTest, OversizedRecordFailsJobCleanly) {
+  JobConf conf = SmallConf();
+  conf.record.key_size = 512;
+  conf.record.value_size = 512;
+  conf.io_sort_bytes = 256;  // no record can ever fit
+  conf.spill_percent = 1.0;
+  auto result = LocalJobRunner::RunStandalone(conf);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(result.status().message().find("sort buffer"), std::string::npos);
+}
+
+TEST(LocalRunnerAttemptTest, ThreadCountDoesNotChangeResults) {
+  for (DistributionPattern pattern :
+       {DistributionPattern::kAverage, DistributionPattern::kRandom,
+        DistributionPattern::kSkewed}) {
+    JobConf conf = SmallConf(pattern, 6, 4, 100);
+    conf.local_threads = 1;
+    auto serial = LocalJobRunner::RunStandalone(conf);
+    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+    conf.local_threads = 8;
+    auto parallel = LocalJobRunner::RunStandalone(conf);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    SCOPED_TRACE(DistributionPatternName(pattern));
+    ExpectSameCounters(*serial, *parallel);
+  }
+}
+
+// The issue's acceptance scenario: one injected attempt failure, one
+// corrupted spill partition and one stalled attempt in a single job. It
+// must complete with correct counters, report the recovery work, and be
+// identical across runs and worker-thread counts.
+TEST(LocalRunnerAttemptTest, EndToEndRecoveryUnderCombinedFaults) {
+  auto make_conf = [](int threads) {
+    JobConf conf = WithPlan(
+        SmallConf(DistributionPattern::kRandom, 4, 4, 50),
+        "fail_map:3@a=0;corrupt_map:2@a=0,p=1;delay_map:0@a=0,ms=60000");
+    conf.task_timeout_ms = 500;
+    conf.local_threads = threads;
+    return conf;
+  };
+
+  auto result = LocalJobRunner::RunStandalone(make_conf(8));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // Every fault path engaged exactly once.
+  EXPECT_EQ(result->map_attempts, 7);  // 4 + failed + corrupted + stalled
+  EXPECT_EQ(result->map_retries, 3);
+  EXPECT_EQ(result->corruptions_detected, 1);
+  EXPECT_EQ(result->watchdog_timeouts, 1);
+  EXPECT_EQ(result->reduce_attempts, 5);  // reduce 1 re-ran after data loss
+  EXPECT_EQ(result->reduce_retries, 1);
+
+  // The data-plane outcome equals the fault-free run's.
+  auto clean = LocalJobRunner::RunStandalone(
+      SmallConf(DistributionPattern::kRandom, 4, 4, 50));
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(result->map_output_records, clean->map_output_records);
+  EXPECT_EQ(result->map_output_bytes, clean->map_output_bytes);
+  EXPECT_EQ(result->reducer_input_records, clean->reducer_input_records);
+  EXPECT_EQ(result->reducer_input_bytes, clean->reducer_input_bytes);
+  EXPECT_EQ(result->reduce_groups, clean->reduce_groups);
+
+  // Same seed, same faults: identical whether re-run or single-threaded.
+  auto rerun = LocalJobRunner::RunStandalone(make_conf(8));
+  ASSERT_TRUE(rerun.ok());
+  ExpectSameCounters(*result, *rerun);
+  auto serial = LocalJobRunner::RunStandalone(make_conf(1));
+  ASSERT_TRUE(serial.ok());
+  ExpectSameCounters(*result, *serial);
+}
+
+TEST(LocalRunnerAttemptTest, ProbabilisticHazardsAreDeterministic) {
+  JobConf conf = SmallConf(DistributionPattern::kAverage, 8, 4, 20);
+  conf.local_fault_plan.map_failure_prob = 0.3;
+  conf.local_fault_plan.reduce_failure_prob = 0.2;
+  conf.max_task_attempts = 10;
+  auto a = LocalJobRunner::RunStandalone(conf);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  auto b = LocalJobRunner::RunStandalone(conf);
+  ASSERT_TRUE(b.ok());
+  ExpectSameCounters(*a, *b);
+  conf.local_threads = 4;
+  auto c = LocalJobRunner::RunStandalone(conf);
+  ASSERT_TRUE(c.ok());
+  ExpectSameCounters(*a, *c);
+}
+
+}  // namespace
+}  // namespace mrmb

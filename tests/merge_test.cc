@@ -64,10 +64,27 @@ TEST(SegmentReaderTest, NextPastEndDies) {
   EXPECT_DEATH({ reader.Next(); }, "");
 }
 
-TEST(SegmentReaderTest, TruncatedFrameDies) {
+TEST(SegmentReaderTest, TruncatedFrameIsDataLossNotFatal) {
   std::string data = FramedSegment({{"abc", "def"}});
   data.resize(data.size() - 2);
-  EXPECT_DEATH({ SegmentReader reader(data); }, "truncated");
+  SegmentReader reader(data);
+  EXPECT_FALSE(reader.Valid());
+  EXPECT_EQ(reader.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(SegmentReaderTest, MalformedMidStreamStopsWithDataLoss) {
+  // One good record, then garbage: the reader yields the good record and
+  // then turns invalid with a DataLoss status instead of crashing.
+  std::string data = FramedSegment({{"abc", "def"}});
+  const size_t good = data.size();
+  data += FramedSegment({{"ggg", "hhh"}});
+  data.resize(good + 3);  // truncate the second frame
+  SegmentReader reader(data);
+  ASSERT_TRUE(reader.Valid());
+  EXPECT_TRUE(reader.status().ok());
+  reader.Next();
+  EXPECT_FALSE(reader.Valid());
+  EXPECT_EQ(reader.status().code(), StatusCode::kDataLoss);
 }
 
 TEST(MergeIteratorTest, EmptyInputs) {

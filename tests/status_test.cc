@@ -33,6 +33,9 @@ TEST(StatusTest, FactoriesCarryCodeAndMessage) {
       {Status::Unimplemented("h"), StatusCode::kUnimplemented,
        "Unimplemented"},
       {Status::IOError("i"), StatusCode::kIOError, "IOError"},
+      {Status::DataLoss("j"), StatusCode::kDataLoss, "DataLoss"},
+      {Status::DeadlineExceeded("k"), StatusCode::kDeadlineExceeded,
+       "DeadlineExceeded"},
   };
   for (const Case& c : cases) {
     EXPECT_FALSE(c.status.ok());

@@ -130,10 +130,37 @@ fetch-fail-prob = 0.01
   EXPECT_DOUBLE_EQ(options.fault_plan.fetch_failure_prob, 0.01);
 }
 
+TEST(SuiteSpecResolveTest, LocalRunnerKeysResolve) {
+  auto spec = ParseSuiteSpec(R"(
+[functional]
+pattern = avg
+local-threads = 8
+task-timeout-ms = 2000
+checksum = false
+local-fault-plan = fail_map:3@a=0;corrupt_map:2@a=0,p=1
+)");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  auto resolved = ResolveSection(spec->sections[0]);
+  ASSERT_TRUE(resolved.ok()) << resolved.status().ToString();
+  const BenchmarkOptions& options = resolved->options[0][0];
+  EXPECT_EQ(options.local_threads, 8);
+  EXPECT_EQ(options.task_timeout_ms, 2000);
+  EXPECT_FALSE(options.checksum_map_output);
+  ASSERT_EQ(options.local_fault_plan.events.size(), 2u);
+  EXPECT_EQ(options.local_fault_plan.events[0].kind,
+            LocalFaultKind::kFailMap);
+  // The comma inside corrupt_map's p=1 survives the list-splitting parser.
+  EXPECT_EQ(options.local_fault_plan.events[1].kind,
+            LocalFaultKind::kCorruptMap);
+  EXPECT_EQ(options.local_fault_plan.events[1].partition, 1);
+}
+
 TEST(SuiteSpecResolveTest, RejectsBadFaultValues) {
   for (const char* bad :
        {"[x]\nfault-plan = explode:1@t=2s\n", "[x]\ncrash-prob = maybe\n",
-        "[x]\nmax-attempts = 0\n", "[x]\nblacklist-threshold = -2\n"}) {
+        "[x]\nmax-attempts = 0\n", "[x]\nblacklist-threshold = -2\n",
+        "[x]\nlocal-threads = 0\n", "[x]\ntask-timeout-ms = -5\n",
+        "[x]\nlocal-fault-plan = explode_map:1@a=0\n"}) {
     auto spec = ParseSuiteSpec(bad);
     ASSERT_TRUE(spec.ok()) << bad;
     EXPECT_FALSE(ResolveSection(spec->sections[0]).ok()) << bad;

@@ -1,0 +1,131 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace mrmb {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ClampsToAtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran.store(true); });
+  pool.Wait();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, WaitIsReusableAcrossBatches) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int batch = 0; batch < 3; ++batch) {
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(count.load(), (batch + 1) * 10);
+  }
+}
+
+TEST(ThreadPoolTest, WaitWithNothingSubmittedReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+  }  // destructor must run all 20, not drop queued ones
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ThreadPoolTest, TasksRunConcurrently) {
+  ThreadPool pool(2);
+  std::atomic<int> in_flight{0};
+  std::atomic<int> peak{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&] {
+      const int now = in_flight.fetch_add(1) + 1;
+      int old_peak = peak.load();
+      while (now > old_peak && !peak.compare_exchange_weak(old_peak, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      in_flight.fetch_sub(1);
+    });
+  }
+  pool.Wait();
+  EXPECT_GE(peak.load(), 2);
+}
+
+TEST(CancelTokenTest, StartsUncancelled) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(CancelTokenTest, CancelIsVisible) {
+  CancelToken token;
+  token.Cancel();
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(CancelTokenTest, SleepForCompletesWhenNotCancelled) {
+  CancelToken token;
+  EXPECT_TRUE(token.SleepFor(1));
+}
+
+TEST(CancelTokenTest, SleepForReturnsEarlyWhenAlreadyCancelled) {
+  CancelToken token;
+  token.Cancel();
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(token.SleepFor(10000));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+}
+
+TEST(CancelTokenTest, CancelWakesSleeper) {
+  CancelToken token;
+  std::atomic<bool> slept_full{true};
+  std::thread sleeper([&] { slept_full.store(token.SleepFor(60000)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  token.Cancel();
+  sleeper.join();  // would take a minute if the wakeup were lost
+  EXPECT_FALSE(slept_full.load());
+}
+
+TEST(CancelTokenTest, ManyThreadsObserveCancel) {
+  CancelToken token;
+  std::atomic<int> observed{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&] {
+      while (!token.cancelled()) {
+        std::this_thread::yield();
+      }
+      observed.fetch_add(1);
+    });
+  }
+  token.Cancel();
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(observed.load(), 8);
+}
+
+}  // namespace
+}  // namespace mrmb
