@@ -9,7 +9,9 @@
 #include <memory>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "io/byte_buffer.h"
+#include "io/key_prefix.h"
 #include "io/kv_buffer.h"
 #include "io/merge.h"
 #include "io/record_gen.h"
@@ -160,6 +162,114 @@ void BM_KwayMerge(benchmark::State& state) {
                           num_segments * kRecordsPerSegment);
 }
 BENCHMARK(BM_KwayMerge)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_NormalizedKeyPrefix(benchmark::State& state) {
+  const auto type = static_cast<DataType>(state.range(0));
+  Rng rng(7);
+  std::vector<std::string> wires;
+  for (int i = 0; i < 64; ++i) {
+    BufferWriter writer;
+    if (type == DataType::kText) {
+      std::string payload(12, '\0');
+      rng.Fill(payload.data(), payload.size());
+      Text(payload).Serialize(&writer);
+    } else {
+      std::string payload(12, '\0');
+      rng.Fill(payload.data(), payload.size());
+      BytesWritable(payload).Serialize(&writer);
+    }
+    wires.push_back(writer.data());
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        NormalizedKeyPrefix(type, wires[i % wires.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_NormalizedKeyPrefix)
+    ->Arg(static_cast<int>(DataType::kBytesWritable))
+    ->Arg(static_cast<int>(DataType::kText));
+
+// Collect+sort with high-cardinality random keys: the realistic shape for
+// the prefix comparison (BM_KvBufferCollectAndSort reuses 8 keys, so it
+// mostly measures ties).
+void BM_KvBufferCollectAndSortUniqueKeys(benchmark::State& state) {
+  const auto records = static_cast<int64_t>(state.range(0));
+  Rng rng(11);
+  std::vector<std::string> keys;
+  std::string value;
+  {
+    BufferWriter writer;
+    BytesWritable(std::string(16, 'v')).Serialize(&writer);
+    value = writer.data();
+  }
+  for (int64_t i = 0; i < records; ++i) {
+    std::string payload(16, '\0');
+    rng.Fill(payload.data(), payload.size());
+    BufferWriter writer;
+    BytesWritable(payload).Serialize(&writer);
+    keys.push_back(writer.data());
+  }
+  KvBuffer buffer(DataType::kBytesWritable, 8,
+                  static_cast<size_t>(records + 1) * 64);
+  for (auto _ : state) {
+    buffer.Clear();
+    for (int64_t i = 0; i < records; ++i) {
+      buffer.Append(static_cast<int>(i % 8), keys[static_cast<size_t>(i)],
+                    value);
+    }
+    buffer.Sort();
+    benchmark::DoNotOptimize(buffer.records());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * records);
+}
+BENCHMARK(BM_KvBufferCollectAndSortUniqueKeys)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Arg(1000000);
+
+// Per-partition parallel sort: arg is the sorter thread count. Reports
+// real time — the sorting happens on pool threads, so main-thread CPU
+// time is meaningless; expect wall-clock scaling only on multi-core hosts.
+void BM_KvBufferParallelSort(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  constexpr int64_t kRecords = 500000;
+  constexpr int kPartitions = 16;
+  Rng rng(13);
+  std::vector<std::string> keys;
+  std::string value;
+  {
+    BufferWriter writer;
+    BytesWritable(std::string(16, 'v')).Serialize(&writer);
+    value = writer.data();
+  }
+  for (int64_t i = 0; i < kRecords; ++i) {
+    std::string payload(16, '\0');
+    rng.Fill(payload.data(), payload.size());
+    BufferWriter writer;
+    BytesWritable(payload).Serialize(&writer);
+    keys.push_back(writer.data());
+  }
+  KvBuffer buffer(DataType::kBytesWritable, kPartitions,
+                  static_cast<size_t>(kRecords + 1) * 64);
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+  for (auto _ : state) {
+    state.PauseTiming();
+    buffer.Clear();
+    for (int64_t i = 0; i < kRecords; ++i) {
+      buffer.Append(static_cast<int>(i % kPartitions),
+                    keys[static_cast<size_t>(i)], value);
+    }
+    state.ResumeTiming();
+    buffer.Sort(pool.get());
+    benchmark::DoNotOptimize(buffer.records());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          kRecords);
+}
+BENCHMARK(BM_KvBufferParallelSort)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 void BM_Partitioner(benchmark::State& state) {
   const auto pattern = static_cast<DistributionPattern>(state.range(0));

@@ -54,7 +54,6 @@ class SampleSet {
  public:
   void Add(double x) {
     samples_.push_back(x);
-    sorted_ = false;
     stats_.Add(x);
   }
 
@@ -64,13 +63,13 @@ class SampleSet {
     MRMB_CHECK_GE(p, 0.0);
     MRMB_CHECK_LE(p, 100.0);
     EnsureSorted();
-    if (samples_.size() == 1) return samples_[0];
+    if (sorted_.size() == 1) return sorted_[0];
     const double rank =
-        p / 100.0 * static_cast<double>(samples_.size() - 1);
+        p / 100.0 * static_cast<double>(sorted_.size() - 1);
     const auto lo = static_cast<size_t>(rank);
-    const size_t hi = std::min(lo + 1, samples_.size() - 1);
+    const size_t hi = std::min(lo + 1, sorted_.size() - 1);
     const double frac = rank - static_cast<double>(lo);
-    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+    return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
   }
 
   double Median() { return Percentile(50); }
@@ -78,19 +77,29 @@ class SampleSet {
   const RunningStats& stats() const { return stats_; }
   size_t size() const { return samples_.size(); }
   bool empty() const { return samples_.empty(); }
+  // Samples in insertion order (queries never reorder them).
   const std::vector<double>& samples() const { return samples_; }
 
  private:
+  // Maintains a sorted shadow of `samples_`: only the samples added since
+  // the last query are sorted and merged in, so an Add/query interleaving
+  // costs O(new log new + n) per query instead of re-sorting all n samples,
+  // and percentile queries leave the insertion-ordered samples() intact.
   void EnsureSorted() {
-    if (!sorted_) {
-      std::sort(samples_.begin(), samples_.end());
-      sorted_ = true;
-    }
+    if (sorted_.size() == samples_.size()) return;
+    const auto old_end =
+        sorted_.insert(sorted_.end(),
+                       samples_.begin() + static_cast<int64_t>(sorted_.size()),
+                       samples_.end());
+    const int64_t merged = old_end - sorted_.begin();
+    std::sort(sorted_.begin() + merged, sorted_.end());
+    std::inplace_merge(sorted_.begin(), sorted_.begin() + merged,
+                       sorted_.end());
   }
 
-  std::vector<double> samples_;
+  std::vector<double> samples_;  // insertion order
+  std::vector<double> sorted_;   // lazily maintained sorted shadow
   RunningStats stats_;
-  bool sorted_ = false;
 };
 
 // Coefficient-of-variation style imbalance metric for per-reducer loads:

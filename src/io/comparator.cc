@@ -45,7 +45,9 @@ class TextComparator final : public RawComparator {
 class IntComparator final : public RawComparator {
  public:
   int Compare(std::string_view a, std::string_view b) const override {
-    return Decode(a) < Decode(b) ? -1 : (Decode(a) > Decode(b) ? 1 : 0);
+    const int32_t va = Decode(a);
+    const int32_t vb = Decode(b);
+    return va < vb ? -1 : (va > vb ? 1 : 0);
   }
   DataType type() const override { return DataType::kIntWritable; }
 

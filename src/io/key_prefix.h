@@ -1,0 +1,39 @@
+// Normalized 8-byte key prefixes for accelerated raw comparisons.
+//
+// The map-side sort and the k-way merge spend most of their time in
+// RawComparator::Compare, which chases a pointer into the arena (or a
+// stream's segment) and re-parses the wire header on every call. A
+// normalized key prefix folds the first bytes of the *payload* — header
+// stripped, numeric types sign-flipped to big-endian unsigned order — into
+// one uint64_t cached next to each record reference, so most comparisons
+// are a single integer compare. This is Hadoop's BinaryComparable /
+// "normalized key" trick (also used by Flink's sort and DUCET-style
+// collation keys).
+//
+// Contract: NormalizedKeyPrefix(t, a) < NormalizedKeyPrefix(t, b) implies
+// ComparatorFor(t)->Compare(a, b) < 0. Equal prefixes decide nothing unless
+// PrefixIsDecisive(t): then prefix equality implies key equality and the
+// comparator fallback can be skipped entirely.
+
+#ifndef MRMB_IO_KEY_PREFIX_H_
+#define MRMB_IO_KEY_PREFIX_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "io/writable.h"
+
+namespace mrmb {
+
+// The order-preserving 8-byte prefix of one serialized key of `type`.
+// `key` must hold exactly one well-formed serialized value (same
+// precondition as RawComparator::Compare).
+uint64_t NormalizedKeyPrefix(DataType type, std::string_view key);
+
+// True when equal prefixes imply equal keys (fixed-width numeric types and
+// NullWritable), so a prefix tie needs no comparator fallback.
+bool PrefixIsDecisive(DataType type);
+
+}  // namespace mrmb
+
+#endif  // MRMB_IO_KEY_PREFIX_H_

@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "io/byte_buffer.h"
 #include "io/checksum.h"
+#include "io/key_prefix.h"
 
 namespace mrmb {
 
@@ -30,11 +31,13 @@ KvBuffer::KvBuffer(DataType key_type, int num_partitions,
                    size_t capacity_bytes)
     : key_type_(key_type),
       comparator_(ComparatorFor(key_type)),
+      prefix_decisive_(PrefixIsDecisive(key_type)),
       num_partitions_(num_partitions),
       capacity_(capacity_bytes) {
   MRMB_CHECK_GT(num_partitions_, 0);
   MRMB_CHECK_GT(capacity_, 0u);
   arena_.reserve(std::min<size_t>(capacity_, 16u << 20));
+  buckets_.resize(static_cast<size_t>(num_partitions_));
 }
 
 bool KvBuffer::Append(int partition, std::string_view key,
@@ -45,7 +48,7 @@ bool KvBuffer::Append(int partition, std::string_view key,
   if (frame > capacity_ || arena_.size() + frame > capacity_) return false;
 
   RecordRef ref;
-  ref.partition = partition;
+  ref.key_prefix = NormalizedKeyPrefix(key_type_, key);
   ref.frame_offset = static_cast<uint32_t>(arena_.size());
   BufferWriter writer(&arena_);
   writer.AppendVarint64(static_cast<int64_t>(key.size()));
@@ -55,7 +58,8 @@ bool KvBuffer::Append(int partition, std::string_view key,
   ref.value_len = static_cast<uint32_t>(value.size());
   writer.AppendRaw(key);
   writer.AppendRaw(value);
-  index_.push_back(ref);
+  buckets_[static_cast<size_t>(partition)].push_back(ref);
+  ++num_records_;
   sorted_ = false;
   return true;
 }
@@ -64,20 +68,29 @@ bool KvBuffer::Fits(std::string_view key, std::string_view value) const {
   return FramedLength(key, value) <= capacity_;
 }
 
-void KvBuffer::Sort() {
-  std::stable_sort(index_.begin(), index_.end(),
+void KvBuffer::SortBucket(std::vector<RecordRef>* bucket) {
+  std::stable_sort(bucket->begin(), bucket->end(),
                    [this](const RecordRef& a, const RecordRef& b) {
-                     if (a.partition != b.partition) {
-                       return a.partition < b.partition;
+                     if (a.key_prefix != b.key_prefix) {
+                       return a.key_prefix < b.key_prefix;
                      }
-                     const std::string_view ka =
-                         std::string_view(arena_).substr(a.key_offset,
-                                                         a.key_len);
-                     const std::string_view kb =
-                         std::string_view(arena_).substr(b.key_offset,
-                                                         b.key_len);
-                     return comparator_->Compare(ka, kb) < 0;
+                     if (prefix_decisive_) return false;
+                     return comparator_->Compare(KeyView(a), KeyView(b)) < 0;
                    });
+}
+
+void KvBuffer::Sort() { Sort(nullptr); }
+
+void KvBuffer::Sort(ThreadPool* pool) {
+  if (pool == nullptr || pool->num_threads() <= 1) {
+    for (std::vector<RecordRef>& bucket : buckets_) SortBucket(&bucket);
+  } else {
+    for (std::vector<RecordRef>& bucket : buckets_) {
+      if (bucket.size() < 2) continue;
+      pool->Submit([this, b = &bucket] { SortBucket(b); });
+    }
+    pool->Wait();
+  }
   sorted_ = true;
 }
 
@@ -86,20 +99,16 @@ SpillSegment KvBuffer::ToSpill() const {
   SpillSegment spill;
   spill.data.reserve(arena_.size());
   spill.partitions.resize(static_cast<size_t>(num_partitions_));
-  int current = -1;
-  for (const RecordRef& ref : index_) {
-    if (ref.partition != current) {
-      current = ref.partition;
-      spill.partitions[static_cast<size_t>(current)].offset =
-          static_cast<int64_t>(spill.data.size());
+  for (size_t p = 0; p < buckets_.size(); ++p) {
+    SpillSegment::PartitionRange& range = spill.partitions[p];
+    range.offset = static_cast<int64_t>(spill.data.size());
+    for (const RecordRef& ref : buckets_[p]) {
+      const size_t frame_len = (ref.key_offset - ref.frame_offset) +
+                               ref.key_len + ref.value_len;
+      spill.data.append(arena_, ref.frame_offset, frame_len);
     }
-    const size_t frame_len = (ref.key_offset - ref.frame_offset) +
-                             ref.key_len + ref.value_len;
-    spill.data.append(arena_, ref.frame_offset, frame_len);
-    SpillSegment::PartitionRange& range =
-        spill.partitions[static_cast<size_t>(current)];
-    range.length += static_cast<int64_t>(frame_len);
-    range.records += 1;
+    range.length = static_cast<int64_t>(spill.data.size()) - range.offset;
+    range.records = static_cast<int64_t>(buckets_[p].size());
   }
   SealSegment(&spill);
   return spill;
@@ -107,23 +116,41 @@ SpillSegment KvBuffer::ToSpill() const {
 
 void KvBuffer::Clear() {
   arena_.clear();
-  index_.clear();
+  for (std::vector<RecordRef>& bucket : buckets_) bucket.clear();
+  num_records_ = 0;
   sorted_ = false;
 }
 
+const KvBuffer::RecordRef& KvBuffer::RefAt(int64_t i, int* partition) const {
+  MRMB_CHECK_GE(i, 0);
+  MRMB_CHECK_LT(i, num_records_);
+  size_t rest = static_cast<size_t>(i);
+  for (size_t p = 0;; ++p) {
+    const std::vector<RecordRef>& bucket = buckets_[p];
+    if (rest < bucket.size()) {
+      *partition = static_cast<int>(p);
+      return bucket[rest];
+    }
+    rest -= bucket.size();
+  }
+}
+
 std::string_view KvBuffer::KeyAt(int64_t i) const {
-  const RecordRef& ref = index_[static_cast<size_t>(i)];
-  return std::string_view(arena_).substr(ref.key_offset, ref.key_len);
+  int partition = 0;
+  return KeyView(RefAt(i, &partition));
 }
 
 std::string_view KvBuffer::ValueAt(int64_t i) const {
-  const RecordRef& ref = index_[static_cast<size_t>(i)];
+  int partition = 0;
+  const RecordRef& ref = RefAt(i, &partition);
   return std::string_view(arena_).substr(ref.key_offset + ref.key_len,
                                          ref.value_len);
 }
 
 int KvBuffer::PartitionAt(int64_t i) const {
-  return index_[static_cast<size_t>(i)].partition;
+  int partition = 0;
+  RefAt(i, &partition);
+  return partition;
 }
 
 }  // namespace mrmb

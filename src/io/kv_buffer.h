@@ -3,9 +3,14 @@
 // KvBuffer plays the role of Hadoop's MapOutputBuffer (io.sort.mb): map
 // output records are appended in IFile framing (vint key length, vint value
 // length, key bytes, value bytes) into an arena, with a side index of
-// (partition, offsets). Sort() orders the index by (partition, raw key);
-// ToSpill() emits a SpillSegment whose per-partition byte ranges are what
-// the shuffle serves to reducers.
+// record references. The index is *bucketed by partition at append time*
+// (the partition is already known in Append), so sorting never compares
+// partition ids and ToSpill is a contiguous per-partition gather. Each
+// reference caches an 8-byte normalized key prefix (io/key_prefix.h), so
+// most sort comparisons are a single uint64_t compare with a fallback to
+// the RawComparator only on prefix ties. Partitions sort independently:
+// Sort(pool) fans the per-partition sorts out over a dedicated thread pool
+// with byte-identical results for any thread count.
 
 #ifndef MRMB_IO_KV_BUFFER_H_
 #define MRMB_IO_KV_BUFFER_H_
@@ -16,6 +21,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "io/comparator.h"
 #include "io/writable.h"
 
@@ -66,11 +72,18 @@ class KvBuffer {
   // True if a record with these payloads could ever fit an empty buffer.
   bool Fits(std::string_view key, std::string_view value) const;
 
-  // Sorts the record index by (partition, raw key order). Stable, so equal
-  // keys keep arrival order (like Hadoop's stable IndexedSorter contract
-  // for equal keys within a partition is not guaranteed there, but
-  // determinism helps our tests).
+  // Sorts each partition's records by raw key order. Stable, so equal keys
+  // keep arrival order within their partition (Hadoop's IndexedSorter does
+  // not guarantee this, but determinism helps our tests). Equivalent to
+  // Sort(nullptr).
   void Sort();
+
+  // Same, but fans the independent per-partition sorts out over `pool`
+  // (nullptr or a single-thread pool sorts inline). The pool must be
+  // dedicated to this call: Sort waits for the whole pool to drain. The
+  // sorted order — and therefore every spilled byte — is identical for any
+  // thread count.
+  void Sort(ThreadPool* pool);
 
   // Emits the sorted records as a spill segment. Requires Sort() first.
   SpillSegment ToSpill() const;
@@ -79,30 +92,40 @@ class KvBuffer {
 
   size_t bytes_used() const { return arena_.size(); }
   size_t capacity() const { return capacity_; }
-  int64_t records() const { return static_cast<int64_t>(index_.size()); }
+  int64_t records() const { return num_records_; }
   int num_partitions() const { return num_partitions_; }
   bool sorted() const { return sorted_; }
 
-  // Read access to record `i` in current (possibly unsorted) index order.
+  // Read access to record `i` in partition-major index order: partitions
+  // ascend, and within a partition records are in arrival order before
+  // Sort() and key order after.
   std::string_view KeyAt(int64_t i) const;
   std::string_view ValueAt(int64_t i) const;
   int PartitionAt(int64_t i) const;
 
  private:
   struct RecordRef {
-    int32_t partition;
+    uint64_t key_prefix;    // normalized prefix (io/key_prefix.h)
     uint32_t frame_offset;  // start of framing header in arena
     uint32_t key_offset;    // start of key bytes
     uint32_t key_len;
     uint32_t value_len;
   };
 
+  std::string_view KeyView(const RecordRef& ref) const {
+    return std::string_view(arena_).substr(ref.key_offset, ref.key_len);
+  }
+  const RecordRef& RefAt(int64_t i, int* partition) const;
+  void SortBucket(std::vector<RecordRef>* bucket);
+
   DataType key_type_;
   const RawComparator* comparator_;
+  bool prefix_decisive_;
   int num_partitions_;
   size_t capacity_;
   std::string arena_;
-  std::vector<RecordRef> index_;
+  std::vector<std::vector<RecordRef>> buckets_;  // one per partition
+  int64_t num_records_ = 0;
   bool sorted_ = false;
 };
 

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "io/byte_buffer.h"
+#include "io/key_prefix.h"
 
 namespace mrmb {
 
@@ -53,37 +54,51 @@ void SegmentReader::Decode() {
   valid_ = true;
 }
 
+// The tree is the implicit complete binary tree over 2k slots: leaves live
+// at positions k..2k-1 (leaf i at k+i), internal nodes at 1..k-1, parent(p)
+// = p/2. losers_[node] holds the leaf index that *lost* the match at that
+// node; the overall winner is kept in winner_. Advancing the winner only
+// replays the k+winner -> root path: one comparison per level against the
+// stored losers, about half of what a binary-heap sift-down costs.
 MergeIterator::MergeIterator(
     std::vector<std::unique_ptr<RecordStream>> inputs,
     const RawComparator* comparator)
-    : inputs_(std::move(inputs)), comparator_(comparator) {
+    : inputs_(std::move(inputs)),
+      comparator_(comparator),
+      key_type_(comparator != nullptr ? comparator->type()
+                                      : DataType::kBytesWritable),
+      prefix_decisive_(comparator != nullptr && PrefixIsDecisive(key_type_)) {
   MRMB_CHECK(comparator_ != nullptr);
-  heap_.reserve(inputs_.size());
-  for (size_t i = 0; i < inputs_.size(); ++i) {
-    PushIfValid(inputs_[i].get(), i);
+  const size_t k = inputs_.size();
+  leaves_.resize(k);
+  for (size_t i = 0; i < k; ++i) {
+    leaves_[i].stream = inputs_[i].get();
+    RefreshLeaf(static_cast<int32_t>(i));
+  }
+  if (k == 1) {
+    winner_ = 0;
+  } else if (k > 1) {
+    losers_.assign(k, -1);
+    winner_ = InitSubtree(1);
   }
 }
 
 std::string_view MergeIterator::key() const {
   MRMB_CHECK(Valid());
-  return heap_.front().stream->key();
+  return leaves_[static_cast<size_t>(winner_)].key;
 }
 
 std::string_view MergeIterator::value() const {
   MRMB_CHECK(Valid());
-  return heap_.front().stream->value();
+  return leaves_[static_cast<size_t>(winner_)].stream->value();
 }
 
 void MergeIterator::Next() {
   MRMB_CHECK(Valid());
-  RecordStream* top = heap_.front().stream;
-  top->Next();
-  if (!top->Valid()) {
-    heap_.front() = heap_.back();
-    heap_.pop_back();
-    if (heap_.empty()) return;
-  }
-  SiftDown(0);
+  Leaf& leaf = leaves_[static_cast<size_t>(winner_)];
+  leaf.stream->Next();
+  RefreshLeaf(winner_);
+  if (!losers_.empty()) Replay(winner_);
 }
 
 Status MergeIterator::status() const {
@@ -94,39 +109,56 @@ Status MergeIterator::status() const {
   return Status::OK();
 }
 
-bool MergeIterator::Less(const HeapEntry& a, const HeapEntry& b) const {
-  const int cmp = comparator_->Compare(a.stream->key(), b.stream->key());
-  if (cmp != 0) return cmp < 0;
-  return a.input_index < b.input_index;
+bool MergeIterator::Beats(int32_t a, int32_t b) const {
+  const Leaf& la = leaves_[static_cast<size_t>(a)];
+  const Leaf& lb = leaves_[static_cast<size_t>(b)];
+  if (!la.valid || !lb.valid) {
+    // An exhausted stream is a +infinity key; two of them tie on index.
+    if (la.valid != lb.valid) return la.valid;
+    return a < b;
+  }
+  if (la.prefix != lb.prefix) return la.prefix < lb.prefix;
+  if (!prefix_decisive_) {
+    const int cmp = comparator_->Compare(la.key, lb.key);
+    if (cmp != 0) return cmp < 0;
+  }
+  return a < b;
 }
 
-void MergeIterator::SiftDown(size_t i) {
-  const size_t n = heap_.size();
-  while (true) {
-    const size_t left = 2 * i + 1;
-    const size_t right = 2 * i + 2;
-    size_t smallest = i;
-    if (left < n && Less(heap_[left], heap_[smallest])) smallest = left;
-    if (right < n && Less(heap_[right], heap_[smallest])) smallest = right;
-    if (smallest == i) return;
-    std::swap(heap_[i], heap_[smallest]);
-    i = smallest;
+void MergeIterator::RefreshLeaf(int32_t leaf) {
+  Leaf& l = leaves_[static_cast<size_t>(leaf)];
+  if (l.stream->Valid()) {
+    l.key = l.stream->key();
+    l.prefix = NormalizedKeyPrefix(key_type_, l.key);
+    l.valid = true;
+  } else {
+    l.key = {};
+    l.prefix = 0;
+    l.valid = false;
   }
 }
 
-void MergeIterator::SiftUp(size_t i) {
-  while (i > 0) {
-    const size_t parent = (i - 1) / 2;
-    if (!Less(heap_[i], heap_[parent])) return;
-    std::swap(heap_[i], heap_[parent]);
-    i = parent;
+int32_t MergeIterator::InitSubtree(size_t node) {
+  const size_t k = leaves_.size();
+  if (node >= k) return static_cast<int32_t>(node - k);  // a leaf slot
+  const int32_t a = InitSubtree(2 * node);
+  const int32_t b = InitSubtree(2 * node + 1);
+  if (Beats(a, b)) {
+    losers_[node] = b;
+    return a;
   }
+  losers_[node] = a;
+  return b;
 }
 
-void MergeIterator::PushIfValid(RecordStream* stream, size_t input_index) {
-  if (!stream->Valid()) return;
-  heap_.push_back(HeapEntry{stream, input_index});
-  SiftUp(heap_.size() - 1);
+void MergeIterator::Replay(int32_t leaf) {
+  const size_t k = leaves_.size();
+  int32_t cur = leaf;
+  for (size_t node = (k + static_cast<size_t>(leaf)) / 2; node >= 1;
+       node /= 2) {
+    if (Beats(losers_[node], cur)) std::swap(losers_[node], cur);
+  }
+  winner_ = cur;
 }
 
 GroupedIterator::GroupedIterator(RecordStream* stream,

@@ -3,13 +3,19 @@
 // SegmentReader walks IFile-framed records (vint key length, vint value
 // length, key, value) in a byte slice — the format KvBuffer spills and the
 // shuffle moves. MergeIterator merges any number of individually-sorted
-// streams into one sorted stream with a binary heap, exactly like Hadoop's
-// Merger. GroupedIterator layers reduce-style grouping (one (key, values[])
-// group per distinct key) on top of a sorted stream.
+// streams into one sorted stream with a tournament loser tree, like
+// Hadoop's Merger but with roughly half the comparisons of its PriorityQueue:
+// advancing the winner replays exactly one root-to-leaf path (one comparison
+// per level) instead of a binary-heap sift-down (up to two per level), and
+// every leaf caches its stream's current key and 8-byte normalized prefix so
+// most of those comparisons are a single uint64_t compare. GroupedIterator
+// layers reduce-style grouping (one (key, values[]) group per distinct key)
+// on top of a sorted stream.
 
 #ifndef MRMB_IO_MERGE_H_
 #define MRMB_IO_MERGE_H_
 
+#include <cstdint>
 #include <memory>
 #include <string_view>
 #include <vector>
@@ -63,33 +69,51 @@ class SegmentReader final : public RecordStream {
   Status status_;
 };
 
-// Merges sorted input streams into one sorted stream.
+// Merges sorted input streams into one sorted stream (loser tree).
 class MergeIterator final : public RecordStream {
  public:
   MergeIterator(std::vector<std::unique_ptr<RecordStream>> inputs,
                 const RawComparator* comparator);
 
-  bool Valid() const override { return !heap_.empty(); }
+  bool Valid() const override {
+    return winner_ >= 0 && leaves_[static_cast<size_t>(winner_)].valid;
+  }
   std::string_view key() const override;
   std::string_view value() const override;
   void Next() override;
   // First non-OK status of any input stream (an exhausted corrupt input
-  // drops out of the heap; this is how the corruption surfaces).
+  // turns into an infinite-key leaf; this is how the corruption surfaces).
   Status status() const override;
 
  private:
-  struct HeapEntry {
-    RecordStream* stream;
-    size_t input_index;  // tie-break for determinism
+  // One tournament contestant: a stream plus its cached current key and
+  // normalized prefix. Exhausted streams stay in the tree and compare as
+  // +infinity, so the tree shape never changes mid-merge.
+  struct Leaf {
+    RecordStream* stream = nullptr;
+    std::string_view key;
+    uint64_t prefix = 0;
+    bool valid = false;
   };
-  bool Less(const HeapEntry& a, const HeapEntry& b) const;
-  void SiftDown(size_t i);
-  void SiftUp(size_t i);
-  void PushIfValid(RecordStream* stream, size_t input_index);
+
+  // True if leaf `a` wins (sorts before) leaf `b`; ties break on the lower
+  // input index for determinism.
+  bool Beats(int32_t a, int32_t b) const;
+  // Re-caches leaf state after its stream advanced (or at construction).
+  void RefreshLeaf(int32_t leaf);
+  // Builds the loser tree under internal node `node`; returns the subtree's
+  // winner and fills losers_ along the way.
+  int32_t InitSubtree(size_t node);
+  // Replays leaf `leaf`'s root path after its key changed.
+  void Replay(int32_t leaf);
 
   std::vector<std::unique_ptr<RecordStream>> inputs_;
   const RawComparator* comparator_;
-  std::vector<HeapEntry> heap_;
+  DataType key_type_;
+  bool prefix_decisive_;
+  std::vector<Leaf> leaves_;     // k contestants
+  std::vector<int32_t> losers_;  // internal nodes 1..k-1 (index 0 unused)
+  int32_t winner_ = -1;
 };
 
 // Iterates groups of equal keys over a sorted stream. Usage:

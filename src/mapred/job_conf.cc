@@ -102,6 +102,10 @@ Status JobConf::Validate() const {
   if (local_threads <= 0) {
     return Status::InvalidArgument("local_threads must be > 0");
   }
+  if (sort_threads < 0) {
+    return Status::InvalidArgument(
+        "sort_threads must be >= 0 (0 = match local_threads)");
+  }
   if (task_timeout_ms < 0) {
     return Status::InvalidArgument("task_timeout_ms must be >= 0");
   }

@@ -130,7 +130,17 @@ class LocalMapContext final : public MapContext {
         buffer_(conf.record.type, conf.num_reduces,
                 static_cast<size_t>(
                     static_cast<double>(conf.io_sort_bytes) *
-                    conf.spill_percent)) {}
+                    conf.spill_percent)) {
+    // Partition sorts are independent, so each spill can fan them out over
+    // a pool. The pool must be dedicated: attempts already run on the
+    // runner's shared pool, and ThreadPool::Wait() waits for ALL submitted
+    // tasks — nesting would deadlock. Byte output is identical either way.
+    const int sort_threads =
+        conf.sort_threads > 0 ? conf.sort_threads : conf.local_threads;
+    if (sort_threads > 1) {
+      sort_pool_ = std::make_unique<ThreadPool>(sort_threads);
+    }
+  }
 
   void Emit(std::string_view key, std::string_view value) override {
     if (!status_.ok()) return;
@@ -180,7 +190,7 @@ class LocalMapContext final : public MapContext {
 
  private:
   void SpillBuffer() {
-    buffer_.Sort();
+    buffer_.Sort(sort_pool_.get());
     SpillSegment spill = buffer_.ToSpill();
     if (combiner_ != nullptr) {
       const int64_t before = spill.total_records();
@@ -197,6 +207,7 @@ class LocalMapContext final : public MapContext {
   std::unique_ptr<Partitioner> partitioner_;
   std::unique_ptr<Reducer> combiner_;
   CancelToken* cancel_;
+  std::unique_ptr<ThreadPool> sort_pool_;  // null => sort inline
   KvBuffer buffer_;
   std::vector<SpillSegment> spills_;
   int64_t emitted_ = 0;

@@ -51,6 +51,7 @@ JobConf BenchmarkOptions::ToJobConf() const {
   conf.node_blacklist_threshold = node_blacklist_threshold;
 
   conf.local_threads = local_threads;
+  conf.sort_threads = sort_threads;
   conf.task_timeout_ms = task_timeout_ms;
   conf.checksum_map_output = checksum_map_output;
   conf.local_fault_plan = local_fault_plan;

@@ -90,6 +90,7 @@ struct BenchmarkOptions {
   // Only read by RunMicroBenchmarkLocally / LocalJobRunner (see JobConf
   // for semantics); the simulation ignores them.
   int local_threads = 1;
+  int sort_threads = 1;  // 0 = match local_threads
   int64_t task_timeout_ms = 0;
   bool checksum_map_output = true;
   LocalFaultPlan local_fault_plan;

@@ -132,6 +132,9 @@ Status ApplyFaultToleranceFlags(const Flags& flags,
   MRMB_ASSIGN_OR_RETURN(const int64_t local_threads,
                         flags.GetInt("local-threads", options->local_threads));
   options->local_threads = static_cast<int>(local_threads);
+  MRMB_ASSIGN_OR_RETURN(const int64_t sort_threads,
+                        flags.GetInt("sort-threads", options->sort_threads));
+  options->sort_threads = static_cast<int>(sort_threads);
   MRMB_ASSIGN_OR_RETURN(
       options->task_timeout_ms,
       flags.GetInt("task-timeout-ms", options->task_timeout_ms));
@@ -163,6 +166,8 @@ const char* FaultToleranceFlagsHelp() {
       "  --blacklist-threshold=N   task failures before a node is "
       "blacklisted (0 = off)\n"
       "  --local-threads=N         worker threads of the local runner\n"
+      "  --sort-threads=N          threads per map-output sort (0 = match\n"
+      "                            local-threads; output is byte-identical)\n"
       "  --task-timeout-ms=MS      local-runner watchdog deadline (0 = off)\n"
       "  --checksum[=BOOL]         verify map-output CRC32C at shuffle read\n"
       "  --local-fault-plan=SPEC   local-runner fault events, e.g.\n"

@@ -86,6 +86,12 @@ void PrintLocalJobReport(const BenchmarkOptions& options,
   os << "Maps / reduces       : " << options.num_maps << " / "
      << options.num_reduces << "\n";
   os << "Worker threads       : " << options.local_threads << "\n";
+  if (options.sort_threads != 1) {
+    os << "Sorter threads       : "
+       << (options.sort_threads > 0 ? options.sort_threads
+                                    : options.local_threads)
+       << " per map attempt\n";
+  }
   if (options.task_timeout_ms > 0) {
     os << StringPrintf("Watchdog deadline    : %lld ms\n",
                        static_cast<long long>(options.task_timeout_ms));

@@ -20,7 +20,8 @@ const char* const kKnownKeys[] = {
     "crash-prob", "fetch-fail-prob", "max-fetch-failures",
     "blacklist-threshold",
     // Functional (local) runner.
-    "local-threads", "task-timeout-ms", "checksum", "local-fault-plan",
+    "local-threads", "sort-threads", "task-timeout-ms", "checksum",
+    "local-fault-plan",
 };
 
 bool IsKnownKey(const std::string& key) {
@@ -241,6 +242,8 @@ Result<ResolvedSection> ResolveSection(const SuiteSection& section) {
   // Functional (local) runner.
   MRMB_RETURN_IF_ERROR(
       int_value("local-threads", base.local_threads, &base.local_threads));
+  MRMB_RETURN_IF_ERROR(
+      int_value("sort-threads", base.sort_threads, &base.sort_threads));
   {
     MRMB_ASSIGN_OR_RETURN(
         const std::string text,

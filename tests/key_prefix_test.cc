@@ -1,0 +1,195 @@
+// Property tests for the normalized key prefix (io/key_prefix.h).
+//
+// The prefix contract is: prefix(a) < prefix(b) implies Compare(a, b) < 0,
+// and for decisive types prefix equality implies key equality. Together
+// these make "compare prefixes, fall back to the comparator on ties"
+// exactly equivalent to the plain RawComparator order — which is what the
+// sort and merge engines rely on for byte-identical output.
+
+#include "io/key_prefix.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "io/byte_buffer.h"
+#include "io/comparator.h"
+
+namespace mrmb {
+namespace {
+
+std::string WireBytes(const std::string& payload) {
+  BufferWriter writer;
+  BytesWritable(payload).Serialize(&writer);
+  return writer.data();
+}
+
+std::string WireText(const std::string& payload) {
+  BufferWriter writer;
+  Text(payload).Serialize(&writer);
+  return writer.data();
+}
+
+std::string WireInt(int32_t value) {
+  BufferWriter writer;
+  IntWritable(value).Serialize(&writer);
+  return writer.data();
+}
+
+std::string WireLong(int64_t value) {
+  BufferWriter writer;
+  LongWritable(value).Serialize(&writer);
+  return writer.data();
+}
+
+// The ordering the engines actually use: prefix first, comparator on ties
+// (skipped when the prefix is decisive).
+int PrefixAcceleratedCompare(DataType type, const std::string& a,
+                             const std::string& b) {
+  const uint64_t pa = NormalizedKeyPrefix(type, a);
+  const uint64_t pb = NormalizedKeyPrefix(type, b);
+  if (pa != pb) return pa < pb ? -1 : 1;
+  if (PrefixIsDecisive(type)) return 0;
+  return ComparatorFor(type)->Compare(a, b);
+}
+
+int Sign(int v) { return v < 0 ? -1 : (v > 0 ? 1 : 0); }
+
+// Every pair of keys must order identically under the accelerated path and
+// the plain comparator.
+void CheckAllPairs(DataType type, const std::vector<std::string>& keys) {
+  const RawComparator* comparator = ComparatorFor(type);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    for (size_t j = 0; j < keys.size(); ++j) {
+      const int expected = Sign(comparator->Compare(keys[i], keys[j]));
+      const int actual =
+          Sign(PrefixAcceleratedCompare(type, keys[i], keys[j]));
+      ASSERT_EQ(actual, expected)
+          << "type " << static_cast<int>(type) << " keys " << i << " vs "
+          << j;
+    }
+  }
+}
+
+// Payloads chosen to stress the prefix edges: empty, shorter than 8 bytes,
+// exactly 8, sharing 8+ byte prefixes (forcing the comparator fallback),
+// non-ASCII / high-bit / NUL bytes, and prefixes of one another.
+std::vector<std::string> EdgePayloads() {
+  return {
+      "",
+      std::string(1, '\0'),
+      std::string(8, '\0'),
+      std::string(9, '\0'),
+      "a",
+      "ab",
+      "abcdefg",
+      "abcdefgh",           // exactly the prefix width
+      "abcdefgh\x01",       // differs past the prefix
+      "abcdefgh\x02",
+      "abcdefghabcdefgh",   // long shared prefix
+      "abcdefghabcdefgi",
+      "\x7f\x80\x81",       // signed-char trap bytes
+      "\xff\xfe\xfd\xfc\xfb\xfa\xf9\xf8\xf7",
+      std::string("\x00\x01\x00\x02", 4),  // embedded NULs
+      "\xc3\xa9t\xc3\xa9",  // UTF-8 "été"
+      "zzzzzzzzz",
+  };
+}
+
+TEST(KeyPrefixTest, BytesOrderMatchesComparator) {
+  std::vector<std::string> keys;
+  for (const std::string& payload : EdgePayloads()) {
+    keys.push_back(WireBytes(payload));
+  }
+  CheckAllPairs(DataType::kBytesWritable, keys);
+}
+
+TEST(KeyPrefixTest, TextOrderMatchesComparator) {
+  std::vector<std::string> keys;
+  for (const std::string& payload : EdgePayloads()) {
+    keys.push_back(WireText(payload));
+  }
+  // Text's varint header grows with payload length; long payloads prove the
+  // prefix reads past a multi-byte header correctly.
+  keys.push_back(WireText(std::string(200, 'x')));
+  keys.push_back(WireText(std::string(200, 'x') + "y"));
+  CheckAllPairs(DataType::kText, keys);
+}
+
+TEST(KeyPrefixTest, IntOrderMatchesComparatorAndIsDecisive) {
+  std::vector<std::string> keys;
+  for (const int32_t v :
+       {std::numeric_limits<int32_t>::min(), -1000000, -1, 0, 1, 7, 1000000,
+        std::numeric_limits<int32_t>::max()}) {
+    keys.push_back(WireInt(v));
+  }
+  CheckAllPairs(DataType::kIntWritable, keys);
+  ASSERT_TRUE(PrefixIsDecisive(DataType::kIntWritable));
+  // Decisive means prefix equality <=> key equality: distinct ints must
+  // never collide.
+  for (size_t i = 0; i < keys.size(); ++i) {
+    for (size_t j = i + 1; j < keys.size(); ++j) {
+      EXPECT_NE(NormalizedKeyPrefix(DataType::kIntWritable, keys[i]),
+                NormalizedKeyPrefix(DataType::kIntWritable, keys[j]));
+    }
+  }
+}
+
+TEST(KeyPrefixTest, LongOrderMatchesComparatorAndIsDecisive) {
+  std::vector<std::string> keys;
+  const std::vector<int64_t> values = {
+      std::numeric_limits<int64_t>::min(), -4000000000, -1, 0, 1, 4000000000,
+      std::numeric_limits<int64_t>::max()};
+  for (const int64_t v : values) {
+    keys.push_back(WireLong(v));
+  }
+  CheckAllPairs(DataType::kLongWritable, keys);
+  ASSERT_TRUE(PrefixIsDecisive(DataType::kLongWritable));
+}
+
+class KeyPrefixRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KeyPrefixRandomTest, RandomBytesAndTextAgreeWithComparator) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 0x9E37u + 1);
+  std::vector<std::string> bytes_keys, text_keys;
+  for (int i = 0; i < 48; ++i) {
+    // Skewed toward short payloads and a tiny alphabet so random pairs
+    // often share full 8-byte prefixes.
+    const size_t len = rng.Uniform(12);
+    std::string payload(len, '\0');
+    for (char& c : payload) {
+      c = static_cast<char>(rng.Uniform(3) * 0x7Bu);  // 0x00, 0x7B, 0xF6
+    }
+    bytes_keys.push_back(WireBytes(payload));
+    text_keys.push_back(WireText(payload));
+  }
+  CheckAllPairs(DataType::kBytesWritable, bytes_keys);
+  CheckAllPairs(DataType::kText, text_keys);
+}
+
+TEST_P(KeyPrefixRandomTest, RandomIntsAgreeWithComparator) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 0xABCDu + 5);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 64; ++i) {
+    // Mix full-range and small-range values so both orders of magnitude
+    // and sign boundaries appear.
+    const int32_t v = i % 2 == 0 ? static_cast<int32_t>(rng.Next64())
+                                 : static_cast<int32_t>(rng.Uniform(16)) - 8;
+    keys.push_back(WireInt(v));
+  }
+  CheckAllPairs(DataType::kIntWritable, keys);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KeyPrefixRandomTest,
+                         ::testing::Range(1, 11));
+
+TEST(KeyPrefixTest, NullWritableIsDecisiveAndConstant) {
+  ASSERT_TRUE(PrefixIsDecisive(DataType::kNullWritable));
+  EXPECT_EQ(NormalizedKeyPrefix(DataType::kNullWritable, ""), 0u);
+}
+
+}  // namespace
+}  // namespace mrmb

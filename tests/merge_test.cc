@@ -197,6 +197,58 @@ TEST_P(MergePropertyTest, MergeEqualsGlobalSort) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MergePropertyTest, ::testing::Range(1, 21));
 
+// Wide fan-in stress for the loser tree: a non-power-of-two stream count
+// (internal nodes then form a ragged tree), staggered stream lengths
+// including empty and single-record streams, and duplicated keys everywhere.
+// Checks total order, record conservation, and that equal keys drain in
+// input-index order even as streams exhaust mid-merge.
+TEST(MergeIteratorTest, ManyStreamsLoserTreeStress) {
+  constexpr int kStreams = 37;
+  Rng rng(0xD1CE);
+  std::vector<std::string> segments;
+  std::vector<std::pair<std::string, int>> expected;  // (key, stream)
+  for (int s = 0; s < kStreams; ++s) {
+    // Lengths 0, 1, 2, ... staggered so early streams exhaust first.
+    const int records =
+        s % 5 == 0 ? 0 : static_cast<int>(rng.UniformRange(1, 3 * s + 2));
+    std::vector<std::pair<std::string, std::string>> pairs;
+    for (int r = 0; r < records; ++r) {
+      // A tiny key alphabet forces heavy duplication across streams.
+      const std::string key(1 + rng.Uniform(3),
+                            static_cast<char>('a' + rng.Uniform(4)));
+      pairs.emplace_back(key, std::to_string(s));
+    }
+    std::sort(pairs.begin(), pairs.end());
+    for (const auto& [key, value] : pairs) expected.emplace_back(key, s);
+    segments.push_back(FramedSegment(std::move(pairs)));
+  }
+  // Equal keys must surface in stream order: stable-sort the expectation by
+  // key with the stream index as tiebreaker.
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first ||
+                            (a.first == b.first && a.second < b.second);
+                   });
+
+  std::vector<std::unique_ptr<RecordStream>> inputs;
+  for (const std::string& segment : segments) {
+    inputs.push_back(std::make_unique<SegmentReader>(segment));
+  }
+  MergeIterator merged(std::move(inputs),
+                       ComparatorFor(DataType::kBytesWritable));
+  size_t i = 0;
+  while (merged.Valid()) {
+    ASSERT_LT(i, expected.size());
+    EXPECT_EQ(merged.key(), WireBytes(expected[i].first)) << "record " << i;
+    EXPECT_EQ(merged.value(), WireBytes(std::to_string(expected[i].second)))
+        << "record " << i;
+    merged.Next();
+    ++i;
+  }
+  EXPECT_EQ(i, expected.size());
+  EXPECT_TRUE(merged.status().ok());
+}
+
 TEST(GroupedIteratorTest, GroupsEqualKeys) {
   const std::string data = FramedSegment(
       {{"a", "1"}, {"a", "2"}, {"b", "3"}, {"c", "4"}, {"c", "5"},
