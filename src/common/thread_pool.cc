@@ -23,9 +23,15 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  Submit(0, std::move(task));
+}
+
+void ThreadPool::Submit(int lane, std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(task));
+    const size_t index = static_cast<size_t>(std::max(0, lane));
+    if (lanes_.size() <= index) lanes_.resize(index + 1);
+    lanes_[index].push_back(std::move(task));
     ++in_flight_;
   }
   work_cv_.notify_one();
@@ -36,15 +42,24 @@ void ThreadPool::Wait() {
   idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+int ThreadPool::PickLane() const {
+  for (int lane = static_cast<int>(lanes_.size()) - 1; lane >= 0; --lane) {
+    if (!lanes_[static_cast<size_t>(lane)].empty()) return lane;
+  }
+  return -1;
+}
+
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // shutdown with nothing left to drain
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      work_cv_.wait(lock, [this] { return shutdown_ || PickLane() >= 0; });
+      const int lane = PickLane();
+      if (lane < 0) return;  // shutdown with nothing left to drain
+      auto& queue = lanes_[static_cast<size_t>(lane)];
+      task = std::move(queue.front());
+      queue.pop_front();
     }
     task();
     {

@@ -69,23 +69,33 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  // Enqueues one task. Never blocks (the queue is unbounded); the pool is
-  // "bounded" in workers, which is what limits concurrent attempts.
+  // Enqueues one task into lane 0. Never blocks (queues are unbounded); the
+  // pool is "bounded" in workers, which is what limits concurrent attempts.
   void Submit(std::function<void()> task);
 
-  // Blocks until every submitted task has finished running.
+  // Enqueues one task into `lane` (>= 0; lanes are created on demand).
+  // Each lane is FIFO, but idle workers drain the highest-numbered
+  // non-empty lane first. The shuffle pipeline uses this to run short
+  // fetch/merge events (high lane) ahead of queued map attempts (lane 0)
+  // without preempting anything already running.
+  void Submit(int lane, std::function<void()> task);
+
+  // Blocks until every submitted task in every lane has finished running.
   void Wait();
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
  private:
+  // Highest-numbered lane with a queued task, or -1. Caller holds mutex_.
+  int PickLane() const;
+
   void WorkerLoop();
 
   std::mutex mutex_;
   std::condition_variable work_cv_;   // workers wait for tasks
   std::condition_variable idle_cv_;   // Wait() waits for drain
-  std::deque<std::function<void()>> queue_;
-  int64_t in_flight_ = 0;  // tasks queued or running
+  std::vector<std::deque<std::function<void()>>> lanes_;
+  int64_t in_flight_ = 0;  // tasks queued or running, all lanes
   bool shutdown_ = false;
   std::vector<std::thread> workers_;
 };

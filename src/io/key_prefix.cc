@@ -64,6 +64,32 @@ uint64_t NormalizedKeyPrefix(DataType type, std::string_view key) {
   return 0;
 }
 
+bool KeyWireFormatValid(DataType type, std::string_view key) {
+  switch (type) {
+    case DataType::kBytesWritable: {
+      if (key.size() < 4) return false;
+      uint32_t len = 0;
+      for (size_t i = 0; i < 4; ++i) {
+        len = (len << 8) | static_cast<uint8_t>(key[i]);
+      }
+      return len == key.size() - 4;
+    }
+    case DataType::kText: {
+      int64_t len = 0;
+      size_t hdr = 0;
+      if (!DecodeVarint64(key, &len, &hdr).ok()) return false;
+      return len >= 0 && static_cast<size_t>(len) == key.size() - hdr;
+    }
+    case DataType::kIntWritable:
+      return key.size() == 4;
+    case DataType::kLongWritable:
+      return key.size() == 8;
+    case DataType::kNullWritable:
+      return key.empty();
+  }
+  return false;
+}
+
 bool PrefixIsDecisive(DataType type) {
   switch (type) {
     case DataType::kIntWritable:

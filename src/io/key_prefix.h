@@ -34,6 +34,14 @@ uint64_t NormalizedKeyPrefix(DataType type, std::string_view key);
 // NullWritable), so a prefix tie needs no comparator fallback.
 bool PrefixIsDecisive(DataType type);
 
+// True when `key` is exactly one well-formed serialized value of `type`:
+// the length header (where the type has one) matches the remaining bytes,
+// and fixed-width types have their exact width. Shuffle readers use this to
+// reject records whose framing survived a bit flip but whose key did not —
+// NormalizedKeyPrefix and RawComparator::Compare may only be called on keys
+// that pass this check.
+bool KeyWireFormatValid(DataType type, std::string_view key);
+
 }  // namespace mrmb
 
 #endif  // MRMB_IO_KEY_PREFIX_H_

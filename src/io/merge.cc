@@ -12,6 +12,11 @@ SegmentReader::SegmentReader(std::string_view data) : data_(data) {
   Decode();
 }
 
+SegmentReader::SegmentReader(std::string_view data, DataType key_type)
+    : data_(data), validate_keys_(true), key_type_(key_type) {
+  Decode();
+}
+
 void SegmentReader::Next() {
   MRMB_CHECK(valid_);
   Decode();
@@ -48,6 +53,9 @@ void SegmentReader::Decode() {
     return fail("truncated record frame");
   }
   key_ = data_.substr(pos_, static_cast<size_t>(key_len));
+  if (validate_keys_ && !KeyWireFormatValid(key_type_, key_)) {
+    return fail("malformed key wire format");
+  }
   pos_ += static_cast<size_t>(key_len);
   value_ = data_.substr(pos_, static_cast<size_t>(value_len));
   pos_ += static_cast<size_t>(value_len);
@@ -73,6 +81,7 @@ MergeIterator::MergeIterator(
   leaves_.resize(k);
   for (size_t i = 0; i < k; ++i) {
     leaves_[i].stream = inputs_[i].get();
+    if (!inputs_[i]->stable_views()) stable_views_ = false;
     RefreshLeaf(static_cast<int32_t>(i));
   }
   if (k == 1) {
@@ -163,14 +172,24 @@ void MergeIterator::Replay(int32_t leaf) {
 
 GroupedIterator::GroupedIterator(RecordStream* stream,
                                  const RawComparator* comparator)
-    : stream_(stream), comparator_(comparator) {
+    : stream_(stream),
+      comparator_(comparator),
+      stable_views_(stream != nullptr && stream->stable_views()) {
   MRMB_CHECK(stream_ != nullptr);
   MRMB_CHECK(comparator_ != nullptr);
+}
+
+void GroupedIterator::PinGroupKey() {
+  if (pinned_) return;
+  owned_key_.assign(group_key_);
+  group_key_ = owned_key_;
+  pinned_ = true;
 }
 
 bool GroupedIterator::NextGroup() {
   if (in_group_) {
     // Caller abandoned the group mid-way: skip its remaining values.
+    PinGroupKey();
     while (stream_->Valid() &&
            comparator_->Compare(stream_->key(), group_key_) == 0) {
       stream_->Next();
@@ -178,7 +197,8 @@ bool GroupedIterator::NextGroup() {
     in_group_ = false;
   }
   if (!stream_->Valid()) return false;
-  group_key_.assign(stream_->key());
+  group_key_ = stream_->key();
+  pinned_ = stable_views_;  // stable streams never invalidate the view
   in_group_ = true;
   first_value_pending_ = true;
   return true;
@@ -190,6 +210,7 @@ bool GroupedIterator::NextValue() {
     first_value_pending_ = false;
     return true;
   }
+  PinGroupKey();
   stream_->Next();
   if (stream_->Valid() &&
       comparator_->Compare(stream_->key(), group_key_) == 0) {

@@ -42,21 +42,36 @@ class RecordStream {
   // Callers that care about integrity must check this once Valid() turns
   // false.
   virtual Status status() const { return Status::OK(); }
+  // True when key()/value() views stay valid across Next() for the stream's
+  // whole lifetime (records decoded in place out of stable storage).
+  // Consumers may then hold a key across an advance without copying it.
+  virtual bool stable_views() const { return false; }
 };
 
 // Streams framed records out of a byte slice. The slice must outlive the
 // reader. Malformed framing does not abort: the reader becomes invalid and
 // status() carries a DataLoss error, so a corrupted shuffle segment is a
 // recoverable condition for the task-attempt engine, not a crash.
+//
+// The two-argument form additionally validates each key's wire format
+// against `key_type` (see KeyWireFormatValid). A bit flip in a length
+// varint can re-frame the stream into records whose keys are garbage of
+// the wrong shape; without this check those keys would reach the key-
+// prefix and comparator code, whose preconditions they violate. Readers
+// fed from untrusted bytes (anything that crossed the simulated shuffle)
+// must use this form.
 class SegmentReader final : public RecordStream {
  public:
   explicit SegmentReader(std::string_view data);
+  SegmentReader(std::string_view data, DataType key_type);
 
   bool Valid() const override { return valid_; }
   std::string_view key() const override { return key_; }
   std::string_view value() const override { return value_; }
   void Next() override;
   Status status() const override { return status_; }
+  // Records are views into the caller's slice, never re-buffered.
+  bool stable_views() const override { return true; }
 
  private:
   void Decode();
@@ -64,6 +79,8 @@ class SegmentReader final : public RecordStream {
   std::string_view data_;
   size_t pos_ = 0;
   bool valid_ = false;
+  bool validate_keys_ = false;
+  DataType key_type_ = DataType::kBytesWritable;
   std::string_view key_;
   std::string_view value_;
   Status status_;
@@ -84,6 +101,9 @@ class MergeIterator final : public RecordStream {
   // First non-OK status of any input stream (an exhausted corrupt input
   // turns into an infinite-key leaf; this is how the corruption surfaces).
   Status status() const override;
+  // Stable iff every input has stable views: the merge hands out the
+  // winning leaf's views untouched.
+  bool stable_views() const override { return stable_views_; }
 
  private:
   // One tournament contestant: a stream plus its cached current key and
@@ -114,6 +134,7 @@ class MergeIterator final : public RecordStream {
   std::vector<Leaf> leaves_;     // k contestants
   std::vector<int32_t> losers_;  // internal nodes 1..k-1 (index 0 unused)
   int32_t winner_ = -1;
+  bool stable_views_ = true;
 };
 
 // Iterates groups of equal keys over a sorted stream. Usage:
@@ -136,9 +157,19 @@ class GroupedIterator {
   std::string_view value() const { return stream_->value(); }
 
  private:
+  // Ensures group_key_ survives the next stream advance. A no-op for
+  // streams with stable views (the common reduce path: a MergeIterator over
+  // SegmentReaders), so those groups never copy the key; unstable streams
+  // copy into owned_key_ at most once per group, and only for groups that
+  // actually span more than one record.
+  void PinGroupKey();
+
   RecordStream* stream_;
   const RawComparator* comparator_;
-  std::string group_key_;  // owned copy: stream views die on Next()
+  const bool stable_views_;
+  std::string_view group_key_;
+  std::string owned_key_;  // fallback storage when views are unstable
+  bool pinned_ = false;
   bool in_group_ = false;
   bool first_value_pending_ = false;
 };

@@ -109,6 +109,15 @@ Status JobConf::Validate() const {
   if (task_timeout_ms < 0) {
     return Status::InvalidArgument("task_timeout_ms must be >= 0");
   }
+  if (reduce_slowstart < 0 || reduce_slowstart > 1.0) {
+    return Status::InvalidArgument("reduce_slowstart must be in [0, 1]");
+  }
+  if (merge_factor < 2) {
+    return Status::InvalidArgument("merge_factor must be >= 2");
+  }
+  if (fetch_latency_ms < 0) {
+    return Status::InvalidArgument("fetch_latency_ms must be >= 0");
+  }
   MRMB_RETURN_IF_ERROR(local_fault_plan.Validate());
   if (fetch_timeout < 0) {
     return Status::InvalidArgument("fetch_timeout must be >= 0");

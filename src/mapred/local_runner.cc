@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -23,6 +25,19 @@
 namespace mrmb {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+// Pool lanes. Shuffle events (fetch verification, background merges, final
+// reduce runs) outrank queued map attempts so a committed output is
+// consumed while the remaining maps run; nothing already running is ever
+// preempted, so map progress is only ever deferred by one short event.
+constexpr int kMapLane = 0;
+constexpr int kShuffleLane = 1;
 
 // Prepends attempt context to an error while keeping its code (so callers
 // can still dispatch on kDataLoss / kDeadlineExceeded).
@@ -286,9 +301,9 @@ struct ReduceTaskOutcome {
 
 struct ReduceAttemptOutcome {
   Status status;  // OK iff `committed` is valid
-  // Map tasks whose partition failed integrity verification; non-empty only
-  // with a kDataLoss status. The coordinator re-executes these maps and
-  // re-runs the reduce without charging its failure budget.
+  // Map tasks whose partition turned out malformed mid-merge; non-empty
+  // only with a kDataLoss status. The scheduler re-executes these maps,
+  // re-fetches, and re-runs the reduce without charging its failure budget.
   std::vector<int> corrupt_maps;
   ReduceTaskOutcome committed;
 };
@@ -351,83 +366,857 @@ MapAttemptOutcome RunMapAttempt(const JobConf& conf, int task, int attempt,
   return outcome;
 }
 
-ReduceAttemptOutcome RunReduceAttempt(
-    const JobConf& conf, int task, int attempt,
-    const std::vector<SpillSegment>& map_outputs,
-    const ReducerFactory& reducer_factory, const LocalFaultInjector& injector,
-    CancelToken* cancel) {
-  ReduceAttemptOutcome outcome;
-  const int64_t delay = injector.ReduceDelayMs(task, attempt);
-  if (delay > 0 && !cancel->SleepFor(delay)) {
-    outcome.status = Status::DeadlineExceeded(StringPrintf(
-        "reduce task %d attempt %d cancelled during injected %lld ms stall",
-        task, attempt, static_cast<long long>(delay)));
-    return outcome;
+// ---- Static merge plan -------------------------------------------------
+//
+// Hadoop's MergeManager folds fetched segments whenever memory pressure
+// says so, which makes the set of streams in each fold — and therefore the
+// order of equal keys — depend on arrival timing. We bound the final
+// fan-in the same way but pick the folds statically: a pure function of
+// (num_maps, merge_factor) that groups *consecutive* map ids, level by
+// level, until at most merge_factor streams remain. Contiguous ascending
+// spans plus the merge's input-index tie-break mean equal keys always come
+// out in ascending map-id order, exactly like one flat merge over all maps
+// — so job output is byte-identical no matter when segments arrived.
+
+// Exactly one of `node` / `map` is >= 0: a reference to an intermediate
+// merge's output or to one raw fetched map partition.
+struct StreamRef {
+  int node = -1;
+  int map = -1;
+};
+
+struct PlanNode {
+  std::vector<StreamRef> children;
+  int map_begin = 0;  // leaf span [map_begin, map_end) this node covers
+  int map_end = 0;
+};
+
+struct MergePlan {
+  std::vector<PlanNode> nodes;           // children always precede parents
+  std::vector<StreamRef> final_streams;  // ascending map-span order
+};
+
+MergePlan BuildMergePlan(int num_maps, int merge_factor) {
+  MergePlan plan;
+  std::vector<StreamRef> level(static_cast<size_t>(num_maps));
+  for (int m = 0; m < num_maps; ++m) level[static_cast<size_t>(m)].map = m;
+  const auto span_of = [&plan](const StreamRef& s) -> std::pair<int, int> {
+    if (s.map >= 0) return {s.map, s.map + 1};
+    const PlanNode& node = plan.nodes[static_cast<size_t>(s.node)];
+    return {node.map_begin, node.map_end};
+  };
+  while (static_cast<int>(level.size()) > merge_factor) {
+    std::vector<StreamRef> next;
+    for (size_t i = 0; i < level.size(); i += static_cast<size_t>(merge_factor)) {
+      const size_t end =
+          std::min(level.size(), i + static_cast<size_t>(merge_factor));
+      if (end - i == 1) {
+        next.push_back(level[i]);  // singleton passes through unfolded
+        continue;
+      }
+      PlanNode node;
+      node.children.assign(level.begin() + static_cast<int64_t>(i),
+                           level.begin() + static_cast<int64_t>(end));
+      node.map_begin = span_of(node.children.front()).first;
+      node.map_end = span_of(node.children.back()).second;
+      plan.nodes.push_back(std::move(node));
+      StreamRef ref;
+      ref.node = static_cast<int>(plan.nodes.size()) - 1;
+      next.push_back(ref);
+    }
+    level = std::move(next);
   }
-  if (injector.ShouldFailReduce(task, attempt)) {
-    outcome.status = Status::Internal(StringPrintf(
-        "injected failure of reduce task %d attempt %d", task, attempt));
-    return outcome;
+  plan.final_streams = std::move(level);
+  return plan;
+}
+
+// ---- Pipelined shuffle scheduler ----------------------------------------
+//
+// Event-driven execution modelled on Hadoop's ShuffleScheduler +
+// MergeManager:
+//
+//   map commit --publish(gen)--> per-reduce fetch queues --> drain events
+//     (verify CRC once per (map, gen), zero-copy view into the sealed
+//      segment, fold ready merge-plan nodes) --> all inputs current
+//     --> final task (bounded-fan-in merge + reduce function).
+//
+// Reducers launch once `reduce_slowstart` of the maps committed; fetch and
+// background-merge work rides the shuffle lane so it interleaves with the
+// remaining map attempts. Generations keep the fault semantics: a fetch
+// that fails verification declares the output lost, bumps the map's target
+// generation and re-executes it inline; reduces that already fetched the
+// stale generation drop it when the fresh commit's event arrives (the
+// shared_ptr keeps old bytes alive for reduces that already consumed them —
+// re-executed output is byte-identical anyway, by the determinism
+// contract).
+class PipelinedJob {
+ public:
+  PipelinedJob(const JobConf& conf, InputFormat* input_format,
+               std::vector<InputSplit> splits,
+               const MapperFactory& mapper_factory,
+               const ReducerFactory& reducer_factory,
+               const PartitionerFactory& partitioner_factory,
+               const ReducerFactory& combiner_factory)
+      : conf_(conf),
+        input_format_(input_format),
+        splits_(std::move(splits)),
+        mapper_factory_(mapper_factory),
+        reducer_factory_(reducer_factory),
+        partitioner_factory_(partitioner_factory),
+        combiner_factory_(combiner_factory),
+        comparator_(ComparatorFor(conf.record.type)),
+        injector_(conf.local_fault_plan, conf.seed),
+        plan_(BuildMergePlan(conf.num_maps, conf.merge_factor)),
+        pool_(conf.local_threads),
+        watchdog_(conf.task_timeout_ms),
+        slowstart_threshold_(static_cast<int>(std::ceil(
+            conf.reduce_slowstart * static_cast<double>(conf.num_maps)))),
+        slots_(static_cast<size_t>(conf.num_maps)),
+        reduces_(static_cast<size_t>(conf.num_reduces)) {
+    for (ReduceShuffle& rs : reduces_) {
+      rs.inputs.resize(static_cast<size_t>(conf.num_maps));
+      rs.nodes.resize(plan_.nodes.size());
+    }
   }
 
-  // Shuffle-read integrity: verify every producer's sealed partition range
-  // before consuming a byte of it (Hadoop checks IFile checksums as the
-  // fetched segment streams in).
-  if (conf.checksum_map_output) {
-    for (size_t m = 0; m < map_outputs.size(); ++m) {
-      if (!VerifySegmentPartition(map_outputs[m], task).ok()) {
-        outcome.corrupt_maps.push_back(static_cast<int>(m));
+  Status Execute(OutputFormat* output_format, LocalJobResult* result);
+
+ private:
+  // One fetched map output: a generation-stamped shared view of the sealed
+  // segment (this reduce reads only its own partition slice of it).
+  struct FetchedInput {
+    std::shared_ptr<const SpillSegment> segment;
+    int generation = -1;  // -1 = nothing fetched yet
+  };
+
+  struct NodeState {
+    bool done = false;
+    MergedRun merged;
+  };
+
+  // Scheduler's view of one map task's published output.
+  struct MapSlot {
+    std::shared_ptr<const SpillSegment> segment;  // latest committed output
+    int committed_gen = -1;  // generation of `segment`; -1 = none yet
+    int target_gen = 0;      // bumped when the output is declared lost
+    bool initial_committed = false;
+    int attempts_started = 0;
+    MapTaskStats stats;
+  };
+
+  struct ReduceShuffle {
+    // ---- guarded by mu_ ----
+    std::deque<int> fetch_queue;  // committed map ids to fetch
+    bool drain_scheduled = false;
+    bool final_scheduled = false;
+    bool completed = false;
+    int attempts_started = 0;
+    int failures = 0;
+    ReduceTaskOutcome committed;
+    Clock::time_point final_start{};
+    // ---- owned by the single scheduled drain/final task ----
+    // (successive tasks are ordered through mu_ + the pool queue, so no
+    //  two ever touch these concurrently)
+    std::vector<FetchedInput> inputs;
+    std::vector<NodeState> nodes;
+    double drain_busy_seconds = 0;
+  };
+
+  bool JobFailed() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return job_failed_;
+  }
+
+  void FailJob(const Status& status) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (job_failed_) return;
+    job_failed_ = true;
+    job_error_ = status;
+    cv_.notify_all();
+  }
+
+  // Adds a chunk of reduce-side busy time to the phase accumulators,
+  // clipping against the end of the map phase for the overlap metric.
+  void AddBusy(Clock::time_point t0, Clock::time_point t1, bool merge_bucket) {
+    const double dur = Seconds(t1 - t0);
+    if (dur <= 0) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    (merge_bucket ? shuffle_merge_busy_ : reduce_compute_busy_) += dur;
+    if (!map_phase_done_) {
+      overlap_busy_ += dur;
+    } else if (map_phase_end_ > t0) {
+      overlap_busy_ += Seconds(std::min(t1, map_phase_end_) - t0);
+    }
+  }
+
+  // ---- map side ----
+  void MapTaskMain(int m) {
+    if (JobFailed()) return;
+    const Status status = RunMapToCommit(m);
+    if (!status.ok()) FailJob(status);
+  }
+
+  // Runs attempts of map `m` until one commits or the budget is exhausted.
+  // Shared by the initial run and inline re-execution after lost output.
+  Status RunMapToCommit(int m) {
+    while (true) {
+      if (JobFailed()) return Status::OK();  // job already failing elsewhere
+      int attempt;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        attempt = slots_[static_cast<size_t>(m)].attempts_started++;
+        ++result_.map_attempts;
+        if (attempt > 0) ++result_.map_retries;
+      }
+      CancelToken token;
+      // Arm inside the worker: the deadline covers execution, not time
+      // spent queued behind other attempts.
+      const int64_t ticket = watchdog_.Arm(&token);
+      MapAttemptOutcome outcome = RunMapAttempt(
+          conf_, m, attempt, input_format_, splits_[static_cast<size_t>(m)],
+          mapper_factory_, partitioner_factory_, combiner_factory_, injector_,
+          &token);
+      watchdog_.Disarm(ticket);
+      if (outcome.status.ok()) {
+        CommitMapOutput(m, std::move(outcome));
+        return Status::OK();
+      }
+      bool exhausted;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (outcome.status.code() == StatusCode::kDeadlineExceeded) {
+          ++result_.watchdog_timeouts;
+        }
+        exhausted = slots_[static_cast<size_t>(m)].attempts_started >=
+                    conf_.max_task_attempts;
+      }
+      if (exhausted) {
+        return Annotate(outcome.status,
+                        StringPrintf("map task %d failed after %d attempts",
+                                     m, conf_.max_task_attempts));
+      }
+    }
+  }
+
+  // Publishes a committed map output under the current target generation
+  // and fans the commit event out to every launched reduce's fetch queue.
+  void CommitMapOutput(int m, MapAttemptOutcome outcome) {
+    std::lock_guard<std::mutex> lock(mu_);
+    MapSlot& slot = slots_[static_cast<size_t>(m)];
+    slot.segment =
+        std::make_shared<const SpillSegment>(std::move(outcome.output));
+    slot.committed_gen = slot.target_gen;
+    slot.stats = outcome.stats;
+    if (!slot.initial_committed) {
+      slot.initial_committed = true;
+      ++initial_commits_;
+      if (initial_commits_ == conf_.num_maps) {
+        map_phase_end_ = Clock::now();
+        map_phase_done_ = true;
+      }
+      if (!reduces_launched_ && initial_commits_ >= slowstart_threshold_) {
+        LaunchReducesLocked();
+      }
+    }
+    if (reduces_launched_) {
+      for (int r = 0; r < conf_.num_reduces; ++r) EnqueueFetchLocked(r, m);
+    }
+    cv_.notify_all();  // wakes WaitUntilCurrent
+  }
+
+  // Slow-start gate: no fetcher runs before `reduce_slowstart` of the maps
+  // committed (mapreduce.job.reduce.slowstart.completedmaps). Backfills
+  // the queues with everything already committed.
+  void LaunchReducesLocked() {
+    reduces_launched_ = true;
+    launch_time_ = Clock::now();
+    for (int r = 0; r < conf_.num_reduces; ++r) {
+      for (int m = 0; m < conf_.num_maps; ++m) {
+        const MapSlot& slot = slots_[static_cast<size_t>(m)];
+        if (slot.committed_gen >= 0 && slot.committed_gen == slot.target_gen) {
+          EnqueueFetchLocked(r, m);
+        }
+      }
+    }
+  }
+
+  void EnqueueFetchLocked(int r, int m) {
+    ReduceShuffle& rs = reduces_[static_cast<size_t>(r)];
+    // Once the final task is scheduled this reduce's inputs are frozen: a
+    // reduce that finished fetching keeps consuming the generation it has
+    // (byte-identical to any regeneration), like a Hadoop reducer that
+    // completed its copy phase before a map re-ran for someone else.
+    if (rs.final_scheduled) return;
+    rs.fetch_queue.push_back(m);
+    if (!rs.drain_scheduled) {
+      rs.drain_scheduled = true;
+      pool_.Submit(kShuffleLane, [this, r] { DrainFetches(r); });
+    }
+  }
+
+  // ---- reduce side: fetch + background merge (the "copy phase") ----
+  void DrainFetches(int r) {
+    ReduceShuffle& rs = reduces_[static_cast<size_t>(r)];
+    while (true) {
+      int m = -1;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (job_failed_) {
+          rs.drain_scheduled = false;
+          return;
+        }
+        if (rs.fetch_queue.empty()) {
+          rs.drain_scheduled = false;
+          MaybeScheduleFinalLocked(r);
+          return;
+        }
+        m = rs.fetch_queue.front();
+        rs.fetch_queue.pop_front();
+      }
+      ProcessFetch(r, m);
+    }
+  }
+
+  void ProcessFetch(int r, int m) {
+    ReduceShuffle& rs = reduces_[static_cast<size_t>(r)];
+    std::shared_ptr<const SpillSegment> segment;
+    int gen = -1;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const MapSlot& slot = slots_[static_cast<size_t>(m)];
+      if (slot.committed_gen < 0 || slot.committed_gen != slot.target_gen) {
+        return;  // output mid-regeneration; the fresh commit re-publishes
+      }
+      if (rs.inputs[static_cast<size_t>(m)].generation == slot.committed_gen) {
+        return;  // duplicate event
+      }
+      segment = slot.segment;
+      gen = slot.committed_gen;
+    }
+    // Simulated transfer time, spent before the busy window so it lands in
+    // the shuffle-wait bucket (lifetime minus busy), not in merge time.
+    if (conf_.fetch_latency_ms > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(conf_.fetch_latency_ms));
+    }
+    const auto t0 = Clock::now();
+    const bool stored = VerifyAndStore(r, &rs, m, std::move(segment), gen);
+    if (stored) RunReadyNodes(r, &rs);
+    const auto t1 = Clock::now();
+    rs.drain_busy_seconds += Seconds(t1 - t0);
+    AddBusy(t0, t1, /*merge_bucket=*/true);
+    if (!stored) {
+      // Verification failed: the loss was reported (and, if this thread
+      // was the first reporter, the map re-executed inline just now — that
+      // time is charged to the map phase, not the shuffle).
+      HandleLostOutput(r, m, gen);
+    }
+  }
+
+  // Verifies one fetched (map, generation) partition — the once-per-
+  // generation CRC check; re-fetches of the same generation never re-hash —
+  // and stores the zero-copy view, invalidating any stale generation it
+  // replaces (plus every merge-plan node that folded the stale bytes).
+  // Returns false on a CRC mismatch, which the caller reports.
+  bool VerifyAndStore(int r, ReduceShuffle* rs, int m,
+                      std::shared_ptr<const SpillSegment> segment, int gen) {
+    if (conf_.checksum_map_output) {
+      const Status verify = VerifySegmentPartition(*segment, r);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++result_.crc_verifications;
+        if (!verify.ok()) ++result_.corruptions_detected;
+      }
+      if (!verify.ok()) return false;
+    }
+    FetchedInput& input = rs->inputs[static_cast<size_t>(m)];
+    if (input.generation >= 0) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++result_.stale_fetches_invalidated;
+    }
+    if (input.generation >= 0) DirtyNodesCovering(rs, m);
+    input.segment = std::move(segment);
+    input.generation = gen;
+    return true;
+  }
+
+  // Invalidates every intermediate merge that folded map `m`'s bytes.
+  // Spans nest, so this covers all ancestors of the leaf too.
+  void DirtyNodesCovering(ReduceShuffle* rs, int m) {
+    for (size_t n = 0; n < plan_.nodes.size(); ++n) {
+      const PlanNode& node = plan_.nodes[n];
+      if (node.map_begin <= m && m < node.map_end) {
+        rs->nodes[n] = NodeState();
+      }
+    }
+  }
+
+  // Declares map `m`'s generation `gen` output lost. The first reporter
+  // bumps the target generation and re-executes the map inline on its own
+  // thread (so a worker is never parked waiting for pool capacity); later
+  // reporters return immediately and pick up the fresh commit's event.
+  void HandleLostOutput(int r, int m, int gen) {
+    (void)r;
+    bool run_reexec = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      MapSlot& slot = slots_[static_cast<size_t>(m)];
+      if (slot.target_gen == gen && slot.committed_gen == gen) {
+        slot.target_gen = gen + 1;
+        run_reexec = true;
+      }
+    }
+    if (!run_reexec) return;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (slots_[static_cast<size_t>(m)].attempts_started >=
+          conf_.max_task_attempts) {
+        job_failed_ = true;
+        job_error_ = Status::DataLoss(StringPrintf(
+            "map task %d output still corrupt after %d attempts", m,
+            conf_.max_task_attempts));
+        cv_.notify_all();
+        return;
+      }
+    }
+    const Status status = RunMapToCommit(m);
+    if (!status.ok()) FailJob(status);
+  }
+
+  // Folds every merge-plan node whose children are all available. Runs on
+  // the drain (or final-task) thread; this is the MergeManager-style
+  // background merge that keeps the final fan-in <= merge_factor.
+  void RunReadyNodes(int r, ReduceShuffle* rs) {
+    bool progressed = true;
+    while (progressed) {
+      progressed = false;
+      for (size_t n = 0; n < plan_.nodes.size(); ++n) {
+        if (rs->nodes[n].done) continue;
+        const PlanNode& node = plan_.nodes[n];
+        bool ready = true;
+        for (const StreamRef& child : node.children) {
+          if (child.map >= 0) {
+            if (rs->inputs[static_cast<size_t>(child.map)].generation < 0) {
+              ready = false;
+              break;
+            }
+          } else if (!rs->nodes[static_cast<size_t>(child.node)].done) {
+            ready = false;
+            break;
+          }
+        }
+        if (!ready) continue;
+        std::vector<FramedRun> runs;
+        runs.reserve(node.children.size());
+        for (const StreamRef& child : node.children) {
+          if (child.map >= 0) {
+            runs.push_back(
+                {rs->inputs[static_cast<size_t>(child.map)].segment->PartitionData(r),
+                 child.map});
+          } else {
+            runs.push_back(
+                {rs->nodes[static_cast<size_t>(child.node)].merged.data, -1});
+          }
+        }
+        std::vector<int> corrupt_sources;
+        Result<MergedRun> merged =
+            MergeFramedRuns(runs, comparator_, &corrupt_sources);
+        if (!merged.ok()) {
+          // Malformed bytes slipped past (checksums off). Blame the raw
+          // producers and let the regeneration events redo this fold.
+          ReportCorruptSources(r, rs, node, corrupt_sources);
+          return;
+        }
+        rs->nodes[n].merged = std::move(merged).value();
+        rs->nodes[n].done = true;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++result_.intermediate_merges;
+        }
+        progressed = true;
+      }
+    }
+  }
+
+  // Reports every corrupt source of a failed fold. A -1 source is one of
+  // our own intermediate outputs (should be impossible — we wrote those
+  // bytes); blame its whole span to stay safe.
+  void ReportCorruptSources(int r, ReduceShuffle* rs, const PlanNode& node,
+                            const std::vector<int>& corrupt_sources) {
+    std::vector<int> maps;
+    for (int source : corrupt_sources) {
+      if (source >= 0) {
+        maps.push_back(source);
+      } else {
+        for (int m = node.map_begin; m < node.map_end; ++m) maps.push_back(m);
+      }
+    }
+    std::sort(maps.begin(), maps.end());
+    maps.erase(std::unique(maps.begin(), maps.end()), maps.end());
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      result_.corruptions_detected += static_cast<int64_t>(maps.size());
+    }
+    for (int m : maps) {
+      int gen;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        gen = rs->inputs[static_cast<size_t>(m)].generation;
+      }
+      HandleLostOutput(r, m, gen);
+      if (JobFailed()) return;
+    }
+  }
+
+  // Schedules the final merge+reduce once every map's current generation
+  // has been fetched and every background fold is done. Only ever called
+  // by this reduce's drain with the queue empty, so the drain-owned state
+  // is safe to read.
+  void MaybeScheduleFinalLocked(int r) {
+    ReduceShuffle& rs = reduces_[static_cast<size_t>(r)];
+    if (rs.final_scheduled || job_failed_) return;
+    for (int m = 0; m < conf_.num_maps; ++m) {
+      const MapSlot& slot = slots_[static_cast<size_t>(m)];
+      if (slot.committed_gen < 0 || slot.committed_gen != slot.target_gen ||
+          rs.inputs[static_cast<size_t>(m)].generation != slot.committed_gen) {
+        return;
+      }
+    }
+    for (const NodeState& node : rs.nodes) {
+      if (!node.done) return;
+    }
+    rs.final_scheduled = true;
+    pool_.Submit(kShuffleLane, [this, r] { ReduceTaskMain(r); });
+  }
+
+  // ---- reduce side: final merge + reduce function ----
+  void ReduceTaskMain(int r) {
+    ReduceShuffle& rs = reduces_[static_cast<size_t>(r)];
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (job_failed_) return;
+      rs.final_start = Clock::now();
+    }
+    while (true) {
+      if (JobFailed()) return;
+      int attempt;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        attempt = rs.attempts_started++;
+        ++result_.reduce_attempts;
+        if (attempt > 0) ++result_.reduce_retries;
+      }
+      CancelToken token;
+      const int64_t ticket = watchdog_.Arm(&token);
+      const auto t0 = Clock::now();
+      ReduceAttemptOutcome outcome = RunReduceFinal(r, &rs, attempt, &token);
+      const auto t1 = Clock::now();
+      AddBusy(t0, t1, /*merge_bucket=*/false);
+      if (outcome.status.ok()) {
+        watchdog_.Disarm(ticket);
+        std::lock_guard<std::mutex> lock(mu_);
+        rs.committed = std::move(outcome.committed);
+        rs.completed = true;
+        return;
+      }
+      if (!outcome.corrupt_maps.empty()) {
+        // Mid-merge DataLoss (the detection path when checksums are off):
+        // the producers' fault. Re-execute them, re-fetch, and re-run this
+        // reduce as a fresh attempt without charging its failure budget.
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          result_.corruptions_detected +=
+              static_cast<int64_t>(outcome.corrupt_maps.size());
+        }
+        for (int m : outcome.corrupt_maps) {
+          int gen;
+          {
+            std::lock_guard<std::mutex> lock(mu_);
+            gen = rs.inputs[static_cast<size_t>(m)].generation;
+          }
+          HandleLostOutput(r, m, gen);
+          if (JobFailed()) {
+            watchdog_.Disarm(ticket);
+            return;
+          }
+        }
+        const Status refreshed = RefreshInputs(r, &rs, &token);
+        watchdog_.Disarm(ticket);
+        if (!refreshed.ok()) {
+          if (!HandleReduceFailure(r, &rs, refreshed)) return;
+        }
+        continue;
+      }
+      watchdog_.Disarm(ticket);
+      if (!HandleReduceFailure(r, &rs, outcome.status)) return;
+    }
+  }
+
+  // Charges a genuine reduce failure against the task's budget. Returns
+  // false when the job is failing (budget exhausted).
+  bool HandleReduceFailure(int r, ReduceShuffle* rs, const Status& status) {
+    bool exhausted;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (status.code() == StatusCode::kDeadlineExceeded) {
+        ++result_.watchdog_timeouts;
+      }
+      exhausted = ++rs->failures >= conf_.max_task_attempts;
+    }
+    if (exhausted) {
+      FailJob(Annotate(status,
+                       StringPrintf("reduce task %d failed after %d attempts",
+                                    r, conf_.max_task_attempts)));
+      return false;
+    }
+    return true;
+  }
+
+  // Blocks until map `m` has a committed, current generation. Waits in
+  // short slices so the watchdog token stays responsive.
+  Status WaitUntilCurrent(int m, CancelToken* token) {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (true) {
+      if (job_failed_) {
+        return Status::Internal("job failed while waiting for map output");
+      }
+      const MapSlot& slot = slots_[static_cast<size_t>(m)];
+      if (slot.committed_gen >= 0 && slot.committed_gen == slot.target_gen) {
+        return Status::OK();
+      }
+      if (token != nullptr && token->cancelled()) {
+        return Status::DeadlineExceeded(StringPrintf(
+            "cancelled while waiting for map task %d to re-commit", m));
+      }
+      const auto t0 = Clock::now();
+      cv_.wait_for(lock, std::chrono::milliseconds(10));
+      shuffle_wait_busy_ += Seconds(Clock::now() - t0);
+    }
+  }
+
+  // Brings every input back to the current generation after a mid-merge
+  // corruption (final task only; drains are frozen out by final_scheduled,
+  // so this thread owns the fetch state again).
+  Status RefreshInputs(int r, ReduceShuffle* rs, CancelToken* token) {
+    for (int m = 0; m < conf_.num_maps; ++m) {
+      while (true) {
+        MRMB_RETURN_IF_ERROR(WaitUntilCurrent(m, token));
+        std::shared_ptr<const SpillSegment> segment;
+        int gen = -1;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          const MapSlot& slot = slots_[static_cast<size_t>(m)];
+          if (rs->inputs[static_cast<size_t>(m)].generation ==
+              slot.committed_gen) {
+            break;  // already current
+          }
+          segment = slot.segment;
+          gen = slot.committed_gen;
+        }
+        const auto t0 = Clock::now();
+        const bool stored = VerifyAndStore(r, rs, m, std::move(segment), gen);
+        AddBusy(t0, Clock::now(), /*merge_bucket=*/true);
+        if (stored) break;
+        HandleLostOutput(r, m, gen);  // corrupt again; wait for the next gen
+      }
+    }
+    const auto t0 = Clock::now();
+    RunReadyNodes(r, rs);
+    AddBusy(t0, Clock::now(), /*merge_bucket=*/true);
+    for (const NodeState& node : rs->nodes) {
+      if (!node.done) {
+        // A fold failed again mid-refresh; surface as DataLoss so the
+        // attempt loop retries (HandleLostOutput already ran inside
+        // RunReadyNodes).
+        return Status::DataLoss(StringPrintf(
+            "reduce task %d: background merge kept failing on refetch", r));
+      }
+    }
+    return Status::OK();
+  }
+
+  // The final bounded-fan-in merge + reduce function, staged and committed
+  // like any attempt. No checksum work here: every input was verified at
+  // fetch time (once per generation) by the drain.
+  ReduceAttemptOutcome RunReduceFinal(int r, ReduceShuffle* rs, int attempt,
+                                      CancelToken* cancel) {
+    ReduceAttemptOutcome outcome;
+    const int64_t delay = injector_.ReduceDelayMs(r, attempt);
+    if (delay > 0 && !cancel->SleepFor(delay)) {
+      outcome.status = Status::DeadlineExceeded(StringPrintf(
+          "reduce task %d attempt %d cancelled during injected %lld ms stall",
+          r, attempt, static_cast<long long>(delay)));
+      return outcome;
+    }
+    if (injector_.ShouldFailReduce(r, attempt)) {
+      outcome.status = Status::Internal(StringPrintf(
+          "injected failure of reduce task %d attempt %d", r, attempt));
+      return outcome;
+    }
+
+    // Final streams in ascending map-span order; the merge's input-index
+    // tie-break then reproduces the flat merge's equal-key order exactly.
+    std::vector<std::unique_ptr<RecordStream>> inputs;
+    std::vector<const RecordStream*> readers;
+    std::vector<std::pair<int, int>> spans;  // blame span per stream
+    inputs.reserve(plan_.final_streams.size());
+    for (const StreamRef& ref : plan_.final_streams) {
+      std::string_view data;
+      if (ref.map >= 0) {
+        data = rs->inputs[static_cast<size_t>(ref.map)].segment->PartitionData(r);
+        spans.emplace_back(ref.map, ref.map + 1);
+      } else {
+        const PlanNode& node = plan_.nodes[static_cast<size_t>(ref.node)];
+        data = rs->nodes[static_cast<size_t>(ref.node)].merged.data;
+        spans.emplace_back(node.map_begin, node.map_end);
+      }
+      auto reader =
+          std::make_unique<SegmentReader>(data, comparator_->type());
+      readers.push_back(reader.get());
+      inputs.push_back(std::move(reader));
+    }
+    MergeIterator merged(std::move(inputs), comparator_);
+    GroupedIterator groups(&merged, comparator_);
+    std::unique_ptr<Reducer> reducer = reducer_factory_(r);
+    StagedReduceContext context(conf_, r, cancel);
+    while (context.status().ok() && groups.NextGroup()) {
+      ++outcome.committed.groups;
+      GroupValues values(&groups);
+      reducer->Reduce(groups.group_key(), &values, &context);
+    }
+    if (!context.status().ok()) {
+      outcome.status = context.status();
+      return outcome;
+    }
+    // A malformed stream drops out of the merge tree instead of crashing;
+    // it surfaces here. This is the only detection path when checksum
+    // verification is disabled (and a second line of defence when not).
+    for (size_t i = 0; i < readers.size(); ++i) {
+      if (!readers[i]->status().ok()) {
+        for (int m = spans[i].first; m < spans[i].second; ++m) {
+          outcome.corrupt_maps.push_back(m);
+        }
       }
     }
     if (!outcome.corrupt_maps.empty()) {
       outcome.status = Status::DataLoss(StringPrintf(
-          "reduce task %d: %zu map output partition(s) failed CRC32C "
-          "verification",
-          task, outcome.corrupt_maps.size()));
+          "reduce task %d: %zu map output partition(s) were malformed "
+          "mid-merge",
+          r, outcome.corrupt_maps.size()));
       return outcome;
     }
+    outcome.committed.output = context.TakeOutput();
+    return outcome;
   }
 
-  std::vector<std::unique_ptr<RecordStream>> inputs;
-  std::vector<const RecordStream*> readers;  // aligned with map ids, for blame
-  inputs.reserve(map_outputs.size());
-  readers.reserve(map_outputs.size());
-  for (const SpillSegment& segment : map_outputs) {
-    auto reader = std::make_unique<SegmentReader>(segment.PartitionData(task));
-    readers.push_back(reader.get());
-    inputs.push_back(std::move(reader));
+  const JobConf& conf_;
+  InputFormat* input_format_;
+  const std::vector<InputSplit> splits_;
+  const MapperFactory& mapper_factory_;
+  const ReducerFactory& reducer_factory_;
+  const PartitionerFactory& partitioner_factory_;
+  const ReducerFactory& combiner_factory_;
+  const RawComparator* comparator_;
+  const LocalFaultInjector injector_;
+  const MergePlan plan_;
+  ThreadPool pool_;
+  Watchdog watchdog_;
+  const int slowstart_threshold_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<MapSlot> slots_;
+  std::vector<ReduceShuffle> reduces_;
+  int initial_commits_ = 0;
+  bool reduces_launched_ = false;
+  bool map_phase_done_ = false;
+  Clock::time_point launch_time_{};
+  Clock::time_point map_phase_end_{};
+  bool job_failed_ = false;
+  Status job_error_;
+  double shuffle_merge_busy_ = 0;
+  double reduce_compute_busy_ = 0;
+  double shuffle_wait_busy_ = 0;
+  double overlap_busy_ = 0;
+  LocalJobResult result_;
+};
+
+Status PipelinedJob::Execute(OutputFormat* output_format,
+                             LocalJobResult* result) {
+  const auto start = Clock::now();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (slowstart_threshold_ == 0) LaunchReducesLocked();
   }
-  const RawComparator* comparator = ComparatorFor(conf.record.type);
-  MergeIterator merged(std::move(inputs), comparator);
-  GroupedIterator groups(&merged, comparator);
-  std::unique_ptr<Reducer> reducer = reducer_factory(task);
-  StagedReduceContext context(conf, task, cancel);
-  while (context.status().ok() && groups.NextGroup()) {
-    ++outcome.committed.groups;
-    GroupValues values(&groups);
-    reducer->Reduce(groups.group_key(), &values, &context);
+  for (int m = 0; m < conf_.num_maps; ++m) {
+    pool_.Submit(kMapLane, [this, m] { MapTaskMain(m); });
   }
-  if (!context.status().ok()) {
-    outcome.status = context.status();
-    return outcome;
+  pool_.Wait();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (job_failed_) return job_error_;
   }
-  // A malformed stream drops out of the merge heap instead of crashing; it
-  // surfaces here. This is the only detection path when checksum
-  // verification is disabled (and a second line of defence when it is not).
-  for (size_t m = 0; m < readers.size(); ++m) {
-    if (!readers[m]->status().ok()) {
-      outcome.corrupt_maps.push_back(static_cast<int>(m));
+  for (const ReduceShuffle& rs : reduces_) {
+    // Every reduce must have run its final task by now; anything else is a
+    // scheduler bug, not a recoverable condition.
+    MRMB_CHECK(rs.completed);
+  }
+
+  *result = std::move(result_);
+  const size_t num_maps = static_cast<size_t>(conf_.num_maps);
+  const size_t num_reduces = static_cast<size_t>(conf_.num_reduces);
+  result->reducer_input_records.assign(num_reduces, 0);
+  result->reducer_input_bytes.assign(num_reduces, 0);
+  for (size_t m = 0; m < num_maps; ++m) {
+    const MapTaskStats& stats = slots_[m].stats;
+    result->map_input_records += stats.input_records;
+    result->map_output_records += stats.output_records;
+    result->spill_count += stats.spill_count;
+    result->combine_removed_records += stats.combine_removed;
+    result->map_output_bytes += stats.output_bytes;
+  }
+  // Commit: write staged reduce output in task order from this (the
+  // coordinating) thread — failed attempts never reached here, so the
+  // OutputFormat only ever sees complete, committed task output.
+  for (size_t r = 0; r < num_reduces; ++r) {
+    for (size_t m = 0; m < num_maps; ++m) {
+      const SpillSegment::PartitionRange& range =
+          slots_[m].segment->partitions[r];
+      result->reducer_input_records[r] += range.records;
+      result->reducer_input_bytes[r] += range.length;
     }
+    result->reduce_groups += reduces_[r].committed.groups;
+    std::unique_ptr<RecordWriter> writer =
+        output_format->CreateWriter(conf_, static_cast<int>(r));
+    for (const auto& [key, value] : reduces_[r].committed.output) {
+      writer->Write(key, value);
+      result->output_records += 1;
+      result->output_bytes += static_cast<int64_t>(key.size() + value.size());
+    }
+    MRMB_RETURN_IF_ERROR(writer->Close());
   }
-  if (!outcome.corrupt_maps.empty()) {
-    outcome.status = Status::DataLoss(StringPrintf(
-        "reduce task %d: %zu map output partition(s) were malformed "
-        "mid-merge",
-        task, outcome.corrupt_maps.size()));
-    return outcome;
+  for (int64_t records : result->reducer_input_records) {
+    result->reduce_input_records += records;
   }
-  outcome.committed.output = context.TakeOutput();
-  return outcome;
+
+  // Phase breakdown. shuffle_wait = reduce-side lifetime not spent busy:
+  // from launch until the final task started, minus the fetch/merge work
+  // actually done, plus any explicit re-fetch waits.
+  result->map_phase_seconds =
+      map_phase_done_ ? Seconds(map_phase_end_ - start) : 0;
+  result->shuffle_merge_seconds = shuffle_merge_busy_;
+  result->reduce_compute_seconds = reduce_compute_busy_;
+  double wait = shuffle_wait_busy_;
+  for (const ReduceShuffle& rs : reduces_) {
+    const double lifetime = Seconds(rs.final_start - launch_time_);
+    wait += std::max(0.0, lifetime - rs.drain_busy_seconds);
+  }
+  result->shuffle_wait_seconds = wait;
+  const double busy = shuffle_merge_busy_ + reduce_compute_busy_;
+  result->overlap_efficiency = busy > 0 ? overlap_busy_ / busy : 0;
+
+  result->wall_seconds = Seconds(Clock::now() - start);
+  return Status::OK();
 }
 
 }  // namespace
@@ -442,216 +1231,17 @@ Result<LocalJobResult> LocalJobRunner::Run(
   MRMB_RETURN_IF_ERROR(conf_.Validate());
   MRMB_CHECK(input_format != nullptr);
   MRMB_CHECK(output_format != nullptr);
-  const auto start = std::chrono::steady_clock::now();
 
-  LocalJobResult result;
-  result.reducer_input_records.assign(
-      static_cast<size_t>(conf_.num_reduces), 0);
-  result.reducer_input_bytes.assign(static_cast<size_t>(conf_.num_reduces),
-                                    0);
-
-  const std::vector<InputSplit> splits =
+  std::vector<InputSplit> splits =
       input_format->GetSplits(conf_, conf_.num_maps);
   if (static_cast<int>(splits.size()) != conf_.num_maps) {
     return Status::Internal("input format returned wrong split count");
   }
 
-  const LocalFaultInjector injector(conf_.local_fault_plan, conf_.seed);
-  ThreadPool pool(conf_.local_threads);
-  Watchdog watchdog(conf_.task_timeout_ms);
-
-  const size_t num_maps = static_cast<size_t>(conf_.num_maps);
-  const size_t num_reduces = static_cast<size_t>(conf_.num_reduces);
-  std::vector<SpillSegment> map_outputs(num_maps);
-  std::vector<MapTaskStats> map_stats(num_maps);
-  // Attempts started per map, any cause — the monotonic attempt index the
-  // fault injector keys on, and the task's total attempt budget.
-  std::vector<int> map_attempts_started(num_maps, 0);
-
-  // Runs the given map tasks (ascending ids) to committed output, retrying
-  // failed attempts wave by wave. Outcomes are processed in task order, so
-  // scheduling never changes the result.
-  auto run_map_tasks = [&](std::vector<int> tasks) -> Status {
-    while (!tasks.empty()) {
-      const size_t wave = tasks.size();
-      std::vector<MapAttemptOutcome> outcomes(wave);
-      std::vector<std::unique_ptr<CancelToken>> tokens(wave);
-      std::vector<int> attempt_ids(wave);
-      for (size_t i = 0; i < wave; ++i) {
-        tokens[i] = std::make_unique<CancelToken>();
-        attempt_ids[i] = map_attempts_started[static_cast<size_t>(tasks[i])]++;
-      }
-      result.map_attempts += static_cast<int64_t>(wave);
-      for (size_t i = 0; i < wave; ++i) {
-        const int m = tasks[i];
-        const int attempt = attempt_ids[i];
-        CancelToken* token = tokens[i].get();
-        MapAttemptOutcome* slot = &outcomes[i];
-        pool.Submit([&, m, attempt, token, slot] {
-          // Arm inside the worker: the deadline covers execution, not time
-          // spent queued behind other attempts.
-          const int64_t ticket = watchdog.Arm(token);
-          *slot = RunMapAttempt(conf_, m, attempt, input_format,
-                                splits[static_cast<size_t>(m)],
-                                mapper_factory, partitioner_factory,
-                                combiner_factory, injector, token);
-          watchdog.Disarm(ticket);
-        });
-      }
-      pool.Wait();
-      std::vector<int> retry;
-      for (size_t i = 0; i < wave; ++i) {
-        const int m = tasks[i];
-        MapAttemptOutcome& outcome = outcomes[i];
-        if (outcome.status.ok()) {
-          map_outputs[static_cast<size_t>(m)] = std::move(outcome.output);
-          map_stats[static_cast<size_t>(m)] = outcome.stats;
-          continue;
-        }
-        if (outcome.status.code() == StatusCode::kDeadlineExceeded) {
-          ++result.watchdog_timeouts;
-        }
-        if (map_attempts_started[static_cast<size_t>(m)] >=
-            conf_.max_task_attempts) {
-          return Annotate(outcome.status,
-                          StringPrintf("map task %d failed after %d attempts",
-                                       m, conf_.max_task_attempts));
-        }
-        ++result.map_retries;
-        retry.push_back(m);
-      }
-      tasks = std::move(retry);
-    }
-    return Status::OK();
-  };
-
-  // ---- Map phase -----------------------------------------------------
-  {
-    std::vector<int> all_maps(num_maps);
-    for (size_t m = 0; m < num_maps; ++m) all_maps[m] = static_cast<int>(m);
-    MRMB_RETURN_IF_ERROR(run_map_tasks(std::move(all_maps)));
-  }
-
-  // ---- Shuffle + reduce phase -----------------------------------------
-  // Reduce attempts also run in retry waves. A genuine failure charges the
-  // reduce's own budget; a corrupt-input DataLoss instead re-executes the
-  // producing maps (charging *their* budgets) and re-runs the reduce free
-  // of charge — losing your input is the producer's fault, Hadoop-style.
-  std::vector<ReduceTaskOutcome> reduce_committed(num_reduces);
-  std::vector<int> reduce_attempts_started(num_reduces, 0);
-  std::vector<int> reduce_failures(num_reduces, 0);
-  std::vector<int> pending(num_reduces);
-  for (size_t r = 0; r < num_reduces; ++r) pending[r] = static_cast<int>(r);
-  while (!pending.empty()) {
-    const size_t wave = pending.size();
-    std::vector<ReduceAttemptOutcome> outcomes(wave);
-    std::vector<std::unique_ptr<CancelToken>> tokens(wave);
-    std::vector<int> attempt_ids(wave);
-    for (size_t i = 0; i < wave; ++i) {
-      tokens[i] = std::make_unique<CancelToken>();
-      attempt_ids[i] =
-          reduce_attempts_started[static_cast<size_t>(pending[i])]++;
-    }
-    result.reduce_attempts += static_cast<int64_t>(wave);
-    for (size_t i = 0; i < wave; ++i) {
-      const int r = pending[i];
-      const int attempt = attempt_ids[i];
-      CancelToken* token = tokens[i].get();
-      ReduceAttemptOutcome* slot = &outcomes[i];
-      pool.Submit([&, r, attempt, token, slot] {
-        const int64_t ticket = watchdog.Arm(token);
-        *slot = RunReduceAttempt(conf_, r, attempt, map_outputs,
-                                 reducer_factory, injector, token);
-        watchdog.Disarm(ticket);
-      });
-    }
-    pool.Wait();
-    std::vector<int> retry;
-    std::vector<bool> remap_flag(num_maps, false);
-    for (size_t i = 0; i < wave; ++i) {
-      const int r = pending[i];
-      ReduceAttemptOutcome& outcome = outcomes[i];
-      if (outcome.status.ok()) {
-        reduce_committed[static_cast<size_t>(r)] =
-            std::move(outcome.committed);
-        continue;
-      }
-      if (!outcome.corrupt_maps.empty()) {
-        result.corruptions_detected +=
-            static_cast<int64_t>(outcome.corrupt_maps.size());
-        for (int m : outcome.corrupt_maps) {
-          remap_flag[static_cast<size_t>(m)] = true;
-        }
-        ++result.reduce_retries;
-        retry.push_back(r);
-        continue;
-      }
-      if (outcome.status.code() == StatusCode::kDeadlineExceeded) {
-        ++result.watchdog_timeouts;
-      }
-      ++reduce_failures[static_cast<size_t>(r)];
-      if (reduce_failures[static_cast<size_t>(r)] >= conf_.max_task_attempts) {
-        return Annotate(outcome.status,
-                        StringPrintf("reduce task %d failed after %d attempts",
-                                     r, conf_.max_task_attempts));
-      }
-      ++result.reduce_retries;
-      retry.push_back(r);
-    }
-    std::vector<int> remap;
-    for (size_t m = 0; m < num_maps; ++m) {
-      if (remap_flag[m]) remap.push_back(static_cast<int>(m));
-    }
-    if (!remap.empty()) {
-      for (int m : remap) {
-        if (map_attempts_started[static_cast<size_t>(m)] >=
-            conf_.max_task_attempts) {
-          return Status::DataLoss(StringPrintf(
-              "map task %d output still corrupt after %d attempts", m,
-              conf_.max_task_attempts));
-        }
-      }
-      // Re-executions are retries of committed maps (lost output), on top
-      // of the attempt accounting run_map_tasks does itself.
-      result.map_retries += static_cast<int64_t>(remap.size());
-      MRMB_RETURN_IF_ERROR(run_map_tasks(std::move(remap)));
-    }
-    pending = std::move(retry);
-  }
-
-  // ---- Commit: aggregate counters and write output in task order -------
-  for (size_t m = 0; m < num_maps; ++m) {
-    const MapTaskStats& stats = map_stats[m];
-    result.map_input_records += stats.input_records;
-    result.map_output_records += stats.output_records;
-    result.spill_count += stats.spill_count;
-    result.combine_removed_records += stats.combine_removed;
-    result.map_output_bytes += stats.output_bytes;
-  }
-  for (size_t r = 0; r < num_reduces; ++r) {
-    for (size_t m = 0; m < num_maps; ++m) {
-      const SpillSegment::PartitionRange& range =
-          map_outputs[m].partitions[r];
-      result.reducer_input_records[r] += range.records;
-      result.reducer_input_bytes[r] += range.length;
-    }
-    result.reduce_groups += reduce_committed[r].groups;
-    std::unique_ptr<RecordWriter> writer =
-        output_format->CreateWriter(conf_, static_cast<int>(r));
-    for (const auto& [key, value] : reduce_committed[r].output) {
-      writer->Write(key, value);
-      result.output_records += 1;
-      result.output_bytes += static_cast<int64_t>(key.size() + value.size());
-    }
-    MRMB_RETURN_IF_ERROR(writer->Close());
-  }
-  for (int64_t records : result.reducer_input_records) {
-    result.reduce_input_records += records;
-  }
-
-  const auto end = std::chrono::steady_clock::now();
-  result.wall_seconds =
-      std::chrono::duration<double>(end - start).count();
+  LocalJobResult result;
+  PipelinedJob job(conf_, input_format, std::move(splits), mapper_factory,
+                   reducer_factory, partitioner_factory, combiner_factory);
+  MRMB_RETURN_IF_ERROR(job.Execute(output_format, &result));
   return result;
 }
 

@@ -1,11 +1,15 @@
 // LocalJobRunner — functional, in-process execution of a MapReduce job,
-// hardened as a task-attempt engine.
+// hardened as a task-attempt engine with a pipelined shuffle.
 //
 // Runs every phase for real on real bytes: mappers emit serialized records
-// into a bounded KvBuffer (spilling and merging like Hadoop's map side), the
-// "shuffle" hands each reducer its CRC-verified partition slices, and
-// reducers consume a k-way merged, grouped stream. Map and reduce tasks run
-// as *attempts* on a bounded worker pool (`JobConf::local_threads`):
+// into a bounded KvBuffer (spilling and merging like Hadoop's map side), an
+// event-driven shuffle publishes each committed map output to per-reduce
+// fetch queues (reducers launch once `reduce_slowstart` of the maps have
+// committed and background-merge fetched segments so the final merge sees
+// at most `merge_factor` streams — Hadoop's ShuffleScheduler/MergeManager
+// shape), and reducers consume a k-way merged, grouped stream. Map and
+// reduce tasks run as *attempts* on a bounded worker pool
+// (`JobConf::local_threads`):
 //
 //   - An attempt that fails (injected fault, oversized record, corrupt
 //     input) returns a Status instead of aborting the process, and is
@@ -71,6 +75,35 @@ struct LocalJobResult {
   int64_t corruptions_detected = 0;
   // Attempts cancelled by the watchdog deadline.
   int64_t watchdog_timeouts = 0;
+
+  // ---- Shuffle-pipeline counters ---------------------------------------
+  // CRC32C partition verifications performed at fetch time. The verify
+  // cache makes this (maps x reduces) per committed generation instead of
+  // per reduce *attempt*; timing-dependent only when maps re-execute.
+  int64_t crc_verifications = 0;
+  // Background merge folds run by reduce-side mergers (merge_factor
+  // bounding the final fan-in). Deterministic on clean runs: reduces x
+  // plan nodes.
+  int64_t intermediate_merges = 0;
+  // Fetched segments dropped because the producing map re-executed after
+  // the fetch (generation mismatch). Timing-dependent under faults: a
+  // reduce that had not fetched the stale generation yet fetches the new
+  // one directly and never counts here.
+  int64_t stale_fetches_invalidated = 0;
+
+  // ---- Phase breakdown (host wall time, diagnostic only) ---------------
+  // Job start until the last initial map commit.
+  double map_phase_seconds = 0;
+  // Reduce-side time spent waiting for map outputs to commit.
+  double shuffle_wait_seconds = 0;
+  // Reduce-side fetch verification + background merge work.
+  double shuffle_merge_seconds = 0;
+  // Final merge + reduce function execution.
+  double reduce_compute_seconds = 0;
+  // Fraction of reduce-side busy time (merge + compute) that ran while the
+  // map phase was still in progress; 0 when the shuffle never overlaps
+  // (reduce_slowstart = 1.0 or local_threads = 1).
+  double overlap_efficiency = 0;
 
   // Real (host) execution time of Run().
   double wall_seconds = 0;

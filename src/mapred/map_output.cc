@@ -9,6 +9,55 @@
 
 namespace mrmb {
 
+Result<MergedRun> MergeFramedRuns(const std::vector<FramedRun>& runs,
+                                  const RawComparator* comparator,
+                                  std::vector<int>* corrupt_sources) {
+  MergedRun out;
+  size_t total = 0;
+  for (const FramedRun& run : runs) total += run.data.size();
+  out.data.reserve(total);
+  BufferWriter writer(&out.data);
+
+  std::vector<std::unique_ptr<RecordStream>> inputs;
+  inputs.reserve(runs.size());
+  for (const FramedRun& run : runs) {
+    // Fold inputs crossed the shuffle: validate key framing so a bit flip
+    // surfaces as this run's DataLoss instead of feeding the comparator
+    // garbage.
+    inputs.push_back(
+        std::make_unique<SegmentReader>(run.data, comparator->type()));
+  }
+  // Keep raw pointers: MergeIterator takes ownership but we still need to
+  // ask each input for its status to blame the right producer.
+  std::vector<RecordStream*> streams;
+  streams.reserve(inputs.size());
+  for (const auto& input : inputs) streams.push_back(input.get());
+
+  MergeIterator merged(std::move(inputs), comparator);
+  while (merged.Valid()) {
+    const std::string_view key = merged.key();
+    const std::string_view value = merged.value();
+    writer.AppendVarint64(static_cast<int64_t>(key.size()));
+    writer.AppendVarint64(static_cast<int64_t>(value.size()));
+    writer.AppendRaw(key);
+    writer.AppendRaw(value);
+    out.records += 1;
+    merged.Next();
+  }
+  Status status = merged.status();
+  if (!status.ok()) {
+    if (corrupt_sources != nullptr) {
+      for (size_t i = 0; i < streams.size(); ++i) {
+        if (!streams[i]->status().ok()) {
+          corrupt_sources->push_back(runs[i].source_map);
+        }
+      }
+    }
+    return status;
+  }
+  return out;
+}
+
 Result<SpillSegment> MergeSegments(
     const std::vector<const SpillSegment*>& segments,
     const RawComparator* comparator, bool verify_checksums) {
@@ -23,33 +72,23 @@ Result<SpillSegment> MergeSegments(
   SpillSegment out;
   out.data.reserve(static_cast<size_t>(total_bytes));
   out.partitions.resize(num_partitions);
-  BufferWriter writer(&out.data);
 
   for (size_t p = 0; p < num_partitions; ++p) {
     SpillSegment::PartitionRange& range = out.partitions[p];
     range.offset = static_cast<int64_t>(out.data.size());
-    std::vector<std::unique_ptr<RecordStream>> inputs;
-    inputs.reserve(segments.size());
+    std::vector<FramedRun> runs;
+    runs.reserve(segments.size());
     for (const SpillSegment* segment : segments) {
       if (verify_checksums) {
         MRMB_RETURN_IF_ERROR(
             VerifySegmentPartition(*segment, static_cast<int>(p)));
       }
-      inputs.push_back(std::make_unique<SegmentReader>(
-          segment->PartitionData(static_cast<int>(p))));
+      runs.push_back({segment->PartitionData(static_cast<int>(p)), -1});
     }
-    MergeIterator merged(std::move(inputs), comparator);
-    while (merged.Valid()) {
-      const std::string_view key = merged.key();
-      const std::string_view value = merged.value();
-      writer.AppendVarint64(static_cast<int64_t>(key.size()));
-      writer.AppendVarint64(static_cast<int64_t>(value.size()));
-      writer.AppendRaw(key);
-      writer.AppendRaw(value);
-      range.records += 1;
-      merged.Next();
-    }
-    MRMB_RETURN_IF_ERROR(merged.status());
+    MRMB_ASSIGN_OR_RETURN(MergedRun merged,
+                          MergeFramedRuns(runs, comparator));
+    out.data.append(merged.data);
+    range.records = merged.records;
     range.length = static_cast<int64_t>(out.data.size()) - range.offset;
   }
   SealSegment(&out);

@@ -7,6 +7,9 @@
 #ifndef MRMB_MAPRED_MAP_OUTPUT_H_
 #define MRMB_MAPRED_MAP_OUTPUT_H_
 
+#include <cstdint>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "io/comparator.h"
@@ -14,6 +17,31 @@
 #include "mapred/api.h"
 
 namespace mrmb {
+
+// One sorted run of framed records, annotated with where it came from so a
+// malformed stream can be blamed on its producer. `source_map` is the map
+// task id for raw fetched partitions and -1 for runs the merger itself
+// produced (those bytes were already validated when they were written).
+struct FramedRun {
+  std::string_view data;
+  int source_map = -1;
+};
+
+// Output of MergeFramedRuns: one sorted framed run plus its record count.
+struct MergedRun {
+  std::string data;
+  int64_t records = 0;
+};
+
+// K-way merges individually-sorted framed runs into one framed run. Key
+// order is `comparator` order; equal keys keep the input order of `runs`,
+// so callers that pass runs in ascending map-id order preserve the global
+// map-order tie-break of a single flat merge. On malformed input returns
+// DataLoss and, when `corrupt_sources` is non-null, appends the source_map
+// of every input stream that failed mid-merge.
+Result<MergedRun> MergeFramedRuns(const std::vector<FramedRun>& runs,
+                                  const RawComparator* comparator,
+                                  std::vector<int>* corrupt_sources = nullptr);
 
 // Merges sorted spill segments (all with the same partition count) into one
 // sorted, sealed segment. Key order within each partition is decided by

@@ -54,6 +54,9 @@ JobConf BenchmarkOptions::ToJobConf() const {
   conf.sort_threads = sort_threads;
   conf.task_timeout_ms = task_timeout_ms;
   conf.checksum_map_output = checksum_map_output;
+  conf.reduce_slowstart = reduce_slowstart;
+  conf.merge_factor = merge_factor;
+  conf.fetch_latency_ms = fetch_latency_ms;
   conf.local_fault_plan = local_fault_plan;
 
   conf.record.type = data_type;

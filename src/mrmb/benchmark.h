@@ -93,6 +93,14 @@ struct BenchmarkOptions {
   int sort_threads = 1;  // 0 = match local_threads
   int64_t task_timeout_ms = 0;
   bool checksum_map_output = true;
+  // Fraction of maps that must commit before reducers start fetching
+  // (0 = fetch from the first commit, 1 = full map barrier).
+  double reduce_slowstart = 0.05;
+  // Max streams per reduce-side merge (Hadoop's io.sort.factor).
+  int merge_factor = 10;
+  // Simulated transfer time per fetched partition (wall-clock only; the
+  // data plane never changes). 0 = fetches are free pointer handoffs.
+  int64_t fetch_latency_ms = 0;
   LocalFaultPlan local_fault_plan;
 
   // ---- Instrumentation ------------------------------------------------

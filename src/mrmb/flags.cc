@@ -140,6 +140,15 @@ Status ApplyFaultToleranceFlags(const Flags& flags,
       flags.GetInt("task-timeout-ms", options->task_timeout_ms));
   MRMB_ASSIGN_OR_RETURN(options->checksum_map_output,
                         flags.GetBool("checksum", options->checksum_map_output));
+  MRMB_ASSIGN_OR_RETURN(
+      options->reduce_slowstart,
+      flags.GetDouble("reduce-slowstart", options->reduce_slowstart));
+  MRMB_ASSIGN_OR_RETURN(const int64_t merge_factor,
+                        flags.GetInt("merge-factor", options->merge_factor));
+  options->merge_factor = static_cast<int>(merge_factor);
+  MRMB_ASSIGN_OR_RETURN(
+      options->fetch_latency_ms,
+      flags.GetInt("fetch-latency-ms", options->fetch_latency_ms));
   MRMB_ASSIGN_OR_RETURN(const std::string local_plan_spec,
                         flags.GetString("local-fault-plan", ""));
   if (!local_plan_spec.empty()) {
@@ -170,6 +179,13 @@ const char* FaultToleranceFlagsHelp() {
       "                            local-threads; output is byte-identical)\n"
       "  --task-timeout-ms=MS      local-runner watchdog deadline (0 = off)\n"
       "  --checksum[=BOOL]         verify map-output CRC32C at shuffle read\n"
+      "  --reduce-slowstart=F      fraction of maps committed before reduce\n"
+      "                            fetchers launch (0 = immediately, 1 = full\n"
+      "                            map barrier; default 0.05)\n"
+      "  --merge-factor=N          max streams per reduce-side merge (>= 2,\n"
+      "                            Hadoop's io.sort.factor; default 10)\n"
+      "  --fetch-latency-ms=MS     simulated transfer time per fetched\n"
+      "                            partition (wall-clock only; default 0)\n"
       "  --local-fault-plan=SPEC   local-runner fault events, e.g.\n"
       "                            \"fail_map:3@a=0;corrupt_map:2@a=0,p=1;"
       "delay_map:0@a=0,ms=500\"\n";

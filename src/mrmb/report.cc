@@ -98,6 +98,8 @@ void PrintLocalJobReport(const BenchmarkOptions& options,
   }
   os << "Map output checksums : "
      << (options.checksum_map_output ? "on (CRC32C)" : "off") << "\n";
+  os << StringPrintf("Reduce slow-start    : %.2f (merge factor %d)\n",
+                     options.reduce_slowstart, options.merge_factor);
   os << "---------------------------------------------------------------"
         "----\n";
   os << StringPrintf("Wall time            : %.3f s\n", result.wall_seconds);
@@ -134,6 +136,27 @@ void PrintLocalJobReport(const BenchmarkOptions& options,
                        static_cast<long long>(result.corruptions_detected));
     os << StringPrintf("Watchdog timeouts    : %lld\n",
                        static_cast<long long>(result.watchdog_timeouts));
+  }
+  os << "--- shuffle pipeline ------------------------------------------"
+        "----\n";
+  os << StringPrintf("Map phase            : %.3f s\n",
+                     result.map_phase_seconds);
+  os << StringPrintf("Shuffle wait / merge : %.3f s / %.3f s\n",
+                     result.shuffle_wait_seconds,
+                     result.shuffle_merge_seconds);
+  os << StringPrintf("Reduce compute       : %.3f s\n",
+                     result.reduce_compute_seconds);
+  os << StringPrintf("Overlap efficiency   : %.1f%% of reduce-side work ran "
+                     "during the map phase\n",
+                     result.overlap_efficiency * 100.0);
+  os << StringPrintf("CRC verifications    : %lld\n",
+                     static_cast<long long>(result.crc_verifications));
+  os << StringPrintf("Background merges    : %lld\n",
+                     static_cast<long long>(result.intermediate_merges));
+  if (result.stale_fetches_invalidated > 0) {
+    os << StringPrintf("Stale fetches dropped: %lld\n",
+                       static_cast<long long>(
+                           result.stale_fetches_invalidated));
   }
   os << "================================================================="
         "====\n";

@@ -21,6 +21,7 @@ const char* const kKnownKeys[] = {
     "blacklist-threshold",
     // Functional (local) runner.
     "local-threads", "sort-threads", "task-timeout-ms", "checksum",
+    "reduce-slowstart", "merge-factor", "fetch-latency-ms",
     "local-fault-plan",
 };
 
@@ -261,6 +262,31 @@ Result<ResolvedSection> ResolveSection(const SuiteSection& section) {
                         SingleValue(section, "checksum", "true"));
   base.checksum_map_output = !(ToLower(checksum) == "false" ||
                                checksum == "0" || ToLower(checksum) == "no");
+  MRMB_RETURN_IF_ERROR(double_value("reduce-slowstart", base.reduce_slowstart,
+                                    &base.reduce_slowstart));
+  if (base.reduce_slowstart < 0 || base.reduce_slowstart > 1.0) {
+    return Status::InvalidArgument(
+        "[" + section.name + "] reduce-slowstart must be in [0, 1]");
+  }
+  MRMB_RETURN_IF_ERROR(
+      int_value("merge-factor", base.merge_factor, &base.merge_factor));
+  if (base.merge_factor < 2) {
+    return Status::InvalidArgument("[" + section.name +
+                                   "] merge-factor must be >= 2");
+  }
+  {
+    MRMB_ASSIGN_OR_RETURN(
+        const std::string text,
+        SingleValue(section, "fetch-latency-ms",
+                    std::to_string(base.fetch_latency_ms)));
+    char* end = nullptr;
+    const long long v = std::strtoll(text.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || v < 0) {
+      return Status::InvalidArgument("[" + section.name +
+                                     "] bad fetch-latency-ms: '" + text + "'");
+    }
+    base.fetch_latency_ms = static_cast<int64_t>(v);
+  }
   if (auto it = section.entries.find("local-fault-plan");
       it != section.entries.end()) {
     // Comma-carrying tokens (corrupt_map's ",p=" / delay's ",ms=") were

@@ -86,6 +86,21 @@ TEST(JobConfTest, RejectsBadShuffleParams) {
   EXPECT_FALSE(conf.Validate().ok());
 }
 
+TEST(JobConfTest, RejectsBadPipelineKnobs) {
+  JobConf conf = ValidConf();
+  conf.reduce_slowstart = -0.01;
+  EXPECT_FALSE(conf.Validate().ok());
+  conf = ValidConf();
+  conf.reduce_slowstart = 1.01;
+  EXPECT_FALSE(conf.Validate().ok());
+  conf = ValidConf();
+  conf.merge_factor = 1;
+  EXPECT_FALSE(conf.Validate().ok());
+  conf = ValidConf();
+  conf.fetch_latency_ms = -1;
+  EXPECT_FALSE(conf.Validate().ok());
+}
+
 TEST(JobConfTest, RejectsBadContainersAndKeys) {
   JobConf conf = ValidConf();
   conf.yarn_container_bytes = 0;
@@ -104,6 +119,12 @@ TEST(JobConfTest, BoundaryValuesAccepted) {
   conf.spill_percent = 1.0;
   EXPECT_TRUE(conf.Validate().ok());
   conf.records_per_map = 0;
+  EXPECT_TRUE(conf.Validate().ok());
+  conf.reduce_slowstart = 0.0;
+  EXPECT_TRUE(conf.Validate().ok());
+  conf.reduce_slowstart = 1.0;
+  EXPECT_TRUE(conf.Validate().ok());
+  conf.merge_factor = 2;
   EXPECT_TRUE(conf.Validate().ok());
 }
 

@@ -191,5 +191,31 @@ TEST(KeyPrefixTest, NullWritableIsDecisiveAndConstant) {
   EXPECT_EQ(NormalizedKeyPrefix(DataType::kNullWritable, ""), 0u);
 }
 
+TEST(KeyWireFormatTest, AcceptsEveryWellFormedEncoding) {
+  EXPECT_TRUE(KeyWireFormatValid(DataType::kBytesWritable, WireBytes("")));
+  EXPECT_TRUE(KeyWireFormatValid(DataType::kBytesWritable, WireBytes("abc")));
+  EXPECT_TRUE(KeyWireFormatValid(DataType::kText, WireText("")));
+  EXPECT_TRUE(KeyWireFormatValid(DataType::kText, WireText("hello")));
+  EXPECT_TRUE(KeyWireFormatValid(DataType::kIntWritable, WireInt(-7)));
+  EXPECT_TRUE(KeyWireFormatValid(DataType::kLongWritable, WireLong(1)));
+  EXPECT_TRUE(KeyWireFormatValid(DataType::kNullWritable, ""));
+}
+
+TEST(KeyWireFormatTest, RejectsLengthHeaderMismatchAndBadWidths) {
+  // BytesWritable: the 4-byte header must equal the remaining byte count.
+  std::string k = WireBytes("abcd");
+  k.pop_back();
+  EXPECT_FALSE(KeyWireFormatValid(DataType::kBytesWritable, k));
+  EXPECT_FALSE(KeyWireFormatValid(DataType::kBytesWritable, "ab"));
+  // Text: the varint header must parse and match.
+  std::string t = WireText("hello");
+  t += 'x';
+  EXPECT_FALSE(KeyWireFormatValid(DataType::kText, t));
+  // Fixed-width types must be exactly their width.
+  EXPECT_FALSE(KeyWireFormatValid(DataType::kIntWritable, "abc"));
+  EXPECT_FALSE(KeyWireFormatValid(DataType::kLongWritable, "abcd"));
+  EXPECT_FALSE(KeyWireFormatValid(DataType::kNullWritable, "x"));
+}
+
 }  // namespace
 }  // namespace mrmb

@@ -69,13 +69,19 @@ TEST(KvBufferTest, SortOrdersByPartitionThenKey) {
 
 TEST(KvBufferTest, SortIsStableForEqualKeys) {
   KvBuffer buffer(DataType::kBytesWritable, 1, 1 << 20);
+  // Build values with += rather than `"v" + std::to_string(i)`: GCC 12's
+  // -Werror=restrict false-positives on operator+(const char*, string&&)
+  // (GCC bug 105651) when it gets inlined here.
   for (int i = 0; i < 5; ++i) {
-    ASSERT_TRUE(buffer.Append(0, WireBytes("same"),
-                              WireBytes("v" + std::to_string(i))));
+    std::string value = "v";
+    value += std::to_string(i);
+    ASSERT_TRUE(buffer.Append(0, WireBytes("same"), WireBytes(value)));
   }
   buffer.Sort();
   for (int i = 0; i < 5; ++i) {
-    EXPECT_EQ(buffer.ValueAt(i), WireBytes("v" + std::to_string(i)));
+    std::string value = "v";
+    value += std::to_string(i);
+    EXPECT_EQ(buffer.ValueAt(i), WireBytes(value));
   }
 }
 

@@ -87,6 +87,32 @@ TEST(SegmentReaderTest, MalformedMidStreamStopsWithDataLoss) {
   EXPECT_EQ(reader.status().code(), StatusCode::kDataLoss);
 }
 
+TEST(SegmentReaderTest, KeyValidationRejectsReframedGarbage) {
+  // A bit flip in a key-length varint can re-frame the stream into records
+  // that still fit the slice but whose keys are the wrong shape. The
+  // type-aware reader refuses them; the plain reader (used on trusted,
+  // locally-produced bytes) does not look inside the key.
+  std::string data = FramedSegment({{"abcd", "wxyz"}});
+  data[0] ^= 0x04;  // grow the key length, swallowing value-header bytes
+  SegmentReader trusting(data);
+  EXPECT_TRUE(trusting.Valid() || !trusting.status().ok());
+  SegmentReader validating(data, DataType::kBytesWritable);
+  EXPECT_FALSE(validating.Valid());
+  EXPECT_EQ(validating.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(SegmentReaderTest, KeyValidationAcceptsWellFormedRecords) {
+  const std::string data = FramedSegment({{"abc", "1"}, {"xyz", "2"}});
+  SegmentReader reader(data, DataType::kBytesWritable);
+  int records = 0;
+  while (reader.Valid()) {
+    ++records;
+    reader.Next();
+  }
+  EXPECT_EQ(records, 2);
+  EXPECT_TRUE(reader.status().ok());
+}
+
 TEST(MergeIteratorTest, EmptyInputs) {
   std::vector<std::unique_ptr<RecordStream>> inputs;
   MergeIterator merged(std::move(inputs),
@@ -333,6 +359,101 @@ TEST(GroupedIteratorTest, WorksOverMergeIterator) {
   }
   EXPECT_EQ(group_count, 3);
   EXPECT_EQ(k1_values, 2);
+}
+
+// A stream whose key/value views die on every Next(): each record is
+// re-buffered into the same storage, the worst case the stable_views()
+// protocol exists for.
+class RebufferingStream final : public RecordStream {
+ public:
+  explicit RebufferingStream(
+      std::vector<std::pair<std::string, std::string>> records)
+      : records_(std::move(records)) {}
+
+  bool Valid() const override { return index_ < records_.size(); }
+  std::string_view key() const override { return key_; }
+  std::string_view value() const override { return value_; }
+  void Next() override {
+    ++index_;
+    Load();
+  }
+  Status status() const override { return status_; }
+  // stable_views() deliberately left at the base-class default (false).
+
+  void Start() { Load(); }
+
+ private:
+  void Load() {
+    if (!Valid()) {
+      // Poison the storage so a dangling view is caught, not silently OK.
+      key_.assign("XX");
+      value_.assign("XX");
+      return;
+    }
+    key_.assign(WireBytes(records_[index_].first));
+    value_.assign(WireBytes(records_[index_].second));
+  }
+
+  std::vector<std::pair<std::string, std::string>> records_;
+  size_t index_ = 0;
+  std::string key_;
+  std::string value_;
+  Status status_;
+};
+
+TEST(GroupedIteratorTest, StableInputKeepsGroupKeyAsBorrowedView) {
+  // SegmentReader promises stable views, so the group key must stay a
+  // zero-copy pointer into the caller's segment across NextValue calls.
+  const std::string data =
+      FramedSegment({{"a", "1"}, {"a", "2"}, {"b", "3"}});
+  SegmentReader reader(data);
+  ASSERT_TRUE(reader.stable_views());
+  GroupedIterator groups(&reader, ComparatorFor(DataType::kBytesWritable));
+  ASSERT_TRUE(groups.NextGroup());
+  const char* lo = data.data();
+  const char* hi = data.data() + data.size();
+  EXPECT_TRUE(groups.group_key().data() >= lo &&
+              groups.group_key().data() < hi);
+  ASSERT_TRUE(groups.NextValue());
+  ASSERT_TRUE(groups.NextValue());
+  // Still borrowed, still correct, after the stream advanced twice.
+  EXPECT_TRUE(groups.group_key().data() >= lo &&
+              groups.group_key().data() < hi);
+  EXPECT_EQ(groups.group_key(), WireBytes("a"));
+}
+
+TEST(GroupedIteratorTest, UnstableInputCopiesKeyBeforeStreamAdvances) {
+  RebufferingStream stream(
+      {{"a", "1"}, {"a", "2"}, {"a", "3"}, {"b", "4"}});
+  stream.Start();
+  ASSERT_FALSE(stream.stable_views());
+  GroupedIterator groups(&stream, ComparatorFor(DataType::kBytesWritable));
+  ASSERT_TRUE(groups.NextGroup());
+  EXPECT_EQ(groups.group_key(), WireBytes("a"));
+  int count = 0;
+  while (groups.NextValue()) {
+    ++count;
+    // The underlying storage now holds a later record (or poison), but the
+    // group key was pinned before the first advance.
+    EXPECT_EQ(groups.group_key(), WireBytes("a")) << "value " << count;
+  }
+  EXPECT_EQ(count, 3);
+  ASSERT_TRUE(groups.NextGroup());
+  EXPECT_EQ(groups.group_key(), WireBytes("b"));
+  ASSERT_TRUE(groups.NextValue());
+  EXPECT_EQ(groups.value(), WireBytes("4"));
+}
+
+TEST(GroupedIteratorTest, UnstableInputAbandonedGroupStillSkipsCorrectly) {
+  RebufferingStream stream({{"a", "1"}, {"a", "2"}, {"b", "3"}});
+  stream.Start();
+  GroupedIterator groups(&stream, ComparatorFor(DataType::kBytesWritable));
+  ASSERT_TRUE(groups.NextGroup());  // "a", abandoned unconsumed
+  ASSERT_TRUE(groups.NextGroup());  // must skip a's values and land on "b"
+  EXPECT_EQ(groups.group_key(), WireBytes("b"));
+  ASSERT_TRUE(groups.NextValue());
+  EXPECT_EQ(groups.value(), WireBytes("3"));
+  EXPECT_FALSE(groups.NextGroup());
 }
 
 }  // namespace

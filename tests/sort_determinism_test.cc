@@ -236,7 +236,9 @@ class CapturingOutputFormat final : public OutputFormat {
   std::map<int, std::string> streams_;
 };
 
-uint32_t JobOutputFingerprint(int local_threads, int sort_threads) {
+uint32_t JobOutputFingerprint(int local_threads, int sort_threads,
+                              double reduce_slowstart = 0.05,
+                              int merge_factor = 10) {
   JobConf conf;
   conf.num_maps = 4;
   conf.num_reduces = 3;
@@ -245,6 +247,8 @@ uint32_t JobOutputFingerprint(int local_threads, int sort_threads) {
   conf.spill_percent = 1.0;
   conf.local_threads = local_threads;
   conf.sort_threads = sort_threads;
+  conf.reduce_slowstart = reduce_slowstart;
+  conf.merge_factor = merge_factor;
   LocalJobRunner runner(conf);
   NullInputFormat input;
   CapturingOutputFormat output;
@@ -268,6 +272,36 @@ TEST(SortDeterminismTest, JobOutputMatchesGoldenAcrossSortThreadCounts) {
     EXPECT_EQ(JobOutputFingerprint(/*local_threads=*/2, sort_threads),
               kGoldenJobOutput)
         << "sort_threads=" << sort_threads;
+  }
+}
+
+// The pipelined shuffle must be invisible in the bytes: however much the
+// map phase and the reduce-side fetch/merge overlap (slow-start 0 =
+// fetchers race the first commit; 1.0 = full map barrier, the pre-pipeline
+// behaviour), the committed output equals the golden fingerprint.
+TEST(SortDeterminismTest, JobOutputMatchesGoldenAcrossSlowstartAndThreads) {
+  for (double slowstart : {0.0, 0.05, 1.0}) {
+    for (int local_threads : {1, 2, 8}) {
+      EXPECT_EQ(JobOutputFingerprint(local_threads, /*sort_threads=*/1,
+                                     slowstart),
+                kGoldenJobOutput)
+          << "reduce_slowstart=" << slowstart
+          << " local_threads=" << local_threads;
+    }
+  }
+}
+
+// A tiny merge factor forces real intermediate folds (4 maps, factor 2 =>
+// two background merge nodes feeding the final merge); the fold plan's
+// contiguous-span tie-breaking must keep equal keys in global map order,
+// so the bytes still match the flat-merge golden.
+TEST(SortDeterminismTest, JobOutputMatchesGoldenWithBoundedMergeFanIn) {
+  for (int local_threads : {1, 8}) {
+    EXPECT_EQ(JobOutputFingerprint(local_threads, /*sort_threads=*/1,
+                                   /*reduce_slowstart=*/0.0,
+                                   /*merge_factor=*/2),
+              kGoldenJobOutput)
+        << "local_threads=" << local_threads;
   }
 }
 

@@ -137,6 +137,9 @@ pattern = avg
 local-threads = 8
 task-timeout-ms = 2000
 checksum = false
+reduce-slowstart = 0.25
+merge-factor = 4
+fetch-latency-ms = 3
 local-fault-plan = fail_map:3@a=0;corrupt_map:2@a=0,p=1
 )");
   ASSERT_TRUE(spec.ok()) << spec.status().ToString();
@@ -146,6 +149,9 @@ local-fault-plan = fail_map:3@a=0;corrupt_map:2@a=0,p=1
   EXPECT_EQ(options.local_threads, 8);
   EXPECT_EQ(options.task_timeout_ms, 2000);
   EXPECT_FALSE(options.checksum_map_output);
+  EXPECT_DOUBLE_EQ(options.reduce_slowstart, 0.25);
+  EXPECT_EQ(options.merge_factor, 4);
+  EXPECT_EQ(options.fetch_latency_ms, 3);
   ASSERT_EQ(options.local_fault_plan.events.size(), 2u);
   EXPECT_EQ(options.local_fault_plan.events[0].kind,
             LocalFaultKind::kFailMap);
@@ -160,6 +166,8 @@ TEST(SuiteSpecResolveTest, RejectsBadFaultValues) {
        {"[x]\nfault-plan = explode:1@t=2s\n", "[x]\ncrash-prob = maybe\n",
         "[x]\nmax-attempts = 0\n", "[x]\nblacklist-threshold = -2\n",
         "[x]\nlocal-threads = 0\n", "[x]\ntask-timeout-ms = -5\n",
+        "[x]\nreduce-slowstart = 1.5\n", "[x]\nreduce-slowstart = -0.1\n",
+        "[x]\nmerge-factor = 1\n", "[x]\nfetch-latency-ms = -1\n",
         "[x]\nlocal-fault-plan = explode_map:1@a=0\n"}) {
     auto spec = ParseSuiteSpec(bad);
     ASSERT_TRUE(spec.ok()) << bad;

@@ -4,6 +4,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -18,6 +20,41 @@ TEST(ThreadPoolTest, RunsEverySubmittedTask) {
   }
   pool.Wait();
   EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, HigherLanesDrainFirst) {
+  // With a single worker parked on a blocker, tasks queued across lanes
+  // must run highest-lane-first once it frees up — the property the
+  // pipelined shuffle relies on to slip fetch/merge events ahead of
+  // queued map attempts.
+  ThreadPool pool(1);
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool release = false;
+  std::vector<int> order;
+  pool.Submit(0, [&] {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return release; });
+  });
+  // Give the worker time to pick up the blocker so the rest stay queued.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  for (int i = 0; i < 3; ++i) {
+    pool.Submit(0, [&order, &mutex, i] {
+      std::lock_guard<std::mutex> lock(mutex);
+      order.push_back(i);
+    });
+    pool.Submit(1, [&order, &mutex, i] {
+      std::lock_guard<std::mutex> lock(mutex);
+      order.push_back(100 + i);
+    });
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    release = true;
+  }
+  cv.notify_all();
+  pool.Wait();
+  EXPECT_EQ(order, (std::vector<int>{100, 101, 102, 0, 1, 2}));
 }
 
 TEST(ThreadPoolTest, ClampsToAtLeastOneWorker) {
