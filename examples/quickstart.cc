@@ -27,7 +27,9 @@ constexpr char kUsage[] = R"(quickstart: run one mrmb micro-benchmark.
   --scheduler=mrv1|yarn     framework generation (default mrv1)
   --cluster=a|b             testbed shape (default a)
   --monitor                 collect CPU / network utilization samples
-  --compress                DEFLATE the intermediate data
+  --map-output-codec=C      compress the intermediate data with C
+                            (none | lz4 | deflate; default none)
+  --compress                deprecated alias for --map-output-codec=deflate
   --zipf-exp=S              skew exponent for --pattern=zipf (default 1.0)
 
 Fault injection (all default off):
@@ -44,6 +46,8 @@ Functional (in-process) mode — real bytes, small sizes:
   --local-threads=N         worker threads for task attempts (default 1)
   --task-timeout-ms=MS      watchdog deadline per attempt (0 = off)
   --checksum[=BOOL]         verify CRC32C map-output seals (default on)
+  --fetch-latency-ms=MS     fixed simulated transfer time per fetch
+  --fetch-bandwidth-mbps=X  simulated shuffle bandwidth in MB/s (0 = inf)
   --local-fault-plan=SPEC   deterministic attempt faults, e.g.
                             "fail_map:3@a=0;corrupt_map:2@a=0,p=1;
                              delay_map:0@a=0,ms=500"

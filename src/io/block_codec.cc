@@ -1,0 +1,402 @@
+#include "io/block_codec.h"
+
+#include <bit>
+#include <cstring>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "io/byte_buffer.h"
+#include "io/checksum.h"
+#include "io/codec.h"
+
+namespace mrmb {
+
+namespace {
+
+constexpr uint32_t kFrameMagic = 0x4d42424bu;  // "MBBK"
+
+constexpr uint8_t kMethodStored = 0;
+constexpr uint8_t kMethodLz4 = 1;
+constexpr uint8_t kMethodDeflate = 2;
+
+// Frames larger than this are rejected before any allocation happens; the
+// data plane compresses per-partition ranges, which are orders of magnitude
+// smaller.
+constexpr uint64_t kMaxFrameRawSize = 1ull << 32;
+
+// --- LZ4-style match finder parameters ---
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxOffset = 65535;  // 16-bit offsets
+constexpr int kHashBits = 15;
+constexpr int kMaxChainDepth = 16;
+// The classic LZ4 end-of-block restrictions: no match starts within the
+// last 12 bytes, and the final 5 bytes are always literals. They guarantee
+// the decoder's token/offset reads never straddle the end of the stream.
+constexpr size_t kMatchStartMargin = 12;
+constexpr size_t kLastLiterals = 5;
+// A match this long ends the chain walk early: on repetitive shuffle data
+// (sorted runs repeating the same serialized key) nearly every position
+// finds one on its first candidate, which is what keeps the compressor at
+// memory speed instead of O(chain depth) compares per byte.
+constexpr size_t kGoodEnoughMatch = 48;
+
+inline uint32_t HashQuad(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+// Length of the common prefix of a and b, eight bytes per compare.
+inline size_t MatchLength(const uint8_t* a, const uint8_t* b, size_t max_len) {
+  static_assert(std::endian::native == std::endian::little,
+                "word-wise match extension assumes little-endian loads");
+  size_t len = 0;
+  while (len + sizeof(uint64_t) <= max_len) {
+    uint64_t wa;
+    uint64_t wb;
+    std::memcpy(&wa, a + len, sizeof(wa));
+    std::memcpy(&wb, b + len, sizeof(wb));
+    const uint64_t diff = wa ^ wb;
+    if (diff != 0) {
+      return len + (static_cast<size_t>(std::countr_zero(diff)) >> 3);
+    }
+    len += sizeof(uint64_t);
+  }
+  while (len < max_len && a[len] == b[len]) ++len;
+  return len;
+}
+
+void AppendRunLength(size_t len, std::string* out) {
+  while (len >= 255) {
+    out->push_back(static_cast<char>(0xff));
+    len -= 255;
+  }
+  out->push_back(static_cast<char>(len));
+}
+
+// CRC32C over the method+raw_len header bytes followed by the payload —
+// a corrupted length field fails the checksum before any allocation is
+// sized from it.
+uint32_t FrameCrc(std::string_view header_tail, std::string_view payload) {
+  return Crc32c(Crc32c(kCrc32cInit, header_tail), payload);
+}
+
+}  // namespace
+
+const char* MapOutputCodecName(MapOutputCodec codec) {
+  switch (codec) {
+    case MapOutputCodec::kNone:
+      return "none";
+    case MapOutputCodec::kLz4:
+      return "lz4";
+    case MapOutputCodec::kDeflate:
+      return "deflate";
+  }
+  return "unknown";
+}
+
+Result<MapOutputCodec> MapOutputCodecByName(const std::string& name) {
+  const std::string lower = ToLower(name);
+  if (lower == "none" || lower == "off") return MapOutputCodec::kNone;
+  if (lower == "lz4") return MapOutputCodec::kLz4;
+  if (lower == "deflate" || lower == "zlib") return MapOutputCodec::kDeflate;
+  return Status::InvalidArgument("unknown map-output codec: '" + name +
+                                 "' (expected none, lz4 or deflate)");
+}
+
+size_t Lz4CompressBound(size_t raw_len) {
+  return raw_len + raw_len / 255 + 16;
+}
+
+void Lz4CompressBlock(std::string_view input, std::string* out) {
+  out->clear();
+  const size_t n = input.size();
+  if (n == 0) return;
+  out->reserve(Lz4CompressBound(n));
+  const uint8_t* base = reinterpret_cast<const uint8_t*>(input.data());
+
+  const auto emit_literals = [&](size_t anchor, size_t pos, int match_nibble) {
+    const size_t lit_len = pos - anchor;
+    const uint8_t token =
+        static_cast<uint8_t>((lit_len < 15 ? lit_len : 15) << 4) |
+        static_cast<uint8_t>(match_nibble);
+    out->push_back(static_cast<char>(token));
+    if (lit_len >= 15) AppendRunLength(lit_len - 15, out);
+    out->append(input.data() + anchor, lit_len);
+  };
+
+  if (n < kMatchStartMargin) {
+    emit_literals(0, n, 0);
+    return;
+  }
+
+  std::vector<int32_t> head(size_t{1} << kHashBits, -1);
+  std::vector<int32_t> chain(n, -1);
+  const size_t match_start_limit = n - kMatchStartMargin;
+  const size_t match_end_limit = n - kLastLiterals;
+  size_t anchor = 0;
+  size_t pos = 0;
+  while (pos < match_start_limit) {
+    // Greedy hash-chain search: walk the chain of prior positions with the
+    // same 4-byte hash, keep the longest match within the offset window.
+    const uint32_t h = HashQuad(base + pos);
+    const size_t max_len = match_end_limit - pos;
+    size_t best_len = 0;
+    size_t best_offset = 0;
+    int depth = kMaxChainDepth;
+    for (int32_t cand = head[h];
+         cand >= 0 && depth-- > 0 &&
+         pos - static_cast<size_t>(cand) <= kMaxOffset;
+         cand = chain[static_cast<size_t>(cand)]) {
+      // A longer match must agree at the current best length; one byte
+      // rejects most candidates without a full extension.
+      if (best_len > 0 &&
+          (best_len >= max_len ||
+           base[static_cast<size_t>(cand) + best_len] !=
+               base[pos + best_len])) {
+        continue;
+      }
+      const size_t len =
+          MatchLength(base + static_cast<size_t>(cand), base + pos, max_len);
+      if (len >= kMinMatch && len > best_len) {
+        best_len = len;
+        best_offset = pos - static_cast<size_t>(cand);
+        if (best_len >= kGoodEnoughMatch) break;
+      }
+    }
+    if (best_len >= kMinMatch) {
+      emit_literals(anchor, pos,
+                    static_cast<int>(best_len - kMinMatch < 15
+                                         ? best_len - kMinMatch
+                                         : 15));
+      out->push_back(static_cast<char>(best_offset & 0xff));
+      out->push_back(static_cast<char>(best_offset >> 8));
+      if (best_len - kMinMatch >= 15) {
+        AppendRunLength(best_len - kMinMatch - 15, out);
+      }
+      const size_t end = pos + best_len;
+      for (; pos < end && pos < match_start_limit; ++pos) {
+        const uint32_t hh = HashQuad(base + pos);
+        chain[pos] = head[hh];
+        head[hh] = static_cast<int32_t>(pos);
+      }
+      pos = end;
+      anchor = end;
+    } else {
+      chain[pos] = head[h];
+      head[h] = static_cast<int32_t>(pos);
+      ++pos;
+    }
+  }
+  emit_literals(anchor, n, 0);
+}
+
+Status Lz4DecompressBlock(std::string_view input, size_t raw_len,
+                          std::string* out) {
+  out->clear();
+  if (raw_len > kMaxFrameRawSize) {
+    return Status::InvalidArgument("lz4 block claims implausible raw size " +
+                                   std::to_string(raw_len));
+  }
+  // All bounds below keep out->size() <= raw_len, so this reserve is the
+  // only allocation and the in-place match copy never invalidates itself.
+  out->reserve(raw_len);
+  const size_t n = input.size();
+  size_t ip = 0;
+
+  const auto read_run_length = [&](size_t nibble, size_t* len) -> Status {
+    *len = nibble;
+    if (nibble != 15) return Status::OK();
+    uint8_t b;
+    do {
+      if (ip >= n) {
+        return Status::InvalidArgument("lz4 block truncated in length field");
+      }
+      b = static_cast<uint8_t>(input[ip++]);
+      *len += b;
+      if (*len > kMaxFrameRawSize) {
+        return Status::InvalidArgument("lz4 run length overflows block");
+      }
+    } while (b == 0xff);
+    return Status::OK();
+  };
+
+  while (ip < n) {
+    const uint8_t token = static_cast<uint8_t>(input[ip++]);
+    size_t literal_len = 0;
+    MRMB_RETURN_IF_ERROR(read_run_length(token >> 4, &literal_len));
+    if (literal_len > n - ip) {
+      return Status::InvalidArgument("lz4 literal run reads past block end");
+    }
+    if (literal_len > raw_len - out->size()) {
+      return Status::InvalidArgument("lz4 literal run overflows raw size");
+    }
+    out->append(input.data() + ip, literal_len);
+    ip += literal_len;
+    if (ip == n) break;  // final sequence: literals only, no match part
+
+    if (n - ip < 2) {
+      return Status::InvalidArgument("lz4 block truncated in match offset");
+    }
+    const size_t offset = static_cast<uint8_t>(input[ip]) |
+                          (static_cast<size_t>(
+                               static_cast<uint8_t>(input[ip + 1]))
+                           << 8);
+    ip += 2;
+    if (offset == 0 || offset > out->size()) {
+      return Status::InvalidArgument(
+          StringPrintf("lz4 match offset %zu out of range (window %zu)",
+                       offset, out->size()));
+    }
+    size_t match_len = 0;
+    MRMB_RETURN_IF_ERROR(read_run_length(token & 0xf, &match_len));
+    match_len += kMinMatch;
+    if (match_len > raw_len - out->size()) {
+      return Status::InvalidArgument("lz4 match overflows raw size");
+    }
+    // Byte-wise copy: overlapping matches (offset < match_len) replicate
+    // the run, exactly like the reference decoder.
+    size_t src = out->size() - offset;
+    for (size_t i = 0; i < match_len; ++i) {
+      out->push_back((*out)[src + i]);
+    }
+  }
+  if (out->size() != raw_len) {
+    return Status::InvalidArgument(
+        StringPrintf("lz4 block decoded to %zu bytes, frame claims %zu",
+                     out->size(), raw_len));
+  }
+  return Status::OK();
+}
+
+Status BlockCompress(MapOutputCodec codec, std::string_view raw,
+                     std::string* frame) {
+  frame->clear();
+  std::string payload;
+  uint8_t method = kMethodStored;
+  switch (codec) {
+    case MapOutputCodec::kNone:
+      return Status::InvalidArgument(
+          "BlockCompress requires a real codec; 'none' bypasses framing");
+    case MapOutputCodec::kLz4:
+      Lz4CompressBlock(raw, &payload);
+      method = kMethodLz4;
+      break;
+    case MapOutputCodec::kDeflate:
+      MRMB_RETURN_IF_ERROR(DeflateCompress(raw, &payload));
+      method = kMethodDeflate;
+      break;
+  }
+  if (payload.size() >= raw.size()) {
+    // Stored fallback: incompressible payloads cost the 17-byte header,
+    // never an expansion of the payload itself.
+    payload.assign(raw.data(), raw.size());
+    method = kMethodStored;
+  }
+  BufferWriter writer(frame);
+  writer.AppendFixed32(kFrameMagic);
+  writer.AppendByte(method);
+  writer.AppendFixed64(raw.size());
+  const std::string_view header_tail =
+      std::string_view(*frame).substr(4, kCodecFrameHeaderSize - 8);
+  writer.AppendFixed32(FrameCrc(header_tail, payload));
+  writer.AppendRaw(payload);
+  return Status::OK();
+}
+
+namespace {
+
+struct FrameHeader {
+  uint8_t method = 0;
+  uint64_t raw_len = 0;
+  uint32_t crc = 0;
+  std::string_view payload;
+};
+
+Status ParseFrameHeader(std::string_view frame, FrameHeader* header) {
+  if (frame.size() < kCodecFrameHeaderSize) {
+    return Status::InvalidArgument(
+        StringPrintf("codec frame truncated: %zu bytes, header needs %zu",
+                     frame.size(), kCodecFrameHeaderSize));
+  }
+  BufferReader reader(frame);
+  uint32_t magic = 0;
+  MRMB_RETURN_IF_ERROR(reader.ReadFixed32(&magic));
+  if (magic != kFrameMagic) {
+    return Status::InvalidArgument(
+        StringPrintf("bad codec frame magic %08x", magic));
+  }
+  MRMB_RETURN_IF_ERROR(reader.ReadByte(&header->method));
+  MRMB_RETURN_IF_ERROR(reader.ReadFixed64(&header->raw_len));
+  MRMB_RETURN_IF_ERROR(reader.ReadFixed32(&header->crc));
+  if (header->method > kMethodDeflate) {
+    return Status::InvalidArgument("unknown codec frame method " +
+                                   std::to_string(header->method));
+  }
+  if (header->raw_len > kMaxFrameRawSize) {
+    return Status::InvalidArgument("codec frame claims implausible raw size " +
+                                   std::to_string(header->raw_len));
+  }
+  header->payload = frame.substr(kCodecFrameHeaderSize);
+  const uint32_t actual = FrameCrc(frame.substr(4, kCodecFrameHeaderSize - 8),
+                                   header->payload);
+  if (actual != header->crc) {
+    return Status::DataLoss(StringPrintf(
+        "codec frame failed CRC32C verification (stored %08x, computed %08x "
+        "over %zu payload bytes)",
+        header->crc, actual, header->payload.size()));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status BlockDecompress(std::string_view frame, std::string* raw) {
+  raw->clear();
+  FrameHeader header;
+  MRMB_RETURN_IF_ERROR(ParseFrameHeader(frame, &header));
+  switch (header.method) {
+    case kMethodStored:
+      if (header.payload.size() != header.raw_len) {
+        return Status::InvalidArgument(StringPrintf(
+            "stored codec frame carries %zu bytes, header claims %llu",
+            header.payload.size(),
+            static_cast<unsigned long long>(header.raw_len)));
+      }
+      raw->assign(header.payload.data(), header.payload.size());
+      return Status::OK();
+    case kMethodLz4:
+      return Lz4DecompressBlock(header.payload,
+                                static_cast<size_t>(header.raw_len), raw);
+    case kMethodDeflate: {
+      MRMB_RETURN_IF_ERROR(DeflateDecompress(header.payload, raw));
+      if (raw->size() != header.raw_len) {
+        const size_t decoded = raw->size();
+        raw->clear();
+        return Status::InvalidArgument(StringPrintf(
+            "deflate codec frame decoded to %zu bytes, header claims %llu",
+            decoded, static_cast<unsigned long long>(header.raw_len)));
+      }
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument("unknown codec frame method");
+}
+
+Result<uint64_t> CodecFrameRawSize(std::string_view frame) {
+  FrameHeader header;
+  MRMB_RETURN_IF_ERROR(ParseFrameHeader(frame, &header));
+  return header.raw_len;
+}
+
+double MeasureCodecRatio(MapOutputCodec codec, std::string_view sample) {
+  if (codec == MapOutputCodec::kNone || sample.empty()) return 1.0;
+  std::string frame;
+  const Status status = BlockCompress(codec, sample, &frame);
+  MRMB_CHECK_OK(status);
+  return static_cast<double>(frame.size()) /
+         static_cast<double>(sample.size());
+}
+
+}  // namespace mrmb

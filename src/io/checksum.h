@@ -6,9 +6,17 @@
 // reducer corrupt bytes. This module gives the functional engine the same
 // property: every SpillSegment partition range is sealed with a CRC32C at
 // spill/merge time and verified at shuffle-read time. CRC32C is the
-// polynomial used by Hadoop's native checksumming (and iSCSI/ext4); this is
-// a portable slice-by-one table implementation — plenty for in-memory
-// segments.
+// polynomial used by Hadoop's native checksumming (and iSCSI/ext4).
+//
+// Three implementations live here, all bit-identical:
+//   - Crc32cReference: the original slice-by-one table loop. Kept as the
+//     ground truth for property tests and as the micro-benchmark baseline.
+//   - Crc32cSlicing8: slicing-by-8 software kernel (eight 256-entry tables,
+//     one 8-byte load per iteration) — the portable fast path.
+//   - Crc32cHardware: SSE4.2 `crc32` instruction path (x86 only).
+// `Crc32c` dispatches once at first use: hardware when the CPU supports
+// SSE4.2 and the MRMB_DISABLE_HW_CRC32C environment variable is unset/0,
+// otherwise slicing-by-8.
 
 #ifndef MRMB_IO_CHECKSUM_H_
 #define MRMB_IO_CHECKSUM_H_
@@ -30,6 +38,27 @@ uint32_t Crc32c(uint32_t crc, std::string_view data);
 inline uint32_t Crc32c(std::string_view data) {
   return Crc32c(kCrc32cInit, data);
 }
+
+// Reference slice-by-one table implementation (the pre-optimization kernel).
+// Property tests check every fast path against this on random inputs.
+uint32_t Crc32cReference(uint32_t crc, std::string_view data);
+inline uint32_t Crc32cReference(std::string_view data) {
+  return Crc32cReference(kCrc32cInit, data);
+}
+
+// Slicing-by-8 software kernel. Always available.
+uint32_t Crc32cSlicing8(uint32_t crc, std::string_view data);
+
+// SSE4.2 hardware kernel. Only call when Crc32cHardwareAvailable() is true;
+// calling it on a CPU without SSE4.2 is undefined (illegal instruction).
+uint32_t Crc32cHardware(uint32_t crc, std::string_view data);
+
+// True when the running CPU exposes SSE4.2 (regardless of the
+// MRMB_DISABLE_HW_CRC32C override, which only affects dispatch).
+bool Crc32cHardwareAvailable();
+
+// Name of the kernel `Crc32c` dispatches to: "sse4.2" or "slicing-by-8".
+const char* Crc32cImplName();
 
 // Computes and stores the CRC32C of every partition range of `segment`
 // (SpillSegment::PartitionRange::crc) and marks the segment sealed.

@@ -31,11 +31,19 @@ namespace mrmb {
 struct SpillSegment {
   struct PartitionRange {
     int64_t offset = 0;   // byte offset into `data`
-    int64_t length = 0;   // bytes
+    int64_t length = 0;   // bytes as stored (on-wire when compressed)
     int64_t records = 0;  // record count
+    // Decompressed (logical) size of the range when the spill path ran a
+    // codec over it (CompressSegment, map_output_codec != none); -1 when
+    // the range holds raw framed records.
+    int64_t raw_length = -1;
     // CRC32C of the range's bytes, sealed at spill/merge time (Hadoop's
-    // IFile checksum) and verified at shuffle-read time.
+    // IFile checksum) and verified at shuffle-read time. For compressed
+    // ranges this covers the compressed bytes — verification never pays
+    // for more than what travelled the wire.
     uint32_t crc = 0;
+
+    int64_t raw_bytes() const { return raw_length >= 0 ? raw_length : length; }
   };
 
   std::string data;

@@ -12,6 +12,7 @@
 #ifndef MRMB_MAPRED_COST_MODEL_H_
 #define MRMB_MAPRED_COST_MODEL_H_
 
+#include "io/block_codec.h"
 #include "io/writable.h"
 
 namespace mrmb {
@@ -72,6 +73,23 @@ struct CostModel {
   // ~400 MB/s decompress.
   double compress_cpu_per_byte = 8.0e-9;
   double decompress_cpu_per_byte = 2.5e-9;
+  // LZ4-style block codec: cheaper per byte than DEFLATE at a lower ratio
+  // (~180 MB/s compress, ~700 MB/s decompress). Calibrated against the
+  // functional runner's in-repo codec: BENCH_data_plane.json measures
+  // 0.47 s of codec CPU on 68 MB of Text at infinite bandwidth, ~6.9
+  // ns/byte combined (see EXPERIMENTS.md).
+  double lz4_compress_cpu_per_byte = 5.5e-9;
+  double lz4_decompress_cpu_per_byte = 1.4e-9;
+
+  // Per-byte CPU cost of compressing / decompressing with a given codec.
+  double CompressCpuPerByte(MapOutputCodec codec) const {
+    return codec == MapOutputCodec::kLz4 ? lz4_compress_cpu_per_byte
+                                         : compress_cpu_per_byte;
+  }
+  double DecompressCpuPerByte(MapOutputCodec codec) const {
+    return codec == MapOutputCodec::kLz4 ? lz4_decompress_cpu_per_byte
+                                         : decompress_cpu_per_byte;
+  }
 
   // ---- RDMA engine (MRoIB case study) -------------------------------------
   // Fraction of reduce-side merge work overlapped with the fetch phase by

@@ -118,6 +118,10 @@ Status JobConf::Validate() const {
   if (fetch_latency_ms < 0) {
     return Status::InvalidArgument("fetch_latency_ms must be >= 0");
   }
+  if (fetch_bandwidth_mbps < 0) {
+    return Status::InvalidArgument(
+        "fetch_bandwidth_mbps must be >= 0 (0 = infinite)");
+  }
   MRMB_RETURN_IF_ERROR(local_fault_plan.Validate());
   if (fetch_timeout < 0) {
     return Status::InvalidArgument("fetch_timeout must be >= 0");

@@ -15,6 +15,7 @@
 #include "common/logging.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
+#include "io/block_codec.h"
 #include "io/checksum.h"
 #include "io/merge.h"
 #include "mapred/fault_injector.h"
@@ -285,7 +286,8 @@ struct MapTaskStats {
   int64_t output_records = 0;
   int64_t spill_count = 0;
   int64_t combine_removed = 0;
-  int64_t output_bytes = 0;
+  int64_t output_bytes = 0;  // logical (uncompressed) framed bytes
+  int64_t wire_bytes = 0;    // bytes as published (codec frames when on)
 };
 
 struct MapAttemptOutcome {
@@ -356,13 +358,28 @@ MapAttemptOutcome RunMapAttempt(const JobConf& conf, int task, int attempt,
     return outcome;
   }
   outcome.output = std::move(segment).value();
+  outcome.stats.output_bytes = outcome.output.total_bytes();
+  // With a codec selected, every sealed partition is re-framed into one
+  // compressed block whose CRC covers the on-wire bytes; reducers verify
+  // and (simulated-)transfer only the compressed form.
+  const MapOutputCodec codec = conf.effective_map_output_codec();
+  if (codec != MapOutputCodec::kNone) {
+    Result<SpillSegment> wire = CompressSegment(codec, outcome.output);
+    if (!wire.ok()) {
+      outcome.status = Annotate(
+          wire.status(),
+          StringPrintf("map task %d: compressing map output", task));
+      return outcome;
+    }
+    outcome.output = std::move(wire).value();
+  }
+  outcome.stats.wire_bytes = outcome.output.total_bytes();
   // Inject any scheduled bit flips *after* sealing, so the stored CRCs
   // describe the pristine bytes and the flip is detectable downstream.
   injector.MaybeCorruptMapOutput(task, attempt, &outcome.output);
   outcome.stats.output_records = context.emitted();
   outcome.stats.spill_count = context.spill_count();
   outcome.stats.combine_removed = context.combine_removed();
-  outcome.stats.output_bytes = outcome.output.total_bytes();
   return outcome;
 }
 
@@ -483,10 +500,15 @@ class PipelinedJob {
 
  private:
   // One fetched map output: a generation-stamped shared view of the sealed
-  // segment (this reduce reads only its own partition slice of it).
+  // segment (this reduce reads only its own partition slice of it). With a
+  // codec active, the partition is decompressed exactly once when stored —
+  // `view` is the merge-ready framed records either way, pointing into the
+  // shared segment (codec off) or into `decompressed` (codec on).
   struct FetchedInput {
     std::shared_ptr<const SpillSegment> segment;
     int generation = -1;  // -1 = nothing fetched yet
+    std::string decompressed;
+    std::string_view view;
   };
 
   struct NodeState {
@@ -695,9 +717,19 @@ class PipelinedJob {
     }
     // Simulated transfer time, spent before the busy window so it lands in
     // the shuffle-wait bucket (lifetime minus busy), not in merge time.
-    if (conf_.fetch_latency_ms > 0) {
+    // fixed latency + on-wire bytes / bandwidth: a compressed partition
+    // costs proportionally less wall-clock than its raw form, which is the
+    // end-to-end win the codec knob exists to measure.
+    double transfer_ms = static_cast<double>(conf_.fetch_latency_ms);
+    if (conf_.fetch_bandwidth_mbps > 0) {
+      const double wire_bytes = static_cast<double>(
+          segment->partitions[static_cast<size_t>(r)].length);
+      transfer_ms +=
+          wire_bytes / (conf_.fetch_bandwidth_mbps * 1024.0 * 1024.0) * 1e3;
+    }
+    if (transfer_ms > 0) {
       std::this_thread::sleep_for(
-          std::chrono::milliseconds(conf_.fetch_latency_ms));
+          std::chrono::duration<double, std::milli>(transfer_ms));
     }
     const auto t0 = Clock::now();
     const bool stored = VerifyAndStore(r, &rs, m, std::move(segment), gen);
@@ -721,6 +753,8 @@ class PipelinedJob {
   bool VerifyAndStore(int r, ReduceShuffle* rs, int m,
                       std::shared_ptr<const SpillSegment> segment, int gen) {
     if (conf_.checksum_map_output) {
+      // CRC runs over the stored bytes — the compressed form when a codec
+      // is active, so sealing and verification got cheaper too.
       const Status verify = VerifySegmentPartition(*segment, r);
       {
         std::lock_guard<std::mutex> lock(mu_);
@@ -728,6 +762,23 @@ class PipelinedJob {
         if (!verify.ok()) ++result_.corruptions_detected;
       }
       if (!verify.ok()) return false;
+    }
+    // Decompress once per (map, partition, generation) — the codec sibling
+    // of the CRC verify cache; re-fetches of a cached generation never
+    // re-inflate. A frame that fails to decode (its header CRC catches
+    // corruption even when checksum verification is off) is the same
+    // lost-output event as a CRC mismatch.
+    std::string decompressed;
+    const bool codec_active =
+        conf_.effective_map_output_codec() != MapOutputCodec::kNone;
+    if (codec_active) {
+      const Status decode =
+          BlockDecompress(segment->PartitionData(r), &decompressed);
+      if (!decode.ok()) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++result_.corruptions_detected;
+        return false;
+      }
     }
     FetchedInput& input = rs->inputs[static_cast<size_t>(m)];
     if (input.generation >= 0) {
@@ -737,6 +788,12 @@ class PipelinedJob {
     if (input.generation >= 0) DirtyNodesCovering(rs, m);
     input.segment = std::move(segment);
     input.generation = gen;
+    if (codec_active) {
+      input.decompressed = std::move(decompressed);
+      input.view = input.decompressed;
+    } else {
+      input.view = input.segment->PartitionData(r);
+    }
     return true;
   }
 
@@ -811,8 +868,7 @@ class PipelinedJob {
         for (const StreamRef& child : node.children) {
           if (child.map >= 0) {
             runs.push_back(
-                {rs->inputs[static_cast<size_t>(child.map)].segment->PartitionData(r),
-                 child.map});
+                {rs->inputs[static_cast<size_t>(child.map)].view, child.map});
           } else {
             runs.push_back(
                 {rs->nodes[static_cast<size_t>(child.node)].merged.data, -1});
@@ -1063,7 +1119,7 @@ class PipelinedJob {
     for (const StreamRef& ref : plan_.final_streams) {
       std::string_view data;
       if (ref.map >= 0) {
-        data = rs->inputs[static_cast<size_t>(ref.map)].segment->PartitionData(r);
+        data = rs->inputs[static_cast<size_t>(ref.map)].view;
         spans.emplace_back(ref.map, ref.map + 1);
       } else {
         const PlanNode& node = plan_.nodes[static_cast<size_t>(ref.node)];
@@ -1174,7 +1230,13 @@ Status PipelinedJob::Execute(OutputFormat* output_format,
     result->spill_count += stats.spill_count;
     result->combine_removed_records += stats.combine_removed;
     result->map_output_bytes += stats.output_bytes;
+    result->map_output_wire_bytes += stats.wire_bytes;
   }
+  result->map_output_compression_ratio =
+      result->map_output_bytes > 0
+          ? static_cast<double>(result->map_output_wire_bytes) /
+                static_cast<double>(result->map_output_bytes)
+          : 1.0;
   // Commit: write staged reduce output in task order from this (the
   // coordinating) thread — failed attempts never reached here, so the
   // OutputFormat only ever sees complete, committed task output.
@@ -1183,7 +1245,10 @@ Status PipelinedJob::Execute(OutputFormat* output_format,
       const SpillSegment::PartitionRange& range =
           slots_[m].segment->partitions[r];
       result->reducer_input_records[r] += range.records;
-      result->reducer_input_bytes[r] += range.length;
+      // Logical (decompressed) bytes: what the reducer merge consumed, so
+      // the counter is codec-invariant; the wire side lives in
+      // map_output_wire_bytes / map_output_compression_ratio.
+      result->reducer_input_bytes[r] += range.raw_bytes();
     }
     result->reduce_groups += reduces_[r].committed.groups;
     std::unique_ptr<RecordWriter> writer =

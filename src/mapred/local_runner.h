@@ -51,8 +51,16 @@ struct LocalJobResult {
   int64_t map_output_records = 0;
   // Records removed by per-spill combining (0 without a combiner).
   int64_t combine_removed_records = 0;
-  // IFile-framed intermediate bytes (what the shuffle would move).
+  // IFile-framed intermediate bytes before compression (the logical
+  // shuffle payload).
   int64_t map_output_bytes = 0;
+  // Bytes the simulated wire actually carries: codec frames when
+  // map_output_codec is set, identical to map_output_bytes otherwise.
+  int64_t map_output_wire_bytes = 0;
+  // map_output_wire_bytes / map_output_bytes — the job's *measured*
+  // compression ratio (1.0 with no codec; compare against the simulator's
+  // MeasureCodecRatio sample estimate).
+  double map_output_compression_ratio = 1.0;
   int64_t spill_count = 0;
   // Per-reduce shuffle load.
   std::vector<int64_t> reducer_input_records;

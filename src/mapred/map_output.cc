@@ -95,6 +95,27 @@ Result<SpillSegment> MergeSegments(
   return out;
 }
 
+Result<SpillSegment> CompressSegment(MapOutputCodec codec,
+                                     const SpillSegment& segment) {
+  MRMB_CHECK(codec != MapOutputCodec::kNone);
+  SpillSegment out;
+  out.partitions.resize(segment.partitions.size());
+  std::string frame;
+  for (size_t p = 0; p < segment.partitions.size(); ++p) {
+    SpillSegment::PartitionRange& range = out.partitions[p];
+    range.offset = static_cast<int64_t>(out.data.size());
+    MRMB_RETURN_IF_ERROR(
+        BlockCompress(codec, segment.PartitionData(static_cast<int>(p)),
+                      &frame));
+    out.data.append(frame);
+    range.length = static_cast<int64_t>(out.data.size()) - range.offset;
+    range.records = segment.partitions[p].records;
+    range.raw_length = segment.partitions[p].length;
+  }
+  SealSegment(&out);
+  return out;
+}
+
 namespace {
 
 // ReduceContext that frames emitted records into a segment under

@@ -12,6 +12,7 @@
 #include <string_view>
 #include <vector>
 
+#include "io/block_codec.h"
 #include "io/comparator.h"
 #include "io/kv_buffer.h"
 #include "mapred/api.h"
@@ -52,6 +53,15 @@ Result<MergedRun> MergeFramedRuns(const std::vector<FramedRun>& runs,
 Result<SpillSegment> MergeSegments(
     const std::vector<const SpillSegment*>& segments,
     const RawComparator* comparator, bool verify_checksums = true);
+
+// Re-frames every partition of a segment through `codec` (io/block_codec.h):
+// each partition range becomes one self-describing codec frame of the
+// original framed records, PartitionRange::raw_length keeps the logical
+// size, and the re-sealed CRCs cover the compressed bytes — shuffle-read
+// verification then hashes only what travelled the wire. `codec` must not
+// be kNone.
+Result<SpillSegment> CompressSegment(MapOutputCodec codec,
+                                     const SpillSegment& segment);
 
 // Runs `combiner` over every key group of every partition of a sorted
 // segment (Hadoop's per-spill combine pass) and returns the combined,

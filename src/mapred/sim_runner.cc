@@ -9,6 +9,7 @@
 #include "common/stats.h"
 #include "common/strings.h"
 #include "dfs/dfs.h"
+#include "io/block_codec.h"
 #include "io/byte_buffer.h"
 #include "io/codec.h"
 #include "mapred/partitioner.h"
@@ -79,9 +80,11 @@ Result<SimJobResult> SimJobRunner::Run() {
   RecordGenerator generator(conf_.record);
   framed_record_bytes_ = static_cast<int64_t>(generator.framed_record_size());
   type_factor_ = cost_.TypeFactor(conf_.record.type);
-  if (conf_.compress_map_output && conf_.records_per_map > 0) {
-    // Measure the real DEFLATE ratio of a sample of framed records; the
-    // whole byte/CPU trade below follows from it.
+  map_output_codec_ = conf_.effective_map_output_codec();
+  if (map_output_codec_ != MapOutputCodec::kNone &&
+      conf_.records_per_map > 0) {
+    // Measure the selected codec's real ratio over a sample of framed
+    // records; the whole byte/CPU trade below follows from it.
     std::string sample;
     BufferWriter writer(&sample);
     std::string key;
@@ -96,7 +99,7 @@ Result<SimJobResult> SimJobRunner::Run() {
       writer.AppendRaw(key);
       writer.AppendRaw(value);
     }
-    wire_factor_ = MeasureCompressionRatio(sample);
+    wire_factor_ = MeasureCodecRatio(map_output_codec_, sample);
   }
   reduce_memory_limit_ = static_cast<int64_t>(
       conf_.shuffle_input_buffer_fraction *
@@ -706,8 +709,9 @@ void SimJobRunner::RunMapSpill(int map_id, int serial, int spill_index) {
   if (conf_.combiner_output_fraction < 1.0) {
     cpu += static_cast<double>(records) * cost_.combine_cpu_per_record;
   }
-  if (conf_.compress_map_output) {
-    cpu += static_cast<double>(logical_bytes) * cost_.compress_cpu_per_byte;
+  if (map_output_codec_ != MapOutputCodec::kNone) {
+    cpu += static_cast<double>(logical_bytes) *
+           cost_.CompressCpuPerByte(map_output_codec_);
   }
   cpu *= attempt->slow_factor;
   cluster_->RunCpu(
@@ -985,10 +989,10 @@ void SimJobRunner::BeginFetch(int reduce_id, Fetch fetch) {
       arm_done);
   double receiver_cpu =
       cost_.fetch_setup_cpu / 2 + wire * net.receiver_cpu_per_byte;
-  if (conf_.compress_map_output) {
+  if (map_output_codec_ != MapOutputCodec::kNone) {
     // Inflate back to logical bytes on arrival.
-    receiver_cpu +=
-        static_cast<double>(bytes) * cost_.decompress_cpu_per_byte;
+    receiver_cpu += static_cast<double>(bytes) *
+                    cost_.DecompressCpuPerByte(map_output_codec_);
   }
   cluster_->RunCpu(dst, receiver_cpu, arm_done);
   if (disk_bytes > 0) {

@@ -313,8 +313,11 @@ class SimJobRunner {
   bool job_running_ = false;
   int64_t framed_record_bytes_ = 0;
   double type_factor_ = 1.0;
-  // Bytes-on-wire/disk per logical byte: the measured DEFLATE ratio when
-  // map-output compression is on, else 1.0.
+  // Codec the job compresses map output with (resolved from the codec knob
+  // plus the deprecated compress_map_output alias).
+  MapOutputCodec map_output_codec_ = MapOutputCodec::kNone;
+  // Bytes-on-wire/disk per logical byte: the selected codec's measured
+  // ratio when map-output compression is on, else 1.0.
   double wire_factor_ = 1.0;
   int64_t reduce_memory_limit_ = 0;
   Rng rng_{0};

@@ -36,6 +36,7 @@ JobConf BenchmarkOptions::ToJobConf() const {
   conf.num_reduces = num_reduces;
   conf.pattern = pattern;
   conf.zipf_exponent = zipf_exponent;
+  conf.map_output_codec = map_output_codec;
   conf.compress_map_output = compress_map_output;
   conf.seed = seed;
   conf.scheduler = scheduler;
@@ -57,6 +58,7 @@ JobConf BenchmarkOptions::ToJobConf() const {
   conf.reduce_slowstart = reduce_slowstart;
   conf.merge_factor = merge_factor;
   conf.fetch_latency_ms = fetch_latency_ms;
+  conf.fetch_bandwidth_mbps = fetch_bandwidth_mbps;
   conf.local_fault_plan = local_fault_plan;
 
   conf.record.type = data_type;

@@ -46,8 +46,13 @@ struct BenchmarkOptions {
   // Skew strength when pattern == kZipf.
   double zipf_exponent = 1.0;
   DataType data_type = DataType::kBytesWritable;
-  // Compress map output (mapred.compress.map.output); the simulation
-  // measures the real DEFLATE ratio of the generated records.
+  // Codec the spill path runs over map output (none / lz4 / deflate); the
+  // simulation measures the real compression ratio of a record sample and
+  // the functional engine compresses the actual bytes (see JobConf).
+  MapOutputCodec map_output_codec = MapOutputCodec::kNone;
+  // Deprecated alias for map_output_codec (the old bare
+  // mapred.compress.map.output bool); true selects DEFLATE when the codec
+  // knob is unset.
   bool compress_map_output = false;
   int64_t key_size = 512;    // payload bytes per key
   int64_t value_size = 512;  // payload bytes per value
@@ -101,6 +106,9 @@ struct BenchmarkOptions {
   // Simulated transfer time per fetched partition (wall-clock only; the
   // data plane never changes). 0 = fetches are free pointer handoffs.
   int64_t fetch_latency_ms = 0;
+  // Simulated shuffle bandwidth in MB/s: adds on_wire_bytes / bandwidth to
+  // each fetch on top of fetch_latency_ms. 0 = infinite bandwidth.
+  double fetch_bandwidth_mbps = 0;
   LocalFaultPlan local_fault_plan;
 
   // ---- Instrumentation ------------------------------------------------

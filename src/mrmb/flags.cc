@@ -149,6 +149,15 @@ Status ApplyFaultToleranceFlags(const Flags& flags,
   MRMB_ASSIGN_OR_RETURN(
       options->fetch_latency_ms,
       flags.GetInt("fetch-latency-ms", options->fetch_latency_ms));
+  MRMB_ASSIGN_OR_RETURN(
+      options->fetch_bandwidth_mbps,
+      flags.GetDouble("fetch-bandwidth-mbps", options->fetch_bandwidth_mbps));
+  MRMB_ASSIGN_OR_RETURN(
+      const std::string codec_name,
+      flags.GetString("map-output-codec",
+                      MapOutputCodecName(options->map_output_codec)));
+  MRMB_ASSIGN_OR_RETURN(options->map_output_codec,
+                        MapOutputCodecByName(codec_name));
   MRMB_ASSIGN_OR_RETURN(const std::string local_plan_spec,
                         flags.GetString("local-fault-plan", ""));
   if (!local_plan_spec.empty()) {
@@ -184,8 +193,14 @@ const char* FaultToleranceFlagsHelp() {
       "                            map barrier; default 0.05)\n"
       "  --merge-factor=N          max streams per reduce-side merge (>= 2,\n"
       "                            Hadoop's io.sort.factor; default 10)\n"
-      "  --fetch-latency-ms=MS     simulated transfer time per fetched\n"
+      "  --fetch-latency-ms=MS     fixed simulated transfer time per fetched\n"
       "                            partition (wall-clock only; default 0)\n"
+      "  --fetch-bandwidth-mbps=X  simulated shuffle bandwidth in MB/s; each\n"
+      "                            fetch additionally costs on-wire bytes / X\n"
+      "                            (0 = infinite, default)\n"
+      "  --map-output-codec=C      compress map output partitions with C\n"
+      "                            (none | lz4 | deflate; default none).\n"
+      "                            Replaces the deprecated --compress bool\n"
       "  --local-fault-plan=SPEC   local-runner fault events, e.g.\n"
       "                            \"fail_map:3@a=0;corrupt_map:2@a=0,p=1;"
       "delay_map:0@a=0,ms=500\"\n";

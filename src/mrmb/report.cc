@@ -5,6 +5,7 @@
 
 #include "common/strings.h"
 #include "common/units.h"
+#include "io/checksum.h"
 
 namespace mrmb {
 
@@ -97,7 +98,15 @@ void PrintLocalJobReport(const BenchmarkOptions& options,
                        static_cast<long long>(options.task_timeout_ms));
   }
   os << "Map output checksums : "
-     << (options.checksum_map_output ? "on (CRC32C)" : "off") << "\n";
+     << (options.checksum_map_output
+             ? std::string("on (CRC32C, ") + Crc32cImplName() + " kernel)"
+             : std::string("off"))
+     << "\n";
+  {
+    const MapOutputCodec codec =
+        options.ToJobConf().effective_map_output_codec();
+    os << "Map output codec     : " << MapOutputCodecName(codec) << "\n";
+  }
   os << StringPrintf("Reduce slow-start    : %.2f (merge factor %d)\n",
                      options.reduce_slowstart, options.merge_factor);
   os << "---------------------------------------------------------------"
@@ -108,6 +117,11 @@ void PrintLocalJobReport(const BenchmarkOptions& options,
   os << StringPrintf("Map output records   : %lld (",
                      static_cast<long long>(result.map_output_records))
      << FormatBytes(result.map_output_bytes) << " framed)\n";
+  if (result.map_output_wire_bytes != result.map_output_bytes) {
+    os << "Map output on wire   : " << FormatBytes(result.map_output_wire_bytes)
+       << StringPrintf(" (measured ratio %.3f)\n",
+                       result.map_output_compression_ratio);
+  }
   os << StringPrintf("Map-side spills      : %lld\n",
                      static_cast<long long>(result.spill_count));
   if (result.combine_removed_records > 0) {

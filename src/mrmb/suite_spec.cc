@@ -22,6 +22,7 @@ const char* const kKnownKeys[] = {
     // Functional (local) runner.
     "local-threads", "sort-threads", "task-timeout-ms", "checksum",
     "reduce-slowstart", "merge-factor", "fetch-latency-ms",
+    "fetch-bandwidth-mbps", "map-output-codec",
     "local-fault-plan",
 };
 
@@ -159,6 +160,8 @@ Result<ResolvedSection> ResolveSection(const SuiteSection& section) {
   base.key_size = kv_bytes / 2;
   base.value_size = kv_bytes - base.key_size;
 
+  // Deprecated alias for map-output-codec: a bare "compress: true" selects
+  // DEFLATE (its historical meaning) unless the codec key is set too.
   MRMB_ASSIGN_OR_RETURN(const std::string compress,
                         SingleValue(section, "compress", "false"));
   base.compress_map_output =
@@ -286,6 +289,26 @@ Result<ResolvedSection> ResolveSection(const SuiteSection& section) {
                                      "] bad fetch-latency-ms: '" + text + "'");
     }
     base.fetch_latency_ms = static_cast<int64_t>(v);
+  }
+  MRMB_RETURN_IF_ERROR(double_value("fetch-bandwidth-mbps",
+                                    base.fetch_bandwidth_mbps,
+                                    &base.fetch_bandwidth_mbps));
+  if (base.fetch_bandwidth_mbps < 0) {
+    return Status::InvalidArgument(
+        "[" + section.name + "] fetch-bandwidth-mbps must be >= 0");
+  }
+  {
+    MRMB_ASSIGN_OR_RETURN(
+        const std::string codec_name,
+        SingleValue(section, "map-output-codec",
+                    MapOutputCodecName(base.map_output_codec)));
+    Result<MapOutputCodec> codec = MapOutputCodecByName(codec_name);
+    if (!codec.ok()) {
+      return Status::InvalidArgument("[" + section.name +
+                                     "] bad map-output-codec: '" +
+                                     codec_name + "'");
+    }
+    base.map_output_codec = *codec;
   }
   if (auto it = section.entries.find("local-fault-plan");
       it != section.entries.end()) {

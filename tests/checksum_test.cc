@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstring>
 #include <string>
 
+#include "common/rng.h"
 #include "io/byte_buffer.h"
 #include "io/kv_buffer.h"
 #include "io/writable.h"
@@ -42,6 +45,82 @@ TEST(Crc32cTest, DetectsSingleBitFlip) {
       EXPECT_NE(Crc32c(flipped), clean)
           << "undetected flip at byte " << pos << " bit " << bit;
     }
+  }
+}
+
+// Property tests: every fast kernel must be bit-identical to the reference
+// table loop on arbitrary lengths, alignments and chunkings — the slicing
+// and SSE4.2 paths process 8 bytes at a time with scalar head/tail loops,
+// so short inputs, unaligned starts and non-multiple-of-8 tails are
+// exactly where they could diverge.
+
+TEST(Crc32cKernelsTest, FastPathsMatchReferenceOnRandomLengths) {
+  Rng rng(0xC12C);
+  std::string buffer(4096, '\0');
+  rng.Fill(buffer.data(), buffer.size());
+  for (size_t len : {size_t{0}, size_t{1}, size_t{3}, size_t{7}, size_t{8},
+                     size_t{9}, size_t{15}, size_t{16}, size_t{63},
+                     size_t{64}, size_t{255}, size_t{1024}, size_t{4093}}) {
+    const std::string_view data(buffer.data(), len);
+    const uint32_t want = Crc32cReference(kCrc32cInit, data);
+    EXPECT_EQ(Crc32cSlicing8(kCrc32cInit, data), want) << "len " << len;
+    EXPECT_EQ(Crc32c(kCrc32cInit, data), want) << "len " << len;
+    if (Crc32cHardwareAvailable()) {
+      EXPECT_EQ(Crc32cHardware(kCrc32cInit, data), want) << "len " << len;
+    }
+  }
+}
+
+TEST(Crc32cKernelsTest, FastPathsMatchReferenceOnEveryAlignment) {
+  Rng rng(0xA119);
+  std::string buffer(512, '\0');
+  rng.Fill(buffer.data(), buffer.size());
+  for (size_t offset = 0; offset < 16; ++offset) {
+    for (size_t len : {size_t{5}, size_t{8}, size_t{21}, size_t{100}}) {
+      const std::string_view data(buffer.data() + offset, len);
+      const uint32_t want = Crc32cReference(kCrc32cInit, data);
+      EXPECT_EQ(Crc32cSlicing8(kCrc32cInit, data), want)
+          << "offset " << offset << " len " << len;
+      if (Crc32cHardwareAvailable()) {
+        EXPECT_EQ(Crc32cHardware(kCrc32cInit, data), want)
+            << "offset " << offset << " len " << len;
+      }
+    }
+  }
+}
+
+TEST(Crc32cKernelsTest, RandomChunkingMatchesOneShot) {
+  Rng rng(0xC407);
+  std::string data(2048, '\0');
+  rng.Fill(data.data(), data.size());
+  const uint32_t want = Crc32cReference(data);
+  for (int trial = 0; trial < 16; ++trial) {
+    uint32_t sliced = kCrc32cInit;
+    uint32_t dispatched = kCrc32cInit;
+    uint32_t hw = kCrc32cInit;
+    size_t at = 0;
+    while (at < data.size()) {
+      const size_t chunk =
+          std::min(data.size() - at, 1 + rng.Next64() % 97);
+      const std::string_view piece(data.data() + at, chunk);
+      sliced = Crc32cSlicing8(sliced, piece);
+      dispatched = Crc32c(dispatched, piece);
+      if (Crc32cHardwareAvailable()) hw = Crc32cHardware(hw, piece);
+      at += chunk;
+    }
+    EXPECT_EQ(sliced, want);
+    EXPECT_EQ(dispatched, want);
+    if (Crc32cHardwareAvailable()) {
+      EXPECT_EQ(hw, want);
+    }
+  }
+}
+
+TEST(Crc32cKernelsTest, ImplNameIsOneOfTheKnownKernels) {
+  const std::string name = Crc32cImplName();
+  EXPECT_TRUE(name == "sse4.2" || name == "slicing-by-8") << name;
+  if (!Crc32cHardwareAvailable()) {
+    EXPECT_EQ(name, "slicing-by-8");
   }
 }
 

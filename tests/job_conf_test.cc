@@ -99,6 +99,9 @@ TEST(JobConfTest, RejectsBadPipelineKnobs) {
   conf = ValidConf();
   conf.fetch_latency_ms = -1;
   EXPECT_FALSE(conf.Validate().ok());
+  conf = ValidConf();
+  conf.fetch_bandwidth_mbps = -1;
+  EXPECT_FALSE(conf.Validate().ok());
 }
 
 TEST(JobConfTest, RejectsBadContainersAndKeys) {

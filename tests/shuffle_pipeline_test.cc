@@ -202,6 +202,104 @@ TEST(ShufflePipelineTest, ChecksumOffCorruptionCaughtMidMergeAndRepaired) {
   EXPECT_EQ(result->output_bytes, clean->output_bytes);
 }
 
+// ---- Shuffle data plane: codecs and the bandwidth model -----------------
+
+TEST(ShufflePipelineTest, CodecsKeepTheDataPlaneIdentical) {
+  auto baseline = LocalJobRunner::RunStandalone(SmallConf());
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_EQ(baseline->map_output_wire_bytes, baseline->map_output_bytes);
+  EXPECT_DOUBLE_EQ(baseline->map_output_compression_ratio, 1.0);
+  for (MapOutputCodec codec :
+       {MapOutputCodec::kLz4, MapOutputCodec::kDeflate}) {
+    for (int threads : {1, 4}) {
+      JobConf conf = SmallConf();
+      conf.map_output_codec = codec;
+      conf.local_threads = threads;
+      auto result = LocalJobRunner::RunStandalone(conf);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      // Logical counters are codec-invariant...
+      EXPECT_EQ(result->map_output_bytes, baseline->map_output_bytes);
+      EXPECT_EQ(result->reducer_input_records,
+                baseline->reducer_input_records);
+      EXPECT_EQ(result->reducer_input_bytes, baseline->reducer_input_bytes);
+      EXPECT_EQ(result->reduce_groups, baseline->reduce_groups);
+      EXPECT_EQ(result->output_records, baseline->output_records);
+      EXPECT_EQ(result->output_bytes, baseline->output_bytes);
+      // ...while the wire side reports real compression (repeated keys in
+      // sorted runs always shrink).
+      EXPECT_LT(result->map_output_wire_bytes, result->map_output_bytes)
+          << MapOutputCodecName(codec);
+      EXPECT_LT(result->map_output_compression_ratio, 1.0);
+      EXPECT_GT(result->map_output_compression_ratio, 0.0);
+      // The verify cache semantics are unchanged: one CRC per (map,
+      // partition) generation, now over compressed frames.
+      EXPECT_EQ(result->crc_verifications, 16);
+    }
+  }
+}
+
+TEST(ShufflePipelineTest, BandwidthModelIsWallClockOnly) {
+  auto baseline = LocalJobRunner::RunStandalone(SmallConf());
+  ASSERT_TRUE(baseline.ok());
+  JobConf conf = SmallConf();
+  conf.fetch_bandwidth_mbps = 64;  // every fetch now costs bytes / bw
+  conf.local_threads = 4;
+  auto result = LocalJobRunner::RunStandalone(conf);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->reducer_input_records, baseline->reducer_input_records);
+  EXPECT_EQ(result->reducer_input_bytes, baseline->reducer_input_bytes);
+  EXPECT_EQ(result->output_records, baseline->output_records);
+  EXPECT_EQ(result->output_bytes, baseline->output_bytes);
+  EXPECT_EQ(result->crc_verifications, 16);
+}
+
+TEST(ShufflePipelineTest, CorruptionOnTheWireIsCaughtUnderACodec) {
+  // The injector flips a bit in the *compressed* frame; the partition CRC
+  // (computed over wire bytes) catches it at fetch time and the map
+  // re-executes, exactly as in the uncompressed path.
+  JobConf conf = WithPlan(SmallConf(), "corrupt_map:2@a=0,p=1");
+  conf.map_output_codec = MapOutputCodec::kLz4;
+  auto result = LocalJobRunner::RunStandalone(conf);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->corruptions_detected, 1);
+  EXPECT_EQ(result->map_retries, 1);
+
+  JobConf clean_conf = SmallConf();
+  clean_conf.map_output_codec = MapOutputCodec::kLz4;
+  auto clean = LocalJobRunner::RunStandalone(clean_conf);
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(result->reducer_input_records, clean->reducer_input_records);
+  EXPECT_EQ(result->reduce_groups, clean->reduce_groups);
+  EXPECT_EQ(result->output_records, clean->output_records);
+  EXPECT_EQ(result->output_bytes, clean->output_bytes);
+}
+
+TEST(ShufflePipelineTest, FrameChecksumCatchesCorruptionWithVerifyOff) {
+  // With segment CRC verification off, the codec frame's own checksum is
+  // the backstop: the flipped bit fails BlockDecompress at fetch time, the
+  // fetch counts as lost output, and the producer re-executes. Unlike the
+  // uncompressed checksum-off case, *every* bit position is detectable —
+  // the frame CRC covers the whole payload.
+  JobConf conf = WithPlan(SmallConf(), "corrupt_map:2@a=0,p=1");
+  conf.checksum_map_output = false;
+  conf.map_output_codec = MapOutputCodec::kLz4;
+  auto result = LocalJobRunner::RunStandalone(conf);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GE(result->corruptions_detected, 1);
+  EXPECT_GE(result->map_retries, 1);
+  EXPECT_EQ(result->crc_verifications, 0);
+
+  JobConf clean_conf = SmallConf();
+  clean_conf.checksum_map_output = false;
+  clean_conf.map_output_codec = MapOutputCodec::kLz4;
+  auto clean = LocalJobRunner::RunStandalone(clean_conf);
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(result->reducer_input_records, clean->reducer_input_records);
+  EXPECT_EQ(result->reduce_groups, clean->reduce_groups);
+  EXPECT_EQ(result->output_records, clean->output_records);
+  EXPECT_EQ(result->output_bytes, clean->output_bytes);
+}
+
 TEST(ShufflePipelineTest, FaultRecoveryUnderTinyMergeFactor) {
   // Corruption repair composes with background folding: the re-fetched
   // generation must dirty the folds that consumed the stale bytes.

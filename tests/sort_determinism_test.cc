@@ -238,7 +238,8 @@ class CapturingOutputFormat final : public OutputFormat {
 
 uint32_t JobOutputFingerprint(int local_threads, int sort_threads,
                               double reduce_slowstart = 0.05,
-                              int merge_factor = 10) {
+                              int merge_factor = 10,
+                              MapOutputCodec codec = MapOutputCodec::kNone) {
   JobConf conf;
   conf.num_maps = 4;
   conf.num_reduces = 3;
@@ -249,6 +250,7 @@ uint32_t JobOutputFingerprint(int local_threads, int sort_threads,
   conf.sort_threads = sort_threads;
   conf.reduce_slowstart = reduce_slowstart;
   conf.merge_factor = merge_factor;
+  conf.map_output_codec = codec;
   LocalJobRunner runner(conf);
   NullInputFormat input;
   CapturingOutputFormat output;
@@ -289,6 +291,34 @@ TEST(SortDeterminismTest, JobOutputMatchesGoldenAcrossSlowstartAndThreads) {
           << " local_threads=" << local_threads;
     }
   }
+}
+
+// The shuffle data plane's codecs must be invisible in the bytes: whatever
+// compresses the wire, the fetch path decompresses back to the exact
+// spill stream, so the committed output still equals the codec=none golden
+// fingerprint.
+TEST(SortDeterminismTest, JobOutputMatchesGoldenUnderEveryCodec) {
+  for (MapOutputCodec codec :
+       {MapOutputCodec::kLz4, MapOutputCodec::kDeflate}) {
+    for (int local_threads : {1, 8}) {
+      EXPECT_EQ(JobOutputFingerprint(local_threads, /*sort_threads=*/1,
+                                     /*reduce_slowstart=*/0.05,
+                                     /*merge_factor=*/10, codec),
+                kGoldenJobOutput)
+          << "codec=" << MapOutputCodecName(codec)
+          << " local_threads=" << local_threads;
+    }
+  }
+}
+
+// The deprecated compress_map_output bool must behave exactly like
+// map_output_codec=deflate.
+TEST(SortDeterminismTest, DeprecatedCompressAliasMatchesGolden) {
+  JobConf conf;
+  conf.compress_map_output = true;
+  EXPECT_EQ(conf.effective_map_output_codec(), MapOutputCodec::kDeflate);
+  conf.map_output_codec = MapOutputCodec::kLz4;
+  EXPECT_EQ(conf.effective_map_output_codec(), MapOutputCodec::kLz4);
 }
 
 // A tiny merge factor forces real intermediate folds (4 maps, factor 2 =>

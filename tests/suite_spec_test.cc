@@ -140,6 +140,8 @@ checksum = false
 reduce-slowstart = 0.25
 merge-factor = 4
 fetch-latency-ms = 3
+fetch-bandwidth-mbps = 64.5
+map-output-codec = lz4
 local-fault-plan = fail_map:3@a=0;corrupt_map:2@a=0,p=1
 )");
   ASSERT_TRUE(spec.ok()) << spec.status().ToString();
@@ -152,6 +154,8 @@ local-fault-plan = fail_map:3@a=0;corrupt_map:2@a=0,p=1
   EXPECT_DOUBLE_EQ(options.reduce_slowstart, 0.25);
   EXPECT_EQ(options.merge_factor, 4);
   EXPECT_EQ(options.fetch_latency_ms, 3);
+  EXPECT_DOUBLE_EQ(options.fetch_bandwidth_mbps, 64.5);
+  EXPECT_EQ(options.map_output_codec, MapOutputCodec::kLz4);
   ASSERT_EQ(options.local_fault_plan.events.size(), 2u);
   EXPECT_EQ(options.local_fault_plan.events[0].kind,
             LocalFaultKind::kFailMap);
@@ -168,6 +172,8 @@ TEST(SuiteSpecResolveTest, RejectsBadFaultValues) {
         "[x]\nlocal-threads = 0\n", "[x]\ntask-timeout-ms = -5\n",
         "[x]\nreduce-slowstart = 1.5\n", "[x]\nreduce-slowstart = -0.1\n",
         "[x]\nmerge-factor = 1\n", "[x]\nfetch-latency-ms = -1\n",
+        "[x]\nfetch-bandwidth-mbps = -1\n",
+        "[x]\nmap-output-codec = snappy\n",
         "[x]\nlocal-fault-plan = explode_map:1@a=0\n"}) {
     auto spec = ParseSuiteSpec(bad);
     ASSERT_TRUE(spec.ok()) << bad;
