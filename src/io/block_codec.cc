@@ -305,6 +305,95 @@ Status BlockCompress(MapOutputCodec codec, std::string_view raw,
   return Status::OK();
 }
 
+void BlockStore(std::string_view raw, std::string* frame) {
+  frame->clear();
+  BufferWriter writer(frame);
+  writer.AppendFixed32(kFrameMagic);
+  writer.AppendByte(kMethodStored);
+  writer.AppendFixed64(raw.size());
+  const std::string_view header_tail =
+      std::string_view(*frame).substr(4, kCodecFrameHeaderSize - 8);
+  writer.AppendFixed32(FrameCrc(header_tail, raw));
+  writer.AppendRaw(raw);
+}
+
+namespace {
+
+uint32_t LoadBe32(const char* p) {
+  return (static_cast<uint32_t>(static_cast<uint8_t>(p[0])) << 24) |
+         (static_cast<uint32_t>(static_cast<uint8_t>(p[1])) << 16) |
+         (static_cast<uint32_t>(static_cast<uint8_t>(p[2])) << 8) |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[3]));
+}
+
+void StoreBe32(uint32_t v, char* p) {
+  p[0] = static_cast<char>(v >> 24);
+  p[1] = static_cast<char>(v >> 16);
+  p[2] = static_cast<char>(v >> 8);
+  p[3] = static_cast<char>(v);
+}
+
+// CRC over the checksummed span of `frame` (method + raw_len + payload).
+uint32_t FrameBodyCrc(const std::string& frame) {
+  const std::string_view view(frame);
+  return FrameCrc(view.substr(4, kCodecFrameHeaderSize - 8),
+                  view.substr(kCodecFrameHeaderSize));
+}
+
+}  // namespace
+
+Status RepairCodecFrameSingleBitFlip(std::string* frame) {
+  if (frame->size() < kCodecFrameHeaderSize) {
+    return Status::DataLoss(
+        StringPrintf("codec frame too short to repair (%zu bytes)",
+                     frame->size()));
+  }
+  // The magic is a known plaintext: a flip landing there is recognized by
+  // Hamming distance 1 and healed by rewriting the constant. The rest of
+  // the frame must then verify untouched — if it doesn't, the damage was
+  // wider than one bit.
+  const uint32_t magic = LoadBe32(frame->data());
+  if (magic != kFrameMagic) {
+    if (std::popcount(magic ^ kFrameMagic) != 1) {
+      return Status::DataLoss(
+          StringPrintf("codec frame magic %08x is more than one bit off",
+                       magic));
+    }
+    StoreBe32(kFrameMagic, frame->data());
+  }
+  const uint32_t stored = LoadBe32(frame->data() + kCodecFrameHeaderSize - 4);
+  const uint32_t computed = FrameBodyCrc(*frame);
+  const uint32_t syndrome = stored ^ computed;
+  if (syndrome == 0) return Status::OK();
+  if (magic != kFrameMagic) {
+    // The single budgeted flip was already spent on the magic.
+    return Status::DataLoss("codec frame magic and body are both damaged");
+  }
+  // Try a flip in the checksummed span first (method/raw_len/payload, the
+  // overwhelming majority of the frame); only a one-bit syndrome with no
+  // matching body position can be a flip of the CRC field itself.
+  size_t byte = 0;
+  int bit = 0;
+  const size_t body_len = frame->size() - 8;  // everything but magic + crc
+  if (FindCrc32cSingleBitFlip(syndrome, body_len, &byte, &bit)) {
+    // Body bytes skip the 4-byte CRC field at [13, 17).
+    const size_t frame_index =
+        byte < kCodecFrameHeaderSize - 8 ? 4 + byte : 8 + byte;
+    (*frame)[frame_index] = static_cast<char>(
+        static_cast<uint8_t>((*frame)[frame_index]) ^ (1u << bit));
+    if (FrameBodyCrc(*frame) != stored) {
+      return Status::Internal("codec frame repair did not converge");
+    }
+    return Status::OK();
+  }
+  if (std::popcount(syndrome) == 1) {
+    StoreBe32(computed, frame->data() + kCodecFrameHeaderSize - 4);
+    return Status::OK();
+  }
+  return Status::DataLoss(StringPrintf(
+      "codec frame CRC syndrome %08x is not a single-bit flip", syndrome));
+}
+
 namespace {
 
 struct FrameHeader {

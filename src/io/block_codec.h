@@ -77,6 +77,27 @@ inline constexpr size_t kCodecFrameHeaderSize = 17;
 Status BlockCompress(MapOutputCodec codec, std::string_view raw,
                      std::string* frame);
 
+// Builds a stored (method 0) frame around `raw` without attempting
+// compression (*frame overwritten). Gives callers that only want the
+// checksummed framing — e.g. the spill store with its block codec set to
+// kNone — the same self-describing layout BlockCompress emits.
+void BlockStore(std::string_view raw, std::string* frame);
+
+// Attempts to heal a frame that fails verification, assuming at most one
+// flipped bit — the dominant single-event model for at-rest corruption.
+// Covers flips anywhere in the frame: a one-bit-off magic is rewritten from
+// the known constant, a CRC-covered flip (method/raw_len/payload) is located
+// via FindCrc32cSingleBitFlip, and a flip inside the CRC field itself is
+// recomputed. Returns OK when *frame verifies afterwards (the frame is
+// modified in place; a frame that already verifies is returned unchanged)
+// and DataLoss when no single-bit flip explains the damage — *frame is then
+// left in an unspecified (still-broken) state. Note OK means the *frame*
+// checksum closes over its contents again; callers holding a redundant
+// outer checksum (the spill store's partition CRCs) must still confirm the
+// repair against it, since a flipped CRC field is indistinguishable from a
+// payload flip with a colliding syndrome.
+Status RepairCodecFrameSingleBitFlip(std::string* frame);
+
 // Decodes a frame produced by BlockCompress (*raw overwritten). The method
 // byte makes frames self-describing, so the decoder does not need to know
 // which codec produced them. Returns InvalidArgument on structural

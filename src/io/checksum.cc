@@ -188,4 +188,31 @@ Status VerifySegment(const SpillSegment& segment) {
   return Status::OK();
 }
 
+bool FindCrc32cSingleBitFlip(uint32_t syndrome, size_t len, size_t* byte_index,
+                             int* bit_index) {
+  if (len == 0 || syndrome == 0) return false;
+  const std::array<uint32_t, 256>& table = Crc32cTables()[0];
+  // delta[b] is the CRC difference caused by flipping bit b of the byte
+  // currently under the scan, propagated through the bytes behind it. The
+  // init/xorout constants cancel in the XOR of two checksums, and the table
+  // is XOR-linear (table[x ^ y] == table[x] ^ table[y]), so each step behind
+  // the flip advances the difference exactly like one zero byte of state:
+  //   delta' = table[delta & 0xff] ^ (delta >> 8).
+  uint32_t delta[8];
+  for (int b = 0; b < 8; ++b) delta[b] = table[1u << b];
+  for (size_t back = 0; back < len; ++back) {
+    for (int b = 0; b < 8; ++b) {
+      if (delta[b] == syndrome) {
+        *byte_index = len - 1 - back;
+        *bit_index = b;
+        return true;
+      }
+    }
+    for (int b = 0; b < 8; ++b) {
+      delta[b] = table[delta[b] & 0xff] ^ (delta[b] >> 8);
+    }
+  }
+  return false;
+}
+
 }  // namespace mrmb

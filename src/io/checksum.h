@@ -72,6 +72,20 @@ Status VerifySegmentPartition(const SpillSegment& segment, int partition);
 // Verifies every partition range of a sealed segment.
 Status VerifySegment(const SpillSegment& segment);
 
+// Locates the unique single-bit flip (if any) that turns a message whose
+// CRC32C computes to X into one whose checksum is X ^ `syndrome`. CRC32C is
+// linear over GF(2), so the syndrome of a bit flip depends only on the bit's
+// distance from the end of the message — the scan propagates each candidate
+// flip's CRC delta backwards from the tail in O(8·len) table lookups with no
+// re-checksumming. On success stores the byte index (0 = first message byte)
+// and bit index (0 = LSB) and returns true; returns false when no single-bit
+// flip explains the syndrome (multi-bit damage). Single-bit syndromes are
+// unique below CRC32C's two-bit-error detection bound (~256 MiB), far above
+// any spill block, so a hit identifies *the* flipped bit. Used by the spill
+// store's scrub/repair path (io/spill_store.h).
+bool FindCrc32cSingleBitFlip(uint32_t syndrome, size_t len, size_t* byte_index,
+                             int* bit_index);
+
 }  // namespace mrmb
 
 #endif  // MRMB_IO_CHECKSUM_H_

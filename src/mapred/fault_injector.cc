@@ -15,6 +15,14 @@ namespace {
 constexpr uint64_t kMapFailStream = 1;
 constexpr uint64_t kReduceFailStream = 2;
 constexpr uint64_t kCorruptStream = 3;
+constexpr uint64_t kBlockCorruptStream = 4;
+constexpr uint64_t kShortReadStream = 5;
+constexpr uint64_t kEioStream = 6;
+constexpr uint64_t kTornWriteStream = 7;
+
+// Mixed into StreamSeed for per-block (and per-retry) decisions.
+constexpr uint64_t kBlockSalt = 0xd6e8feb86659fd93ULL;
+constexpr uint64_t kRetrySalt = 0x2545f4914f6cdd1dULL;
 
 // Seed for the (stream, task, attempt) decision; Rng::Reseed splitmixes it,
 // so nearby inputs give unrelated streams.
@@ -74,6 +82,10 @@ const char* LocalFaultKindName(LocalFaultKind kind) {
       return "delay_map";
     case LocalFaultKind::kDelayReduce:
       return "delay_reduce";
+    case LocalFaultKind::kCorruptBlock:
+      return "corrupt_block";
+    case LocalFaultKind::kTornWrite:
+      return "torn_write";
   }
   return "unknown";
 }
@@ -92,11 +104,29 @@ Status LocalFaultPlan::Validate() const {
         event.delay_ms <= 0) {
       return Status::InvalidArgument("delay_ms must be > 0");
     }
+    if (event.kind == LocalFaultKind::kCorruptBlock) {
+      if (event.block < 0) {
+        return Status::InvalidArgument("corrupt_block block must be >= 0");
+      }
+      if (event.bits < 1 || event.bits > 64) {
+        return Status::InvalidArgument(
+            "corrupt_block bit count must be in [1, 64]");
+      }
+    }
   }
   if (map_failure_prob < 0 || map_failure_prob >= 1.0 ||
       reduce_failure_prob < 0 || reduce_failure_prob >= 1.0) {
     return Status::InvalidArgument(
         "local failure probabilities must be in [0, 1)");
+  }
+  if (short_read_prob < 0 || short_read_prob >= 1.0 || eio_prob < 0 ||
+      eio_prob >= 1.0) {
+    return Status::InvalidArgument(
+        "I/O fault probabilities must be in [0, 1)");
+  }
+  if (enospc_after_bytes < -1) {
+    return Status::InvalidArgument(
+        "enospc_after_bytes must be >= 0 (or -1 to disable)");
   }
   return Status::OK();
 }
@@ -116,6 +146,9 @@ std::string LocalFaultPlan::ToString() const {
                event.kind == LocalFaultKind::kDelayReduce) {
       piece += StringPrintf(",ms=%lld",
                             static_cast<long long>(event.delay_ms));
+    } else if (event.kind == LocalFaultKind::kCorruptBlock) {
+      piece += StringPrintf(",b=%lld", static_cast<long long>(event.block));
+      if (event.bits != 1) piece += StringPrintf(",n=%d", event.bits);
     }
     append(piece);
   }
@@ -124,6 +157,16 @@ std::string LocalFaultPlan::ToString() const {
   }
   if (reduce_failure_prob > 0) {
     append(StringPrintf("reduce_fail_prob:%g", reduce_failure_prob));
+  }
+  if (short_read_prob > 0) {
+    append(StringPrintf("short_read:%g", short_read_prob));
+  }
+  if (eio_prob > 0) {
+    append(StringPrintf("eio_prob:%g", eio_prob));
+  }
+  if (enospc_after_bytes >= 0) {
+    append(StringPrintf("enospc_after_bytes:%lld",
+                        static_cast<long long>(enospc_after_bytes)));
   }
   return out;
 }
@@ -140,15 +183,28 @@ Result<LocalFaultPlan> LocalFaultPlan::Parse(const std::string& spec) {
     }
     const std::string kind = ToLower(token.substr(0, colon));
     const std::string body = token.substr(colon + 1);
-    if (kind == "map_fail_prob" || kind == "reduce_fail_prob") {
+    if (kind == "map_fail_prob" || kind == "reduce_fail_prob" ||
+        kind == "short_read" || kind == "eio_prob") {
       char* end = nullptr;
       const double v = std::strtod(body.c_str(), &end);
       if (body.empty() || end == nullptr || *end != '\0') {
         return Status::InvalidArgument(kind + " expects a probability, got '" +
                                        body + "'");
       }
-      (kind == "map_fail_prob" ? plan.map_failure_prob
-                               : plan.reduce_failure_prob) = v;
+      if (kind == "map_fail_prob") {
+        plan.map_failure_prob = v;
+      } else if (kind == "reduce_fail_prob") {
+        plan.reduce_failure_prob = v;
+      } else if (kind == "short_read") {
+        plan.short_read_prob = v;
+      } else {
+        plan.eio_prob = v;
+      }
+      continue;
+    }
+    if (kind == "enospc_after_bytes") {
+      MRMB_ASSIGN_OR_RETURN(plan.enospc_after_bytes,
+                            ParseIntField(token, body, "byte threshold"));
       continue;
     }
     LocalFaultEvent event;
@@ -162,6 +218,10 @@ Result<LocalFaultPlan> LocalFaultPlan::Parse(const std::string& spec) {
       event.kind = LocalFaultKind::kDelayMap;
     } else if (kind == "delay_reduce") {
       event.kind = LocalFaultKind::kDelayReduce;
+    } else if (kind == "corrupt_block") {
+      event.kind = LocalFaultKind::kCorruptBlock;
+    } else if (kind == "torn_write") {
+      event.kind = LocalFaultKind::kTornWrite;
     } else {
       return Status::InvalidArgument("unknown local fault kind '" + kind +
                                      "'");
@@ -187,6 +247,29 @@ Result<LocalFaultPlan> LocalFaultPlan::Parse(const std::string& spec) {
       }
       MRMB_ASSIGN_OR_RETURN(event.delay_ms,
                             ParseIntField(token, extra.substr(3), "delay"));
+    } else if (event.kind == LocalFaultKind::kCorruptBlock) {
+      // extra is "b=BLOCK" optionally followed by ",n=BITS".
+      if (extra.rfind("b=", 0) != 0) {
+        return Status::InvalidArgument(
+            "'" + token + "': corrupt_block needs a ,b=BLOCK suffix");
+      }
+      std::string block_text = extra.substr(2);
+      const size_t comma = block_text.find(',');
+      if (comma != std::string::npos) {
+        const std::string bits_text =
+            std::string(StripWhitespace(block_text.substr(comma + 1)));
+        block_text = block_text.substr(0, comma);
+        if (bits_text.rfind("n=", 0) != 0) {
+          return Status::InvalidArgument(
+              "'" + token + "': corrupt_block takes only an ,n=BITS suffix");
+        }
+        MRMB_ASSIGN_OR_RETURN(
+            const int64_t bits,
+            ParseIntField(token, bits_text.substr(2), "bit count"));
+        event.bits = static_cast<int>(bits);
+      }
+      MRMB_ASSIGN_OR_RETURN(event.block,
+                            ParseIntField(token, block_text, "block"));
     } else if (!extra.empty()) {
       return Status::InvalidArgument("'" + token + "': unexpected ',' suffix");
     }
@@ -273,6 +356,72 @@ bool LocalFaultInjector::MaybeCorruptMapOutput(int task, int attempt,
     corrupted = true;
   }
   return corrupted;
+}
+
+LocalSpillIoHooks::LocalSpillIoHooks(LocalFaultPlan plan, uint64_t seed)
+    : plan_(std::move(plan)), seed_(seed) {}
+
+Status LocalSpillIoHooks::BeforeExtentWrite(int64_t store_bytes, size_t len) {
+  if (plan_.enospc_after_bytes < 0) return Status::OK();
+  if (store_bytes + static_cast<int64_t>(len) <= plan_.enospc_after_bytes) {
+    return Status::OK();
+  }
+  return Status::ResourceExhausted(StringPrintf(
+      "injected ENOSPC: spill store is %lld bytes into its %lld-byte device",
+      static_cast<long long>(store_bytes),
+      static_cast<long long>(plan_.enospc_after_bytes)));
+}
+
+void LocalSpillIoHooks::MutateBlockFrame(int task, int attempt, int64_t block,
+                                         std::string* frame) {
+  if (frame->empty()) return;
+  for (const LocalFaultEvent& event : plan_.events) {
+    if (event.kind != LocalFaultKind::kCorruptBlock || event.task != task ||
+        event.attempt != attempt || event.block != block) {
+      continue;
+    }
+    Rng rng(StreamSeed(seed_, kBlockCorruptStream, task, attempt) ^
+            (static_cast<uint64_t>(block) * kBlockSalt));
+    for (int i = 0; i < event.bits; ++i) {
+      const size_t offset =
+          static_cast<size_t>(rng.Uniform(frame->size()));
+      const int bit = static_cast<int>(rng.Uniform(8));
+      (*frame)[offset] ^= static_cast<char>(1 << bit);
+    }
+  }
+}
+
+int64_t LocalSpillIoHooks::TornWriteBytes(int task, int attempt,
+                                          int64_t final_frame_bytes) {
+  if (final_frame_bytes <= 0) return 0;
+  for (const LocalFaultEvent& event : plan_.events) {
+    if (event.kind != LocalFaultKind::kTornWrite || event.task != task ||
+        event.attempt != attempt) {
+      continue;
+    }
+    Rng rng(StreamSeed(seed_, kTornWriteStream, task, attempt));
+    // Drop between one byte and the whole final frame.
+    return 1 + static_cast<int64_t>(
+                   rng.Uniform(static_cast<uint64_t>(final_frame_bytes)));
+  }
+  return 0;
+}
+
+bool LocalSpillIoHooks::InjectShortRead(int task, int attempt,
+                                        int64_t block) {
+  if (plan_.short_read_prob <= 0) return false;
+  Rng rng(StreamSeed(seed_, kShortReadStream, task, attempt) ^
+          (static_cast<uint64_t>(block) * kBlockSalt));
+  return rng.Bernoulli(plan_.short_read_prob);
+}
+
+bool LocalSpillIoHooks::InjectReadError(int task, int attempt, int64_t block,
+                                        int retry) {
+  if (plan_.eio_prob <= 0) return false;
+  Rng rng(StreamSeed(seed_, kEioStream, task, attempt) ^
+          (static_cast<uint64_t>(block) * kBlockSalt) ^
+          (static_cast<uint64_t>(retry) * kRetrySalt));
+  return rng.Bernoulli(plan_.eio_prob);
 }
 
 }  // namespace mrmb

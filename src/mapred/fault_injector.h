@@ -20,6 +20,23 @@
 //   delay_reduce:4@a=1,ms=50  likewise for a reduce attempt
 //   map_fail_prob:0.05        per-attempt map failure hazard
 //   reduce_fail_prob:0.05     per-attempt reduce failure hazard
+//
+// I/O fault family (the spill storage engine's hazards; they only fire when
+// the disk spill engine is on — see JobConf::spill_engine_enabled):
+//
+//   corrupt_block:2@a=0,b=1      flip one bit on disk in block 1 of every
+//                                extent written by attempt 0 of map task 2
+//   corrupt_block:2@a=0,b=1,n=3  same, flipping 3 bits (beyond single-bit
+//                                repair: exercises the kDataLoss path)
+//   torn_write:1@a=0             silently drop the tail of the final block
+//                                of each extent that attempt writes (a lost
+//                                write surviving the seal rename)
+//   short_read:0.1               probability a block pread returns short
+//                                (the read loop completes it)
+//   eio_prob:0.05                probability a block pread fails with EIO
+//                                (bounded retries, then kIOError)
+//   enospc_after_bytes:1048576   extent writes fail with ENOSPC once the
+//                                store has written this many bytes
 
 #ifndef MRMB_MAPRED_FAULT_INJECTOR_H_
 #define MRMB_MAPRED_FAULT_INJECTOR_H_
@@ -30,6 +47,7 @@
 
 #include "common/status.h"
 #include "io/kv_buffer.h"
+#include "io/spill_store.h"
 
 namespace mrmb {
 
@@ -39,6 +57,8 @@ enum class LocalFaultKind {
   kCorruptMap,   // single-bit flip in one sealed output partition
   kDelayMap,     // cooperative stall (a watchdog cancellation point)
   kDelayReduce,
+  kCorruptBlock, // flip bits in one on-disk extent block (spill engine)
+  kTornWrite,    // drop the tail of each extent's final block (spill engine)
 };
 
 const char* LocalFaultKindName(LocalFaultKind kind);
@@ -49,6 +69,8 @@ struct LocalFaultEvent {
   int attempt = 0;
   int partition = 0;    // kCorruptMap only
   int64_t delay_ms = 0; // kDelayMap / kDelayReduce only
+  int64_t block = 0;    // kCorruptBlock only: frame index within the extent
+  int bits = 1;         // kCorruptBlock only: flips per matching block
 
   bool operator==(const LocalFaultEvent&) const = default;
 };
@@ -58,10 +80,15 @@ struct LocalFaultPlan {
   // Per-attempt hazards, drawn from dedicated per-attempt RNG streams.
   double map_failure_prob = 0;
   double reduce_failure_prob = 0;
+  // Spill-engine I/O hazards (see the syntax block above).
+  double short_read_prob = 0;
+  double eio_prob = 0;
+  int64_t enospc_after_bytes = -1;  // -1 = disk never fills
 
   bool empty() const {
     return events.empty() && map_failure_prob == 0 &&
-           reduce_failure_prob == 0;
+           reduce_failure_prob == 0 && short_read_prob == 0 &&
+           eio_prob == 0 && enospc_after_bytes < 0;
   }
 
   Status Validate() const;
@@ -98,6 +125,30 @@ class LocalFaultInjector {
  private:
   bool HazardFires(uint64_t stream, double prob, int task, int attempt) const;
 
+  LocalFaultPlan plan_;
+  uint64_t seed_;
+};
+
+// The plan's I/O fault family as SpillIoHooks, for plugging straight into
+// SpillStore::Open. Every decision is drawn from an RNG stream keyed by
+// (seed, hazard kind, owning task/attempt, block[, retry]) — like the
+// injector, reproducible for a given (plan, seed) regardless of thread
+// scheduling. Stateless after construction and safe for concurrent reads
+// and writes.
+class LocalSpillIoHooks final : public SpillIoHooks {
+ public:
+  LocalSpillIoHooks(LocalFaultPlan plan, uint64_t seed);
+
+  Status BeforeExtentWrite(int64_t store_bytes, size_t len) override;
+  void MutateBlockFrame(int task, int attempt, int64_t block,
+                        std::string* frame) override;
+  int64_t TornWriteBytes(int task, int attempt,
+                         int64_t final_frame_bytes) override;
+  bool InjectShortRead(int task, int attempt, int64_t block) override;
+  bool InjectReadError(int task, int attempt, int64_t block,
+                       int retry) override;
+
+ private:
   LocalFaultPlan plan_;
   uint64_t seed_;
 };

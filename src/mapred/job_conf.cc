@@ -123,6 +123,17 @@ Status JobConf::Validate() const {
         "fetch_bandwidth_mbps must be >= 0 (0 = infinite)");
   }
   MRMB_RETURN_IF_ERROR(local_fault_plan.Validate());
+  if (spill_budget_bytes < -1) {
+    return Status::InvalidArgument(
+        "spill_budget_bytes must be >= 0 (or -1 to disable the disk spill "
+        "engine)");
+  }
+  if (spill_cache_bytes < 0) {
+    return Status::InvalidArgument("spill_cache_bytes must be >= 0");
+  }
+  if (spill_block_bytes < 4096) {
+    return Status::InvalidArgument("spill_block_bytes must be >= 4096");
+  }
   if (fetch_timeout < 0) {
     return Status::InvalidArgument("fetch_timeout must be >= 0");
   }

@@ -18,6 +18,7 @@
 #include "io/block_codec.h"
 #include "io/checksum.h"
 #include "io/merge.h"
+#include "io/spill_store.h"
 #include "mapred/fault_injector.h"
 #include "mapred/map_output.h"
 #include "mapred/null_formats.h"
@@ -133,16 +134,28 @@ class Watchdog {
 // KvBuffer, spills sorted runs when full. Errors (oversized record,
 // watchdog cancellation) stick in status(); once set, further Emits are
 // no-ops and Finalize propagates the error.
+//
+// With the disk spill engine on (`store` non-null), sealed spills go to
+// extent files once the attempt's resident spill bytes would exceed
+// JobConf::spill_budget_bytes; admission control degrades an ENOSPC/EIO
+// write back to RAM residency instead of failing the attempt. Residency
+// decisions depend only on this attempt's own spill sizes, so the merged
+// output — and every byte-level counter derived from committed attempts —
+// stays deterministic for any thread count.
 class LocalMapContext final : public MapContext {
  public:
-  LocalMapContext(const JobConf& conf, int task_id,
+  LocalMapContext(const JobConf& conf, int task_id, int attempt,
                   std::unique_ptr<Partitioner> partitioner,
-                  std::unique_ptr<Reducer> combiner, CancelToken* cancel)
+                  std::unique_ptr<Reducer> combiner, CancelToken* cancel,
+                  SpillStore* store)
       : conf_(conf),
         task_id_(task_id),
+        attempt_(attempt),
         partitioner_(std::move(partitioner)),
         combiner_(std::move(combiner)),
         cancel_(cancel),
+        store_(store),
+        spill_budget_bytes_(conf.effective_spill_budget_bytes()),
         buffer_(conf.record.type, conf.num_reduces,
                 static_cast<size_t>(
                     static_cast<double>(conf.io_sort_bytes) *
@@ -190,21 +203,84 @@ class LocalMapContext final : public MapContext {
   Result<SpillSegment> Finalize() {
     MRMB_RETURN_IF_ERROR(status_);
     if (buffer_.records() > 0 || spills_.empty()) SpillBuffer();
-    if (spills_.size() == 1) return std::move(spills_[0]);
-    std::vector<const SpillSegment*> views;
-    views.reserve(spills_.size());
-    for (const SpillSegment& spill : spills_) views.push_back(&spill);
-    // Own just-sealed spills; nothing can have corrupted them yet, so skip
-    // the read-side verification.
-    return MergeSegments(views, ComparatorFor(conf_.record.type),
-                         /*verify_checksums=*/false);
+    MRMB_RETURN_IF_ERROR(status_);  // SpillBuffer can fail a disk write
+    if (spills_.size() == 1) {
+      if (spills_[0].stored == nullptr) return std::move(spills_[0].resident);
+      // Single disk-backed spill: rehydrate it verified — disk bytes are
+      // untrusted, and a damaged extent must fail the attempt (a retry
+      // reproduces the output), never feed the merge garbage.
+      return spills_[0].stored->ReadSegment(/*verify=*/true);
+    }
+    // Multi-spill merge, partition by partition — the same per-partition
+    // MergeFramedRuns + final seal MergeSegments performs, so the result is
+    // byte-identical whether each input run sat in RAM or on disk.
+    const RawComparator* comparator = ComparatorFor(conf_.record.type);
+    const size_t num_partitions = SlotPartitions(spills_[0]).size();
+    SpillSegment out;
+    int64_t total_bytes = 0;
+    for (const SpillSlot& slot : spills_) {
+      total_bytes += slot.stored != nullptr ? slot.stored->logical_bytes()
+                                            : slot.resident.total_bytes();
+    }
+    out.data.reserve(static_cast<size_t>(total_bytes));
+    out.partitions.resize(num_partitions);
+    for (size_t p = 0; p < num_partitions; ++p) {
+      SpillSegment::PartitionRange& range = out.partitions[p];
+      range.offset = static_cast<int64_t>(out.data.size());
+      // Disk-sourced runs are owned strings (verified on read); resident
+      // runs are zero-copy views, unverified exactly like the all-RAM path
+      // (nothing can have corrupted them yet).
+      std::vector<std::string> owned;
+      owned.reserve(spills_.size());
+      std::vector<FramedRun> runs;
+      runs.reserve(spills_.size());
+      for (const SpillSlot& slot : spills_) {
+        if (slot.stored != nullptr) {
+          Result<std::string> run = slot.stored->ReadPartition(
+              static_cast<int>(p), /*verify_partition_crc=*/true);
+          if (!run.ok()) {
+            return Annotate(run.status(),
+                            StringPrintf("map task %d attempt %d: reading "
+                                         "spill back from disk",
+                                         task_id_, attempt_));
+          }
+          owned.push_back(std::move(run).value());
+          runs.push_back({owned.back(), -1});
+        } else {
+          runs.push_back(
+              {slot.resident.PartitionData(static_cast<int>(p)), -1});
+        }
+      }
+      MRMB_ASSIGN_OR_RETURN(MergedRun merged,
+                            MergeFramedRuns(runs, comparator));
+      out.data.append(merged.data);
+      range.records = merged.records;
+      range.length = static_cast<int64_t>(out.data.size()) - range.offset;
+    }
+    SealSegment(&out);
+    return out;
   }
 
   int64_t emitted() const { return emitted_; }
   int64_t spill_count() const { return static_cast<int64_t>(spills_.size()); }
   int64_t combine_removed() const { return combine_removed_; }
+  int64_t spilled_bytes() const { return spilled_bytes_; }
+  int64_t spill_extents() const { return spill_extents_; }
+  int64_t spill_degradations() const { return spill_degradations_; }
 
  private:
+  // One sealed spill, resident in RAM or parked in an extent file.
+  struct SpillSlot {
+    SpillSegment resident;  // valid iff stored == nullptr
+    std::shared_ptr<const StoredSpill> stored;
+  };
+
+  static const std::vector<SpillSegment::PartitionRange>& SlotPartitions(
+      const SpillSlot& slot) {
+    return slot.stored != nullptr ? slot.stored->partitions()
+                                  : slot.resident.partitions;
+  }
+
   void SpillBuffer() {
     buffer_.Sort(sort_pool_.get());
     SpillSegment spill = buffer_.ToSpill();
@@ -214,20 +290,54 @@ class LocalMapContext final : public MapContext {
                              combiner_.get(), conf_, task_id_);
       combine_removed_ += before - spill.total_records();
     }
-    spills_.push_back(std::move(spill));
     buffer_.Clear();
+    const int64_t bytes = spill.total_bytes();
+    if (store_ != nullptr && resident_spill_bytes_ + bytes >
+                                 spill_budget_bytes_) {
+      Result<std::shared_ptr<const StoredSpill>> stored =
+          store_->Put(spill, task_id_, attempt_);
+      if (stored.ok()) {
+        spilled_bytes_ += (*stored)->file_bytes();
+        ++spill_extents_;
+        spills_.push_back({SpillSegment(), std::move(stored).value()});
+        return;
+      }
+      const StatusCode code = stored.status().code();
+      if (code != StatusCode::kResourceExhausted &&
+          code != StatusCode::kIOError) {
+        // Post-seal scrub found unrepairable damage: fail the attempt so
+        // the retry regenerates the bytes.
+        status_ = Annotate(
+            stored.status(),
+            StringPrintf("map task %d attempt %d: spilling to disk",
+                         task_id_, attempt_));
+        return;
+      }
+      // ENOSPC/EIO: degrade this spill to RAM residency and carry on —
+      // a full disk shrinks the effective budget, it doesn't kill work.
+      ++spill_degradations_;
+    }
+    resident_spill_bytes_ += bytes;
+    spills_.push_back({std::move(spill), nullptr});
   }
 
   const JobConf& conf_;
   int task_id_;
+  int attempt_;
   std::unique_ptr<Partitioner> partitioner_;
   std::unique_ptr<Reducer> combiner_;
   CancelToken* cancel_;
+  SpillStore* store_;  // null => all spills stay resident
+  const int64_t spill_budget_bytes_;
   std::unique_ptr<ThreadPool> sort_pool_;  // null => sort inline
   KvBuffer buffer_;
-  std::vector<SpillSegment> spills_;
+  std::vector<SpillSlot> spills_;
   int64_t emitted_ = 0;
   int64_t combine_removed_ = 0;
+  int64_t resident_spill_bytes_ = 0;
+  int64_t spilled_bytes_ = 0;
+  int64_t spill_extents_ = 0;
+  int64_t spill_degradations_ = 0;
   Status status_;
 };
 
@@ -288,11 +398,20 @@ struct MapTaskStats {
   int64_t combine_removed = 0;
   int64_t output_bytes = 0;  // logical (uncompressed) framed bytes
   int64_t wire_bytes = 0;    // bytes as published (codec frames when on)
+  // Disk spill engine, this attempt only: physical extent bytes written,
+  // extent count (spills + final output), and writes that degraded to RAM
+  // residency on ENOSPC/EIO.
+  int64_t spilled_bytes = 0;
+  int64_t spill_extents = 0;
+  int64_t spill_degradations = 0;
 };
 
 struct MapAttemptOutcome {
-  Status status;        // OK iff `output`/`stats` are valid
+  Status status;        // OK iff the output and `stats` are valid
   SpillSegment output;  // sealed (and possibly fault-corrupted) map output
+  // Disk-backed final output; when set, `output` is empty and fetches read
+  // partitions back through the spill store's verify/repair path.
+  std::shared_ptr<const StoredSpill> stored_output;
   MapTaskStats stats;
 };
 
@@ -317,7 +436,7 @@ MapAttemptOutcome RunMapAttempt(const JobConf& conf, int task, int attempt,
                                 const PartitionerFactory& partitioner_factory,
                                 const ReducerFactory& combiner_factory,
                                 const LocalFaultInjector& injector,
-                                CancelToken* cancel) {
+                                SpillStore* store, CancelToken* cancel) {
   MapAttemptOutcome outcome;
   const int64_t delay = injector.MapDelayMs(task, attempt);
   if (delay > 0 && !cancel->SleepFor(delay)) {
@@ -344,8 +463,9 @@ MapAttemptOutcome RunMapAttempt(const JobConf& conf, int task, int attempt,
                             conf.seed + static_cast<uint64_t>(task) * 7919,
                             conf.records_per_map, conf.zipf_exponent);
   LocalMapContext context(
-      conf, task, std::move(partitioner),
-      combiner_factory != nullptr ? combiner_factory(task) : nullptr, cancel);
+      conf, task, attempt, std::move(partitioner),
+      combiner_factory != nullptr ? combiner_factory(task) : nullptr, cancel,
+      store);
   std::string key;
   std::string value;
   while (context.status().ok() && reader->Next(&key, &value)) {
@@ -380,6 +500,33 @@ MapAttemptOutcome RunMapAttempt(const JobConf& conf, int task, int attempt,
   outcome.stats.output_records = context.emitted();
   outcome.stats.spill_count = context.spill_count();
   outcome.stats.combine_removed = context.combine_removed();
+  outcome.stats.spilled_bytes = context.spilled_bytes();
+  outcome.stats.spill_extents = context.spill_extents();
+  outcome.stats.spill_degradations = context.spill_degradations();
+  if (store != nullptr) {
+    // With the disk engine on, the final output lives on disk too; fetches
+    // read partitions back through the store's verify/repair path. ENOSPC
+    // and EIO degrade to RAM residency (the segment simply stays in
+    // `output`) rather than failing the attempt; anything else — notably
+    // DataLoss from a write-time scrub — burns this attempt and retries.
+    Result<std::shared_ptr<const StoredSpill>> put =
+        store->Put(outcome.output, task, attempt);
+    if (put.ok()) {
+      outcome.stored_output = std::move(put).value();
+      outcome.stats.spilled_bytes += outcome.stored_output->file_bytes();
+      outcome.stats.spill_extents += 1;
+      outcome.output = SpillSegment();
+    } else if (put.status().code() == StatusCode::kResourceExhausted ||
+               put.status().code() == StatusCode::kIOError) {
+      outcome.stats.spill_degradations += 1;
+    } else {
+      outcome.status =
+          Annotate(put.status(),
+                   StringPrintf("map task %d attempt %d: storing final output",
+                                task, attempt));
+      return outcome;
+    }
+  }
   return outcome;
 }
 
@@ -516,10 +663,14 @@ class PipelinedJob {
     MergedRun merged;
   };
 
-  // Scheduler's view of one map task's published output.
+  // Scheduler's view of one map task's published output. Exactly one of
+  // `segment` (resident) / `stored` (disk extent) is set per committed
+  // generation — an attempt that degraded on ENOSPC/EIO commits resident
+  // even when the engine is on.
   struct MapSlot {
     std::shared_ptr<const SpillSegment> segment;  // latest committed output
-    int committed_gen = -1;  // generation of `segment`; -1 = none yet
+    std::shared_ptr<const StoredSpill> stored;    // ... or its disk extent
+    int committed_gen = -1;  // generation of the output; -1 = none yet
     int target_gen = 0;      // bumped when the output is declared lost
     bool initial_committed = false;
     int attempts_started = 0;
@@ -597,7 +748,7 @@ class PipelinedJob {
       MapAttemptOutcome outcome = RunMapAttempt(
           conf_, m, attempt, input_format_, splits_[static_cast<size_t>(m)],
           mapper_factory_, partitioner_factory_, combiner_factory_, injector_,
-          &token);
+          store_.get(), &token);
       watchdog_.Disarm(ticket);
       if (outcome.status.ok()) {
         CommitMapOutput(m, std::move(outcome));
@@ -625,8 +776,14 @@ class PipelinedJob {
   void CommitMapOutput(int m, MapAttemptOutcome outcome) {
     std::lock_guard<std::mutex> lock(mu_);
     MapSlot& slot = slots_[static_cast<size_t>(m)];
-    slot.segment =
-        std::make_shared<const SpillSegment>(std::move(outcome.output));
+    if (outcome.stored_output != nullptr) {
+      slot.stored = std::move(outcome.stored_output);
+      slot.segment.reset();
+    } else {
+      slot.segment =
+          std::make_shared<const SpillSegment>(std::move(outcome.output));
+      slot.stored.reset();
+    }
     slot.committed_gen = slot.target_gen;
     slot.stats = outcome.stats;
     if (!slot.initial_committed) {
@@ -702,6 +859,7 @@ class PipelinedJob {
   void ProcessFetch(int r, int m) {
     ReduceShuffle& rs = reduces_[static_cast<size_t>(r)];
     std::shared_ptr<const SpillSegment> segment;
+    std::shared_ptr<const StoredSpill> disk;
     int gen = -1;
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -713,6 +871,7 @@ class PipelinedJob {
         return;  // duplicate event
       }
       segment = slot.segment;
+      disk = slot.stored;
       gen = slot.committed_gen;
     }
     // Simulated transfer time, spent before the busy window so it lands in
@@ -723,7 +882,9 @@ class PipelinedJob {
     double transfer_ms = static_cast<double>(conf_.fetch_latency_ms);
     if (conf_.fetch_bandwidth_mbps > 0) {
       const double wire_bytes = static_cast<double>(
-          segment->partitions[static_cast<size_t>(r)].length);
+          disk != nullptr
+              ? disk->partitions()[static_cast<size_t>(r)].length
+              : segment->partitions[static_cast<size_t>(r)].length);
       transfer_ms +=
           wire_bytes / (conf_.fetch_bandwidth_mbps * 1024.0 * 1024.0) * 1e3;
     }
@@ -732,7 +893,8 @@ class PipelinedJob {
           std::chrono::duration<double, std::milli>(transfer_ms));
     }
     const auto t0 = Clock::now();
-    const bool stored = VerifyAndStore(r, &rs, m, std::move(segment), gen);
+    const bool stored =
+        VerifyAndStore(r, &rs, m, std::move(segment), std::move(disk), gen);
     if (stored) RunReadyNodes(r, &rs);
     const auto t1 = Clock::now();
     rs.drain_busy_seconds += Seconds(t1 - t0);
@@ -751,8 +913,42 @@ class PipelinedJob {
   // replaces (plus every merge-plan node that folded the stale bytes).
   // Returns false on a CRC mismatch, which the caller reports.
   bool VerifyAndStore(int r, ReduceShuffle* rs, int m,
-                      std::shared_ptr<const SpillSegment> segment, int gen) {
-    if (conf_.checksum_map_output) {
+                      std::shared_ptr<const SpillSegment> segment,
+                      std::shared_ptr<const StoredSpill> disk, int gen) {
+    const bool codec_active =
+        conf_.effective_map_output_codec() != MapOutputCodec::kNone;
+    std::string owned;  // disk-path partition bytes (merge-ready framing)
+    if (disk != nullptr) {
+      // Disk-backed output: read the partition back through the store.
+      // Block CRCs are always checked down there (single-bit damage healed
+      // in place); passing checksum_map_output additionally re-checks the
+      // partition-level CRC — the same end-to-end verify the resident path
+      // does. A kDataLoss (torn tail, unrepairable block, corrupt_map
+      // injection) is the familiar lost-output event; a kIOError (injected
+      // eio_prob exhausting its retries) is reported the same way and heals
+      // through re-execution rather than aborting.
+      Result<std::string> part =
+          disk->ReadPartition(r, conf_.checksum_map_output);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (conf_.checksum_map_output) ++result_.crc_verifications;
+        if (!part.ok() && part.status().code() != StatusCode::kIOError) {
+          ++result_.corruptions_detected;
+        }
+      }
+      if (!part.ok()) return false;
+      owned = std::move(part).value();
+      if (codec_active) {
+        std::string inflated;
+        const Status decode = BlockDecompress(owned, &inflated);
+        if (!decode.ok()) {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++result_.corruptions_detected;
+          return false;
+        }
+        owned = std::move(inflated);
+      }
+    } else if (conf_.checksum_map_output) {
       // CRC runs over the stored bytes — the compressed form when a codec
       // is active, so sealing and verification got cheaper too.
       const Status verify = VerifySegmentPartition(*segment, r);
@@ -769,9 +965,7 @@ class PipelinedJob {
     // corruption even when checksum verification is off) is the same
     // lost-output event as a CRC mismatch.
     std::string decompressed;
-    const bool codec_active =
-        conf_.effective_map_output_codec() != MapOutputCodec::kNone;
-    if (codec_active) {
+    if (disk == nullptr && codec_active) {
       const Status decode =
           BlockDecompress(segment->PartitionData(r), &decompressed);
       if (!decode.ok()) {
@@ -786,8 +980,17 @@ class PipelinedJob {
       ++result_.stale_fetches_invalidated;
     }
     if (input.generation >= 0) DirtyNodesCovering(rs, m);
-    input.segment = std::move(segment);
     input.generation = gen;
+    if (disk != nullptr) {
+      // The read already copied (and decoded) this reduce's slice; the
+      // copy is self-owned, so the extent handle itself need not be pinned
+      // here — MapSlot keeps it alive for later fetches.
+      input.segment.reset();
+      input.decompressed = std::move(owned);
+      input.view = input.decompressed;
+      return true;
+    }
+    input.segment = std::move(segment);
     if (codec_active) {
       input.decompressed = std::move(decompressed);
       input.view = input.decompressed;
@@ -1058,6 +1261,7 @@ class PipelinedJob {
       while (true) {
         MRMB_RETURN_IF_ERROR(WaitUntilCurrent(m, token));
         std::shared_ptr<const SpillSegment> segment;
+        std::shared_ptr<const StoredSpill> disk;
         int gen = -1;
         {
           std::lock_guard<std::mutex> lock(mu_);
@@ -1067,10 +1271,12 @@ class PipelinedJob {
             break;  // already current
           }
           segment = slot.segment;
+          disk = slot.stored;
           gen = slot.committed_gen;
         }
         const auto t0 = Clock::now();
-        const bool stored = VerifyAndStore(r, rs, m, std::move(segment), gen);
+        const bool stored = VerifyAndStore(r, rs, m, std::move(segment),
+                                           std::move(disk), gen);
         AddBusy(t0, Clock::now(), /*merge_bucket=*/true);
         if (stored) break;
         HandleLostOutput(r, m, gen);  // corrupt again; wait for the next gen
@@ -1179,6 +1385,13 @@ class PipelinedJob {
   Watchdog watchdog_;
   const int slowstart_threshold_;
 
+  // Disk spill engine (null when off). Declared before slots_/reduces_ so
+  // it outlives every StoredSpill handle they hold: handle destructors
+  // release their extents back into the store. The hooks must likewise
+  // outlive the store.
+  std::unique_ptr<SpillIoHooks> spill_hooks_;
+  std::unique_ptr<SpillStore> store_;
+
   std::mutex mu_;
   std::condition_variable cv_;
   std::vector<MapSlot> slots_;
@@ -1200,6 +1413,25 @@ class PipelinedJob {
 Status PipelinedJob::Execute(OutputFormat* output_format,
                              LocalJobResult* result) {
   const auto start = Clock::now();
+  if (conf_.spill_engine_enabled()) {
+    spill_hooks_ = std::make_unique<LocalSpillIoHooks>(conf_.local_fault_plan,
+                                                       conf_.seed);
+    SpillStoreOptions options;
+    options.dir = conf_.spill_dir;
+    options.cache_bytes = conf_.spill_cache_bytes;
+    options.block_bytes = conf_.spill_block_bytes;
+    // Extents reuse the map-output codec for their blocks; kNone still
+    // writes CRC-framed (stored) blocks, so scrub/repair work either way.
+    options.block_codec = conf_.effective_map_output_codec();
+    options.scrub_after_seal = conf_.spill_scrub;
+    options.use_mmap = conf_.spill_mmap;
+    Result<std::unique_ptr<SpillStore>> store =
+        SpillStore::Open(options, spill_hooks_.get());
+    if (!store.ok()) {
+      return Annotate(store.status(), "opening the spill store");
+    }
+    store_ = std::move(store).value();
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (slowstart_threshold_ == 0) LaunchReducesLocked();
@@ -1231,6 +1463,28 @@ Status PipelinedJob::Execute(OutputFormat* output_format,
     result->combine_removed_records += stats.combine_removed;
     result->map_output_bytes += stats.output_bytes;
     result->map_output_wire_bytes += stats.wire_bytes;
+    result->spilled_bytes += stats.spilled_bytes;
+    result->spill_extents += stats.spill_extents;
+    result->spill_degradations += stats.spill_degradations;
+  }
+  if (store_ != nullptr) {
+    // Store-wide counters (covers failed attempts' extents too, which the
+    // per-committed-attempt sums above deliberately exclude).
+    result->spill_engine_enabled = true;
+    const SpillStoreStats ss = store_->stats();
+    result->spill_cache_hits = ss.cache_hits;
+    result->spill_cache_misses = ss.cache_misses;
+    result->spill_cache_evictions = ss.cache_evictions;
+    result->spill_blocks_repaired = ss.blocks_repaired;
+    result->spill_blocks_lost = ss.blocks_lost;
+    result->spill_short_reads = ss.short_reads;
+    result->spill_read_errors = ss.read_errors;
+    result->spill_scrubbed_blocks = ss.scrubbed_blocks;
+    const int64_t lookups = ss.cache_hits + ss.cache_misses;
+    result->spill_cache_hit_rate =
+        lookups > 0 ? static_cast<double>(ss.cache_hits) /
+                          static_cast<double>(lookups)
+                    : 0.0;
   }
   result->map_output_compression_ratio =
       result->map_output_bytes > 0
@@ -1243,7 +1497,8 @@ Status PipelinedJob::Execute(OutputFormat* output_format,
   for (size_t r = 0; r < num_reduces; ++r) {
     for (size_t m = 0; m < num_maps; ++m) {
       const SpillSegment::PartitionRange& range =
-          slots_[m].segment->partitions[r];
+          slots_[m].stored != nullptr ? slots_[m].stored->partitions()[r]
+                                      : slots_[m].segment->partitions[r];
       result->reducer_input_records[r] += range.records;
       // Logical (decompressed) bytes: what the reducer merge consumed, so
       // the counter is codec-invariant; the wire side lives in

@@ -93,6 +93,35 @@ struct LocalJobResult {
   // bounding the final fan-in). Deterministic on clean runs: reduces x
   // plan nodes.
   int64_t intermediate_merges = 0;
+  // ---- Disk spill engine counters (all 0 when the engine is off) -------
+  // True when the run opened a spill store (spill_dir set or
+  // spill_budget_bytes >= 0); gates report sections.
+  bool spill_engine_enabled = false;
+  // Physical extent bytes written by committed map attempts (spills plus
+  // final outputs, after block compression and framing).
+  int64_t spilled_bytes = 0;
+  // Extent files written by committed map attempts.
+  int64_t spill_extents = 0;
+  // Writes that fell back to RAM residency on ENOSPC/EIO instead of
+  // failing the attempt.
+  int64_t spill_degradations = 0;
+  // ARC block-cache traffic across the whole store. Deterministic at
+  // local_threads=1; timing-dependent otherwise (interleaving decides
+  // which reader misses).
+  int64_t spill_cache_hits = 0;
+  int64_t spill_cache_misses = 0;
+  int64_t spill_cache_evictions = 0;
+  double spill_cache_hit_rate = 0;  // hits / (hits + misses), 0 if idle
+  // Scrub/repair taxonomy: single-bit frames healed in place, frames
+  // declared unrecoverable (each one triggered a map re-execution or a
+  // failed attempt), injected short reads transparently completed, reads
+  // that kept failing after retries, and frames visited by scrub passes.
+  int64_t spill_blocks_repaired = 0;
+  int64_t spill_blocks_lost = 0;
+  int64_t spill_short_reads = 0;
+  int64_t spill_read_errors = 0;
+  int64_t spill_scrubbed_blocks = 0;
+
   // Fetched segments dropped because the producing map re-executed after
   // the fetch (generation mismatch). Timing-dependent under faults: a
   // reduce that had not fetched the stale generation yet fetches the new

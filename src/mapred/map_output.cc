@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "common/logging.h"
+#include "common/strings.h"
 #include "io/byte_buffer.h"
 #include "io/checksum.h"
 #include "io/merge.h"
@@ -61,11 +62,21 @@ Result<MergedRun> MergeFramedRuns(const std::vector<FramedRun>& runs,
 Result<SpillSegment> MergeSegments(
     const std::vector<const SpillSegment*>& segments,
     const RawComparator* comparator, bool verify_checksums) {
-  MRMB_CHECK(!segments.empty());
+  // Malformed inputs surface as Status, never an abort: segments reaching a
+  // merge can now originate on disk (io/spill_store.h), where damage is a
+  // recoverable event for the caller's retry machinery.
+  if (segments.empty()) {
+    return Status::InvalidArgument("MergeSegments needs at least one segment");
+  }
   const size_t num_partitions = segments[0]->partitions.size();
   int64_t total_bytes = 0;
   for (const SpillSegment* segment : segments) {
-    MRMB_CHECK_EQ(segment->partitions.size(), num_partitions);
+    if (segment->partitions.size() != num_partitions) {
+      return Status::InvalidArgument(StringPrintf(
+          "cannot merge segments with mismatched partition counts (%zu vs "
+          "%zu)",
+          segment->partitions.size(), num_partitions));
+    }
     total_bytes += segment->total_bytes();
   }
 

@@ -60,6 +60,12 @@ JobConf BenchmarkOptions::ToJobConf() const {
   conf.fetch_latency_ms = fetch_latency_ms;
   conf.fetch_bandwidth_mbps = fetch_bandwidth_mbps;
   conf.local_fault_plan = local_fault_plan;
+  conf.spill_dir = spill_dir;
+  conf.spill_budget_bytes = spill_budget_bytes;
+  conf.spill_cache_bytes = spill_cache_bytes;
+  conf.spill_block_bytes = spill_block_bytes;
+  conf.spill_scrub = spill_scrub;
+  conf.spill_mmap = spill_mmap;
 
   conf.record.type = data_type;
   conf.record.key_size = static_cast<size_t>(key_size);

@@ -110,6 +110,14 @@ struct BenchmarkOptions {
   // each fetch on top of fetch_latency_ms. 0 = infinite bandwidth.
   double fetch_bandwidth_mbps = 0;
   LocalFaultPlan local_fault_plan;
+  // ---- Disk spill engine (see JobConf for semantics) ------------------
+  // Engine turns on when spill_dir is set or spill_budget_bytes >= 0.
+  std::string spill_dir;
+  int64_t spill_budget_bytes = -1;
+  int64_t spill_cache_bytes = 16LL * 1024 * 1024;
+  int64_t spill_block_bytes = 256LL * 1024;
+  bool spill_scrub = false;
+  bool spill_mmap = false;
 
   // ---- Instrumentation ------------------------------------------------
   bool collect_resource_stats = false;

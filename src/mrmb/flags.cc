@@ -164,6 +164,28 @@ Status ApplyFaultToleranceFlags(const Flags& flags,
     MRMB_ASSIGN_OR_RETURN(options->local_fault_plan,
                           LocalFaultPlan::Parse(local_plan_spec));
   }
+  // Disk spill engine knobs.
+  MRMB_ASSIGN_OR_RETURN(options->spill_dir,
+                        flags.GetString("spill-dir", options->spill_dir));
+  MRMB_ASSIGN_OR_RETURN(const std::string spill_budget,
+                        flags.GetString("spill-budget-bytes", ""));
+  if (spill_budget == "-1") {  // the engine-off sentinel has no byte form
+    options->spill_budget_bytes = -1;
+  } else {
+    MRMB_ASSIGN_OR_RETURN(
+        options->spill_budget_bytes,
+        flags.GetBytes("spill-budget-bytes", options->spill_budget_bytes));
+  }
+  MRMB_ASSIGN_OR_RETURN(
+      options->spill_cache_bytes,
+      flags.GetBytes("spill-cache-bytes", options->spill_cache_bytes));
+  MRMB_ASSIGN_OR_RETURN(
+      options->spill_block_bytes,
+      flags.GetBytes("spill-block-bytes", options->spill_block_bytes));
+  MRMB_ASSIGN_OR_RETURN(options->spill_scrub,
+                        flags.GetBool("spill-scrub", options->spill_scrub));
+  MRMB_ASSIGN_OR_RETURN(options->spill_mmap,
+                        flags.GetBool("spill-mmap", options->spill_mmap));
   return options->fault_plan.Validate();
 }
 
@@ -203,7 +225,24 @@ const char* FaultToleranceFlagsHelp() {
       "                            Replaces the deprecated --compress bool\n"
       "  --local-fault-plan=SPEC   local-runner fault events, e.g.\n"
       "                            \"fail_map:3@a=0;corrupt_map:2@a=0,p=1;"
-      "delay_map:0@a=0,ms=500\"\n";
+      "delay_map:0@a=0,ms=500\";\n"
+      "                            I/O faults for the disk spill engine:\n"
+      "                            \"corrupt_block:T@a=A,b=B[,n=N];"
+      "torn_write:T@a=A;\n"
+      "                            short_read:P;eio_prob:P;"
+      "enospc_after_bytes:N\"\n"
+      "  --spill-dir=PATH          back map output with extent files under\n"
+      "                            PATH (empty = RAM unless a budget is set)\n"
+      "  --spill-budget-bytes=N    resident sealed-spill bytes per map before\n"
+      "                            spills go to disk; >= 0 also enables the\n"
+      "                            engine (-1 = off, default). Accepts k/m/g\n"
+      "  --spill-cache-bytes=N     ARC block-cache capacity (0 = no cache;\n"
+      "                            default 16m)\n"
+      "  --spill-block-bytes=N     extent block size (>= 4096; default 256k)\n"
+      "  --spill-scrub[=BOOL]      CRC-scrub every extent right after seal\n"
+      "                            (repairs single-bit damage, warms the\n"
+      "                            cache)\n"
+      "  --spill-mmap[=BOOL]       read extents via mmap instead of pread\n";
 }
 
 }  // namespace mrmb

@@ -151,6 +151,34 @@ void PrintLocalJobReport(const BenchmarkOptions& options,
     os << StringPrintf("Watchdog timeouts    : %lld\n",
                        static_cast<long long>(result.watchdog_timeouts));
   }
+  if (result.spill_engine_enabled) {
+    os << "--- spill storage engine --------------------------------------"
+          "----\n";
+    os << "Spilled to disk      : " << FormatBytes(result.spilled_bytes)
+       << StringPrintf(" (%lld extents, %lld degraded to RAM)\n",
+                       static_cast<long long>(result.spill_extents),
+                       static_cast<long long>(result.spill_degradations));
+    os << StringPrintf("Block cache          : %lld hits / %lld misses "
+                       "(%.1f%% hit rate, %lld evictions)\n",
+                       static_cast<long long>(result.spill_cache_hits),
+                       static_cast<long long>(result.spill_cache_misses),
+                       result.spill_cache_hit_rate * 100.0,
+                       static_cast<long long>(result.spill_cache_evictions));
+    if (result.spill_scrubbed_blocks > 0 || result.spill_blocks_repaired > 0 ||
+        result.spill_blocks_lost > 0) {
+      os << StringPrintf("Scrub / repair       : %lld blocks scrubbed, "
+                         "%lld repaired, %lld lost\n",
+                         static_cast<long long>(result.spill_scrubbed_blocks),
+                         static_cast<long long>(result.spill_blocks_repaired),
+                         static_cast<long long>(result.spill_blocks_lost));
+    }
+    if (result.spill_short_reads > 0 || result.spill_read_errors > 0) {
+      os << StringPrintf("I/O faults survived  : %lld short reads, "
+                         "%lld read errors\n",
+                         static_cast<long long>(result.spill_short_reads),
+                         static_cast<long long>(result.spill_read_errors));
+    }
+  }
   os << "--- shuffle pipeline ------------------------------------------"
         "----\n";
   os << StringPrintf("Map phase            : %.3f s\n",

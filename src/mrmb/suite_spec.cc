@@ -24,6 +24,9 @@ const char* const kKnownKeys[] = {
     "reduce-slowstart", "merge-factor", "fetch-latency-ms",
     "fetch-bandwidth-mbps", "map-output-codec",
     "local-fault-plan",
+    // Disk spill engine.
+    "spill-dir", "spill-budget-bytes", "spill-cache-bytes",
+    "spill-block-bytes", "spill-scrub", "spill-mmap",
 };
 
 bool IsKnownKey(const std::string& key) {
@@ -322,6 +325,41 @@ Result<ResolvedSection> ResolveSection(const SuiteSection& section) {
     MRMB_ASSIGN_OR_RETURN(base.local_fault_plan,
                           LocalFaultPlan::Parse(plan_text));
   }
+
+  // Disk spill engine.
+  MRMB_ASSIGN_OR_RETURN(base.spill_dir,
+                        SingleValue(section, "spill-dir", base.spill_dir));
+  const auto bytes_value = [&](const char* key, int64_t current,
+                               int64_t* out) -> Status {
+    MRMB_ASSIGN_OR_RETURN(const std::string text,
+                          SingleValue(section, key, std::to_string(current)));
+    if (text == "-1") {  // the engine-off sentinel has no byte suffix form
+      *out = -1;
+      return Status::OK();
+    }
+    Result<int64_t> bytes = ParseBytes(text);
+    if (!bytes.ok()) {
+      return Status::InvalidArgument("[" + section.name + "] bad " +
+                                     std::string(key) + ": '" + text + "'");
+    }
+    *out = *bytes;
+    return Status::OK();
+  };
+  MRMB_RETURN_IF_ERROR(bytes_value("spill-budget-bytes",
+                                   base.spill_budget_bytes,
+                                   &base.spill_budget_bytes));
+  MRMB_RETURN_IF_ERROR(bytes_value("spill-cache-bytes", base.spill_cache_bytes,
+                                   &base.spill_cache_bytes));
+  MRMB_RETURN_IF_ERROR(bytes_value("spill-block-bytes", base.spill_block_bytes,
+                                   &base.spill_block_bytes));
+  MRMB_ASSIGN_OR_RETURN(const std::string spill_scrub,
+                        SingleValue(section, "spill-scrub", "false"));
+  base.spill_scrub = ToLower(spill_scrub) == "true" || spill_scrub == "1" ||
+                     ToLower(spill_scrub) == "yes";
+  MRMB_ASSIGN_OR_RETURN(const std::string spill_mmap,
+                        SingleValue(section, "spill-mmap", "false"));
+  base.spill_mmap = ToLower(spill_mmap) == "true" || spill_mmap == "1" ||
+                    ToLower(spill_mmap) == "yes";
 
   // Sweep axes.
   std::vector<std::string> networks = {"ipoib-qdr"};

@@ -213,5 +213,72 @@ TEST(MeasureCodecRatioTest, TracksCompressibility) {
   EXPECT_GE(MeasureCodecRatio(MapOutputCodec::kLz4, random), 1.0);
 }
 
+// ---- Single-bit frame repair (the spill engine's scrub primitive) --------
+
+std::string CompressibleFrame() {
+  std::string frame;
+  std::string raw;
+  for (int i = 0; i < 500; ++i) {
+    raw += "block payload chunk " + std::to_string(i % 13) + "; ";
+  }
+  EXPECT_TRUE(BlockCompress(MapOutputCodec::kDeflate, raw, &frame).ok());
+  return frame;
+}
+
+TEST(RepairCodecFrameTest, HealsOneBitInEveryFrameRegion) {
+  const std::string pristine = CompressibleFrame();
+  // One flip per frame region: magic, method/length header, payload body,
+  // and the CRC field itself (byte offsets per the header layout comment).
+  const size_t probes[] = {0, 5, kCodecFrameHeaderSize - 2,
+                           kCodecFrameHeaderSize + 3, pristine.size() - 1};
+  for (const size_t byte : probes) {
+    for (const int bit : {0, 7}) {
+      std::string frame = pristine;
+      frame[byte] = static_cast<char>(frame[byte] ^ (1u << bit));
+      const Status repaired = RepairCodecFrameSingleBitFlip(&frame);
+      ASSERT_TRUE(repaired.ok())
+          << "byte=" << byte << " bit=" << bit << ": " << repaired.ToString();
+      EXPECT_EQ(frame, pristine) << "byte=" << byte << " bit=" << bit;
+      std::string raw;
+      EXPECT_TRUE(BlockDecompress(frame, &raw).ok());
+    }
+  }
+}
+
+TEST(RepairCodecFrameTest, TwoBitDamageIsDataLoss) {
+  std::string frame = CompressibleFrame();
+  frame[kCodecFrameHeaderSize + 1] =
+      static_cast<char>(frame[kCodecFrameHeaderSize + 1] ^ 0x04);
+  frame[frame.size() - 2] = static_cast<char>(frame[frame.size() - 2] ^ 0x40);
+  const Status repair = RepairCodecFrameSingleBitFlip(&frame);
+  ASSERT_FALSE(repair.ok());
+  EXPECT_EQ(repair.code(), StatusCode::kDataLoss);
+}
+
+TEST(RepairCodecFrameTest, UndamagedFrameIsUntouched) {
+  std::string frame = CompressibleFrame();
+  const std::string pristine = frame;
+  EXPECT_TRUE(RepairCodecFrameSingleBitFlip(&frame).ok());
+  EXPECT_EQ(frame, pristine);
+}
+
+TEST(BlockStoreTest, StoredFramesRoundTripAndRepair) {
+  Rng rng(0xB10C);
+  std::string raw(10000, '\0');
+  rng.Fill(raw.data(), raw.size());
+  std::string frame;
+  BlockStore(raw, &frame);
+  EXPECT_EQ(frame.size(), raw.size() + kCodecFrameHeaderSize);
+  std::string round;
+  ASSERT_TRUE(BlockDecompress(frame, &round).ok());
+  EXPECT_EQ(round, raw);
+  // Stored frames go through the same repair machinery.
+  const std::string pristine = frame;
+  frame[kCodecFrameHeaderSize + 777] =
+      static_cast<char>(frame[kCodecFrameHeaderSize + 777] ^ 0x20);
+  ASSERT_TRUE(RepairCodecFrameSingleBitFlip(&frame).ok());
+  EXPECT_EQ(frame, pristine);
+}
+
 }  // namespace
 }  // namespace mrmb

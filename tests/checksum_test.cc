@@ -190,5 +190,39 @@ TEST(VerifySegmentTest, EmptyPartitionVerifies) {
   EXPECT_TRUE(VerifySegmentPartition(segment, 2).ok());
 }
 
+TEST(FindCrc32cSingleBitFlipTest, LocatesFlipsAcrossMessageLengths) {
+  Rng rng(0xB17F11B);
+  for (const size_t len : {1u, 7u, 64u, 1000u, 65536u}) {
+    std::string data(len, '\0');
+    rng.Fill(data.data(), data.size());
+    const uint32_t good = Crc32c(data);
+    const size_t byte = static_cast<size_t>(rng.Uniform(len));
+    const int bit = static_cast<int>(rng.Uniform(8));
+    data[byte] = static_cast<char>(data[byte] ^ (1u << bit));
+    size_t found_byte = 0;
+    int found_bit = 0;
+    ASSERT_TRUE(FindCrc32cSingleBitFlip(good ^ Crc32c(data), len, &found_byte,
+                                        &found_bit))
+        << "len=" << len;
+    EXPECT_EQ(found_byte, byte);
+    EXPECT_EQ(found_bit, bit);
+  }
+}
+
+TEST(FindCrc32cSingleBitFlipTest, ZeroSyndromeAndMultiBitDamageFail) {
+  std::string data(256, 'q');
+  const uint32_t good = Crc32c(data);
+  size_t byte = 0;
+  int bit = 0;
+  // A zero syndrome means the data is undamaged: no bit to find.
+  EXPECT_FALSE(FindCrc32cSingleBitFlip(0, data.size(), &byte, &bit));
+  // Two distinct flips never alias a single-bit syndrome at these lengths.
+  std::string bad = data;
+  bad[10] = static_cast<char>(bad[10] ^ 0x01);
+  bad[200] = static_cast<char>(bad[200] ^ 0x80);
+  EXPECT_FALSE(
+      FindCrc32cSingleBitFlip(good ^ Crc32c(bad), data.size(), &byte, &bit));
+}
+
 }  // namespace
 }  // namespace mrmb

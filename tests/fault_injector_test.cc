@@ -167,5 +167,111 @@ TEST(LocalFaultInjectorTest, OutOfRangePartitionIsIgnored) {
   EXPECT_TRUE(VerifySegment(segment).ok());
 }
 
+// ---- I/O fault family (spill storage engine hazards) ---------------------
+
+TEST(LocalFaultPlanTest, ParsesEveryIoFaultKind) {
+  auto plan = LocalFaultPlan::Parse(
+      "corrupt_block:2@a=0,b=1; corrupt_block:2@a=1,b=0,n=3; "
+      "torn_write:1@a=0; short_read:0.1; eio_prob:0.05; "
+      "enospc_after_bytes:1048576");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ(plan->events.size(), 3u);
+  EXPECT_EQ(plan->events[0].kind, LocalFaultKind::kCorruptBlock);
+  EXPECT_EQ(plan->events[0].task, 2);
+  EXPECT_EQ(plan->events[0].attempt, 0);
+  EXPECT_EQ(plan->events[0].block, 1);
+  EXPECT_EQ(plan->events[0].bits, 1);
+  EXPECT_EQ(plan->events[1].bits, 3);
+  EXPECT_EQ(plan->events[2].kind, LocalFaultKind::kTornWrite);
+  EXPECT_EQ(plan->events[2].task, 1);
+  EXPECT_DOUBLE_EQ(plan->short_read_prob, 0.1);
+  EXPECT_DOUBLE_EQ(plan->eio_prob, 0.05);
+  EXPECT_EQ(plan->enospc_after_bytes, 1048576);
+  EXPECT_FALSE(plan->empty());
+}
+
+TEST(LocalFaultPlanTest, IoFaultToStringParseRoundTrips) {
+  auto plan = LocalFaultPlan::Parse(
+      "corrupt_block:2@a=0,b=1,n=3;torn_write:1@a=0;short_read:0.1;"
+      "eio_prob:0.05;enospc_after_bytes:4096");
+  ASSERT_TRUE(plan.ok());
+  auto reparsed = LocalFaultPlan::Parse(plan->ToString());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed->events, plan->events);
+  EXPECT_DOUBLE_EQ(reparsed->short_read_prob, plan->short_read_prob);
+  EXPECT_DOUBLE_EQ(reparsed->eio_prob, plan->eio_prob);
+  EXPECT_EQ(reparsed->enospc_after_bytes, plan->enospc_after_bytes);
+}
+
+TEST(LocalFaultPlanTest, RejectsMalformedIoFaultSpecs) {
+  EXPECT_FALSE(LocalFaultPlan::Parse("corrupt_block:1@a=0").ok());  // no b=
+  EXPECT_FALSE(LocalFaultPlan::Parse("corrupt_block:1@a=0,b=-1").ok());
+  EXPECT_FALSE(LocalFaultPlan::Parse("corrupt_block:1@a=0,b=0,n=0").ok());
+  EXPECT_FALSE(LocalFaultPlan::Parse("torn_write:1@a=0,ms=5").ok());
+  EXPECT_FALSE(LocalFaultPlan::Parse("short_read:1.5").ok());
+  EXPECT_FALSE(LocalFaultPlan::Parse("short_read:x").ok());
+  EXPECT_FALSE(LocalFaultPlan::Parse("eio_prob:-0.1").ok());
+  EXPECT_FALSE(LocalFaultPlan::Parse("enospc_after_bytes:-2").ok());
+}
+
+TEST(LocalSpillIoHooksTest, EnospcFiresOnceThresholdCrossed) {
+  auto plan = LocalFaultPlan::Parse("enospc_after_bytes:1000");
+  ASSERT_TRUE(plan.ok());
+  LocalSpillIoHooks hooks(*plan, 7);
+  EXPECT_TRUE(hooks.BeforeExtentWrite(0, 1000).ok());
+  const Status full = hooks.BeforeExtentWrite(900, 200);
+  ASSERT_FALSE(full.ok());
+  EXPECT_EQ(full.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(LocalSpillIoHooksTest, BlockCorruptionTargetsExactBlockAndAttempt) {
+  auto plan = LocalFaultPlan::Parse("corrupt_block:2@a=0,b=1");
+  ASSERT_TRUE(plan.ok());
+  LocalSpillIoHooks hooks(*plan, 7);
+  const std::string pristine(100, 'x');
+  std::string frame = pristine;
+  hooks.MutateBlockFrame(2, 0, 0, &frame);  // wrong block
+  EXPECT_EQ(frame, pristine);
+  hooks.MutateBlockFrame(2, 1, 1, &frame);  // wrong attempt
+  EXPECT_EQ(frame, pristine);
+  hooks.MutateBlockFrame(2, 0, 1, &frame);  // the target
+  EXPECT_NE(frame, pristine);
+  // Deterministic: the same flip again restores the original bytes.
+  hooks.MutateBlockFrame(2, 0, 1, &frame);
+  EXPECT_EQ(frame, pristine);
+}
+
+TEST(LocalSpillIoHooksTest, TornWriteDropsBoundedTail) {
+  auto plan = LocalFaultPlan::Parse("torn_write:1@a=0");
+  ASSERT_TRUE(plan.ok());
+  LocalSpillIoHooks hooks(*plan, 7);
+  EXPECT_EQ(hooks.TornWriteBytes(0, 0, 500), 0);  // wrong task
+  const int64_t torn = hooks.TornWriteBytes(1, 0, 500);
+  EXPECT_GE(torn, 1);
+  EXPECT_LE(torn, 500);
+  EXPECT_EQ(hooks.TornWriteBytes(1, 0, 500), torn);  // deterministic
+}
+
+TEST(LocalSpillIoHooksTest, ReadHazardsAreDeterministicPerBlockAndRetry) {
+  auto plan = LocalFaultPlan::Parse("short_read:0.5;eio_prob:0.5");
+  ASSERT_TRUE(plan.ok());
+  LocalSpillIoHooks hooks(*plan, 7);
+  int shorts = 0;
+  int eios = 0;
+  for (int64_t block = 0; block < 64; ++block) {
+    const bool short_read = hooks.InjectShortRead(0, 0, block);
+    EXPECT_EQ(hooks.InjectShortRead(0, 0, block), short_read);
+    shorts += short_read ? 1 : 0;
+    const bool eio = hooks.InjectReadError(0, 0, block, 0);
+    EXPECT_EQ(hooks.InjectReadError(0, 0, block, 0), eio);
+    eios += eio ? 1 : 0;
+    // Retries draw fresh decisions, so not every retry repeats the fault.
+  }
+  EXPECT_GT(shorts, 0);
+  EXPECT_LT(shorts, 64);
+  EXPECT_GT(eios, 0);
+  EXPECT_LT(eios, 64);
+}
+
 }  // namespace
 }  // namespace mrmb

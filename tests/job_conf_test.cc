@@ -131,6 +131,37 @@ TEST(JobConfTest, BoundaryValuesAccepted) {
   EXPECT_TRUE(conf.Validate().ok());
 }
 
+TEST(JobConfTest, SpillEngineKnobValidation) {
+  JobConf conf = ValidConf();
+  conf.spill_budget_bytes = -2;
+  EXPECT_FALSE(conf.Validate().ok());
+  conf = ValidConf();
+  conf.spill_cache_bytes = -1;
+  EXPECT_FALSE(conf.Validate().ok());
+  conf = ValidConf();
+  conf.spill_block_bytes = 4095;
+  EXPECT_FALSE(conf.Validate().ok());
+  conf = ValidConf();
+  conf.spill_budget_bytes = 0;
+  conf.spill_cache_bytes = 0;
+  conf.spill_block_bytes = 4096;
+  EXPECT_TRUE(conf.Validate().ok());
+}
+
+TEST(JobConfTest, SpillEngineEnablement) {
+  JobConf conf;
+  EXPECT_FALSE(conf.spill_engine_enabled());  // budget -1, no dir
+  conf.spill_budget_bytes = 0;
+  EXPECT_TRUE(conf.spill_engine_enabled());
+  EXPECT_EQ(conf.effective_spill_budget_bytes(), 0);
+  conf.spill_budget_bytes = -1;
+  conf.spill_dir = "/tmp/spills";
+  EXPECT_TRUE(conf.spill_engine_enabled());  // dir alone enables it
+  EXPECT_EQ(conf.effective_spill_budget_bytes(), 0);
+  conf.spill_budget_bytes = 1 << 20;
+  EXPECT_EQ(conf.effective_spill_budget_bytes(), 1 << 20);
+}
+
 TEST(SchedulerKindTest, Names) {
   EXPECT_STREQ(SchedulerKindName(SchedulerKind::kMrv1), "MRv1");
   EXPECT_STREQ(SchedulerKindName(SchedulerKind::kYarn), "YARN");

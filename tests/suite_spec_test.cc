@@ -165,6 +165,61 @@ local-fault-plan = fail_map:3@a=0;corrupt_map:2@a=0,p=1
   EXPECT_EQ(options.local_fault_plan.events[1].partition, 1);
 }
 
+TEST(SuiteSpecResolveTest, SpillEngineKeysResolve) {
+  auto spec = ParseSuiteSpec(R"(
+[spill]
+pattern = avg
+spill-dir = /tmp/mrmb-spill
+spill-budget-bytes = 32m
+spill-cache-bytes = 4m
+spill-block-bytes = 64k
+spill-scrub = true
+spill-mmap = yes
+local-fault-plan = corrupt_block:2@a=0,b=1,n=3;short_read:0.1
+)");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  auto resolved = ResolveSection(spec->sections[0]);
+  ASSERT_TRUE(resolved.ok()) << resolved.status().ToString();
+  const BenchmarkOptions& options = resolved->options[0][0];
+  EXPECT_EQ(options.spill_dir, "/tmp/mrmb-spill");
+  EXPECT_EQ(options.spill_budget_bytes, 32ll << 20);
+  EXPECT_EQ(options.spill_cache_bytes, 4ll << 20);
+  EXPECT_EQ(options.spill_block_bytes, 64ll << 10);
+  EXPECT_TRUE(options.spill_scrub);
+  EXPECT_TRUE(options.spill_mmap);
+  ASSERT_EQ(options.local_fault_plan.events.size(), 1u);
+  EXPECT_EQ(options.local_fault_plan.events[0].kind,
+            LocalFaultKind::kCorruptBlock);
+  EXPECT_EQ(options.local_fault_plan.events[0].bits, 3);
+  EXPECT_DOUBLE_EQ(options.local_fault_plan.short_read_prob, 0.1);
+}
+
+TEST(SuiteSpecResolveTest, SpillBudgetDefaultsOffAndAcceptsSentinel) {
+  auto spec = ParseSuiteSpec("[x]\npattern = avg\nspill-budget-bytes = -1\n");
+  ASSERT_TRUE(spec.ok());
+  auto resolved = ResolveSection(spec->sections[0]);
+  ASSERT_TRUE(resolved.ok()) << resolved.status().ToString();
+  EXPECT_EQ(resolved->options[0][0].spill_budget_bytes, -1);
+
+  auto plain = ParseSuiteSpec("[x]\npattern = avg\n");
+  ASSERT_TRUE(plain.ok());
+  auto defaults = ResolveSection(plain->sections[0]);
+  ASSERT_TRUE(defaults.ok());
+  EXPECT_EQ(defaults->options[0][0].spill_budget_bytes, -1);
+  EXPECT_TRUE(defaults->options[0][0].spill_dir.empty());
+}
+
+TEST(SuiteSpecResolveTest, RejectsBadSpillValues) {
+  for (const char* bad :
+       {"[x]\nspill-budget-bytes = lots\n", "[x]\nspill-cache-bytes = -3\n",
+        "[x]\nlocal-fault-plan = corrupt_block:1@a=0\n",
+        "[x]\nlocal-fault-plan = short_read:1.5\n"}) {
+    auto spec = ParseSuiteSpec(bad);
+    ASSERT_TRUE(spec.ok()) << bad;
+    EXPECT_FALSE(ResolveSection(spec->sections[0]).ok()) << bad;
+  }
+}
+
 TEST(SuiteSpecResolveTest, RejectsBadFaultValues) {
   for (const char* bad :
        {"[x]\nfault-plan = explode:1@t=2s\n", "[x]\ncrash-prob = maybe\n",
