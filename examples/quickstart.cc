@@ -51,6 +51,23 @@ Functional (in-process) mode — real bytes, small sizes:
   --local-fault-plan=SPEC   deterministic attempt faults, e.g.
                             "fail_map:3@a=0;corrupt_map:2@a=0,p=1;
                              delay_map:0@a=0,ms=500"
+  --spill-dir=DIR           spill map output to disk under DIR
+
+Crash-safe jobs (require --local and --spill-dir):
+  --journal                 write-ahead job journal + two-phase output commit
+  --resume                  replay the journal, adopt committed task outputs,
+                            re-run only uncommitted tasks (implies --journal)
+  --local-fault-plan="crash_at:EVENT@N"
+                            tear the runner down in-process at the N-th
+                            occurrence of EVENT (job_start, map_commit,
+                            reduce_commit, job_commit)
+
+  Crash a job at its second map commit, then resume it:
+    ./quickstart --local --spill-dir=/tmp/job --journal \
+        --local-fault-plan="crash_at:map_commit@1"
+    ./quickstart --local --spill-dir=/tmp/job --resume
+  The resumed run re-uses committed map outputs and produces byte-identical
+  output (compare the report's output_fingerprint lines).
 )";
 
 }  // namespace

@@ -31,6 +31,8 @@ const char* StatusCodeName(StatusCode code) {
       return "DataLoss";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kAborted:
+      return "Aborted";
   }
   return "Unknown";
 }

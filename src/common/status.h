@@ -31,6 +31,10 @@ enum class StatusCode {
   kDataLoss,
   // An attempt overran its watchdog deadline and was cancelled.
   kDeadlineExceeded,
+  // The operation was deliberately torn down mid-flight (e.g. a simulated
+  // process crash from a crash_at fault point). Durable state on disk is
+  // consistent; the job can be resumed from its journal.
+  kAborted,
 };
 
 // Returns a stable, human-readable name such as "InvalidArgument".
@@ -77,6 +81,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,103 @@
+#include "dfs/output_committer.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "common/strings.h"
+
+namespace mrmb {
+
+namespace fs = std::filesystem;
+
+FileOutputCommitter::FileOutputCommitter(std::string output_dir)
+    : output_dir_(std::move(output_dir)) {}
+
+std::string FileOutputCommitter::temporary_dir() const {
+  return output_dir_ + "/_temporary";
+}
+
+Status FileOutputCommitter::SetupJob() const {
+  std::error_code ec;
+  fs::create_directories(temporary_dir(), ec);
+  if (ec) {
+    return Status::IOError(StringPrintf("cannot create %s: %s",
+                                        temporary_dir().c_str(),
+                                        ec.message().c_str()));
+  }
+  return Status::OK();
+}
+
+std::string FileOutputCommitter::AttemptPath(int task, int attempt) const {
+  return StringPrintf("%s/attempt-%d-%d.tmp", temporary_dir().c_str(), task,
+                      attempt);
+}
+
+std::string FileOutputCommitter::CommittedPath(int task) const {
+  return StringPrintf("%s/part-%d", output_dir_.c_str(), task);
+}
+
+Status FileOutputCommitter::CommitTask(int task, int attempt) const {
+  const std::string staged = AttemptPath(task, attempt);
+  if (TaskCommitted(task)) {
+    // A faster attempt (or a previous run) already won; this attempt's
+    // output is byte-identical by construction, so just discard it.
+    ::unlink(staged.c_str());
+    return Status::OK();
+  }
+  if (::rename(staged.c_str(), CommittedPath(task).c_str()) != 0) {
+    return Status::IOError(StringPrintf("rename %s: %s", staged.c_str(),
+                                        std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Status FileOutputCommitter::AbortTask(int task, int attempt) const {
+  ::unlink(AttemptPath(task, attempt).c_str());
+  return Status::OK();
+}
+
+bool FileOutputCommitter::TaskCommitted(int task) const {
+  std::error_code ec;
+  return fs::exists(CommittedPath(task), ec) && !ec;
+}
+
+Result<int64_t> FileOutputCommitter::CleanupOrphans() const {
+  std::error_code ec;
+  const fs::path tmp = temporary_dir();
+  if (!fs::exists(tmp, ec) || ec) return static_cast<int64_t>(0);
+  int64_t swept = 0;
+  for (const fs::directory_entry& entry : fs::directory_iterator(tmp, ec)) {
+    std::error_code remove_ec;
+    const auto removed = fs::remove_all(entry.path(), remove_ec);
+    if (!remove_ec && removed > 0) ++swept;
+  }
+  if (ec) {
+    return Status::IOError(StringPrintf("cannot sweep %s: %s",
+                                        tmp.string().c_str(),
+                                        ec.message().c_str()));
+  }
+  return swept;
+}
+
+Status FileOutputCommitter::CommitJob() const {
+  std::error_code ec;
+  fs::remove_all(temporary_dir(), ec);
+  if (ec) {
+    return Status::IOError(StringPrintf("cannot remove %s: %s",
+                                        temporary_dir().c_str(),
+                                        ec.message().c_str()));
+  }
+  std::ofstream success(output_dir_ + "/_SUCCESS",
+                        std::ios::binary | std::ios::trunc);
+  if (!success) {
+    return Status::IOError("cannot write " + output_dir_ + "/_SUCCESS");
+  }
+  return Status::OK();
+}
+
+}  // namespace mrmb

@@ -1,0 +1,72 @@
+// Two-phase output commit over the local filesystem — Hadoop's
+// FileOutputCommitter protocol, scoped to one job's output directory.
+//
+// The protocol's whole job is to make task output all-or-nothing under
+// crashes and attempt retries:
+//
+//   1. An attempt writes its output to a private staging file,
+//      `_temporary/attempt-<task>-<attempt>.tmp`, and fsyncs it.
+//   2. Commit promotes the staging file to its final name `part-<task>`
+//      with one rename — atomic on POSIX, so readers (and a resumed run)
+//      see either the whole committed output or none of it. The first
+//      commit wins; a speculative or retried attempt that loses simply
+//      discards its staging file.
+//   3. Job commit removes `_temporary` wholesale and drops a `_SUCCESS`
+//      marker, the signal downstream consumers key on.
+//
+// A crash between 1 and 2 leaves an orphan under `_temporary`;
+// CleanupOrphans (run by resume before any new attempt starts) sweeps
+// them, making attempt staging idempotent across process lifetimes.
+
+#ifndef MRMB_DFS_OUTPUT_COMMITTER_H_
+#define MRMB_DFS_OUTPUT_COMMITTER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace mrmb {
+
+class FileOutputCommitter {
+ public:
+  // `output_dir` is the job's final output directory; created (with its
+  // `_temporary` staging subdirectory) by SetupJob.
+  explicit FileOutputCommitter(std::string output_dir);
+
+  Status SetupJob() const;
+
+  // Staging path for one task attempt's output. The attempt writes and
+  // fsyncs this file itself; the committer only names it.
+  std::string AttemptPath(int task, int attempt) const;
+  // Final, committed path for a task's output: `part-<task>`.
+  std::string CommittedPath(int task) const;
+
+  // Promotes an attempt's staged file to the committed name. Loses
+  // gracefully: if the task is already committed (a faster attempt or a
+  // previous run won), the staged file is discarded and OK is returned.
+  Status CommitTask(int task, int attempt) const;
+
+  // Drops an attempt's staged file, if any.
+  Status AbortTask(int task, int attempt) const;
+
+  // True when `part-<task>` exists.
+  bool TaskCommitted(int task) const;
+
+  // Removes every stale entry under `_temporary` (staged output whose
+  // attempt died with a crashed process). Returns the number swept.
+  Result<int64_t> CleanupOrphans() const;
+
+  // Removes `_temporary` and writes the `_SUCCESS` marker.
+  Status CommitJob() const;
+
+  const std::string& output_dir() const { return output_dir_; }
+  std::string temporary_dir() const;
+
+ private:
+  const std::string output_dir_;
+};
+
+}  // namespace mrmb
+
+#endif  // MRMB_DFS_OUTPUT_COMMITTER_H_

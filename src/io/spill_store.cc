@@ -287,6 +287,10 @@ Result<std::unique_ptr<SpillStore>> SpillStore::Open(
     return Status::InvalidArgument(
         "spill store cache size must be non-negative");
   }
+  if (options.exact_dir && options.dir.empty()) {
+    return Status::InvalidArgument(
+        "spill store exact_dir requires an explicit directory");
+  }
   std::error_code ec;
   std::filesystem::path parent;
   if (options.dir.empty()) {
@@ -299,11 +303,16 @@ Result<std::unique_ptr<SpillStore>> SpillStore::Open(
   }
   // One unique directory per store instance, removed wholesale on
   // destruction — concurrent jobs (and crashed predecessors) never collide.
+  // exact_dir callers (the crash-safe job runner) instead pin the store to a
+  // stable path so a resumed run finds its predecessor's extents.
   static std::atomic<uint64_t> instance_counter{0};
   const std::filesystem::path dir =
-      parent / StringPrintf("mrmb-spill-%d-%llu", static_cast<int>(::getpid()),
-                            static_cast<unsigned long long>(
-                                instance_counter.fetch_add(1)));
+      options.exact_dir
+          ? parent
+          : parent / StringPrintf("mrmb-spill-%d-%llu",
+                                  static_cast<int>(::getpid()),
+                                  static_cast<unsigned long long>(
+                                      instance_counter.fetch_add(1)));
   std::filesystem::create_directories(dir, ec);
   if (ec) {
     return Status::IOError(
@@ -315,6 +324,7 @@ Result<std::unique_ptr<SpillStore>> SpillStore::Open(
 }
 
 SpillStore::~SpillStore() {
+  if (options_.durable) return;  // extents are the crash-recovery state
   std::error_code ec;
   std::filesystem::remove_all(dir_, ec);  // best-effort cleanup
 }
@@ -396,6 +406,11 @@ Status SpillStore::WriteExtentFile(const std::string& tmp_path,
     }
     off += static_cast<size_t>(n);  // short writes simply continue the loop
   }
+  // Durable extents must hit the platter before the seal rename publishes
+  // them — a resume that adopts an unsynced extent would read air.
+  if (status.ok() && options_.durable && ::fsync(fd) != 0) {
+    status = Status::IOError(ErrnoMessage("fsync", tmp_path));
+  }
   ::close(fd);
   return status;
 }
@@ -466,6 +481,149 @@ Result<std::shared_ptr<const StoredSpill>> SpillStore::Put(
           task, attempt, static_cast<long long>(report.lost),
           static_cast<long long>(report.blocks)));
     }
+  }
+  return std::shared_ptr<const StoredSpill>(std::move(spill));
+}
+
+Result<std::shared_ptr<const StoredSpill>> SpillStore::Adopt(
+    const AdoptSpec& spec) {
+  // Extent ids come from the file name so a resumed store's counter never
+  // collides with its predecessor's surviving extents.
+  constexpr std::string_view kPrefix = "extent-";
+  constexpr std::string_view kSuffix = ".spill";
+  uint64_t id = 0;
+  bool parsed = spec.file_name.size() > kPrefix.size() + kSuffix.size() &&
+                spec.file_name.compare(0, kPrefix.size(), kPrefix) == 0 &&
+                spec.file_name.compare(
+                    spec.file_name.size() - kSuffix.size(), kSuffix.size(),
+                    kSuffix) == 0;
+  if (parsed) {
+    const std::string digits = spec.file_name.substr(
+        kPrefix.size(),
+        spec.file_name.size() - kPrefix.size() - kSuffix.size());
+    parsed = !digits.empty();
+    for (const char c : digits) parsed = parsed && c >= '0' && c <= '9';
+    if (parsed) id = std::stoull(digits);
+  }
+  if (!parsed) {
+    return Status::InvalidArgument("not a spill extent file name: " +
+                                   spec.file_name);
+  }
+  const std::string path = dir_ + "/" + spec.file_name;
+  const int fd = ::open(path.c_str(), O_RDWR | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::DataLoss(ErrnoMessage("open", path));
+  }
+  std::string contents;
+  char buf[1 << 16];
+  Status status = Status::OK();
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      status = Status::IOError(ErrnoMessage("read", path));
+      break;
+    }
+    if (n == 0) break;
+    contents.append(buf, static_cast<size_t>(n));
+  }
+  if (status.ok() &&
+      static_cast<int64_t>(contents.size()) != spec.file_bytes) {
+    status = Status::DataLoss(StringPrintf(
+        "extent %s is %zu bytes, manifest says %lld", path.c_str(),
+        contents.size(), static_cast<long long>(spec.file_bytes)));
+  }
+  // Walk the self-describing frames, assigning each block to the manifest
+  // partition whose byte budget it falls in. Blocks never straddle
+  // partitions, so the cumulative raw size must land exactly on every
+  // partition boundary.
+  std::vector<StoredSpill::BlockRef> refs;
+  if (status.ok()) {
+    const std::string_view view(contents);
+    size_t offset = 0;
+    size_t partition = 0;
+    int64_t partition_raw = 0;  // raw bytes consumed of the current partition
+    while (partition < spec.partitions.size() &&
+           spec.partitions[partition].length == 0) {
+      ++partition;
+    }
+    while (status.ok() && offset < view.size()) {
+      uint32_t frame_len = 0;
+      BufferReader reader(view.substr(offset, 4));
+      if (offset + 4 > view.size() || !reader.ReadFixed32(&frame_len).ok() ||
+          frame_len < kCodecFrameHeaderSize ||
+          offset + 4 + frame_len > view.size()) {
+        status = Status::DataLoss(StringPrintf(
+            "extent %s has a torn or invalid frame at offset %zu",
+            path.c_str(), offset));
+        break;
+      }
+      Result<size_t> raw =
+          CodecFrameRawSize(view.substr(offset + 4, frame_len));
+      if (!raw.ok()) {
+        status = raw.status();
+        break;
+      }
+      if (partition >= spec.partitions.size()) {
+        status = Status::DataLoss("extent holds more frames than the "
+                                  "manifest's partitions account for");
+        break;
+      }
+      StoredSpill::BlockRef ref;
+      ref.partition = static_cast<int>(partition);
+      ref.file_offset = static_cast<int64_t>(offset) + 4;
+      ref.frame_len = static_cast<int64_t>(frame_len);
+      ref.raw_len = static_cast<int64_t>(*raw);
+      refs.push_back(ref);
+      partition_raw += ref.raw_len;
+      offset += 4 + frame_len;
+      if (partition_raw > spec.partitions[partition].length) {
+        status = Status::DataLoss(StringPrintf(
+            "extent %s partition %zu overruns its manifest length",
+            path.c_str(), partition));
+        break;
+      }
+      if (partition_raw == spec.partitions[partition].length) {
+        partition_raw = 0;
+        ++partition;
+        while (partition < spec.partitions.size() &&
+               spec.partitions[partition].length == 0) {
+          ++partition;
+        }
+      }
+    }
+    if (status.ok() && partition != spec.partitions.size()) {
+      status = Status::DataLoss(StringPrintf(
+          "extent %s ends mid-partition (%zu of %zu complete)", path.c_str(),
+          partition, spec.partitions.size()));
+    }
+  }
+  if (!status.ok()) {
+    ::close(fd);
+    return status;
+  }
+  void* map = nullptr;
+  if (options_.use_mmap && !contents.empty()) {
+    map = ::mmap(nullptr, contents.size(), PROT_READ, MAP_SHARED, fd, 0);
+    if (map == MAP_FAILED) map = nullptr;  // fall back to pread
+  }
+  std::shared_ptr<StoredSpill> spill(new StoredSpill());
+  spill->store_ = this;
+  spill->extent_id_ = id;
+  spill->path_ = path;
+  spill->fd_ = fd;
+  spill->map_ = map;
+  spill->file_bytes_ = static_cast<int64_t>(contents.size());
+  spill->logical_bytes_ = spec.logical_bytes;
+  spill->task_ = spec.task;
+  spill->attempt_ = spec.attempt;
+  spill->partitions_ = spec.partitions;
+  spill->blocks_ = std::move(refs);
+  // Keep fresh Puts clear of every adopted id.
+  uint64_t cur = next_extent_.load(std::memory_order_relaxed);
+  while (cur <= id &&
+         !next_extent_.compare_exchange_weak(cur, id + 1,
+                                             std::memory_order_relaxed)) {
   }
   return std::shared_ptr<const StoredSpill>(std::move(spill));
 }
@@ -639,7 +797,11 @@ void SpillStore::ReleaseExtent(StoredSpill* spill) {
     ::close(spill->fd_);
     spill->fd_ = -1;
   }
-  if (!spill->path_.empty()) ::unlink(spill->path_.c_str());
+  // Durable extents stay on disk for resume; the runner garbage-collects
+  // them once the job commits (or the next resume sweeps the unreferenced).
+  if (!options_.durable && !spill->path_.empty()) {
+    ::unlink(spill->path_.c_str());
+  }
   if (cache_ != nullptr) cache_->EraseExtent(spill->extent_id_);
 }
 

@@ -144,6 +144,16 @@ struct SpillStoreOptions {
   // Serve reads from a shared read-only mmap of each extent instead of
   // pread. Repairs still go through pwrite (visible through the mapping).
   bool use_mmap = false;
+  // Use `dir` itself as the extent directory instead of creating a unique
+  // subdirectory beneath it. The caller owns the directory's naming and
+  // lifetime. Requires a non-empty `dir`.
+  bool exact_dir = false;
+  // Durable mode: extents outlive the store. Handle destruction closes the
+  // file without unlinking it, the store destructor leaves the directory in
+  // place, and extent images are fsynced before the seal rename — the
+  // contract the crash-safe job journal needs to re-adopt committed map
+  // outputs after a process crash.
+  bool durable = false;
 };
 
 struct SpillStoreStats {
@@ -297,6 +307,26 @@ class SpillStore {
   // found unrepairable damage (the extent is deleted).
   Result<std::shared_ptr<const StoredSpill>> Put(const SpillSegment& segment,
                                                  int task, int attempt);
+
+  // Manifest of an extent a previous run sealed in this store's directory
+  // (recorded in the job journal at map commit). Adopt() rebuilds a read
+  // handle over it without rewriting a byte.
+  struct AdoptSpec {
+    std::string file_name;  // basename within the store directory
+    int task = 0;
+    int attempt = 0;
+    int64_t file_bytes = 0;
+    int64_t logical_bytes = 0;
+    std::vector<SpillSegment::PartitionRange> partitions;
+  };
+
+  // Re-opens a durable extent written by a crashed predecessor: walks the
+  // file's self-describing frames to rebuild the block index, checking every
+  // frame boundary and per-partition byte count against the manifest.
+  // Structural mismatch (truncation, size drift, bad frame header) returns
+  // kDataLoss — the caller falls back to re-running the task. Payload CRCs
+  // are still verified lazily on read, exactly as for a fresh Put.
+  Result<std::shared_ptr<const StoredSpill>> Adopt(const AdoptSpec& spec);
 
   // Re-verifies every block of `spill` directly from disk, bypassing the
   // cache, repairing single-bit flips in place. Unrepairable blocks are

@@ -90,6 +90,31 @@ const char* LocalFaultKindName(LocalFaultKind kind) {
   return "unknown";
 }
 
+const char* CrashEventName(CrashEvent event) {
+  switch (event) {
+    case CrashEvent::kJobStart:
+      return "job_start";
+    case CrashEvent::kMapCommit:
+      return "map_commit";
+    case CrashEvent::kReduceCommit:
+      return "reduce_commit";
+    case CrashEvent::kJobCommit:
+      return "job_commit";
+  }
+  return "unknown";
+}
+
+Result<CrashEvent> CrashEventByName(const std::string& name) {
+  const std::string key = ToLower(name);
+  if (key == "job_start") return CrashEvent::kJobStart;
+  if (key == "map_commit") return CrashEvent::kMapCommit;
+  if (key == "reduce_commit") return CrashEvent::kReduceCommit;
+  if (key == "job_commit") return CrashEvent::kJobCommit;
+  return Status::InvalidArgument(
+      "unknown crash event '" + name +
+      "' (accepted: job_start, map_commit, reduce_commit, job_commit)");
+}
+
 Status LocalFaultPlan::Validate() const {
   for (const LocalFaultEvent& event : events) {
     if (event.task < 0 || event.attempt < 0) {
@@ -128,7 +153,19 @@ Status LocalFaultPlan::Validate() const {
     return Status::InvalidArgument(
         "enospc_after_bytes must be >= 0 (or -1 to disable)");
   }
+  for (const CrashPoint& point : crash_points) {
+    if (point.occurrence < 0) {
+      return Status::InvalidArgument("crash_at occurrence must be >= 0");
+    }
+  }
   return Status::OK();
+}
+
+bool LocalFaultPlan::CrashesAt(CrashEvent event, int64_t occurrence) const {
+  for (const CrashPoint& point : crash_points) {
+    if (point.event == event && point.occurrence == occurrence) return true;
+  }
+  return false;
 }
 
 std::string LocalFaultPlan::ToString() const {
@@ -167,6 +204,10 @@ std::string LocalFaultPlan::ToString() const {
   if (enospc_after_bytes >= 0) {
     append(StringPrintf("enospc_after_bytes:%lld",
                         static_cast<long long>(enospc_after_bytes)));
+  }
+  for (const CrashPoint& point : crash_points) {
+    append(StringPrintf("crash_at:%s@%lld", CrashEventName(point.event),
+                        static_cast<long long>(point.occurrence)));
   }
   return out;
 }
@@ -207,6 +248,21 @@ Result<LocalFaultPlan> LocalFaultPlan::Parse(const std::string& spec) {
                             ParseIntField(token, body, "byte threshold"));
       continue;
     }
+    if (kind == "crash_at") {
+      const size_t at = body.find('@');
+      if (at == std::string::npos) {
+        return Status::InvalidArgument("'" + token +
+                                       "': expected crash_at:EVENT@N");
+      }
+      CrashPoint point;
+      MRMB_ASSIGN_OR_RETURN(point.event,
+                            CrashEventByName(body.substr(0, at)));
+      MRMB_ASSIGN_OR_RETURN(
+          point.occurrence,
+          ParseIntField(token, body.substr(at + 1), "occurrence"));
+      plan.crash_points.push_back(point);
+      continue;
+    }
     LocalFaultEvent event;
     if (kind == "fail_map") {
       event.kind = LocalFaultKind::kFailMap;
@@ -223,8 +279,11 @@ Result<LocalFaultPlan> LocalFaultPlan::Parse(const std::string& spec) {
     } else if (kind == "torn_write") {
       event.kind = LocalFaultKind::kTornWrite;
     } else {
-      return Status::InvalidArgument("unknown local fault kind '" + kind +
-                                     "'");
+      return Status::InvalidArgument(
+          "unknown local fault kind '" + kind +
+          "' (accepted: fail_map, fail_reduce, corrupt_map, delay_map, "
+          "delay_reduce, corrupt_block, torn_write, short_read, eio_prob, "
+          "enospc_after_bytes, map_fail_prob, reduce_fail_prob, crash_at)");
     }
     std::string extra;
     MRMB_RETURN_IF_ERROR(

@@ -37,6 +37,22 @@
 //                                (bounded retries, then kIOError)
 //   enospc_after_bytes:1048576   extent writes fail with ENOSPC once the
 //                                store has written this many bytes
+//
+// Crash fault family (only meaningful with the job journal on — see
+// JobConf::journal_enabled; a crash point without a journal would just
+// lose the job):
+//
+//   crash_at:job_start@0         simulate a process crash immediately after
+//                                the journal's run-start record lands
+//   crash_at:map_commit@2        crash right after the 3rd map-commit
+//                                record (0-based global occurrence count)
+//   crash_at:reduce_commit@0     likewise for the 1st reduce commit
+//   crash_at:job_commit@0        crash after the job-commit record — the
+//                                job is complete; resume must be a no-op
+//
+// A crash point tears the runner down in-process: in-flight attempts are
+// drained, no cleanup runs, and Run returns kAborted with the durable
+// journal/extents/part files left exactly as a real crash would.
 
 #ifndef MRMB_MAPRED_FAULT_INJECTOR_H_
 #define MRMB_MAPRED_FAULT_INJECTOR_H_
@@ -63,6 +79,30 @@ enum class LocalFaultKind {
 
 const char* LocalFaultKindName(LocalFaultKind kind);
 
+// Journal events a crash_at point can anchor to; the crash fires right
+// after the matching journal record is durably appended, so the record is
+// always on disk when the process "dies".
+enum class CrashEvent {
+  kJobStart,
+  kMapCommit,
+  kReduceCommit,
+  kJobCommit,
+};
+
+const char* CrashEventName(CrashEvent event);
+Result<CrashEvent> CrashEventByName(const std::string& name);
+
+struct CrashPoint {
+  CrashEvent event = CrashEvent::kJobStart;
+  // 0-based global occurrence of the event: crash after the (n+1)-th
+  // matching journal append. Occurrences are counted under the runner's
+  // lock, so a given plan crashes at the same journal prefix length
+  // regardless of thread scheduling.
+  int64_t occurrence = 0;
+
+  bool operator==(const CrashPoint&) const = default;
+};
+
 struct LocalFaultEvent {
   LocalFaultKind kind = LocalFaultKind::kFailMap;
   int task = 0;
@@ -84,12 +124,18 @@ struct LocalFaultPlan {
   double short_read_prob = 0;
   double eio_prob = 0;
   int64_t enospc_after_bytes = -1;  // -1 = disk never fills
+  // Simulated process crashes, anchored to journal events (see above).
+  std::vector<CrashPoint> crash_points;
 
   bool empty() const {
     return events.empty() && map_failure_prob == 0 &&
            reduce_failure_prob == 0 && short_read_prob == 0 &&
-           eio_prob == 0 && enospc_after_bytes < 0;
+           eio_prob == 0 && enospc_after_bytes < 0 && crash_points.empty();
   }
+
+  // True if a crash point matches the (0-based) `occurrence`-th append of
+  // `event`'s journal record.
+  bool CrashesAt(CrashEvent event, int64_t occurrence) const;
 
   Status Validate() const;
 

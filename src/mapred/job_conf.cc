@@ -47,6 +47,42 @@ const char* SchedulerKindName(SchedulerKind kind) {
   return "Unknown";
 }
 
+uint64_t JobConf::Digest() const {
+  // FNV-1a over the knobs that shape the job's output bytes (or the on-disk
+  // extent format a resume must read back). Deliberately excludes execution
+  // knobs — thread counts, slow-start, cache sizes, fault plans — so a
+  // crashed job can be resumed under a different schedule and still adopt
+  // its durable state.
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  auto mix_str = [&h](const std::string& s) {
+    for (const char c : s) {
+      h ^= static_cast<uint8_t>(c);
+      h *= 1099511628211ull;
+    }
+    h ^= 0xff;  // terminator so "ab","c" != "a","bc"
+    h *= 1099511628211ull;
+  };
+  mix_str(job_name);
+  mix(static_cast<uint64_t>(num_maps));
+  mix(static_cast<uint64_t>(num_reduces));
+  mix(static_cast<uint64_t>(records_per_map));
+  mix(static_cast<uint64_t>(record.type));
+  mix(static_cast<uint64_t>(record.key_size));
+  mix(static_cast<uint64_t>(record.value_size));
+  mix(static_cast<uint64_t>(record.num_unique_keys));
+  mix(static_cast<uint64_t>(pattern));
+  mix(static_cast<uint64_t>(zipf_exponent * 1e6));
+  mix(seed);
+  mix(static_cast<uint64_t>(effective_map_output_codec()));
+  return h;
+}
+
 Status JobConf::Validate() const {
   if (num_maps <= 0) return Status::InvalidArgument("num_maps must be > 0");
   if (num_reduces <= 0) {
@@ -133,6 +169,11 @@ Status JobConf::Validate() const {
   }
   if (spill_block_bytes < 4096) {
     return Status::InvalidArgument("spill_block_bytes must be >= 4096");
+  }
+  if (journal_enabled() && spill_dir.empty()) {
+    return Status::InvalidArgument(
+        "job_journal/resume require spill_dir (the journal and durable "
+        "extents live next to it)");
   }
   if (fetch_timeout < 0) {
     return Status::InvalidArgument("fetch_timeout must be >= 0");

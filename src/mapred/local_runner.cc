@@ -1,12 +1,23 @@
 #include "mapred/local_runner.h"
 
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
+#include <cstdio>
+#include <cstring>
 #include <deque>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <utility>
@@ -15,11 +26,14 @@
 #include "common/logging.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
+#include "dfs/output_committer.h"
 #include "io/block_codec.h"
+#include "io/byte_buffer.h"
 #include "io/checksum.h"
 #include "io/merge.h"
 #include "io/spill_store.h"
 #include "mapred/fault_injector.h"
+#include "mapred/job_journal.h"
 #include "mapred/map_output.h"
 #include "mapred/null_formats.h"
 #include "mapred/partitioner.h"
@@ -429,6 +443,152 @@ struct ReduceAttemptOutcome {
   ReduceTaskOutcome committed;
 };
 
+// ---- Crash-safety helpers ------------------------------------------------
+
+JournalMapStats ToJournalStats(const MapTaskStats& stats) {
+  JournalMapStats out;
+  out.input_records = stats.input_records;
+  out.output_records = stats.output_records;
+  out.spill_count = stats.spill_count;
+  out.combine_removed = stats.combine_removed;
+  out.output_bytes = stats.output_bytes;
+  out.wire_bytes = stats.wire_bytes;
+  out.spilled_bytes = stats.spilled_bytes;
+  out.spill_extents = stats.spill_extents;
+  out.spill_degradations = stats.spill_degradations;
+  return out;
+}
+
+MapTaskStats FromJournalStats(const JournalMapStats& stats) {
+  MapTaskStats out;
+  out.input_records = stats.input_records;
+  out.output_records = stats.output_records;
+  out.spill_count = stats.spill_count;
+  out.combine_removed = stats.combine_removed;
+  out.output_bytes = stats.output_bytes;
+  out.wire_bytes = stats.wire_bytes;
+  out.spilled_bytes = stats.spilled_bytes;
+  out.spill_extents = stats.spill_extents;
+  out.spill_degradations = stats.spill_degradations;
+  return out;
+}
+
+std::string Basename(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+// A committed reduce's output is preserved as a part file so a resumed run
+// can re-emit it without re-running the task:
+//
+//   [fixed64 pair_count]
+//   ([varint key_len][key][varint value_len][value])*
+//   [fixed32 crc32c(everything before)]
+std::string EncodeReducePart(
+    const std::vector<std::pair<std::string, std::string>>& pairs,
+    uint32_t* crc) {
+  std::string blob;
+  BufferWriter writer(&blob);
+  writer.AppendFixed64(static_cast<uint64_t>(pairs.size()));
+  for (const auto& [key, value] : pairs) {
+    writer.AppendVarint64(static_cast<int64_t>(key.size()));
+    writer.AppendRaw(key);
+    writer.AppendVarint64(static_cast<int64_t>(value.size()));
+    writer.AppendRaw(value);
+  }
+  *crc = Crc32c(blob);
+  writer.AppendFixed32(*crc);
+  return blob;
+}
+
+Status WriteFileDurable(const std::string& path, const std::string& blob) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IOError(
+        StringPrintf("open %s: %s", path.c_str(), std::strerror(errno)));
+  }
+  size_t off = 0;
+  while (off < blob.size()) {
+    const ssize_t n = ::write(fd, blob.data() + off, blob.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status status = Status::IOError(
+          StringPrintf("write %s: %s", path.c_str(), std::strerror(errno)));
+      ::close(fd);
+      return status;
+    }
+    off += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const Status status = Status::IOError(
+        StringPrintf("fsync %s: %s", path.c_str(), std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+// Loads a committed part file back, verifying it against both its own
+// trailing checksum and the journal's reduce-commit record. Any mismatch is
+// DataLoss: the caller drops the file and re-runs the reduce instead of
+// trusting damaged output.
+Result<std::vector<std::pair<std::string, std::string>>> LoadReducePart(
+    const std::string& path, const JournalReduceCommit& commit) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("no part file at " + path);
+  std::string blob((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (static_cast<int64_t>(blob.size()) != commit.part_bytes ||
+      blob.size() < sizeof(uint64_t) + sizeof(uint32_t)) {
+    return Status::DataLoss(StringPrintf(
+        "part file %s: %zu bytes, journal recorded %lld", path.c_str(),
+        blob.size(), static_cast<long long>(commit.part_bytes)));
+  }
+  const std::string_view body(blob.data(), blob.size() - sizeof(uint32_t));
+  uint32_t stored_crc = 0;
+  {
+    BufferReader tail(
+        std::string_view(blob).substr(blob.size() - sizeof(uint32_t)));
+    MRMB_RETURN_IF_ERROR(tail.ReadFixed32(&stored_crc));
+  }
+  const uint32_t actual_crc = Crc32c(body);
+  if (stored_crc != actual_crc || stored_crc != commit.part_crc) {
+    return Status::DataLoss(StringPrintf(
+        "part file %s: crc %08x (stored %08x, journal %08x)", path.c_str(),
+        actual_crc, stored_crc, commit.part_crc));
+  }
+  BufferReader reader(body);
+  uint64_t count = 0;
+  MRMB_RETURN_IF_ERROR(reader.ReadFixed64(&count));
+  if (count != static_cast<uint64_t>(commit.output_records)) {
+    return Status::DataLoss(StringPrintf(
+        "part file %s: %llu pairs, journal recorded %lld", path.c_str(),
+        static_cast<unsigned long long>(count),
+        static_cast<long long>(commit.output_records)));
+  }
+  std::vector<std::pair<std::string, std::string>> pairs;
+  pairs.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    int64_t key_len = 0;
+    int64_t value_len = 0;
+    std::string_view key;
+    std::string_view value;
+    MRMB_RETURN_IF_ERROR(reader.ReadVarint64(&key_len));
+    if (key_len < 0) return Status::DataLoss("part file " + path);
+    MRMB_RETURN_IF_ERROR(reader.ReadRaw(static_cast<size_t>(key_len), &key));
+    MRMB_RETURN_IF_ERROR(reader.ReadVarint64(&value_len));
+    if (value_len < 0) return Status::DataLoss("part file " + path);
+    MRMB_RETURN_IF_ERROR(
+        reader.ReadRaw(static_cast<size_t>(value_len), &value));
+    pairs.emplace_back(std::string(key), std::string(value));
+  }
+  if (!reader.AtEnd()) {
+    return Status::DataLoss("part file " + path + ": trailing bytes");
+  }
+  return pairs;
+}
+
 MapAttemptOutcome RunMapAttempt(const JobConf& conf, int task, int attempt,
                                 InputFormat* input_format,
                                 const InputSplit& split,
@@ -641,9 +801,16 @@ class PipelinedJob {
       rs.inputs.resize(static_cast<size_t>(conf.num_maps));
       rs.nodes.resize(plan_.nodes.size());
     }
+    reduce_adopted_.assign(static_cast<size_t>(conf.num_reduces), 0);
   }
 
   Status Execute(OutputFormat* output_format, LocalJobResult* result);
+
+  // Non-empty only after a successful journaled run: the extents directory,
+  // safe to remove once the store (and every handle into it) is destroyed.
+  const std::string& success_cleanup_dir() const {
+    return success_cleanup_dir_;
+  }
 
  private:
   // One fetched map output: a generation-stamped shared view of the sealed
@@ -700,12 +867,40 @@ class PipelinedJob {
     return job_failed_;
   }
 
-  void FailJob(const Status& status) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void FailJobLocked(const Status& status) {
     if (job_failed_) return;
     job_failed_ = true;
     job_error_ = status;
     cv_.notify_all();
+  }
+
+  void FailJob(const Status& status) {
+    std::lock_guard<std::mutex> lock(mu_);
+    FailJobLocked(status);
+  }
+
+  // Fires a crash_at point: the `occurrence`-th journal append of `event`
+  // just became durable, so tearing down here models a process that died
+  // with the record on disk but the in-memory transition not yet applied.
+  // In-flight attempts drain through the usual job_failed_ checks, cleanup
+  // is skipped, and Run surfaces kAborted. Returns true when it fired.
+  bool MaybeCrashLocked(CrashEvent event) {
+    if (journal_ == nullptr) return false;
+    const int64_t occurrence = crash_counts_[static_cast<size_t>(event)]++;
+    if (!conf_.local_fault_plan.CrashesAt(event, occurrence)) return false;
+    FailJobLocked(Status::Aborted(StringPrintf(
+        "simulated crash at %s@%lld — durable state kept; re-run with "
+        "--resume",
+        CrashEventName(event), static_cast<long long>(occurrence))));
+    return true;
+  }
+
+  // A journal append failure kills the job: continuing would let state
+  // transitions outrun the log, the one inversion the write-ahead contract
+  // forbids.
+  void JournalAppend(const Status& status) {
+    if (status.ok()) return;
+    FailJob(Annotate(status, "job journal append"));
   }
 
   // Adds a chunk of reduce-side busy time to the phase accumulators,
@@ -741,6 +936,11 @@ class PipelinedJob {
         ++result_.map_attempts;
         if (attempt > 0) ++result_.map_retries;
       }
+      if (journal_ != nullptr) {
+        JournalAppend(journal_->AppendAttemptStart(/*is_map=*/true, m,
+                                                   attempt));
+        if (JobFailed()) return Status::OK();
+      }
       CancelToken token;
       // Arm inside the worker: the deadline covers execution, not time
       // spent queued behind other attempts.
@@ -751,8 +951,12 @@ class PipelinedJob {
           store_.get(), &token);
       watchdog_.Disarm(ticket);
       if (outcome.status.ok()) {
-        CommitMapOutput(m, std::move(outcome));
+        CommitMapOutput(m, attempt, std::move(outcome));
         return Status::OK();
+      }
+      if (journal_ != nullptr) {
+        JournalAppend(journal_->AppendAttemptFail(/*is_map=*/true, m,
+                                                  attempt));
       }
       bool exhausted;
       {
@@ -773,8 +977,32 @@ class PipelinedJob {
 
   // Publishes a committed map output under the current target generation
   // and fans the commit event out to every launched reduce's fetch queue.
-  void CommitMapOutput(int m, MapAttemptOutcome outcome) {
+  // With the journal on, the commit record (carrying the durable extent's
+  // manifest) must land before the output becomes visible — a crash
+  // between the two leaves a record resume can act on, never a visible
+  // output the journal does not know about.
+  void CommitMapOutput(int m, int attempt, MapAttemptOutcome outcome) {
     std::lock_guard<std::mutex> lock(mu_);
+    if (journal_ != nullptr) {
+      if (job_failed_) return;
+      JournalMapCommit commit;
+      commit.task = m;
+      commit.attempt = attempt;
+      commit.stats = ToJournalStats(outcome.stats);
+      if (outcome.stored_output != nullptr) {
+        commit.has_extent = true;
+        commit.extent.file_name = Basename(outcome.stored_output->path());
+        commit.extent.file_bytes = outcome.stored_output->file_bytes();
+        commit.extent.logical_bytes = outcome.stored_output->logical_bytes();
+        commit.extent.partitions = outcome.stored_output->partitions();
+      }
+      const Status appended = journal_->AppendMapCommit(commit);
+      if (!appended.ok()) {
+        FailJobLocked(Annotate(appended, "job journal append"));
+        return;
+      }
+      if (MaybeCrashLocked(CrashEvent::kMapCommit)) return;
+    }
     MapSlot& slot = slots_[static_cast<size_t>(m)];
     if (outcome.stored_output != nullptr) {
       slot.stored = std::move(outcome.stored_output);
@@ -1165,6 +1393,11 @@ class PipelinedJob {
         ++result_.reduce_attempts;
         if (attempt > 0) ++result_.reduce_retries;
       }
+      if (journal_ != nullptr) {
+        JournalAppend(journal_->AppendAttemptStart(/*is_map=*/false, r,
+                                                   attempt));
+        if (JobFailed()) return;
+      }
       CancelToken token;
       const int64_t ticket = watchdog_.Arm(&token);
       const auto t0 = Clock::now();
@@ -1173,6 +1406,15 @@ class PipelinedJob {
       AddBusy(t0, t1, /*merge_bucket=*/false);
       if (outcome.status.ok()) {
         watchdog_.Disarm(ticket);
+        if (journal_ != nullptr) {
+          const Status committed = CommitReduceJournaled(
+              r, &rs, attempt, std::move(outcome.committed));
+          if (committed.ok()) return;
+          // Staging the part file failed (an I/O problem, not bad reduce
+          // output) — charge it like any other attempt failure and retry.
+          if (!HandleReduceFailure(r, &rs, committed)) return;
+          continue;
+        }
         std::lock_guard<std::mutex> lock(mu_);
         rs.committed = std::move(outcome.committed);
         rs.completed = true;
@@ -1211,12 +1453,79 @@ class PipelinedJob {
     }
   }
 
+  // Journal-mode reduce commit — the two-phase output protocol. The staged
+  // pairs are serialized and fsync'd to the attempt's private staging file
+  // first, outside the lock; then, under the lock, the file is promoted
+  // with one rename and the reduce-commit record appended. A crash at any
+  // instant leaves durable state resume can reconcile: a staged orphan is
+  // swept, a committed part without its record is re-committed with
+  // identical bytes, a record always describes a committed part. On
+  // success `rs` is marked completed. Returns non-OK only for staging I/O
+  // failures, which the caller charges as an attempt failure.
+  Status CommitReduceJournaled(int r, ReduceShuffle* rs, int attempt,
+                               ReduceTaskOutcome outcome) {
+    uint32_t part_crc = 0;
+    const std::string blob = EncodeReducePart(outcome.output, &part_crc);
+    const std::string staged = committer_->AttemptPath(r, attempt);
+    const Status written = WriteFileDurable(staged, blob);
+    if (!written.ok()) {
+      return Annotate(written,
+                      StringPrintf("reduce task %d: staging output", r));
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (job_failed_) {
+      ::unlink(staged.c_str());
+      return Status::OK();
+    }
+    JournalReduceCommit commit;
+    commit.task = r;
+    commit.attempt = attempt;
+    commit.groups = outcome.groups;
+    commit.output_records = static_cast<int64_t>(outcome.output.size());
+    for (const auto& [key, value] : outcome.output) {
+      commit.output_bytes += static_cast<int64_t>(key.size() + value.size());
+    }
+    // Input-side stats captured into the record so a resume that adopts
+    // this reduce can report them without any map output present.
+    for (int m = 0; m < conf_.num_maps; ++m) {
+      const MapSlot& slot = slots_[static_cast<size_t>(m)];
+      const SpillSegment::PartitionRange& range =
+          slot.stored != nullptr
+              ? slot.stored->partitions()[static_cast<size_t>(r)]
+              : slot.segment->partitions[static_cast<size_t>(r)];
+      commit.input_records += range.records;
+      commit.input_bytes += range.raw_bytes();
+    }
+    commit.part_bytes = static_cast<int64_t>(blob.size());
+    commit.part_crc = part_crc;
+    const Status promoted = committer_->CommitTask(r, attempt);
+    if (!promoted.ok()) {
+      FailJobLocked(Annotate(
+          promoted, StringPrintf("reduce task %d: committing output", r)));
+      return Status::OK();
+    }
+    const Status appended = journal_->AppendReduceCommit(commit);
+    if (!appended.ok()) {
+      FailJobLocked(Annotate(appended, "job journal append"));
+      return Status::OK();
+    }
+    rs->committed = std::move(outcome);
+    rs->completed = true;
+    MaybeCrashLocked(CrashEvent::kReduceCommit);
+    return Status::OK();
+  }
+
   // Charges a genuine reduce failure against the task's budget. Returns
   // false when the job is failing (budget exhausted).
   bool HandleReduceFailure(int r, ReduceShuffle* rs, const Status& status) {
     bool exhausted;
     {
       std::lock_guard<std::mutex> lock(mu_);
+      if (journal_ != nullptr) {
+        const Status logged = journal_->AppendAttemptFail(
+            /*is_map=*/false, r, rs->attempts_started - 1);
+        if (!logged.ok()) FailJobLocked(Annotate(logged, "job journal append"));
+      }
       if (status.code() == StatusCode::kDeadlineExceeded) {
         ++result_.watchdog_timeouts;
       }
@@ -1371,6 +1680,177 @@ class PipelinedJob {
     return outcome;
   }
 
+  // ---- crash safety: journal setup, orphan sweep, adoption ----
+
+  // The job's durable home: digest-keyed so different jobs sharing a
+  // spill_dir never collide, and a resumed run finds exactly its own state.
+  std::string JobDirPath() const {
+    return StringPrintf("%s/mrmb-job-%016llx", conf_.spill_dir.c_str(),
+                        static_cast<unsigned long long>(conf_.Digest()));
+  }
+
+  Status SetupCrashSafety() {
+    namespace fs = std::filesystem;
+    job_dir_ = JobDirPath();
+    const std::string journal_path = job_dir_ + "/journal";
+    result_.journal_enabled = true;
+    std::error_code ec;
+    if (!conf_.resume) {
+      // A fresh journaled run owns the job dir outright; leftovers belong
+      // to an abandoned run of the same job and would shadow new state.
+      fs::remove_all(job_dir_, ec);
+    }
+    fs::create_directories(job_dir_ + "/extents", ec);
+    if (ec) {
+      return Status::IOError(StringPrintf("cannot create %s: %s",
+                                          job_dir_.c_str(),
+                                          ec.message().c_str()));
+    }
+    committer_ = std::make_unique<FileOutputCommitter>(job_dir_ + "/output");
+    JournalRunStart run_start;
+    run_start.digest = conf_.Digest();
+    run_start.num_maps = conf_.num_maps;
+    run_start.num_reduces = conf_.num_reduces;
+    if (conf_.resume) {
+      Result<std::unique_ptr<JobJournal>> journal =
+          JobJournal::OpenForResume(journal_path, run_start, &replay_);
+      if (!journal.ok()) {
+        return Annotate(journal.status(), "resuming the job journal");
+      }
+      journal_ = std::move(journal).value();
+      resume_active_ = true;
+      result_.resumed = true;
+      result_.journal_records_replayed = replay_.records_replayed;
+    } else {
+      Result<std::unique_ptr<JobJournal>> journal =
+          JobJournal::Create(journal_path, run_start);
+      if (!journal.ok()) {
+        return Annotate(journal.status(), "creating the job journal");
+      }
+      journal_ = std::move(journal).value();
+    }
+    MRMB_RETURN_IF_ERROR(committer_->SetupJob());
+    if (resume_active_) result_.orphans_swept += SweepJobDirOrphans();
+    return Status::OK();
+  }
+
+  // GC of durable files a crashed run leaves behind but the journal's
+  // valid prefix does not reference: half-written `*.tmp` extents, extents
+  // of attempts whose commit record never landed, and `_temporary` staging
+  // output. Runs before the store opens, so a swept extent can never be a
+  // live handle's file.
+  int64_t SweepJobDirOrphans() {
+    namespace fs = std::filesystem;
+    int64_t swept = 0;
+    std::set<std::string> referenced;
+    for (const auto& [task, commit] : replay_.map_commits) {
+      if (commit.has_extent) referenced.insert(commit.extent.file_name);
+    }
+    std::error_code ec;
+    for (const fs::directory_entry& entry :
+         fs::directory_iterator(job_dir_ + "/extents", ec)) {
+      const std::string name = entry.path().filename().string();
+      if (referenced.count(name) > 0) continue;
+      std::error_code remove_ec;
+      if (fs::remove(entry.path(), remove_ec) && !remove_ec) ++swept;
+    }
+    const Result<int64_t> staging = committer_->CleanupOrphans();
+    if (staging.ok()) swept += staging.value();
+    return swept;
+  }
+
+  // Startup GC for plain (journal-off) spill_dir runs: store directories
+  // are named mrmb-spill-<pid>-<counter>, so one whose pid no longer
+  // exists was left by a crashed process and can never be reattached.
+  int64_t SweepDeadSpillDirs() {
+    namespace fs = std::filesystem;
+    int64_t swept = 0;
+    std::error_code ec;
+    for (const fs::directory_entry& entry :
+         fs::directory_iterator(conf_.spill_dir, ec)) {
+      const std::string name = entry.path().filename().string();
+      long pid = 0;
+      if (std::sscanf(name.c_str(), "mrmb-spill-%ld-", &pid) != 1) continue;
+      if (pid <= 0 || pid == static_cast<long>(::getpid())) continue;
+      if (::kill(static_cast<pid_t>(pid), 0) == 0 || errno != ESRCH) {
+        continue;  // still alive (or unknowable) — leave it
+      }
+      std::error_code remove_ec;
+      if (fs::remove_all(entry.path(), remove_ec) > 0 && !remove_ec) ++swept;
+    }
+    return swept;
+  }
+
+  // Rebuilds scheduler state from the replayed journal: committed reduces
+  // re-load their part files, committed maps re-adopt their durable
+  // extents, and attempt numbering continues where the crash left off. A
+  // task whose durable state fails verification simply stays un-adopted —
+  // re-running it reproduces identical bytes by the determinism contract.
+  // Runs single-threaded before the pool sees any work.
+  void AdoptFromJournal() {
+    for (const auto& [task, started] : replay_.map_attempts) {
+      if (task >= 0 && task < conf_.num_maps) {
+        slots_[static_cast<size_t>(task)].attempts_started = started;
+      }
+    }
+    for (const auto& [task, started] : replay_.reduce_attempts) {
+      if (task >= 0 && task < conf_.num_reduces) {
+        reduces_[static_cast<size_t>(task)].attempts_started = started;
+      }
+    }
+    for (const auto& [r, commit] : replay_.reduce_commits) {
+      if (r < 0 || r >= conf_.num_reduces) continue;
+      Result<std::vector<std::pair<std::string, std::string>>> pairs =
+          LoadReducePart(committer_->CommittedPath(r), commit);
+      if (!pairs.ok()) {
+        // Damaged or missing part file: drop the committed name so the
+        // re-run's commit can promote a fresh copy, and count the loss as
+        // one more orphan swept.
+        ::unlink(committer_->CommittedPath(r).c_str());
+        ++result_.orphans_swept;
+        continue;
+      }
+      ReduceShuffle& rs = reduces_[static_cast<size_t>(r)];
+      rs.committed.output = std::move(pairs).value();
+      rs.committed.groups = commit.groups;
+      rs.completed = true;
+      rs.final_scheduled = true;  // freezes fetch/final scheduling out
+      reduce_adopted_[static_cast<size_t>(r)] = 1;
+      ++result_.reduces_adopted;
+    }
+    all_reduces_adopted_ = result_.reduces_adopted == conf_.num_reduces;
+    for (const auto& [m, commit] : replay_.map_commits) {
+      if (m < 0 || m >= conf_.num_maps) continue;
+      MapSlot& slot = slots_[static_cast<size_t>(m)];
+      if (all_reduces_adopted_) {
+        // Every reduce is adopted, so nothing will ever fetch map output
+        // (all reduces committed implies all maps had too) — only the
+        // committed attempts' counters matter.
+        slot.stats = FromJournalStats(commit.stats);
+        continue;
+      }
+      if (!commit.has_extent) continue;  // RAM-degraded: died with the run
+      SpillStore::AdoptSpec spec;
+      spec.file_name = commit.extent.file_name;
+      spec.task = m;
+      spec.attempt = commit.attempt;
+      spec.file_bytes = commit.extent.file_bytes;
+      spec.logical_bytes = commit.extent.logical_bytes;
+      spec.partitions = commit.extent.partitions;
+      Result<std::shared_ptr<const StoredSpill>> adopted = store_->Adopt(spec);
+      if (!adopted.ok()) continue;  // damaged extent: the map just re-runs
+      slot.stored = std::move(adopted).value();
+      slot.segment.reset();
+      slot.committed_gen = 0;
+      slot.target_gen = 0;
+      slot.initial_committed = true;
+      slot.stats = FromJournalStats(commit.stats);
+      ++initial_commits_;
+      ++result_.maps_adopted;
+    }
+    if (all_reduces_adopted_) initial_commits_ = conf_.num_maps;
+  }
+
   const JobConf& conf_;
   InputFormat* input_format_;
   const std::vector<InputSplit> splits_;
@@ -1392,7 +1872,20 @@ class PipelinedJob {
   std::unique_ptr<SpillIoHooks> spill_hooks_;
   std::unique_ptr<SpillStore> store_;
 
+  // Crash-safe job state (null/empty when the journal is off).
+  std::unique_ptr<JobJournal> journal_;
+  std::unique_ptr<FileOutputCommitter> committer_;
+  std::string job_dir_;
+  JournalReplay replay_;
+  bool resume_active_ = false;
+  bool all_reduces_adopted_ = false;
+  std::vector<char> reduce_adopted_;  // per reduce: committed output reused
+  // Set at job commit: the extents dir, removable once the job succeeded.
+  std::string success_cleanup_dir_;
+
   std::mutex mu_;
+  // crash_at occurrence counters, indexed by CrashEvent (guarded by mu_).
+  int64_t crash_counts_[4] = {0, 0, 0, 0};
   std::condition_variable cv_;
   std::vector<MapSlot> slots_;
   std::vector<ReduceShuffle> reduces_;
@@ -1413,11 +1906,20 @@ class PipelinedJob {
 Status PipelinedJob::Execute(OutputFormat* output_format,
                              LocalJobResult* result) {
   const auto start = Clock::now();
+  if (conf_.journal_enabled()) {
+    MRMB_RETURN_IF_ERROR(SetupCrashSafety());
+  } else if (!conf_.spill_dir.empty()) {
+    result_.orphans_swept += SweepDeadSpillDirs();
+  }
   if (conf_.spill_engine_enabled()) {
     spill_hooks_ = std::make_unique<LocalSpillIoHooks>(conf_.local_fault_plan,
                                                        conf_.seed);
     SpillStoreOptions options;
-    options.dir = conf_.spill_dir;
+    // Journaled jobs keep extents in the job's own durable directory so
+    // they survive the process and resume can re-adopt them by name.
+    options.dir = journal_ != nullptr ? job_dir_ + "/extents" : conf_.spill_dir;
+    options.exact_dir = journal_ != nullptr;
+    options.durable = journal_ != nullptr;
     options.cache_bytes = conf_.spill_cache_bytes;
     options.block_bytes = conf_.spill_block_bytes;
     // Extents reuse the map-output codec for their blocks; kNone still
@@ -1432,14 +1934,30 @@ Status PipelinedJob::Execute(OutputFormat* output_format,
     }
     store_ = std::move(store).value();
   }
-  {
+  bool crashed_at_start = false;
+  if (journal_ != nullptr) {
     std::lock_guard<std::mutex> lock(mu_);
-    if (slowstart_threshold_ == 0) LaunchReducesLocked();
+    crashed_at_start = MaybeCrashLocked(CrashEvent::kJobStart);
   }
-  for (int m = 0; m < conf_.num_maps; ++m) {
-    pool_.Submit(kMapLane, [this, m] { MapTaskMain(m); });
+  if (!crashed_at_start && resume_active_) AdoptFromJournal();
+  if (!crashed_at_start && !all_reduces_adopted_) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (initial_commits_ == conf_.num_maps && initial_commits_ > 0) {
+        // Every map adopted: the map phase happened in a previous life.
+        map_phase_done_ = true;
+        map_phase_end_ = Clock::now();
+      }
+      if (!reduces_launched_ && initial_commits_ >= slowstart_threshold_) {
+        LaunchReducesLocked();
+      }
+    }
+    for (int m = 0; m < conf_.num_maps; ++m) {
+      if (slots_[static_cast<size_t>(m)].committed_gen >= 0) continue;
+      pool_.Submit(kMapLane, [this, m] { MapTaskMain(m); });
+    }
+    pool_.Wait();
   }
-  pool_.Wait();
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (job_failed_) return job_error_;
@@ -1493,30 +2011,74 @@ Status PipelinedJob::Execute(OutputFormat* output_format,
           : 1.0;
   // Commit: write staged reduce output in task order from this (the
   // coordinating) thread — failed attempts never reached here, so the
-  // OutputFormat only ever sees complete, committed task output.
+  // OutputFormat only ever sees complete, committed task output. The
+  // fingerprint folds each reduce's identity, group/pair counts, and
+  // length-framed output bytes, so byte-identity across runs (including
+  // crashed-then-resumed ones) is one integer comparison.
+  uint32_t fingerprint = kCrc32cInit;
+  std::string fp_frame;
+  BufferWriter fp_writer(&fp_frame);
   for (size_t r = 0; r < num_reduces; ++r) {
-    for (size_t m = 0; m < num_maps; ++m) {
-      const SpillSegment::PartitionRange& range =
-          slots_[m].stored != nullptr ? slots_[m].stored->partitions()[r]
-                                      : slots_[m].segment->partitions[r];
-      result->reducer_input_records[r] += range.records;
-      // Logical (decompressed) bytes: what the reducer merge consumed, so
-      // the counter is codec-invariant; the wire side lives in
-      // map_output_wire_bytes / map_output_compression_ratio.
-      result->reducer_input_bytes[r] += range.raw_bytes();
+    if (reduce_adopted_[r] != 0) {
+      // Adopted reduces report the shuffle load recorded at their original
+      // commit — no map output need exist in this process at all.
+      const JournalReduceCommit& commit =
+          replay_.reduce_commits.at(static_cast<int>(r));
+      result->reducer_input_records[r] = commit.input_records;
+      result->reducer_input_bytes[r] = commit.input_bytes;
+    } else {
+      for (size_t m = 0; m < num_maps; ++m) {
+        const SpillSegment::PartitionRange& range =
+            slots_[m].stored != nullptr ? slots_[m].stored->partitions()[r]
+                                        : slots_[m].segment->partitions[r];
+        result->reducer_input_records[r] += range.records;
+        // Logical (decompressed) bytes: what the reducer merge consumed, so
+        // the counter is codec-invariant; the wire side lives in
+        // map_output_wire_bytes / map_output_compression_ratio.
+        result->reducer_input_bytes[r] += range.raw_bytes();
+      }
     }
     result->reduce_groups += reduces_[r].committed.groups;
+    fp_writer.Clear();
+    fp_writer.AppendFixed32(static_cast<uint32_t>(r));
+    fp_writer.AppendFixed64(
+        static_cast<uint64_t>(reduces_[r].committed.groups));
+    fp_writer.AppendFixed64(
+        static_cast<uint64_t>(reduces_[r].committed.output.size()));
+    fingerprint = Crc32c(fingerprint, fp_frame);
     std::unique_ptr<RecordWriter> writer =
         output_format->CreateWriter(conf_, static_cast<int>(r));
     for (const auto& [key, value] : reduces_[r].committed.output) {
       writer->Write(key, value);
+      fp_writer.Clear();
+      fp_writer.AppendVarint64(static_cast<int64_t>(key.size()));
+      fp_writer.AppendVarint64(static_cast<int64_t>(value.size()));
+      fingerprint = Crc32c(fingerprint, fp_frame);
+      fingerprint = Crc32c(fingerprint, key);
+      fingerprint = Crc32c(fingerprint, value);
       result->output_records += 1;
       result->output_bytes += static_cast<int64_t>(key.size() + value.size());
     }
     MRMB_RETURN_IF_ERROR(writer->Close());
   }
+  result->output_fingerprint = fingerprint;
   for (int64_t records : result->reducer_input_records) {
     result->reduce_input_records += records;
+  }
+
+  if (journal_ != nullptr) {
+    // Job commit: seal the output directory (drop `_temporary`, write
+    // `_SUCCESS`), then log it. A crash_at:job_commit point fires with the
+    // job actually complete — resuming it must be a no-op.
+    MRMB_RETURN_IF_ERROR(committer_->CommitJob());
+    const Status appended = journal_->AppendJobCommit();
+    if (!appended.ok()) return Annotate(appended, "job journal append");
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (MaybeCrashLocked(CrashEvent::kJobCommit)) return job_error_;
+    }
+    success_cleanup_dir_ = job_dir_ + "/extents";
+    result->journal_records_appended = journal_->records_appended();
   }
 
   // Phase breakdown. shuffle_wait = reduce-side lifetime not spent busy:
@@ -1559,9 +2121,21 @@ Result<LocalJobResult> LocalJobRunner::Run(
   }
 
   LocalJobResult result;
-  PipelinedJob job(conf_, input_format, std::move(splits), mapper_factory,
-                   reducer_factory, partitioner_factory, combiner_factory);
-  MRMB_RETURN_IF_ERROR(job.Execute(output_format, &result));
+  std::string cleanup_dir;
+  {
+    PipelinedJob job(conf_, input_format, std::move(splits), mapper_factory,
+                     reducer_factory, partitioner_factory, combiner_factory);
+    MRMB_RETURN_IF_ERROR(job.Execute(output_format, &result));
+    cleanup_dir = job.success_cleanup_dir();
+  }
+  if (!cleanup_dir.empty()) {
+    // The job committed: its extents are dead weight now (resume replays
+    // committed part files, never extents), but the journal and the output
+    // directory stay, so resuming a completed job is a cheap no-op. The
+    // store — and every extent handle — died with the PipelinedJob above.
+    std::error_code ec;
+    std::filesystem::remove_all(cleanup_dir, ec);
+  }
   return result;
 }
 

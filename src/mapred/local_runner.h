@@ -128,6 +128,32 @@ struct LocalJobResult {
   // one directly and never counts here.
   int64_t stale_fetches_invalidated = 0;
 
+  // ---- Crash-safe jobs (journal/resume; zero when the journal is off) --
+  // True when the run wrote a write-ahead job journal (job_journal/resume).
+  bool journal_enabled = false;
+  // True when this run resumed from an existing journal (--resume).
+  bool resumed = false;
+  // Committed map outputs re-adopted from durable spill extents instead of
+  // re-executed, and committed reduce outputs re-used from part files. The
+  // attempt counters above count THIS run only, so on a resume
+  // (attempts re-run) + (tasks adopted) proves only uncommitted work ran.
+  int64_t maps_adopted = 0;
+  int64_t reduces_adopted = 0;
+  // Stale files garbage-collected on startup: orphan `*.tmp` extents,
+  // unreferenced extent files, `_temporary` attempt output, and spill
+  // directories left by dead processes.
+  int64_t orphans_swept = 0;
+  // Journal traffic: records replayed from the valid prefix at resume, and
+  // records this run durably appended (including its run-start).
+  int64_t journal_records_replayed = 0;
+  int64_t journal_records_appended = 0;
+
+  // CRC32C over the committed reduce outputs in task order — a
+  // byte-identity probe across runs (a crashed-then-resumed job must
+  // reproduce the uninterrupted run's fingerprint exactly). Computed for
+  // every job, journal or not.
+  uint32_t output_fingerprint = 0;
+
   // ---- Phase breakdown (host wall time, diagnostic only) ---------------
   // Job start until the last initial map commit.
   double map_phase_seconds = 0;

@@ -66,6 +66,8 @@ JobConf BenchmarkOptions::ToJobConf() const {
   conf.spill_block_bytes = spill_block_bytes;
   conf.spill_scrub = spill_scrub;
   conf.spill_mmap = spill_mmap;
+  conf.job_journal = job_journal;
+  conf.resume = resume;
 
   conf.record.type = data_type;
   conf.record.key_size = static_cast<size_t>(key_size);

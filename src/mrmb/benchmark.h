@@ -118,6 +118,10 @@ struct BenchmarkOptions {
   int64_t spill_block_bytes = 256LL * 1024;
   bool spill_scrub = false;
   bool spill_mmap = false;
+  // ---- Crash-safe jobs (see JobConf::job_journal / resume) ------------
+  // Both require spill_dir; resume implies journaling.
+  bool job_journal = false;
+  bool resume = false;
 
   // ---- Instrumentation ------------------------------------------------
   bool collect_resource_stats = false;

@@ -186,6 +186,11 @@ Status ApplyFaultToleranceFlags(const Flags& flags,
                         flags.GetBool("spill-scrub", options->spill_scrub));
   MRMB_ASSIGN_OR_RETURN(options->spill_mmap,
                         flags.GetBool("spill-mmap", options->spill_mmap));
+  // Crash-safe jobs: journal + resume (both require --spill-dir).
+  MRMB_ASSIGN_OR_RETURN(options->job_journal,
+                        flags.GetBool("journal", options->job_journal));
+  MRMB_ASSIGN_OR_RETURN(options->resume,
+                        flags.GetBool("resume", options->resume));
   return options->fault_plan.Validate();
 }
 
@@ -242,7 +247,18 @@ const char* FaultToleranceFlagsHelp() {
       "  --spill-scrub[=BOOL]      CRC-scrub every extent right after seal\n"
       "                            (repairs single-bit damage, warms the\n"
       "                            cache)\n"
-      "  --spill-mmap[=BOOL]       read extents via mmap instead of pread\n";
+      "  --spill-mmap[=BOOL]       read extents via mmap instead of pread\n"
+      "  --journal[=BOOL]          write-ahead job journal: commits become\n"
+      "                            durable (requires --spill-dir); crash the\n"
+      "                            run deterministically with\n"
+      "                            --local-fault-plan=\"crash_at:EVENT@N\"\n"
+      "                            (job_start | map_commit | reduce_commit |\n"
+      "                            job_commit)\n"
+      "  --resume[=BOOL]           replay the journal, adopt committed map\n"
+      "                            outputs and reduce part files, re-run only\n"
+      "                            uncommitted tasks (implies --journal;\n"
+      "                            output is byte-identical to an\n"
+      "                            uninterrupted run)\n";
 }
 
 }  // namespace mrmb

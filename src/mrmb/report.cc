@@ -179,6 +179,31 @@ void PrintLocalJobReport(const BenchmarkOptions& options,
                          static_cast<long long>(result.spill_read_errors));
     }
   }
+  if (result.journal_enabled) {
+    os << "--- job recovery ----------------------------------------------"
+          "----\n";
+    os << "Job journal          : on ("
+       << (result.resumed ? "resumed run" : "fresh run")
+       << StringPrintf(", %lld records replayed, %lld appended)\n",
+                       static_cast<long long>(
+                           result.journal_records_replayed),
+                       static_cast<long long>(
+                           result.journal_records_appended));
+    if (result.resumed) {
+      os << StringPrintf("Adopted from journal : %lld map outputs, "
+                         "%lld reduce outputs\n",
+                         static_cast<long long>(result.maps_adopted),
+                         static_cast<long long>(result.reduces_adopted));
+    }
+    if (result.orphans_swept > 0) {
+      os << StringPrintf("Orphans swept        : %lld\n",
+                         static_cast<long long>(result.orphans_swept));
+    }
+  }
+  // One stable greppable line: CI compares this fingerprint between an
+  // uninterrupted run and a crash + --resume run.
+  os << StringPrintf("output_fingerprint   : %08x\n",
+                     result.output_fingerprint);
   os << "--- shuffle pipeline ------------------------------------------"
         "----\n";
   os << StringPrintf("Map phase            : %.3f s\n",

@@ -27,12 +27,27 @@ const char* const kKnownKeys[] = {
     // Disk spill engine.
     "spill-dir", "spill-budget-bytes", "spill-cache-bytes",
     "spill-block-bytes", "spill-scrub", "spill-mmap",
+    // Crash-safe jobs.
+    "journal", "resume",
 };
 
 bool IsKnownKey(const std::string& key) {
   return std::find_if(std::begin(kKnownKeys), std::end(kKnownKeys),
                       [&](const char* k) { return key == k; }) !=
          std::end(kKnownKeys);
+}
+
+// Sorted, comma-separated list of every key ParseSuiteSpec accepts, so an
+// unknown-key error doubles as the reference the user needs to fix it.
+std::string KnownKeysListing() {
+  std::vector<std::string> keys(std::begin(kKnownKeys), std::end(kKnownKeys));
+  std::sort(keys.begin(), keys.end());
+  std::string listing;
+  for (const std::string& key : keys) {
+    if (!listing.empty()) listing += ", ";
+    listing += key;
+  }
+  return listing;
 }
 
 // Strips an inline "# comment" and whitespace.
@@ -80,7 +95,9 @@ Result<SuiteSpec> ParseSuiteSpec(const std::string& text) {
         ToLower(std::string(StripWhitespace(line.substr(0, eq))));
     if (!IsKnownKey(key)) {
       return Status::InvalidArgument("line " + std::to_string(line_number) +
-                                     ": unknown key '" + key + "'");
+                                     ": unknown key '" + key +
+                                     "' (accepted keys: " +
+                                     KnownKeysListing() + ")");
     }
     if (current->entries.count(key) != 0) {
       return Status::InvalidArgument("line " + std::to_string(line_number) +
@@ -360,6 +377,16 @@ Result<ResolvedSection> ResolveSection(const SuiteSection& section) {
                         SingleValue(section, "spill-mmap", "false"));
   base.spill_mmap = ToLower(spill_mmap) == "true" || spill_mmap == "1" ||
                     ToLower(spill_mmap) == "yes";
+
+  // Crash-safe jobs.
+  MRMB_ASSIGN_OR_RETURN(const std::string journal,
+                        SingleValue(section, "journal", "false"));
+  base.job_journal = ToLower(journal) == "true" || journal == "1" ||
+                     ToLower(journal) == "yes";
+  MRMB_ASSIGN_OR_RETURN(const std::string resume,
+                        SingleValue(section, "resume", "false"));
+  base.resume = ToLower(resume) == "true" || resume == "1" ||
+                ToLower(resume) == "yes";
 
   // Sweep axes.
   std::vector<std::string> networks = {"ipoib-qdr"};

@@ -273,5 +273,75 @@ TEST(LocalSpillIoHooksTest, ReadHazardsAreDeterministicPerBlockAndRetry) {
   EXPECT_LT(eios, 64);
 }
 
+// ---- Crash fault family (journal-anchored process crashes) ---------------
+
+TEST(LocalFaultPlanTest, ParsesCrashPoints) {
+  auto plan = LocalFaultPlan::Parse(
+      "crash_at:job_start@0; crash_at:map_commit@2; "
+      "crash_at:reduce_commit@0; crash_at:job_commit@0");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ(plan->crash_points.size(), 4u);
+  EXPECT_EQ(plan->crash_points[0].event, CrashEvent::kJobStart);
+  EXPECT_EQ(plan->crash_points[0].occurrence, 0);
+  EXPECT_EQ(plan->crash_points[1].event, CrashEvent::kMapCommit);
+  EXPECT_EQ(plan->crash_points[1].occurrence, 2);
+  EXPECT_EQ(plan->crash_points[2].event, CrashEvent::kReduceCommit);
+  EXPECT_EQ(plan->crash_points[3].event, CrashEvent::kJobCommit);
+  EXPECT_FALSE(plan->empty());
+}
+
+TEST(LocalFaultPlanTest, CrashPointToStringParseRoundTrips) {
+  auto plan = LocalFaultPlan::Parse(
+      "crash_at:map_commit@3;crash_at:job_commit@0;enospc_after_bytes:4096");
+  ASSERT_TRUE(plan.ok());
+  auto reparsed = LocalFaultPlan::Parse(plan->ToString());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed->crash_points, plan->crash_points);
+  EXPECT_EQ(reparsed->enospc_after_bytes, plan->enospc_after_bytes);
+}
+
+TEST(LocalFaultPlanTest, CrashesAtMatchesExactOccurrence) {
+  auto plan = LocalFaultPlan::Parse("crash_at:map_commit@2");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE(plan->CrashesAt(CrashEvent::kMapCommit, 0));
+  EXPECT_FALSE(plan->CrashesAt(CrashEvent::kMapCommit, 1));
+  EXPECT_TRUE(plan->CrashesAt(CrashEvent::kMapCommit, 2));
+  EXPECT_FALSE(plan->CrashesAt(CrashEvent::kMapCommit, 3));
+  EXPECT_FALSE(plan->CrashesAt(CrashEvent::kReduceCommit, 2));
+}
+
+TEST(LocalFaultPlanTest, RejectsMalformedCrashPoints) {
+  EXPECT_FALSE(LocalFaultPlan::Parse("crash_at:map_commit").ok());
+  EXPECT_FALSE(LocalFaultPlan::Parse("crash_at:map_commit@-1").ok());
+  EXPECT_FALSE(LocalFaultPlan::Parse("crash_at:map_commit@x").ok());
+  // An unknown event errors and the message lists what IS accepted.
+  const auto bad = LocalFaultPlan::Parse("crash_at:shuffle_done@0");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().ToString().find("job_start"), std::string::npos)
+      << bad.status().ToString();
+  EXPECT_NE(bad.status().ToString().find("job_commit"), std::string::npos);
+}
+
+TEST(LocalFaultPlanTest, UnknownKindErrorListsAcceptedKinds) {
+  const auto bad = LocalFaultPlan::Parse("explode_map:1@a=0");
+  ASSERT_FALSE(bad.ok());
+  const std::string message = bad.status().ToString();
+  EXPECT_NE(message.find("explode_map"), std::string::npos) << message;
+  EXPECT_NE(message.find("accepted"), std::string::npos) << message;
+  EXPECT_NE(message.find("crash_at"), std::string::npos) << message;
+  EXPECT_NE(message.find("fail_map"), std::string::npos) << message;
+}
+
+TEST(LocalFaultPlanTest, CrashEventNamesRoundTrip) {
+  for (const CrashEvent event :
+       {CrashEvent::kJobStart, CrashEvent::kMapCommit,
+        CrashEvent::kReduceCommit, CrashEvent::kJobCommit}) {
+    auto parsed = CrashEventByName(CrashEventName(event));
+    ASSERT_TRUE(parsed.ok()) << CrashEventName(event);
+    EXPECT_EQ(*parsed, event);
+  }
+  EXPECT_FALSE(CrashEventByName("warp_core_breach").ok());
+}
+
 }  // namespace
 }  // namespace mrmb

@@ -1,0 +1,270 @@
+// Write-ahead job journal: framing round-trips, torn-tail recovery, replay
+// idempotency, and digest checks. The journal is the source of truth for
+// crash recovery, so replay must read back exactly what was appended, stop
+// cleanly at any torn or corrupt frame, and refuse a journal written by a
+// different job.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "mapred/job_journal.h"
+
+namespace mrmb {
+namespace {
+
+class JobJournalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/mrmb-journal-test-XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+    path_ = dir_ + "/journal";
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::string dir_;
+  std::string path_;
+};
+
+JournalRunStart Start(uint64_t digest = 0xD1635Full) {
+  JournalRunStart start;
+  start.digest = digest;
+  start.num_maps = 4;
+  start.num_reduces = 3;
+  start.run = 0;
+  return start;
+}
+
+JournalMapCommit MapCommit(int task) {
+  JournalMapCommit commit;
+  commit.task = task;
+  commit.attempt = 1;
+  commit.stats.input_records = 10 + task;
+  commit.stats.output_records = 100 + task;
+  commit.stats.spill_count = 2;
+  commit.stats.combine_removed = 3;
+  commit.stats.output_bytes = 4096 + task;
+  commit.stats.wire_bytes = 2048 + task;
+  commit.stats.spilled_bytes = 8192;
+  commit.stats.spill_extents = 1;
+  commit.stats.spill_degradations = 0;
+  commit.has_extent = true;
+  commit.extent.file_name = "extent-000000000000002a.spill";
+  commit.extent.file_bytes = 8192;
+  commit.extent.logical_bytes = 9000;
+  SpillSegment::PartitionRange range;
+  range.offset = 64;
+  range.length = 1000;
+  range.records = 25;
+  range.raw_length = 1100;
+  range.crc = 0xCAFEBABE;
+  commit.extent.partitions = {range, range, range};
+  commit.extent.partitions[1].offset = 1064;
+  return commit;
+}
+
+JournalReduceCommit ReduceCommit(int task) {
+  JournalReduceCommit commit;
+  commit.task = task;
+  commit.attempt = 2;
+  commit.groups = 7;
+  commit.output_records = 7;
+  commit.output_bytes = 700;
+  commit.input_records = 75;
+  commit.input_bytes = 7500;
+  commit.part_bytes = 750;
+  commit.part_crc = 0xFEEDF00D;
+  return commit;
+}
+
+void AppendScript(JobJournal* journal) {
+  ASSERT_TRUE(journal->AppendAttemptStart(true, 0, 0).ok());
+  ASSERT_TRUE(journal->AppendAttemptFail(true, 0, 0).ok());
+  ASSERT_TRUE(journal->AppendAttemptStart(true, 0, 1).ok());
+  ASSERT_TRUE(journal->AppendMapCommit(MapCommit(0)).ok());
+  ASSERT_TRUE(journal->AppendAttemptStart(false, 1, 0).ok());
+  ASSERT_TRUE(journal->AppendAttemptStart(false, 1, 1).ok());
+  ASSERT_TRUE(journal->AppendAttemptFail(false, 1, 0).ok());
+  ASSERT_TRUE(journal->AppendReduceCommit(ReduceCommit(1)).ok());
+}
+
+TEST_F(JobJournalTest, RoundTripsEveryRecordType) {
+  {
+    auto journal = JobJournal::Create(path_, Start());
+    ASSERT_TRUE(journal.ok()) << journal.status().ToString();
+    AppendScript(journal->get());
+    ASSERT_TRUE((*journal)->AppendJobCommit().ok());
+    // run-start + 8 script records + job-commit.
+    EXPECT_EQ((*journal)->records_appended(), 10);
+  }
+
+  auto replay = JobJournal::Replay(path_);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_EQ(replay->digest, Start().digest);
+  EXPECT_EQ(replay->num_maps, 4);
+  EXPECT_EQ(replay->num_reduces, 3);
+  EXPECT_EQ(replay->runs, 1);
+  EXPECT_TRUE(replay->job_committed);
+  EXPECT_EQ(replay->records_replayed, 10);
+  EXPECT_EQ(replay->truncated_bytes, 0);
+
+  ASSERT_EQ(replay->map_commits.count(0), 1u);
+  const JournalMapCommit& map = replay->map_commits.at(0);
+  const JournalMapCommit want_map = MapCommit(0);
+  EXPECT_EQ(map.attempt, want_map.attempt);
+  EXPECT_EQ(map.stats.input_records, want_map.stats.input_records);
+  EXPECT_EQ(map.stats.output_bytes, want_map.stats.output_bytes);
+  EXPECT_EQ(map.stats.wire_bytes, want_map.stats.wire_bytes);
+  EXPECT_TRUE(map.has_extent);
+  EXPECT_EQ(map.extent.file_name, want_map.extent.file_name);
+  EXPECT_EQ(map.extent.file_bytes, want_map.extent.file_bytes);
+  EXPECT_EQ(map.extent.logical_bytes, want_map.extent.logical_bytes);
+  ASSERT_EQ(map.extent.partitions.size(), 3u);
+  EXPECT_EQ(map.extent.partitions[0].offset, 64);
+  EXPECT_EQ(map.extent.partitions[1].offset, 1064);
+  EXPECT_EQ(map.extent.partitions[0].length, 1000);
+  EXPECT_EQ(map.extent.partitions[0].records, 25);
+  EXPECT_EQ(map.extent.partitions[0].raw_length, 1100);
+  EXPECT_EQ(map.extent.partitions[0].crc, 0xCAFEBABEu);
+
+  ASSERT_EQ(replay->reduce_commits.count(1), 1u);
+  const JournalReduceCommit& reduce = replay->reduce_commits.at(1);
+  EXPECT_EQ(reduce.attempt, 2);
+  EXPECT_EQ(reduce.groups, 7);
+  EXPECT_EQ(reduce.input_records, 75);
+  EXPECT_EQ(reduce.part_bytes, 750);
+  EXPECT_EQ(reduce.part_crc, 0xFEEDF00Du);
+
+  // attempts_started = highest attempt + 1.
+  EXPECT_EQ(replay->map_attempts.at(0), 2);
+  EXPECT_EQ(replay->reduce_attempts.at(1), 2);
+}
+
+TEST_F(JobJournalTest, DoubleReplayIsIdempotent) {
+  {
+    auto journal = JobJournal::Create(path_, Start());
+    ASSERT_TRUE(journal.ok());
+    AppendScript(journal->get());
+  }
+  auto first = JobJournal::Replay(path_);
+  auto second = JobJournal::Replay(path_);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->records_replayed, second->records_replayed);
+  EXPECT_EQ(first->digest, second->digest);
+  EXPECT_EQ(first->job_committed, second->job_committed);
+  EXPECT_EQ(first->map_commits.size(), second->map_commits.size());
+  EXPECT_EQ(first->reduce_commits.size(), second->reduce_commits.size());
+  EXPECT_EQ(first->map_attempts, second->map_attempts);
+  EXPECT_EQ(first->reduce_attempts, second->reduce_attempts);
+  EXPECT_EQ(first->truncated_bytes, 0);
+  EXPECT_EQ(second->truncated_bytes, 0);
+}
+
+TEST_F(JobJournalTest, NewerCommitSupersedesOlder) {
+  {
+    auto journal = JobJournal::Create(path_, Start());
+    ASSERT_TRUE(journal.ok());
+    JournalMapCommit first = MapCommit(2);
+    first.attempt = 0;
+    first.has_extent = false;
+    ASSERT_TRUE((*journal)->AppendMapCommit(first).ok());
+    JournalMapCommit second = MapCommit(2);
+    second.attempt = 3;
+    ASSERT_TRUE((*journal)->AppendMapCommit(second).ok());
+  }
+  auto replay = JobJournal::Replay(path_);
+  ASSERT_TRUE(replay.ok());
+  ASSERT_EQ(replay->map_commits.count(2), 1u);
+  EXPECT_EQ(replay->map_commits.at(2).attempt, 3);
+  EXPECT_TRUE(replay->map_commits.at(2).has_extent);
+}
+
+TEST_F(JobJournalTest, TornTailIsDroppedNotFatal) {
+  {
+    auto journal = JobJournal::Create(path_, Start());
+    ASSERT_TRUE(journal.ok());
+    AppendScript(journal->get());
+  }
+  const auto intact = std::filesystem::file_size(path_);
+  {
+    // A crash mid-append leaves a partial frame; replay must stop there.
+    std::ofstream torn(path_, std::ios::app | std::ios::binary);
+    const char partial[] = "\x40\x00\x00\x00partial";
+    torn.write(partial, sizeof(partial) - 1);
+  }
+  auto replay = JobJournal::Replay(path_);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_EQ(replay->records_replayed, 9);  // run-start + script
+  EXPECT_GT(replay->truncated_bytes, 0);
+
+  // OpenForResume truncates the tail and appends this run's run-start.
+  JournalReplay resumed;
+  JournalRunStart again = Start();
+  again.run = replay->runs;
+  auto journal = JobJournal::OpenForResume(path_, again, &resumed);
+  ASSERT_TRUE(journal.ok()) << journal.status().ToString();
+  EXPECT_EQ(resumed.records_replayed, 9);
+  EXPECT_GT(resumed.truncated_bytes, 0);
+  journal->reset();
+
+  auto clean = JobJournal::Replay(path_);
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(clean->runs, 2);
+  EXPECT_EQ(clean->truncated_bytes, 0);
+  EXPECT_EQ(std::filesystem::file_size(path_) > intact, true);
+}
+
+TEST_F(JobJournalTest, CorruptMiddleFrameEndsReplayAtValidPrefix) {
+  {
+    auto journal = JobJournal::Create(path_, Start());
+    ASSERT_TRUE(journal.ok());
+    AppendScript(journal->get());
+  }
+  // Flip one byte two-thirds of the way in: everything from the damaged
+  // frame on is dropped, everything before it survives.
+  const auto size = std::filesystem::file_size(path_);
+  {
+    std::fstream file(path_, std::ios::in | std::ios::out |
+                                 std::ios::binary);
+    file.seekp(static_cast<std::streamoff>(size * 2 / 3));
+    char byte = 0;
+    file.read(&byte, 1);
+    file.seekp(static_cast<std::streamoff>(size * 2 / 3));
+    byte = static_cast<char>(byte ^ 0xFF);
+    file.write(&byte, 1);
+  }
+  auto replay = JobJournal::Replay(path_);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_LT(replay->records_replayed, 9);
+  EXPECT_GE(replay->records_replayed, 1);
+  EXPECT_GT(replay->truncated_bytes, 0);
+}
+
+TEST_F(JobJournalTest, ResumeRefusesForeignDigest) {
+  {
+    auto journal = JobJournal::Create(path_, Start(0x1111));
+    ASSERT_TRUE(journal.ok());
+  }
+  JournalReplay replay;
+  auto resumed = JobJournal::OpenForResume(path_, Start(0x2222), &replay);
+  EXPECT_FALSE(resumed.ok());
+  EXPECT_EQ(resumed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(JobJournalTest, ReplayOfMissingJournalFails) {
+  auto replay = JobJournal::Replay(dir_ + "/nope");
+  EXPECT_FALSE(replay.ok());
+}
+
+}  // namespace
+}  // namespace mrmb

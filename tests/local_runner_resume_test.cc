@@ -1,0 +1,411 @@
+// Crash/resume tests for the journaled local runner: a job torn down at a
+// deterministic crash point and re-run with --resume must adopt every
+// committed task output, re-run only the uncommitted tasks, and commit
+// byte-identical output (golden CRC32C fingerprints) — across codecs,
+// thread counts, torn journal tails, and degraded (RAM-resident) commits.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "io/byte_buffer.h"
+#include "io/checksum.h"
+#include "mapred/fault_injector.h"
+#include "mapred/local_runner.h"
+#include "mapred/null_formats.h"
+
+namespace mrmb {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---- Deterministic job material (mirrors local_runner_spill_test.cc so
+// byte streams are directly comparable across engines) ---------------------
+
+std::string RandomPayload(Rng* rng, size_t min_len, size_t max_len) {
+  const size_t len =
+      min_len + static_cast<size_t>(rng->Uniform(max_len - min_len + 1));
+  std::string payload(len, '\0');
+  for (char& c : payload) {
+    c = static_cast<char>(rng->Uniform(256));
+  }
+  return payload;
+}
+
+std::string WireBytes(const std::string& payload) {
+  BufferWriter writer;
+  BytesWritable(payload).Serialize(&writer);
+  return writer.data();
+}
+
+std::string WireText(const std::string& payload) {
+  BufferWriter writer;
+  Text(payload).Serialize(&writer);
+  return writer.data();
+}
+
+class GoldenMapper final : public Mapper {
+ public:
+  explicit GoldenMapper(int task_id) : task_id_(task_id) {}
+
+  void Map(std::string_view, std::string_view, MapContext* context) override {
+    Rng rng(0xC0FFEE + static_cast<uint64_t>(task_id_) * 131);
+    for (int i = 0; i < 5000; ++i) {
+      const uint64_t id = rng.Uniform(64);
+      const std::string key =
+          WireText("shared-prefix-key-" + std::to_string(id));
+      const std::string value = WireBytes(RandomPayload(&rng, 0, 12));
+      context->Emit(key, value);
+    }
+  }
+
+ private:
+  int task_id_;
+};
+
+class FingerprintReducer final : public Reducer {
+ public:
+  void Reduce(std::string_view key, ValueIterator* values,
+              ReduceContext* context) override {
+    int64_t count = 0;
+    uint64_t byte_sum = 0;
+    while (values->Next()) {
+      ++count;
+      for (const char c : values->value()) {
+        byte_sum += static_cast<uint8_t>(c);
+      }
+    }
+    BufferWriter writer;
+    writer.AppendFixed64(static_cast<uint64_t>(count));
+    writer.AppendFixed64(byte_sum);
+    context->Emit(key, writer.data());
+  }
+};
+
+class CapturingOutputFormat final : public OutputFormat {
+ public:
+  std::unique_ptr<RecordWriter> CreateWriter(const JobConf&,
+                                             int task_id) override {
+    class Writer final : public RecordWriter {
+     public:
+      explicit Writer(std::string* out) : writer_(out) {}
+      void Write(std::string_view key, std::string_view value) override {
+        writer_.AppendVarint64(static_cast<int64_t>(key.size()));
+        writer_.AppendVarint64(static_cast<int64_t>(value.size()));
+        writer_.AppendRaw(key);
+        writer_.AppendRaw(value);
+      }
+      Status Close() override { return Status::OK(); }
+
+     private:
+      BufferWriter writer_;
+    };
+    return std::make_unique<Writer>(&streams_[task_id]);
+  }
+
+  uint32_t Fingerprint() const {
+    uint32_t crc = kCrc32cInit;
+    for (const auto& [reducer, stream] : streams_) {
+      BufferWriter writer;
+      writer.AppendFixed32(static_cast<uint32_t>(reducer));
+      crc = Crc32c(crc, writer.data());
+      crc = Crc32c(crc, stream);
+    }
+    return crc;
+  }
+
+ private:
+  std::map<int, std::string> streams_;
+};
+
+JobConf BaseConf() {
+  JobConf conf;
+  conf.num_maps = 4;
+  conf.num_reduces = 3;
+  conf.record.type = DataType::kText;
+  conf.io_sort_bytes = 64 * 1024;
+  conf.spill_percent = 1.0;
+  conf.local_threads = 2;
+  conf.sort_threads = 1;
+  conf.seed = 42;
+  return conf;
+}
+
+JobConf WithPlan(JobConf conf, const std::string& spec) {
+  auto plan = LocalFaultPlan::Parse(spec);
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  conf.local_fault_plan = *plan;
+  return conf;
+}
+
+struct JobOutcome {
+  uint32_t fingerprint = 0;
+  LocalJobResult result;
+};
+
+Result<JobOutcome> RunJob(const JobConf& conf) {
+  LocalJobRunner runner(conf);
+  NullInputFormat input;
+  CapturingOutputFormat output;
+  auto result = runner.Run(
+      &input, [](int task) { return std::make_unique<GoldenMapper>(task); },
+      [](int) { return std::make_unique<FingerprintReducer>(); }, &output);
+  if (!result.ok()) return result.status();
+  JobOutcome outcome;
+  outcome.result = *result;
+  outcome.fingerprint = output.Fingerprint();
+  return outcome;
+}
+
+JobOutcome RunOk(const JobConf& conf) {
+  auto outcome = RunJob(conf);
+  EXPECT_TRUE(outcome.ok()) << outcome.status().ToString();
+  return outcome.ok() ? *outcome : JobOutcome{};
+}
+
+// Runs a job expected to hit a crash point and die with kAborted.
+void RunExpectCrash(const JobConf& conf) {
+  auto outcome = RunJob(conf);
+  ASSERT_FALSE(outcome.ok()) << "crash point never fired";
+  EXPECT_EQ(outcome.status().code(), StatusCode::kAborted)
+      << outcome.status().ToString();
+}
+
+// The in-memory engine's fingerprint: the golden value every journaled,
+// crashed, resumed, compressed, or threaded variant must reproduce.
+uint32_t GoldenFingerprint() {
+  static const uint32_t fingerprint = [] {
+    const JobOutcome outcome = RunOk(BaseConf());
+    EXPECT_FALSE(outcome.result.journal_enabled);
+    return outcome.fingerprint;
+  }();
+  return fingerprint;
+}
+
+class LocalRunnerResumeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/mrmb-resume-test-XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  JobConf JournalConf() const {
+    JobConf conf = BaseConf();
+    conf.spill_dir = dir_;
+    conf.job_journal = true;
+    return conf;
+  }
+
+  JobConf ResumeConf() const {
+    JobConf conf = BaseConf();
+    conf.spill_dir = dir_;
+    conf.resume = true;
+    return conf;
+  }
+
+  // The journaled job's durable home: the single mrmb-job-* entry under
+  // the spill dir.
+  std::string JobDir() const {
+    for (const auto& entry : fs::directory_iterator(dir_)) {
+      if (entry.path().filename().string().rfind("mrmb-job-", 0) == 0) {
+        return entry.path().string();
+      }
+    }
+    ADD_FAILURE() << "no mrmb-job-* directory under " << dir_;
+    return dir_;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(LocalRunnerResumeTest, JournaledJobMatchesInMemoryFingerprint) {
+  const JobOutcome outcome = RunOk(JournalConf());
+  EXPECT_TRUE(outcome.result.journal_enabled);
+  EXPECT_FALSE(outcome.result.resumed);
+  EXPECT_GT(outcome.result.journal_records_appended, 0);
+  EXPECT_EQ(outcome.fingerprint, GoldenFingerprint());
+}
+
+TEST_F(LocalRunnerResumeTest, CrashAtMapCommitResumesWithAdoption) {
+  RunExpectCrash(WithPlan(JournalConf(), "crash_at:map_commit@1"));
+  const JobOutcome resumed = RunOk(ResumeConf());
+  EXPECT_TRUE(resumed.result.resumed);
+  // The crash fired under the journal lock right after the 2nd map-commit
+  // record landed, so exactly 2 committed outputs are adoptable and only
+  // the other 2 maps run again.
+  EXPECT_EQ(resumed.result.maps_adopted, 2);
+  EXPECT_EQ(resumed.result.map_attempts, 2);
+  EXPECT_GT(resumed.result.journal_records_replayed, 0);
+  EXPECT_EQ(resumed.fingerprint, GoldenFingerprint());
+}
+
+TEST_F(LocalRunnerResumeTest, CrashAtJobStartResumesFromScratch) {
+  RunExpectCrash(WithPlan(JournalConf(), "crash_at:job_start@0"));
+  const JobOutcome resumed = RunOk(ResumeConf());
+  EXPECT_TRUE(resumed.result.resumed);
+  EXPECT_EQ(resumed.result.maps_adopted, 0);
+  EXPECT_EQ(resumed.result.map_attempts, 4);
+  EXPECT_EQ(resumed.fingerprint, GoldenFingerprint());
+}
+
+TEST_F(LocalRunnerResumeTest, CrashAtReduceCommitAdoptsAllMapOutputs) {
+  RunExpectCrash(WithPlan(JournalConf(), "crash_at:reduce_commit@0"));
+  const JobOutcome resumed = RunOk(ResumeConf());
+  // Reduces only start once every map committed, so all 4 map outputs are
+  // adopted from their durable extents and the one committed reduce is
+  // adopted from its part file; the other 2 reduces re-run.
+  EXPECT_EQ(resumed.result.maps_adopted, 4);
+  EXPECT_EQ(resumed.result.map_attempts, 0);
+  EXPECT_EQ(resumed.result.reduces_adopted, 1);
+  EXPECT_EQ(resumed.result.reduce_attempts, 2);
+  EXPECT_EQ(resumed.fingerprint, GoldenFingerprint());
+}
+
+TEST_F(LocalRunnerResumeTest, CrashAfterJobCommitResumesAsNoOp) {
+  RunExpectCrash(WithPlan(JournalConf(), "crash_at:job_commit@0"));
+  const JobOutcome resumed = RunOk(ResumeConf());
+  // The job-commit record is durable before the crash fires, so the job
+  // is complete: nothing runs, every part file is adopted.
+  EXPECT_EQ(resumed.result.map_attempts, 0);
+  EXPECT_EQ(resumed.result.reduce_attempts, 0);
+  EXPECT_EQ(resumed.result.reduces_adopted, 3);
+  EXPECT_EQ(resumed.fingerprint, GoldenFingerprint());
+}
+
+TEST_F(LocalRunnerResumeTest, DoubleResumeIsIdempotent) {
+  RunExpectCrash(WithPlan(JournalConf(), "crash_at:map_commit@0"));
+  const JobOutcome first = RunOk(ResumeConf());
+  const JobOutcome second = RunOk(ResumeConf());
+  EXPECT_EQ(first.fingerprint, GoldenFingerprint());
+  EXPECT_EQ(second.fingerprint, GoldenFingerprint());
+  // The first resume completed the job; the second adopts everything.
+  EXPECT_EQ(second.result.map_attempts, 0);
+  EXPECT_EQ(second.result.reduce_attempts, 0);
+  EXPECT_EQ(second.result.reduces_adopted, 3);
+  EXPECT_EQ(second.result.output_fingerprint, first.result.output_fingerprint);
+}
+
+TEST_F(LocalRunnerResumeTest, ResumeOfCompletedJobIsNoOp) {
+  const JobOutcome full = RunOk(JournalConf());
+  const JobOutcome resumed = RunOk(ResumeConf());
+  EXPECT_TRUE(resumed.result.resumed);
+  EXPECT_EQ(resumed.result.map_attempts, 0);
+  EXPECT_EQ(resumed.result.reduce_attempts, 0);
+  EXPECT_EQ(resumed.fingerprint, full.fingerprint);
+  EXPECT_EQ(resumed.result.output_fingerprint, full.result.output_fingerprint);
+}
+
+TEST_F(LocalRunnerResumeTest, FingerprintStableAcrossCodecsAndThreads) {
+  const struct {
+    MapOutputCodec codec;
+    int threads;
+  } grid[] = {{MapOutputCodec::kNone, 1},
+              {MapOutputCodec::kNone, 4},
+              {MapOutputCodec::kLz4, 1},
+              {MapOutputCodec::kLz4, 4}};
+  for (const auto& cell : grid) {
+    const std::string sub =
+        dir_ + "/codec" + std::to_string(static_cast<int>(cell.codec)) +
+        "-t" + std::to_string(cell.threads);
+    ASSERT_TRUE(fs::create_directory(sub));
+    JobConf crash = WithPlan(JournalConf(), "crash_at:map_commit@1");
+    crash.spill_dir = sub;
+    crash.map_output_codec = cell.codec;
+    crash.local_threads = cell.threads;
+    RunExpectCrash(crash);
+    JobConf resume = ResumeConf();
+    resume.spill_dir = sub;
+    resume.map_output_codec = cell.codec;
+    resume.local_threads = cell.threads;
+    const JobOutcome resumed = RunOk(resume);
+    EXPECT_EQ(resumed.fingerprint, GoldenFingerprint())
+        << "codec " << static_cast<int>(cell.codec) << " threads "
+        << cell.threads;
+    EXPECT_GE(resumed.result.maps_adopted, 1);
+  }
+}
+
+TEST_F(LocalRunnerResumeTest, TornJournalTailStillResumes) {
+  RunExpectCrash(WithPlan(JournalConf(), "crash_at:map_commit@1"));
+  {
+    // A second crash mid-append would leave a partial frame at the tail;
+    // resume must truncate it, not refuse the journal.
+    std::ofstream torn(JobDir() + "/journal",
+                       std::ios::app | std::ios::binary);
+    const char partial[] = "\x20\x00\x00\x00torn";
+    torn.write(partial, sizeof(partial) - 1);
+  }
+  const JobOutcome resumed = RunOk(ResumeConf());
+  EXPECT_EQ(resumed.result.maps_adopted, 2);
+  EXPECT_EQ(resumed.fingerprint, GoldenFingerprint());
+}
+
+TEST_F(LocalRunnerResumeTest, OrphanedAttemptOutputIsSwept) {
+  RunExpectCrash(WithPlan(JournalConf(), "crash_at:map_commit@1"));
+  const std::string staging = JobDir() + "/output/_temporary";
+  fs::create_directories(staging);
+  std::ofstream(staging + "/attempt-9-9.tmp") << "stale attempt output";
+  const JobOutcome resumed = RunOk(ResumeConf());
+  EXPECT_GE(resumed.result.orphans_swept, 1);
+  EXPECT_FALSE(fs::exists(staging + "/attempt-9-9.tmp"));
+  EXPECT_EQ(resumed.fingerprint, GoldenFingerprint());
+}
+
+TEST_F(LocalRunnerResumeTest, DegradedCommitsRerunOnResume) {
+  // enospc_after_bytes:0 degrades every map commit to RAM residency —
+  // journaled with has_extent=false — so after the crash nothing map-side
+  // is adoptable and resume re-runs all maps, still byte-identically.
+  RunExpectCrash(WithPlan(JournalConf(),
+                          "enospc_after_bytes:0;crash_at:reduce_commit@0"));
+  const JobOutcome resumed = RunOk(ResumeConf());
+  EXPECT_EQ(resumed.result.maps_adopted, 0);
+  EXPECT_EQ(resumed.result.map_attempts, 4);
+  EXPECT_EQ(resumed.result.reduces_adopted, 1);
+  EXPECT_EQ(resumed.fingerprint, GoldenFingerprint());
+}
+
+TEST_F(LocalRunnerResumeTest, ResumeAttemptNumbersContinueAcrossRuns) {
+  RunExpectCrash(WithPlan(JournalConf(), "crash_at:map_commit@1"));
+  const JobOutcome resumed = RunOk(ResumeConf());
+  // This run's re-executed attempts plus the adopted tasks must account
+  // for the whole map front exactly once.
+  EXPECT_EQ(resumed.result.map_attempts + resumed.result.maps_adopted, 4);
+  EXPECT_EQ(
+      resumed.result.reduce_attempts + resumed.result.reduces_adopted, 3);
+}
+
+TEST(LocalRunnerResumeValidateTest, ResumeRequiresSpillDir) {
+  JobConf conf = BaseConf();
+  conf.resume = true;  // no spill_dir: nowhere for the journal to live
+  auto outcome = RunJob(conf);
+  EXPECT_FALSE(outcome.ok());
+}
+
+TEST_F(LocalRunnerResumeTest, ResumeRefusesChangedJobShape) {
+  RunExpectCrash(WithPlan(JournalConf(), "crash_at:map_commit@1"));
+  JobConf changed = ResumeConf();
+  changed.num_maps = 5;  // different digest: extents encode other bytes
+  // The digest names the job directory, so a changed conf can never even
+  // find the old journal — resume fails with NotFound rather than
+  // silently adopting foreign extents. (A hand-placed foreign journal is
+  // refused with InvalidArgument; see job_journal_test.)
+  auto outcome = RunJob(changed);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kNotFound)
+      << outcome.status().ToString();
+}
+
+}  // namespace
+}  // namespace mrmb

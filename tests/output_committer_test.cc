@@ -1,0 +1,135 @@
+// Two-phase output commit: staging, atomic promotion, first-commit-wins,
+// orphan sweep, and the _SUCCESS job-commit marker.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "dfs/output_committer.h"
+
+namespace mrmb {
+namespace {
+
+namespace fs = std::filesystem;
+
+class OutputCommitterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/mrmb-committer-test-XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+    out_ = dir_ + "/output";
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  static void WriteFile(const std::string& path, const std::string& body) {
+    std::ofstream file(path, std::ios::binary);
+    file << body;
+  }
+
+  static std::string ReadFile(const std::string& path) {
+    std::ifstream file(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(file),
+                       std::istreambuf_iterator<char>());
+  }
+
+  std::string dir_;
+  std::string out_;
+};
+
+TEST_F(OutputCommitterTest, SetupCreatesOutputAndStagingDirs) {
+  FileOutputCommitter committer(out_);
+  ASSERT_TRUE(committer.SetupJob().ok());
+  EXPECT_TRUE(fs::is_directory(out_));
+  EXPECT_TRUE(fs::is_directory(committer.temporary_dir()));
+  // Setup is idempotent — resume calls it again on an existing dir.
+  EXPECT_TRUE(committer.SetupJob().ok());
+}
+
+TEST_F(OutputCommitterTest, CommitPromotesStagedBytes) {
+  FileOutputCommitter committer(out_);
+  ASSERT_TRUE(committer.SetupJob().ok());
+  const std::string staged = committer.AttemptPath(3, 0);
+  WriteFile(staged, "reduce-3 output");
+  EXPECT_FALSE(committer.TaskCommitted(3));
+  ASSERT_TRUE(committer.CommitTask(3, 0).ok());
+  EXPECT_TRUE(committer.TaskCommitted(3));
+  EXPECT_FALSE(fs::exists(staged));
+  EXPECT_EQ(ReadFile(committer.CommittedPath(3)), "reduce-3 output");
+}
+
+TEST_F(OutputCommitterTest, FirstCommitWinsSecondIsDiscardedOk) {
+  FileOutputCommitter committer(out_);
+  ASSERT_TRUE(committer.SetupJob().ok());
+  WriteFile(committer.AttemptPath(1, 0), "winner");
+  ASSERT_TRUE(committer.CommitTask(1, 0).ok());
+  // A slower speculative attempt commits after the fact: its staged file
+  // is dropped, the committed bytes are untouched, and the call succeeds.
+  WriteFile(committer.AttemptPath(1, 1), "loser");
+  ASSERT_TRUE(committer.CommitTask(1, 1).ok());
+  EXPECT_EQ(ReadFile(committer.CommittedPath(1)), "winner");
+  EXPECT_FALSE(fs::exists(committer.AttemptPath(1, 1)));
+}
+
+TEST_F(OutputCommitterTest, CommitIsIdempotentAcrossRuns) {
+  FileOutputCommitter committer(out_);
+  ASSERT_TRUE(committer.SetupJob().ok());
+  WriteFile(committer.AttemptPath(0, 0), "pass one");
+  ASSERT_TRUE(committer.CommitTask(0, 0).ok());
+  // Re-committing with no staged file (replayed journal record) is a no-op.
+  ASSERT_TRUE(committer.CommitTask(0, 0).ok());
+  EXPECT_EQ(ReadFile(committer.CommittedPath(0)), "pass one");
+}
+
+TEST_F(OutputCommitterTest, AbortDropsStagedFileOnly) {
+  FileOutputCommitter committer(out_);
+  ASSERT_TRUE(committer.SetupJob().ok());
+  WriteFile(committer.AttemptPath(2, 0), "doomed");
+  ASSERT_TRUE(committer.AbortTask(2, 0).ok());
+  EXPECT_FALSE(fs::exists(committer.AttemptPath(2, 0)));
+  EXPECT_FALSE(committer.TaskCommitted(2));
+  // Aborting an attempt that never staged anything is fine too.
+  EXPECT_TRUE(committer.AbortTask(2, 1).ok());
+}
+
+TEST_F(OutputCommitterTest, CleanupOrphansSweepsStaleAttempts) {
+  FileOutputCommitter committer(out_);
+  ASSERT_TRUE(committer.SetupJob().ok());
+  WriteFile(committer.AttemptPath(0, 0), "orphan a");
+  WriteFile(committer.AttemptPath(5, 2), "orphan b");
+  WriteFile(committer.AttemptPath(1, 0), "committed before crash");
+  ASSERT_TRUE(committer.CommitTask(1, 0).ok());
+
+  auto swept = committer.CleanupOrphans();
+  ASSERT_TRUE(swept.ok()) << swept.status().ToString();
+  EXPECT_EQ(*swept, 2);
+  EXPECT_FALSE(fs::exists(committer.AttemptPath(0, 0)));
+  EXPECT_FALSE(fs::exists(committer.AttemptPath(5, 2)));
+  EXPECT_TRUE(committer.TaskCommitted(1));
+
+  auto again = committer.CleanupOrphans();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, 0);
+}
+
+TEST_F(OutputCommitterTest, CommitJobRemovesStagingAndMarksSuccess) {
+  FileOutputCommitter committer(out_);
+  ASSERT_TRUE(committer.SetupJob().ok());
+  WriteFile(committer.AttemptPath(0, 0), "part zero");
+  ASSERT_TRUE(committer.CommitTask(0, 0).ok());
+  WriteFile(committer.AttemptPath(7, 3), "left behind");
+  ASSERT_TRUE(committer.CommitJob().ok());
+  EXPECT_FALSE(fs::exists(committer.temporary_dir()));
+  EXPECT_TRUE(fs::exists(out_ + "/_SUCCESS"));
+  EXPECT_EQ(ReadFile(committer.CommittedPath(0)), "part zero");
+}
+
+}  // namespace
+}  // namespace mrmb

@@ -236,6 +236,44 @@ TEST(SuiteSpecResolveTest, RejectsBadFaultValues) {
   }
 }
 
+TEST(SuiteSpecParseTest, UnknownKeyErrorListsAcceptedKeys) {
+  auto spec = ParseSuiteSpec("[a]\nbogus_key = 1\n");
+  ASSERT_FALSE(spec.ok());
+  const std::string message = spec.status().ToString();
+  EXPECT_NE(message.find("unknown key 'bogus_key'"), std::string::npos)
+      << message;
+  // The error doubles as the reference card: it must enumerate what IS
+  // accepted, including the crash-safe-job keys.
+  EXPECT_NE(message.find("accepted keys:"), std::string::npos) << message;
+  EXPECT_NE(message.find("pattern"), std::string::npos) << message;
+  EXPECT_NE(message.find("spill-dir"), std::string::npos) << message;
+  EXPECT_NE(message.find("journal"), std::string::npos) << message;
+  EXPECT_NE(message.find("resume"), std::string::npos) << message;
+}
+
+TEST(SuiteSpecResolveTest, JournalKeysResolve) {
+  auto spec = ParseSuiteSpec(R"(
+[crashsafe]
+pattern = avg
+spill-dir = /tmp/mrmb-job
+journal = true
+resume = yes
+)");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  auto resolved = ResolveSection(spec->sections[0]);
+  ASSERT_TRUE(resolved.ok()) << resolved.status().ToString();
+  const BenchmarkOptions& options = resolved->options[0][0];
+  EXPECT_TRUE(options.job_journal);
+  EXPECT_TRUE(options.resume);
+
+  auto plain = ParseSuiteSpec("[x]\npattern = avg\n");
+  ASSERT_TRUE(plain.ok());
+  auto defaults = ResolveSection(plain->sections[0]);
+  ASSERT_TRUE(defaults.ok());
+  EXPECT_FALSE(defaults->options[0][0].job_journal);
+  EXPECT_FALSE(defaults->options[0][0].resume);
+}
+
 TEST(SuiteSpecRunTest, RunsTinySuiteEndToEnd) {
   auto spec = ParseSuiteSpec(R"(
 [tiny]
