@@ -48,6 +48,9 @@ Functional (in-process) mode — real bytes, small sizes:
   --checksum[=BOOL]         verify CRC32C map-output seals (default on)
   --fetch-latency-ms=MS     fixed simulated transfer time per fetch
   --fetch-bandwidth-mbps=X  simulated shuffle bandwidth in MB/s (0 = inf)
+  --shuffle-transport=T     inproc (default) or tcp: real loopback sockets
+                            with zero-copy serving; output byte-identical
+  --fetch-parallel-streams=N  tcp fetch connections per job (default 4)
   --local-fault-plan=SPEC   deterministic attempt faults, e.g.
                             "fail_map:3@a=0;corrupt_map:2@a=0,p=1;
                              delay_map:0@a=0,ms=500"

@@ -200,7 +200,7 @@ class ArcBlockCache {
  private:
   enum ListId { kT1, kT2, kB1, kB2 };
   struct Entry {
-    ListId list;
+    ListId list = kT1;
     std::list<uint64_t>::iterator pos;
     std::shared_ptr<const std::string> payload;  // null for ghosts
     int64_t bytes = 0;

@@ -19,6 +19,7 @@ constexpr uint64_t kBlockCorruptStream = 4;
 constexpr uint64_t kShortReadStream = 5;
 constexpr uint64_t kEioStream = 6;
 constexpr uint64_t kTornWriteStream = 7;
+constexpr uint64_t kSlowPeerStream = 8;
 
 // Mixed into StreamSeed for per-block (and per-retry) decisions.
 constexpr uint64_t kBlockSalt = 0xd6e8feb86659fd93ULL;
@@ -86,6 +87,10 @@ const char* LocalFaultKindName(LocalFaultKind kind) {
       return "corrupt_block";
     case LocalFaultKind::kTornWrite:
       return "torn_write";
+    case LocalFaultKind::kDropConn:
+      return "drop_conn";
+    case LocalFaultKind::kTruncFrame:
+      return "trunc_frame";
   }
   return "unknown";
 }
@@ -149,6 +154,9 @@ Status LocalFaultPlan::Validate() const {
     return Status::InvalidArgument(
         "I/O fault probabilities must be in [0, 1)");
   }
+  if (slow_peer_prob < 0 || slow_peer_prob >= 1.0) {
+    return Status::InvalidArgument("slow_peer must be in [0, 1)");
+  }
   if (enospc_after_bytes < -1) {
     return Status::InvalidArgument(
         "enospc_after_bytes must be >= 0 (or -1 to disable)");
@@ -205,6 +213,9 @@ std::string LocalFaultPlan::ToString() const {
     append(StringPrintf("enospc_after_bytes:%lld",
                         static_cast<long long>(enospc_after_bytes)));
   }
+  if (slow_peer_prob > 0) {
+    append(StringPrintf("slow_peer:%g", slow_peer_prob));
+  }
   for (const CrashPoint& point : crash_points) {
     append(StringPrintf("crash_at:%s@%lld", CrashEventName(point.event),
                         static_cast<long long>(point.occurrence)));
@@ -225,7 +236,7 @@ Result<LocalFaultPlan> LocalFaultPlan::Parse(const std::string& spec) {
     const std::string kind = ToLower(token.substr(0, colon));
     const std::string body = token.substr(colon + 1);
     if (kind == "map_fail_prob" || kind == "reduce_fail_prob" ||
-        kind == "short_read" || kind == "eio_prob") {
+        kind == "short_read" || kind == "eio_prob" || kind == "slow_peer") {
       char* end = nullptr;
       const double v = std::strtod(body.c_str(), &end);
       if (body.empty() || end == nullptr || *end != '\0') {
@@ -238,6 +249,8 @@ Result<LocalFaultPlan> LocalFaultPlan::Parse(const std::string& spec) {
         plan.reduce_failure_prob = v;
       } else if (kind == "short_read") {
         plan.short_read_prob = v;
+      } else if (kind == "slow_peer") {
+        plan.slow_peer_prob = v;
       } else {
         plan.eio_prob = v;
       }
@@ -278,12 +291,17 @@ Result<LocalFaultPlan> LocalFaultPlan::Parse(const std::string& spec) {
       event.kind = LocalFaultKind::kCorruptBlock;
     } else if (kind == "torn_write") {
       event.kind = LocalFaultKind::kTornWrite;
+    } else if (kind == "drop_conn") {
+      event.kind = LocalFaultKind::kDropConn;
+    } else if (kind == "trunc_frame") {
+      event.kind = LocalFaultKind::kTruncFrame;
     } else {
       return Status::InvalidArgument(
           "unknown local fault kind '" + kind +
           "' (accepted: fail_map, fail_reduce, corrupt_map, delay_map, "
-          "delay_reduce, corrupt_block, torn_write, short_read, eio_prob, "
-          "enospc_after_bytes, map_fail_prob, reduce_fail_prob, crash_at)");
+          "delay_reduce, corrupt_block, torn_write, drop_conn, trunc_frame, "
+          "short_read, eio_prob, enospc_after_bytes, map_fail_prob, "
+          "reduce_fail_prob, slow_peer, crash_at)");
     }
     std::string extra;
     MRMB_RETURN_IF_ERROR(
@@ -415,6 +433,35 @@ bool LocalFaultInjector::MaybeCorruptMapOutput(int task, int attempt,
     corrupted = true;
   }
   return corrupted;
+}
+
+bool LocalFaultInjector::DropConnAt(int map, int64_t fetch_seq) const {
+  for (const LocalFaultEvent& event : plan_.events) {
+    if (event.kind == LocalFaultKind::kDropConn && event.task == map &&
+        static_cast<int64_t>(event.attempt) == fetch_seq) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool LocalFaultInjector::TruncFrameAt(int map, int64_t fetch_seq) const {
+  for (const LocalFaultEvent& event : plan_.events) {
+    if (event.kind == LocalFaultKind::kTruncFrame && event.task == map &&
+        static_cast<int64_t>(event.attempt) == fetch_seq) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int64_t LocalFaultInjector::SlowPeerDelayMs(int map, int64_t fetch_seq) const {
+  if (plan_.slow_peer_prob <= 0) return 0;
+  Rng rng(StreamSeed(seed_, kSlowPeerStream, map,
+                     static_cast<int>(fetch_seq)));
+  // A fixed straggler pause: long enough to dominate a loopback fetch, short
+  // enough that CI fault runs stay fast.
+  return rng.Bernoulli(plan_.slow_peer_prob) ? 25 : 0;
 }
 
 LocalSpillIoHooks::LocalSpillIoHooks(LocalFaultPlan plan, uint64_t seed)

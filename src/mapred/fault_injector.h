@@ -38,6 +38,25 @@
 //   enospc_after_bytes:1048576   extent writes fail with ENOSPC once the
 //                                store has written this many bytes
 //
+// Transport fault family (only fires when the real-socket shuffle is on —
+// JobConf::shuffle_transport = tcp; the inproc data plane has no
+// connections to drop):
+//
+//   drop_conn:2@a=0              the server closes the connection without
+//                                replying on the 1st fetch of map 2's
+//                                output (a = per-map fetch sequence, counted
+//                                across all reducers); the client retries
+//   trunc_frame:1@a=3            the server sends the response header and
+//                                half the body of map 1's 4th fetch, then
+//                                hangs up (a torn frame mid-stream)
+//   slow_peer:0.1                probability any given fetch is delayed by
+//                                a fixed straggler pause on the client side
+//
+// drop_conn / trunc_frame fire exactly once (the retry of the same fetch
+// draws a new sequence number); which reducer's fetch trips them depends on
+// scheduling, but the recovery outcome — and the job's output fingerprint —
+// does not.
+//
 // Crash fault family (only meaningful with the job journal on — see
 // JobConf::journal_enabled; a crash point without a journal would just
 // lose the job):
@@ -75,6 +94,8 @@ enum class LocalFaultKind {
   kDelayReduce,
   kCorruptBlock, // flip bits in one on-disk extent block (spill engine)
   kTornWrite,    // drop the tail of each extent's final block (spill engine)
+  kDropConn,     // server drops the connection on one fetch (tcp transport)
+  kTruncFrame,   // server sends a truncated body then hangs up (tcp)
 };
 
 const char* LocalFaultKindName(LocalFaultKind kind);
@@ -124,13 +145,16 @@ struct LocalFaultPlan {
   double short_read_prob = 0;
   double eio_prob = 0;
   int64_t enospc_after_bytes = -1;  // -1 = disk never fills
+  // Tcp-transport hazard: probability a shuffle fetch is delayed client-side.
+  double slow_peer_prob = 0;
   // Simulated process crashes, anchored to journal events (see above).
   std::vector<CrashPoint> crash_points;
 
   bool empty() const {
     return events.empty() && map_failure_prob == 0 &&
            reduce_failure_prob == 0 && short_read_prob == 0 &&
-           eio_prob == 0 && enospc_after_bytes < 0 && crash_points.empty();
+           eio_prob == 0 && enospc_after_bytes < 0 && slow_peer_prob == 0 &&
+           crash_points.empty();
   }
 
   // True if a crash point matches the (0-based) `occurrence`-th append of
@@ -167,6 +191,15 @@ class LocalFaultInjector {
   // cannot be corrupted).
   bool MaybeCorruptMapOutput(int task, int attempt,
                              SpillSegment* segment) const;
+
+  // Transport fault family (tcp shuffle only). `fetch_seq` is the per-map
+  // fetch sequence number assigned by the shuffle server; scheduled
+  // drop_conn / trunc_frame events fire when it equals the event's attempt.
+  bool DropConnAt(int map, int64_t fetch_seq) const;
+  bool TruncFrameAt(int map, int64_t fetch_seq) const;
+  // Client-side straggler pause for this fetch (0 = none), drawn from the
+  // slow_peer hazard stream keyed by (map, fetch_seq).
+  int64_t SlowPeerDelayMs(int map, int64_t fetch_seq) const;
 
  private:
   bool HazardFires(uint64_t stream, double prob, int task, int attempt) const;

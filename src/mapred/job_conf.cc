@@ -47,6 +47,28 @@ const char* SchedulerKindName(SchedulerKind kind) {
   return "Unknown";
 }
 
+const char* ShuffleTransportName(ShuffleTransport transport) {
+  switch (transport) {
+    case ShuffleTransport::kInproc:
+      return "inproc";
+    case ShuffleTransport::kTcp:
+      return "tcp";
+  }
+  return "Unknown";
+}
+
+Result<ShuffleTransport> ShuffleTransportByName(const std::string& name) {
+  const std::string key = ToLower(name);
+  if (key == "inproc" || key == "inprocess" || key == "local") {
+    return ShuffleTransport::kInproc;
+  }
+  if (key == "tcp" || key == "socket") {
+    return ShuffleTransport::kTcp;
+  }
+  return Status::InvalidArgument("unknown shuffle transport: '" + name +
+                                 "' (accepted: inproc, tcp)");
+}
+
 uint64_t JobConf::Digest() const {
   // FNV-1a over the knobs that shape the job's output bytes (or the on-disk
   // extent format a resume must read back). Deliberately excludes execution
@@ -157,6 +179,10 @@ Status JobConf::Validate() const {
   if (fetch_bandwidth_mbps < 0) {
     return Status::InvalidArgument(
         "fetch_bandwidth_mbps must be >= 0 (0 = infinite)");
+  }
+  if (fetch_parallel_streams < 1 || fetch_parallel_streams > 64) {
+    return Status::InvalidArgument(
+        "fetch_parallel_streams must be in [1, 64]");
   }
   MRMB_RETURN_IF_ERROR(local_fault_plan.Validate());
   if (spill_budget_bytes < -1) {

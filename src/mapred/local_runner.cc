@@ -37,6 +37,8 @@
 #include "mapred/map_output.h"
 #include "mapred/null_formats.h"
 #include "mapred/partitioner.h"
+#include "net/shuffle_transport.h"
+#include "rpc/shuffle_wire.h"
 
 namespace mrmb {
 
@@ -54,6 +56,12 @@ double Seconds(Clock::duration d) {
 // preempted, so map progress is only ever deferred by one short event.
 constexpr int kMapLane = 0;
 constexpr int kShuffleLane = 1;
+
+// Fetch attempts over the tcp transport before declaring the output lost.
+// Transport failures are transient by nature (dropped connection, torn
+// frame); CRC mismatches skip the retries — re-reading corrupt bytes cannot
+// fix them.
+constexpr int kTransportFetchAttempts = 3;
 
 // Prepends attempt context to an error while keeping its code (so callers
 // can still dispatch on kDataLoss / kDeadlineExceeded).
@@ -1014,6 +1022,12 @@ class PipelinedJob {
     }
     slot.committed_gen = slot.target_gen;
     slot.stats = outcome.stats;
+    if (transport_server_ != nullptr) {
+      // Publish before the fetch events fan out (same critical section), so
+      // a fetcher can never race ahead of the server's registration.
+      transport_server_->Publish(m, static_cast<uint32_t>(slot.committed_gen),
+                                 slot.segment, slot.stored);
+    }
     if (!slot.initial_committed) {
       slot.initial_committed = true;
       ++initial_commits_;
@@ -1106,23 +1120,29 @@ class PipelinedJob {
     // the shuffle-wait bucket (lifetime minus busy), not in merge time.
     // fixed latency + on-wire bytes / bandwidth: a compressed partition
     // costs proportionally less wall-clock than its raw form, which is the
-    // end-to-end win the codec knob exists to measure.
-    double transfer_ms = static_cast<double>(conf_.fetch_latency_ms);
-    if (conf_.fetch_bandwidth_mbps > 0) {
-      const double wire_bytes = static_cast<double>(
-          disk != nullptr
-              ? disk->partitions()[static_cast<size_t>(r)].length
-              : segment->partitions[static_cast<size_t>(r)].length);
-      transfer_ms +=
-          wire_bytes / (conf_.fetch_bandwidth_mbps * 1024.0 * 1024.0) * 1e3;
-    }
-    if (transfer_ms > 0) {
-      std::this_thread::sleep_for(
-          std::chrono::duration<double, std::milli>(transfer_ms));
+    // end-to-end win the codec knob exists to measure. The tcp transport
+    // replaces the model with the measured wire, so it never sleeps here.
+    if (transport_client_ == nullptr) {
+      double transfer_ms = static_cast<double>(conf_.fetch_latency_ms);
+      if (conf_.fetch_bandwidth_mbps > 0) {
+        const double wire_bytes = static_cast<double>(
+            disk != nullptr
+                ? disk->partitions()[static_cast<size_t>(r)].length
+                : segment->partitions[static_cast<size_t>(r)].length);
+        transfer_ms +=
+            wire_bytes / (conf_.fetch_bandwidth_mbps * 1024.0 * 1024.0) * 1e3;
+      }
+      if (transfer_ms > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(transfer_ms));
+      }
     }
     const auto t0 = Clock::now();
     const bool stored =
-        VerifyAndStore(r, &rs, m, std::move(segment), std::move(disk), gen);
+        transport_client_ != nullptr
+            ? FetchAndStoreTcp(r, &rs, m, gen)
+            : VerifyAndStore(r, &rs, m, std::move(segment), std::move(disk),
+                             gen);
     if (stored) RunReadyNodes(r, &rs);
     const auto t1 = Clock::now();
     rs.drain_busy_seconds += Seconds(t1 - t0);
@@ -1225,6 +1245,86 @@ class PipelinedJob {
     } else {
       input.view = input.segment->PartitionData(r);
     }
+    return true;
+  }
+
+  // The tcp sibling of VerifyAndStore: fetches map `m`'s partition `r` over
+  // the wire at generation `gen`, verifies it end to end, and stores the
+  // merge-ready bytes. Transport-level failures (dropped connection, torn
+  // header, short body) retry on a fresh connection; CRC mismatches and
+  // undecodable frames are corruption and go straight to the lost-output
+  // path. Returns false when the caller must report the output lost; stale
+  // and not-found refusals also return false, where HandleLostOutput is a
+  // no-op (the slot moved on) and the fresh commit's event re-fetches.
+  bool FetchAndStoreTcp(int r, ReduceShuffle* rs, int m, int gen) {
+    ShuffleFetchResult fetched;
+    for (int attempt = 0;; ++attempt) {
+      Result<ShuffleFetchResult> fetch =
+          transport_client_->Fetch(m, r, static_cast<uint32_t>(gen));
+      if (fetch.ok()) {
+        fetched = std::move(fetch).value();
+        break;
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      if (attempt + 1 >= kTransportFetchAttempts || job_failed_) {
+        return false;  // exhausted: declare the output lost, re-execute
+      }
+      ++result_.transport_retransmits;
+    }
+    if (fetched.status != FetchStatus::kOk) {
+      // kStaleGeneration / kNotFound: the server moved past `gen` (or a
+      // replaced registration raced us). Nothing to store; the commit that
+      // bumped the generation re-publishes and re-enqueues this fetch.
+      // kError (digest mismatch) can only be a wiring bug — treated as a
+      // lost output so the job fails loudly through the attempt budget.
+      return false;
+    }
+    std::string wire;  // partition bytes exactly as sealed (codec frames)
+    if (fetched.encoding == FetchEncoding::kFrameStream) {
+      const Status reassembled = ReassembleFrameStream(fetched.body, &wire);
+      if (!reassembled.ok()) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++result_.corruptions_detected;
+        return false;
+      }
+    } else {
+      wire = std::move(fetched.body);
+    }
+    if (conf_.checksum_map_output) {
+      const bool matches = Crc32c(wire) == fetched.partition_crc;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++result_.crc_verifications;
+        if (!matches) ++result_.corruptions_detected;
+      }
+      if (!matches) return false;
+    }
+    const bool codec_active =
+        conf_.effective_map_output_codec() != MapOutputCodec::kNone;
+    std::string merged_ready;
+    if (codec_active) {
+      const Status decode = BlockDecompress(wire, &merged_ready);
+      if (!decode.ok()) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++result_.corruptions_detected;
+        return false;
+      }
+    } else {
+      merged_ready = std::move(wire);
+    }
+    FetchedInput& input = rs->inputs[static_cast<size_t>(m)];
+    if (input.generation >= 0) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++result_.stale_fetches_invalidated;
+      }
+      DirtyNodesCovering(rs, m);
+    }
+    input.generation = gen;
+    // The fetched copy is self-owned — no segment to pin, wire or not.
+    input.segment.reset();
+    input.decompressed = std::move(merged_ready);
+    input.view = input.decompressed;
     return true;
   }
 
@@ -1584,8 +1684,11 @@ class PipelinedJob {
           gen = slot.committed_gen;
         }
         const auto t0 = Clock::now();
-        const bool stored = VerifyAndStore(r, rs, m, std::move(segment),
-                                           std::move(disk), gen);
+        const bool stored =
+            transport_client_ != nullptr
+                ? FetchAndStoreTcp(r, rs, m, gen)
+                : VerifyAndStore(r, rs, m, std::move(segment),
+                                 std::move(disk), gen);
         AddBusy(t0, Clock::now(), /*merge_bucket=*/true);
         if (stored) break;
         HandleLostOutput(r, m, gen);  // corrupt again; wait for the next gen
@@ -1843,6 +1946,9 @@ class PipelinedJob {
       slot.segment.reset();
       slot.committed_gen = 0;
       slot.target_gen = 0;
+      if (transport_server_ != nullptr) {
+        transport_server_->Publish(m, 0, nullptr, slot.stored);
+      }
       slot.initial_committed = true;
       slot.stats = FromJournalStats(commit.stats);
       ++initial_commits_;
@@ -1871,6 +1977,12 @@ class PipelinedJob {
   // outlive the store.
   std::unique_ptr<SpillIoHooks> spill_hooks_;
   std::unique_ptr<SpillStore> store_;
+
+  // Real-socket shuffle data plane (both null with shuffle_transport =
+  // inproc). Declared after store_: the server pins StoredSpill handles
+  // (plus its own extent fds), so it must tear down before the store does.
+  std::unique_ptr<ShuffleTransportServer> transport_server_;
+  std::unique_ptr<ShuffleTransportClient> transport_client_;
 
   // Crash-safe job state (null/empty when the journal is off).
   std::unique_ptr<JobJournal> journal_;
@@ -1933,6 +2045,39 @@ Status PipelinedJob::Execute(OutputFormat* output_format,
       return Annotate(store.status(), "opening the spill store");
     }
     store_ = std::move(store).value();
+  }
+  if (conf_.shuffle_transport == ShuffleTransport::kTcp) {
+    ShuffleTransportServer::Options server_options;
+    server_options.job_digest = conf_.Digest();
+    // The hook runs on the epoll thread and only touches the (immutable)
+    // injector — it must never take mu_, or Publish-under-mu_ would
+    // deadlock against a concurrent fetch.
+    server_options.fault_hook = [this](int map,
+                                       int64_t fetch_seq) -> TransportFault {
+      if (injector_.DropConnAt(map, fetch_seq)) {
+        return TransportFault::kDropConn;
+      }
+      if (injector_.TruncFrameAt(map, fetch_seq)) {
+        return TransportFault::kTruncFrame;
+      }
+      return TransportFault::kNone;
+    };
+    Result<std::unique_ptr<ShuffleTransportServer>> server =
+        ShuffleTransportServer::Start(server_options);
+    if (!server.ok()) {
+      return Annotate(server.status(), "starting the shuffle transport");
+    }
+    transport_server_ = std::move(server).value();
+    ShuffleTransportClient::Options client_options;
+    client_options.job_digest = conf_.Digest();
+    client_options.port = transport_server_->port();
+    client_options.parallel_streams = conf_.fetch_parallel_streams;
+    client_options.delay_ms_hook = [this](int map, int64_t fetch_seq) {
+      return injector_.SlowPeerDelayMs(map, fetch_seq);
+    };
+    transport_client_ =
+        std::make_unique<ShuffleTransportClient>(client_options);
+    result_.transport_enabled = true;
   }
   bool crashed_at_start = false;
   if (journal_ != nullptr) {
@@ -2003,6 +2148,23 @@ Status PipelinedJob::Execute(OutputFormat* output_format,
         lookups > 0 ? static_cast<double>(ss.cache_hits) /
                           static_cast<double>(lookups)
                     : 0.0;
+  }
+  if (transport_client_ != nullptr) {
+    // All fetch traffic is done (the pool drained above); snapshot the data
+    // plane's counters, then tear it down before the store goes away.
+    const ShuffleClientStats client_stats = transport_client_->stats();
+    result->transport_fetch_rpcs = client_stats.fetches;
+    result->transport_wire_bytes = client_stats.wire_bytes;
+    result->transport_reconnects = client_stats.reconnects;
+    result->transport_fetch_mean_ms = client_stats.fetch_mean_ms;
+    result->transport_fetch_p99_ms = client_stats.fetch_p99_ms;
+    const ShuffleServerStats server_stats = transport_server_->stats();
+    result->transport_stale_refusals =
+        server_stats.stale_refused + server_stats.not_found;
+    result->transport_ram_serves = server_stats.ram_serves;
+    result->transport_file_serves = server_stats.file_serves;
+    transport_client_.reset();
+    transport_server_.reset();
   }
   result->map_output_compression_ratio =
       result->map_output_bytes > 0

@@ -128,6 +128,31 @@ struct LocalJobResult {
   // one directly and never counts here.
   int64_t stale_fetches_invalidated = 0;
 
+  // ---- Real-socket shuffle transport (all 0 with shuffle_transport =
+  // inproc) -------------------------------------------------------------
+  // True when the shuffle ran over the loopback TCP data plane; gates the
+  // report section.
+  bool transport_enabled = false;
+  // Fetch RPCs the client issued (including retries) and response bytes
+  // that crossed the wire (headers + bodies).
+  int64_t transport_fetch_rpcs = 0;
+  int64_t transport_wire_bytes = 0;
+  // Fetches re-issued after a transport-level failure (dropped connection,
+  // torn frame, short body).
+  int64_t transport_retransmits = 0;
+  // Replacement connections dialed after a stream died mid-fetch.
+  int64_t transport_reconnects = 0;
+  // Server-side refusals: generation mismatch (re-executed map) and
+  // not-yet-published map output.
+  int64_t transport_stale_refusals = 0;
+  // Zero-copy serve taxonomy: writev from the sealed RAM segment vs
+  // sendfile straight from a durable extent file.
+  int64_t transport_ram_serves = 0;
+  int64_t transport_file_serves = 0;
+  // Client-observed fetch latency (request write to last body byte).
+  double transport_fetch_mean_ms = 0;
+  double transport_fetch_p99_ms = 0;
+
   // ---- Crash-safe jobs (journal/resume; zero when the journal is off) --
   // True when the run wrote a write-ahead job journal (job_journal/resume).
   bool journal_enabled = false;

@@ -59,6 +59,8 @@ JobConf BenchmarkOptions::ToJobConf() const {
   conf.merge_factor = merge_factor;
   conf.fetch_latency_ms = fetch_latency_ms;
   conf.fetch_bandwidth_mbps = fetch_bandwidth_mbps;
+  conf.shuffle_transport = shuffle_transport;
+  conf.fetch_parallel_streams = fetch_parallel_streams;
   conf.local_fault_plan = local_fault_plan;
   conf.spill_dir = spill_dir;
   conf.spill_budget_bytes = spill_budget_bytes;

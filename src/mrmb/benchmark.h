@@ -109,6 +109,10 @@ struct BenchmarkOptions {
   // Simulated shuffle bandwidth in MB/s: adds on_wire_bytes / bandwidth to
   // each fetch on top of fetch_latency_ms. 0 = infinite bandwidth.
   double fetch_bandwidth_mbps = 0;
+  // Shuffle data plane: in-process handoff (default) or real loopback TCP
+  // with `fetch_parallel_streams` concurrent connections per job.
+  ShuffleTransport shuffle_transport = ShuffleTransport::kInproc;
+  int fetch_parallel_streams = 4;
   LocalFaultPlan local_fault_plan;
   // ---- Disk spill engine (see JobConf for semantics) ------------------
   // Engine turns on when spill_dir is set or spill_budget_bytes >= 0.

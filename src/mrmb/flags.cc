@@ -153,6 +153,17 @@ Status ApplyFaultToleranceFlags(const Flags& flags,
       options->fetch_bandwidth_mbps,
       flags.GetDouble("fetch-bandwidth-mbps", options->fetch_bandwidth_mbps));
   MRMB_ASSIGN_OR_RETURN(
+      const std::string transport_name,
+      flags.GetString("shuffle-transport",
+                      ShuffleTransportName(options->shuffle_transport)));
+  MRMB_ASSIGN_OR_RETURN(options->shuffle_transport,
+                        ShuffleTransportByName(transport_name));
+  MRMB_ASSIGN_OR_RETURN(
+      const int64_t parallel_streams,
+      flags.GetInt("fetch-parallel-streams",
+                   options->fetch_parallel_streams));
+  options->fetch_parallel_streams = static_cast<int>(parallel_streams);
+  MRMB_ASSIGN_OR_RETURN(
       const std::string codec_name,
       flags.GetString("map-output-codec",
                       MapOutputCodecName(options->map_output_codec)));
@@ -228,6 +239,14 @@ const char* FaultToleranceFlagsHelp() {
       "  --map-output-codec=C      compress map output partitions with C\n"
       "                            (none | lz4 | deflate; default none).\n"
       "                            Replaces the deprecated --compress bool\n"
+      "  --shuffle-transport=T     shuffle data plane: inproc (pointer\n"
+      "                            handoff + simulated transfer cost,\n"
+      "                            default) or tcp (real loopback sockets,\n"
+      "                            epoll server, zero-copy extent serving;\n"
+      "                            output is byte-identical)\n"
+      "  --fetch-parallel-streams=N\n"
+      "                            concurrent fetch connections of the tcp\n"
+      "                            transport's client (1-64; default 4)\n"
       "  --local-fault-plan=SPEC   local-runner fault events, e.g.\n"
       "                            \"fail_map:3@a=0;corrupt_map:2@a=0,p=1;"
       "delay_map:0@a=0,ms=500\";\n"
@@ -235,7 +254,10 @@ const char* FaultToleranceFlagsHelp() {
       "                            \"corrupt_block:T@a=A,b=B[,n=N];"
       "torn_write:T@a=A;\n"
       "                            short_read:P;eio_prob:P;"
-      "enospc_after_bytes:N\"\n"
+      "enospc_after_bytes:N\";\n"
+      "                            transport faults (tcp shuffle only):\n"
+      "                            \"drop_conn:T@a=A;trunc_frame:T@a=A;"
+      "slow_peer:P\"\n"
       "  --spill-dir=PATH          back map output with extent files under\n"
       "                            PATH (empty = RAM unless a budget is set)\n"
       "  --spill-budget-bytes=N    resident sealed-spill bytes per map before\n"

@@ -225,6 +225,31 @@ void PrintLocalJobReport(const BenchmarkOptions& options,
                        static_cast<long long>(
                            result.stale_fetches_invalidated));
   }
+  if (result.transport_enabled) {
+    os << "--- shuffle transport (tcp) -----------------------------------"
+          "----\n";
+    os << StringPrintf("Fetch RPCs           : %lld (%lld retransmitted)\n",
+                       static_cast<long long>(result.transport_fetch_rpcs),
+                       static_cast<long long>(result.transport_retransmits));
+    os << StringPrintf("Wire bytes           : %lld\n",
+                       static_cast<long long>(result.transport_wire_bytes));
+    os << StringPrintf("Serves               : %lld writev (RAM) / %lld "
+                       "sendfile (extent)\n",
+                       static_cast<long long>(result.transport_ram_serves),
+                       static_cast<long long>(result.transport_file_serves));
+    if (result.transport_stale_refusals > 0) {
+      os << StringPrintf("Stale refusals       : %lld\n",
+                         static_cast<long long>(
+                             result.transport_stale_refusals));
+    }
+    if (result.transport_reconnects > 0) {
+      os << StringPrintf("Reconnects           : %lld\n",
+                         static_cast<long long>(result.transport_reconnects));
+    }
+    os << StringPrintf("Fetch latency        : %.3f ms mean / %.3f ms p99\n",
+                       result.transport_fetch_mean_ms,
+                       result.transport_fetch_p99_ms);
+  }
   os << "================================================================="
         "====\n";
 }

@@ -22,8 +22,8 @@ const char* const kKnownKeys[] = {
     // Functional (local) runner.
     "local-threads", "sort-threads", "task-timeout-ms", "checksum",
     "reduce-slowstart", "merge-factor", "fetch-latency-ms",
-    "fetch-bandwidth-mbps", "map-output-codec",
-    "local-fault-plan",
+    "fetch-bandwidth-mbps", "map-output-codec", "shuffle-transport",
+    "fetch-parallel-streams", "local-fault-plan",
     // Disk spill engine.
     "spill-dir", "spill-budget-bytes", "spill-cache-bytes",
     "spill-block-bytes", "spill-scrub", "spill-mmap",
@@ -330,6 +330,23 @@ Result<ResolvedSection> ResolveSection(const SuiteSection& section) {
     }
     base.map_output_codec = *codec;
   }
+  {
+    MRMB_ASSIGN_OR_RETURN(
+        const std::string transport_name,
+        SingleValue(section, "shuffle-transport",
+                    ShuffleTransportName(base.shuffle_transport)));
+    Result<ShuffleTransport> transport =
+        ShuffleTransportByName(transport_name);
+    if (!transport.ok()) {
+      return Status::InvalidArgument("[" + section.name +
+                                     "] bad shuffle-transport: '" +
+                                     transport_name + "'");
+    }
+    base.shuffle_transport = *transport;
+  }
+  MRMB_RETURN_IF_ERROR(int_value("fetch-parallel-streams",
+                                 base.fetch_parallel_streams,
+                                 &base.fetch_parallel_streams));
   if (auto it = section.entries.find("local-fault-plan");
       it != section.entries.end()) {
     // Comma-carrying tokens (corrupt_map's ",p=" / delay's ",ms=") were

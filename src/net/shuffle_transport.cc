@@ -1,0 +1,718 @@
+#include "net/shuffle_transport.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/sendfile.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace mrmb {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IOError(std::string(what) + ": " +
+                         std::strerror(errno));
+}
+
+bool SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Reads exactly `len` bytes from a blocking socket. Returns false on EOF
+// or error (torn read / connection reset).
+bool RecvAll(int fd, char* buf, size_t len) {
+  size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::recv(fd, buf + got, len - got, 0);
+    if (n <= 0) {
+      if (n < 0 && (errno == EINTR)) continue;
+      return false;
+    }
+    got += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool SendAll(int fd, const char* buf, size_t len) {
+  size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd, buf + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+// ---- Server ---------------------------------------------------------------
+
+struct ShuffleTransportServer::Connection {
+  int fd = -1;
+  std::string in;  // buffered request bytes
+  // Pending response: `head` always carries the encoded header (plus the
+  // whole body for truncated-fault responses); the body is either a view
+  // into an anchored segment or a byte range of an extent file.
+  std::string head;
+  size_t head_sent = 0;
+  std::string_view body;  // RAM body (valid while anchors live)
+  size_t body_sent = 0;
+  std::shared_ptr<const SpillSegment> segment_anchor;
+  std::shared_ptr<const StoredSpill> disk_anchor;
+  int file_fd = -1;        // not owned; dup held by the registration
+  off_t file_off = 0;
+  int64_t file_remaining = 0;
+  bool writing = false;
+  bool close_after_write = false;
+};
+
+Result<std::unique_ptr<ShuffleTransportServer>> ShuffleTransportServer::Start(
+    const Options& options) {
+  std::unique_ptr<ShuffleTransportServer> server(new ShuffleTransportServer());
+  server->options_ = options;
+
+  server->listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (server->listen_fd_ < 0) return Errno("socket");
+  int one = 1;
+  ::setsockopt(server->listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+               sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral
+  if (::bind(server->listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return Errno("bind");
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(server->listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) != 0) {
+    return Errno("getsockname");
+  }
+  server->port_ = ntohs(addr.sin_port);
+  if (::listen(server->listen_fd_, 128) != 0) return Errno("listen");
+  if (!SetNonBlocking(server->listen_fd_)) return Errno("fcntl");
+
+  server->epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (server->epoll_fd_ < 0) return Errno("epoll_create1");
+  server->wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (server->wake_fd_ < 0) return Errno("eventfd");
+
+  epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = EPOLLIN;
+  ev.data.fd = server->listen_fd_;
+  if (::epoll_ctl(server->epoll_fd_, EPOLL_CTL_ADD, server->listen_fd_,
+                  &ev) != 0) {
+    return Errno("epoll_ctl(listen)");
+  }
+  ev.data.fd = server->wake_fd_;
+  if (::epoll_ctl(server->epoll_fd_, EPOLL_CTL_ADD, server->wake_fd_, &ev) !=
+      0) {
+    return Errno("epoll_ctl(wake)");
+  }
+
+  server->thread_ = std::thread([raw = server.get()] { raw->Run(); });
+  return server;
+}
+
+ShuffleTransportServer::~ShuffleTransportServer() {
+  stopping_.store(true);
+  if (wake_fd_ >= 0) {
+    const uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  }
+  if (thread_.joinable()) thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [fd, conn] : conns_) ::close(fd);
+    conns_.clear();
+    for (auto& [map, reg] : outputs_) {
+      if (reg.fd >= 0) ::close(reg.fd);
+    }
+    outputs_.clear();
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+}
+
+void ShuffleTransportServer::Publish(
+    int map, uint32_t generation, std::shared_ptr<const SpillSegment> segment,
+    std::shared_ptr<const StoredSpill> disk) {
+  int extent_fd = -1;
+  if (disk != nullptr) {
+    // The handle's own fd is private; the server keeps its own descriptor
+    // for sendfile so reads never race handle teardown.
+    extent_fd = ::open(disk->path().c_str(), O_RDONLY | O_CLOEXEC);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  Registration& reg = outputs_[map];
+  if (reg.fd >= 0) ::close(reg.fd);
+  reg.generation = generation;
+  reg.segment = std::move(segment);
+  reg.disk = std::move(disk);
+  reg.fd = extent_fd;
+}
+
+ShuffleServerStats ShuffleTransportServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void ShuffleTransportServer::Run() {
+  epoll_event events[64];
+  while (!stopping_.load()) {
+    const int n = ::epoll_wait(epoll_fd_, events, 64, 500);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        uint64_t drain = 0;
+        [[maybe_unused]] const ssize_t r =
+            ::read(wake_fd_, &drain, sizeof(drain));
+        continue;
+      }
+      if (fd == listen_fd_) {
+        while (true) {
+          const int client = ::accept(listen_fd_, nullptr, nullptr);
+          if (client < 0) break;
+          SetNonBlocking(client);
+          SetNoDelay(client);
+          auto conn = std::make_unique<Connection>();
+          conn->fd = client;
+          epoll_event ev;
+          std::memset(&ev, 0, sizeof(ev));
+          ev.events = EPOLLIN;
+          ev.data.fd = client;
+          if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, client, &ev) != 0) {
+            ::close(client);
+            continue;
+          }
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.accepted_connections;
+          conns_[client] = std::move(conn);
+        }
+        continue;
+      }
+      Connection* conn = nullptr;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = conns_.find(fd);
+        if (it != conns_.end()) conn = it->second.get();
+      }
+      if (conn == nullptr) continue;
+      if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+        CloseConnection(conn);
+        continue;
+      }
+      if (events[i].events & EPOLLOUT) HandleWritable(conn);
+      if (events[i].events & EPOLLIN) HandleReadable(conn);
+    }
+  }
+}
+
+void ShuffleTransportServer::CloseConnection(Connection* conn) {
+  const int fd = conn->fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(mu_);
+  conns_.erase(fd);
+}
+
+void ShuffleTransportServer::HandleReadable(Connection* conn) {
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn->in.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {  // peer closed
+      CloseConnection(conn);
+      return;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    CloseConnection(conn);
+    return;
+  }
+  // One request in flight per connection: the client is strictly
+  // request/response, so further buffered bytes wait for the reply drain.
+  while (!conn->writing && conn->in.size() >= kShuffleRequestSize) {
+    ShuffleFetchRequest request;
+    const Status status = DecodeShuffleRequest(
+        std::string_view(conn->in).substr(0, kShuffleRequestSize), &request);
+    conn->in.erase(0, kShuffleRequestSize);
+    if (!status.ok()) {  // protocol garbage: drop the connection
+      CloseConnection(conn);
+      return;
+    }
+    if (!BuildResponse(conn, request)) return;  // dropped by fault injection
+    if (!FlushOutput(conn)) return;
+  }
+}
+
+void ShuffleTransportServer::HandleWritable(Connection* conn) {
+  if (!FlushOutput(conn)) return;
+  // The reply drained; any pipelined request buffered meanwhile runs now.
+  if (!conn->writing && !conn->in.empty()) HandleReadable(conn);
+}
+
+// Returns false when the connection was torn down (drop_conn injection);
+// the Connection object is destroyed and must not be touched again.
+bool ShuffleTransportServer::BuildResponse(
+    Connection* conn, const ShuffleFetchRequest& request) {
+  ShuffleFetchResponseHeader header;
+  TransportFault fault = TransportFault::kNone;
+  std::shared_ptr<const SpillSegment> segment;
+  std::shared_ptr<const StoredSpill> disk;
+  int file_fd = -1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const int64_t seq = fetch_seq_[request.map]++;
+    if (options_.fault_hook) {
+      fault = options_.fault_hook(request.map, seq);
+      if (fault != TransportFault::kNone) ++stats_.faults_injected;
+    }
+    auto it = outputs_.find(request.map);
+    if (request.job_digest != options_.job_digest) {
+      header.status = FetchStatus::kError;
+    } else if (it == outputs_.end()) {
+      header.status = FetchStatus::kNotFound;
+      ++stats_.not_found;
+    } else if (it->second.generation != request.generation) {
+      header.status = FetchStatus::kStaleGeneration;
+      header.generation = it->second.generation;
+      ++stats_.stale_refused;
+    } else {
+      segment = it->second.segment;
+      disk = it->second.disk;
+      file_fd = it->second.fd;
+      header.generation = it->second.generation;
+    }
+  }
+  if (fault == TransportFault::kDropConn) {
+    CloseConnection(conn);
+    return false;
+  }
+
+  conn->head.clear();
+  conn->head_sent = 0;
+  conn->body = {};
+  conn->body_sent = 0;
+  conn->segment_anchor.reset();
+  conn->disk_anchor.reset();
+  conn->file_fd = -1;
+  conn->file_off = 0;
+  conn->file_remaining = 0;
+  conn->close_after_write = false;
+
+  if (header.status != FetchStatus::kOk) {
+    EncodeShuffleResponseHeader(header, &conn->head);
+    conn->writing = true;
+    return true;
+  }
+
+  const int r = request.partition;
+  if (disk != nullptr && file_fd >= 0) {
+    // Durable extent: ship the partition's contiguous frame byte range —
+    // [first frame's length prefix, end of last frame) — untouched.
+    const auto& ranges = disk->partitions();
+    if (r < 0 || static_cast<size_t>(r) >= ranges.size()) {
+      header.status = FetchStatus::kError;
+      EncodeShuffleResponseHeader(header, &conn->head);
+      conn->writing = true;
+      return true;
+    }
+    const SpillSegment::PartitionRange& range = ranges[r];
+    int64_t begin = -1, end = -1;
+    for (const StoredSpill::BlockRef& block : disk->blocks()) {
+      if (block.partition != r) continue;
+      const int64_t prefix_at = block.file_offset - 4;
+      if (begin < 0 || prefix_at < begin) begin = prefix_at;
+      end = std::max(end, block.file_offset + block.frame_len);
+    }
+    header.raw_len = range.raw_bytes();
+    header.partition_crc = range.crc;
+    header.records = range.records;
+    header.encoding = FetchEncoding::kFrameStream;
+    header.body_len = begin < 0 ? 0 : end - begin;
+    EncodeShuffleResponseHeader(header, &conn->head);
+    if (fault == TransportFault::kTruncFrame && header.body_len > 0) {
+      // Materialize half the body after the header, then hang up: the
+      // client sees a short read mid-frame-stream.
+      const int64_t trunc = std::max<int64_t>(1, header.body_len / 2);
+      std::string part(static_cast<size_t>(trunc), '\0');
+      const ssize_t got = ::pread(file_fd, part.data(), part.size(),
+                                  static_cast<off_t>(begin));
+      part.resize(got > 0 ? static_cast<size_t>(got) : 0);
+      conn->head += part;
+      conn->close_after_write = true;
+    } else if (header.body_len > 0) {
+      conn->disk_anchor = std::move(disk);
+      conn->file_fd = file_fd;
+      conn->file_off = static_cast<off_t>(begin);
+      conn->file_remaining = header.body_len;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.file_serves;
+  } else if (segment != nullptr) {
+    const auto& ranges = segment->partitions;
+    if (r < 0 || static_cast<size_t>(r) >= ranges.size()) {
+      header.status = FetchStatus::kError;
+      EncodeShuffleResponseHeader(header, &conn->head);
+      conn->writing = true;
+      return true;
+    }
+    const SpillSegment::PartitionRange& range = ranges[r];
+    const std::string_view body = segment->PartitionData(r);
+    header.raw_len = range.raw_bytes();
+    header.partition_crc = range.crc;
+    header.records = range.records;
+    header.encoding = FetchEncoding::kPartitionBytes;
+    header.body_len = static_cast<int64_t>(body.size());
+    EncodeShuffleResponseHeader(header, &conn->head);
+    if (fault == TransportFault::kTruncFrame && !body.empty()) {
+      conn->head.append(body.substr(0, std::max<size_t>(1, body.size() / 2)));
+      conn->close_after_write = true;
+    } else {
+      conn->segment_anchor = std::move(segment);
+      conn->body = conn->segment_anchor->PartitionData(r);
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.ram_serves;
+  } else {
+    header.status = FetchStatus::kError;
+    EncodeShuffleResponseHeader(header, &conn->head);
+  }
+  conn->writing = true;
+  return true;
+}
+
+// Drains as much pending output as the socket accepts. Returns false when
+// the connection was torn down (error or deliberate post-truncation close).
+bool ShuffleTransportServer::FlushOutput(Connection* conn) {
+  int64_t written_now = 0;
+  bool blocked = false;
+  while (true) {
+    if (conn->head_sent < conn->head.size()) {
+      // Coalesce the header with a RAM body in one writev.
+      iovec iov[2];
+      iov[0].iov_base =
+          const_cast<char*>(conn->head.data()) + conn->head_sent;
+      iov[0].iov_len = conn->head.size() - conn->head_sent;
+      int iovcnt = 1;
+      if (conn->body_sent < conn->body.size()) {
+        iov[1].iov_base =
+            const_cast<char*>(conn->body.data()) + conn->body_sent;
+        iov[1].iov_len = conn->body.size() - conn->body_sent;
+        iovcnt = 2;
+      }
+      const ssize_t n = ::writev(conn->fd, iov, iovcnt);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          blocked = true;
+          break;
+        }
+        CloseConnection(conn);
+        return false;
+      }
+      written_now += n;
+      size_t left = static_cast<size_t>(n);
+      const size_t head_room = conn->head.size() - conn->head_sent;
+      const size_t head_take = std::min(left, head_room);
+      conn->head_sent += head_take;
+      conn->body_sent += left - head_take;
+      continue;
+    }
+    if (conn->body_sent < conn->body.size()) {
+      const ssize_t n =
+          ::send(conn->fd, conn->body.data() + conn->body_sent,
+                 conn->body.size() - conn->body_sent, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          blocked = true;
+          break;
+        }
+        CloseConnection(conn);
+        return false;
+      }
+      written_now += n;
+      conn->body_sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (conn->file_remaining > 0) {
+      ssize_t n = ::sendfile(conn->fd, conn->file_fd, &conn->file_off,
+                             static_cast<size_t>(std::min<int64_t>(
+                                 conn->file_remaining, 1 << 20)));
+      if (n < 0 && (errno == EINVAL || errno == ENOSYS)) {
+        // Filesystem without sendfile support: pread + send the same range.
+        char buf[64 << 10];
+        const size_t want = static_cast<size_t>(
+            std::min<int64_t>(conn->file_remaining,
+                              static_cast<int64_t>(sizeof(buf))));
+        const ssize_t got = ::pread(conn->file_fd, buf, want, conn->file_off);
+        if (got <= 0) {
+          CloseConnection(conn);
+          return false;
+        }
+        n = ::send(conn->fd, buf, static_cast<size_t>(got), MSG_NOSIGNAL);
+        if (n > 0) conn->file_off += n;
+      }
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          blocked = true;
+          break;
+        }
+        CloseConnection(conn);
+        return false;
+      }
+      written_now += n;
+      conn->file_remaining -= n;
+      continue;
+    }
+    break;  // everything drained
+  }
+
+  const bool done = conn->head_sent == conn->head.size() &&
+                    conn->body_sent == conn->body.size() &&
+                    conn->file_remaining == 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.bytes_sent += written_now;
+    if (done && conn->writing) ++stats_.fetches_served;
+  }
+  if (done) {
+    conn->writing = false;
+    conn->segment_anchor.reset();
+    conn->disk_anchor.reset();
+    conn->body = {};
+    conn->head.clear();
+    conn->head_sent = 0;
+    conn->body_sent = 0;
+    if (conn->close_after_write) {
+      CloseConnection(conn);
+      return false;
+    }
+  }
+  epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = blocked ? (EPOLLIN | EPOLLOUT) : EPOLLIN;
+  ev.data.fd = conn->fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+  return true;
+}
+
+// ---- Client ---------------------------------------------------------------
+
+ShuffleTransportClient::ShuffleTransportClient(const Options& options)
+    : options_(options) {}
+
+ShuffleTransportClient::~ShuffleTransportClient() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int fd : idle_fds_) ::close(fd);
+  idle_fds_.clear();
+}
+
+int ShuffleTransportClient::AcquireConnection() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] {
+    return !idle_fds_.empty() || open_streams_ < options_.parallel_streams;
+  });
+  if (!idle_fds_.empty()) {
+    const int fd = idle_fds_.back();
+    idle_fds_.pop_back();
+    return fd;
+  }
+  ++open_streams_;
+  ++stats_.connections;
+  if (broken_streams_ > 0) {
+    // This connect replaces one that died mid-fetch.
+    --broken_streams_;
+    ++stats_.reconnects;
+  }
+  lock.unlock();
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::lock_guard<std::mutex> relock(mu_);
+    --open_streams_;
+    cv_.notify_one();
+    return -1;
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    std::lock_guard<std::mutex> relock(mu_);
+    --open_streams_;
+    cv_.notify_one();
+    return -1;
+  }
+  SetNoDelay(fd);
+  return fd;
+}
+
+void ShuffleTransportClient::ReleaseConnection(int fd, bool healthy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (healthy) {
+    idle_fds_.push_back(fd);
+  } else {
+    ::close(fd);
+    --open_streams_;
+    ++broken_streams_;
+  }
+  cv_.notify_one();
+}
+
+void ShuffleTransportClient::ReserveInflight(int64_t bytes) {
+  const int64_t want = std::min(bytes, options_.max_inflight_bytes);
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] {
+    return inflight_bytes_ == 0 ||
+           inflight_bytes_ + want <= options_.max_inflight_bytes;
+  });
+  inflight_bytes_ += want;
+}
+
+void ShuffleTransportClient::ReleaseInflight(int64_t bytes) {
+  const int64_t taken = std::min(bytes, options_.max_inflight_bytes);
+  std::lock_guard<std::mutex> lock(mu_);
+  inflight_bytes_ -= taken;
+  cv_.notify_all();
+}
+
+Result<ShuffleFetchResult> ShuffleTransportClient::Fetch(int map,
+                                                         int partition,
+                                                         uint32_t generation) {
+  if (options_.delay_ms_hook) {
+    int64_t seq;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      seq = fetch_seq_[map]++;
+    }
+    const int64_t delay = options_.delay_ms_hook(map, seq);
+    if (delay > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    }
+  }
+  const double start_ms = NowMs();
+  const int fd = AcquireConnection();
+  if (fd < 0) return Status::IOError("shuffle fetch: connect failed");
+
+  ShuffleFetchRequest request;
+  request.job_digest = options_.job_digest;
+  request.map = map;
+  request.partition = partition;
+  request.generation = generation;
+  std::string wire;
+  EncodeShuffleRequest(request, &wire);
+  if (!SendAll(fd, wire.data(), wire.size())) {
+    ReleaseConnection(fd, false);
+    return Status::IOError("shuffle fetch: send failed");
+  }
+
+  char head[kShuffleResponseHeaderSize];
+  if (!RecvAll(fd, head, sizeof(head))) {
+    ReleaseConnection(fd, false);
+    return Status::IOError("shuffle fetch: torn response header");
+  }
+  ShuffleFetchResponseHeader header;
+  const Status decoded = DecodeShuffleResponseHeader(
+      std::string_view(head, sizeof(head)), &header);
+  if (!decoded.ok()) {
+    ReleaseConnection(fd, false);
+    return Status::IOError("shuffle fetch: bad response header: " +
+                           decoded.message());
+  }
+
+  ShuffleFetchResult result;
+  result.status = header.status;
+  result.generation = header.generation;
+  result.raw_len = header.raw_len;
+  result.partition_crc = header.partition_crc;
+  result.records = header.records;
+  result.encoding = header.encoding;
+  if (header.body_len > 0) {
+    ReserveInflight(header.body_len);
+    result.body.resize(static_cast<size_t>(header.body_len));
+    const bool ok = RecvAll(fd, result.body.data(), result.body.size());
+    ReleaseInflight(header.body_len);
+    if (!ok) {
+      ReleaseConnection(fd, false);
+      return Status::IOError("shuffle fetch: short body (" +
+                             std::to_string(header.body_len) +
+                             " bytes expected)");
+    }
+  }
+  ReleaseConnection(fd, true);
+
+  result.wire_bytes =
+      static_cast<int64_t>(kShuffleResponseHeaderSize) + header.body_len;
+  result.latency_ms = NowMs() - start_ms;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.fetches;
+    stats_.wire_bytes += result.wire_bytes;
+    latencies_ms_.push_back(result.latency_ms);
+  }
+  return result;
+}
+
+ShuffleClientStats ShuffleTransportClient::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ShuffleClientStats out = stats_;
+  if (!latencies_ms_.empty()) {
+    std::vector<double> sorted = latencies_ms_;
+    std::sort(sorted.begin(), sorted.end());
+    double sum = 0;
+    for (double v : sorted) sum += v;
+    out.fetch_mean_ms = sum / static_cast<double>(sorted.size());
+    const size_t p99 =
+        std::min(sorted.size() - 1,
+                 static_cast<size_t>(0.99 * static_cast<double>(sorted.size())));
+    out.fetch_p99_ms = sorted[p99];
+  }
+  return out;
+}
+
+}  // namespace mrmb

@@ -1,0 +1,208 @@
+// Real-socket shuffle data plane: an epoll-based TCP server serving sealed
+// map-output partitions and a multiplexing fetch client.
+//
+// The functional engine's default shuffle moves bytes by pointer inside the
+// process and prices transfers with a hand-set latency/bandwidth model. With
+// JobConf.shuffle_transport = kTcp the LocalJobRunner instead publishes each
+// committed map output to a ShuffleTransportServer listening on loopback and
+// fetches every partition through a ShuffleTransportClient over real TCP —
+// the paper's measured-network posture, byte-identical output guaranteed by
+// the same CRC-sealed partition contract.
+//
+// Zero-copy serving. The server never re-frames or re-checksums sealed
+// bytes on the hot path:
+//   - RAM-resident segments: one writev of [response header | the sealed
+//     partition bytes SpillSegment::PartitionData returns], anchored by a
+//     shared_ptr so the view outlives the write.
+//   - Durable extents: the partition's contiguous on-disk byte range —
+//     length-prefixed block-codec frames exactly as StoredSpill wrote them —
+//     is shipped with sendfile(2) (pread+write fallback) straight from the
+//     extent file. The client reassembles and CRC-verifies each frame with
+//     BlockDecompress, so integrity checking rides the existing per-frame
+//     checksums at the receiving end.
+//
+// Error mapping. Socket errors, torn length prefixes, and short bodies
+// surface as kIOError (the runner's retry-then-re-execute machinery);
+// frame/partition CRC mismatches surface as kDataLoss (counted as
+// corruption, triggering generation-tracked map re-execution); a stale
+// generation is a clean kStaleGeneration reply, not an error.
+//
+// Threading. The server runs one epoll thread; Publish may be called from
+// any task thread. The client is thread-safe: concurrent Fetch calls
+// multiplex over at most `parallel_streams` persistent connections with a
+// byte-budgeted admission gate bounding in-flight body bytes.
+
+#ifndef MRMB_NET_SHUFFLE_TRANSPORT_H_
+#define MRMB_NET_SHUFFLE_TRANSPORT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "io/kv_buffer.h"
+#include "io/spill_store.h"
+#include "rpc/shuffle_wire.h"
+
+namespace mrmb {
+
+// Transport-level faults a server-side hook can inject on a fetch.
+enum class TransportFault {
+  kNone,
+  kDropConn,    // close the connection before any response bytes
+  kTruncFrame,  // send the header and a truncated body, then close
+};
+
+struct ShuffleServerStats {
+  int64_t fetches_served = 0;
+  int64_t bytes_sent = 0;  // header + body bytes actually written
+  int64_t ram_serves = 0;
+  int64_t file_serves = 0;
+  int64_t stale_refused = 0;
+  int64_t not_found = 0;
+  int64_t faults_injected = 0;
+  int64_t accepted_connections = 0;
+};
+
+class ShuffleTransportServer {
+ public:
+  struct Options {
+    uint64_t job_digest = 0;
+    // Consulted once per fetch with (map, per-map fetch sequence number);
+    // lets the fault injector fire drop_conn / trunc_frame exactly once at
+    // a planned attempt. Must be thread-compatible with the epoll thread.
+    std::function<TransportFault(int map, int64_t fetch_seq)> fault_hook;
+  };
+
+  // Binds a nonblocking listener on 127.0.0.1 (ephemeral port) and starts
+  // the epoll thread.
+  static Result<std::unique_ptr<ShuffleTransportServer>> Start(
+      const Options& options);
+  ~ShuffleTransportServer();
+  ShuffleTransportServer(const ShuffleTransportServer&) = delete;
+  ShuffleTransportServer& operator=(const ShuffleTransportServer&) = delete;
+
+  // Registers (or, on re-execution, replaces) the committed output of
+  // `map` at `generation`. Exactly one of segment/disk is the backing:
+  // `disk` wins when both are set (the runner keeps both for durable
+  // outputs). Fetches for any other generation get kStaleGeneration.
+  void Publish(int map, uint32_t generation,
+               std::shared_ptr<const SpillSegment> segment,
+               std::shared_ptr<const StoredSpill> disk);
+
+  int port() const { return port_; }
+  ShuffleServerStats stats() const;
+
+ private:
+  struct Registration {
+    uint32_t generation = 0;
+    std::shared_ptr<const SpillSegment> segment;
+    std::shared_ptr<const StoredSpill> disk;
+    int fd = -1;  // dup of the extent file when disk-backed
+  };
+  struct Connection;
+
+  ShuffleTransportServer() = default;
+  void Run();
+  void HandleReadable(Connection* conn);
+  void HandleWritable(Connection* conn);
+  // Returns false when the connection was torn down by a fault injection.
+  bool BuildResponse(Connection* conn, const ShuffleFetchRequest& request);
+  void CloseConnection(Connection* conn);
+  bool FlushOutput(Connection* conn);  // false when the connection died
+
+  Options options_;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  int port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+
+  mutable std::mutex mu_;
+  std::unordered_map<int, Registration> outputs_;        // by map id
+  std::unordered_map<int, std::int64_t> fetch_seq_;      // per-map counter
+  std::unordered_map<int, std::unique_ptr<Connection>> conns_;  // by fd
+  mutable ShuffleServerStats stats_;
+};
+
+struct ShuffleClientStats {
+  int64_t fetches = 0;
+  int64_t wire_bytes = 0;  // response header + body bytes received
+  int64_t reconnects = 0;  // connections (re)established after the first
+  int64_t connections = 0;
+  double fetch_mean_ms = 0;
+  double fetch_p99_ms = 0;
+};
+
+// One completed fetch. `body` holds partition wire bytes for
+// kPartitionBytes responses and the raw extent frame stream for
+// kFrameStream (callers reassemble via ReassembleFrameStream).
+struct ShuffleFetchResult {
+  FetchStatus status = FetchStatus::kOk;
+  uint32_t generation = 0;
+  int64_t raw_len = 0;
+  uint32_t partition_crc = 0;
+  int64_t records = 0;
+  FetchEncoding encoding = FetchEncoding::kPartitionBytes;
+  std::string body;
+  int64_t wire_bytes = 0;
+  double latency_ms = 0;
+};
+
+class ShuffleTransportClient {
+ public:
+  struct Options {
+    uint64_t job_digest = 0;
+    int port = 0;
+    // Connection-pool size: at most this many concurrent fetch streams.
+    int parallel_streams = 4;
+    // Admission bound on the sum of in-flight response body bytes.
+    int64_t max_inflight_bytes = 64ll << 20;
+    // Consulted once per fetch with (map, per-map fetch sequence); a
+    // positive return delays the fetch that long (slow_peer injection).
+    std::function<int64_t(int map, int64_t fetch_seq)> delay_ms_hook;
+  };
+
+  explicit ShuffleTransportClient(const Options& options);
+  ~ShuffleTransportClient();
+  ShuffleTransportClient(const ShuffleTransportClient&) = delete;
+  ShuffleTransportClient& operator=(const ShuffleTransportClient&) = delete;
+
+  // One blocking request/response round trip. kIOError covers every
+  // transport-level failure (connect/send/recv error, torn header, short
+  // body); protocol-level refusals come back as a FetchStatus in the
+  // result. Thread-safe.
+  Result<ShuffleFetchResult> Fetch(int map, int partition,
+                                   uint32_t generation);
+
+  ShuffleClientStats stats() const;
+
+ private:
+  int AcquireConnection();  // -1 when a fresh connect failed
+  void ReleaseConnection(int fd, bool healthy);
+  void ReserveInflight(int64_t bytes);
+  void ReleaseInflight(int64_t bytes);
+
+  const Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<int> idle_fds_;
+  int open_streams_ = 0;
+  int broken_streams_ = 0;  // connections torn down mid-fetch, not yet replaced
+  int64_t inflight_bytes_ = 0;
+  std::unordered_map<int, std::int64_t> fetch_seq_;  // per-map counter
+  std::vector<double> latencies_ms_;
+  mutable ShuffleClientStats stats_;
+};
+
+}  // namespace mrmb
+
+#endif  // MRMB_NET_SHUFFLE_TRANSPORT_H_

@@ -1,0 +1,116 @@
+// Wire format for the real-socket shuffle fetch protocol.
+//
+// The transport (src/net/shuffle_transport) moves sealed map-output
+// partitions between a server owned by the job and one client per run.
+// Both sides speak the fixed-size, length-delimited protocol defined
+// here; the encode/decode helpers live in their own small library
+// (mrmb_shuffle_rpc) so the net layer can use them without pulling in
+// the cluster-level RPC stack.
+//
+// Request (28 bytes, all integers big-endian — BufferWriter convention):
+//
+//   fixed32  magic      'MRSF' (0x4d525346)
+//   fixed64  job_digest JobConf::Digest() of the job being fetched
+//   fixed32  map        map task id
+//   fixed32  partition  reduce partition id
+//   fixed32  generation map-output generation the client believes is live
+//   fixed32  flags      reserved, must be 0
+//
+// Response header (38 bytes) followed by `body_len` bytes of body:
+//
+//   fixed32  magic      'MRSR' (0x4d525352)
+//   byte     status     FetchStatus
+//   fixed32  generation generation actually served
+//   fixed64  raw_len    decompressed partition length (bookkeeping only)
+//   fixed32  partition_crc  CRC32C of the partition wire bytes
+//   fixed64  records    record count in the partition
+//   byte     encoding   FetchEncoding of the body
+//   fixed64  body_len   body bytes that follow
+//
+// Body encodings:
+//   kPartitionBytes — the partition's sealed wire bytes verbatim (what
+//     SpillSegment::PartitionData / StoredSpill::ReadPartition return).
+//     Served zero-copy from RAM-resident segments via writev.
+//   kFrameStream — the partition's extent byte range verbatim: a sequence
+//     of [fixed32 frame_len][block-codec frame] records exactly as the
+//     durable spill file stores them. Served zero-copy from disk via
+//     sendfile/pread; the client reassembles (and CRC-verifies) each
+//     frame with BlockDecompress, so the server never re-frames or
+//     re-checksums on the hot path.
+
+#ifndef MRMB_RPC_SHUFFLE_WIRE_H_
+#define MRMB_RPC_SHUFFLE_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace mrmb {
+
+inline constexpr uint32_t kShuffleRequestMagic = 0x4d525346;   // 'MRSF'
+inline constexpr uint32_t kShuffleResponseMagic = 0x4d525352;  // 'MRSR'
+inline constexpr size_t kShuffleRequestSize = 28;
+inline constexpr size_t kShuffleResponseHeaderSize = 38;
+
+enum class FetchStatus : uint8_t {
+  kOk = 0,
+  // The requested generation is older (or newer) than the registered map
+  // output: the map was re-executed and the client must re-resolve.
+  kStaleGeneration = 1,
+  // No committed output registered for (map, partition) yet.
+  kNotFound = 2,
+  // Server-side failure reading the output (e.g. extent I/O error).
+  kError = 3,
+};
+
+const char* FetchStatusName(FetchStatus status);
+
+enum class FetchEncoding : uint8_t {
+  kPartitionBytes = 0,
+  kFrameStream = 1,
+};
+
+struct ShuffleFetchRequest {
+  uint64_t job_digest = 0;
+  int map = 0;
+  int partition = 0;
+  uint32_t generation = 0;
+};
+
+struct ShuffleFetchResponseHeader {
+  FetchStatus status = FetchStatus::kOk;
+  uint32_t generation = 0;
+  int64_t raw_len = 0;
+  uint32_t partition_crc = 0;
+  int64_t records = 0;
+  FetchEncoding encoding = FetchEncoding::kPartitionBytes;
+  int64_t body_len = 0;
+};
+
+// Appends the 28-byte request to `out`.
+void EncodeShuffleRequest(const ShuffleFetchRequest& request,
+                          std::string* out);
+// Decodes a full 28-byte request buffer. InvalidArgument on bad magic,
+// size, or nonzero reserved flags.
+Status DecodeShuffleRequest(std::string_view data,
+                            ShuffleFetchRequest* request);
+
+// Appends the 38-byte response header to `out`.
+void EncodeShuffleResponseHeader(const ShuffleFetchResponseHeader& header,
+                                 std::string* out);
+// Decodes a full 38-byte response header buffer.
+Status DecodeShuffleResponseHeader(std::string_view data,
+                                   ShuffleFetchResponseHeader* header);
+
+// Reassembles a kFrameStream body — [fixed32 frame_len][frame]* — into the
+// partition's wire bytes by decoding each self-describing block-codec
+// frame (BlockDecompress verifies the per-frame CRC32C). Returns
+// InvalidArgument on a torn length prefix or structural frame corruption
+// and DataLoss on a frame CRC mismatch.
+Status ReassembleFrameStream(std::string_view body, std::string* wire_bytes);
+
+}  // namespace mrmb
+
+#endif  // MRMB_RPC_SHUFFLE_WIRE_H_

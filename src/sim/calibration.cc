@@ -1,0 +1,134 @@
+#include "sim/calibration.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace mrmb {
+namespace {
+
+constexpr char kSchema[] = "mrmb-calibration/1";
+
+// Finds `"key"` at top level and parses the number after the ':'. The
+// document is flat and machine-written, so a positional scan is enough; we
+// only guard against the key appearing inside a longer name by requiring
+// the full quoted token.
+bool ScanNumber(const std::string& json, const char* key, double* out) {
+  const std::string token = std::string("\"") + key + "\"";
+  size_t at = json.find(token);
+  if (at == std::string::npos) return false;
+  at += token.size();
+  while (at < json.size() && (json[at] == ' ' || json[at] == ':' ||
+                              json[at] == '\t' || json[at] == '\n')) {
+    if (json[at] == ':') {
+      ++at;
+      break;
+    }
+    ++at;
+  }
+  while (at < json.size() && (json[at] == ' ' || json[at] == '\t')) ++at;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(json.c_str() + at, &end);
+  if (end == json.c_str() + at || errno == ERANGE) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+double ShuffleCalibration::PredictFetchMs(int64_t bytes) const {
+  if (loopback_bandwidth_mbps <= 0) return fetch_setup_ms;
+  const double wire_ms = static_cast<double>(bytes) /
+                         (loopback_bandwidth_mbps * 1024.0 * 1024.0) * 1000.0;
+  return fetch_setup_ms + wire_ms;
+}
+
+double ShuffleCalibration::PredictShuffleMs(int64_t total_bytes,
+                                            int64_t fetches,
+                                            int streams) const {
+  if (streams < 1) streams = 1;
+  // Setup costs parallelize across streams; the wire does not (loopback is
+  // one shared memory channel), so total bytes drain at the single-stream
+  // bandwidth regardless of fan-out.
+  const double setup_ms =
+      fetch_setup_ms * static_cast<double>(fetches) / streams;
+  const double wire_ms =
+      loopback_bandwidth_mbps <= 0
+          ? 0
+          : static_cast<double>(total_bytes) /
+                (loopback_bandwidth_mbps * 1024.0 * 1024.0) * 1000.0;
+  return setup_ms + wire_ms;
+}
+
+std::string ShuffleCalibration::ToJson() const {
+  std::string json;
+  json += "{\n";
+  json += StringPrintf("  \"schema\": \"%s\",\n", kSchema);
+  json += StringPrintf("  \"fetch_setup_ms\": %.6g,\n", fetch_setup_ms);
+  json += StringPrintf("  \"loopback_bandwidth_mbps\": %.6g,\n",
+                       loopback_bandwidth_mbps);
+  json += StringPrintf("  \"fit_residual_pct\": %.6g,\n", fit_residual_pct);
+  json += StringPrintf("  \"samples\": %lld\n",
+                       static_cast<long long>(samples));
+  json += "}\n";
+  return json;
+}
+
+Result<ShuffleCalibration> ParseCalibrationJson(const std::string& json) {
+  if (json.find(kSchema) == std::string::npos) {
+    return Status::InvalidArgument(
+        StringPrintf("calibration document is not %s", kSchema));
+  }
+  ShuffleCalibration cal;
+  if (!ScanNumber(json, "fetch_setup_ms", &cal.fetch_setup_ms)) {
+    return Status::InvalidArgument("calibration is missing fetch_setup_ms");
+  }
+  if (!ScanNumber(json, "loopback_bandwidth_mbps",
+                  &cal.loopback_bandwidth_mbps)) {
+    return Status::InvalidArgument(
+        "calibration is missing loopback_bandwidth_mbps");
+  }
+  double residual = 0;
+  if (ScanNumber(json, "fit_residual_pct", &residual)) {
+    cal.fit_residual_pct = residual;
+  }
+  double samples = 0;
+  if (ScanNumber(json, "samples", &samples)) {
+    cal.samples = static_cast<int64_t>(samples);
+  }
+  if (!(cal.fetch_setup_ms >= 0) || std::isnan(cal.fetch_setup_ms)) {
+    return Status::InvalidArgument("calibration fetch_setup_ms is negative");
+  }
+  if (!(cal.loopback_bandwidth_mbps > 0)) {
+    return Status::InvalidArgument(
+        "calibration loopback_bandwidth_mbps must be positive");
+  }
+  return cal;
+}
+
+Result<ShuffleCalibration> LoadCalibrationFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError(
+        StringPrintf("open %s: %s", path.c_str(), std::strerror(errno)));
+  }
+  std::string contents;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    contents.append(buf, n);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    return Status::IOError(StringPrintf("read %s failed", path.c_str()));
+  }
+  return ParseCalibrationJson(contents);
+}
+
+}  // namespace mrmb

@@ -1,0 +1,64 @@
+// Measured shuffle-transport calibration.
+//
+// `tools/run_bench --scenario=calibrate` sweeps the real loopback shuffle
+// transport over payload size x stream count, least-squares fits the
+// two-constant cost model
+//
+//   fetch_seconds = a + bytes / B
+//
+// (a = per-fetch fixed setup cost, B = per-stream wire bandwidth), and
+// writes the fit as a small JSON document ("mrmb-calibration/1"). This
+// header is the loader half: it parses that document back into a
+// ShuffleCalibration so run_bench can cross-validate predictions against
+// measured runs and the simulator front-ends can seed their fetch-latency /
+// fetch-bandwidth knobs from a measurement instead of a guess.
+//
+// The parser is a deliberately tiny key:number scanner — the schema is
+// flat, produced only by run_bench, and must not pull a JSON library into
+// the tree.
+
+#ifndef MRMB_SIM_CALIBRATION_H_
+#define MRMB_SIM_CALIBRATION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace mrmb {
+
+struct ShuffleCalibration {
+  // Per-fetch fixed cost in milliseconds (connection bookkeeping, request
+  // round-trip, syscall floor): the fit's intercept.
+  double fetch_setup_ms = 0;
+  // Sustained per-stream wire bandwidth in MB/s: 1 / slope.
+  double loopback_bandwidth_mbps = 0;
+  // RMS relative residual of the fit across all sweep points, in percent.
+  // Large values (> ~25%) mean the linear model is a poor description of
+  // the machine and predictions should not be trusted.
+  double fit_residual_pct = 0;
+  // Sweep shape the constants were fitted from (provenance).
+  int64_t samples = 0;
+
+  // Predicted wall-clock milliseconds for one fetch of `bytes` payload.
+  double PredictFetchMs(int64_t bytes) const;
+  // Predicted wall-clock milliseconds for a whole shuffle: `fetches`
+  // transfers totalling `total_bytes`, spread over `streams` concurrent
+  // connections that share the loopback wire.
+  double PredictShuffleMs(int64_t total_bytes, int64_t fetches,
+                          int streams) const;
+
+  // The JSON document run_bench writes; ParseCalibrationJson round-trips.
+  std::string ToJson() const;
+};
+
+// Parses an "mrmb-calibration/1" document. Rejects missing schema tags,
+// missing keys, and non-positive constants.
+Result<ShuffleCalibration> ParseCalibrationJson(const std::string& json);
+
+// Reads `path` and parses it.
+Result<ShuffleCalibration> LoadCalibrationFile(const std::string& path);
+
+}  // namespace mrmb
+
+#endif  // MRMB_SIM_CALIBRATION_H_

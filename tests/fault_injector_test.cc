@@ -275,6 +275,87 @@ TEST(LocalSpillIoHooksTest, ReadHazardsAreDeterministicPerBlockAndRetry) {
 
 // ---- Crash fault family (journal-anchored process crashes) ---------------
 
+TEST(LocalFaultPlanTest, ParsesEveryTransportFaultKind) {
+  auto plan = LocalFaultPlan::Parse(
+      "drop_conn:2@a=0; trunc_frame:1@a=3; slow_peer:0.25");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ(plan->events.size(), 2u);
+  EXPECT_EQ(plan->events[0].kind, LocalFaultKind::kDropConn);
+  EXPECT_EQ(plan->events[0].task, 2);
+  EXPECT_EQ(plan->events[0].attempt, 0);
+  EXPECT_EQ(plan->events[1].kind, LocalFaultKind::kTruncFrame);
+  EXPECT_EQ(plan->events[1].task, 1);
+  EXPECT_EQ(plan->events[1].attempt, 3);
+  EXPECT_DOUBLE_EQ(plan->slow_peer_prob, 0.25);
+  EXPECT_FALSE(plan->empty());
+}
+
+TEST(LocalFaultPlanTest, TransportFaultToStringParseRoundTrips) {
+  auto plan = LocalFaultPlan::Parse(
+      "drop_conn:2@a=0;trunc_frame:1@a=3;slow_peer:0.25");
+  ASSERT_TRUE(plan.ok());
+  auto reparsed = LocalFaultPlan::Parse(plan->ToString());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed->events, plan->events);
+  EXPECT_DOUBLE_EQ(reparsed->slow_peer_prob, plan->slow_peer_prob);
+}
+
+TEST(LocalFaultPlanTest, RejectsMalformedTransportFaultSpecs) {
+  EXPECT_FALSE(LocalFaultPlan::Parse("drop_conn:1").ok());  // no @a=
+  EXPECT_FALSE(LocalFaultPlan::Parse("drop_conn:1@a=0,ms=5").ok());
+  EXPECT_FALSE(LocalFaultPlan::Parse("trunc_frame:1@a=0,p=1").ok());
+  EXPECT_FALSE(LocalFaultPlan::Parse("slow_peer:1.0").ok());  // must be < 1
+  EXPECT_FALSE(LocalFaultPlan::Parse("slow_peer:-0.1").ok());
+  EXPECT_FALSE(LocalFaultPlan::Parse("slow_peer:x").ok());
+}
+
+TEST(LocalFaultInjectorTest, TransportEventsFireAtExactFetchSeq) {
+  auto plan =
+      LocalFaultPlan::Parse("drop_conn:2@a=1;trunc_frame:3@a=0");
+  ASSERT_TRUE(plan.ok());
+  const LocalFaultInjector injector(*plan, /*seed=*/1);
+  EXPECT_TRUE(injector.DropConnAt(2, 1));
+  EXPECT_FALSE(injector.DropConnAt(2, 0));
+  EXPECT_FALSE(injector.DropConnAt(1, 1));
+  EXPECT_FALSE(injector.DropConnAt(3, 0));  // trunc_frame, not drop_conn
+  EXPECT_TRUE(injector.TruncFrameAt(3, 0));
+  EXPECT_FALSE(injector.TruncFrameAt(3, 1));
+  EXPECT_FALSE(injector.TruncFrameAt(2, 1));
+}
+
+TEST(LocalFaultInjectorTest, SlowPeerIsDeterministicPerFetch) {
+  auto plan = LocalFaultPlan::Parse("slow_peer:0.5");
+  ASSERT_TRUE(plan.ok());
+  const LocalFaultInjector injector(*plan, /*seed=*/7);
+  int delayed = 0;
+  for (int map = 0; map < 8; ++map) {
+    for (int64_t seq = 0; seq < 8; ++seq) {
+      const int64_t first = injector.SlowPeerDelayMs(map, seq);
+      EXPECT_EQ(first, injector.SlowPeerDelayMs(map, seq));
+      EXPECT_GE(first, 0);
+      if (first > 0) ++delayed;
+    }
+  }
+  // With p=0.5 over 64 draws, both outcomes must occur.
+  EXPECT_GT(delayed, 0);
+  EXPECT_LT(delayed, 64);
+
+  // A different seed redraws the hazard stream.
+  const LocalFaultInjector reseeded(*plan, /*seed=*/8);
+  bool diverged = false;
+  for (int map = 0; map < 8 && !diverged; ++map) {
+    for (int64_t seq = 0; seq < 8 && !diverged; ++seq) {
+      diverged = injector.SlowPeerDelayMs(map, seq) !=
+                 reseeded.SlowPeerDelayMs(map, seq);
+    }
+  }
+  EXPECT_TRUE(diverged);
+
+  // No plan, no delay.
+  const LocalFaultInjector inert(LocalFaultPlan(), /*seed=*/7);
+  EXPECT_EQ(inert.SlowPeerDelayMs(0, 0), 0);
+}
+
 TEST(LocalFaultPlanTest, ParsesCrashPoints) {
   auto plan = LocalFaultPlan::Parse(
       "crash_at:job_start@0; crash_at:map_commit@2; "

@@ -1,0 +1,528 @@
+// Tests for the real-socket shuffle transport: wire-format round trips and
+// torn-buffer rejection, direct server/client protocol behaviour (stale
+// generations, unknown maps, dead ports), end-to-end golden-fingerprint
+// parity between the inproc and tcp data planes across codecs, thread
+// counts and spill modes, and recovery from every injected transport fault
+// (drop_conn, trunc_frame, slow_peer).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "io/block_codec.h"
+#include "io/byte_buffer.h"
+#include "io/checksum.h"
+#include "mapred/fault_injector.h"
+#include "mapred/local_runner.h"
+#include "mapred/null_formats.h"
+#include "net/shuffle_transport.h"
+#include "rpc/shuffle_wire.h"
+
+namespace mrmb {
+namespace {
+
+// ---- Wire format ----------------------------------------------------------
+
+TEST(ShuffleWireTest, RequestRoundTrips) {
+  ShuffleFetchRequest request;
+  request.job_digest = 0xDEADBEEFCAFEF00Dull;
+  request.map = 12;
+  request.partition = 3;
+  request.generation = 7;
+  std::string wire;
+  EncodeShuffleRequest(request, &wire);
+  ASSERT_EQ(wire.size(), kShuffleRequestSize);
+
+  ShuffleFetchRequest decoded;
+  ASSERT_TRUE(DecodeShuffleRequest(wire, &decoded).ok());
+  EXPECT_EQ(decoded.job_digest, request.job_digest);
+  EXPECT_EQ(decoded.map, request.map);
+  EXPECT_EQ(decoded.partition, request.partition);
+  EXPECT_EQ(decoded.generation, request.generation);
+}
+
+TEST(ShuffleWireTest, ResponseHeaderRoundTrips) {
+  ShuffleFetchResponseHeader header;
+  header.status = FetchStatus::kOk;
+  header.generation = 2;
+  header.raw_len = 123456789;
+  header.partition_crc = 0xA5A5A5A5;
+  header.records = 4242;
+  header.encoding = FetchEncoding::kFrameStream;
+  header.body_len = 987654321;
+  std::string wire;
+  EncodeShuffleResponseHeader(header, &wire);
+  ASSERT_EQ(wire.size(), kShuffleResponseHeaderSize);
+
+  ShuffleFetchResponseHeader decoded;
+  ASSERT_TRUE(DecodeShuffleResponseHeader(wire, &decoded).ok());
+  EXPECT_EQ(decoded.status, header.status);
+  EXPECT_EQ(decoded.generation, header.generation);
+  EXPECT_EQ(decoded.raw_len, header.raw_len);
+  EXPECT_EQ(decoded.partition_crc, header.partition_crc);
+  EXPECT_EQ(decoded.records, header.records);
+  EXPECT_EQ(decoded.encoding, header.encoding);
+  EXPECT_EQ(decoded.body_len, header.body_len);
+}
+
+TEST(ShuffleWireTest, TornAndCorruptBuffersAreRejected) {
+  ShuffleFetchRequest request;
+  request.job_digest = 1;
+  std::string wire;
+  EncodeShuffleRequest(request, &wire);
+
+  ShuffleFetchRequest decoded;
+  // Short reads of every length must fail cleanly, never crash.
+  for (size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_FALSE(
+        DecodeShuffleRequest(std::string_view(wire.data(), len), &decoded)
+            .ok())
+        << "len=" << len;
+  }
+  // Bad magic.
+  std::string bad = wire;
+  bad[0] ^= 0x40;
+  EXPECT_FALSE(DecodeShuffleRequest(bad, &decoded).ok());
+  // Nonzero reserved flags.
+  bad = wire;
+  bad[wire.size() - 1] = 1;
+  EXPECT_FALSE(DecodeShuffleRequest(bad, &decoded).ok());
+
+  ShuffleFetchResponseHeader header;
+  std::string response;
+  EncodeShuffleResponseHeader(ShuffleFetchResponseHeader(), &response);
+  for (size_t len = 0; len < response.size(); ++len) {
+    EXPECT_FALSE(DecodeShuffleResponseHeader(
+                     std::string_view(response.data(), len), &header)
+                     .ok())
+        << "len=" << len;
+  }
+  bad = response;
+  bad[1] ^= 0xFF;
+  EXPECT_FALSE(DecodeShuffleResponseHeader(bad, &header).ok());
+}
+
+TEST(ShuffleWireTest, FrameStreamReassemblesAndRejectsTornPrefix) {
+  // Two frames of known bytes, exactly as an extent stores them.
+  const std::string part1(1000, 'a');
+  const std::string part2 = "tail-bytes";
+  std::string body;
+  for (const std::string& part : {part1, part2}) {
+    std::string frame;
+    ASSERT_TRUE(BlockCompress(MapOutputCodec::kLz4, part, &frame).ok());
+    BufferWriter prefix;
+    prefix.AppendFixed32(static_cast<uint32_t>(frame.size()));
+    body += prefix.data();
+    body += frame;
+  }
+
+  std::string wire;
+  ASSERT_TRUE(ReassembleFrameStream(body, &wire).ok());
+  EXPECT_EQ(wire, part1 + part2);
+
+  // A torn length prefix (any truncation point) must fail, not crash or
+  // silently return a prefix.
+  for (const size_t cut : {body.size() - 1, body.size() - 7, size_t{3}}) {
+    std::string torn = body.substr(0, cut);
+    EXPECT_FALSE(ReassembleFrameStream(torn, &wire).ok()) << "cut=" << cut;
+  }
+  // A flipped bit inside a frame is a CRC mismatch.
+  std::string corrupt = body;
+  corrupt[8] ^= 0x10;
+  const Status status = ReassembleFrameStream(corrupt, &wire);
+  EXPECT_FALSE(status.ok());
+}
+
+// ---- Direct server/client protocol ---------------------------------------
+
+std::shared_ptr<SpillSegment> MakeSealedSegment(const std::string& payload) {
+  auto segment = std::make_shared<SpillSegment>();
+  segment->data = payload;
+  SpillSegment::PartitionRange range;
+  range.offset = 0;
+  range.length = static_cast<int64_t>(payload.size());
+  range.records = 1;
+  segment->partitions.push_back(range);
+  SealSegment(segment.get());
+  return segment;
+}
+
+TEST(ShuffleTransportTest, ServesPublishedSegmentAndRefusesStaleGeneration) {
+  ShuffleTransportServer::Options sopts;
+  sopts.job_digest = 42;
+  auto server = ShuffleTransportServer::Start(sopts);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  const std::string payload = "the quick brown fox";
+  (*server)->Publish(/*map=*/0, /*generation=*/3, MakeSealedSegment(payload),
+                     nullptr);
+
+  ShuffleTransportClient::Options copts;
+  copts.job_digest = 42;
+  copts.port = (*server)->port();
+  ShuffleTransportClient client(copts);
+
+  auto ok = client.Fetch(0, 0, 3);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->status, FetchStatus::kOk);
+  EXPECT_EQ(ok->body, payload);
+  EXPECT_EQ(ok->encoding, FetchEncoding::kPartitionBytes);
+  EXPECT_EQ(ok->partition_crc, Crc32c(payload));
+  EXPECT_EQ(ok->records, 1);
+
+  // Both an older and a newer generation are refused as stale, and the
+  // refusal carries the live generation so the client can re-resolve.
+  for (const uint32_t gen : {2u, 4u}) {
+    auto stale = client.Fetch(0, 0, gen);
+    ASSERT_TRUE(stale.ok()) << stale.status().ToString();
+    EXPECT_EQ(stale->status, FetchStatus::kStaleGeneration) << "gen=" << gen;
+    EXPECT_EQ(stale->generation, 3u);
+    EXPECT_TRUE(stale->body.empty());
+  }
+
+  // An unpublished map is a clean kNotFound.
+  auto missing = client.Fetch(9, 0, 0);
+  ASSERT_TRUE(missing.ok()) << missing.status().ToString();
+  EXPECT_EQ(missing->status, FetchStatus::kNotFound);
+
+  const ShuffleServerStats stats = (*server)->stats();
+  EXPECT_EQ(stats.ram_serves, 1);
+  EXPECT_EQ(stats.stale_refused, 2);
+  EXPECT_EQ(stats.not_found, 1);
+}
+
+TEST(ShuffleTransportTest, RepublishReplacesGeneration) {
+  ShuffleTransportServer::Options sopts;
+  sopts.job_digest = 7;
+  auto server = ShuffleTransportServer::Start(sopts);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  (*server)->Publish(0, 0, MakeSealedSegment("old bytes"), nullptr);
+  (*server)->Publish(0, 1, MakeSealedSegment("new bytes"), nullptr);
+
+  ShuffleTransportClient::Options copts;
+  copts.job_digest = 7;
+  copts.port = (*server)->port();
+  ShuffleTransportClient client(copts);
+
+  auto stale = client.Fetch(0, 0, 0);
+  ASSERT_TRUE(stale.ok());
+  EXPECT_EQ(stale->status, FetchStatus::kStaleGeneration);
+  auto fresh = client.Fetch(0, 0, 1);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh->status, FetchStatus::kOk);
+  EXPECT_EQ(fresh->body, "new bytes");
+}
+
+TEST(ShuffleTransportTest, DeadPortSurfacesAsIOError) {
+  // Bind-then-close to get a port nobody is listening on.
+  ShuffleTransportServer::Options sopts;
+  auto server = ShuffleTransportServer::Start(sopts);
+  ASSERT_TRUE(server.ok());
+  const int port = (*server)->port();
+  server->reset();
+
+  ShuffleTransportClient::Options copts;
+  copts.port = port;
+  ShuffleTransportClient client(copts);
+  auto fetched = client.Fetch(0, 0, 0);
+  ASSERT_FALSE(fetched.ok());
+  EXPECT_EQ(fetched.status().code(), StatusCode::kIOError);
+}
+
+TEST(ShuffleTransportTest, ServerSideFaultHookDropsAndTruncates) {
+  ShuffleTransportServer::Options sopts;
+  sopts.job_digest = 9;
+  // First fetch of map 0 drops the connection; second fetch of map 0 sends
+  // a torn body; everything afterwards is clean.
+  sopts.fault_hook = [](int map, int64_t fetch_seq) {
+    if (map == 0 && fetch_seq == 0) return TransportFault::kDropConn;
+    if (map == 0 && fetch_seq == 1) return TransportFault::kTruncFrame;
+    return TransportFault::kNone;
+  };
+  auto server = ShuffleTransportServer::Start(sopts);
+  ASSERT_TRUE(server.ok());
+  const std::string payload(4096, 'z');
+  (*server)->Publish(0, 0, MakeSealedSegment(payload), nullptr);
+
+  ShuffleTransportClient::Options copts;
+  copts.job_digest = 9;
+  copts.port = (*server)->port();
+  ShuffleTransportClient client(copts);
+
+  // Both injected faults surface as transport-level errors...
+  EXPECT_FALSE(client.Fetch(0, 0, 0).ok());
+  EXPECT_FALSE(client.Fetch(0, 0, 0).ok());
+  // ...and the third attempt (fetch_seq 2) succeeds on a fresh connection.
+  auto third = client.Fetch(0, 0, 0);
+  ASSERT_TRUE(third.ok()) << third.status().ToString();
+  EXPECT_EQ(third->status, FetchStatus::kOk);
+  EXPECT_EQ(third->body, payload);
+  EXPECT_EQ((*server)->stats().faults_injected, 2);
+  EXPECT_GE(client.stats().reconnects, 1);
+}
+
+// ---- End-to-end golden parity ---------------------------------------------
+// Job material mirrors local_runner_spill_test.cc: the fingerprint covers
+// every output byte, so "same fingerprint" means "same bytes".
+
+std::string RandomPayload(Rng* rng, size_t min_len, size_t max_len) {
+  const size_t len =
+      min_len + static_cast<size_t>(rng->Uniform(max_len - min_len + 1));
+  std::string payload(len, '\0');
+  for (char& c : payload) {
+    c = static_cast<char>(rng->Uniform(256));
+  }
+  return payload;
+}
+
+std::string WireBytes(const std::string& payload) {
+  BufferWriter writer;
+  BytesWritable(payload).Serialize(&writer);
+  return writer.data();
+}
+
+std::string WireText(const std::string& payload) {
+  BufferWriter writer;
+  Text(payload).Serialize(&writer);
+  return writer.data();
+}
+
+class GoldenMapper final : public Mapper {
+ public:
+  explicit GoldenMapper(int task_id) : task_id_(task_id) {}
+
+  void Map(std::string_view, std::string_view, MapContext* context) override {
+    Rng rng(0xF007 + static_cast<uint64_t>(task_id_) * 131);
+    for (int i = 0; i < 3000; ++i) {
+      const uint64_t id = rng.Uniform(64);
+      const std::string key =
+          WireText("shared-prefix-key-" + std::to_string(id));
+      const std::string value = WireBytes(RandomPayload(&rng, 0, 12));
+      context->Emit(key, value);
+    }
+  }
+
+ private:
+  int task_id_;
+};
+
+class FingerprintReducer final : public Reducer {
+ public:
+  void Reduce(std::string_view key, ValueIterator* values,
+              ReduceContext* context) override {
+    int64_t count = 0;
+    uint64_t byte_sum = 0;
+    while (values->Next()) {
+      ++count;
+      for (const char c : values->value()) {
+        byte_sum += static_cast<uint8_t>(c);
+      }
+    }
+    BufferWriter writer;
+    writer.AppendFixed64(static_cast<uint64_t>(count));
+    writer.AppendFixed64(byte_sum);
+    context->Emit(key, writer.data());
+  }
+};
+
+class CapturingOutputFormat final : public OutputFormat {
+ public:
+  std::unique_ptr<RecordWriter> CreateWriter(const JobConf&,
+                                             int task_id) override {
+    class Writer final : public RecordWriter {
+     public:
+      explicit Writer(std::string* out) : writer_(out) {}
+      void Write(std::string_view key, std::string_view value) override {
+        writer_.AppendVarint64(static_cast<int64_t>(key.size()));
+        writer_.AppendVarint64(static_cast<int64_t>(value.size()));
+        writer_.AppendRaw(key);
+        writer_.AppendRaw(value);
+      }
+      Status Close() override { return Status::OK(); }
+
+     private:
+      BufferWriter writer_;
+    };
+    return std::make_unique<Writer>(&streams_[task_id]);
+  }
+
+  uint32_t Fingerprint() const {
+    uint32_t crc = kCrc32cInit;
+    for (const auto& [reducer, stream] : streams_) {
+      BufferWriter writer;
+      writer.AppendFixed32(static_cast<uint32_t>(reducer));
+      crc = Crc32c(crc, writer.data());
+      crc = Crc32c(crc, stream);
+    }
+    return crc;
+  }
+
+ private:
+  std::map<int, std::string> streams_;
+};
+
+JobConf BaseConf() {
+  JobConf conf;
+  conf.num_maps = 4;
+  conf.num_reduces = 3;
+  conf.record.type = DataType::kText;
+  conf.io_sort_bytes = 64 * 1024;
+  conf.spill_percent = 1.0;
+  conf.local_threads = 2;
+  conf.sort_threads = 1;
+  conf.seed = 42;
+  return conf;
+}
+
+JobConf WithPlan(JobConf conf, const std::string& spec) {
+  auto plan = LocalFaultPlan::Parse(spec);
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  conf.local_fault_plan = *plan;
+  return conf;
+}
+
+struct JobOutcome {
+  uint32_t fingerprint = 0;
+  LocalJobResult result;
+};
+
+JobOutcome RunGoldenJob(const JobConf& conf) {
+  LocalJobRunner runner(conf);
+  NullInputFormat input;
+  CapturingOutputFormat output;
+  auto result = runner.Run(
+      &input, [](int task) { return std::make_unique<GoldenMapper>(task); },
+      [](int) { return std::make_unique<FingerprintReducer>(); }, &output);
+  JobOutcome outcome;
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  if (result.ok()) outcome.result = *result;
+  outcome.fingerprint = output.Fingerprint();
+  return outcome;
+}
+
+uint32_t InprocFingerprint() {
+  static const uint32_t fingerprint = [] {
+    const JobOutcome outcome = RunGoldenJob(BaseConf());
+    EXPECT_FALSE(outcome.result.transport_enabled);
+    return outcome.fingerprint;
+  }();
+  return fingerprint;
+}
+
+JobConf TcpConf() {
+  JobConf conf = BaseConf();
+  conf.shuffle_transport = ShuffleTransport::kTcp;
+  return conf;
+}
+
+TEST(ShuffleTransportJobTest, TcpJobMatchesInprocFingerprint) {
+  const JobOutcome tcp = RunGoldenJob(TcpConf());
+  EXPECT_EQ(tcp.fingerprint, InprocFingerprint());
+  EXPECT_TRUE(tcp.result.transport_enabled);
+  // 4 maps x 3 reduces, every partition over the wire exactly once.
+  EXPECT_EQ(tcp.result.transport_fetch_rpcs, 12);
+  EXPECT_EQ(tcp.result.transport_retransmits, 0);
+  EXPECT_EQ(tcp.result.transport_ram_serves, 12);
+  EXPECT_EQ(tcp.result.transport_file_serves, 0);
+  EXPECT_GT(tcp.result.transport_wire_bytes, 0);
+  EXPECT_GT(tcp.result.crc_verifications, 0);
+}
+
+TEST(ShuffleTransportJobTest, FingerprintStableAcrossCodecsAndStreams) {
+  for (MapOutputCodec codec : {MapOutputCodec::kNone, MapOutputCodec::kLz4,
+                               MapOutputCodec::kDeflate}) {
+    for (int streams : {1, 4}) {
+      JobConf conf = TcpConf();
+      conf.map_output_codec = codec;
+      conf.fetch_parallel_streams = streams;
+      const JobOutcome outcome = RunGoldenJob(conf);
+      EXPECT_EQ(outcome.fingerprint, InprocFingerprint())
+          << "codec=" << MapOutputCodecName(codec) << " streams=" << streams;
+    }
+  }
+}
+
+TEST(ShuffleTransportJobTest, FingerprintStableAcrossThreadCounts) {
+  for (int threads : {1, 8}) {
+    JobConf conf = TcpConf();
+    conf.local_threads = threads;
+    EXPECT_EQ(RunGoldenJob(conf).fingerprint, InprocFingerprint())
+        << "local_threads=" << threads;
+  }
+}
+
+TEST(ShuffleTransportJobTest, SpilledOutputsServeOverSendfilePath) {
+  JobConf conf = TcpConf();
+  conf.spill_budget_bytes = 0;  // every sealed output lands on disk
+  const JobOutcome outcome = RunGoldenJob(conf);
+  EXPECT_EQ(outcome.fingerprint, InprocFingerprint());
+  EXPECT_TRUE(outcome.result.spill_engine_enabled);
+  EXPECT_EQ(outcome.result.transport_ram_serves, 0);
+  EXPECT_EQ(outcome.result.transport_file_serves, 12);
+}
+
+TEST(ShuffleTransportJobTest, SpilledLz4FingerprintHolds) {
+  JobConf conf = TcpConf();
+  conf.spill_budget_bytes = 0;
+  conf.map_output_codec = MapOutputCodec::kLz4;
+  conf.local_threads = 4;
+  const JobOutcome outcome = RunGoldenJob(conf);
+  EXPECT_EQ(outcome.fingerprint, InprocFingerprint());
+  EXPECT_EQ(outcome.result.transport_file_serves, 12);
+}
+
+// ---- Transport fault recovery ---------------------------------------------
+
+TEST(ShuffleTransportJobTest, DropConnRetriesAndRecovers) {
+  const JobOutcome outcome =
+      RunGoldenJob(WithPlan(TcpConf(), "drop_conn:1@a=0"));
+  EXPECT_EQ(outcome.fingerprint, InprocFingerprint());
+  EXPECT_GE(outcome.result.transport_retransmits, 1);
+  EXPECT_GE(outcome.result.transport_reconnects, 1);
+}
+
+TEST(ShuffleTransportJobTest, TruncFrameRetriesAndRecovers) {
+  const JobOutcome outcome =
+      RunGoldenJob(WithPlan(TcpConf(), "trunc_frame:2@a=1"));
+  EXPECT_EQ(outcome.fingerprint, InprocFingerprint());
+  EXPECT_GE(outcome.result.transport_retransmits, 1);
+}
+
+TEST(ShuffleTransportJobTest, SlowPeerDelaysButDoesNotChangeBytes) {
+  const JobOutcome outcome =
+      RunGoldenJob(WithPlan(TcpConf(), "slow_peer:0.5"));
+  EXPECT_EQ(outcome.fingerprint, InprocFingerprint());
+  EXPECT_EQ(outcome.result.transport_retransmits, 0);
+}
+
+TEST(ShuffleTransportJobTest, CombinedFaultsStillConverge) {
+  const JobOutcome outcome = RunGoldenJob(WithPlan(
+      TcpConf(), "drop_conn:0@a=0;trunc_frame:1@a=0;slow_peer:0.2"));
+  EXPECT_EQ(outcome.fingerprint, InprocFingerprint());
+  EXPECT_GE(outcome.result.transport_retransmits, 2);
+}
+
+TEST(ShuffleTransportJobTest, FaultsComposeWithSpillEngineAndCodec) {
+  JobConf conf = WithPlan(TcpConf(), "drop_conn:3@a=0;slow_peer:0.1");
+  conf.spill_budget_bytes = 0;
+  conf.map_output_codec = MapOutputCodec::kLz4;
+  const JobOutcome outcome = RunGoldenJob(conf);
+  EXPECT_EQ(outcome.fingerprint, InprocFingerprint());
+  EXPECT_GE(outcome.result.transport_retransmits, 1);
+}
+
+// Transport faults in the plan are inert on the inproc data plane: there
+// are no connections to drop, and bytes stay byte-identical.
+TEST(ShuffleTransportJobTest, TransportFaultsAreInertOnInprocPlane) {
+  const JobOutcome outcome = RunGoldenJob(
+      WithPlan(BaseConf(), "drop_conn:1@a=0;slow_peer:0.3"));
+  EXPECT_EQ(outcome.fingerprint, InprocFingerprint());
+  EXPECT_FALSE(outcome.result.transport_enabled);
+  EXPECT_EQ(outcome.result.transport_retransmits, 0);
+}
+
+}  // namespace
+}  // namespace mrmb
