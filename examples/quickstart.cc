@@ -48,6 +48,12 @@ Functional (in-process) mode — real bytes, small sizes:
   --checksum[=BOOL]         verify CRC32C map-output seals (default on)
   --fetch-latency-ms=MS     fixed simulated transfer time per fetch
   --fetch-bandwidth-mbps=X  simulated shuffle bandwidth in MB/s (0 = inf)
+  --combiner=none|sum       built-in combine function (sum requires
+                            --type=long; default none)
+  --min-spills-for-combine=N  re-combine merged map output at >= N spills
+                            and every reduce-side merge fold (default 0)
+  --node-combine-min-maps=N combine across N co-located maps per shuffle
+                            stream before serving (< 2 = off, default)
   --shuffle-transport=T     inproc (default) or tcp: real loopback sockets
                             with zero-copy serving; output byte-identical
   --fetch-parallel-streams=N  tcp fetch connections per job (default 4)

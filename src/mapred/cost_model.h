@@ -66,6 +66,11 @@ struct CostModel {
 
   // ---- Combiner ----------------------------------------------------------
   // Per input record cost of running the combine function during a spill.
+  // Calibrate from a measured run: tools/run_bench
+  // --scenario=combiner-ablation reports combine_seconds / combine input
+  // records (and writes it into the calibration document as
+  // combine_cpu_per_record) from the functional engine's timed combine
+  // passes; BENCH_combiner.json carries the reference measurement.
   double combine_cpu_per_record = 1.5e-6;
 
   // ---- Intermediate compression (mapred.compress.map.output) -----------

@@ -69,6 +69,24 @@ Result<ShuffleTransport> ShuffleTransportByName(const std::string& name) {
                                  "' (accepted: inproc, tcp)");
 }
 
+const char* CombinerKindName(CombinerKind kind) {
+  switch (kind) {
+    case CombinerKind::kNone:
+      return "none";
+    case CombinerKind::kSum:
+      return "sum";
+  }
+  return "Unknown";
+}
+
+Result<CombinerKind> CombinerKindByName(const std::string& name) {
+  const std::string key = ToLower(name);
+  if (key == "none" || key == "off") return CombinerKind::kNone;
+  if (key == "sum" || key == "long-sum") return CombinerKind::kSum;
+  return Status::InvalidArgument("unknown combiner: '" + name +
+                                 "' (accepted: none, sum)");
+}
+
 uint64_t JobConf::Digest() const {
   // FNV-1a over the knobs that shape the job's output bytes (or the on-disk
   // extent format a resume must read back). Deliberately excludes execution
@@ -102,6 +120,11 @@ uint64_t JobConf::Digest() const {
   mix(static_cast<uint64_t>(zipf_exponent * 1e6));
   mix(seed);
   mix(static_cast<uint64_t>(effective_map_output_codec()));
+  // The combine pipeline shapes map-output extents and reduce input, so a
+  // resume must run under the same combine configuration.
+  mix(static_cast<uint64_t>(combiner));
+  mix(static_cast<uint64_t>(min_spills_for_combine));
+  mix(static_cast<uint64_t>(node_combine_min_maps));
   return h;
 }
 
@@ -148,6 +171,18 @@ Status JobConf::Validate() const {
   if (combiner_output_fraction <= 0 || combiner_output_fraction > 1.0) {
     return Status::InvalidArgument(
         "combiner_output_fraction must be in (0, 1]");
+  }
+  if (combiner == CombinerKind::kSum &&
+      record.type != DataType::kLongWritable) {
+    return Status::InvalidArgument(
+        "combiner=sum requires LongWritable records (it deserializes and "
+        "sums the values)");
+  }
+  if (min_spills_for_combine < 0) {
+    return Status::InvalidArgument("min_spills_for_combine must be >= 0");
+  }
+  if (node_combine_min_maps < 0) {
+    return Status::InvalidArgument("node_combine_min_maps must be >= 0");
   }
   if (map_failure_prob < 0 || map_failure_prob >= 1.0 ||
       reduce_failure_prob < 0 || reduce_failure_prob >= 1.0) {

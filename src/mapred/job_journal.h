@@ -70,6 +70,18 @@ struct JournalMapStats {
   int64_t spilled_bytes = 0;
   int64_t spill_extents = 0;
   int64_t spill_degradations = 0;
+  // Per-stage combiner accounting (records/bytes in and out of the
+  // per-spill and merge-time combine passes, plus combiner CPU time) so an
+  // adopted task's wire savings survive resume.
+  int64_t combine_spill_input_records = 0;
+  int64_t combine_spill_output_records = 0;
+  int64_t combine_spill_input_bytes = 0;
+  int64_t combine_spill_output_bytes = 0;
+  int64_t combine_merge_input_records = 0;
+  int64_t combine_merge_output_records = 0;
+  int64_t combine_merge_input_bytes = 0;
+  int64_t combine_merge_output_bytes = 0;
+  int64_t combine_micros = 0;
 };
 
 struct JournalMapCommit {

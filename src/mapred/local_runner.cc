@@ -35,6 +35,7 @@
 #include "mapred/fault_injector.h"
 #include "mapred/job_journal.h"
 #include "mapred/map_output.h"
+#include "mapred/node_combiner.h"
 #include "mapred/null_formats.h"
 #include "mapred/partitioner.h"
 #include "net/shuffle_transport.h"
@@ -152,6 +153,22 @@ class Watchdog {
   std::thread thread_;
 };
 
+// Per-stage combine accounting for one map attempt. Bytes are logical
+// (decompressed) framed bytes; micros is wall time spent inside
+// CombineSegment / CombineSortedRun, the map-side share of the
+// combine_cpu_per_record calibration source.
+struct MapCombineStats {
+  int64_t spill_input_records = 0;
+  int64_t spill_output_records = 0;
+  int64_t spill_input_bytes = 0;
+  int64_t spill_output_bytes = 0;
+  int64_t merge_input_records = 0;
+  int64_t merge_output_records = 0;
+  int64_t merge_input_bytes = 0;
+  int64_t merge_output_bytes = 0;
+  int64_t combine_micros = 0;
+};
+
 // Map-side context: partitions each emitted record, collects into a bounded
 // KvBuffer, spills sorted runs when full. Errors (oversized record,
 // watchdog cancellation) stick in status(); once set, further Emits are
@@ -237,6 +254,13 @@ class LocalMapContext final : public MapContext {
     // MergeFramedRuns + final seal MergeSegments performs, so the result is
     // byte-identical whether each input run sat in RAM or on disk.
     const RawComparator* comparator = ComparatorFor(conf_.record.type);
+    // Merge-time combining (mapreduce.map.combine.minspills): when enough
+    // spills fold into the final output, the combiner re-runs over each
+    // merged key group — duplicates that straddled spill boundaries get
+    // collapsed before a byte hits the wire.
+    const bool merge_combine =
+        combiner_ != nullptr && conf_.min_spills_for_combine > 0 &&
+        spills_.size() >= static_cast<size_t>(conf_.min_spills_for_combine);
     const size_t num_partitions = SlotPartitions(spills_[0]).size();
     SpillSegment out;
     int64_t total_bytes = 0;
@@ -275,6 +299,29 @@ class LocalMapContext final : public MapContext {
       }
       MRMB_ASSIGN_OR_RETURN(MergedRun merged,
                             MergeFramedRuns(runs, comparator));
+      if (merge_combine) {
+        combine_.merge_input_records += merged.records;
+        combine_.merge_input_bytes += static_cast<int64_t>(merged.data.size());
+        const auto t0 = Clock::now();
+        Result<MergedRun> combined = CombineSortedRun(
+            merged.data, comparator, combiner_.get(), conf_, task_id_);
+        combine_.combine_micros +=
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                Clock::now() - t0)
+                .count();
+        if (!combined.ok()) {
+          // The merged run came out of our own loser tree; malformed
+          // framing here is a framework bug, not input damage.
+          return Annotate(combined.status(),
+                          StringPrintf("map task %d: merge-time combine",
+                                       task_id_));
+        }
+        combine_removed_ += merged.records - combined->records;
+        combine_.merge_output_records += combined->records;
+        combine_.merge_output_bytes +=
+            static_cast<int64_t>(combined->data.size());
+        merged = std::move(combined).value();
+      }
       out.data.append(merged.data);
       range.records = merged.records;
       range.length = static_cast<int64_t>(out.data.size()) - range.offset;
@@ -286,6 +333,7 @@ class LocalMapContext final : public MapContext {
   int64_t emitted() const { return emitted_; }
   int64_t spill_count() const { return static_cast<int64_t>(spills_.size()); }
   int64_t combine_removed() const { return combine_removed_; }
+  const MapCombineStats& combine_stats() const { return combine_; }
   int64_t spilled_bytes() const { return spilled_bytes_; }
   int64_t spill_extents() const { return spill_extents_; }
   int64_t spill_degradations() const { return spill_degradations_; }
@@ -308,8 +356,18 @@ class LocalMapContext final : public MapContext {
     SpillSegment spill = buffer_.ToSpill();
     if (combiner_ != nullptr) {
       const int64_t before = spill.total_records();
+      const int64_t before_bytes = spill.total_bytes();
+      const auto t0 = Clock::now();
       spill = CombineSegment(spill, ComparatorFor(conf_.record.type),
                              combiner_.get(), conf_, task_id_);
+      combine_.combine_micros +=
+          std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                t0)
+              .count();
+      combine_.spill_input_records += before;
+      combine_.spill_input_bytes += before_bytes;
+      combine_.spill_output_records += spill.total_records();
+      combine_.spill_output_bytes += spill.total_bytes();
       combine_removed_ += before - spill.total_records();
     }
     buffer_.Clear();
@@ -356,6 +414,7 @@ class LocalMapContext final : public MapContext {
   std::vector<SpillSlot> spills_;
   int64_t emitted_ = 0;
   int64_t combine_removed_ = 0;
+  MapCombineStats combine_;
   int64_t resident_spill_bytes_ = 0;
   int64_t spilled_bytes_ = 0;
   int64_t spill_extents_ = 0;
@@ -426,6 +485,8 @@ struct MapTaskStats {
   int64_t spilled_bytes = 0;
   int64_t spill_extents = 0;
   int64_t spill_degradations = 0;
+  // Per-stage combine accounting (zeros without a combiner).
+  MapCombineStats combine;
 };
 
 struct MapAttemptOutcome {
@@ -444,10 +505,11 @@ struct ReduceTaskOutcome {
 
 struct ReduceAttemptOutcome {
   Status status;  // OK iff `committed` is valid
-  // Map tasks whose partition turned out malformed mid-merge; non-empty
-  // only with a kDataLoss status. The scheduler re-executes these maps,
-  // re-fetches, and re-runs the reduce without charging its failure budget.
-  std::vector<int> corrupt_maps;
+  // Shuffle streams whose partition turned out malformed mid-merge;
+  // non-empty only with a kDataLoss status. The scheduler re-executes the
+  // producing maps, re-fetches, and re-runs the reduce without charging
+  // its failure budget.
+  std::vector<int> corrupt_streams;
   ReduceTaskOutcome committed;
 };
 
@@ -464,6 +526,15 @@ JournalMapStats ToJournalStats(const MapTaskStats& stats) {
   out.spilled_bytes = stats.spilled_bytes;
   out.spill_extents = stats.spill_extents;
   out.spill_degradations = stats.spill_degradations;
+  out.combine_spill_input_records = stats.combine.spill_input_records;
+  out.combine_spill_output_records = stats.combine.spill_output_records;
+  out.combine_spill_input_bytes = stats.combine.spill_input_bytes;
+  out.combine_spill_output_bytes = stats.combine.spill_output_bytes;
+  out.combine_merge_input_records = stats.combine.merge_input_records;
+  out.combine_merge_output_records = stats.combine.merge_output_records;
+  out.combine_merge_input_bytes = stats.combine.merge_input_bytes;
+  out.combine_merge_output_bytes = stats.combine.merge_output_bytes;
+  out.combine_micros = stats.combine.combine_micros;
   return out;
 }
 
@@ -478,6 +549,15 @@ MapTaskStats FromJournalStats(const JournalMapStats& stats) {
   out.spilled_bytes = stats.spilled_bytes;
   out.spill_extents = stats.spill_extents;
   out.spill_degradations = stats.spill_degradations;
+  out.combine.spill_input_records = stats.combine_spill_input_records;
+  out.combine.spill_output_records = stats.combine_spill_output_records;
+  out.combine.spill_input_bytes = stats.combine_spill_input_bytes;
+  out.combine.spill_output_bytes = stats.combine_spill_output_bytes;
+  out.combine.merge_input_records = stats.combine_merge_input_records;
+  out.combine.merge_output_records = stats.combine_merge_output_records;
+  out.combine.merge_input_bytes = stats.combine_merge_input_bytes;
+  out.combine.merge_output_bytes = stats.combine_merge_output_bytes;
+  out.combine.combine_micros = stats.combine_micros;
   return out;
 }
 
@@ -668,6 +748,7 @@ MapAttemptOutcome RunMapAttempt(const JobConf& conf, int task, int attempt,
   outcome.stats.output_records = context.emitted();
   outcome.stats.spill_count = context.spill_count();
   outcome.stats.combine_removed = context.combine_removed();
+  outcome.stats.combine = context.combine_stats();
   outcome.stats.spilled_bytes = context.spilled_bytes();
   outcome.stats.spill_extents = context.spill_extents();
   outcome.stats.spill_degradations = context.spill_degradations();
@@ -704,38 +785,41 @@ MapAttemptOutcome RunMapAttempt(const JobConf& conf, int task, int attempt,
 // says so, which makes the set of streams in each fold — and therefore the
 // order of equal keys — depend on arrival timing. We bound the final
 // fan-in the same way but pick the folds statically: a pure function of
-// (num_maps, merge_factor) that groups *consecutive* map ids, level by
+// (num_leaves, merge_factor) that groups *consecutive* leaf ids, level by
 // level, until at most merge_factor streams remain. Contiguous ascending
 // spans plus the merge's input-index tie-break mean equal keys always come
-// out in ascending map-id order, exactly like one flat merge over all maps
-// — so job output is byte-identical no matter when segments arrived.
+// out in ascending leaf-id order, exactly like one flat merge over all
+// leaves — so job output is byte-identical no matter when segments
+// arrived. A leaf is one shuffle stream: a single map's output, or — with
+// in-node combining — one node-combined block of consecutive maps, whose
+// own internal merge preserved exactly the same ascending order.
 
-// Exactly one of `node` / `map` is >= 0: a reference to an intermediate
-// merge's output or to one raw fetched map partition.
+// Exactly one of `node` / `leaf` is >= 0: a reference to an intermediate
+// merge's output or to one raw fetched shuffle-stream partition.
 struct StreamRef {
   int node = -1;
-  int map = -1;
+  int leaf = -1;
 };
 
 struct PlanNode {
   std::vector<StreamRef> children;
-  int map_begin = 0;  // leaf span [map_begin, map_end) this node covers
-  int map_end = 0;
+  int leaf_begin = 0;  // leaf span [leaf_begin, leaf_end) this node covers
+  int leaf_end = 0;
 };
 
 struct MergePlan {
   std::vector<PlanNode> nodes;           // children always precede parents
-  std::vector<StreamRef> final_streams;  // ascending map-span order
+  std::vector<StreamRef> final_streams;  // ascending leaf-span order
 };
 
-MergePlan BuildMergePlan(int num_maps, int merge_factor) {
+MergePlan BuildMergePlan(int num_leaves, int merge_factor) {
   MergePlan plan;
-  std::vector<StreamRef> level(static_cast<size_t>(num_maps));
-  for (int m = 0; m < num_maps; ++m) level[static_cast<size_t>(m)].map = m;
+  std::vector<StreamRef> level(static_cast<size_t>(num_leaves));
+  for (int m = 0; m < num_leaves; ++m) level[static_cast<size_t>(m)].leaf = m;
   const auto span_of = [&plan](const StreamRef& s) -> std::pair<int, int> {
-    if (s.map >= 0) return {s.map, s.map + 1};
+    if (s.leaf >= 0) return {s.leaf, s.leaf + 1};
     const PlanNode& node = plan.nodes[static_cast<size_t>(s.node)];
-    return {node.map_begin, node.map_end};
+    return {node.leaf_begin, node.leaf_end};
   };
   while (static_cast<int>(level.size()) > merge_factor) {
     std::vector<StreamRef> next;
@@ -749,8 +833,8 @@ MergePlan BuildMergePlan(int num_maps, int merge_factor) {
       PlanNode node;
       node.children.assign(level.begin() + static_cast<int64_t>(i),
                            level.begin() + static_cast<int64_t>(end));
-      node.map_begin = span_of(node.children.front()).first;
-      node.map_end = span_of(node.children.back()).second;
+      node.leaf_begin = span_of(node.children.front()).first;
+      node.leaf_end = span_of(node.children.back()).second;
       plan.nodes.push_back(std::move(node));
       StreamRef ref;
       ref.node = static_cast<int>(plan.nodes.size()) - 1;
@@ -768,19 +852,32 @@ MergePlan BuildMergePlan(int num_maps, int merge_factor) {
 // MergeManager:
 //
 //   map commit --publish(gen)--> per-reduce fetch queues --> drain events
-//     (verify CRC once per (map, gen), zero-copy view into the sealed
+//     (verify CRC once per (stream, gen), zero-copy view into the sealed
 //      segment, fold ready merge-plan nodes) --> all inputs current
 //     --> final task (bounded-fan-in merge + reduce function).
 //
 // Reducers launch once `reduce_slowstart` of the maps committed; fetch and
 // background-merge work rides the shuffle lane so it interleaves with the
 // remaining map attempts. Generations keep the fault semantics: a fetch
-// that fails verification declares the output lost, bumps the map's target
-// generation and re-executes it inline; reduces that already fetched the
-// stale generation drop it when the fresh commit's event arrives (the
-// shared_ptr keeps old bytes alive for reduces that already consumed them —
-// re-executed output is byte-identical anyway, by the determinism
-// contract).
+// that fails verification declares the output lost, bumps the stream's
+// target generation and re-executes its producer(s) inline; reduces that
+// already fetched the stale generation drop it when the fresh commit's
+// event arrives (the shared_ptr keeps old bytes alive for reduces that
+// already consumed them — re-executed output is byte-identical anyway, by
+// the determinism contract).
+//
+// In-node combining (node_combine_min_maps = k >= 2) inserts one stage
+// between map commits and the shuffle: maps are grouped into fixed blocks
+// of k consecutive task ids — a pure function of (num_maps, k), never of
+// timing — and the shuffle serves one combined stream per block. When the
+// last member of a block commits, the block's sealed segments are merged
+// per partition, the combiner re-runs over each key group
+// (BuildNodeCombinedSegment), and the re-sealed result is published under
+// the block's stream id and generation. A lost stream re-executes every
+// member and rebuilds; a member whose bytes turn out damaged at build time
+// is re-executed alone, exactly like a failed reduce-side fetch. With k <
+// 2 every stream is a single map and the plane is byte-for-byte the
+// legacy one.
 class PipelinedJob {
  public:
   PipelinedJob(const JobConf& conf, InputFormat* input_format,
@@ -798,15 +895,20 @@ class PipelinedJob {
         combiner_factory_(combiner_factory),
         comparator_(ComparatorFor(conf.record.type)),
         injector_(conf.local_fault_plan, conf.seed),
-        plan_(BuildMergePlan(conf.num_maps, conf.merge_factor)),
+        group_size_(conf.node_combine_min_maps >= 2
+                        ? conf.node_combine_min_maps
+                        : 1),
+        num_streams_((conf.num_maps + group_size_ - 1) / group_size_),
+        plan_(BuildMergePlan(num_streams_, conf.merge_factor)),
         pool_(conf.local_threads),
         watchdog_(conf.task_timeout_ms),
         slowstart_threshold_(static_cast<int>(std::ceil(
             conf.reduce_slowstart * static_cast<double>(conf.num_maps)))),
         slots_(static_cast<size_t>(conf.num_maps)),
+        groups_(static_cast<size_t>(num_streams_)),
         reduces_(static_cast<size_t>(conf.num_reduces)) {
     for (ReduceShuffle& rs : reduces_) {
-      rs.inputs.resize(static_cast<size_t>(conf.num_maps));
+      rs.inputs.resize(static_cast<size_t>(num_streams_));
       rs.nodes.resize(plan_.nodes.size());
     }
     reduce_adopted_.assign(static_cast<size_t>(conf.num_reduces), 0);
@@ -852,9 +954,33 @@ class PipelinedJob {
     MapTaskStats stats;
   };
 
+  // What the shuffle actually serves for one stream. A singleton stream
+  // aliases its member's MapSlot output under the member's generation; a
+  // multi-member stream holds the node-combined segment under its own
+  // generation counter (bumped whenever the combined content must change:
+  // a member re-executed, or the combined bytes themselves were lost).
+  struct GroupSlot {
+    std::shared_ptr<const SpillSegment> segment;
+    std::shared_ptr<const StoredSpill> stored;
+    int committed_gen = -1;  // generation served; -1 = nothing published
+    int target_gen = 0;      // bumped when the stream is declared lost
+    bool building = false;   // a BuildGroup is in flight for this stream
+  };
+
+  // Fixed node-combine blocks: stream s covers maps [s*k, min((s+1)*k,
+  // num_maps)) with k = group_size_. Pure functions of the conf, so the
+  // grouping — and therefore every byte the shuffle serves — is identical
+  // for any thread count or commit order.
+  int StreamOf(int m) const { return m / group_size_; }
+  int MemberBegin(int s) const { return s * group_size_; }
+  int MemberEnd(int s) const {
+    return std::min((s + 1) * group_size_, conf_.num_maps);
+  }
+  int GroupSizeOf(int s) const { return MemberEnd(s) - MemberBegin(s); }
+
   struct ReduceShuffle {
     // ---- guarded by mu_ ----
-    std::deque<int> fetch_queue;  // committed map ids to fetch
+    std::deque<int> fetch_queue;  // committed stream ids to fetch
     bool drain_scheduled = false;
     bool final_scheduled = false;
     bool completed = false;
@@ -990,59 +1116,243 @@ class PipelinedJob {
   // between the two leaves a record resume can act on, never a visible
   // output the journal does not know about.
   void CommitMapOutput(int m, int attempt, MapAttemptOutcome outcome) {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (journal_ != nullptr) {
-      if (job_failed_) return;
-      JournalMapCommit commit;
-      commit.task = m;
-      commit.attempt = attempt;
-      commit.stats = ToJournalStats(outcome.stats);
-      if (outcome.stored_output != nullptr) {
-        commit.has_extent = true;
-        commit.extent.file_name = Basename(outcome.stored_output->path());
-        commit.extent.file_bytes = outcome.stored_output->file_bytes();
-        commit.extent.logical_bytes = outcome.stored_output->logical_bytes();
-        commit.extent.partitions = outcome.stored_output->partitions();
+    int build_stream = -1;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (journal_ != nullptr) {
+        if (job_failed_) return;
+        JournalMapCommit commit;
+        commit.task = m;
+        commit.attempt = attempt;
+        commit.stats = ToJournalStats(outcome.stats);
+        if (outcome.stored_output != nullptr) {
+          commit.has_extent = true;
+          commit.extent.file_name = Basename(outcome.stored_output->path());
+          commit.extent.file_bytes = outcome.stored_output->file_bytes();
+          commit.extent.logical_bytes = outcome.stored_output->logical_bytes();
+          commit.extent.partitions = outcome.stored_output->partitions();
+        }
+        const Status appended = journal_->AppendMapCommit(commit);
+        if (!appended.ok()) {
+          FailJobLocked(Annotate(appended, "job journal append"));
+          return;
+        }
+        if (MaybeCrashLocked(CrashEvent::kMapCommit)) return;
       }
-      const Status appended = journal_->AppendMapCommit(commit);
-      if (!appended.ok()) {
-        FailJobLocked(Annotate(appended, "job journal append"));
+      MapSlot& slot = slots_[static_cast<size_t>(m)];
+      if (outcome.stored_output != nullptr) {
+        slot.stored = std::move(outcome.stored_output);
+        slot.segment.reset();
+      } else {
+        slot.segment =
+            std::make_shared<const SpillSegment>(std::move(outcome.output));
+        slot.stored.reset();
+      }
+      slot.committed_gen = slot.target_gen;
+      slot.stats = outcome.stats;
+      const int s = StreamOf(m);
+      GroupSlot& group = groups_[static_cast<size_t>(s)];
+      if (GroupSizeOf(s) == 1) {
+        // Singleton stream: the shuffle serves the map output directly,
+        // under the member's own generation.
+        group.segment = slot.segment;
+        group.stored = slot.stored;
+        group.committed_gen = slot.committed_gen;
+        group.target_gen = slot.committed_gen;
+        if (transport_server_ != nullptr) {
+          // Publish before the fetch events fan out (same critical
+          // section), so a fetcher can never race ahead of the server's
+          // registration.
+          transport_server_->Publish(
+              s, static_cast<uint32_t>(group.committed_gen), group.segment,
+              group.stored);
+        }
+      } else if (AllMembersCurrentLocked(s)) {
+        // Last member of the block just (re-)committed: the combined
+        // content must change, so retarget and rebuild. The build runs
+        // outside the lock on this same worker thread — never parked
+        // waiting for pool capacity, exactly like inline re-execution.
+        if (group.committed_gen >= 0 &&
+            group.committed_gen == group.target_gen) {
+          ++group.target_gen;
+        }
+        if (!group.building) {
+          group.building = true;
+          build_stream = s;
+        }
+      }
+      if (!slot.initial_committed) {
+        slot.initial_committed = true;
+        ++initial_commits_;
+        if (initial_commits_ == conf_.num_maps) {
+          map_phase_end_ = Clock::now();
+          map_phase_done_ = true;
+        }
+        if (!reduces_launched_ && initial_commits_ >= slowstart_threshold_) {
+          LaunchReducesLocked();
+        }
+      }
+      if (reduces_launched_ && GroupSizeOf(s) == 1) {
+        for (int r = 0; r < conf_.num_reduces; ++r) EnqueueFetchLocked(r, s);
+      }
+      cv_.notify_all();  // wakes WaitUntilCurrent
+    }
+    if (build_stream >= 0) BuildGroup(build_stream);
+  }
+
+  bool AllMembersCurrentLocked(int s) const {
+    for (int m = MemberBegin(s); m < MemberEnd(s); ++m) {
+      const MapSlot& slot = slots_[static_cast<size_t>(m)];
+      if (slot.committed_gen < 0 || slot.committed_gen != slot.target_gen) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // Builds (or rebuilds) the node-combined segment for multi-member stream
+  // `s` and publishes it under the group's target generation. Runs outside
+  // mu_ on the committing worker's thread; `building` guarantees a single
+  // builder per stream. Loops until the installed segment matches the
+  // group's target — a member re-commit mid-build just bumps the target
+  // and the loop folds the fresh bytes in.
+  void BuildGroup(int s) {
+    while (true) {
+      std::vector<NodeCombineMember> members;
+      int target = 0;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        GroupSlot& group = groups_[static_cast<size_t>(s)];
+        if (job_failed_ || !AllMembersCurrentLocked(s) ||
+            group.committed_gen == group.target_gen) {
+          // Failing job, a member mid-regeneration (its re-commit will
+          // retrigger), or another commit already satisfied the target.
+          group.building = false;
+          return;
+        }
+        target = group.target_gen;
+        for (int m = MemberBegin(s); m < MemberEnd(s); ++m) {
+          const MapSlot& slot = slots_[static_cast<size_t>(m)];
+          members.push_back({m, slot.segment, slot.stored});
+        }
+      }
+      std::unique_ptr<Reducer> combiner =
+          combiner_factory_ != nullptr ? combiner_factory_(s) : nullptr;
+      std::vector<int> corrupt;
+      Result<NodeCombineOutput> built = BuildNodeCombinedSegment(
+          members, conf_, comparator_, combiner.get(), s, &corrupt);
+      if (!built.ok()) {
+        if (!HandleGroupBuildFailure(s, target, corrupt, built.status())) {
+          return;
+        }
+        continue;  // members re-committed; rebuild from fresh bytes
+      }
+      NodeCombineOutput output = std::move(built).value();
+      std::shared_ptr<const StoredSpill> stored;
+      if (store_ != nullptr) {
+        // Park the combined segment in the spill store like any final map
+        // output, so the tcp transport serves it through the same
+        // zero-copy sendfile path. Extent task ids live above the real
+        // maps'; ENOSPC/EIO degrades to RAM residency as usual. The
+        // extent is derived state — never journaled, swept as an orphan
+        // on resume, rebuilt from the members.
+        Result<std::shared_ptr<const StoredSpill>> put =
+            store_->Put(output.segment, conf_.num_maps + s, target);
+        if (put.ok()) {
+          stored = std::move(put).value();
+        } else {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++result_.spill_degradations;
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        GroupSlot& group = groups_[static_cast<size_t>(s)];
+        if (group.target_gen != target) continue;  // content moved on
+        if (stored != nullptr) {
+          group.stored = std::move(stored);
+          group.segment.reset();
+        } else {
+          group.segment = std::make_shared<const SpillSegment>(
+              std::move(output.segment));
+          group.stored.reset();
+        }
+        group.committed_gen = target;
+        group.building = false;
+        result_.combine_node_input_records += output.stats.input_records;
+        result_.combine_node_output_records += output.stats.output_records;
+        result_.combine_node_input_bytes += output.stats.input_bytes;
+        result_.combine_node_output_bytes += output.stats.output_bytes;
+        ++result_.node_combines;
+        combine_node_seconds_ += output.stats.combine_seconds;
+        if (transport_server_ != nullptr) {
+          transport_server_->Publish(s, static_cast<uint32_t>(target),
+                                     group.segment, group.stored);
+        }
+        if (reduces_launched_) {
+          for (int r = 0; r < conf_.num_reduces; ++r) {
+            EnqueueFetchLocked(r, s);
+          }
+        }
+        cv_.notify_all();
         return;
       }
-      if (MaybeCrashLocked(CrashEvent::kMapCommit)) return;
     }
-    MapSlot& slot = slots_[static_cast<size_t>(m)];
-    if (outcome.stored_output != nullptr) {
-      slot.stored = std::move(outcome.stored_output);
-      slot.segment.reset();
-    } else {
-      slot.segment =
-          std::make_shared<const SpillSegment>(std::move(outcome.output));
-      slot.stored.reset();
-    }
-    slot.committed_gen = slot.target_gen;
-    slot.stats = outcome.stats;
-    if (transport_server_ != nullptr) {
-      // Publish before the fetch events fan out (same critical section), so
-      // a fetcher can never race ahead of the server's registration.
-      transport_server_->Publish(m, static_cast<uint32_t>(slot.committed_gen),
-                                 slot.segment, slot.stored);
-    }
-    if (!slot.initial_committed) {
-      slot.initial_committed = true;
-      ++initial_commits_;
-      if (initial_commits_ == conf_.num_maps) {
-        map_phase_end_ = Clock::now();
-        map_phase_done_ = true;
+  }
+
+  // A node-combine build hit damaged member bytes. Re-executes the blamed
+  // members inline (bumping the group's target so nothing serves the old
+  // combined bytes meanwhile) and returns true when the caller should
+  // rebuild; false when the job is failing. `building` stays held by the
+  // calling BuildGroup throughout, so member re-commits cannot start a
+  // second builder.
+  bool HandleGroupBuildFailure(int s, int target,
+                               const std::vector<int>& corrupt,
+                               const Status& status) {
+    std::vector<int> reexec(corrupt);
+    std::sort(reexec.begin(), reexec.end());
+    reexec.erase(std::unique(reexec.begin(), reexec.end()), reexec.end());
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (reexec.empty() || job_failed_) {
+        // No member to blame (compression failure, internal error): the
+        // rebuild could only fail identically, so the job fails.
+        groups_[static_cast<size_t>(s)].building = false;
+        FailJobLocked(Annotate(
+            status, StringPrintf("node combine of stream %d failed", s)));
+        return false;
       }
-      if (!reduces_launched_ && initial_commits_ >= slowstart_threshold_) {
-        LaunchReducesLocked();
+      result_.corruptions_detected += static_cast<int64_t>(reexec.size());
+      GroupSlot& group = groups_[static_cast<size_t>(s)];
+      if (group.target_gen == target) ++group.target_gen;
+      for (int m : reexec) {
+        MapSlot& slot = slots_[static_cast<size_t>(m)];
+        if (slot.committed_gen >= 0 && slot.committed_gen == slot.target_gen) {
+          ++slot.target_gen;
+        }
+        if (slot.attempts_started >= conf_.max_task_attempts) {
+          group.building = false;
+          FailJobLocked(Status::DataLoss(StringPrintf(
+              "map task %d output still corrupt after %d attempts", m,
+              conf_.max_task_attempts)));
+          return false;
+        }
       }
     }
-    if (reduces_launched_) {
-      for (int r = 0; r < conf_.num_reduces; ++r) EnqueueFetchLocked(r, m);
+    for (int m : reexec) {
+      const Status reran = RunMapToCommit(m);
+      if (!reran.ok()) {
+        FailJob(reran);
+        break;
+      }
+      if (JobFailed()) break;
     }
-    cv_.notify_all();  // wakes WaitUntilCurrent
+    if (JobFailed()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      groups_[static_cast<size_t>(s)].building = false;
+      return false;
+    }
+    return true;
   }
 
   // Slow-start gate: no fetcher runs before `reduce_slowstart` of the maps
@@ -1052,23 +1362,24 @@ class PipelinedJob {
     reduces_launched_ = true;
     launch_time_ = Clock::now();
     for (int r = 0; r < conf_.num_reduces; ++r) {
-      for (int m = 0; m < conf_.num_maps; ++m) {
-        const MapSlot& slot = slots_[static_cast<size_t>(m)];
-        if (slot.committed_gen >= 0 && slot.committed_gen == slot.target_gen) {
-          EnqueueFetchLocked(r, m);
+      for (int s = 0; s < num_streams_; ++s) {
+        const GroupSlot& group = groups_[static_cast<size_t>(s)];
+        if (group.committed_gen >= 0 &&
+            group.committed_gen == group.target_gen) {
+          EnqueueFetchLocked(r, s);
         }
       }
     }
   }
 
-  void EnqueueFetchLocked(int r, int m) {
+  void EnqueueFetchLocked(int r, int s) {
     ReduceShuffle& rs = reduces_[static_cast<size_t>(r)];
     // Once the final task is scheduled this reduce's inputs are frozen: a
     // reduce that finished fetching keeps consuming the generation it has
     // (byte-identical to any regeneration), like a Hadoop reducer that
     // completed its copy phase before a map re-ran for someone else.
     if (rs.final_scheduled) return;
-    rs.fetch_queue.push_back(m);
+    rs.fetch_queue.push_back(s);
     if (!rs.drain_scheduled) {
       rs.drain_scheduled = true;
       pool_.Submit(kShuffleLane, [this, r] { DrainFetches(r); });
@@ -1079,7 +1390,7 @@ class PipelinedJob {
   void DrainFetches(int r) {
     ReduceShuffle& rs = reduces_[static_cast<size_t>(r)];
     while (true) {
-      int m = -1;
+      int s = -1;
       {
         std::lock_guard<std::mutex> lock(mu_);
         if (job_failed_) {
@@ -1091,30 +1402,32 @@ class PipelinedJob {
           MaybeScheduleFinalLocked(r);
           return;
         }
-        m = rs.fetch_queue.front();
+        s = rs.fetch_queue.front();
         rs.fetch_queue.pop_front();
       }
-      ProcessFetch(r, m);
+      ProcessFetch(r, s);
     }
   }
 
-  void ProcessFetch(int r, int m) {
+  void ProcessFetch(int r, int s) {
     ReduceShuffle& rs = reduces_[static_cast<size_t>(r)];
     std::shared_ptr<const SpillSegment> segment;
     std::shared_ptr<const StoredSpill> disk;
     int gen = -1;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      const MapSlot& slot = slots_[static_cast<size_t>(m)];
-      if (slot.committed_gen < 0 || slot.committed_gen != slot.target_gen) {
-        return;  // output mid-regeneration; the fresh commit re-publishes
+      const GroupSlot& group = groups_[static_cast<size_t>(s)];
+      if (group.committed_gen < 0 ||
+          group.committed_gen != group.target_gen) {
+        return;  // stream mid-regeneration; the fresh publish re-enqueues
       }
-      if (rs.inputs[static_cast<size_t>(m)].generation == slot.committed_gen) {
+      if (rs.inputs[static_cast<size_t>(s)].generation ==
+          group.committed_gen) {
         return;  // duplicate event
       }
-      segment = slot.segment;
-      disk = slot.stored;
-      gen = slot.committed_gen;
+      segment = group.segment;
+      disk = group.stored;
+      gen = group.committed_gen;
     }
     // Simulated transfer time, spent before the busy window so it lands in
     // the shuffle-wait bucket (lifetime minus busy), not in merge time.
@@ -1140,8 +1453,8 @@ class PipelinedJob {
     const auto t0 = Clock::now();
     const bool stored =
         transport_client_ != nullptr
-            ? FetchAndStoreTcp(r, &rs, m, gen)
-            : VerifyAndStore(r, &rs, m, std::move(segment), std::move(disk),
+            ? FetchAndStoreTcp(r, &rs, s, gen)
+            : VerifyAndStore(r, &rs, s, std::move(segment), std::move(disk),
                              gen);
     if (stored) RunReadyNodes(r, &rs);
     const auto t1 = Clock::now();
@@ -1149,18 +1462,18 @@ class PipelinedJob {
     AddBusy(t0, t1, /*merge_bucket=*/true);
     if (!stored) {
       // Verification failed: the loss was reported (and, if this thread
-      // was the first reporter, the map re-executed inline just now — that
-      // time is charged to the map phase, not the shuffle).
-      HandleLostOutput(r, m, gen);
+      // was the first reporter, the producers re-executed inline just now —
+      // that time is charged to the map phase, not the shuffle).
+      HandleLostStream(r, s, gen);
     }
   }
 
-  // Verifies one fetched (map, generation) partition — the once-per-
+  // Verifies one fetched (stream, generation) partition — the once-per-
   // generation CRC check; re-fetches of the same generation never re-hash —
   // and stores the zero-copy view, invalidating any stale generation it
   // replaces (plus every merge-plan node that folded the stale bytes).
   // Returns false on a CRC mismatch, which the caller reports.
-  bool VerifyAndStore(int r, ReduceShuffle* rs, int m,
+  bool VerifyAndStore(int r, ReduceShuffle* rs, int s,
                       std::shared_ptr<const SpillSegment> segment,
                       std::shared_ptr<const StoredSpill> disk, int gen) {
     const bool codec_active =
@@ -1207,11 +1520,11 @@ class PipelinedJob {
       }
       if (!verify.ok()) return false;
     }
-    // Decompress once per (map, partition, generation) — the codec sibling
-    // of the CRC verify cache; re-fetches of a cached generation never
-    // re-inflate. A frame that fails to decode (its header CRC catches
-    // corruption even when checksum verification is off) is the same
-    // lost-output event as a CRC mismatch.
+    // Decompress once per (stream, partition, generation) — the codec
+    // sibling of the CRC verify cache; re-fetches of a cached generation
+    // never re-inflate. A frame that fails to decode (its header CRC
+    // catches corruption even when checksum verification is off) is the
+    // same lost-output event as a CRC mismatch.
     std::string decompressed;
     if (disk == nullptr && codec_active) {
       const Status decode =
@@ -1222,17 +1535,17 @@ class PipelinedJob {
         return false;
       }
     }
-    FetchedInput& input = rs->inputs[static_cast<size_t>(m)];
+    FetchedInput& input = rs->inputs[static_cast<size_t>(s)];
     if (input.generation >= 0) {
       std::lock_guard<std::mutex> lock(mu_);
       ++result_.stale_fetches_invalidated;
     }
-    if (input.generation >= 0) DirtyNodesCovering(rs, m);
+    if (input.generation >= 0) DirtyNodesCovering(rs, s);
     input.generation = gen;
     if (disk != nullptr) {
       // The read already copied (and decoded) this reduce's slice; the
       // copy is self-owned, so the extent handle itself need not be pinned
-      // here — MapSlot keeps it alive for later fetches.
+      // here — GroupSlot keeps it alive for later fetches.
       input.segment.reset();
       input.decompressed = std::move(owned);
       input.view = input.decompressed;
@@ -1248,19 +1561,20 @@ class PipelinedJob {
     return true;
   }
 
-  // The tcp sibling of VerifyAndStore: fetches map `m`'s partition `r` over
-  // the wire at generation `gen`, verifies it end to end, and stores the
-  // merge-ready bytes. Transport-level failures (dropped connection, torn
-  // header, short body) retry on a fresh connection; CRC mismatches and
-  // undecodable frames are corruption and go straight to the lost-output
-  // path. Returns false when the caller must report the output lost; stale
-  // and not-found refusals also return false, where HandleLostOutput is a
-  // no-op (the slot moved on) and the fresh commit's event re-fetches.
-  bool FetchAndStoreTcp(int r, ReduceShuffle* rs, int m, int gen) {
+  // The tcp sibling of VerifyAndStore: fetches stream `s`'s partition `r`
+  // over the wire at generation `gen`, verifies it end to end, and stores
+  // the merge-ready bytes. Transport-level failures (dropped connection,
+  // torn header, short body) retry on a fresh connection; CRC mismatches
+  // and undecodable frames are corruption and go straight to the
+  // lost-output path. Returns false when the caller must report the stream
+  // lost; stale and not-found refusals also return false, where
+  // HandleLostStream is a no-op (the slot moved on) and the fresh commit's
+  // event re-fetches.
+  bool FetchAndStoreTcp(int r, ReduceShuffle* rs, int s, int gen) {
     ShuffleFetchResult fetched;
     for (int attempt = 0;; ++attempt) {
       Result<ShuffleFetchResult> fetch =
-          transport_client_->Fetch(m, r, static_cast<uint32_t>(gen));
+          transport_client_->Fetch(s, r, static_cast<uint32_t>(gen));
       if (fetch.ok()) {
         fetched = std::move(fetch).value();
         break;
@@ -1312,13 +1626,13 @@ class PipelinedJob {
     } else {
       merged_ready = std::move(wire);
     }
-    FetchedInput& input = rs->inputs[static_cast<size_t>(m)];
+    FetchedInput& input = rs->inputs[static_cast<size_t>(s)];
     if (input.generation >= 0) {
       {
         std::lock_guard<std::mutex> lock(mu_);
         ++result_.stale_fetches_invalidated;
       }
-      DirtyNodesCovering(rs, m);
+      DirtyNodesCovering(rs, s);
     }
     input.generation = gen;
     // The fetched copy is self-owned — no segment to pin, wire or not.
@@ -1328,47 +1642,58 @@ class PipelinedJob {
     return true;
   }
 
-  // Invalidates every intermediate merge that folded map `m`'s bytes.
+  // Invalidates every intermediate merge that folded stream `s`'s bytes.
   // Spans nest, so this covers all ancestors of the leaf too.
-  void DirtyNodesCovering(ReduceShuffle* rs, int m) {
+  void DirtyNodesCovering(ReduceShuffle* rs, int s) {
     for (size_t n = 0; n < plan_.nodes.size(); ++n) {
       const PlanNode& node = plan_.nodes[n];
-      if (node.map_begin <= m && m < node.map_end) {
+      if (node.leaf_begin <= s && s < node.leaf_end) {
         rs->nodes[n] = NodeState();
       }
     }
   }
 
-  // Declares map `m`'s generation `gen` output lost. The first reporter
-  // bumps the target generation and re-executes the map inline on its own
-  // thread (so a worker is never parked waiting for pool capacity); later
-  // reporters return immediately and pick up the fresh commit's event.
-  void HandleLostOutput(int r, int m, int gen) {
+  // Declares stream `s`'s generation `gen` lost. The first reporter bumps
+  // the stream's target generation, bumps every current member map, and
+  // re-executes them inline on its own thread (so a worker is never parked
+  // waiting for pool capacity); later reporters return immediately and
+  // pick up the fresh publish's event. For a multi-member stream the last
+  // member's re-commit triggers the group rebuild.
+  void HandleLostStream(int r, int s, int gen) {
     (void)r;
-    bool run_reexec = false;
+    std::vector<int> reexec;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      MapSlot& slot = slots_[static_cast<size_t>(m)];
-      if (slot.target_gen == gen && slot.committed_gen == gen) {
-        slot.target_gen = gen + 1;
-        run_reexec = true;
+      GroupSlot& group = groups_[static_cast<size_t>(s)];
+      if (group.target_gen != gen || group.committed_gen != gen) {
+        return;  // not the first reporter; the slot already moved on
+      }
+      ++group.target_gen;
+      for (int m = MemberBegin(s); m < MemberEnd(s); ++m) {
+        MapSlot& slot = slots_[static_cast<size_t>(m)];
+        if (slot.committed_gen >= 0 && slot.committed_gen == slot.target_gen) {
+          ++slot.target_gen;
+          reexec.push_back(m);
+        }
+      }
+      for (int m : reexec) {
+        if (slots_[static_cast<size_t>(m)].attempts_started >=
+            conf_.max_task_attempts) {
+          FailJobLocked(Status::DataLoss(StringPrintf(
+              "map task %d output still corrupt after %d attempts", m,
+              conf_.max_task_attempts)));
+          return;
+        }
       }
     }
-    if (!run_reexec) return;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (slots_[static_cast<size_t>(m)].attempts_started >=
-          conf_.max_task_attempts) {
-        job_failed_ = true;
-        job_error_ = Status::DataLoss(StringPrintf(
-            "map task %d output still corrupt after %d attempts", m,
-            conf_.max_task_attempts));
-        cv_.notify_all();
+    for (int m : reexec) {
+      const Status status = RunMapToCommit(m);
+      if (!status.ok()) {
+        FailJob(status);
         return;
       }
+      if (JobFailed()) return;
     }
-    const Status status = RunMapToCommit(m);
-    if (!status.ok()) FailJob(status);
   }
 
   // Folds every merge-plan node whose children are all available. Runs on
@@ -1383,8 +1708,8 @@ class PipelinedJob {
         const PlanNode& node = plan_.nodes[n];
         bool ready = true;
         for (const StreamRef& child : node.children) {
-          if (child.map >= 0) {
-            if (rs->inputs[static_cast<size_t>(child.map)].generation < 0) {
+          if (child.leaf >= 0) {
+            if (rs->inputs[static_cast<size_t>(child.leaf)].generation < 0) {
               ready = false;
               break;
             }
@@ -1397,9 +1722,9 @@ class PipelinedJob {
         std::vector<FramedRun> runs;
         runs.reserve(node.children.size());
         for (const StreamRef& child : node.children) {
-          if (child.map >= 0) {
-            runs.push_back(
-                {rs->inputs[static_cast<size_t>(child.map)].view, child.map});
+          if (child.leaf >= 0) {
+            runs.push_back({rs->inputs[static_cast<size_t>(child.leaf)].view,
+                            child.leaf});
           } else {
             runs.push_back(
                 {rs->nodes[static_cast<size_t>(child.node)].merged.data, -1});
@@ -1414,6 +1739,36 @@ class PipelinedJob {
           ReportCorruptSources(r, rs, node, corrupt_sources);
           return;
         }
+        // Merge-time combining, reduce side: fold output is a sorted run,
+        // so the combiner collapses duplicate keys that straddled the
+        // folded streams before the bytes sit in memory awaiting the final
+        // merge — the MergeManager combine pass, gated by the same knob as
+        // the map-side sibling.
+        if (combiner_factory_ != nullptr && conf_.min_spills_for_combine > 0) {
+          const auto t0 = Clock::now();
+          std::unique_ptr<Reducer> combiner = combiner_factory_(r);
+          Result<MergedRun> combined = CombineSortedRun(
+              merged->data, comparator_, combiner.get(), conf_, r);
+          if (!combined.ok()) {
+            // The run came out of our own fold; this can only be a
+            // framework bug.
+            FailJob(Annotate(
+                combined.status(),
+                StringPrintf("reduce task %d: combining a merge fold", r)));
+            return;
+          }
+          {
+            std::lock_guard<std::mutex> lock(mu_);
+            result_.combine_reduce_input_records += merged->records;
+            result_.combine_reduce_input_bytes +=
+                static_cast<int64_t>(merged->data.size());
+            result_.combine_reduce_output_records += combined->records;
+            result_.combine_reduce_output_bytes +=
+                static_cast<int64_t>(combined->data.size());
+            combine_reduce_seconds_ += Seconds(Clock::now() - t0);
+          }
+          merged = std::move(combined);
+        }
         rs->nodes[n].merged = std::move(merged).value();
         rs->nodes[n].done = true;
         {
@@ -1425,47 +1780,52 @@ class PipelinedJob {
     }
   }
 
-  // Reports every corrupt source of a failed fold. A -1 source is one of
-  // our own intermediate outputs (should be impossible — we wrote those
-  // bytes); blame its whole span to stay safe.
+  // Reports every corrupt source stream of a failed fold. A -1 source is
+  // one of our own intermediate outputs (should be impossible — we wrote
+  // those bytes); blame its whole span to stay safe.
   void ReportCorruptSources(int r, ReduceShuffle* rs, const PlanNode& node,
                             const std::vector<int>& corrupt_sources) {
-    std::vector<int> maps;
+    std::vector<int> streams;
     for (int source : corrupt_sources) {
       if (source >= 0) {
-        maps.push_back(source);
+        streams.push_back(source);
       } else {
-        for (int m = node.map_begin; m < node.map_end; ++m) maps.push_back(m);
+        for (int s = node.leaf_begin; s < node.leaf_end; ++s) {
+          streams.push_back(s);
+        }
       }
     }
-    std::sort(maps.begin(), maps.end());
-    maps.erase(std::unique(maps.begin(), maps.end()), maps.end());
+    std::sort(streams.begin(), streams.end());
+    streams.erase(std::unique(streams.begin(), streams.end()),
+                  streams.end());
     {
       std::lock_guard<std::mutex> lock(mu_);
-      result_.corruptions_detected += static_cast<int64_t>(maps.size());
+      result_.corruptions_detected += static_cast<int64_t>(streams.size());
     }
-    for (int m : maps) {
+    for (int s : streams) {
       int gen;
       {
         std::lock_guard<std::mutex> lock(mu_);
-        gen = rs->inputs[static_cast<size_t>(m)].generation;
+        gen = rs->inputs[static_cast<size_t>(s)].generation;
       }
-      HandleLostOutput(r, m, gen);
+      HandleLostStream(r, s, gen);
       if (JobFailed()) return;
     }
   }
 
-  // Schedules the final merge+reduce once every map's current generation
-  // has been fetched and every background fold is done. Only ever called
-  // by this reduce's drain with the queue empty, so the drain-owned state
-  // is safe to read.
+  // Schedules the final merge+reduce once every stream's current
+  // generation has been fetched and every background fold is done. Only
+  // ever called by this reduce's drain with the queue empty, so the
+  // drain-owned state is safe to read.
   void MaybeScheduleFinalLocked(int r) {
     ReduceShuffle& rs = reduces_[static_cast<size_t>(r)];
     if (rs.final_scheduled || job_failed_) return;
-    for (int m = 0; m < conf_.num_maps; ++m) {
-      const MapSlot& slot = slots_[static_cast<size_t>(m)];
-      if (slot.committed_gen < 0 || slot.committed_gen != slot.target_gen ||
-          rs.inputs[static_cast<size_t>(m)].generation != slot.committed_gen) {
+    for (int s = 0; s < num_streams_; ++s) {
+      const GroupSlot& group = groups_[static_cast<size_t>(s)];
+      if (group.committed_gen < 0 ||
+          group.committed_gen != group.target_gen ||
+          rs.inputs[static_cast<size_t>(s)].generation !=
+              group.committed_gen) {
         return;
       }
     }
@@ -1520,22 +1880,22 @@ class PipelinedJob {
         rs.completed = true;
         return;
       }
-      if (!outcome.corrupt_maps.empty()) {
+      if (!outcome.corrupt_streams.empty()) {
         // Mid-merge DataLoss (the detection path when checksums are off):
         // the producers' fault. Re-execute them, re-fetch, and re-run this
         // reduce as a fresh attempt without charging its failure budget.
         {
           std::lock_guard<std::mutex> lock(mu_);
           result_.corruptions_detected +=
-              static_cast<int64_t>(outcome.corrupt_maps.size());
+              static_cast<int64_t>(outcome.corrupt_streams.size());
         }
-        for (int m : outcome.corrupt_maps) {
+        for (int s : outcome.corrupt_streams) {
           int gen;
           {
             std::lock_guard<std::mutex> lock(mu_);
-            gen = rs.inputs[static_cast<size_t>(m)].generation;
+            gen = rs.inputs[static_cast<size_t>(s)].generation;
           }
-          HandleLostOutput(r, m, gen);
+          HandleLostStream(r, s, gen);
           if (JobFailed()) {
             watchdog_.Disarm(ticket);
             return;
@@ -1586,13 +1946,14 @@ class PipelinedJob {
       commit.output_bytes += static_cast<int64_t>(key.size() + value.size());
     }
     // Input-side stats captured into the record so a resume that adopts
-    // this reduce can report them without any map output present.
-    for (int m = 0; m < conf_.num_maps; ++m) {
-      const MapSlot& slot = slots_[static_cast<size_t>(m)];
+    // this reduce can report them without any map output present. These
+    // count what the shuffle served — node-combined streams, when on.
+    for (int s = 0; s < num_streams_; ++s) {
+      const GroupSlot& group = groups_[static_cast<size_t>(s)];
       const SpillSegment::PartitionRange& range =
-          slot.stored != nullptr
-              ? slot.stored->partitions()[static_cast<size_t>(r)]
-              : slot.segment->partitions[static_cast<size_t>(r)];
+          group.stored != nullptr
+              ? group.stored->partitions()[static_cast<size_t>(r)]
+              : group.segment->partitions[static_cast<size_t>(r)];
       commit.input_records += range.records;
       commit.input_bytes += range.raw_bytes();
     }
@@ -1640,21 +2001,22 @@ class PipelinedJob {
     return true;
   }
 
-  // Blocks until map `m` has a committed, current generation. Waits in
+  // Blocks until stream `s` has a committed, current generation. Waits in
   // short slices so the watchdog token stays responsive.
-  Status WaitUntilCurrent(int m, CancelToken* token) {
+  Status WaitUntilCurrent(int s, CancelToken* token) {
     std::unique_lock<std::mutex> lock(mu_);
     while (true) {
       if (job_failed_) {
         return Status::Internal("job failed while waiting for map output");
       }
-      const MapSlot& slot = slots_[static_cast<size_t>(m)];
-      if (slot.committed_gen >= 0 && slot.committed_gen == slot.target_gen) {
+      const GroupSlot& group = groups_[static_cast<size_t>(s)];
+      if (group.committed_gen >= 0 &&
+          group.committed_gen == group.target_gen) {
         return Status::OK();
       }
       if (token != nullptr && token->cancelled()) {
         return Status::DeadlineExceeded(StringPrintf(
-            "cancelled while waiting for map task %d to re-commit", m));
+            "cancelled while waiting for shuffle stream %d to re-commit", s));
       }
       const auto t0 = Clock::now();
       cv_.wait_for(lock, std::chrono::milliseconds(10));
@@ -1666,32 +2028,32 @@ class PipelinedJob {
   // corruption (final task only; drains are frozen out by final_scheduled,
   // so this thread owns the fetch state again).
   Status RefreshInputs(int r, ReduceShuffle* rs, CancelToken* token) {
-    for (int m = 0; m < conf_.num_maps; ++m) {
+    for (int s = 0; s < num_streams_; ++s) {
       while (true) {
-        MRMB_RETURN_IF_ERROR(WaitUntilCurrent(m, token));
+        MRMB_RETURN_IF_ERROR(WaitUntilCurrent(s, token));
         std::shared_ptr<const SpillSegment> segment;
         std::shared_ptr<const StoredSpill> disk;
         int gen = -1;
         {
           std::lock_guard<std::mutex> lock(mu_);
-          const MapSlot& slot = slots_[static_cast<size_t>(m)];
-          if (rs->inputs[static_cast<size_t>(m)].generation ==
-              slot.committed_gen) {
+          const GroupSlot& group = groups_[static_cast<size_t>(s)];
+          if (rs->inputs[static_cast<size_t>(s)].generation ==
+              group.committed_gen) {
             break;  // already current
           }
-          segment = slot.segment;
-          disk = slot.stored;
-          gen = slot.committed_gen;
+          segment = group.segment;
+          disk = group.stored;
+          gen = group.committed_gen;
         }
         const auto t0 = Clock::now();
         const bool stored =
             transport_client_ != nullptr
-                ? FetchAndStoreTcp(r, rs, m, gen)
-                : VerifyAndStore(r, rs, m, std::move(segment),
+                ? FetchAndStoreTcp(r, rs, s, gen)
+                : VerifyAndStore(r, rs, s, std::move(segment),
                                  std::move(disk), gen);
         AddBusy(t0, Clock::now(), /*merge_bucket=*/true);
         if (stored) break;
-        HandleLostOutput(r, m, gen);  // corrupt again; wait for the next gen
+        HandleLostStream(r, s, gen);  // corrupt again; wait for the next gen
       }
     }
     const auto t0 = Clock::now();
@@ -1728,7 +2090,7 @@ class PipelinedJob {
       return outcome;
     }
 
-    // Final streams in ascending map-span order; the merge's input-index
+    // Final streams in ascending leaf-span order; the merge's input-index
     // tie-break then reproduces the flat merge's equal-key order exactly.
     std::vector<std::unique_ptr<RecordStream>> inputs;
     std::vector<const RecordStream*> readers;
@@ -1736,13 +2098,13 @@ class PipelinedJob {
     inputs.reserve(plan_.final_streams.size());
     for (const StreamRef& ref : plan_.final_streams) {
       std::string_view data;
-      if (ref.map >= 0) {
-        data = rs->inputs[static_cast<size_t>(ref.map)].view;
-        spans.emplace_back(ref.map, ref.map + 1);
+      if (ref.leaf >= 0) {
+        data = rs->inputs[static_cast<size_t>(ref.leaf)].view;
+        spans.emplace_back(ref.leaf, ref.leaf + 1);
       } else {
         const PlanNode& node = plan_.nodes[static_cast<size_t>(ref.node)];
         data = rs->nodes[static_cast<size_t>(ref.node)].merged.data;
-        spans.emplace_back(node.map_begin, node.map_end);
+        spans.emplace_back(node.leaf_begin, node.leaf_end);
       }
       auto reader =
           std::make_unique<SegmentReader>(data, comparator_->type());
@@ -1767,16 +2129,16 @@ class PipelinedJob {
     // verification is disabled (and a second line of defence when not).
     for (size_t i = 0; i < readers.size(); ++i) {
       if (!readers[i]->status().ok()) {
-        for (int m = spans[i].first; m < spans[i].second; ++m) {
-          outcome.corrupt_maps.push_back(m);
+        for (int s = spans[i].first; s < spans[i].second; ++s) {
+          outcome.corrupt_streams.push_back(s);
         }
       }
     }
-    if (!outcome.corrupt_maps.empty()) {
+    if (!outcome.corrupt_streams.empty()) {
       outcome.status = Status::DataLoss(StringPrintf(
-          "reduce task %d: %zu map output partition(s) were malformed "
+          "reduce task %d: %zu shuffle stream partition(s) were malformed "
           "mid-merge",
-          r, outcome.corrupt_maps.size()));
+          r, outcome.corrupt_streams.size()));
       return outcome;
     }
     outcome.committed.output = context.TakeOutput();
@@ -1946,9 +2308,21 @@ class PipelinedJob {
       slot.segment.reset();
       slot.committed_gen = 0;
       slot.target_gen = 0;
-      if (transport_server_ != nullptr) {
-        transport_server_->Publish(m, 0, nullptr, slot.stored);
+      const int s = StreamOf(m);
+      if (GroupSizeOf(s) == 1) {
+        GroupSlot& group = groups_[static_cast<size_t>(s)];
+        group.stored = slot.stored;
+        group.segment.reset();
+        group.committed_gen = 0;
+        group.target_gen = 0;
+        if (transport_server_ != nullptr) {
+          transport_server_->Publish(s, 0, nullptr, group.stored);
+        }
       }
+      // Multi-member streams stay unpublished here: combined segments are
+      // derived state (their extents were swept as orphans above), so
+      // Execute rebuilds fully-adopted groups before the pool spins up and
+      // partially-adopted ones rebuild when their last member re-commits.
       slot.initial_committed = true;
       slot.stats = FromJournalStats(commit.stats);
       ++initial_commits_;
@@ -1966,6 +2340,8 @@ class PipelinedJob {
   const ReducerFactory& combiner_factory_;
   const RawComparator* comparator_;
   const LocalFaultInjector injector_;
+  const int group_size_;   // node-combine block size (1 = in-node off)
+  const int num_streams_;  // shuffle streams = ceil(num_maps / group_size_)
   const MergePlan plan_;
   ThreadPool pool_;
   Watchdog watchdog_;
@@ -2000,7 +2376,12 @@ class PipelinedJob {
   int64_t crash_counts_[4] = {0, 0, 0, 0};
   std::condition_variable cv_;
   std::vector<MapSlot> slots_;
+  std::vector<GroupSlot> groups_;  // per shuffle stream, guarded by mu_
   std::vector<ReduceShuffle> reduces_;
+  // Combine CPU outside map attempts (guarded by mu_): reduce-side fold
+  // combines and in-node builds.
+  double combine_reduce_seconds_ = 0;
+  double combine_node_seconds_ = 0;
   int initial_commits_ = 0;
   bool reduces_launched_ = false;
   bool map_phase_done_ = false;
@@ -2085,6 +2466,21 @@ Status PipelinedJob::Execute(OutputFormat* output_format,
     crashed_at_start = MaybeCrashLocked(CrashEvent::kJobStart);
   }
   if (!crashed_at_start && resume_active_) AdoptFromJournal();
+  if (!crashed_at_start && !all_reduces_adopted_ && group_size_ > 1) {
+    // Rebuild the node-combined segment of every fully-adopted group now,
+    // single-threaded, before any pool work: the combined extents were
+    // swept as orphans, and a group whose members all adopted will never
+    // see another member commit to trigger the build.
+    for (int s = 0; s < num_streams_; ++s) {
+      if (GroupSizeOf(s) == 1 || !AllMembersCurrentLocked(s)) continue;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        groups_[static_cast<size_t>(s)].building = true;
+      }
+      BuildGroup(s);
+      if (JobFailed()) break;
+    }
+  }
   if (!crashed_at_start && !all_reduces_adopted_) {
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -2129,7 +2525,23 @@ Status PipelinedJob::Execute(OutputFormat* output_format,
     result->spilled_bytes += stats.spilled_bytes;
     result->spill_extents += stats.spill_extents;
     result->spill_degradations += stats.spill_degradations;
+    result->combine_spill_input_records += stats.combine.spill_input_records;
+    result->combine_spill_output_records +=
+        stats.combine.spill_output_records;
+    result->combine_spill_input_bytes += stats.combine.spill_input_bytes;
+    result->combine_spill_output_bytes += stats.combine.spill_output_bytes;
+    result->combine_merge_input_records += stats.combine.merge_input_records;
+    result->combine_merge_output_records +=
+        stats.combine.merge_output_records;
+    result->combine_merge_input_bytes += stats.combine.merge_input_bytes;
+    result->combine_merge_output_bytes += stats.combine.merge_output_bytes;
+    result->combine_seconds +=
+        static_cast<double>(stats.combine.combine_micros) / 1e6;
   }
+  // Reduce-side fold combines and in-node builds were accumulated live
+  // (they are job-level, not per-attempt, work).
+  result->combine_seconds += combine_reduce_seconds_ + combine_node_seconds_;
+  result->shuffle_streams = num_streams_;
   if (store_ != nullptr) {
     // Store-wide counters (covers failed attempts' extents too, which the
     // per-committed-attempt sums above deliberately exclude).
@@ -2171,6 +2583,36 @@ Status PipelinedJob::Execute(OutputFormat* output_format,
           ? static_cast<double>(result->map_output_wire_bytes) /
                 static_cast<double>(result->map_output_bytes)
           : 1.0;
+  // Wire bytes the shuffle serves at the final generations. Without
+  // in-node combining every stream aliases one map output, so this equals
+  // map_output_wire_bytes; with it, the combined segments' (smaller)
+  // footprint is the extra cut the in-node stage buys on top of the
+  // map-side stages. An all-adopted resume never populated the streams —
+  // no shuffle happened, so the serve side degenerates to the wire bytes.
+  bool streams_live = true;
+  for (const GroupSlot& group : groups_) {
+    if (group.committed_gen < 0) {
+      streams_live = false;
+      break;
+    }
+  }
+  if (streams_live) {
+    for (const GroupSlot& group : groups_) {
+      const std::vector<SpillSegment::PartitionRange>& parts =
+          group.stored != nullptr ? group.stored->partitions()
+                                  : group.segment->partitions;
+      for (const SpillSegment::PartitionRange& range : parts) {
+        result->shuffle_serve_bytes += range.length;
+      }
+    }
+  } else {
+    result->shuffle_serve_bytes = result->map_output_wire_bytes;
+  }
+  result->shuffle_savings_ratio =
+      result->map_output_wire_bytes > 0
+          ? 1.0 - static_cast<double>(result->shuffle_serve_bytes) /
+                      static_cast<double>(result->map_output_wire_bytes)
+          : 0.0;
   // Commit: write staged reduce output in task order from this (the
   // coordinating) thread — failed attempts never reached here, so the
   // OutputFormat only ever sees complete, committed task output. The
@@ -2189,10 +2631,11 @@ Status PipelinedJob::Execute(OutputFormat* output_format,
       result->reducer_input_records[r] = commit.input_records;
       result->reducer_input_bytes[r] = commit.input_bytes;
     } else {
-      for (size_t m = 0; m < num_maps; ++m) {
+      for (size_t s = 0; s < static_cast<size_t>(num_streams_); ++s) {
+        const GroupSlot& group = groups_[s];
         const SpillSegment::PartitionRange& range =
-            slots_[m].stored != nullptr ? slots_[m].stored->partitions()[r]
-                                        : slots_[m].segment->partitions[r];
+            group.stored != nullptr ? group.stored->partitions()[r]
+                                    : group.segment->partitions[r];
         result->reducer_input_records[r] += range.records;
         // Logical (decompressed) bytes: what the reducer merge consumed, so
         // the counter is codec-invariant; the wire side lives in
@@ -2305,12 +2748,24 @@ Result<LocalJobResult> LocalJobRunner::RunStandalone(const JobConf& conf) {
   LocalJobRunner runner(conf);
   NullInputFormat input;
   NullOutputFormat output;
+  // With a built-in combiner selected, the final reducer aggregates the
+  // same way (one (key, sum) pair per group): the job output — and its
+  // fingerprint — is then invariant to how much combining happened at any
+  // stage, which is what lets benchmarks pin correctness across the
+  // combine ablation. Without one, the classic discarding reducer stands.
+  ReducerFactory reducer =
+      conf.combiner == CombinerKind::kSum
+          ? ReducerFactory(
+                [](int) { return std::make_unique<SummingReducer>(); })
+          : ReducerFactory(
+                [](int) { return std::make_unique<DiscardingReducer>(); });
   return runner.Run(
       &input,
       [&conf](int task_id) {
         return std::make_unique<GeneratingMapper>(conf, task_id);
       },
-      [](int) { return std::make_unique<DiscardingReducer>(); }, &output);
+      reducer, &output, /*partitioner_factory=*/nullptr,
+      MakeBuiltinCombiner(conf.combiner));
 }
 
 }  // namespace mrmb

@@ -51,6 +51,53 @@ struct LocalJobResult {
   int64_t map_output_records = 0;
   // Records removed by per-spill combining (0 without a combiner).
   int64_t combine_removed_records = 0;
+
+  // ---- Combine pipeline (per-stage input/output accounting; all 0 when
+  // the stage did not run) -----------------------------------------------
+  // Stage 1 — per-spill combine: every sorted spill of every map attempt,
+  // before sealing (Hadoop's classic combiner pass).
+  int64_t combine_spill_input_records = 0;
+  int64_t combine_spill_output_records = 0;
+  int64_t combine_spill_input_bytes = 0;
+  int64_t combine_spill_output_bytes = 0;
+  // Stage 2 — merge-time combine: re-run over the merged output of map
+  // attempts with >= min_spills_for_combine spills, and over every run the
+  // reduce-side background merger folds.
+  int64_t combine_merge_input_records = 0;
+  int64_t combine_merge_output_records = 0;
+  int64_t combine_merge_input_bytes = 0;
+  int64_t combine_merge_output_bytes = 0;
+  int64_t combine_reduce_input_records = 0;
+  int64_t combine_reduce_output_records = 0;
+  int64_t combine_reduce_input_bytes = 0;
+  int64_t combine_reduce_output_bytes = 0;
+  // Stage 3 — in-node combine: blocks of node_combine_min_maps co-located
+  // map outputs merged + re-combined into one shuffle stream
+  // (mapred/node_combiner.h). `node_combines` counts combined segments
+  // built, including rebuilds after a member re-executed.
+  int64_t combine_node_input_records = 0;
+  int64_t combine_node_output_records = 0;
+  int64_t combine_node_input_bytes = 0;
+  int64_t combine_node_output_bytes = 0;
+  int64_t node_combines = 0;
+  // Shuffle streams the reduce side actually fetched from (== num_maps
+  // without in-node combining; ceil(num_maps / node_combine_min_maps) with
+  // it).
+  int64_t shuffle_streams = 0;
+  // CPU seconds spent inside combiner Reduce() calls, all stages (the
+  // calibration source for the simulator's combine_cpu_per_record).
+  double combine_seconds = 0;
+  // Wire bytes the shuffle serves at the final generations (sum over the
+  // served streams of their partition wire lengths). Without in-node
+  // combining this equals map_output_wire_bytes — which already reflects
+  // per-spill and merge-time combining; with it, the combined segments'
+  // (smaller) wire bytes are what reducers fetch.
+  int64_t shuffle_serve_bytes = 0;
+  // 1 - shuffle_serve_bytes / map_output_wire_bytes: the extra fraction of
+  // wire bytes the in-node stage removed on top of the map-side stages
+  // (0 when in-node combining is off). Compare shuffle_serve_bytes across
+  // combine-off/on runs for the whole pipeline's savings.
+  double shuffle_savings_ratio = 0;
   // IFile-framed intermediate bytes before compression (the logical
   // shuffle payload).
   int64_t map_output_bytes = 0;
@@ -206,9 +253,14 @@ class LocalJobRunner {
   // defaults (when null) to the benchmark partitioner selected by
   // conf.pattern; ordinary jobs (e.g. word count) pass a HashPartitioner
   // factory.
-  // `combiner_factory` (optional) installs a per-spill combine pass, run
-  // on every sorted spill before it is sealed — Hadoop's
-  // job.setCombinerClass semantics.
+  // `combiner_factory` (optional) installs the combine pipeline: a
+  // per-spill pass over every sorted spill before it is sealed (Hadoop's
+  // job.setCombinerClass semantics), a merge-time pass over multi-spill map
+  // output and reduce-side merge folds when conf.min_spills_for_combine >
+  // 0, and the in-node pass across blocks of co-located map outputs when
+  // conf.node_combine_min_maps >= 2 (mapred/node_combiner.h). The combiner
+  // must be associative and commutative for the merge-time/in-node stages
+  // to preserve job output.
   //
   // Threading contract: with conf.local_threads > 1, InputFormat::
   // CreateReader and the mapper/reducer/partitioner/combiner factories are
@@ -228,7 +280,8 @@ class LocalJobRunner {
 
   // Convenience: runs the paper's stand-alone micro-benchmark job
   // (NullInputFormat + GeneratingMapper + DiscardingReducer +
-  // NullOutputFormat) under `conf`.
+  // NullOutputFormat) under `conf`, with the built-in combiner selected by
+  // conf.combiner installed.
   static Result<LocalJobResult> RunStandalone(const JobConf& conf);
 
   const JobConf& conf() const { return conf_; }

@@ -168,6 +168,29 @@ class CombineValues final : public ValueIterator {
 
 }  // namespace
 
+Result<MergedRun> CombineSortedRun(std::string_view run,
+                                   const RawComparator* comparator,
+                                   Reducer* combiner, const JobConf& conf,
+                                   int task_id) {
+  MRMB_CHECK(combiner != nullptr);
+  MergedRun out;
+  out.data.reserve(run.size());
+  BufferWriter writer(&out.data);
+  // CombineContext counts emits through a PartitionRange; a scratch range
+  // serves as the counter for a stand-alone run.
+  SpillSegment::PartitionRange counter;
+  CombineContext context(conf, task_id, &writer, &counter);
+  SegmentReader reader(run, comparator->type());
+  GroupedIterator groups(&reader, comparator);
+  while (groups.NextGroup()) {
+    CombineValues values(&groups);
+    combiner->Reduce(groups.group_key(), &values, &context);
+  }
+  MRMB_RETURN_IF_ERROR(reader.status());
+  out.records = counter.records;
+  return out;
+}
+
 SpillSegment CombineSegment(const SpillSegment& segment,
                             const RawComparator* comparator,
                             Reducer* combiner, const JobConf& conf,
@@ -175,17 +198,17 @@ SpillSegment CombineSegment(const SpillSegment& segment,
   MRMB_CHECK(combiner != nullptr);
   SpillSegment out;
   out.partitions.resize(segment.partitions.size());
-  BufferWriter writer(&out.data);
   for (size_t p = 0; p < segment.partitions.size(); ++p) {
     SpillSegment::PartitionRange& range = out.partitions[p];
     range.offset = static_cast<int64_t>(out.data.size());
-    SegmentReader reader(segment.PartitionData(static_cast<int>(p)));
-    GroupedIterator groups(&reader, comparator);
-    CombineContext context(conf, task_id, &writer, &range);
-    while (groups.NextGroup()) {
-      CombineValues values(&groups);
-      combiner->Reduce(groups.group_key(), &values, &context);
-    }
+    Result<MergedRun> combined =
+        CombineSortedRun(segment.PartitionData(static_cast<int>(p)),
+                         comparator, combiner, conf, task_id);
+    // The input was just built and sealed in RAM; malformed framing here is
+    // a framework bug, not a recoverable data fault.
+    MRMB_CHECK(combined.ok());
+    out.data.append(combined->data);
+    range.records = combined->records;
     range.length = static_cast<int64_t>(out.data.size()) - range.offset;
   }
   SealSegment(&out);

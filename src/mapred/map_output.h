@@ -63,11 +63,23 @@ Result<SpillSegment> MergeSegments(
 Result<SpillSegment> CompressSegment(MapOutputCodec codec,
                                      const SpillSegment& segment);
 
+// Runs `combiner` over every key group of one sorted framed run and returns
+// the combined, still-sorted run. This is the kernel every combine stage
+// shares: the per-spill pass (via CombineSegment), merge-time combining of
+// multi-spill map output and reduce-side fold output, and the in-node
+// combine of co-located map segments (mapred/node_combiner.h). The combiner
+// must emit keys equal to the group key (the usual sum/count combiners do),
+// or the output order is unspecified. Malformed framing in `run` returns
+// DataLoss.
+Result<MergedRun> CombineSortedRun(std::string_view run,
+                                   const RawComparator* comparator,
+                                   Reducer* combiner, const JobConf& conf,
+                                   int task_id);
+
 // Runs `combiner` over every key group of every partition of a sorted
 // segment (Hadoop's per-spill combine pass) and returns the combined,
-// still-sorted, sealed segment. The combiner must emit keys equal to the
-// group key (the usual sum/count combiners do), or the output order is
-// unspecified.
+// still-sorted, sealed segment. The segment must be well-formed (it was
+// just built in RAM); malformed framing aborts.
 SpillSegment CombineSegment(const SpillSegment& segment,
                             const RawComparator* comparator,
                             Reducer* combiner, const JobConf& conf,

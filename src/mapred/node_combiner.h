@@ -1,0 +1,85 @@
+// In-node combining across co-located map outputs (arXiv 1511.04861).
+//
+// Hadoop combines inside one map task (per spill, and again when spills
+// merge); the in-node combiner goes further: once a block of co-located map
+// tasks has committed, their sealed output segments are merged per
+// partition through the loser tree, the combiner is re-run over each key
+// group, and the shuffle serves ONE combined, re-sealed segment instead of
+// the originals — repeated keys stop riding the wire multiplied by the
+// number of maps on the node.
+//
+// This header is the pure build step: given the committed member outputs
+// (RAM segments or durable spill extents, possibly codec-framed), produce
+// the combined segment plus per-stage accounting. Scheduling — when a block
+// is complete, generation tracking, invalidation when a member re-executes,
+// publication to the shuffle transport — lives in LocalJobRunner, which
+// treats each block as one shuffle stream.
+//
+// Determinism: members are merged in ascending map-task order and
+// MergeFramedRuns breaks equal keys by input order, so the combined run
+// reproduces exactly the equal-key order a reducer would have seen merging
+// the member segments itself. With no combiner the output bytes the reduce
+// side consumes are therefore byte-identical to the ungrouped plane; with a
+// combiner, job-output identity additionally requires the combiner to be
+// associative and commutative (CombinerKind::kSum is).
+
+#ifndef MRMB_MAPRED_NODE_COMBINER_H_
+#define MRMB_MAPRED_NODE_COMBINER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "io/comparator.h"
+#include "io/kv_buffer.h"
+#include "io/spill_store.h"
+#include "mapred/api.h"
+#include "mapred/job_conf.h"
+
+namespace mrmb {
+
+// One committed map output feeding a node-combine build. Exactly one of
+// `segment` (RAM plane) or `stored` (disk spill extent) is normally set;
+// when both are, the durable form wins, mirroring the shuffle's own serving
+// preference.
+struct NodeCombineMember {
+  int map = 0;  // producing map task id (the blame target on damage)
+  std::shared_ptr<const SpillSegment> segment;
+  std::shared_ptr<const StoredSpill> stored;
+};
+
+// Accounting for one build: logical (decompressed) framed bytes and record
+// counts in and out, plus CPU seconds spent inside the combiner itself
+// (the calibration source for `combine_cpu_per_record`).
+struct NodeCombineStats {
+  int64_t input_records = 0;
+  int64_t input_bytes = 0;
+  int64_t output_records = 0;
+  int64_t output_bytes = 0;
+  double combine_seconds = 0;
+};
+
+struct NodeCombineOutput {
+  // Sealed combined segment in wire form: codec-framed when the job
+  // compresses map output, raw frames otherwise — exactly what a single
+  // map's final output would look like, so the shuffle serves it verbatim.
+  SpillSegment segment;
+  NodeCombineStats stats;
+};
+
+// Merges `members` (ascending map order) per partition and re-combines each
+// key group through `combiner` (pass null for merge-only grouping). Member
+// reads honour conf.checksum_map_output and the job codec. On damaged
+// member data returns DataLoss (or kIOError for persistent disk faults) and
+// appends the responsible map ids to `corrupt_members`; the caller
+// re-executes those maps and rebuilds, the same recovery contract as a
+// reduce-side fetch. `stream_id` names the combined shuffle stream and is
+// the task id the combiner's ReduceContext reports.
+Result<NodeCombineOutput> BuildNodeCombinedSegment(
+    const std::vector<NodeCombineMember>& members, const JobConf& conf,
+    const RawComparator* comparator, Reducer* combiner, int stream_id,
+    std::vector<int>* corrupt_members);
+
+}  // namespace mrmb
+
+#endif  // MRMB_MAPRED_NODE_COMBINER_H_

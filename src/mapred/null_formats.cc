@@ -1,6 +1,8 @@
 #include "mapred/null_formats.h"
 
 #include "common/logging.h"
+#include "io/byte_buffer.h"
+#include "io/writable.h"
 
 namespace mrmb {
 
@@ -85,6 +87,30 @@ void GeneratingMapper::Map(std::string_view /*key*/,
     generator_.SerializedValue(base + i, &value_out);
     context->Emit(key_out, value_out);
   }
+}
+
+void SummingReducer::Reduce(std::string_view key, ValueIterator* values,
+                            ReduceContext* context) {
+  int64_t sum = 0;
+  while (values->Next()) {
+    LongWritable v;
+    BufferReader reader(values->value());
+    MRMB_CHECK_OK(v.Deserialize(&reader));
+    sum += v.value();  // int64 wraparound keeps the sum order-insensitive
+  }
+  BufferWriter writer;
+  LongWritable(sum).Serialize(&writer);
+  context->Emit(key, writer.data());
+}
+
+ReducerFactory MakeBuiltinCombiner(CombinerKind kind) {
+  switch (kind) {
+    case CombinerKind::kNone:
+      return nullptr;
+    case CombinerKind::kSum:
+      return [](int) { return std::make_unique<SummingReducer>(); };
+  }
+  return nullptr;
 }
 
 void DiscardingReducer::Reduce(std::string_view key, ValueIterator* values,

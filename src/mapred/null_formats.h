@@ -57,6 +57,22 @@ class GeneratingMapper final : public Mapper {
   RecordGenerator generator_;
 };
 
+// Built-in CombinerKind::kSum: sums the LongWritable values of each group
+// and emits one (key, sum) record. Associative and commutative, so the
+// engine may re-apply it at merge time and across co-located map outputs
+// (in-node combining) without changing job output. Also usable as a final
+// Reducer for aggregation workloads whose output must be invariant to how
+// aggressively the pipeline combined.
+class SummingReducer final : public Reducer {
+ public:
+  void Reduce(std::string_view key, ValueIterator* values,
+              ReduceContext* context) override;
+};
+
+// Task-scoped factory for `conf.combiner`; returns a null factory for
+// CombinerKind::kNone (no combining).
+ReducerFactory MakeBuiltinCombiner(CombinerKind kind);
+
 // The micro-benchmark reducer: iterates every value of every group and
 // discards it (the aggregation the paper's reducers perform).
 class DiscardingReducer final : public Reducer {

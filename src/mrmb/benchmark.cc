@@ -57,6 +57,9 @@ JobConf BenchmarkOptions::ToJobConf() const {
   conf.checksum_map_output = checksum_map_output;
   conf.reduce_slowstart = reduce_slowstart;
   conf.merge_factor = merge_factor;
+  conf.combiner = combiner;
+  conf.min_spills_for_combine = min_spills_for_combine;
+  conf.node_combine_min_maps = node_combine_min_maps;
   conf.fetch_latency_ms = fetch_latency_ms;
   conf.fetch_bandwidth_mbps = fetch_bandwidth_mbps;
   conf.shuffle_transport = shuffle_transport;

@@ -103,6 +103,11 @@ struct BenchmarkOptions {
   double reduce_slowstart = 0.05;
   // Max streams per reduce-side merge (Hadoop's io.sort.factor).
   int merge_factor = 10;
+  // Built-in combiner (none / sum; sum requires LongWritable data) plus the
+  // merge-time and in-node combining stages (see JobConf for semantics).
+  CombinerKind combiner = CombinerKind::kNone;
+  int min_spills_for_combine = 0;
+  int node_combine_min_maps = 0;
   // Simulated transfer time per fetched partition (wall-clock only; the
   // data plane never changes). 0 = fetches are free pointer handoffs.
   int64_t fetch_latency_ms = 0;

@@ -147,6 +147,18 @@ Status ApplyFaultToleranceFlags(const Flags& flags,
                         flags.GetInt("merge-factor", options->merge_factor));
   options->merge_factor = static_cast<int>(merge_factor);
   MRMB_ASSIGN_OR_RETURN(
+      const std::string combiner_name,
+      flags.GetString("combiner", CombinerKindName(options->combiner)));
+  MRMB_ASSIGN_OR_RETURN(options->combiner, CombinerKindByName(combiner_name));
+  MRMB_ASSIGN_OR_RETURN(
+      const int64_t min_spills_for_combine,
+      flags.GetInt("min-spills-for-combine", options->min_spills_for_combine));
+  options->min_spills_for_combine = static_cast<int>(min_spills_for_combine);
+  MRMB_ASSIGN_OR_RETURN(
+      const int64_t node_combine_min_maps,
+      flags.GetInt("node-combine-min-maps", options->node_combine_min_maps));
+  options->node_combine_min_maps = static_cast<int>(node_combine_min_maps);
+  MRMB_ASSIGN_OR_RETURN(
       options->fetch_latency_ms,
       flags.GetInt("fetch-latency-ms", options->fetch_latency_ms));
   MRMB_ASSIGN_OR_RETURN(
@@ -231,6 +243,20 @@ const char* FaultToleranceFlagsHelp() {
       "                            map barrier; default 0.05)\n"
       "  --merge-factor=N          max streams per reduce-side merge (>= 2,\n"
       "                            Hadoop's io.sort.factor; default 10)\n"
+      "  --combiner=K              built-in combine function run over map\n"
+      "                            output (none | sum; sum requires long\n"
+      "                            records and sums values per key)\n"
+      "  --min-spills-for-combine=N\n"
+      "                            re-run the combiner when a map merges\n"
+      "                            >= N spills, and over every reduce-side\n"
+      "                            merge fold (0 = per-spill combining only,\n"
+      "                            default; Hadoop's\n"
+      "                            mapreduce.map.combine.minspills)\n"
+      "  --node-combine-min-maps=N\n"
+      "                            in-node combining: group N co-located\n"
+      "                            maps per shuffle stream and serve one\n"
+      "                            combined segment per group (< 2 = off,\n"
+      "                            default; output stays byte-identical)\n"
       "  --fetch-latency-ms=MS     fixed simulated transfer time per fetched\n"
       "                            partition (wall-clock only; default 0)\n"
       "  --fetch-bandwidth-mbps=X  simulated shuffle bandwidth in MB/s; each\n"

@@ -129,6 +129,53 @@ void PrintLocalJobReport(const BenchmarkOptions& options,
                        static_cast<long long>(
                            result.combine_removed_records));
   }
+  if (result.combine_spill_input_records > 0 ||
+      result.combine_merge_input_records > 0 ||
+      result.combine_reduce_input_records > 0 || result.node_combines > 0) {
+    os << "--- combiner --------------------------------------------------"
+          "----\n";
+    const auto stage_line = [&os](const char* label, int64_t in_records,
+                                  int64_t out_records, int64_t in_bytes,
+                                  int64_t out_bytes) {
+      if (in_records <= 0) return;
+      os << StringPrintf(
+          "%s: %lld -> %lld records (%.1f%% kept, ", label,
+          static_cast<long long>(in_records),
+          static_cast<long long>(out_records),
+          100.0 * static_cast<double>(out_records) /
+              static_cast<double>(in_records))
+         << FormatBytes(in_bytes) << " -> " << FormatBytes(out_bytes)
+         << ")\n";
+    };
+    stage_line("Per-spill combine    ", result.combine_spill_input_records,
+               result.combine_spill_output_records,
+               result.combine_spill_input_bytes,
+               result.combine_spill_output_bytes);
+    stage_line("Merge-time combine   ", result.combine_merge_input_records,
+               result.combine_merge_output_records,
+               result.combine_merge_input_bytes,
+               result.combine_merge_output_bytes);
+    stage_line("Reduce-merge combine ", result.combine_reduce_input_records,
+               result.combine_reduce_output_records,
+               result.combine_reduce_input_bytes,
+               result.combine_reduce_output_bytes);
+    stage_line("In-node combine      ", result.combine_node_input_records,
+               result.combine_node_output_records,
+               result.combine_node_input_bytes,
+               result.combine_node_output_bytes);
+    if (result.node_combines > 0) {
+      os << StringPrintf("In-node builds       : %lld (%d maps -> %lld "
+                         "shuffle streams)\n",
+                         static_cast<long long>(result.node_combines),
+                         options.num_maps,
+                         static_cast<long long>(result.shuffle_streams));
+    }
+    os << StringPrintf("Combiner CPU         : %.3f s\n",
+                       result.combine_seconds);
+    os << "Shuffle served       : " << FormatBytes(result.shuffle_serve_bytes)
+       << StringPrintf(" (wire savings %.1f%%)\n",
+                       result.shuffle_savings_ratio * 100.0);
+  }
   os << StringPrintf("Reduce groups        : %lld (%lld input records)\n",
                      static_cast<long long>(result.reduce_groups),
                      static_cast<long long>(result.reduce_input_records));

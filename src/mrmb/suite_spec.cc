@@ -24,6 +24,8 @@ const char* const kKnownKeys[] = {
     "reduce-slowstart", "merge-factor", "fetch-latency-ms",
     "fetch-bandwidth-mbps", "map-output-codec", "shuffle-transport",
     "fetch-parallel-streams", "local-fault-plan",
+    // Combining pipeline.
+    "combiner", "min-spills-for-combine", "node-combine-min-maps",
     // Disk spill engine.
     "spill-dir", "spill-budget-bytes", "spill-cache-bytes",
     "spill-block-bytes", "spill-scrub", "spill-mmap",
@@ -347,6 +349,38 @@ Result<ResolvedSection> ResolveSection(const SuiteSection& section) {
   MRMB_RETURN_IF_ERROR(int_value("fetch-parallel-streams",
                                  base.fetch_parallel_streams,
                                  &base.fetch_parallel_streams));
+  {
+    MRMB_ASSIGN_OR_RETURN(
+        const std::string combiner_name,
+        SingleValue(section, "combiner", CombinerKindName(base.combiner)));
+    Result<CombinerKind> kind = CombinerKindByName(combiner_name);
+    if (!kind.ok()) {
+      return Status::InvalidArgument("[" + section.name + "] bad combiner: '" +
+                                     combiner_name + "'");
+    }
+    base.combiner = *kind;
+  }
+  // Both combine-stage counts legitimately take 0 (= stage off), which the
+  // positive-only int_value helper rejects.
+  const auto count_value = [&](const char* key, int current,
+                               int* out) -> Status {
+    MRMB_ASSIGN_OR_RETURN(const std::string text,
+                          SingleValue(section, key, std::to_string(current)));
+    char* end = nullptr;
+    const long v = std::strtol(text.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || v < 0) {
+      return Status::InvalidArgument("[" + section.name + "] bad " +
+                                     std::string(key) + ": '" + text + "'");
+    }
+    *out = static_cast<int>(v);
+    return Status::OK();
+  };
+  MRMB_RETURN_IF_ERROR(count_value("min-spills-for-combine",
+                                   base.min_spills_for_combine,
+                                   &base.min_spills_for_combine));
+  MRMB_RETURN_IF_ERROR(count_value("node-combine-min-maps",
+                                   base.node_combine_min_maps,
+                                   &base.node_combine_min_maps));
   if (auto it = section.entries.find("local-fault-plan");
       it != section.entries.end()) {
     // Comma-carrying tokens (corrupt_map's ",p=" / delay's ",ms=") were

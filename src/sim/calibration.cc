@@ -73,6 +73,12 @@ std::string ShuffleCalibration::ToJson() const {
   json += StringPrintf("  \"loopback_bandwidth_mbps\": %.6g,\n",
                        loopback_bandwidth_mbps);
   json += StringPrintf("  \"fit_residual_pct\": %.6g,\n", fit_residual_pct);
+  if (combiner_output_fraction > 0) {
+    json += StringPrintf("  \"combiner_output_fraction\": %.6g,\n",
+                         combiner_output_fraction);
+    json += StringPrintf("  \"combine_cpu_per_record\": %.6g,\n",
+                         combine_cpu_per_record);
+  }
   json += StringPrintf("  \"samples\": %lld\n",
                        static_cast<long long>(samples));
   json += "}\n";
@@ -100,6 +106,22 @@ Result<ShuffleCalibration> ParseCalibrationJson(const std::string& json) {
   double samples = 0;
   if (ScanNumber(json, "samples", &samples)) {
     cal.samples = static_cast<int64_t>(samples);
+  }
+  double fraction = 0;
+  if (ScanNumber(json, "combiner_output_fraction", &fraction)) {
+    if (!(fraction > 0) || fraction > 1.0) {
+      return Status::InvalidArgument(
+          "calibration combiner_output_fraction must be in (0, 1]");
+    }
+    cal.combiner_output_fraction = fraction;
+  }
+  double cpu = 0;
+  if (ScanNumber(json, "combine_cpu_per_record", &cpu)) {
+    if (!(cpu >= 0)) {
+      return Status::InvalidArgument(
+          "calibration combine_cpu_per_record must be non-negative");
+    }
+    cal.combine_cpu_per_record = cpu;
   }
   if (!(cal.fetch_setup_ms >= 0) || std::isnan(cal.fetch_setup_ms)) {
     return Status::InvalidArgument("calibration fetch_setup_ms is negative");

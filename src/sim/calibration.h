@@ -39,6 +39,13 @@ struct ShuffleCalibration {
   double fit_residual_pct = 0;
   // Sweep shape the constants were fitted from (provenance).
   int64_t samples = 0;
+  // Measured combiner behaviour, filled by `--scenario=combiner-ablation`:
+  // output/input record ratio of the combine passes on the probed workload
+  // (seeds CostModel::combiner_output_fraction) and combiner CPU seconds
+  // per input record (seeds combine_cpu_per_record). Zero when the
+  // document predates the combiner probe; both keys are optional on parse.
+  double combiner_output_fraction = 0;
+  double combine_cpu_per_record = 0;
 
   // Predicted wall-clock milliseconds for one fetch of `bytes` payload.
   double PredictFetchMs(int64_t bytes) const;
