@@ -219,6 +219,24 @@ Status JobConf::Validate() const {
     return Status::InvalidArgument(
         "fetch_parallel_streams must be in [1, 64]");
   }
+  if (shuffle_protocol_version < 1 || shuffle_protocol_version > 2) {
+    return Status::InvalidArgument("shuffle_protocol_version must be 1 or 2");
+  }
+  if (shuffle_server_reactors < 1 || shuffle_server_reactors > 16) {
+    return Status::InvalidArgument(
+        "shuffle_server_reactors must be in [1, 16]");
+  }
+  if (fetch_window_max < 1 || fetch_window_max > 256) {
+    return Status::InvalidArgument("fetch_window_max must be in [1, 256]");
+  }
+  if (fetch_window_init < 1 || fetch_window_init > fetch_window_max) {
+    return Status::InvalidArgument(
+        "fetch_window_init must be in [1, fetch_window_max]");
+  }
+  if (shuffle_socket_buffer_bytes < 0) {
+    return Status::InvalidArgument(
+        "shuffle_socket_buffer_bytes must be >= 0 (0 = kernel default)");
+  }
   MRMB_RETURN_IF_ERROR(local_fault_plan.Validate());
   if (spill_budget_bytes < -1) {
     return Status::InvalidArgument(

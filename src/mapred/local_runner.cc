@@ -1389,8 +1389,13 @@ class PipelinedJob {
   // ---- reduce side: fetch + background merge (the "copy phase") ----
   void DrainFetches(int r) {
     ReduceShuffle& rs = reduces_[static_cast<size_t>(r)];
+    // The batched (protocol v2) plane drains the whole queue as one
+    // pipelined multi-fetch; the inproc and v1 planes pop one stream at a
+    // time, each its own round trip.
+    const bool batched =
+        transport_client_ != nullptr && conf_.shuffle_protocol_version >= 2;
     while (true) {
-      int s = -1;
+      std::vector<int> streams;
       {
         std::lock_guard<std::mutex> lock(mu_);
         if (job_failed_) {
@@ -1402,11 +1407,84 @@ class PipelinedJob {
           MaybeScheduleFinalLocked(r);
           return;
         }
-        s = rs.fetch_queue.front();
-        rs.fetch_queue.pop_front();
+        if (batched) {
+          streams.assign(rs.fetch_queue.begin(), rs.fetch_queue.end());
+          rs.fetch_queue.clear();
+        } else {
+          streams.push_back(rs.fetch_queue.front());
+          rs.fetch_queue.pop_front();
+        }
       }
-      ProcessFetch(r, s);
+      if (batched) {
+        ProcessFetchBatch(r, streams);
+      } else {
+        ProcessFetch(r, streams.front());
+      }
     }
+  }
+
+  // The pipelined sibling of ProcessFetch: resolves every queued stream's
+  // live generation under the lock, fetches them all in one FetchBatch
+  // call (one batch request per in-flight window instead of one blocking
+  // round trip per stream), then verifies and stores each entry. Streams
+  // that moved on (mid-regeneration, duplicate event) are skipped exactly
+  // like ProcessFetch does; entries the transport lost after its internal
+  // retries — or that failed verification — go through HandleLostStream.
+  void ProcessFetchBatch(int r, const std::vector<int>& streams) {
+    ReduceShuffle& rs = reduces_[static_cast<size_t>(r)];
+    std::vector<ShuffleFetchWant> wants;
+    std::vector<int> gens;
+    wants.reserve(streams.size());
+    gens.reserve(streams.size());
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      std::vector<bool> queued(static_cast<size_t>(num_streams_), false);
+      for (int s : streams) {
+        const GroupSlot& group = groups_[static_cast<size_t>(s)];
+        if (group.committed_gen < 0 ||
+            group.committed_gen != group.target_gen) {
+          continue;  // mid-regeneration; the fresh publish re-enqueues
+        }
+        if (rs.inputs[static_cast<size_t>(s)].generation ==
+            group.committed_gen) {
+          continue;  // duplicate event
+        }
+        // The same stream can be queued twice (launch backfill + commit
+        // event); the sequential path skips the second pop only after the
+        // first stored, so dedup within the batch here.
+        if (queued[static_cast<size_t>(s)]) continue;
+        queued[static_cast<size_t>(s)] = true;
+        ShuffleFetchWant want;
+        want.map = s;
+        want.partition = r;
+        want.generation = static_cast<uint32_t>(group.committed_gen);
+        wants.push_back(want);
+        gens.push_back(group.committed_gen);
+      }
+    }
+    if (wants.empty()) return;
+    const auto t0 = Clock::now();
+    std::vector<ShuffleFetchResult> results =
+        transport_client_->FetchBatch(wants);
+    bool any_stored = false;
+    std::vector<std::pair<int, int>> lost;  // (stream, generation)
+    for (size_t i = 0; i < wants.size(); ++i) {
+      const int s = wants[i].map;
+      if (!results[i].transport_ok) {
+        lost.emplace_back(s, gens[i]);
+        continue;
+      }
+      if (StoreFetchedBody(&rs, s, gens[i], &results[i])) {
+        any_stored = true;
+      } else {
+        lost.emplace_back(s, gens[i]);
+      }
+    }
+    if (any_stored) RunReadyNodes(r, &rs);
+    const auto t1 = Clock::now();
+    rs.drain_busy_seconds += Seconds(t1 - t0);
+    AddBusy(t0, t1, /*merge_bucket=*/true);
+    for (const auto& [s, gen] : lost) HandleLostStream(r, s, gen);
   }
 
   void ProcessFetch(int r, int s) {
@@ -1585,27 +1663,40 @@ class PipelinedJob {
       }
       ++result_.transport_retransmits;
     }
-    if (fetched.status != FetchStatus::kOk) {
+    return StoreFetchedBody(rs, s, gen, &fetched);
+  }
+
+  // Verifies and stores one transport-fetched partition body — the shared
+  // tail of the v1 (FetchAndStoreTcp) and batched (ProcessFetchBatch)
+  // paths. Spent wire buffers go back to the client's reuse pool; the
+  // merge-ready bytes escape into the FetchedInput.
+  bool StoreFetchedBody(ReduceShuffle* rs, int s, int gen,
+                        ShuffleFetchResult* fetched) {
+    if (fetched->status != FetchStatus::kOk) {
       // kStaleGeneration / kNotFound: the server moved past `gen` (or a
       // replaced registration raced us). Nothing to store; the commit that
       // bumped the generation re-publishes and re-enqueues this fetch.
+      // kDataLoss: the registration is live but its backing bytes are gone
+      // — a genuine lost output, re-executed via HandleLostStream.
       // kError (digest mismatch) can only be a wiring bug — treated as a
       // lost output so the job fails loudly through the attempt budget.
       return false;
     }
     std::string wire;  // partition bytes exactly as sealed (codec frames)
-    if (fetched.encoding == FetchEncoding::kFrameStream) {
-      const Status reassembled = ReassembleFrameStream(fetched.body, &wire);
+    if (fetched->encoding == FetchEncoding::kFrameStream) {
+      wire = transport_client_->AcquireBuffer();
+      const Status reassembled = ReassembleFrameStream(fetched->body, &wire);
+      transport_client_->RecycleBuffer(std::move(fetched->body));
       if (!reassembled.ok()) {
         std::lock_guard<std::mutex> lock(mu_);
         ++result_.corruptions_detected;
         return false;
       }
     } else {
-      wire = std::move(fetched.body);
+      wire = std::move(fetched->body);
     }
     if (conf_.checksum_map_output) {
-      const bool matches = Crc32c(wire) == fetched.partition_crc;
+      const bool matches = Crc32c(wire) == fetched->partition_crc;
       {
         std::lock_guard<std::mutex> lock(mu_);
         ++result_.crc_verifications;
@@ -1618,6 +1709,7 @@ class PipelinedJob {
     std::string merged_ready;
     if (codec_active) {
       const Status decode = BlockDecompress(wire, &merged_ready);
+      transport_client_->RecycleBuffer(std::move(wire));
       if (!decode.ok()) {
         std::lock_guard<std::mutex> lock(mu_);
         ++result_.corruptions_detected;
@@ -2430,6 +2522,8 @@ Status PipelinedJob::Execute(OutputFormat* output_format,
   if (conf_.shuffle_transport == ShuffleTransport::kTcp) {
     ShuffleTransportServer::Options server_options;
     server_options.job_digest = conf_.Digest();
+    server_options.reactors = conf_.shuffle_server_reactors;
+    server_options.socket_buffer_bytes = conf_.shuffle_socket_buffer_bytes;
     // The hook runs on the epoll thread and only touches the (immutable)
     // injector — it must never take mu_, or Publish-under-mu_ would
     // deadlock against a concurrent fetch.
@@ -2453,6 +2547,11 @@ Status PipelinedJob::Execute(OutputFormat* output_format,
     client_options.job_digest = conf_.Digest();
     client_options.port = transport_server_->port();
     client_options.parallel_streams = conf_.fetch_parallel_streams;
+    client_options.protocol_version = conf_.shuffle_protocol_version;
+    client_options.window_init = conf_.fetch_window_init;
+    client_options.window_max = conf_.fetch_window_max;
+    client_options.max_attempts = kTransportFetchAttempts;
+    client_options.socket_buffer_bytes = conf_.shuffle_socket_buffer_bytes;
     client_options.delay_ms_hook = [this](int map, int64_t fetch_seq) {
       return injector_.SlowPeerDelayMs(map, fetch_seq);
     };
@@ -2565,9 +2664,16 @@ Status PipelinedJob::Execute(OutputFormat* output_format,
     // All fetch traffic is done (the pool drained above); snapshot the data
     // plane's counters, then tear it down before the store goes away.
     const ShuffleClientStats client_stats = transport_client_->stats();
-    result->transport_fetch_rpcs = client_stats.fetches;
+    result->transport_fetch_rpcs = client_stats.rpcs;
+    result->transport_fetched_partitions = client_stats.fetches;
+    result->transport_batches = client_stats.batches;
     result->transport_wire_bytes = client_stats.wire_bytes;
+    // The batched client retries internally; fold its retransmits into the
+    // runner-side (v1 path) count.
+    result->transport_retransmits += client_stats.retransmits;
     result->transport_reconnects = client_stats.reconnects;
+    result->transport_pool_hit_rate = client_stats.pool_hit_rate;
+    result->transport_window_peak = client_stats.window_peak;
     result->transport_fetch_mean_ms = client_stats.fetch_mean_ms;
     result->transport_fetch_p99_ms = client_stats.fetch_p99_ms;
     const ShuffleServerStats server_stats = transport_server_->stats();

@@ -180,9 +180,16 @@ struct LocalJobResult {
   // True when the shuffle ran over the loopback TCP data plane; gates the
   // report section.
   bool transport_enabled = false;
-  // Fetch RPCs the client issued (including retries) and response bytes
-  // that crossed the wire (headers + bodies).
+  // Fetch request messages the client put on the wire (v1 singles plus
+  // batch requests, including retries) and response bytes that crossed
+  // the wire (headers + bodies).
   int64_t transport_fetch_rpcs = 0;
+  // Partitions fetched (batched protocol entries + single fetches). With
+  // protocol v2 many partitions ride one RPC, so this exceeds
+  // transport_fetch_rpcs — the ratio is the batching amortization.
+  int64_t transport_fetched_partitions = 0;
+  // Batch request messages among transport_fetch_rpcs (0 under v1).
+  int64_t transport_batches = 0;
   int64_t transport_wire_bytes = 0;
   // Fetches re-issued after a transport-level failure (dropped connection,
   // torn frame, short body).
@@ -196,6 +203,10 @@ struct LocalJobResult {
   // sendfile straight from a durable extent file.
   int64_t transport_ram_serves = 0;
   int64_t transport_file_serves = 0;
+  // Reassembly-buffer pool effectiveness (hits / lookups) and the
+  // high-water AIMD in-flight window the batched client reached.
+  double transport_pool_hit_rate = 0;
+  int64_t transport_window_peak = 0;
   // Client-observed fetch latency (request write to last body byte).
   double transport_fetch_mean_ms = 0;
   double transport_fetch_p99_ms = 0;

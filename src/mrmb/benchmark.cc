@@ -64,6 +64,11 @@ JobConf BenchmarkOptions::ToJobConf() const {
   conf.fetch_bandwidth_mbps = fetch_bandwidth_mbps;
   conf.shuffle_transport = shuffle_transport;
   conf.fetch_parallel_streams = fetch_parallel_streams;
+  conf.shuffle_protocol_version = shuffle_protocol_version;
+  conf.shuffle_server_reactors = shuffle_server_reactors;
+  conf.fetch_window_init = fetch_window_init;
+  conf.fetch_window_max = fetch_window_max;
+  conf.shuffle_socket_buffer_bytes = shuffle_socket_buffer_bytes;
   conf.local_fault_plan = local_fault_plan;
   conf.spill_dir = spill_dir;
   conf.spill_budget_bytes = spill_budget_bytes;

@@ -176,6 +176,28 @@ Status ApplyFaultToleranceFlags(const Flags& flags,
                    options->fetch_parallel_streams));
   options->fetch_parallel_streams = static_cast<int>(parallel_streams);
   MRMB_ASSIGN_OR_RETURN(
+      const int64_t protocol_version,
+      flags.GetInt("shuffle-protocol-version",
+                   options->shuffle_protocol_version));
+  options->shuffle_protocol_version = static_cast<int>(protocol_version);
+  MRMB_ASSIGN_OR_RETURN(
+      const int64_t server_reactors,
+      flags.GetInt("shuffle-server-reactors",
+                   options->shuffle_server_reactors));
+  options->shuffle_server_reactors = static_cast<int>(server_reactors);
+  MRMB_ASSIGN_OR_RETURN(
+      const int64_t window_init,
+      flags.GetInt("fetch-window-init", options->fetch_window_init));
+  options->fetch_window_init = static_cast<int>(window_init);
+  MRMB_ASSIGN_OR_RETURN(
+      const int64_t window_max,
+      flags.GetInt("fetch-window-max", options->fetch_window_max));
+  options->fetch_window_max = static_cast<int>(window_max);
+  MRMB_ASSIGN_OR_RETURN(
+      options->shuffle_socket_buffer_bytes,
+      flags.GetBytes("shuffle-socket-buffer-bytes",
+                     options->shuffle_socket_buffer_bytes));
+  MRMB_ASSIGN_OR_RETURN(
       const std::string codec_name,
       flags.GetString("map-output-codec",
                       MapOutputCodecName(options->map_output_codec)));
@@ -273,6 +295,22 @@ const char* FaultToleranceFlagsHelp() {
       "  --fetch-parallel-streams=N\n"
       "                            concurrent fetch connections of the tcp\n"
       "                            transport's client (1-64; default 4)\n"
+      "  --shuffle-protocol-version=V\n"
+      "                            tcp shuffle wire protocol: 2 = batched/\n"
+      "                            pipelined multi-fetch (default), 1 = one\n"
+      "                            blocking round trip per partition\n"
+      "  --shuffle-server-reactors=N\n"
+      "                            epoll reactor threads the tcp shuffle\n"
+      "                            server shards connections across (1-16;\n"
+      "                            default 1)\n"
+      "  --fetch-window-init=N     starting AIMD in-flight window of the\n"
+      "                            batched fetch client (default 4)\n"
+      "  --fetch-window-max=N      AIMD window ceiling (1-256; default 32;\n"
+      "                            window halves on transport failures)\n"
+      "  --shuffle-socket-buffer-bytes=N\n"
+      "                            SO_SNDBUF/SO_RCVBUF on shuffle sockets,\n"
+      "                            both sides; accepts k/m/g (0 = kernel\n"
+      "                            default)\n"
       "  --local-fault-plan=SPEC   local-runner fault events, e.g.\n"
       "                            \"fail_map:3@a=0;corrupt_map:2@a=0,p=1;"
       "delay_map:0@a=0,ms=500\";\n"

@@ -23,7 +23,9 @@ const char* const kKnownKeys[] = {
     "local-threads", "sort-threads", "task-timeout-ms", "checksum",
     "reduce-slowstart", "merge-factor", "fetch-latency-ms",
     "fetch-bandwidth-mbps", "map-output-codec", "shuffle-transport",
-    "fetch-parallel-streams", "local-fault-plan",
+    "fetch-parallel-streams", "shuffle-protocol-version",
+    "shuffle-server-reactors", "fetch-window-init", "fetch-window-max",
+    "shuffle-socket-buffer-bytes", "local-fault-plan",
     // Combining pipeline.
     "combiner", "min-spills-for-combine", "node-combine-min-maps",
     // Disk spill engine.
@@ -349,6 +351,32 @@ Result<ResolvedSection> ResolveSection(const SuiteSection& section) {
   MRMB_RETURN_IF_ERROR(int_value("fetch-parallel-streams",
                                  base.fetch_parallel_streams,
                                  &base.fetch_parallel_streams));
+  MRMB_RETURN_IF_ERROR(int_value("shuffle-protocol-version",
+                                 base.shuffle_protocol_version,
+                                 &base.shuffle_protocol_version));
+  MRMB_RETURN_IF_ERROR(int_value("shuffle-server-reactors",
+                                 base.shuffle_server_reactors,
+                                 &base.shuffle_server_reactors));
+  MRMB_RETURN_IF_ERROR(int_value("fetch-window-init", base.fetch_window_init,
+                                 &base.fetch_window_init));
+  MRMB_RETURN_IF_ERROR(int_value("fetch-window-max", base.fetch_window_max,
+                                 &base.fetch_window_max));
+  {
+    // Socket buffer legitimately takes 0 (= kernel default), which the
+    // positive-only int_value helper rejects.
+    MRMB_ASSIGN_OR_RETURN(
+        const std::string text,
+        SingleValue(section, "shuffle-socket-buffer-bytes",
+                    std::to_string(base.shuffle_socket_buffer_bytes)));
+    char* end = nullptr;
+    const long long v = std::strtoll(text.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || v < 0) {
+      return Status::InvalidArgument(
+          "[" + section.name + "] bad shuffle-socket-buffer-bytes: '" + text +
+          "'");
+    }
+    base.shuffle_socket_buffer_bytes = static_cast<int64_t>(v);
+  }
   {
     MRMB_ASSIGN_OR_RETURN(
         const std::string combiner_name,

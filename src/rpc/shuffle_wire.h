@@ -37,6 +37,40 @@
 //     sendfile/pread; the client reassembles (and CRC-verifies) each
 //     frame with BlockDecompress, so the server never re-frames or
 //     re-checksums on the hot path.
+//
+// Protocol v2 (batched, the "MRSF2" protocol). One request carries a batch
+// of wants; the server streams back one length-delimited response per want,
+// in request order, over the same connection — one round trip amortized
+// over the whole batch. Per-entry status means a stale generation or a
+// data-loss on one member never fails the batch. The first four bytes of
+// any request disambiguate v1 ('MRSF') from v2 ('MRF2') so one server port
+// speaks both.
+//
+// Batch request head (20 bytes) followed by `count` 12-byte wants:
+//
+//   fixed32  magic      'MRF2' (0x4d524632)
+//   fixed64  job_digest JobConf::Digest() of the job being fetched
+//   fixed32  count      number of wants that follow; [1, kShuffleBatchMaxWants]
+//   fixed32  flags      reserved, must be 0
+//
+// Want (12 bytes each):
+//
+//   fixed32  map        map task (shuffle stream) id
+//   fixed32  partition  reduce partition id
+//   fixed32  generation map-output generation the client believes is live
+//
+// Batch entry header (42 bytes) followed by `body_len` bytes of body — one
+// per want, streamed back in request order:
+//
+//   fixed32  magic      'MRR2' (0x4d525232)
+//   fixed32  index      the want's position within its batch request
+//   byte     status     FetchStatus
+//   fixed32  generation generation actually served
+//   fixed64  raw_len    decompressed partition length (bookkeeping only)
+//   fixed32  partition_crc  CRC32C of the partition wire bytes
+//   fixed64  records    record count in the partition
+//   byte     encoding   FetchEncoding of the body
+//   fixed64  body_len   body bytes that follow
 
 #ifndef MRMB_RPC_SHUFFLE_WIRE_H_
 #define MRMB_RPC_SHUFFLE_WIRE_H_
@@ -44,6 +78,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/status.h"
 
@@ -54,6 +89,16 @@ inline constexpr uint32_t kShuffleResponseMagic = 0x4d525352;  // 'MRSR'
 inline constexpr size_t kShuffleRequestSize = 28;
 inline constexpr size_t kShuffleResponseHeaderSize = 38;
 
+inline constexpr uint32_t kShuffleBatchRequestMagic = 0x4d524632;  // 'MRF2'
+inline constexpr uint32_t kShuffleBatchEntryMagic = 0x4d525232;    // 'MRR2'
+inline constexpr size_t kShuffleBatchRequestHeadSize = 20;
+inline constexpr size_t kShuffleBatchWantSize = 12;
+inline constexpr size_t kShuffleBatchEntryHeaderSize = 42;
+// Upper bound on wants per batch request: big enough that any realistic
+// in-flight window fits one message, small enough that a corrupt count
+// field can't make the server reserve gigabytes.
+inline constexpr uint32_t kShuffleBatchMaxWants = 4096;
+
 enum class FetchStatus : uint8_t {
   kOk = 0,
   // The requested generation is older (or newer) than the registered map
@@ -63,6 +108,11 @@ enum class FetchStatus : uint8_t {
   kNotFound = 2,
   // Server-side failure reading the output (e.g. extent I/O error).
   kError = 3,
+  // The registration exists at the requested generation but its backing
+  // bytes are gone (extent unreadable): the output is lost and the client
+  // should trigger re-execution. In a batch response this marks only the
+  // affected entry; the rest of the batch still serves.
+  kDataLoss = 4,
 };
 
 const char* FetchStatusName(FetchStatus status);
@@ -103,6 +153,54 @@ void EncodeShuffleResponseHeader(const ShuffleFetchResponseHeader& header,
 // Decodes a full 38-byte response header buffer.
 Status DecodeShuffleResponseHeader(std::string_view data,
                                    ShuffleFetchResponseHeader* header);
+
+// ---- protocol v2: batched fetch ----
+
+// One (map, partition, generation) the client wants served.
+struct ShuffleFetchWant {
+  int map = 0;
+  int partition = 0;
+  uint32_t generation = 0;
+};
+
+struct ShuffleBatchRequestHead {
+  uint64_t job_digest = 0;
+  uint32_t count = 0;
+};
+
+// Per-entry response header: the want's batch position plus the same
+// fields the v1 response header carries.
+struct ShuffleBatchEntryHeader {
+  uint32_t index = 0;
+  FetchStatus status = FetchStatus::kOk;
+  uint32_t generation = 0;
+  int64_t raw_len = 0;
+  uint32_t partition_crc = 0;
+  int64_t records = 0;
+  FetchEncoding encoding = FetchEncoding::kPartitionBytes;
+  int64_t body_len = 0;
+};
+
+// Appends the full batch request — 20-byte head plus 12 bytes per want —
+// to `out`. Wants beyond kShuffleBatchMaxWants must be split by the
+// caller.
+void EncodeShuffleBatchRequest(uint64_t job_digest,
+                               const ShuffleFetchWant* wants, size_t count,
+                               std::string* out);
+// Decodes the fixed 20-byte head. InvalidArgument on bad magic/size,
+// nonzero reserved flags, or a count outside [1, kShuffleBatchMaxWants].
+Status DecodeShuffleBatchRequestHead(std::string_view data,
+                                     ShuffleBatchRequestHead* head);
+// Decodes exactly `count` 12-byte wants (data must be count * 12 bytes).
+Status DecodeShuffleBatchWants(std::string_view data, uint32_t count,
+                               std::vector<ShuffleFetchWant>* wants);
+
+// Appends the 42-byte batch entry header to `out`.
+void EncodeShuffleBatchEntryHeader(const ShuffleBatchEntryHeader& header,
+                                   std::string* out);
+// Decodes a full 42-byte batch entry header buffer.
+Status DecodeShuffleBatchEntryHeader(std::string_view data,
+                                     ShuffleBatchEntryHeader* header);
 
 // Reassembles a kFrameStream body — [fixed32 frame_len][frame]* — into the
 // partition's wire bytes by decoding each self-describing block-codec

@@ -65,6 +65,33 @@ double ShuffleCalibration::PredictShuffleMs(int64_t total_bytes,
   return setup_ms + wire_ms;
 }
 
+double ShuffleCalibration::PredictBatchedShuffleMs(int64_t total_bytes,
+                                                   int64_t entries,
+                                                   int window,
+                                                   int streams) const {
+  if (batch_setup_ms <= 0 && batch_entry_ms <= 0) {
+    return PredictShuffleMs(total_bytes, entries, streams);
+  }
+  if (streams < 1) streams = 1;
+  if (window < 1) window = 1;
+  // One batch-RPC round trip per in-flight window of entries; per-entry
+  // header/dispatch costs parallelize across streams, the shared loopback
+  // wire does not.
+  const double batches =
+      std::ceil(static_cast<double>(entries) / static_cast<double>(window));
+  const double setup_ms =
+      (batches * batch_setup_ms +
+       static_cast<double>(entries) * batch_entry_ms) /
+      static_cast<double>(streams);
+  const double bw = batch_bandwidth_mbps > 0 ? batch_bandwidth_mbps
+                                             : loopback_bandwidth_mbps;
+  const double wire_ms =
+      bw <= 0 ? 0
+              : static_cast<double>(total_bytes) / (bw * 1024.0 * 1024.0) *
+                    1000.0;
+  return setup_ms + wire_ms;
+}
+
 std::string ShuffleCalibration::ToJson() const {
   std::string json;
   json += "{\n";
@@ -78,6 +105,17 @@ std::string ShuffleCalibration::ToJson() const {
                          combiner_output_fraction);
     json += StringPrintf("  \"combine_cpu_per_record\": %.6g,\n",
                          combine_cpu_per_record);
+  }
+  if (batch_setup_ms > 0 || batch_entry_ms > 0) {
+    json += StringPrintf("  \"batch_setup_ms\": %.6g,\n", batch_setup_ms);
+    json += StringPrintf("  \"batch_entry_ms\": %.6g,\n", batch_entry_ms);
+    json += StringPrintf("  \"batch_bandwidth_mbps\": %.6g,\n",
+                         batch_bandwidth_mbps);
+    json += StringPrintf("  \"batch_fit_residual_pct\": %.6g,\n",
+                         batch_fit_residual_pct);
+  }
+  if (reactor_scaling > 0) {
+    json += StringPrintf("  \"reactor_scaling\": %.6g,\n", reactor_scaling);
   }
   json += StringPrintf("  \"samples\": %lld\n",
                        static_cast<long long>(samples));
@@ -122,6 +160,42 @@ Result<ShuffleCalibration> ParseCalibrationJson(const std::string& json) {
           "calibration combine_cpu_per_record must be non-negative");
     }
     cal.combine_cpu_per_record = cpu;
+  }
+  double batch_setup = 0;
+  if (ScanNumber(json, "batch_setup_ms", &batch_setup)) {
+    if (!(batch_setup >= 0)) {
+      return Status::InvalidArgument(
+          "calibration batch_setup_ms must be non-negative");
+    }
+    cal.batch_setup_ms = batch_setup;
+  }
+  double batch_entry = 0;
+  if (ScanNumber(json, "batch_entry_ms", &batch_entry)) {
+    if (!(batch_entry >= 0)) {
+      return Status::InvalidArgument(
+          "calibration batch_entry_ms must be non-negative");
+    }
+    cal.batch_entry_ms = batch_entry;
+  }
+  double batch_bw = 0;
+  if (ScanNumber(json, "batch_bandwidth_mbps", &batch_bw)) {
+    if (!(batch_bw > 0)) {
+      return Status::InvalidArgument(
+          "calibration batch_bandwidth_mbps must be positive");
+    }
+    cal.batch_bandwidth_mbps = batch_bw;
+  }
+  double batch_residual = 0;
+  if (ScanNumber(json, "batch_fit_residual_pct", &batch_residual)) {
+    cal.batch_fit_residual_pct = batch_residual;
+  }
+  double reactor = 0;
+  if (ScanNumber(json, "reactor_scaling", &reactor)) {
+    if (!(reactor > 0)) {
+      return Status::InvalidArgument(
+          "calibration reactor_scaling must be positive");
+    }
+    cal.reactor_scaling = reactor;
   }
   if (!(cal.fetch_setup_ms >= 0) || std::isnan(cal.fetch_setup_ms)) {
     return Status::InvalidArgument("calibration fetch_setup_ms is negative");

@@ -46,6 +46,24 @@ struct ShuffleCalibration {
   // document predates the combiner probe; both keys are optional on parse.
   double combiner_output_fraction = 0;
   double combine_cpu_per_record = 0;
+  // Batched-fetch (wire protocol v2) model, fitted by the calibrate
+  // scenario's batched sweep:
+  //
+  //   batch_seconds = batch_setup_ms + entries * batch_entry_ms
+  //                   + bytes / batch_bandwidth_mbps
+  //
+  // batch_setup_ms is the per-batch-RPC round-trip constant (what
+  // pipelining amortizes), batch_entry_ms the per-entry header/dispatch
+  // cost, batch_bandwidth_mbps the streamed-response wire bandwidth.
+  // reactor_scaling is the measured multi-reactor speedup factor on
+  // concurrent fetch load (4-reactor throughput / 1-reactor throughput;
+  // 1.0 when the probe was skipped). All zero when the document predates
+  // the batched probe; every key is optional on parse.
+  double batch_setup_ms = 0;
+  double batch_entry_ms = 0;
+  double batch_bandwidth_mbps = 0;
+  double reactor_scaling = 0;
+  double batch_fit_residual_pct = 0;
 
   // Predicted wall-clock milliseconds for one fetch of `bytes` payload.
   double PredictFetchMs(int64_t bytes) const;
@@ -54,6 +72,14 @@ struct ShuffleCalibration {
   // connections that share the loopback wire.
   double PredictShuffleMs(int64_t total_bytes, int64_t fetches,
                           int streams) const;
+  // Predicted wall-clock milliseconds for a batched (protocol v2) shuffle:
+  // `entries` partition fetches totalling `total_bytes`, pipelined under
+  // an in-flight window of `window` over `streams` connections. Each full
+  // window costs one batch-RPC setup; per-entry and wire costs are
+  // unchanged by batching. Falls back to PredictShuffleMs when the batched
+  // constants are absent.
+  double PredictBatchedShuffleMs(int64_t total_bytes, int64_t entries,
+                                 int window, int streams) const;
 
   // The JSON document run_bench writes; ParseCalibrationJson round-trips.
   std::string ToJson() const;

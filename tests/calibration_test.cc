@@ -1,0 +1,159 @@
+// Tests for the calibration document loader: ToJson/ParseCalibrationJson
+// round trips (including the optional batched-fetch constants), rejection
+// of malformed or out-of-range documents, and the cost-model arithmetic of
+// PredictShuffleMs / PredictBatchedShuffleMs.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/calibration.h"
+
+namespace mrmb {
+namespace {
+
+ShuffleCalibration FullCalibration() {
+  ShuffleCalibration cal;
+  cal.fetch_setup_ms = 0.0125;
+  cal.loopback_bandwidth_mbps = 5600.0;
+  cal.fit_residual_pct = 4.2;
+  cal.samples = 42;
+  cal.combiner_output_fraction = 0.25;
+  cal.combine_cpu_per_record = 1.5e-8;
+  cal.batch_setup_ms = 0.0069;
+  cal.batch_entry_ms = 0.0010;
+  cal.batch_bandwidth_mbps = 8400.0;
+  cal.batch_fit_residual_pct = 3.8;
+  cal.reactor_scaling = 1.7;
+  return cal;
+}
+
+TEST(CalibrationTest, JsonRoundTripsAllFields) {
+  const ShuffleCalibration cal = FullCalibration();
+  auto parsed = ParseCalibrationJson(cal.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_DOUBLE_EQ(parsed->fetch_setup_ms, cal.fetch_setup_ms);
+  EXPECT_DOUBLE_EQ(parsed->loopback_bandwidth_mbps,
+                   cal.loopback_bandwidth_mbps);
+  EXPECT_DOUBLE_EQ(parsed->fit_residual_pct, cal.fit_residual_pct);
+  EXPECT_EQ(parsed->samples, cal.samples);
+  EXPECT_DOUBLE_EQ(parsed->combiner_output_fraction,
+                   cal.combiner_output_fraction);
+  EXPECT_DOUBLE_EQ(parsed->combine_cpu_per_record, cal.combine_cpu_per_record);
+  EXPECT_DOUBLE_EQ(parsed->batch_setup_ms, cal.batch_setup_ms);
+  EXPECT_DOUBLE_EQ(parsed->batch_entry_ms, cal.batch_entry_ms);
+  EXPECT_DOUBLE_EQ(parsed->batch_bandwidth_mbps, cal.batch_bandwidth_mbps);
+  EXPECT_DOUBLE_EQ(parsed->batch_fit_residual_pct,
+                   cal.batch_fit_residual_pct);
+  EXPECT_DOUBLE_EQ(parsed->reactor_scaling, cal.reactor_scaling);
+}
+
+TEST(CalibrationTest, BatchKeysAreOptionalAndDefaultToZero) {
+  // A document written before the batched probe existed: only the v1
+  // constants. It must still load, with batch fields zeroed so
+  // PredictBatchedShuffleMs falls back to the v1 model.
+  ShuffleCalibration v1_only;
+  v1_only.fetch_setup_ms = 0.01;
+  v1_only.loopback_bandwidth_mbps = 4000.0;
+  auto parsed = ParseCalibrationJson(v1_only.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->batch_setup_ms, 0.0);
+  EXPECT_EQ(parsed->batch_entry_ms, 0.0);
+  EXPECT_EQ(parsed->batch_bandwidth_mbps, 0.0);
+  EXPECT_EQ(parsed->reactor_scaling, 0.0);
+
+  // And its serialized form must not mention the batch keys at all.
+  const std::string json = v1_only.ToJson();
+  EXPECT_EQ(json.find("batch_setup_ms"), std::string::npos);
+  EXPECT_EQ(json.find("reactor_scaling"), std::string::npos);
+}
+
+TEST(CalibrationTest, RejectsMissingSchemaAndMissingKeys) {
+  EXPECT_FALSE(ParseCalibrationJson("{}").ok());
+  EXPECT_FALSE(ParseCalibrationJson(
+                   "{\"schema\": \"mrmb-calibration/1\"}")
+                   .ok());
+  EXPECT_FALSE(ParseCalibrationJson(
+                   "{\"schema\": \"mrmb-calibration/1\","
+                   " \"fetch_setup_ms\": 0.01}")
+                   .ok());
+}
+
+TEST(CalibrationTest, RejectsOutOfRangeBatchConstants) {
+  const std::string base =
+      "{\"schema\": \"mrmb-calibration/1\","
+      " \"fetch_setup_ms\": 0.01,"
+      " \"loopback_bandwidth_mbps\": 4000,";
+  EXPECT_FALSE(
+      ParseCalibrationJson(base + " \"batch_setup_ms\": -0.5}").ok());
+  EXPECT_FALSE(
+      ParseCalibrationJson(base + " \"batch_entry_ms\": -1}").ok());
+  EXPECT_FALSE(
+      ParseCalibrationJson(base + " \"batch_bandwidth_mbps\": 0}").ok());
+  EXPECT_FALSE(
+      ParseCalibrationJson(base + " \"reactor_scaling\": -2}").ok());
+  // The same document with in-range values loads.
+  auto ok = ParseCalibrationJson(base +
+                                 " \"batch_setup_ms\": 0.005,"
+                                 " \"batch_entry_ms\": 0.001,"
+                                 " \"batch_bandwidth_mbps\": 8000,"
+                                 " \"reactor_scaling\": 1.5}");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_DOUBLE_EQ(ok->batch_bandwidth_mbps, 8000.0);
+}
+
+TEST(CalibrationTest, PredictBatchedShuffleMsMath) {
+  ShuffleCalibration cal;
+  cal.fetch_setup_ms = 1.0;
+  cal.loopback_bandwidth_mbps = 1.0;  // 1 MiB/s: 1 MiB costs 1000 ms
+  cal.batch_setup_ms = 10.0;
+  cal.batch_entry_ms = 0.5;
+  cal.batch_bandwidth_mbps = 2.0;
+
+  // 64 entries under a window of 16 is 4 batch round trips. One stream:
+  // 4 * 10 + 64 * 0.5 = 72 ms of setup, plus 1 MiB at 2 MiB/s = 500 ms.
+  const double one_stream =
+      cal.PredictBatchedShuffleMs(1 << 20, 64, 16, 1);
+  EXPECT_NEAR(one_stream, 72.0 + 500.0, 1e-9);
+  // Four streams parallelize setup but share the wire.
+  const double four_streams =
+      cal.PredictBatchedShuffleMs(1 << 20, 64, 16, 4);
+  EXPECT_NEAR(four_streams, 72.0 / 4 + 500.0, 1e-9);
+  // A partial final window still costs a full round trip: 65 entries in
+  // windows of 16 is 5 batches.
+  const double partial = cal.PredictBatchedShuffleMs(0, 65, 16, 1);
+  EXPECT_NEAR(partial, 5 * 10.0 + 65 * 0.5, 1e-9);
+
+  // Without batch constants the batched predictor defers to the v1 model.
+  ShuffleCalibration v1_only;
+  v1_only.fetch_setup_ms = 1.0;
+  v1_only.loopback_bandwidth_mbps = 1.0;
+  EXPECT_DOUBLE_EQ(v1_only.PredictBatchedShuffleMs(1 << 20, 64, 16, 1),
+                   v1_only.PredictShuffleMs(1 << 20, 64, 1));
+}
+
+TEST(CalibrationTest, BatchedBeatsUnbatchedInLatencyBoundRegime) {
+  // The paper's regime: many tiny partitions. With measured-shape
+  // constants the batched model must predict a clear win at 4 KB
+  // partitions and near-parity at 64 MB ones.
+  ShuffleCalibration cal;
+  cal.fetch_setup_ms = 0.0125;
+  cal.loopback_bandwidth_mbps = 5600.0;
+  cal.batch_setup_ms = 0.0069;
+  cal.batch_entry_ms = 0.0010;
+  cal.batch_bandwidth_mbps = 5600.0;
+
+  const int64_t small_total = 128 * 4096;  // 128 partitions x 4 KB
+  const double v1_small = cal.PredictShuffleMs(small_total, 128, 4);
+  const double v2_small =
+      cal.PredictBatchedShuffleMs(small_total, 128, 32, 4);
+  EXPECT_LT(v2_small, v1_small * 0.75);
+
+  const int64_t big_total = 8ll * 64 * 1024 * 1024;  // 8 x 64 MB
+  const double v1_big = cal.PredictShuffleMs(big_total, 8, 4);
+  const double v2_big = cal.PredictBatchedShuffleMs(big_total, 8, 32, 4);
+  EXPECT_NEAR(v2_big, v1_big, v1_big * 0.01);
+}
+
+}  // namespace
+}  // namespace mrmb

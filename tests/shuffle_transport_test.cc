@@ -10,6 +10,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "io/block_codec.h"
@@ -134,6 +135,190 @@ TEST(ShuffleWireTest, FrameStreamReassemblesAndRejectsTornPrefix) {
   corrupt[8] ^= 0x10;
   const Status status = ReassembleFrameStream(corrupt, &wire);
   EXPECT_FALSE(status.ok());
+}
+
+// ---- Wire format: protocol v2 (batched fetch) -----------------------------
+
+TEST(ShuffleWireTest, BatchRequestRoundTrips) {
+  std::vector<ShuffleFetchWant> wants;
+  for (int i = 0; i < 5; ++i) {
+    ShuffleFetchWant want;
+    want.map = i * 3;
+    want.partition = i;
+    want.generation = static_cast<uint32_t>(100 + i);
+    wants.push_back(want);
+  }
+  std::string wire;
+  EncodeShuffleBatchRequest(0xFEEDFACE12345678ull, wants.data(), wants.size(),
+                            &wire);
+  ASSERT_EQ(wire.size(),
+            kShuffleBatchRequestHeadSize + wants.size() * kShuffleBatchWantSize);
+
+  ShuffleBatchRequestHead head;
+  ASSERT_TRUE(DecodeShuffleBatchRequestHead(
+                  std::string_view(wire.data(), kShuffleBatchRequestHeadSize),
+                  &head)
+                  .ok());
+  EXPECT_EQ(head.job_digest, 0xFEEDFACE12345678ull);
+  EXPECT_EQ(head.count, wants.size());
+
+  std::vector<ShuffleFetchWant> decoded;
+  ASSERT_TRUE(DecodeShuffleBatchWants(
+                  std::string_view(wire.data() + kShuffleBatchRequestHeadSize,
+                                   wire.size() - kShuffleBatchRequestHeadSize),
+                  head.count, &decoded)
+                  .ok());
+  ASSERT_EQ(decoded.size(), wants.size());
+  for (size_t i = 0; i < wants.size(); ++i) {
+    EXPECT_EQ(decoded[i].map, wants[i].map) << i;
+    EXPECT_EQ(decoded[i].partition, wants[i].partition) << i;
+    EXPECT_EQ(decoded[i].generation, wants[i].generation) << i;
+  }
+}
+
+TEST(ShuffleWireTest, BatchRequestRejectsTornAndCorrupt) {
+  ShuffleFetchWant want;
+  want.map = 1;
+  want.partition = 2;
+  want.generation = 3;
+  std::string wire;
+  EncodeShuffleBatchRequest(77, &want, 1, &wire);
+  const std::string_view head_view(wire.data(), kShuffleBatchRequestHeadSize);
+
+  ShuffleBatchRequestHead head;
+  // Every truncated head length must fail cleanly.
+  for (size_t len = 0; len < kShuffleBatchRequestHeadSize; ++len) {
+    EXPECT_FALSE(DecodeShuffleBatchRequestHead(
+                     std::string_view(wire.data(), len), &head)
+                     .ok())
+        << "len=" << len;
+  }
+  ASSERT_TRUE(DecodeShuffleBatchRequestHead(head_view, &head).ok());
+  // Bad magic.
+  std::string bad(head_view);
+  bad[0] ^= 0x01;
+  EXPECT_FALSE(DecodeShuffleBatchRequestHead(bad, &head).ok());
+  // Nonzero reserved flags (bytes after the count).
+  bad = std::string(head_view);
+  bad[kShuffleBatchRequestHeadSize - 1] = 1;
+  EXPECT_FALSE(DecodeShuffleBatchRequestHead(bad, &head).ok());
+  // A zero count and a count past the cap are both protocol errors; the
+  // count lives right after the 8-byte digest at offset 12.
+  bad = std::string(head_view);
+  bad[12] = bad[13] = bad[14] = bad[15] = 0;
+  EXPECT_FALSE(DecodeShuffleBatchRequestHead(bad, &head).ok());
+  bad[12] = 0x7F;  // count = 0x7F000000, far past kShuffleBatchMaxWants
+  EXPECT_FALSE(DecodeShuffleBatchRequestHead(bad, &head).ok());
+
+  // The wants block must be exactly count * 12 bytes: every truncation
+  // (and one trailing byte) fails.
+  const std::string_view wants_view(wire.data() + kShuffleBatchRequestHeadSize,
+                                    kShuffleBatchWantSize);
+  std::vector<ShuffleFetchWant> decoded;
+  for (size_t len = 0; len < kShuffleBatchWantSize; ++len) {
+    EXPECT_FALSE(DecodeShuffleBatchWants(
+                     std::string_view(wants_view.data(), len), 1, &decoded)
+                     .ok())
+        << "len=" << len;
+  }
+  std::string over(wants_view);
+  over.push_back('x');
+  EXPECT_FALSE(DecodeShuffleBatchWants(over, 1, &decoded).ok());
+}
+
+TEST(ShuffleWireTest, BatchEntryHeaderRoundTripsAndRejectsCorrupt) {
+  ShuffleBatchEntryHeader header;
+  header.index = 17;
+  header.status = FetchStatus::kDataLoss;
+  header.generation = 9;
+  header.raw_len = 1234567;
+  header.partition_crc = 0x5A5A5A5A;
+  header.records = 99;
+  header.encoding = FetchEncoding::kFrameStream;
+  header.body_len = 7654321;
+  std::string wire;
+  EncodeShuffleBatchEntryHeader(header, &wire);
+  ASSERT_EQ(wire.size(), kShuffleBatchEntryHeaderSize);
+
+  ShuffleBatchEntryHeader decoded;
+  ASSERT_TRUE(DecodeShuffleBatchEntryHeader(wire, &decoded).ok());
+  EXPECT_EQ(decoded.index, header.index);
+  EXPECT_EQ(decoded.status, header.status);
+  EXPECT_EQ(decoded.generation, header.generation);
+  EXPECT_EQ(decoded.raw_len, header.raw_len);
+  EXPECT_EQ(decoded.partition_crc, header.partition_crc);
+  EXPECT_EQ(decoded.records, header.records);
+  EXPECT_EQ(decoded.encoding, header.encoding);
+  EXPECT_EQ(decoded.body_len, header.body_len);
+
+  // Every truncation length fails cleanly.
+  for (size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_FALSE(DecodeShuffleBatchEntryHeader(
+                     std::string_view(wire.data(), len), &decoded)
+                     .ok())
+        << "len=" << len;
+  }
+  // Bad magic.
+  std::string bad = wire;
+  bad[0] ^= 0x20;
+  EXPECT_FALSE(DecodeShuffleBatchEntryHeader(bad, &decoded).ok());
+}
+
+// Deterministic fuzz over the batched framing: pure garbage and bit-flipped
+// valid buffers through every v2 decoder. The decoders must never crash,
+// and whatever they accept must carry in-bounds enum/count values.
+TEST(ShuffleWireTest, BatchFramingFuzzSurvivesGarbageAndBitFlips) {
+  Rng rng(0xF422);
+  ShuffleFetchWant want;
+  want.map = 3;
+  want.partition = 1;
+  want.generation = 8;
+  std::string request;
+  EncodeShuffleBatchRequest(1234, &want, 1, &request);
+  ShuffleBatchEntryHeader entry;
+  entry.index = 1;
+  entry.body_len = 64;
+  std::string entry_wire;
+  EncodeShuffleBatchEntryHeader(entry, &entry_wire);
+
+  for (int i = 0; i < 2000; ++i) {
+    std::string garbage(rng.Uniform(64), '\0');
+    rng.Fill(garbage.data(), garbage.size());
+    ShuffleBatchRequestHead head;
+    if (DecodeShuffleBatchRequestHead(garbage, &head).ok()) {
+      EXPECT_GE(head.count, 1u);
+      EXPECT_LE(head.count, kShuffleBatchMaxWants);
+    }
+    std::vector<ShuffleFetchWant> wants;
+    (void)DecodeShuffleBatchWants(garbage, 1, &wants);
+    ShuffleBatchEntryHeader decoded;
+    if (DecodeShuffleBatchEntryHeader(garbage, &decoded).ok()) {
+      EXPECT_LE(static_cast<uint8_t>(decoded.status),
+                static_cast<uint8_t>(FetchStatus::kDataLoss));
+      EXPECT_LT(decoded.index, kShuffleBatchMaxWants);
+    }
+
+    // Single-bit flips of valid frames: either rejected or decoded with
+    // in-bounds fields — never a crash or a wild value.
+    std::string flipped = request;
+    flipped[rng.Uniform(flipped.size())] ^= 1 << rng.Uniform(8);
+    if (DecodeShuffleBatchRequestHead(
+            std::string_view(flipped.data(), kShuffleBatchRequestHeadSize),
+            &head)
+            .ok()) {
+      EXPECT_GE(head.count, 1u);
+      EXPECT_LE(head.count, kShuffleBatchMaxWants);
+    }
+    flipped = entry_wire;
+    flipped[rng.Uniform(flipped.size())] ^= 1 << rng.Uniform(8);
+    if (DecodeShuffleBatchEntryHeader(flipped, &decoded).ok()) {
+      EXPECT_LE(static_cast<uint8_t>(decoded.status),
+                static_cast<uint8_t>(FetchStatus::kDataLoss));
+      EXPECT_LE(static_cast<uint8_t>(decoded.encoding),
+                static_cast<uint8_t>(FetchEncoding::kFrameStream));
+      EXPECT_LT(decoded.index, kShuffleBatchMaxWants);
+    }
+  }
 }
 
 // ---- Direct server/client protocol ---------------------------------------
@@ -262,6 +447,282 @@ TEST(ShuffleTransportTest, ServerSideFaultHookDropsAndTruncates) {
   EXPECT_EQ(third->body, payload);
   EXPECT_EQ((*server)->stats().faults_injected, 2);
   EXPECT_GE(client.stats().reconnects, 1);
+}
+
+// ---- Direct server/client protocol: v2 batched fetch ----------------------
+
+TEST(ShuffleTransportTest, BatchFetchMixedStatusesInOneRpc) {
+  ShuffleTransportServer::Options sopts;
+  sopts.job_digest = 21;
+  auto server = ShuffleTransportServer::Start(sopts);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  const std::string body0 = "alpha-partition-bytes";
+  (*server)->Publish(0, /*generation=*/3, MakeSealedSegment(body0), nullptr);
+  (*server)->Publish(1, /*generation=*/5, MakeSealedSegment("beta"), nullptr);
+  // Map 3 is published with no backing segment at all: data loss.
+  (*server)->Publish(3, 0, nullptr, nullptr);
+
+  ShuffleTransportClient::Options copts;
+  copts.job_digest = 21;
+  copts.port = (*server)->port();
+  copts.parallel_streams = 1;
+  copts.window_init = 8;  // wider than the batch: all wants in one RPC
+  ShuffleTransportClient client(copts);
+
+  // One batch mixing every protocol status: two clean serves of the same
+  // partition, a stale generation, an unknown map, and a lost segment.
+  std::vector<ShuffleFetchWant> wants(5);
+  wants[0] = {0, 0, 3};
+  wants[1] = {1, 0, 4};  // server holds generation 5 -> stale
+  wants[2] = {7, 0, 0};  // never published -> not found
+  wants[3] = {3, 0, 0};  // published without bytes -> data loss
+  wants[4] = {0, 0, 3};  // repeat of want 0, still served
+
+  const std::vector<ShuffleFetchResult> got = client.FetchBatch(wants);
+  ASSERT_EQ(got.size(), wants.size());
+  for (const ShuffleFetchResult& r : got) EXPECT_TRUE(r.transport_ok);
+  EXPECT_EQ(got[0].status, FetchStatus::kOk);
+  EXPECT_EQ(got[0].body, body0);
+  EXPECT_EQ(got[0].partition_crc, Crc32c(body0));
+  EXPECT_EQ(got[1].status, FetchStatus::kStaleGeneration);
+  EXPECT_EQ(got[1].generation, 5u);
+  EXPECT_TRUE(got[1].body.empty());
+  EXPECT_EQ(got[2].status, FetchStatus::kNotFound);
+  EXPECT_EQ(got[3].status, FetchStatus::kDataLoss);
+  EXPECT_EQ(got[4].status, FetchStatus::kOk);
+  EXPECT_EQ(got[4].body, body0);
+
+  // All five entries rode a single batch RPC.
+  const ShuffleClientStats cstats = client.stats();
+  EXPECT_EQ(cstats.fetches, 5);
+  EXPECT_EQ(cstats.rpcs, 1);
+  EXPECT_EQ(cstats.batches, 1);
+  const ShuffleServerStats sstats = (*server)->stats();
+  EXPECT_EQ(sstats.batch_requests, 1);
+  EXPECT_EQ(sstats.v1_requests, 0);
+  EXPECT_EQ(sstats.ram_serves, 2);
+  EXPECT_EQ(sstats.stale_refused, 1);
+  EXPECT_EQ(sstats.not_found, 1);
+  EXPECT_EQ(sstats.data_loss, 1);
+}
+
+TEST(ShuffleTransportTest, BatchWindowPipelinesAndGrows) {
+  ShuffleTransportServer::Options sopts;
+  sopts.job_digest = 22;
+  auto server = ShuffleTransportServer::Start(sopts);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  for (int map = 0; map < 64; ++map) {
+    (*server)->Publish(map, 1,
+                       MakeSealedSegment("map-" + std::to_string(map)), nullptr);
+  }
+
+  ShuffleTransportClient::Options copts;
+  copts.job_digest = 22;
+  copts.port = (*server)->port();
+  copts.parallel_streams = 1;
+  copts.window_init = 2;
+  copts.window_max = 8;
+  ShuffleTransportClient client(copts);
+
+  std::vector<ShuffleFetchWant> wants;
+  for (int map = 0; map < 64; ++map) {
+    wants.push_back({map, 0, 1});
+  }
+  const std::vector<ShuffleFetchResult> got = client.FetchBatch(wants);
+  ASSERT_EQ(got.size(), wants.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].status, FetchStatus::kOk) << i;
+    EXPECT_EQ(got[i].body, "map-" + std::to_string(i)) << i;
+  }
+
+  // Clean responses grow the window to its cap, and pipelining means far
+  // fewer RPCs than entries — but more than one, since the window starts
+  // below the want count.
+  const ShuffleClientStats stats = client.stats();
+  EXPECT_EQ(stats.fetches, 64);
+  EXPECT_EQ(stats.window_peak, 8);
+  EXPECT_GT(stats.rpcs, 1);
+  EXPECT_LT(stats.rpcs, 64);
+  EXPECT_EQ(stats.batches, stats.rpcs);
+  EXPECT_EQ(stats.retransmits, 0);
+}
+
+TEST(ShuffleTransportTest, V1ClientProtocolAgainstBatchServer) {
+  ShuffleTransportServer::Options sopts;
+  sopts.job_digest = 23;
+  auto server = ShuffleTransportServer::Start(sopts);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  for (int map = 0; map < 6; ++map) {
+    (*server)->Publish(map, 1, MakeSealedSegment(std::string(64, 'v')),
+                       nullptr);
+  }
+
+  ShuffleTransportClient::Options copts;
+  copts.job_digest = 23;
+  copts.port = (*server)->port();
+  copts.protocol_version = 1;
+  ShuffleTransportClient client(copts);
+
+  std::vector<ShuffleFetchWant> wants;
+  for (int map = 0; map < 6; ++map) wants.push_back({map, 0, 1});
+  const std::vector<ShuffleFetchResult> got = client.FetchBatch(wants);
+  ASSERT_EQ(got.size(), wants.size());
+  for (const ShuffleFetchResult& r : got) {
+    EXPECT_EQ(r.status, FetchStatus::kOk);
+  }
+
+  // A v1 client never sends MRF2: one round trip per want.
+  const ShuffleClientStats cstats = client.stats();
+  EXPECT_EQ(cstats.batches, 0);
+  EXPECT_EQ(cstats.rpcs, 6);
+  const ShuffleServerStats sstats = (*server)->stats();
+  EXPECT_EQ(sstats.v1_requests, 6);
+  EXPECT_EQ(sstats.batch_requests, 0);
+}
+
+TEST(ShuffleTransportTest, V2ClientFallsBackToV1OnlyServer) {
+  ShuffleTransportServer::Options sopts;
+  sopts.job_digest = 24;
+  sopts.max_protocol_version = 1;  // pre-batching peer: MRF2 is garbage
+  auto server = ShuffleTransportServer::Start(sopts);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  for (int map = 0; map < 5; ++map) {
+    (*server)->Publish(map, 2,
+                       MakeSealedSegment("old-" + std::to_string(map)),
+                       nullptr);
+  }
+
+  ShuffleTransportClient::Options copts;
+  copts.job_digest = 24;
+  copts.port = (*server)->port();
+  copts.parallel_streams = 1;
+  ShuffleTransportClient client(copts);
+
+  std::vector<ShuffleFetchWant> wants;
+  for (int map = 0; map < 5; ++map) wants.push_back({map, 0, 2});
+  const std::vector<ShuffleFetchResult> first = client.FetchBatch(wants);
+  ASSERT_EQ(first.size(), wants.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_TRUE(first[i].transport_ok) << i;
+    EXPECT_EQ(first[i].status, FetchStatus::kOk) << i;
+    EXPECT_EQ(first[i].body, "old-" + std::to_string(i)) << i;
+  }
+  const int64_t batches_after_fallback = client.stats().batches;
+  EXPECT_GE(batches_after_fallback, 1);  // the doomed opening batches
+
+  // The latch sticks: a second FetchBatch goes straight to v1 round trips
+  // without probing MRF2 again.
+  const std::vector<ShuffleFetchResult> second = client.FetchBatch(wants);
+  for (const ShuffleFetchResult& r : second) {
+    EXPECT_EQ(r.status, FetchStatus::kOk);
+  }
+  EXPECT_EQ(client.stats().batches, batches_after_fallback);
+  EXPECT_EQ((*server)->stats().batch_requests, 0);
+  EXPECT_GE((*server)->stats().v1_requests, 10);
+}
+
+TEST(ShuffleTransportTest, BatchDropConnRecovers) {
+  ShuffleTransportServer::Options sopts;
+  sopts.job_digest = 25;
+  sopts.fault_hook = [](int map, int64_t fetch_seq) {
+    if (map == 0 && fetch_seq == 0) return TransportFault::kDropConn;
+    return TransportFault::kNone;
+  };
+  auto server = ShuffleTransportServer::Start(sopts);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  for (int map = 0; map < 8; ++map) {
+    (*server)->Publish(map, 1, MakeSealedSegment(std::string(2048, 'd')),
+                       nullptr);
+  }
+
+  ShuffleTransportClient::Options copts;
+  copts.job_digest = 25;
+  copts.port = (*server)->port();
+  copts.parallel_streams = 1;
+  ShuffleTransportClient client(copts);
+
+  std::vector<ShuffleFetchWant> wants;
+  for (int map = 0; map < 8; ++map) wants.push_back({map, 0, 1});
+  const std::vector<ShuffleFetchResult> got = client.FetchBatch(wants);
+  ASSERT_EQ(got.size(), wants.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_TRUE(got[i].transport_ok) << i;
+    EXPECT_EQ(got[i].status, FetchStatus::kOk) << i;
+    EXPECT_EQ(got[i].body.size(), 2048u) << i;
+  }
+  EXPECT_EQ((*server)->stats().faults_injected, 1);
+  EXPECT_GE(client.stats().retransmits, 1);
+  EXPECT_GE(client.stats().reconnects, 1);
+}
+
+TEST(ShuffleTransportTest, BatchTruncFrameRecovers) {
+  ShuffleTransportServer::Options sopts;
+  sopts.job_digest = 26;
+  sopts.fault_hook = [](int map, int64_t fetch_seq) {
+    if (map == 2 && fetch_seq == 0) return TransportFault::kTruncFrame;
+    return TransportFault::kNone;
+  };
+  auto server = ShuffleTransportServer::Start(sopts);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  for (int map = 0; map < 8; ++map) {
+    (*server)->Publish(map, 1, MakeSealedSegment(std::string(4096, 't')),
+                       nullptr);
+  }
+
+  ShuffleTransportClient::Options copts;
+  copts.job_digest = 26;
+  copts.port = (*server)->port();
+  copts.parallel_streams = 1;
+  ShuffleTransportClient client(copts);
+
+  std::vector<ShuffleFetchWant> wants;
+  for (int map = 0; map < 8; ++map) wants.push_back({map, 0, 1});
+  const std::vector<ShuffleFetchResult> got = client.FetchBatch(wants);
+  ASSERT_EQ(got.size(), wants.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_TRUE(got[i].transport_ok) << i;
+    EXPECT_EQ(got[i].status, FetchStatus::kOk) << i;
+    EXPECT_EQ(got[i].body.size(), 4096u) << i;
+  }
+  EXPECT_EQ((*server)->stats().faults_injected, 1);
+  EXPECT_GE(client.stats().retransmits, 1);
+}
+
+TEST(ShuffleTransportTest, BufferPoolReusesRecycledBodies) {
+  ShuffleTransportServer::Options sopts;
+  sopts.job_digest = 27;
+  auto server = ShuffleTransportServer::Start(sopts);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  for (int map = 0; map < 4; ++map) {
+    (*server)->Publish(map, 1, MakeSealedSegment(std::string(8192, 'p')),
+                       nullptr);
+  }
+
+  ShuffleTransportClient::Options copts;
+  copts.job_digest = 27;
+  copts.port = (*server)->port();
+  copts.parallel_streams = 1;
+  ShuffleTransportClient client(copts);
+
+  std::vector<ShuffleFetchWant> wants;
+  for (int map = 0; map < 4; ++map) wants.push_back({map, 0, 1});
+
+  std::vector<ShuffleFetchResult> got = client.FetchBatch(wants);
+  ASSERT_EQ(got.size(), wants.size());
+  for (ShuffleFetchResult& r : got) {
+    ASSERT_EQ(r.status, FetchStatus::kOk);
+    client.RecycleBuffer(std::move(r.body));
+  }
+  // The second batch draws its body buffers from the pool.
+  got = client.FetchBatch(wants);
+  for (const ShuffleFetchResult& r : got) {
+    EXPECT_EQ(r.status, FetchStatus::kOk);
+    EXPECT_EQ(r.body.size(), 8192u);
+  }
+  const ShuffleClientStats stats = client.stats();
+  EXPECT_GE(stats.pool_hits, 1);
+  EXPECT_GT(stats.pool_hit_rate, 0.0);
 }
 
 // ---- End-to-end golden parity ---------------------------------------------
@@ -419,16 +880,55 @@ JobConf TcpConf() {
 }
 
 TEST(ShuffleTransportJobTest, TcpJobMatchesInprocFingerprint) {
-  const JobOutcome tcp = RunGoldenJob(TcpConf());
+  JobConf conf = TcpConf();
+  conf.shuffle_protocol_version = 1;  // pin: one v1 round trip per partition
+  const JobOutcome tcp = RunGoldenJob(conf);
   EXPECT_EQ(tcp.fingerprint, InprocFingerprint());
   EXPECT_TRUE(tcp.result.transport_enabled);
   // 4 maps x 3 reduces, every partition over the wire exactly once.
   EXPECT_EQ(tcp.result.transport_fetch_rpcs, 12);
+  EXPECT_EQ(tcp.result.transport_batches, 0);
   EXPECT_EQ(tcp.result.transport_retransmits, 0);
   EXPECT_EQ(tcp.result.transport_ram_serves, 12);
   EXPECT_EQ(tcp.result.transport_file_serves, 0);
   EXPECT_GT(tcp.result.transport_wire_bytes, 0);
   EXPECT_GT(tcp.result.crc_verifications, 0);
+}
+
+TEST(ShuffleTransportJobTest, TcpV2BatchedJobMatchesInprocFingerprint) {
+  JobConf conf = TcpConf();
+  conf.reduce_slowstart = 1.0;  // full map barrier: all wants queue at once
+  conf.fetch_window_init = 32;
+  conf.fetch_window_max = 32;
+  const JobOutcome tcp = RunGoldenJob(conf);
+  EXPECT_EQ(tcp.fingerprint, InprocFingerprint());
+  EXPECT_TRUE(tcp.result.transport_enabled);
+  // Same 12 partitions, but batching collapses them to one RPC per reduce.
+  EXPECT_EQ(tcp.result.transport_fetched_partitions, 12);
+  EXPECT_EQ(tcp.result.transport_fetch_rpcs, 3);
+  EXPECT_EQ(tcp.result.transport_batches, 3);
+  EXPECT_LT(tcp.result.transport_fetch_rpcs,
+            tcp.result.transport_fetched_partitions);
+  EXPECT_EQ(tcp.result.transport_retransmits, 0);
+  EXPECT_EQ(tcp.result.transport_ram_serves, 12);
+  EXPECT_GT(tcp.result.crc_verifications, 0);
+}
+
+TEST(ShuffleTransportJobTest, GoldenFingerprintAcrossReactorsAndWindows) {
+  for (int reactors : {1, 4}) {
+    for (int window : {1, 32}) {
+      JobConf conf = TcpConf();
+      conf.shuffle_server_reactors = reactors;
+      conf.fetch_window_init = window;
+      conf.fetch_window_max = window;
+      conf.reduce_slowstart = 1.0;
+      const JobOutcome outcome = RunGoldenJob(conf);
+      EXPECT_EQ(outcome.fingerprint, InprocFingerprint())
+          << "reactors=" << reactors << " window=" << window;
+      EXPECT_EQ(outcome.result.transport_fetched_partitions, 12)
+          << "reactors=" << reactors << " window=" << window;
+    }
+  }
 }
 
 TEST(ShuffleTransportJobTest, FingerprintStableAcrossCodecsAndStreams) {
@@ -512,6 +1012,32 @@ TEST(ShuffleTransportJobTest, FaultsComposeWithSpillEngineAndCodec) {
   const JobOutcome outcome = RunGoldenJob(conf);
   EXPECT_EQ(outcome.fingerprint, InprocFingerprint());
   EXPECT_GE(outcome.result.transport_retransmits, 1);
+}
+
+// The v1 pin must not fork the bytes: the pinned protocol composes with
+// codecs, spill serving, and faults exactly like the default v2 path.
+TEST(ShuffleTransportJobTest, V1PinnedCodecAndFaultParity) {
+  JobConf conf = WithPlan(TcpConf(), "drop_conn:1@a=0");
+  conf.shuffle_protocol_version = 1;
+  conf.map_output_codec = MapOutputCodec::kLz4;
+  const JobOutcome outcome = RunGoldenJob(conf);
+  EXPECT_EQ(outcome.fingerprint, InprocFingerprint());
+  EXPECT_EQ(outcome.result.transport_batches, 0);
+  EXPECT_GE(outcome.result.transport_retransmits, 1);
+}
+
+// Injected transport faults mid-batch: the batched plane retries inside
+// the window and still converges to the golden bytes.
+TEST(ShuffleTransportJobTest, V2FaultsRecoverUnderBatching) {
+  JobConf conf = WithPlan(
+      TcpConf(), "drop_conn:1@a=0;trunc_frame:2@a=1;slow_peer:0.2");
+  conf.reduce_slowstart = 1.0;
+  conf.fetch_window_init = 32;
+  conf.fetch_window_max = 32;
+  const JobOutcome outcome = RunGoldenJob(conf);
+  EXPECT_EQ(outcome.fingerprint, InprocFingerprint());
+  EXPECT_GE(outcome.result.transport_batches, 3);
+  EXPECT_GE(outcome.result.transport_retransmits, 2);
 }
 
 // Transport faults in the plan are inert on the inproc data plane: there
